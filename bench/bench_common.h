@@ -1,0 +1,23 @@
+// Shared helpers for the per-figure/table bench binaries.  Every bench
+// prints (a) what the paper reports and (b) what this reproduction measures,
+// in the uniform table format consumed by EXPERIMENTS.md.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "util/table.h"
+
+namespace pp::bench {
+
+inline void experiment_header(const std::string& id,
+                              const std::string& paper_claim) {
+  util::banner(id);
+  std::printf("paper: %s\n\n", paper_claim.c_str());
+}
+
+inline void verdict(bool ok, const std::string& what) {
+  std::printf("[%s] %s\n", ok ? "REPRODUCED" : "DIVERGENT", what.c_str());
+}
+
+}  // namespace pp::bench

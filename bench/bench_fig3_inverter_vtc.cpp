@@ -1,0 +1,52 @@
+// FIG3: the configurable-inverter voltage transfer curves of Fig. 3.
+// Sweeps V_in for the paper's five back-gate biases and prints the VTC
+// family plus the extracted switching points.
+#include "bench_common.h"
+#include "device/inverter.h"
+#include "util/numeric.h"
+
+int main() {
+  using namespace pp;
+  bench::experiment_header(
+      "FIG3 configurable inverter VTC",
+      "back bias V_G2 moves the switching point over the full logic range; "
+      "output stays high for V_G2 <= -1.5 V and low for V_G2 >= +1.5 V");
+
+  device::ConfigurableInverter inv;
+  const std::vector<double> biases{-1.5, -0.5, 0.0, +0.5, +1.5};
+  const auto vins = util::linspace(0.0, 1.2, 13);
+
+  util::Table vtc("Vout (V) vs Vin for each back bias");
+  std::vector<std::string> head{"Vin"};
+  for (double b : biases) head.push_back("VG2=" + util::Table::num(b, 1));
+  vtc.header(head);
+  for (double vin : vins) {
+    std::vector<std::string> row{util::Table::num(vin, 2)};
+    for (double b : biases) row.push_back(util::Table::num(inv.vout(vin, b), 3));
+    vtc.row(row);
+  }
+  vtc.print();
+
+  util::Table sw("Extracted switching points and regimes");
+  sw.header({"VG2 (V)", "switch point (V)", "regime"});
+  bool monotone = true;
+  double prev = 1e9;
+  for (double b : biases) {
+    const double s = inv.switching_point(b);
+    const char* regime =
+        inv.regime(b) == device::InverterRegime::kStuckHigh  ? "stuck high"
+        : inv.regime(b) == device::InverterRegime::kStuckLow ? "stuck low"
+                                                             : "inverting";
+    sw.row({util::Table::num(b, 1), util::Table::num(s, 3), regime});
+    if (s > prev + 1e-9) monotone = false;
+    prev = s;
+  }
+  sw.print();
+
+  bench::verdict(monotone &&
+                     inv.regime(-1.5) == device::InverterRegime::kStuckHigh &&
+                     inv.regime(+1.5) == device::InverterRegime::kStuckLow &&
+                     inv.regime(0.0) == device::InverterRegime::kInverting,
+                 "switching point monotone in V_G2 with stuck rails at +/-1.5 V");
+  return 0;
+}

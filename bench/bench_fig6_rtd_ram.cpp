@@ -1,0 +1,75 @@
+// FIG6: the RTD leaf-cell configuration RAM.  Sweeps the diode I-V to show
+// the NDR resonances, locates the storage node's stable points, exercises
+// every write transition, and reports retention margins and standby current.
+#include "bench_common.h"
+#include "device/rtd.h"
+#include "device/rtd_ram.h"
+#include "util/numeric.h"
+
+int main() {
+  using namespace pp;
+  bench::experiment_header(
+      "FIG6 RTD multi-valued configuration RAM",
+      "a two-RTD tunnelling SRAM stores (at least) 3 levels; NDR gives "
+      "self-restoring states; standby current pA-scale per cell");
+
+  device::Rtd rtd(device::three_state_rtd());
+  util::Table iv("Two-peak RTD I-V (NDR regions visible as falling current)");
+  iv.header({"V (V)", "I (uA)", "dI/dV sign"});
+  for (double v : util::linspace(0.0, 1.3, 14)) {
+    const double g = rtd.conductance(v + 1e-6);
+    iv.row({util::Table::num(v, 2), util::Table::num(rtd.current(v) * 1e6, 4),
+            g < 0 ? "-" : "+"});
+  }
+  iv.print();
+  std::printf("first-resonance PVCR = %.1f\n\n", rtd.pvcr());
+
+  device::RtdRam ram;
+  const auto pts = ram.operating_points();
+  util::Table op("Storage-node operating points");
+  op.header({"V (V)", "type"});
+  for (const auto& p : pts)
+    op.row({util::Table::num(p.v, 3), p.stable ? "stable" : "unstable"});
+  op.print();
+
+  util::Table wr("Write transitions (all ordered level pairs)");
+  wr.header({"from", "to", "settled V", "read back", "bias out (V)",
+             "standby (uA)"});
+  bool ok = ram.num_levels() == 3;
+  for (std::size_t from = 0; from < 3; ++from) {
+    for (std::size_t to = 0; to < 3; ++to) {
+      if (from == to) continue;
+      ram.write(from);
+      ram.write(to);
+      const bool good = ram.read() == to;
+      ok = ok && good;
+      wr.row({util::Table::num(static_cast<long long>(from)),
+              util::Table::num(static_cast<long long>(to)),
+              util::Table::num(ram.node_voltage(), 3),
+              util::Table::num(static_cast<long long>(ram.read())),
+              util::Table::num(ram.bias_voltage_for(to), 2),
+              util::Table::num(ram.standby_current() * 1e6, 3)});
+    }
+  }
+  wr.print();
+
+  util::Table ret("Retention: perturbation tolerated per level");
+  ret.header({"level", "+dV kept (V)", "-dV kept (V)"});
+  for (std::size_t level = 0; level < 3; ++level) {
+    double up = 0, dn = 0;
+    for (double dv = 0.02; dv <= 0.40; dv += 0.02) {
+      ram.write(level);
+      ram.perturb(dv);
+      if (ram.read() == level) up = dv;
+      ram.write(level);
+      ram.perturb(-dv);
+      if (ram.read() == level) dn = dv;
+    }
+    ret.row({util::Table::num(static_cast<long long>(level)),
+             util::Table::num(up, 2), util::Table::num(dn, 2)});
+  }
+  ret.print();
+  bench::verdict(ok, "3 stable levels, all write transitions succeed, "
+                     "levels map onto the -2/0/+2 V back-gate biases");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// TAB-C: density and static configuration power (§3).  The paper: >1e9
+// logic cells/cm² at the FDSOI/RTD scaling limits, with configuration
+// standby power under 100 mW thanks to 10-50 pA RTD peak currents.
+#include "bench_common.h"
+#include "arch/area_model.h"
+#include "arch/power_model.h"
+
+int main() {
+  using namespace pp;
+  bench::experiment_header(
+      "TAB-C density and configuration standby power",
+      ">1e9 cells/cm^2 at 10 nm; config plane < 100 mW even at that density");
+
+  util::Table d("Density vs feature size");
+  d.header({"feature (nm)", "lambda (nm)", "block area (um^2)",
+            "cells / cm^2"});
+  for (double feat : {40.0, 20.0, 10.0}) {
+    arch::PolyAreaParams p;
+    p.feature_nm = feat;
+    const double um2 = arch::block_area_cm2(p) * 1e8;
+    d.row({util::Table::num(feat, 0), util::Table::num(p.lambda_nm(), 1),
+           util::Table::num(um2, 4),
+           util::Table::sci(arch::cell_density_per_cm2(p), 2)});
+  }
+  d.print();
+
+  util::Table pw("Configuration standby power across the roadmap current range");
+  pw.header({"RTD standby (pA)", "cells/cm^2", "power (mW/cm^2)",
+             "< 100 mW"});
+  bool ok = true;
+  for (double i_pa : {10.0, 25.0, 50.0}) {
+    arch::ConfigPowerParams p;
+    p.rtd_standby_a = i_pa * 1e-12;
+    const double mw = arch::config_static_power_w_per_cm2(p) * 1e3;
+    const bool under = mw < 100.0;
+    ok = ok && under;
+    pw.row({util::Table::num(i_pa, 0), util::Table::sci(p.cells_per_cm2, 1),
+            util::Table::num(mw, 1), under ? "yes" : "NO"});
+  }
+  pw.print();
+
+  arch::PolyAreaParams p10;
+  bench::verdict(ok && arch::cell_density_per_cm2(p10) > 1e9,
+                 "density > 1e9 cells/cm^2 and standby power < 100 mW over "
+                 "the full 10-50 pA roadmap range");
+  return 0;
+}

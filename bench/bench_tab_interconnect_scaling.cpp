@@ -1,0 +1,58 @@
+// TAB-D: the §2.1 interconnect-scaling relations the paper builds its case
+// on: ~80% of FPGA path delay in interconnect at DSM nodes, De Dinechin's
+// O(lambda^1/2) frequency scaling, and Liu & Pai's 100:1 driver for a 1 mm
+// line at 100 ps.
+#include "bench_common.h"
+#include "fpga/area_delay.h"
+
+int main() {
+  using namespace pp;
+  using fpga::TechPoint;
+  bench::experiment_header(
+      "TAB-D FPGA interconnect scaling",
+      "interconnect ~80% of path delay; f grows only as sqrt(shrink); "
+      "1 mm in 100 ps needs a ~100:1 driver at 120 nm");
+
+  util::Table t("Path composition vs feature size (8-LUT-deep path)");
+  t.header({"feature (nm)", "logic (ps)", "wire (ps)", "total (ps)",
+            "interconnect share", "De Dinechin f (rel)",
+            "naive 1/lambda f (rel)"});
+  bool share_grows = true;
+  double prev_share = 0.0;
+  for (double feat : {250.0, 180.0, 130.0, 90.0, 65.0, 45.0, 32.0, 22.0}) {
+    const TechPoint tp{feat};
+    const double total = fpga::critical_path_ps(tp, 8);
+    const double logic = 8 * tp.lut_delay_ps();
+    const double share = (total - logic) / total;
+    if (share < prev_share) share_grows = false;
+    prev_share = share;
+    t.row({util::Table::num(feat, 0), util::Table::num(logic, 0),
+           util::Table::num(total - logic, 0), util::Table::num(total, 0),
+           util::Table::num(100 * share, 1) + "%",
+           util::Table::num(fpga::dedinechin_freq_scale(feat), 2),
+           util::Table::num(250.0 / feat, 2)});
+  }
+  t.print();
+
+  const double share130 = fpga::interconnect_fraction(TechPoint{130}, 8);
+  std::printf("interconnect share at 130 nm: %.0f%% (paper: ~80%%)\n\n",
+              share130 * 100);
+
+  util::Table drv("Driving 1 mm of wire at the 120 nm node (Liu & Pai)");
+  drv.header({"W/L", "delay (ps)"});
+  const TechPoint t120{120};
+  for (double wl : {1.0, 10.0, 50.0, 100.0, 200.0, 500.0}) {
+    drv.row({util::Table::num(wl, 0),
+             util::Table::num(fpga::line_drive_delay_ps(t120, 1.0, wl), 1)});
+  }
+  drv.print();
+  const double need = fpga::required_driver_ratio(t120, 1.0, 100.0);
+  std::printf("required W/L for 1 mm @ 100 ps: %.0f (paper cites ~100:1)\n",
+              need);
+
+  bench::verdict(share_grows && share130 > 0.6 && share130 < 0.95 &&
+                     need > 30 && need < 1000,
+                 "interconnect dominance grows with scaling; driver ratio "
+                 "within a small factor of the cited 100:1");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// The Fig. 11/12 scenario: a 4-stage, 8-bit Sutherland micropipeline FIFO
+// moving a burst of tokens under a slow consumer, with a VCD trace of the
+// handshake you can open in any waveform viewer.
+#include <cstdio>
+#include <fstream>
+
+#include "async/micropipeline.h"
+#include "sim/waveform.h"
+
+int main() {
+  using namespace pp;
+
+  async::MicropipelineParams params;
+  params.stages = 4;
+  params.width = 8;
+  params.stage_delay_ps = 40;
+
+  sim::Circuit circuit;
+  const auto ports = async::build_micropipeline(circuit, params);
+  sim::Simulator sim(circuit);
+
+  // Record the control handshake for inspection.
+  std::vector<sim::NetId> watch{ports.req_in, ports.ack_in, ports.req_out,
+                                ports.ack_out};
+  for (std::size_t i = 0; i + 1 < ports.stage_req.size(); ++i)
+    watch.push_back(ports.stage_req[i]);
+  sim::Waveform wf(sim, circuit, watch);
+
+  std::printf("pushing 16 tokens through a %d-stage micropipeline "
+              "(sink 10x slower than source)...\n",
+              params.stages);
+  const auto stats = async::run_tokens(sim, ports, params.width, 16,
+                                       /*source_delay_ps=*/10,
+                                       /*sink_delay_ps=*/100);
+
+  std::printf("delivered %d/%d tokens in %llu ps "
+              "(%.3f tokens/ns)\nvalues: ",
+              stats.tokens_received, stats.tokens_sent,
+              static_cast<unsigned long long>(stats.total_time_ps),
+              stats.throughput_tokens_per_ns());
+  for (auto v : stats.received_values)
+    std::printf("%llu ", static_cast<unsigned long long>(v));
+  std::printf("\n");
+
+  std::ofstream vcd("micropipeline.vcd");
+  vcd << wf.to_vcd("micropipeline");
+  std::printf("handshake trace written to micropipeline.vcd (%zu changes)\n",
+              wf.changes().size());
+  return 0;
+}

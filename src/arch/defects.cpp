@@ -1,0 +1,128 @@
+#include "arch/defects.h"
+
+#include <functional>
+#include <stdexcept>
+
+namespace pp::arch {
+
+using core::BiasLevel;
+using core::BlockConfig;
+using core::DriverCfg;
+using core::kBlockInputs;
+using core::kBlockOutputs;
+
+DefectMap::DefectMap(int rows, int cols) : rows_(rows), cols_(cols) {
+  if (rows < 1 || cols < 1)
+    throw std::invalid_argument("DefectMap: bad dimensions");
+  xp_bad_.assign(static_cast<std::size_t>(rows) * cols * kBlockOutputs *
+                     kBlockInputs,
+                 false);
+  drv_bad_.assign(static_cast<std::size_t>(rows) * cols * kBlockOutputs,
+                  false);
+}
+
+std::size_t DefectMap::xp_index(int r, int c, int row, int col) const {
+  return ((static_cast<std::size_t>(r) * cols_ + c) * kBlockOutputs + row) *
+             kBlockInputs +
+         col;
+}
+
+std::size_t DefectMap::drv_index(int r, int c, int row) const {
+  return (static_cast<std::size_t>(r) * cols_ + c) * kBlockOutputs + row;
+}
+
+DefectMap DefectMap::random(int rows, int cols, double p_cell,
+                            double p_driver, util::Rng& rng) {
+  DefectMap m(rows, cols);
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < cols; ++c) {
+      for (int row = 0; row < kBlockOutputs; ++row) {
+        for (int col = 0; col < kBlockInputs; ++col)
+          if (rng.next_bool(p_cell)) m.mark_crosspoint(r, c, row, col);
+        if (rng.next_bool(p_driver)) m.mark_driver(r, c, row);
+      }
+    }
+  return m;
+}
+
+void DefectMap::mark_crosspoint(int r, int c, int row, int col) {
+  auto i = xp_index(r, c, row, col);
+  if (!xp_bad_[i]) ++defects_;
+  xp_bad_[i] = true;
+}
+
+void DefectMap::mark_driver(int r, int c, int row) {
+  auto i = drv_index(r, c, row);
+  if (!drv_bad_[i]) ++defects_;
+  drv_bad_[i] = true;
+}
+
+bool DefectMap::crosspoint_bad(int r, int c, int row, int col) const {
+  return xp_bad_[xp_index(r, c, row, col)];
+}
+
+bool DefectMap::driver_bad(int r, int c, int row) const {
+  return drv_bad_[drv_index(r, c, row)];
+}
+
+int conflicts(const core::Fabric& fabric, const DefectMap& map) {
+  if (fabric.rows() != map.rows() || fabric.cols() != map.cols())
+    throw std::invalid_argument("conflicts: dimension mismatch");
+  int bad = 0;
+  for (int r = 0; r < fabric.rows(); ++r) {
+    for (int c = 0; c < fabric.cols(); ++c) {
+      const BlockConfig& b = fabric.block(r, c);
+      for (int row = 0; row < kBlockOutputs; ++row) {
+        for (int col = 0; col < kBlockInputs; ++col) {
+          // A crosspoint in its default state tolerates a stuck cell only
+          // if the defect leaves it non-participating; conservatively, any
+          // *used* crosspoint on a bad cell is a conflict.
+          if (b.xpoint[row][col] != BiasLevel::kForce1 &&
+              map.crosspoint_bad(r, c, row, col))
+            ++bad;
+        }
+        if (b.driver[row] != DriverCfg::kOff && map.driver_bad(r, c, row))
+          ++bad;
+      }
+    }
+  }
+  return bad;
+}
+
+std::optional<std::pair<int, int>> find_clean_origin(
+    core::Fabric& fabric, const DefectMap& map, int fp_rows, int fp_cols,
+    const std::function<void(core::Fabric&, int, int)>& configure,
+    int max_origin_rows) {
+  const int row_limit = max_origin_rows > 0
+                            ? std::min(max_origin_rows - 1 + fp_rows,
+                                       fabric.rows())
+                            : fabric.rows();
+  for (int r0 = 0; r0 + fp_rows <= row_limit; ++r0) {
+    for (int c0 = 0; c0 + fp_cols <= fabric.cols(); ++c0) {
+      fabric.clear();
+      configure(fabric, r0, c0);
+      if (conflicts(fabric, map) == 0) return std::make_pair(r0, c0);
+    }
+  }
+  fabric.clear();
+  return std::nullopt;
+}
+
+double placement_yield(
+    int rows, int cols, int fp_rows, int fp_cols,
+    const std::function<void(core::Fabric&, int, int)>& configure, double p,
+    int trials, std::uint64_t seed) {
+  // Yield counts any placement, boundary-constrained or not; callers that
+  // need boundary pads should size `rows` to fp_rows.
+  int ok = 0;
+  for (int t = 0; t < trials; ++t) {
+    util::Rng rng(seed + static_cast<std::uint64_t>(t) * 7919);
+    const DefectMap map = DefectMap::random(rows, cols, p, p, rng);
+    core::Fabric fabric(rows, cols);
+    if (find_clean_origin(fabric, map, fp_rows, fp_cols, configure))
+      ++ok;
+  }
+  return static_cast<double>(ok) / trials;
+}
+
+}  // namespace pp::arch

@@ -1,0 +1,73 @@
+// Defect injection and fault-aware placement — operationalising the paper's
+// premise that nano-scale devices bring "poor reliability" [16] and its
+// future-work direction on defect-tolerant, locally-connected arrays.
+//
+// A DefectMap marks leaf cells (crosspoints), drivers, or whole blocks as
+// unusable.  `conflicts` checks a configured fabric against the map;
+// `find_clean_origin` searches translation offsets for a macro footprint
+// that avoids defective resources — the simplest useful remapping strategy
+// on a homogeneous array (any region is as good as any other, which is the
+// whole point of an undifferentiated fabric).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/fabric.h"
+#include "util/rng.h"
+
+namespace pp::arch {
+
+class DefectMap {
+ public:
+  DefectMap(int rows, int cols);
+
+  /// Independent Bernoulli defects at rate `p_cell` per crosspoint and
+  /// `p_driver` per driver.
+  static DefectMap random(int rows, int cols, double p_cell, double p_driver,
+                          util::Rng& rng);
+
+  void mark_crosspoint(int r, int c, int row, int col);
+  void mark_driver(int r, int c, int row);
+
+  [[nodiscard]] bool crosspoint_bad(int r, int c, int row, int col) const;
+  [[nodiscard]] bool driver_bad(int r, int c, int row) const;
+  [[nodiscard]] int defect_count() const noexcept { return defects_; }
+  [[nodiscard]] int rows() const noexcept { return rows_; }
+  [[nodiscard]] int cols() const noexcept { return cols_; }
+
+ private:
+  [[nodiscard]] std::size_t xp_index(int r, int c, int row, int col) const;
+  [[nodiscard]] std::size_t drv_index(int r, int c, int row) const;
+  int rows_, cols_;
+  std::vector<bool> xp_bad_;
+  std::vector<bool> drv_bad_;
+  int defects_ = 0;
+};
+
+/// Number of configured resources that collide with defects (0 = clean).
+[[nodiscard]] int conflicts(const core::Fabric& fabric, const DefectMap& map);
+
+/// Try to place `configure(fabric, r0, c0)` so that it avoids all defects,
+/// scanning origins row-major within the fabric bounds.  Returns the origin
+/// used, or nullopt if every position conflicts.  `fp_rows`/`fp_cols` give
+/// the macro footprint.  `max_origin_rows` bounds the origin row scan:
+/// macros whose operands must stay on the north-boundary pads pass 1 so
+/// relocation happens along the boundary only (0 = unbounded).
+std::optional<std::pair<int, int>> find_clean_origin(
+    core::Fabric& fabric, const DefectMap& map, int fp_rows, int fp_cols,
+    const std::function<void(core::Fabric&, int, int)>& configure,
+    int max_origin_rows = 0);
+
+/// Monte-Carlo yield: probability that a macro with the given footprint and
+/// configure function can be placed defect-free on a rows x cols fabric at
+/// crosspoint defect rate p.  Deterministic in `seed`.
+[[nodiscard]] double placement_yield(
+    int rows, int cols, int fp_rows, int fp_cols,
+    const std::function<void(core::Fabric&, int, int)>& configure, double p,
+    int trials, std::uint64_t seed);
+
+}  // namespace pp::arch

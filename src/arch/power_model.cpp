@@ -1,0 +1,19 @@
+#include "arch/power_model.h"
+
+namespace pp::arch {
+
+double config_static_power_w_per_cm2(const ConfigPowerParams& p) {
+  return p.rtd_standby_a * p.v_cfg * p.cells_per_cm2;
+}
+
+double dynamic_energy_j(std::uint64_t toggles, const DynamicPowerParams& p) {
+  // Each toggle charges or discharges c_node: E = 1/2 C V² per transition.
+  return 0.5 * p.c_node_f * p.vdd * p.vdd * static_cast<double>(toggles);
+}
+
+double clock_tree_power_w(double freq_hz, int flip_flops, double c_per_ff_f,
+                          double vdd) {
+  return freq_hz * c_per_ff_f * flip_flops * vdd * vdd;
+}
+
+}  // namespace pp::arch

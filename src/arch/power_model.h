@@ -1,0 +1,40 @@
+// Static configuration power (§3) and activity-based dynamic power proxies
+// (§4.1).
+//
+// Reproduced claims:
+//   * RTDs at the 2012 roadmap point: ~50 nm, peak currents 10-50 pA; at
+//     >1e9 cells/cm² the configuration plane still draws <100 mW/cm²;
+//   * removing the global clock saves the clock-tree dynamic power, the
+//     dominant term in high-performance synchronous parts [43].
+#pragma once
+
+#include <cstdint>
+
+namespace pp::arch {
+
+struct ConfigPowerParams {
+  double rtd_standby_a = 25e-12;  ///< per-RAM-cell standby current (10-50 pA)
+  double v_cfg = 1.3;             ///< configuration supply (V)
+  double cells_per_cm2 = 1.0e9;   ///< configuration RAM cells per cm²
+};
+
+/// Static configuration power density (W/cm²).
+[[nodiscard]] double config_static_power_w_per_cm2(
+    const ConfigPowerParams& p = {});
+
+struct DynamicPowerParams {
+  double c_node_f = 0.05e-15;  ///< switched capacitance per toggle (F)
+  double vdd = 1.0;            ///< logic supply (V)
+};
+
+/// Dynamic energy (J) for a given toggle count (activity from pp::sim).
+[[nodiscard]] double dynamic_energy_j(std::uint64_t toggles,
+                                      const DynamicPowerParams& p = {});
+
+/// Clock-tree power (W) of a synchronous island: f * C_tree * V², with the
+/// tree capacitance proportional to the flip-flop count.
+[[nodiscard]] double clock_tree_power_w(double freq_hz, int flip_flops,
+                                        double c_per_ff_f = 5e-15,
+                                        double vdd = 1.0);
+
+}  // namespace pp::arch

@@ -1,0 +1,65 @@
+#include "async/arbiter.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pp::async {
+
+Arbiter::Arbiter(ArbiterParams params, std::uint64_t seed)
+    : p_(params), rng_(seed) {}
+
+Arbiter::Grant Arbiter::request(int side, sim::SimTime t) {
+  if (side != 0 && side != 1)
+    throw std::invalid_argument("Arbiter::request: side is 0 or 1");
+  last_request_[side] = t;
+  if (owner_ == side) return {side, t, false};
+
+  if (owner_ != -1) {
+    // Busy: queue and grant later at release time.
+    waiting_[side] = true;
+    waiting_since_[side] = t;
+    return {side, 0, false};  // at_ps = 0 signals "pending"
+  }
+
+  // Free: check for a near-simultaneous request from the other side.
+  const int other = 1 - side;
+  const sim::SimTime dt = t >= last_request_[other]
+                              ? t - last_request_[other]
+                              : last_request_[other] - t;
+  bool metastable = false;
+  sim::SimTime extra = 0;
+  if (last_request_[other] != 0 && dt < p_.window_ps && owner_ == -1 &&
+      waiting_[other]) {
+    metastable = true;
+    ++metastable_count_;
+    // Exponential settling: -tau * ln(u).
+    const double u = rng_.next_double();
+    extra = static_cast<sim::SimTime>(-p_.tau_ps * std::log(u + 1e-18));
+  }
+  owner_ = side;
+  waiting_[side] = false;
+  return {side, t + p_.base_delay_ps + extra, metastable};
+}
+
+void Arbiter::release(int side, sim::SimTime t) {
+  if (owner_ != side)
+    throw std::logic_error("Arbiter::release: releasing side is not owner");
+  owner_ = -1;
+  const int other = 1 - side;
+  if (waiting_[other]) {
+    waiting_[other] = false;
+    owner_ = other;
+    (void)t;
+  }
+}
+
+sim::NetId add_synchronizer(sim::Circuit& ckt, sim::NetId async_in,
+                            sim::NetId clk, sim::SimTime ff_delay_ps) {
+  const sim::NetId mid = ckt.add_net("sync_mid");
+  const sim::NetId out = ckt.add_net("sync_out");
+  ckt.add_gate(sim::GateKind::kDff, {async_in, clk}, mid, ff_delay_ps);
+  ckt.add_gate(sim::GateKind::kDff, {mid, clk}, out, ff_delay_ps);
+  return out;
+}
+
+}  // namespace pp::async

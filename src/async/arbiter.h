@@ -1,0 +1,63 @@
+// Mutual-exclusion and synchronisation primitives (§4.1: current
+// programmable systems "do not include special functions such as arbiters
+// and synchronizers" — a GALS fabric must provide them).
+//
+// The arbiter is a behavioural mutual-exclusion (mutex) element with an
+// explicit metastability model: when both requests arrive within the
+// metastability window, resolution takes an extra exponentially-distributed
+// time (tau-scaled), mirroring the physics of a bistable settling from a
+// near-balanced state.  Determinism for tests comes from the injected RNG.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/circuit.h"
+#include "util/rng.h"
+
+namespace pp::async {
+
+struct ArbiterParams {
+  sim::SimTime base_delay_ps = 10;   ///< grant delay, uncontended
+  sim::SimTime window_ps = 5;        ///< metastability window
+  double tau_ps = 20.0;              ///< settling time constant
+};
+
+/// Event-level mutex: feed request rise/fall events in time order, read
+/// grant decisions.  At most one grant is high at any time; a released
+/// grant passes to the waiting side after the base delay.
+class Arbiter {
+ public:
+  explicit Arbiter(ArbiterParams params = {}, std::uint64_t seed = 1);
+
+  struct Grant {
+    int side;            ///< 0 or 1
+    sim::SimTime at_ps;  ///< grant assertion time
+    bool metastable;     ///< whether this decision hit the window
+  };
+
+  /// Side `side` raises its request at time t; returns the grant event.
+  Grant request(int side, sim::SimTime t);
+  /// Side `side` releases; if the other side is waiting it is granted.
+  void release(int side, sim::SimTime t);
+
+  [[nodiscard]] int owner() const noexcept { return owner_; }  ///< -1 = free
+  [[nodiscard]] std::uint64_t metastable_events() const noexcept {
+    return metastable_count_;
+  }
+
+ private:
+  ArbiterParams p_;
+  util::Rng rng_;
+  int owner_ = -1;
+  bool waiting_[2] = {false, false};
+  sim::SimTime waiting_since_[2] = {0, 0};
+  sim::SimTime last_request_[2] = {0, 0};
+  std::uint64_t metastable_count_ = 0;
+};
+
+/// Two-flop synchroniser for crossing into a clock domain: returns the
+/// output net; `clk` is the destination domain clock.
+sim::NetId add_synchronizer(sim::Circuit& circuit, sim::NetId async_in,
+                            sim::NetId clk, sim::SimTime ff_delay_ps = 5);
+
+}  // namespace pp::async

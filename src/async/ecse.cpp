@@ -1,0 +1,69 @@
+#include "async/ecse.h"
+
+#include <stdexcept>
+
+#include "map/macros.h"
+
+namespace pp::async {
+
+using core::BiasLevel;
+using core::BlockConfig;
+using core::ColSource;
+using core::DriverCfg;
+using core::LfbWhich;
+
+EcsePorts build_ecse(sim::Circuit& ckt, sim::SimTime xnor_delay_ps,
+                     sim::SimTime latch_delay_ps) {
+  EcsePorts ports;
+  ports.c = ckt.add_net("ecse_c");
+  ports.p = ckt.add_net("ecse_p");
+  ports.d = ckt.add_net("ecse_d");
+  ckt.mark_input(ports.c);
+  ckt.mark_input(ports.p);
+  ckt.mark_input(ports.d);
+  const sim::NetId en = ckt.add_net("ecse_en");
+  ckt.add_gate(sim::GateKind::kXnor, {ports.c, ports.p}, en, xnor_delay_ps);
+  ports.q = ckt.add_net("ecse_q");
+  ckt.add_gate(sim::GateKind::kLatch, {ports.d, en}, ports.q,
+               latch_delay_ps);
+  return ports;
+}
+
+EcseFabricPorts ecse_fabric(core::Fabric& f, int r, int c) {
+  if (r != 0)
+    throw std::invalid_argument(
+        "ecse_fabric: place at row 0 so the D column is an external pad");
+
+  // Literals for C (var 0) and P (var 1).
+  map::macros::literal_gen(f, r, c, 2);
+
+  // Term block: products C.P (row 0) and /C./P (row 1); lines carry the
+  // complements of the products (buffered NAND rows).
+  BlockConfig& term = f.block(r, c + 1);
+  term.xpoint[0][0] = BiasLevel::kActive;  // C
+  term.xpoint[0][2] = BiasLevel::kActive;  // P
+  term.driver[0] = DriverCfg::kBuffer;
+  term.xpoint[1][1] = BiasLevel::kActive;  // /C
+  term.xpoint[1][3] = BiasLevel::kActive;  // /P
+  term.driver[1] = DriverCfg::kBuffer;
+
+  // OR block: EN = CP + /C/P = XNOR(C,P), emitted on line 1 so that the
+  // latch's D column (line 0) stays free for the external pad.
+  BlockConfig& orb = f.block(r, c + 2);
+  orb.xpoint[1][0] = BiasLevel::kActive;
+  orb.xpoint[1][1] = BiasLevel::kActive;
+  orb.driver[1] = DriverCfg::kBuffer;
+
+  // Transparent latch pair: D on column 0 (external), EN on column 1.
+  const auto latch = map::macros::d_latch(f, r, c + 3);
+
+  EcseFabricPorts ports;
+  ports.c = {r, c, 0};
+  ports.p = {r, c, 1};
+  ports.d = latch.d;   // (r, c+3, 0): north-boundary pad
+  ports.q = latch.q;   // (r, c+5, 0)
+  ports.blocks_used = 5;
+  return ports;
+}
+
+}  // namespace pp::async

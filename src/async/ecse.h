@@ -1,0 +1,49 @@
+// The event-controlled storage element of Fig. 12 (from Sutherland [48]).
+//
+// Transition semantics: the element is transparent after power-up; a
+// *capture* event (any edge on C) makes it opaque, holding the current
+// datum; a *pass* event (edge on P) makes it transparent again.  With
+// transition signals this is exactly "transparent iff C == P", so the
+// element reduces to a level latch enabled by XNOR(C, P) — the form used
+// both behaviourally and in the fabric mapping below.
+//
+// Fig. 12's point is that the ECSE "and its implementation using
+// reconfigurable blocks" are both small asynchronous state machines the
+// NAND-block array supports directly; ecse_fabric() *is* that
+// implementation, and the tests drive both versions with the same event
+// streams and require identical behaviour.
+#pragma once
+
+#include "core/fabric.h"
+#include "map/router.h"
+#include "sim/circuit.h"
+
+namespace pp::async {
+
+struct EcsePorts {
+  sim::NetId c;    ///< capture event input
+  sim::NetId p;    ///< pass event input
+  sim::NetId d;    ///< data input
+  sim::NetId q;    ///< data output
+};
+
+/// Behavioural ECSE built from an XNOR and a latch gate.
+EcsePorts build_ecse(sim::Circuit& circuit,
+                     sim::SimTime xnor_delay_ps = 6,
+                     sim::SimTime latch_delay_ps = 6);
+
+/// Fabric-mapped ECSE occupying blocks (r,c)..(r,c+4):
+///   (r,c)    literal generation for C and P
+///   (r,c+1)  product terms CP and /C/P
+///   (r,c+2)  OR row -> enable = XNOR(C,P), emitted on line 1
+///   (r,c+3)  latch input stage (D arrives on its column 0)
+///   (r,c+4)  latch output pair
+/// Must be placed at r = 0 so the D column is an external pad.
+struct EcseFabricPorts {
+  map::SignalAt c, p, d;
+  map::SignalAt q;
+  int blocks_used = 0;
+};
+EcseFabricPorts ecse_fabric(core::Fabric& fabric, int r, int c);
+
+}  // namespace pp::async

@@ -1,0 +1,66 @@
+#include "async/protocol.h"
+
+#include <algorithm>
+
+namespace pp::async {
+
+BundledChannelChecker::BundledChannelChecker(sim::Simulator& sim,
+                                             sim::NetId req, sim::NetId ack,
+                                             std::vector<sim::NetId> data,
+                                             sim::SimTime setup_ps)
+    : req_(req), ack_(ack), data_(std::move(data)), setup_ps_(setup_ps) {
+  sim.set_observer([this](sim::SimTime t, sim::NetId n, sim::Logic v) {
+    on_change(t, n, v);
+  });
+}
+
+void BundledChannelChecker::on_change(sim::SimTime t, sim::NetId n,
+                                      sim::Logic v) {
+  if (n == req_) {
+    // A 2-phase event is a binary-to-binary edge; the X/Z -> 0 transition
+    // during power-up/reset is initialisation, not a request.
+    const sim::Logic prev = req_prev_;
+    req_prev_ = v;
+    if (!sim::is_binary(v)) {
+      if (seen_req_) violations_.push_back({t, "request went non-binary"});
+      return;
+    }
+    if (!sim::is_binary(prev)) return;  // initialisation edge
+    if (in_flight_) {
+      violations_.push_back(
+          {t, "request edge while a request was already outstanding"});
+    }
+    if (t < last_data_t_ + setup_ps_) {
+      violations_.push_back({t, "data changed inside the setup window"});
+    }
+    in_flight_ = true;
+    seen_req_ = true;
+    last_req_t_ = t;
+    return;
+  }
+  if (n == ack_) {
+    const sim::Logic prev = ack_prev_;
+    ack_prev_ = v;
+    if (!sim::is_binary(v)) {
+      if (seen_req_) violations_.push_back({t, "acknowledge went non-binary"});
+      return;
+    }
+    if (!sim::is_binary(prev)) return;  // initialisation edge
+    if (!in_flight_) {
+      violations_.push_back({t, "acknowledge without outstanding request"});
+    } else {
+      ++tokens_;
+    }
+    in_flight_ = false;
+    return;
+  }
+  if (std::find(data_.begin(), data_.end(), n) != data_.end()) {
+    last_data_t_ = t;
+    if (in_flight_) {
+      violations_.push_back(
+          {t, "data changed while a request was outstanding (bundling)"});
+    }
+  }
+}
+
+}  // namespace pp::async

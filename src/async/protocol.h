@@ -1,0 +1,61 @@
+// Runtime handshake-protocol checking for bundled-data channels.
+//
+// Attach a BundledChannelChecker to a simulator and it verifies, on every
+// net change, the two invariants every 2-phase bundled-data channel must
+// keep (the correctness contract behind Fig. 11):
+//
+//   * alternation — request and acknowledge events strictly alternate:
+//     after a request edge the next channel event must be the matching
+//     acknowledge, and vice versa;
+//   * bundling — the data bus is stable from `setup_ps` before a request
+//     edge until the matching acknowledge edge (data may only change while
+//     the channel is idle).
+//
+// Violations are recorded, not thrown, so property tests can assert
+// `violations().empty()` and diagnostic tools can report them all.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/circuit.h"
+#include "sim/simulator.h"
+
+namespace pp::async {
+
+struct ProtocolViolation {
+  sim::SimTime t;
+  std::string what;
+};
+
+class BundledChannelChecker {
+ public:
+  /// Attaches to `sim`'s observer slot (composes with a previous observer
+  /// by chaining is NOT supported — one checker per simulator; use the
+  /// multi-channel constructor for several channels).
+  BundledChannelChecker(sim::Simulator& sim, sim::NetId req, sim::NetId ack,
+                        std::vector<sim::NetId> data,
+                        sim::SimTime setup_ps = 1);
+
+  [[nodiscard]] const std::vector<ProtocolViolation>& violations() const {
+    return violations_;
+  }
+  [[nodiscard]] int tokens_observed() const { return tokens_; }
+
+ private:
+  void on_change(sim::SimTime t, sim::NetId n, sim::Logic v);
+
+  sim::NetId req_, ack_;
+  std::vector<sim::NetId> data_;
+  sim::SimTime setup_ps_;
+  sim::Logic req_prev_ = sim::Logic::kZ;
+  sim::Logic ack_prev_ = sim::Logic::kZ;
+  bool in_flight_ = false;  ///< request outstanding, ack pending
+  bool seen_req_ = false;
+  sim::SimTime last_req_t_ = 0;
+  sim::SimTime last_data_t_ = 0;
+  int tokens_ = 0;
+  std::vector<ProtocolViolation> violations_;
+};
+
+}  // namespace pp::async

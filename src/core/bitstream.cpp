@@ -1,0 +1,112 @@
+#include "core/bitstream.h"
+
+#include <array>
+#include <stdexcept>
+
+namespace pp::core {
+namespace {
+
+constexpr char kMagic[4] = {'P', 'P', 'H', 'W'};
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int b = 0; b < 8; ++b)
+      crc = (crc >> 1) ^ (crc & 1 ? 0xEDB88320u : 0u);
+    table[i] = crc;
+  }
+  return table;
+}
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+std::uint16_t get_u16(std::span<const std::uint8_t> in, std::size_t at) {
+  return static_cast<std::uint16_t>(in[at] | (in[at + 1] << 8));
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> data) {
+  static const auto table = make_crc_table();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::uint8_t byte : data)
+    crc = (crc >> 8) ^ table[(crc ^ byte) & 0xFF];
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::vector<std::uint8_t> encode_block(const BlockConfig& cfg) {
+  const ConfigRam ram = ConfigRam::from_config(cfg);
+  std::vector<std::uint8_t> out(kBlockBytes, 0);
+  for (int i = 0; i < kConfigTrits; ++i) {
+    const std::uint8_t t = ram.trit(i);
+    out[i / 4] |= static_cast<std::uint8_t>(t << (2 * (i % 4)));
+  }
+  return out;
+}
+
+BlockConfig decode_block(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() != kBlockBytes)
+    throw std::invalid_argument("decode_block: need exactly 16 bytes");
+  ConfigRam ram;
+  for (int i = 0; i < kConfigTrits; ++i) {
+    const std::uint8_t t = (bytes[i / 4] >> (2 * (i % 4))) & 0x3;
+    if (t == 3)
+      throw std::invalid_argument("decode_block: reserved trit code 0b11");
+    ram.set_trit(i, t);
+  }
+  return ram.to_config();
+}
+
+std::vector<std::uint8_t> encode_fabric(const Fabric& fabric) {
+  std::vector<std::uint8_t> out;
+  out.reserve(8 + static_cast<std::size_t>(fabric.rows()) * fabric.cols() *
+                      kBlockBytes + 4);
+  for (char m : kMagic) out.push_back(static_cast<std::uint8_t>(m));
+  put_u16(out, static_cast<std::uint16_t>(fabric.rows()));
+  put_u16(out, static_cast<std::uint16_t>(fabric.cols()));
+  for (int r = 0; r < fabric.rows(); ++r) {
+    for (int c = 0; c < fabric.cols(); ++c) {
+      const auto blk = encode_block(fabric.block(r, c));
+      out.insert(out.end(), blk.begin(), blk.end());
+    }
+  }
+  const std::uint32_t crc = crc32(out);
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<std::uint8_t>((crc >> (8 * i)) & 0xFF));
+  return out;
+}
+
+void load_fabric(Fabric& fabric, std::span<const std::uint8_t> bytes) {
+  const std::size_t nblocks =
+      static_cast<std::size_t>(fabric.rows()) * fabric.cols();
+  const std::size_t expect = 8 + nblocks * kBlockBytes + 4;
+  if (bytes.size() != expect)
+    throw std::invalid_argument("load_fabric: truncated or oversized stream");
+  for (int i = 0; i < 4; ++i)
+    if (bytes[i] != static_cast<std::uint8_t>(kMagic[i]))
+      throw std::invalid_argument("load_fabric: bad magic");
+  const int rows = get_u16(bytes, 4);
+  const int cols = get_u16(bytes, 6);
+  if (rows != fabric.rows() || cols != fabric.cols())
+    throw std::invalid_argument("load_fabric: dimension mismatch");
+  const auto body = bytes.first(bytes.size() - 4);
+  std::uint32_t crc_stored = 0;
+  for (int i = 0; i < 4; ++i)
+    crc_stored |= static_cast<std::uint32_t>(bytes[bytes.size() - 4 + i])
+                  << (8 * i);
+  if (crc32(body) != crc_stored)
+    throw std::invalid_argument("load_fabric: CRC mismatch");
+  std::size_t at = 8;
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      fabric.block(r, c) = decode_block(bytes.subspan(at, kBlockBytes));
+      at += kBlockBytes;
+    }
+  }
+}
+
+}  // namespace pp::core

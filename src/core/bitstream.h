@@ -1,0 +1,44 @@
+// Serialised configuration bitstreams.
+//
+// Per block: the 64 config trits of ConfigRam packed 2 bits per trit =
+// 16 bytes = 128 bits, the paper's per-block figure.  Per fabric: a small
+// header (magic, dimensions) + blocks in row-major order + CRC32, which is
+// what "a link to a reconfiguration bit stream" (§4) needs in practice.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/config_ram.h"
+#include "core/fabric.h"
+
+namespace pp::core {
+
+inline constexpr int kBlockBytes = kConfigBits / 8;  // 16
+
+/// CRC-32 (IEEE 802.3, reflected) over a byte span.
+[[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> data);
+
+/// Pack one block into its 16-byte image (2 bits per trit, little-endian
+/// trit order within each byte).
+[[nodiscard]] std::vector<std::uint8_t> encode_block(const BlockConfig& cfg);
+
+/// Decode a 16-byte block image; throws std::invalid_argument on the
+/// reserved trit code 0b11 or any out-of-range field.
+[[nodiscard]] BlockConfig decode_block(std::span<const std::uint8_t> bytes);
+
+/// Full-fabric bitstream with header and CRC.
+[[nodiscard]] std::vector<std::uint8_t> encode_fabric(const Fabric& fabric);
+
+/// Parse and load a fabric bitstream; throws std::invalid_argument on bad
+/// magic, dimension mismatch with `fabric`, truncation, or CRC failure.
+void load_fabric(Fabric& fabric, std::span<const std::uint8_t> bytes);
+
+/// Bits of configuration a given fabric region carries (the TAB-A metric):
+/// simply 128 x number of blocks.
+[[nodiscard]] inline long long config_bits(int blocks) {
+  return static_cast<long long>(blocks) * kConfigBits;
+}
+
+}  // namespace pp::core

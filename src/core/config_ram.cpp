@@ -1,0 +1,112 @@
+#include "core/config_ram.h"
+
+#include <stdexcept>
+
+namespace pp::core {
+namespace {
+
+constexpr int kXpointBase = 0;
+constexpr int kDriverBase = 36;
+constexpr int kColSrcBase = 48;
+constexpr int kLfbBase = 54;  // 4 trits per lfb line
+
+std::uint8_t bias_to_trit(BiasLevel b) {
+  switch (b) {
+    case BiasLevel::kForce1: return 0;
+    case BiasLevel::kActive: return 1;
+    case BiasLevel::kForce0: return 2;
+  }
+  return 0;
+}
+
+BiasLevel trit_to_bias(std::uint8_t t) {
+  switch (t) {
+    case 0: return BiasLevel::kForce1;
+    case 1: return BiasLevel::kActive;
+    case 2: return BiasLevel::kForce0;
+    default: throw std::invalid_argument("ConfigRam: bad bias trit");
+  }
+}
+
+}  // namespace
+
+std::uint8_t ConfigRam::read(int row, int col) const {
+  if (row < 0 || row >= kRamRows || col < 0 || col >= kRamCols)
+    throw std::out_of_range("ConfigRam::read");
+  return cells_[row * kRamCols + col];
+}
+
+void ConfigRam::write(int row, int col, std::uint8_t t) {
+  if (row < 0 || row >= kRamRows || col < 0 || col >= kRamCols)
+    throw std::out_of_range("ConfigRam::write");
+  if (t > 2) throw std::invalid_argument("ConfigRam::write: trit must be 0..2");
+  cells_[row * kRamCols + col] = t;
+}
+
+std::uint8_t ConfigRam::trit(int i) const {
+  if (i < 0 || i >= kRamRows * kRamCols)
+    throw std::out_of_range("ConfigRam::trit");
+  return cells_[i];
+}
+
+void ConfigRam::set_trit(int i, std::uint8_t v) {
+  if (i < 0 || i >= kRamRows * kRamCols)
+    throw std::out_of_range("ConfigRam::set_trit");
+  if (v > 2) throw std::invalid_argument("ConfigRam::set_trit: trit 0..2");
+  cells_[i] = v;
+}
+
+ConfigRam ConfigRam::from_config(const BlockConfig& cfg) {
+  ConfigRam ram;
+  for (int r = 0; r < kBlockOutputs; ++r)
+    for (int c = 0; c < kBlockInputs; ++c)
+      ram.cells_[kXpointBase + r * kBlockInputs + c] =
+          bias_to_trit(cfg.xpoint[r][c]);
+  for (int i = 0; i < kBlockOutputs; ++i) {
+    const auto v = static_cast<std::uint8_t>(cfg.driver[i]);
+    ram.cells_[kDriverBase + 2 * i] = v % 3;
+    ram.cells_[kDriverBase + 2 * i + 1] = v / 3;
+  }
+  for (int c = 0; c < kBlockInputs; ++c)
+    ram.cells_[kColSrcBase + c] = static_cast<std::uint8_t>(cfg.col_src[c]);
+  for (int k = 0; k < kLfbLines; ++k) {
+    const auto which = static_cast<std::uint8_t>(cfg.lfb_src[k].which);
+    const std::uint8_t row = cfg.lfb_src[k].row;
+    const int base = kLfbBase + 4 * k;
+    ram.cells_[base + 0] = which % 3;
+    ram.cells_[base + 1] = which / 3;
+    ram.cells_[base + 2] = row % 3;
+    ram.cells_[base + 3] = row / 3;
+  }
+  return ram;
+}
+
+BlockConfig ConfigRam::to_config() const {
+  BlockConfig cfg;
+  for (int r = 0; r < kBlockOutputs; ++r)
+    for (int c = 0; c < kBlockInputs; ++c)
+      cfg.xpoint[r][c] = trit_to_bias(cells_[kXpointBase + r * kBlockInputs + c]);
+  for (int i = 0; i < kBlockOutputs; ++i) {
+    const int v = cells_[kDriverBase + 2 * i] + 3 * cells_[kDriverBase + 2 * i + 1];
+    if (v > 3) throw std::invalid_argument("ConfigRam: bad driver code");
+    cfg.driver[i] = static_cast<DriverCfg>(v);
+  }
+  for (int c = 0; c < kBlockInputs; ++c) {
+    const std::uint8_t v = cells_[kColSrcBase + c];
+    if (v > 2) throw std::invalid_argument("ConfigRam: bad column source");
+    cfg.col_src[c] = static_cast<ColSource>(v);
+  }
+  for (int k = 0; k < kLfbLines; ++k) {
+    const int base = kLfbBase + 4 * k;
+    const int which = cells_[base + 0] + 3 * cells_[base + 1];
+    const int row = cells_[base + 2] + 3 * cells_[base + 3];
+    if (which > 3) throw std::invalid_argument("ConfigRam: bad lfb which");
+    if (row >= kBlockOutputs)
+      throw std::invalid_argument("ConfigRam: bad lfb row");
+    cfg.lfb_src[k].which = static_cast<LfbWhich>(which);
+    cfg.lfb_src[k].row = static_cast<std::uint8_t>(row);
+  }
+  return cfg;
+}
+
+}  // namespace pp::core

@@ -1,0 +1,56 @@
+// The paper (§4): "From the outside, the reconfiguration array appears as a
+// simple (albeit multi-valued) 8x8 RAM block ... each block requires 128
+// bits reconfiguration data."
+//
+// ConfigRam is that view: 64 three-level cells (trits) addressed by word
+// line (row) and bit line (column), with a documented cell layout mapping
+// trits onto BlockConfig fields:
+//
+//   trits  0..35 : crosspoint biases, xpoint[row][col] row-major
+//                  (0 = Force1 / not instantiated, 1 = Active, 2 = Force0)
+//   trits 36..47 : output drivers, 2 trits per driver (base-3 value 0..3)
+//   trits 48..53 : column sources (0 = abutted line, 1 = lfb0, 2 = lfb1)
+//   trits 54..57 : lfb0 select {which lo, which hi, row lo, row hi}
+//   trits 58..61 : lfb1 select
+//   trits 62..63 : spare (always 0)
+//
+// 64 trits x 2 bits/trit = 128 bits — exactly the paper's figure, which
+// bench_tab_config_bits compares against the XC5200-class CLB accounting.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "core/block.h"
+
+namespace pp::core {
+
+inline constexpr int kRamRows = 8;
+inline constexpr int kRamCols = 8;
+
+class ConfigRam {
+ public:
+  ConfigRam() { cells_.fill(0); }
+
+  /// Build the RAM image of a block configuration.
+  static ConfigRam from_config(const BlockConfig& cfg);
+
+  /// Decode back to a BlockConfig; throws std::invalid_argument on values
+  /// outside the encodable range (e.g. driver code 4+, bad lfb row).
+  [[nodiscard]] BlockConfig to_config() const;
+
+  /// Word/bit-line cell access (trit value 0..2).
+  [[nodiscard]] std::uint8_t read(int row, int col) const;
+  void write(int row, int col, std::uint8_t trit);
+
+  /// Flat trit access, index 0..63.
+  [[nodiscard]] std::uint8_t trit(int i) const;
+  void set_trit(int i, std::uint8_t v);
+
+  bool operator==(const ConfigRam&) const = default;
+
+ private:
+  std::array<std::uint8_t, kRamRows * kRamCols> cells_;
+};
+
+}  // namespace pp::core

@@ -1,0 +1,244 @@
+#include "core/fabric.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace pp::core {
+
+Fabric::Fabric(int rows, int cols) : rows_(rows), cols_(cols) {
+  if (rows < 1 || cols < 1)
+    throw std::invalid_argument("Fabric: dimensions must be positive");
+  blocks_.assign(static_cast<std::size_t>(rows) * cols, BlockConfig{});
+}
+
+BlockConfig& Fabric::block(int r, int c) {
+  if (r < 0 || r >= rows_ || c < 0 || c >= cols_)
+    throw std::out_of_range("Fabric::block");
+  return blocks_[idx(r, c)];
+}
+
+const BlockConfig& Fabric::block(int r, int c) const {
+  if (r < 0 || r >= rows_ || c < 0 || c >= cols_)
+    throw std::out_of_range("Fabric::block");
+  return blocks_[idx(r, c)];
+}
+
+void Fabric::clear() {
+  for (auto& b : blocks_) b = BlockConfig{};
+}
+
+int Fabric::active_cells() const {
+  int total = 0;
+  for (const auto& b : blocks_) total += b.active_cells();
+  return total;
+}
+
+int Fabric::used_blocks() const {
+  int total = 0;
+  for (const auto& b : blocks_)
+    if (!b.is_empty()) ++total;
+  return total;
+}
+
+std::string Fabric::validate() const {
+  std::ostringstream err;
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols_; ++c) {
+      const BlockConfig& b = blocks_[idx(r, c)];
+      const std::string local = b.validate();
+      if (!local.empty())
+        err << "block(" << r << "," << c << "): " << local;
+      for (int k = 0; k < kLfbLines; ++k) {
+        if (b.lfb_src[k].which == LfbWhich::kEast && c == cols_ - 1)
+          err << "block(" << r << "," << c << "): lfb" << k
+              << " taps east neighbour at array edge\n";
+        if (b.lfb_src[k].which == LfbWhich::kSouth && r == rows_ - 1)
+          err << "block(" << r << "," << c << "): lfb" << k
+              << " taps south neighbour at array edge\n";
+      }
+    }
+  }
+  // Abutment contention: input line j of (r,c) must not be driven by both
+  // the west and north neighbours.
+  for (int r = 0; r <= rows_; ++r) {
+    for (int c = 0; c <= cols_; ++c) {
+      for (int j = 0; j < kBlockInputs; ++j) {
+        int drivers = 0;
+        if (c > 0 && r < rows_ &&
+            blocks_[idx(r, c - 1)].driver[j] != DriverCfg::kOff)
+          ++drivers;
+        if (r > 0 && c < cols_ &&
+            blocks_[idx(r - 1, c)].driver[j] != DriverCfg::kOff)
+          ++drivers;
+        if (drivers > 1)
+          err << "input line (" << r << "," << c << "," << j
+              << "): driven by both west and north neighbours\n";
+      }
+    }
+  }
+  return err.str();
+}
+
+sim::NetId ElaboratedFabric::in_line(int r, int c, int j) const {
+  if (r < 0 || r > rows_ || c < 0 || c > cols_ || j < 0 || j >= kBlockInputs)
+    throw std::out_of_range("ElaboratedFabric::in_line");
+  return in_lines_[(static_cast<std::size_t>(r) * (cols_ + 1) + c) *
+                       kBlockInputs +
+                   j];
+}
+
+sim::NetId ElaboratedFabric::row_net(int r, int c, int i) const {
+  if (r < 0 || r >= rows_ || c < 0 || c >= cols_ || i < 0 ||
+      i >= kBlockOutputs)
+    throw std::out_of_range("ElaboratedFabric::row_net");
+  return row_nets_[(static_cast<std::size_t>(r) * cols_ + c) * kBlockOutputs +
+                   i];
+}
+
+sim::NetId ElaboratedFabric::lfb_net(int r, int c, int k) const {
+  if (r < 0 || r >= rows_ || c < 0 || c >= cols_ || k < 0 || k >= kLfbLines)
+    throw std::out_of_range("ElaboratedFabric::lfb_net");
+  return lfb_nets_[(static_cast<std::size_t>(r) * cols_ + c) * kLfbLines + k];
+}
+
+ElaboratedFabric Fabric::elaborate(const FabricDelays& d) const {
+  const std::string diag = validate();
+  if (!diag.empty())
+    throw std::invalid_argument("Fabric::elaborate: invalid config:\n" + diag);
+
+  ElaboratedFabric ef;
+  ef.rows_ = rows_;
+  ef.cols_ = cols_;
+  sim::Circuit& ckt = ef.circuit_;
+
+  auto name = [](const char* kind, int r, int c, int i) {
+    std::ostringstream os;
+    os << kind << "_" << r << "_" << c << "_" << i;
+    return os.str();
+  };
+
+  // 1. Create all input-line nets, including the south/east boundary rows.
+  ef.in_lines_.assign(
+      static_cast<std::size_t>(rows_ + 1) * (cols_ + 1) * kBlockInputs,
+      sim::kNoNet);
+  for (int r = 0; r <= rows_; ++r) {
+    for (int c = 0; c <= cols_; ++c) {
+      if (r == rows_ && c == cols_) continue;  // no block abuts the corner
+      for (int j = 0; j < kBlockInputs; ++j) {
+        const auto net = ckt.add_net(name("il", r, c, j));
+        ef.in_lines_[(static_cast<std::size_t>(r) * (cols_ + 1) + c) *
+                         kBlockInputs +
+                     j] = net;
+        // West/north boundary lines expose external (3-state) input pads —
+        // the paper's IO happens at the array edge only.  A boundary line
+        // may also be driven by its one existing neighbour; driving both
+        // shows up as contention in simulation.
+        const bool west_boundary = c == 0 && r < rows_;
+        const bool north_boundary = r == 0 && c < cols_;
+        if (west_boundary || north_boundary) {
+          ckt.mark_input(net);
+          ef.primary_inputs_.push_back(net);
+        }
+      }
+    }
+  }
+
+  // 2. Row nets and lfb nets per block.
+  ef.row_nets_.assign(static_cast<std::size_t>(rows_) * cols_ * kBlockOutputs,
+                      sim::kNoNet);
+  ef.lfb_nets_.assign(static_cast<std::size_t>(rows_) * cols_ * kLfbLines,
+                      sim::kNoNet);
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols_; ++c) {
+      const BlockConfig& cfg = blocks_[idx(r, c)];
+      for (int i = 0; i < kBlockOutputs; ++i) {
+        ef.row_nets_[(static_cast<std::size_t>(r) * cols_ + c) *
+                         kBlockOutputs +
+                     i] = ckt.add_net(name("row", r, c, i));
+      }
+      for (int k = 0; k < kLfbLines; ++k) {
+        if (cfg.lfb_src[k].which != LfbWhich::kOff) {
+          ef.lfb_nets_[(static_cast<std::size_t>(r) * cols_ + c) * kLfbLines +
+                       k] = ckt.add_net(name("lfb", r, c, k));
+        }
+      }
+    }
+  }
+
+  // A shared constant-1 net enables all configured-on 3-state drivers.
+  const sim::NetId one = ckt.add_net("const1");
+  ckt.add_gate(sim::GateKind::kConst1, {}, one, 1);
+
+  // 3. Per-block gates.
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols_; ++c) {
+      const BlockConfig& cfg = blocks_[idx(r, c)];
+
+      // Column source nets for this block.
+      std::array<sim::NetId, kBlockInputs> col_net{};
+      for (int j = 0; j < kBlockInputs; ++j) {
+        switch (cfg.col_src[j]) {
+          case ColSource::kAbut: col_net[j] = ef.in_line(r, c, j); break;
+          case ColSource::kLfb0: col_net[j] = ef.lfb_net(r, c, 0); break;
+          case ColSource::kLfb1: col_net[j] = ef.lfb_net(r, c, 1); break;
+        }
+        if (col_net[j] == sim::kNoNet)
+          throw std::logic_error("elaborate: column reads unsourced lfb");
+      }
+
+      // NAND rows.
+      for (int i = 0; i < kBlockOutputs; ++i) {
+        const sim::NetId out = ef.row_net(r, c, i);
+        bool disabled = false;
+        std::vector<sim::NetId> ins;
+        for (int j = 0; j < kBlockInputs; ++j) {
+          if (cfg.xpoint[i][j] == BiasLevel::kForce0) disabled = true;
+          if (cfg.xpoint[i][j] == BiasLevel::kActive)
+            ins.push_back(col_net[j]);
+        }
+        if (disabled || ins.empty()) {
+          ckt.add_gate(sim::GateKind::kConst1, {}, out, d.nand_ps);
+        } else {
+          ckt.add_gate(sim::GateKind::kNand, std::move(ins), out, d.nand_ps);
+        }
+      }
+
+      // Output drivers: one physical driver = up to two elaborated 3-state
+      // gates (east abutment + south abutment) sharing the configuration.
+      for (int i = 0; i < kBlockOutputs; ++i) {
+        const DriverCfg dc = cfg.driver[i];
+        if (dc == DriverCfg::kOff) continue;
+        const sim::GateKind kind = dc == DriverCfg::kInvert
+                                       ? sim::GateKind::kTriInv
+                                       : sim::GateKind::kTriBuf;
+        const sim::SimTime delay =
+            dc == DriverCfg::kPass ? d.pass_ps : d.driver_ps;
+        const sim::NetId src = ef.row_net(r, c, i);
+        // East abutment: input line i of (r, c+1).
+        ckt.add_gate(kind, {src, one}, ef.in_line(r, c + 1, i), delay);
+        // South abutment: input line i of (r+1, c).
+        ckt.add_gate(kind, {src, one}, ef.in_line(r + 1, c, i), delay);
+      }
+
+      // lfb taps: own row, or a row of the east/south pair partner.
+      for (int k = 0; k < kLfbLines; ++k) {
+        const LfbSel& sel = cfg.lfb_src[k];
+        if (sel.which == LfbWhich::kOff) continue;
+        int sr = r, sc = c;
+        if (sel.which == LfbWhich::kEast) ++sc;
+        if (sel.which == LfbWhich::kSouth) ++sr;
+        ckt.add_gate(sim::GateKind::kTriBuf,
+                     {ef.row_net(sr, sc, sel.row), one},
+                     ef.lfb_net(r, c, k), d.lfb_ps);
+      }
+    }
+  }
+
+  const std::string cdiag = ckt.validate();
+  if (!cdiag.empty())
+    throw std::logic_error("Fabric::elaborate produced invalid circuit:\n" +
+                           cdiag);
+  return ef;
+}
+
+}  // namespace pp::core

@@ -1,0 +1,119 @@
+#include "core/timing.h"
+
+#include <algorithm>
+
+namespace pp::core {
+
+using sim::Circuit;
+using sim::Gate;
+using sim::GateId;
+using sim::GateKind;
+using sim::NetId;
+using sim::SimTime;
+
+namespace {
+
+bool is_state_gate(GateKind k) {
+  return k == GateKind::kDff || k == GateKind::kLatch ||
+         k == GateKind::kCElement;
+}
+
+bool is_source_gate(GateKind k) {
+  return k == GateKind::kConst0 || k == GateKind::kConst1;
+}
+
+}  // namespace
+
+TimingReport analyze_timing(const Circuit& ckt) {
+  const auto nnets = static_cast<std::uint32_t>(ckt.net_count());
+  const auto ngates = static_cast<std::uint32_t>(ckt.gate_count());
+
+  TimingReport rep;
+  rep.arrival.assign(nnets, 0);
+  rep.in_loop.assign(nnets, false);
+
+  // Combinational dependency edges: gate output depends on gate inputs,
+  // except for state/constant gates whose outputs are timing start points.
+  // Build per-net fan-in gate list for combinational gates only.
+  std::vector<std::vector<GateId>> driver_of(nnets);
+  for (GateId g = 0; g < ngates; ++g) {
+    const Gate& gate = ckt.gate(g);
+    if (is_state_gate(gate.kind) || is_source_gate(gate.kind)) continue;
+    driver_of[gate.output].push_back(g);
+  }
+
+  // Iterative longest-path relaxation with a combinational-loop guard: a
+  // DAG settles within #nets iterations; nets still changing afterwards are
+  // on cycles.
+  bool changed = true;
+  std::uint32_t iter = 0;
+  std::vector<SimTime> next = rep.arrival;
+  while (changed && iter <= nnets + 1) {
+    changed = false;
+    for (NetId n = 0; n < nnets; ++n) {
+      SimTime best = 0;
+      for (GateId g : driver_of[n]) {
+        const Gate& gate = ckt.gate(g);
+        SimTime in_arrival = 0;
+        for (NetId in : gate.inputs)
+          in_arrival = std::max(in_arrival, rep.arrival[in]);
+        best = std::max(best, in_arrival + gate.delay_ps);
+      }
+      next[n] = best;
+      if (best != rep.arrival[n]) changed = true;
+    }
+    rep.arrival.swap(next);
+    ++iter;
+  }
+
+  if (changed) {
+    // Cycles present: one more bounded sweep marks every net whose arrival
+    // is still growing as a loop member, then freeze them at 0.
+    for (NetId n = 0; n < nnets; ++n) {
+      SimTime best = 0;
+      for (GateId g : driver_of[n]) {
+        const Gate& gate = ckt.gate(g);
+        SimTime in_arrival = 0;
+        for (NetId in : gate.inputs)
+          in_arrival = std::max(in_arrival, rep.arrival[in]);
+        best = std::max(best, in_arrival + gate.delay_ps);
+      }
+      if (best != rep.arrival[n]) rep.in_loop[n] = true;
+    }
+    // Propagate loop membership forward so everything downstream of a loop
+    // is flagged too (its arrival bound is unreliable).
+    bool grow = true;
+    std::uint32_t guard = 0;
+    while (grow && guard++ <= nnets) {
+      grow = false;
+      for (NetId n = 0; n < nnets; ++n) {
+        if (rep.in_loop[n]) continue;
+        for (GateId g : driver_of[n]) {
+          for (NetId in : ckt.gate(g).inputs) {
+            if (rep.in_loop[in]) {
+              rep.in_loop[n] = true;
+              grow = true;
+              break;
+            }
+          }
+          if (rep.in_loop[n]) break;
+        }
+      }
+    }
+    for (NetId n = 0; n < nnets; ++n)
+      if (rep.in_loop[n]) {
+        rep.arrival[n] = 0;
+        ++rep.loop_nets;
+      }
+  }
+
+  for (NetId n = 0; n < nnets; ++n) {
+    if (rep.arrival[n] > rep.critical_path_ps) {
+      rep.critical_path_ps = rep.arrival[n];
+      rep.critical_net = n;
+    }
+  }
+  return rep;
+}
+
+}  // namespace pp::core

@@ -1,0 +1,38 @@
+// Static timing analysis over elaborated circuits.
+//
+// Computes longest combinational arrival times from timing start points
+// (primary inputs, state-element outputs, constants) to every net, treating
+// state-holding gates (DFF/latch/C-element) as path endpoints.  Nets caught
+// in purely combinational feedback loops (the fabric's cross-coupled NAND
+// latches before they are recognised as state) are reported as loop members
+// and excluded from arrival propagation.
+//
+// This gives the paper-facing numbers (Fig. 9 clock-to-Q scale, Fig. 10
+// ripple depth) without simulation, and lets tests assert that simulated
+// settling times never exceed the static bound.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/circuit.h"
+
+namespace pp::core {
+
+struct TimingReport {
+  /// Longest arrival time per net (ps); 0 for start points and loop nets.
+  std::vector<sim::SimTime> arrival;
+  /// True for nets involved in a combinational cycle.
+  std::vector<bool> in_loop;
+  /// Longest arrival over all nets (the combinational critical path).
+  sim::SimTime critical_path_ps = 0;
+  /// Net achieving the critical path (kNoNet if the circuit is empty).
+  sim::NetId critical_net = sim::kNoNet;
+  /// Number of nets on combinational loops.
+  int loop_nets = 0;
+};
+
+/// Analyse a circuit.  Runs in O(nets + gate pins).
+[[nodiscard]] TimingReport analyze_timing(const sim::Circuit& circuit);
+
+}  // namespace pp::core

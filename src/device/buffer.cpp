@@ -1,0 +1,7 @@
+// buffer.h is constexpr-only; this translation unit exists to give the
+// header a home in the library and to anchor its vtable-free symbols.
+#include "device/buffer.h"
+
+namespace pp::device {
+// Intentionally empty.
+}  // namespace pp::device

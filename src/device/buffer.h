@@ -1,0 +1,61 @@
+// The configurable inverting / non-inverting / 3-state buffer of Fig. 5.
+// The same four transistors of the 2-NAND are reorganised into a driver whose
+// back-gate pair (VG1, VG2) selects among:
+//
+//   (VG1, VG2) = (-2,  0)  ->  Out = /In    (inverting driver)
+//   (VG1, VG2) = (+2, -2)  ->  Out =  In    (non-inverting driver)
+//   (VG1, VG2) = ( 0, -2)  ->  Out =  Z     (open circuit / decoupled)
+//
+// In the fabric (Fig. 7/8) one of these terminates every NAND-array output
+// line.  Its three roles are exactly the paper's: decouple adjacent cells /
+// set logic direction (Z), create complex logic + data feed-through
+// (inverting or buffering), and pass-transistor connection to the neighbour.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+namespace pp::device {
+
+enum class BufferMode : std::uint8_t {
+  kInverting,     ///< drives /In
+  kNonInverting,  ///< drives In (two-stage, restores levels)
+  kOpenCircuit,   ///< output floats (high impedance)
+  kPassGate,      ///< unbuffered ohmic connection (degrades levels; counted
+                  ///< separately in the delay model but logically = In)
+};
+
+/// The back-gate voltage pair that programs a mode (paper Fig. 5 table).
+struct BufferBias {
+  double vg1;
+  double vg2;
+};
+
+[[nodiscard]] constexpr BufferBias buffer_bias(BufferMode m) noexcept {
+  switch (m) {
+    case BufferMode::kInverting: return {-2.0, 0.0};
+    case BufferMode::kNonInverting: return {+2.0, -2.0};
+    case BufferMode::kOpenCircuit: return {0.0, -2.0};
+    case BufferMode::kPassGate: return {+2.0, +2.0};
+  }
+  return {0.0, -2.0};
+}
+
+/// Digital behaviour: nullopt represents high impedance (Z).
+[[nodiscard]] constexpr std::optional<bool> buffer_out(BufferMode m,
+                                                       bool in) noexcept {
+  switch (m) {
+    case BufferMode::kInverting: return !in;
+    case BufferMode::kNonInverting: return in;
+    case BufferMode::kOpenCircuit: return std::nullopt;
+    case BufferMode::kPassGate: return in;
+  }
+  return std::nullopt;
+}
+
+/// Whether the mode actively drives (restores) logic levels.
+[[nodiscard]] constexpr bool buffer_drives(BufferMode m) noexcept {
+  return m == BufferMode::kInverting || m == BufferMode::kNonInverting;
+}
+
+}  // namespace pp::device

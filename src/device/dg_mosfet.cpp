@@ -1,0 +1,56 @@
+#include "device/dg_mosfet.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pp::device {
+namespace {
+
+/// Shared NMOS-shaped current expression; PMOS maps onto it by symmetry.
+double channel_current(const MosParams& p, double vgs, double vds,
+                       double vth) noexcept {
+  vds = std::max(vds, 0.0);
+  const double vov = vgs - vth;
+  // Drain-source dependence shared by both regions; guarantees Id == 0 at
+  // vds == 0 so DC solves always bracket a root.
+  const double ds_onset = 1.0 - std::exp(-vds / p.v_t);
+  if (vov <= 0.0) {
+    // Subthreshold: exponential in the gate overdrive.
+    return p.i_off * std::exp(vov / (p.n_sub * p.v_t)) * ds_onset;
+  }
+  const double idsat = p.k * std::pow(vov, p.alpha);
+  const double vdsat = vov;  // simple alpha-power saturation voltage
+  double id;
+  if (vds >= vdsat) {
+    id = idsat;
+  } else {
+    const double x = vds / vdsat;
+    id = idsat * x * (2.0 - x);  // quadratic triode blend, C1 at vds = vdsat
+  }
+  id *= 1.0 + p.lambda_ch * vds;
+  // Keep the subthreshold floor so the current is strictly positive for
+  // vds > 0 — the bisection solvers rely on a sign change at the rails.
+  return id + p.i_off * ds_onset;
+}
+
+}  // namespace
+
+double nmos_vth(const MosParams& p, double vbg) noexcept {
+  return p.vth0 - p.gamma * vbg;
+}
+
+double pmos_vth(const MosParams& p, double vbg) noexcept {
+  return p.vth0 + p.gamma * vbg;
+}
+
+double nmos_id(const MosParams& p, double vgs, double vds,
+               double vbg) noexcept {
+  return channel_current(p, vgs, vds, nmos_vth(p, vbg));
+}
+
+double pmos_id(const MosParams& p, double vsg, double vsd,
+               double vbg) noexcept {
+  return channel_current(p, vsg, vsd, pmos_vth(p, vbg));
+}
+
+}  // namespace pp::device

@@ -1,0 +1,61 @@
+// Behavioural compact model of the thin-body fully-depleted double-gate
+// (FD DG) MOSFET of Fig. 2 of the paper (10 nm gate, 1.5 nm silicon film,
+// after Ren et al. [30]).
+//
+// The device has two gates: the *front* gate carries the logic signal, the
+// *back* gate carries a quasi-static configuration bias (driven by the RTD
+// RAM, Fig. 6).  The key behaviour exploited by the paper is that the back
+// gate shifts the effective threshold voltage:
+//
+//    Vth_eff(n) = Vth0 - gamma * Vbg        (NMOS: positive bias strengthens)
+//    Vth_eff(p) = Vth0 + gamma * Vbg        (PMOS: positive bias weakens)
+//
+// so a sufficiently positive shared back bias forces the N device on and the
+// P device off (and vice versa), turning a complementary pair into a
+// programmable constant / pass element / active gate — the "polymorphism".
+//
+// The drain current uses an alpha-power-law strong-inversion model with an
+// exponential subthreshold tail.  This is not a TCAD model; it is chosen so
+// that (a) currents are continuous and strictly monotone in the terminal
+// voltages (which the DC solvers rely on), and (b) the Fig. 3 family of
+// transfer curves is reproduced qualitatively (switching point monotone in
+// V_G2, rails reached beyond |V_G2| >= ~1.5 V).
+#pragma once
+
+namespace pp::device {
+
+/// Electrical parameters shared by the N and P devices of a leaf cell.
+/// Defaults are calibrated so that, with Vdd = 1.0 V, the configurable
+/// inverter reproduces the Fig. 3 curve family (see DESIGN.md §5).
+struct MosParams {
+  double vth0 = 0.30;      ///< zero-back-bias threshold magnitude (V)
+  double gamma = 0.60;     ///< back-gate coupling dVth/dVbg (dimensionless)
+  double k = 1.0e-4;       ///< transconductance coefficient (A / V^alpha)
+  double alpha = 1.30;     ///< velocity-saturation exponent (1=velocity-sat, 2=square law)
+  double n_sub = 1.5;      ///< subthreshold ideality factor
+  double i_off = 1.0e-12;  ///< subthreshold current scale at Vgs = Vth (A)
+  double lambda_ch = 0.05; ///< channel-length modulation (1/V)
+  double v_t = 0.0259;     ///< thermal voltage kT/q at 300 K (V)
+};
+
+/// NMOS drain current (A), source grounded convention.
+/// @param vgs front-gate to source voltage
+/// @param vds drain to source voltage (>= 0; negative values are clamped to 0)
+/// @param vbg back-gate configuration bias
+[[nodiscard]] double nmos_id(const MosParams& p, double vgs, double vds,
+                             double vbg) noexcept;
+
+/// PMOS source-to-drain current magnitude (A).  Mirrors nmos_id with the
+/// back-gate sense inverted: positive vbg *weakens* the P device.
+/// @param vsg source to front-gate voltage
+/// @param vsd source to drain voltage (>= 0)
+/// @param vbg back-gate configuration bias (shared with the N device)
+[[nodiscard]] double pmos_id(const MosParams& p, double vsg, double vsd,
+                             double vbg) noexcept;
+
+/// Effective NMOS threshold under back bias.
+[[nodiscard]] double nmos_vth(const MosParams& p, double vbg) noexcept;
+/// Effective PMOS threshold (as a positive magnitude) under back bias.
+[[nodiscard]] double pmos_vth(const MosParams& p, double vbg) noexcept;
+
+}  // namespace pp::device

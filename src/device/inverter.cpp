@@ -1,0 +1,54 @@
+#include "device/inverter.h"
+
+#include <algorithm>
+
+#include "util/numeric.h"
+
+namespace pp::device {
+
+double ConfigurableInverter::vout(double vin, double vg2) const {
+  // Net current into the output node as a function of the output voltage:
+  //   f(v) = I_pullup(v) - I_pulldown(v)
+  // I_pullup decreases with v (PMOS Vsd shrinks), I_pulldown increases
+  // (NMOS Vds grows), so f is strictly decreasing; f(0) > 0 and f(vdd) < 0
+  // thanks to the subthreshold floor in the device model.
+  auto f = [&](double v) {
+    const double i_up = pmos_id(p_, vdd_ - vin, vdd_ - v, vg2);
+    const double i_dn = nmos_id(p_, vin, v, vg2);
+    return i_up - i_dn;
+  };
+  // Guard: if the bracketing fails at a rail (numerically exact zero), the
+  // output *is* that rail.
+  if (f(0.0) <= 0.0) return 0.0;
+  if (f(vdd_) >= 0.0) return vdd_;
+  return util::bisect(f, 0.0, vdd_);
+}
+
+std::vector<double> ConfigurableInverter::vtc(const std::vector<double>& vins,
+                                              double vg2) const {
+  std::vector<double> out;
+  out.reserve(vins.size());
+  for (double vin : vins) out.push_back(vout(vin, vg2));
+  return out;
+}
+
+double ConfigurableInverter::switching_point(double vg2) const {
+  const double mid = 0.5 * vdd_;
+  auto g = [&](double vin) { return vout(vin, vg2) - mid; };
+  const double sweep_max = 1.2 * vdd_;
+  if (g(0.0) < 0.0) return 0.0;        // already low at vin=0: stuck low
+  if (g(sweep_max) > 0.0) return sweep_max;  // still high: stuck high
+  return util::bisect(g, 0.0, sweep_max);
+}
+
+InverterRegime ConfigurableInverter::regime(double vg2, double vin_max) const {
+  const double hi_thresh = 0.9 * vdd_;
+  const double lo_thresh = 0.1 * vdd_;
+  const double at_lo = vout(0.0, vg2);
+  const double at_hi = vout(vin_max, vg2);
+  if (at_lo < lo_thresh && at_hi < lo_thresh) return InverterRegime::kStuckLow;
+  if (at_lo > hi_thresh && at_hi > hi_thresh) return InverterRegime::kStuckHigh;
+  return InverterRegime::kInverting;
+}
+
+}  // namespace pp::device

@@ -1,0 +1,50 @@
+// The configurable inverter of Fig. 3: a complementary FD DG pair whose
+// shared back gate V_G2 moves the switching threshold across the full logic
+// range, saturating into "always high" / "always low" behaviour at the
+// extremes.  This one circuit is the paper's core polymorphism demonstration.
+#pragma once
+
+#include <vector>
+
+#include "device/dg_mosfet.h"
+
+namespace pp::device {
+
+/// Operating regime of the configurable inverter for a given back bias.
+enum class InverterRegime {
+  kStuckHigh,   ///< V_G2 <= ~-1.5 V: output high for the whole input range
+  kInverting,   ///< intermediate bias: normal inverter, shifted threshold
+  kStuckLow,    ///< V_G2 >= ~+1.5 V: output low for the whole input range
+};
+
+class ConfigurableInverter {
+ public:
+  explicit ConfigurableInverter(MosParams params = {}, double vdd = 1.0)
+      : p_(params), vdd_(vdd) {}
+
+  /// DC output voltage for input `vin` under back bias `vg2`, found by
+  /// bisection of the pull-up/pull-down current balance (unique root because
+  /// both currents are strictly monotone in Vout).
+  [[nodiscard]] double vout(double vin, double vg2) const;
+
+  /// Full transfer curve: vout at each `vin` sample.
+  [[nodiscard]] std::vector<double> vtc(const std::vector<double>& vins,
+                                        double vg2) const;
+
+  /// Input voltage where the output crosses Vdd/2, or the nearest rail if the
+  /// output never crosses (stuck configurations).  The Fig. 3 claim is that
+  /// this point moves monotonically with vg2 over the full logic range.
+  [[nodiscard]] double switching_point(double vg2) const;
+
+  /// Classify the regime over an input sweep [0, vin_max].
+  [[nodiscard]] InverterRegime regime(double vg2, double vin_max = 1.2) const;
+
+  [[nodiscard]] double vdd() const noexcept { return vdd_; }
+  [[nodiscard]] const MosParams& params() const noexcept { return p_; }
+
+ private:
+  MosParams p_;
+  double vdd_;
+};
+
+}  // namespace pp::device

@@ -1,0 +1,51 @@
+#include "device/leaf_cell.h"
+
+namespace pp::device {
+
+LeafCell::LeafCell(RtdRamParams ram_params, MosParams mos_params)
+    : ram_(std::move(ram_params)), nand_(mos_params) {}
+
+std::size_t LeafCell::level_for(BiasLevel b) noexcept {
+  // Level 0 (lowest node voltage) -> -2 V -> Force0; level 2 -> +2 V ->
+  // Force1; the middle level leaves the pair live.
+  switch (b) {
+    case BiasLevel::kForce0: return 0;
+    case BiasLevel::kActive: return 1;
+    case BiasLevel::kForce1: return 2;
+  }
+  return 1;
+}
+
+BiasLevel LeafCell::bias_for(std::size_t level) noexcept {
+  switch (level) {
+    case 0: return BiasLevel::kForce0;
+    case 2: return BiasLevel::kForce1;
+    default: return BiasLevel::kActive;
+  }
+}
+
+double LeafCell::program(BiasLevel level) {
+  return ram_.write(level_for(level));
+}
+
+BiasLevel LeafCell::configured() const { return bias_for(ram_.read()); }
+
+double LeafCell::back_gate_voltage() const {
+  return ram_.bias_voltage_for(ram_.read());
+}
+
+double LeafCell::nand_row_vout(double va, double vb,
+                               const LeafCell& other) const {
+  return nand_.vout(va, vb, back_gate_voltage(), other.back_gate_voltage());
+}
+
+bool LeafCell::effective_input(bool live) const {
+  switch (configured()) {
+    case BiasLevel::kForce0: return false;
+    case BiasLevel::kForce1: return true;
+    case BiasLevel::kActive: return live;
+  }
+  return live;
+}
+
+}  // namespace pp::device

@@ -1,0 +1,60 @@
+// The complete polymorphic leaf cell of Fig. 6: a complementary FD DG pair
+// whose shared back gate is held by a three-level RTD tunnelling RAM in the
+// vertical stack.  This class closes the device-level programming loop:
+//
+//   program(BiasLevel)  -> write the matching RAM level (Fig. 6 dynamics)
+//   back_gate_voltage() -> the analog bias the stack presents (-2/0/+2 V)
+//   configured()        -> the logic role the digital fabric model assumes
+//   contribution(...)   -> the cell's analog behaviour inside a NAND row,
+//                          checked against the Fig. 4 digital semantics
+//
+// pp::core's BlockConfig stores BiasLevel per crosspoint; LeafCell is the
+// physical realisation of one such trit, and the integration tests drive
+// whole block images through it (ConfigRam -> LeafCell -> ConfigRam).
+#pragma once
+
+#include "device/dg_mosfet.h"
+#include "device/nand2.h"
+#include "device/rtd_ram.h"
+
+namespace pp::device {
+
+class LeafCell {
+ public:
+  explicit LeafCell(RtdRamParams ram_params = {}, MosParams mos_params = {});
+
+  /// Program the cell's role by writing the corresponding RAM level.
+  /// Returns the settled storage-node voltage.
+  double program(BiasLevel level);
+
+  /// The role currently stored (read back through the RAM).
+  [[nodiscard]] BiasLevel configured() const;
+
+  /// Analog back-gate bias presented to the pair by the vertical stack.
+  [[nodiscard]] double back_gate_voltage() const;
+
+  /// Static current drawn by this cell's configuration plane (A).
+  [[nodiscard]] double standby_current() const { return ram_.standby_current(); }
+
+  /// DC output of a 2-input NAND row where THIS cell gates input A and a
+  /// second cell (bias `other`) gates input B — the Fig. 4 circuit driven
+  /// from the real programmed bias instead of an ideal rail.
+  [[nodiscard]] double nand_row_vout(double va, double vb,
+                                     const LeafCell& other) const;
+
+  /// Effective digital input seen by the NAND term for a live input value,
+  /// per the Fig. 4 semantics of the *programmed* role.
+  [[nodiscard]] bool effective_input(bool live) const;
+
+  [[nodiscard]] const RtdRam& ram() const noexcept { return ram_; }
+
+ private:
+  /// Map a role onto the RAM level index (ascending voltage order).
+  [[nodiscard]] static std::size_t level_for(BiasLevel b) noexcept;
+  [[nodiscard]] static BiasLevel bias_for(std::size_t level) noexcept;
+
+  RtdRam ram_;
+  ConfigurableNand2 nand_;
+};
+
+}  // namespace pp::device

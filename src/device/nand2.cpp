@@ -1,0 +1,53 @@
+#include "device/nand2.h"
+
+#include <algorithm>
+
+#include "util/numeric.h"
+
+namespace pp::device {
+
+double ConfigurableNand2::pulldown_current(double va, double vb, double bga,
+                                           double bgb, double vout) const {
+  if (vout <= 0.0) return 0.0;
+  // Series stack: transistor B at the bottom (source grounded), transistor A
+  // on top (drain at the output).  Find the midpoint voltage vm where the two
+  // device currents agree.  I_bot rises with vm, I_top falls, so the
+  // difference is monotone and brackets a root on [0, vout].
+  auto diff = [&](double vm) {
+    const double i_bot = nmos_id(p_, vb, vm, bgb);
+    const double i_top = nmos_id(p_, va - vm, vout - vm, bga);
+    return i_bot - i_top;
+  };
+  if (diff(0.0) >= 0.0) return nmos_id(p_, vb, 0.0, bgb);  // bottom off
+  if (diff(vout) <= 0.0) return nmos_id(p_, vb, vout, bgb);
+  const double vm = util::bisect(diff, 0.0, vout);
+  return nmos_id(p_, vb, vm, bgb);
+}
+
+double ConfigurableNand2::vout(double va, double vb, double bga,
+                               double bgb) const {
+  // Pull-up: the two PMOS devices in parallel between Vdd and the output.
+  auto pullup = [&](double v) {
+    return pmos_id(p_, vdd_ - va, vdd_ - v, bga) +
+           pmos_id(p_, vdd_ - vb, vdd_ - v, bgb);
+  };
+  auto f = [&](double v) { return pullup(v) - pulldown_current(va, vb, bga, bgb, v); };
+  if (f(0.0) <= 0.0) return 0.0;
+  if (f(vdd_) >= 0.0) return vdd_;
+  return util::bisect(f, 0.0, vdd_);
+}
+
+bool ConfigurableNand2::digital_out(bool a, bool b, BiasLevel bga,
+                                    BiasLevel bgb) noexcept {
+  auto effective = [](bool live, BiasLevel bias) {
+    switch (bias) {
+      case BiasLevel::kForce0: return false;
+      case BiasLevel::kForce1: return true;
+      case BiasLevel::kActive: return live;
+    }
+    return live;
+  };
+  return !(effective(a, bga) && effective(b, bgb));
+}
+
+}  // namespace pp::device

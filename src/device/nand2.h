@@ -1,0 +1,65 @@
+// The configurable 2-NAND of Fig. 4: two complementary FD DG pairs sharing an
+// output, each pair biased by its own back-gate voltage (V_G1, V_G2 in the
+// paper's table; "VA"/"VB" here to avoid clashing with the inverter's V_G2).
+//
+// Back-bias semantics (the paper's enhanced function table):
+//   bias = +2 V  -> that input behaves as constant 1 (N on / P off)
+//   bias =  0 V  -> that input is live
+//   bias = -2 V  -> that input behaves as constant 0 (N off / P on), which
+//                   forces the NAND output to 1 regardless of the other input
+//
+//   (VA, VB) = ( 0, +2)  ->  Out = /A        ("A-bar" row)
+//   (VA, VB) = (+2,  0)  ->  Out = /B
+//   (VA, VB) = ( 0,  0)  ->  Out = /(A.B)    (plain NAND)
+//   (VA, VB) = (-2, -2)  ->  Out = 1
+//   (VA, VB) = (+2, +2)  ->  Out = 0
+#pragma once
+
+#include <cstdint>
+
+#include "device/dg_mosfet.h"
+
+namespace pp::device {
+
+/// Quantised back-gate configuration level, matching the three stable levels
+/// of the RTD configuration RAM (Fig. 6).
+enum class BiasLevel : std::int8_t {
+  kForce0 = -1,  ///< -2 V: input treated as constant 0
+  kActive = 0,   ///<  0 V: input live
+  kForce1 = +1,  ///< +2 V: input treated as constant 1
+};
+
+/// Back-gate voltage corresponding to a quantised level.
+[[nodiscard]] constexpr double bias_voltage(BiasLevel b) noexcept {
+  return 2.0 * static_cast<double>(static_cast<std::int8_t>(b));
+}
+
+class ConfigurableNand2 {
+ public:
+  explicit ConfigurableNand2(MosParams params = {}, double vdd = 1.0)
+      : p_(params), vdd_(vdd) {}
+
+  /// Analog DC output for input voltages (va, vb) under back biases
+  /// (bga, bgb), solved with nested bisection: the inner loop finds the
+  /// series-stack midpoint voltage, the outer loop balances pull-up vs
+  /// pull-down current at the output node.
+  [[nodiscard]] double vout(double va, double vb, double bga,
+                            double bgb) const;
+
+  /// Ideal digital behaviour implied by the bias semantics above; used as
+  /// the reference the analog solve is checked against in tests.
+  [[nodiscard]] static bool digital_out(bool a, bool b, BiasLevel bga,
+                                        BiasLevel bgb) noexcept;
+
+  [[nodiscard]] double vdd() const noexcept { return vdd_; }
+
+ private:
+  /// Pull-down current of the series NMOS stack for a given output voltage.
+  [[nodiscard]] double pulldown_current(double va, double vb, double bga,
+                                        double bgb, double vout) const;
+
+  MosParams p_;
+  double vdd_;
+};
+
+}  // namespace pp::device

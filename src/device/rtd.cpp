@@ -1,0 +1,51 @@
+#include "device/rtd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pp::device {
+
+RtdParams three_state_rtd() {
+  RtdParams p;
+  // Two resonances ~0.55 V apart: with two of these diodes in series across a
+  // 1.3 V supply the storage node has exactly three stable points (verified
+  // by RtdRam tests); the middle one sits near Vdd/2.
+  p.peaks = {{0.15, 1.0e-6, 0.0}, {0.15, 0.9e-6, 0.55}};
+  p.i_excess = 2.0e-9;
+  p.v_excess = 0.22;
+  return p;
+}
+
+double Rtd::current(double v) const noexcept {
+  const double sign = v < 0.0 ? -1.0 : 1.0;
+  const double va = std::fabs(v);
+  double i = 0.0;
+  for (const auto& pk : p_.peaks) {
+    const double x = va - pk.von;
+    if (x <= 0.0) continue;
+    i += pk.ip * (x / pk.vp) * std::exp(1.0 - x / pk.vp);
+  }
+  i += p_.i_excess * (std::exp(va / p_.v_excess) - 1.0);
+  return sign * i;
+}
+
+double Rtd::conductance(double v, double dv) const noexcept {
+  return (current(v + dv) - current(v - dv)) / (2.0 * dv);
+}
+
+double Rtd::pvcr() const {
+  if (p_.peaks.empty()) throw std::logic_error("Rtd::pvcr: no peaks");
+  const auto& pk = p_.peaks.front();
+  const double ipk = current(pk.von + pk.vp);
+  // Search for the valley between this peak and the next onset (or 4*Vp).
+  double v_end = pk.von + 4.0 * pk.vp;
+  if (p_.peaks.size() > 1) v_end = std::min(v_end, p_.peaks[1].von + 1e-9);
+  double imin = ipk;
+  for (double v = pk.von + pk.vp; v <= v_end; v += pk.vp / 200.0) {
+    imin = std::min(imin, current(v));
+  }
+  return ipk / std::max(imin, 1e-30);
+}
+
+}  // namespace pp::device

@@ -1,0 +1,58 @@
+// Phenomenological resonant tunnelling diode (RTD) model.
+//
+// The paper's configuration memory (Fig. 6) is a tunnelling SRAM after
+// van der Wagt [34]: two RTDs in series between the configuration rails with
+// the storage node in between.  Stable states sit where the load and driver
+// I-V curves intersect with net-restoring slope; with multi-peak RTDs the
+// cell stores >2 levels — the paper needs 3 (for back biases -2/0/+2 V).
+//
+// Each peak contributes the classic normalised resonant term
+//     I_peak(V) = Ip * (V/Vp) * exp(1 - V/Vp)
+// which peaks at exactly (Vp, Ip) and decays beyond it (the NDR region);
+// a thermionic/excess term Is*(exp(V/Vex) - 1) supplies the valley-after
+// current rise.  Multi-peak devices sum shifted copies of the resonant term,
+// which is the standard compact-model treatment for series/stacked RTDs
+// (e.g. Seabaugh's nine-state memory [36]).
+#pragma once
+
+#include <vector>
+
+namespace pp::device {
+
+/// One resonance of the diode.
+struct RtdPeak {
+  double vp;  ///< peak voltage (V), measured from the peak's own onset
+  double ip;  ///< peak current (A)
+  double von; ///< onset offset of this peak from V = 0 (V)
+};
+
+struct RtdParams {
+  std::vector<RtdPeak> peaks{{0.15, 1.0e-6, 0.0}};  ///< default: single peak
+  double i_excess = 2.0e-9;  ///< excess/thermionic current scale (A)
+  double v_excess = 0.22;    ///< excess current exponential slope (V)
+};
+
+/// Two-peak device used by the 3-state configuration RAM.
+[[nodiscard]] RtdParams three_state_rtd();
+
+class Rtd {
+ public:
+  explicit Rtd(RtdParams params = {}) : p_(std::move(params)) {}
+
+  /// Terminal current at bias v (odd-symmetric for v < 0).
+  [[nodiscard]] double current(double v) const noexcept;
+
+  /// Numerical dI/dV (central difference), used for stability analysis.
+  [[nodiscard]] double conductance(double v, double dv = 1e-5) const noexcept;
+
+  /// Peak-to-valley current ratio of the first resonance, a standard RTD
+  /// figure of merit (the paper cites Si devices reaching "adequate" PVCR).
+  [[nodiscard]] double pvcr() const;
+
+  [[nodiscard]] const RtdParams& params() const noexcept { return p_; }
+
+ private:
+  RtdParams p_;
+};
+
+}  // namespace pp::device

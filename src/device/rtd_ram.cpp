@@ -1,0 +1,117 @@
+#include "device/rtd_ram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/numeric.h"
+
+namespace pp::device {
+
+RtdRam::RtdRam(RtdRamParams params) : p_(std::move(params)), rtd_(p_.rtd) {
+  const auto levels = stable_levels();
+  if (levels.empty())
+    throw std::invalid_argument("RtdRam: parameters admit no stable state");
+  // Power up into the lowest state (deterministic for reproducibility).
+  v_node_ = levels.front();
+}
+
+double RtdRam::net_current(double v) const {
+  // Load RTD sources current from Vdd, driver RTD sinks to ground.
+  return rtd_.current(p_.vdd - v) - rtd_.current(v);
+}
+
+std::vector<StablePoint> RtdRam::operating_points() const {
+  std::vector<StablePoint> pts;
+  // Scan for sign changes of the net node current, then bisect each.
+  const int kGrid = 4000;
+  double prev_v = 0.0;
+  double prev_f = net_current(prev_v);
+  for (int i = 1; i <= kGrid; ++i) {
+    const double v = p_.vdd * static_cast<double>(i) / kGrid;
+    const double f = net_current(v);
+    if ((prev_f > 0.0) != (f > 0.0)) {
+      const double root =
+          util::bisect([this](double x) { return net_current(x); }, prev_v, v);
+      const double dv = 1e-5;
+      const double slope =
+          (net_current(root + dv) - net_current(root - dv)) / (2 * dv);
+      pts.push_back({root, slope < 0.0});
+    }
+    prev_v = v;
+    prev_f = f;
+  }
+  return pts;
+}
+
+std::vector<double> RtdRam::stable_levels() const {
+  std::vector<double> levels;
+  for (const auto& pt : operating_points())
+    if (pt.stable) levels.push_back(pt.v);
+  return levels;
+}
+
+void RtdRam::integrate(double dur, bool access_on, double v_bit) {
+  // Explicit RK4 on C dV/dt = I_net(V) + G_acc (V_bit - V).
+  auto dvdt = [&](double /*t*/, double v) {
+    double i = net_current(v);
+    if (access_on) i += p_.g_access * (v_bit - v);
+    return i / p_.c_node;
+  };
+  // Time constant ~ C/G: step well below it for stability.
+  const double tau = p_.c_node / p_.g_access;
+  const auto steps =
+      static_cast<std::size_t>(std::max(200.0, 40.0 * dur / tau));
+  const auto traj = util::rk4(dvdt, v_node_, 0.0, dur, steps);
+  v_node_ = traj.back();
+}
+
+double RtdRam::write(std::size_t level, double pulse_s) {
+  const auto levels = stable_levels();
+  if (level >= levels.size())
+    throw std::out_of_range("RtdRam::write: level index out of range");
+  integrate(pulse_s, /*access_on=*/true, /*v_bit=*/levels[level]);
+  integrate(pulse_s, /*access_on=*/false, 0.0);  // release and settle
+  return v_node_;
+}
+
+std::size_t RtdRam::read() const {
+  const auto levels = stable_levels();
+  std::size_t best = 0;
+  double best_d = std::fabs(v_node_ - levels[0]);
+  for (std::size_t i = 1; i < levels.size(); ++i) {
+    const double d = std::fabs(v_node_ - levels[i]);
+    if (d < best_d) {
+      best_d = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
+double RtdRam::perturb(double dv, double settle_s) {
+  v_node_ += dv;
+  v_node_ = std::clamp(v_node_, 0.0, p_.vdd);
+  integrate(settle_s, /*access_on=*/false, 0.0);
+  return v_node_;
+}
+
+double RtdRam::standby_current() const {
+  // In DC balance the supply current equals the load-RTD current.
+  return rtd_.current(p_.vdd - v_node_);
+}
+
+double RtdRam::bias_voltage_for(std::size_t level) const {
+  const auto levels = stable_levels();
+  if (level >= levels.size())
+    throw std::out_of_range("RtdRam::bias_voltage_for: bad level");
+  if (levels.size() == 1) return 0.0;
+  // Affine map: lowest level -> -2 V, highest -> +2 V (the vertical-stack
+  // level shifter of §3 "matching the VG values ... with the RAM tunneling
+  // voltages").
+  const double lo = levels.front();
+  const double hi = levels.back();
+  return -2.0 + 4.0 * (levels[level] - lo) / (hi - lo);
+}
+
+}  // namespace pp::device

@@ -1,0 +1,90 @@
+// The multi-valued RTD configuration RAM of Fig. 6.
+//
+// Topology (van der Wagt tunnelling SRAM [34]): load RTD from Vdd_cfg to the
+// storage node, driver RTD from the storage node to ground, and an access
+// transistor (modelled as a conductance when the word line is asserted)
+// connecting the node to the bit line.  The storage node's three stable
+// voltages encode the three back-gate configuration levels; an affine level
+// shifter (part of the vertical stack in the paper) maps them onto the
+// -2 / 0 / +2 V biases required by the leaf-cell transistors.
+//
+// The paper's claim reproduced here: the cell holds (at least) three states,
+// each state is restored after small perturbations, writes move the cell
+// between any pair of states, and standby current stays in the tens of pA
+// per cell (Nanotechnology Roadmap figure quoted in §3).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "device/rtd.h"
+
+namespace pp::device {
+
+/// A DC operating point of the storage node.
+struct StablePoint {
+  double v;       ///< storage-node voltage
+  bool stable;    ///< true if the point is restoring (d(net current)/dV < 0)
+};
+
+struct RtdRamParams {
+  RtdParams rtd = three_state_rtd();  ///< both diodes (matched pair)
+  double vdd = 1.3;                   ///< configuration supply (V)
+  double c_node = 1.0e-15;            ///< storage node capacitance (F)
+  double g_access = 5.0e-5;           ///< access transistor on-conductance (S)
+};
+
+class RtdRam {
+ public:
+  explicit RtdRam(RtdRamParams params = {});
+
+  /// All DC operating points (stable and unstable), ascending in voltage.
+  [[nodiscard]] std::vector<StablePoint> operating_points() const;
+
+  /// The stable storage voltages only.  For the default parameters there are
+  /// exactly three.
+  [[nodiscard]] std::vector<double> stable_levels() const;
+
+  /// Number of storable levels.
+  [[nodiscard]] std::size_t num_levels() const { return stable_levels().size(); }
+
+  /// Write level index `level` (0-based, ascending voltage): pulls the bit
+  /// line to that level's target voltage, asserts the word line for
+  /// `pulse_s`, releases, then lets the node relax.  Returns the settled
+  /// storage voltage.  Current state persists across calls.
+  double write(std::size_t level, double pulse_s = 2.0e-9);
+
+  /// Read the current level index by nearest stable level.
+  [[nodiscard]] std::size_t read() const;
+
+  /// Storage node voltage right now.
+  [[nodiscard]] double node_voltage() const noexcept { return v_node_; }
+
+  /// Perturb the node by dv and relax for `settle_s`; returns the settled
+  /// voltage.  Retention means read() is unchanged for |dv| below the noise
+  /// margin.
+  double perturb(double dv, double settle_s = 20.0e-9);
+
+  /// Static current drawn from the configuration supply in the current
+  /// state (the standby power story of §3).
+  [[nodiscard]] double standby_current() const;
+
+  /// Map a stored level to the leaf-cell back-gate bias it generates
+  /// through the level shifter: level 0 -> -2 V, middle -> 0 V, top -> +2 V.
+  [[nodiscard]] double bias_voltage_for(std::size_t level) const;
+
+  [[nodiscard]] const RtdRamParams& params() const noexcept { return p_; }
+
+ private:
+  /// Net current into the storage node (excluding the access device).
+  [[nodiscard]] double net_current(double v) const;
+  /// Integrate the node ODE for `dur` seconds with optional bit-line drive.
+  void integrate(double dur, bool access_on, double v_bit);
+
+  RtdRamParams p_;
+  Rtd rtd_;
+  double v_node_;
+};
+
+}  // namespace pp::device

@@ -1,0 +1,119 @@
+#include "fpga/area_delay.h"
+
+#include <cmath>
+
+namespace pp::fpga {
+
+namespace {
+// 250 nm anchor constants (typical mid-1990s process, matching the era of
+// the paper's citations).  Switch R/C describe a *buffered* routing switch;
+// the separate min-driver R anchors the Liu & Pai line-driving analysis
+// (a minimum-size device, ~10x weaker than a routing buffer).
+constexpr double kAnchorNm = 250.0;
+constexpr double kAnchorWireR = 0.08;       // Ω/µm
+constexpr double kAnchorWireC = 0.20;       // fF/µm
+constexpr double kAnchorSwitchR = 1000;     // Ω
+constexpr double kAnchorSwitchC = 40.0;     // fF (junction + fanout stubs)
+constexpr double kAnchorLutPs = 250;        // ps
+constexpr double kAnchorMinDriverR = 10000; // Ω
+}  // namespace
+
+double TechPoint::wire_r_per_um() const {
+  // Cross-section shrinks quadratically with feature size.
+  const double s = kAnchorNm / feature_nm;
+  return kAnchorWireR * s * s;
+}
+
+double TechPoint::wire_c_per_um() const {
+  // Fringing keeps per-length capacitance roughly constant across nodes.
+  return kAnchorWireC;
+}
+
+double TechPoint::switch_r() const {
+  // Pass-device on-resistance grows as drive weakens; roughly 1/s with
+  // constant-field scaling at fixed W/L.
+  const double s = kAnchorNm / feature_nm;
+  return kAnchorSwitchR * s;
+}
+
+double TechPoint::switch_c() const {
+  const double s = kAnchorNm / feature_nm;
+  return kAnchorSwitchC / s;
+}
+
+double TechPoint::lut_delay_ps() const {
+  const double s = kAnchorNm / feature_nm;
+  return kAnchorLutPs / s;
+}
+
+double routed_delay_ps(const TechPoint& t, int segments, double seg_len_um,
+                       double drive_r) {
+  // Elmore through a chain: driver sees all downstream C; each switch sees
+  // its own downstream tail.  Units: Ω * fF = 1e-15 * 1e0 s = 1e-3 ps, so
+  // multiply by 1e-3.
+  const double rw = t.wire_r_per_um() * seg_len_um;
+  const double cw = t.wire_c_per_um() * seg_len_um;
+  const double rs = t.switch_r();
+  const double cs = t.switch_c();
+  double delay = 0.0;
+  // Total downstream capacitance seen by node i (i = 0 is the driver).
+  for (int i = 0; i <= segments; ++i) {
+    const double r_here = (i == 0) ? drive_r : rs + 0.5 * rw;
+    const double c_down =
+        (segments - i) * (cw + cs) + (i == 0 ? 0.0 : cw * 0.5);
+    delay += r_here * c_down;
+  }
+  return delay * 1e-3;
+}
+
+double critical_path_ps(const TechPoint& t, int depth, int avg_segments,
+                        double seg_len_um) {
+  const double logic = depth * t.lut_delay_ps();
+  const double wire =
+      depth * routed_delay_ps(t, avg_segments, seg_len_um, t.switch_r());
+  return logic + wire;
+}
+
+double interconnect_fraction(const TechPoint& t, int depth, int avg_segments,
+                             double seg_len_um) {
+  const double total = critical_path_ps(t, depth, avg_segments, seg_len_um);
+  const double logic = depth * t.lut_delay_ps();
+  return (total - logic) / total;
+}
+
+double dedinechin_freq_scale(double feature_nm, double anchor_nm) {
+  return std::sqrt(anchor_nm / feature_nm);
+}
+
+double line_drive_delay_ps(const TechPoint& t, double len_mm,
+                           double w_over_l) {
+  const double len_um = len_mm * 1000.0;
+  const double rw = t.wire_r_per_um() * len_um;
+  const double cw = t.wire_c_per_um() * len_um;
+  const double s = kAnchorNm / t.feature_nm;
+  const double rd = kAnchorMinDriverR * s / w_over_l;  // widen to reduce R
+  // Distributed line driven at one end: 0.4 RwCw + 0.7 Rd Cw (Sakurai).
+  return (0.4 * rw * cw + 0.7 * rd * cw) * 1e-3;
+}
+
+double required_driver_ratio(const TechPoint& t, double len_mm,
+                             double target_ps) {
+  // line_drive_delay is monotone decreasing in w_over_l; the distributed
+  // term is a floor.  Binary search on top of an exponential bracket.
+  double lo = 1.0, hi = 1.0;
+  if (line_drive_delay_ps(t, len_mm, lo) <= target_ps) return lo;
+  while (line_drive_delay_ps(t, len_mm, hi) > target_ps) {
+    hi *= 2.0;
+    if (hi > 1e7) return hi;  // unreachable target: report the huge ratio
+  }
+  for (int i = 0; i < 60; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (line_drive_delay_ps(t, len_mm, mid) > target_ps)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return hi;
+}
+
+}  // namespace pp::fpga

@@ -1,0 +1,61 @@
+// Interconnect-dominated delay model for the FPGA baseline (§2.1) and the
+// technology-scaling relations the paper leans on:
+//   * path delay = logic delay + routed-wire Elmore delay through
+//     pass-transistor switches;
+//   * interconnect share of path delay ~80% at DSM nodes (DeHon [1]);
+//   * FPGA operating frequency improving only as O(λ^-1/2) under scaling
+//     (De Dinechin [18]);
+//   * the Liu & Pai [20] observation that driving 1 mm in 100 ps takes a
+//     driver with W/L in the hundreds.
+#pragma once
+
+namespace pp::fpga {
+
+/// Technology point parameterised by drawn feature size (nm).  Wire and
+/// device constants follow constant-field scaling from a 250 nm anchor.
+struct TechPoint {
+  double feature_nm;
+
+  /// Wire resistance per µm (Ω/µm) for a minimum-width mid-layer wire.
+  [[nodiscard]] double wire_r_per_um() const;
+  /// Wire capacitance per µm (fF/µm); roughly scale-invariant.
+  [[nodiscard]] double wire_c_per_um() const;
+  /// On-resistance of a minimum-size pass switch (Ω).
+  [[nodiscard]] double switch_r() const;
+  /// Switch junction capacitance (fF).
+  [[nodiscard]] double switch_c() const;
+  /// Intrinsic LUT (logic) delay (ps); scales with feature size.
+  [[nodiscard]] double lut_delay_ps() const;
+};
+
+/// Elmore delay (ps) of a routed connection of `segments` wire segments of
+/// `seg_len_um` each, through one switch per segment, driven by a driver of
+/// `drive_r` Ω.
+[[nodiscard]] double routed_delay_ps(const TechPoint& t, int segments,
+                                     double seg_len_um, double drive_r);
+
+/// Critical-path estimate (ps) for a mapping of LUT depth `depth` with an
+/// average of `avg_segments` routing segments between LUT levels.
+[[nodiscard]] double critical_path_ps(const TechPoint& t, int depth,
+                                      int avg_segments = 4,
+                                      double seg_len_um = 30.0);
+
+/// Fraction of the critical path spent in interconnect (the ~80% claim).
+[[nodiscard]] double interconnect_fraction(const TechPoint& t, int depth,
+                                           int avg_segments = 4,
+                                           double seg_len_um = 30.0);
+
+/// De Dinechin scaling law: relative FPGA frequency at feature f vs anchor.
+[[nodiscard]] double dedinechin_freq_scale(double feature_nm,
+                                           double anchor_nm = 250.0);
+
+/// Delay (ps) to drive a line of `len_mm` with a driver of width ratio
+/// `w_over_l` at technology `t` (distributed RC + driver charging).
+[[nodiscard]] double line_drive_delay_ps(const TechPoint& t, double len_mm,
+                                         double w_over_l);
+
+/// Smallest driver W/L (searched) achieving `target_ps` on `len_mm` of wire.
+[[nodiscard]] double required_driver_ratio(const TechPoint& t, double len_mm,
+                                           double target_ps);
+
+}  // namespace pp::fpga

@@ -1,0 +1,27 @@
+#include "fpga/logic_cell.h"
+
+namespace pp::fpga {
+
+CellBits cell_config_bits(const FpgaParams& p) {
+  CellBits b{};
+  b.lut = 1 << p.lut_k;
+  // Fig. 1 control set: FF/combinational output select (M1..M3), clock
+  // enable, clear routing, carry-chain configuration — 8 bits is the usual
+  // count for this class of cell.
+  b.ff_control = 8;
+  // Connection block: each LUT input selects among fc_in * W wires with one
+  // pass switch per candidate; the output taps fc_out wires.
+  b.conn_block =
+      static_cast<int>(p.lut_k * p.fc_in * p.channel_width) + p.fc_out;
+  // Subset switch box: 6W switches per box, shared by the 4 tiles meeting
+  // at its corner, with one horizontal and one vertical channel per tile:
+  // 2 * 6W / 4 = 3W bits per tile.
+  b.switch_box = 3 * p.channel_width;
+  return b;
+}
+
+double cell_area_lambda2(const FpgaParams& p) {
+  return cell_config_bits(p).total() * p.lambda2_per_bit;
+}
+
+}  // namespace pp::fpga

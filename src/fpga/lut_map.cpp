@@ -1,0 +1,110 @@
+#include "fpga/lut_map.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+namespace pp::fpga {
+
+using map::CellKind;
+using map::Netlist;
+
+long long Mapping::config_bits(const FpgaParams& p) const {
+  return static_cast<long long>(logic_cells) * cell_config_bits(p).total();
+}
+
+double Mapping::area_lambda2(const FpgaParams& p) const {
+  return static_cast<double>(logic_cells) * cell_area_lambda2(p);
+}
+
+Mapping lut_map(const Netlist& nl, const FpgaParams& params) {
+  const int k = params.lut_k;
+  const auto n = static_cast<int>(nl.cell_count());
+
+  // For each cell: the support set (source cells: inputs/DFFs/constants it
+  // ultimately reads through cells already absorbed into its LUT) and the
+  // LUT depth.  A cell starts as "absorb fanin if the union of supports
+  // fits in K", else it reads its fanins' LUT outputs.
+  std::vector<std::set<int>> support(n);
+  std::vector<int> depth(n, 0);
+  std::vector<bool> is_lut_root(n, false);
+
+  auto source = [&](int i) {
+    const CellKind kind = nl.cell(i).kind;
+    return kind == CellKind::kInput || kind == CellKind::kDff ||
+           kind == CellKind::kConst0 || kind == CellKind::kConst1;
+  };
+
+  for (int i = 0; i < n; ++i) {
+    const auto& c = nl.cell(i);
+    if (source(i)) {
+      support[i] = {i};
+      depth[i] = 0;
+      continue;
+    }
+    // Try to absorb each fanin's cone; a fanin that is itself a source or
+    // whose absorption would overflow K contributes itself as an input.
+    std::set<int> merged;
+    int d = 0;
+    for (int f : c.fanin) {
+      if (f >= i) continue;  // forward DFF refs handled at the DFF itself
+      std::set<int> candidate = merged;
+      if (source(f) || is_lut_root[f]) {
+        candidate.insert(f);
+      } else {
+        candidate.insert(support[f].begin(), support[f].end());
+      }
+      if (static_cast<int>(candidate.size()) <= k && !is_lut_root[f]) {
+        merged = std::move(candidate);
+        d = std::max(d, depth[f]);
+      } else {
+        merged.insert(f);
+        d = std::max(d, depth[f] + (source(f) ? 0 : 1));
+        // Reading a non-source fanin as a LUT input freezes that fanin as
+        // a LUT root of its own.
+        if (!source(f)) is_lut_root[f] = true;
+      }
+      if (static_cast<int>(merged.size()) > k) {
+        // Fall back: treat every fanin as a direct input.
+        merged.clear();
+        d = 0;
+        for (int g : c.fanin) {
+          if (g >= i) continue;
+          merged.insert(g);
+          if (!source(g)) {
+            is_lut_root[g] = true;
+            d = std::max(d, depth[g] + 1);
+          }
+        }
+        break;
+      }
+    }
+    support[i] = std::move(merged);
+    depth[i] = d;
+  }
+
+  // Outputs and DFF D-inputs are LUT roots too.
+  for (int o : nl.outputs())
+    if (!source(o)) is_lut_root[o] = true;
+  for (int i = 0; i < n; ++i)
+    if (nl.cell(i).kind == CellKind::kDff) {
+      const int d_in = nl.cell(i).fanin[0];
+      if (!source(d_in)) is_lut_root[d_in] = true;
+    }
+
+  Mapping m;
+  for (int i = 0; i < n; ++i) {
+    if (is_lut_root[i]) {
+      ++m.luts;
+      m.depth = std::max(m.depth, depth[i] + 1);
+    }
+    if (nl.cell(i).kind == CellKind::kDff) ++m.ffs;
+  }
+  // A logic cell provides one LUT and one FF; FFs pack with their source
+  // LUT when possible (standard packing assumption).
+  m.logic_cells = std::max(m.luts, m.ffs);
+  if (m.logic_cells == 0) m.logic_cells = m.ffs > 0 ? m.ffs : 1;
+  return m;
+}
+
+}  // namespace pp::fpga

@@ -1,0 +1,32 @@
+// Technology mapping of pp::map netlists onto K-input LUT cells — the
+// baseline side of the paper's function-for-function comparisons.
+//
+// Greedy cone-packing: process cells in topological order; each logic cell
+// tries to absorb its combinational fan-in cones while the merged support
+// stays within K inputs.  Not FlowMap-optimal, but deterministic,
+// depth-aware, and representative of what the comparison needs (the paper's
+// argument is about config-bit/area ratios, not mapper quality).
+#pragma once
+
+#include "fpga/logic_cell.h"
+#include "map/netlist.h"
+
+namespace pp::fpga {
+
+struct Mapping {
+  int luts = 0;       ///< K-LUTs used
+  int ffs = 0;        ///< flip-flops used
+  int depth = 0;      ///< LUT levels on the critical path
+  int logic_cells = 0;///< tiles consumed: max(luts, ffs) packed into cells
+
+  /// Total configuration bits (tiles x per-tile bits).
+  [[nodiscard]] long long config_bits(const FpgaParams& p = {}) const;
+  /// Total λ² area.
+  [[nodiscard]] double area_lambda2(const FpgaParams& p = {}) const;
+};
+
+/// Map `netlist` onto K-input LUTs.
+[[nodiscard]] Mapping lut_map(const map::Netlist& netlist,
+                              const FpgaParams& params = {});
+
+}  // namespace pp::fpga

@@ -1,0 +1,55 @@
+#include "map/bitserial.h"
+
+#include <stdexcept>
+
+namespace pp::map {
+
+SerialAdderPorts serial_adder(core::Fabric& fabric, int r, int c) {
+  if (r + 2 > fabric.rows() || c + 3 > fabric.cols())
+    throw std::invalid_argument("serial_adder: fabric too small");
+  SerialAdderPorts ports;
+  // Reuse the Fig. 10 tile; the F (carry-forward) block it configures at
+  // (r, c+2) is harmless for the serial cell — its lines simply are not
+  // read, and the bench counts only the 3 functional blocks.
+  ports.cell = macros::full_adder_bit(fabric, r, c);
+  ports.blocks_used = 3;
+  return ports;
+}
+
+std::uint64_t serial_add(sim::Simulator& sim,
+                         const core::ElaboratedFabric& fabric,
+                         const SerialAdderPorts& ports, std::uint64_t a,
+                         std::uint64_t b, int bits) {
+  if (bits < 1 || bits > 64)
+    throw std::invalid_argument("serial_add: 1..64 bits");
+  auto drive = [&](const SignalAt& p, bool v) {
+    sim.set_input(fabric.in_line(p.r, p.c, p.line), sim::from_bool(v));
+  };
+  auto read1 = [&](const SignalAt& p) {
+    return sim.value(fabric.in_line(p.r, p.c, p.line)) == sim::Logic::k1;
+  };
+  const auto& cell = ports.cell;
+  bool carry = false;
+  std::uint64_t sum = 0;
+  for (int i = 0; i < bits; ++i) {
+    const bool ai = (a >> i) & 1;
+    const bool bi = (b >> i) & 1;
+    drive(cell.a, ai);
+    drive(cell.na, !ai);
+    drive(cell.b, bi);
+    drive(cell.nb, !bi);
+    drive(cell.cin, carry);
+    drive(cell.ncin, !carry);
+    if (!sim.settle())
+      throw std::runtime_error("serial_add: fabric failed to settle");
+    sum |= static_cast<std::uint64_t>(read1(cell.sum)) << i;
+    // Carry register (boundary loop): capture cout for the next bit-step.
+    // The tile's carry plane (block B) emits cout on its line 0, i.e. the
+    // input line 0 of the block east of it.
+    const SignalAt cout_line{cell.cout.r, cell.cout.c - 1, 0};
+    carry = read1(cout_line);
+  }
+  return bits == 64 ? sum : (sum & ((1ull << bits) - 1));
+}
+
+}  // namespace pp::map

@@ -1,0 +1,49 @@
+// Bit-serial arithmetic — the paper's §4/§5 suggestion that "alternative
+// techniques such as bit-serial arithmetic ... may offer equivalent or
+// better performance at these dimensions" once interconnect dominates.
+//
+// A serial adder is ONE full-adder tile processing operands LSB-first, one
+// bit per step, with the carry looped back from cout to cin between steps.
+// On this fabric model the carry loop closes at the array boundary (the
+// same substitution as the Fig. 10 accumulator register; DESIGN.md §5),
+// which preserves the figure of merit the ablation bench needs: hardware
+// area is constant in word length while latency grows linearly, versus the
+// parallel adder's mirror-image tradeoff.
+#pragma once
+
+#include <cstdint>
+
+#include "core/fabric.h"
+#include "map/macros.h"
+#include "sim/simulator.h"
+
+namespace pp::map {
+
+struct SerialAdderPorts {
+  macros::AdderBitPorts cell;  ///< the single full-adder tile
+  int blocks_used = 0;
+};
+
+/// Configure the serial adder cell at (r, c) (footprint 2 rows x 3 cols;
+/// the carry-forward block is not needed — the loop closes externally).
+SerialAdderPorts serial_adder(core::Fabric& fabric, int r, int c);
+
+/// Drive `words` pairs LSB-first through an elaborated serial adder and
+/// return a+b (mod 2^bits).  Each bit-step settles the fabric once; the
+/// carry is read from the tile's cout line and re-driven on cin.
+[[nodiscard]] std::uint64_t serial_add(sim::Simulator& sim,
+                                       const core::ElaboratedFabric& fabric,
+                                       const SerialAdderPorts& ports,
+                                       std::uint64_t a, std::uint64_t b,
+                                       int bits);
+
+/// Area-latency figures for the serial-vs-parallel ablation.
+struct SerialParallelPoint {
+  int bits;
+  int serial_blocks;
+  int parallel_blocks;
+  double serial_latency_ps;    ///< bits x per-bit settle delay
+  double parallel_latency_ps;  ///< one ripple through all bits
+};
+
+}  // namespace pp::map

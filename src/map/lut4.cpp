@@ -1,0 +1,71 @@
+#include "map/lut4.h"
+
+#include <stdexcept>
+
+#include "map/macros.h"
+
+namespace pp::map {
+
+using core::BiasLevel;
+using core::BlockConfig;
+using core::DriverCfg;
+
+std::pair<TruthTable, TruthTable> shannon_cofactors(const TruthTable& tt) {
+  if (tt.num_vars() != 4)
+    throw std::invalid_argument("shannon_cofactors: need 4 variables");
+  TruthTable f0(3), f1(3);
+  for (int i = 0; i < 8; ++i) {
+    f0.set(static_cast<std::uint8_t>(i), tt.eval(static_cast<std::uint8_t>(i)));
+    f1.set(static_cast<std::uint8_t>(i),
+           tt.eval(static_cast<std::uint8_t>(i | 8)));
+  }
+  return {f0, f1};
+}
+
+Lut4Ports lut4(core::Fabric& f, int c, const TruthTable& tt) {
+  if (tt.num_vars() != 4)
+    throw std::invalid_argument("lut4: need a 4-variable function");
+  if (f.rows() < 3 || f.cols() < c + 7)
+    throw std::invalid_argument("lut4: fabric must be >= 3 x (c+7)");
+
+  const auto [f0, f1] = shannon_cofactors(tt);
+
+  Lut4Ports ports;
+  const auto l0 = macros::lut3(f, 0, c, f0);      // out at (0, c+3, 0)
+  const auto l1 = macros::lut3(f, 2, c, f1);      // out at (2, c+3, 0)
+  ports.inputs_f0 = l0.inputs;
+  ports.inputs_f1 = l1.inputs;
+
+  // Feed-through ladder.  All hops are single-input NAND rows with
+  // inverting drivers (polarity-neutral), exactly what the router emits;
+  // laid out by hand here because the two cofactor chains constrain which
+  // lines are free.
+  auto hop = [&f](int r, int cc, int in_col, int row) {
+    BlockConfig& b = f.block(r, cc);
+    b.xpoint[row][in_col] = BiasLevel::kActive;
+    b.driver[row] = DriverCfg::kInvert;
+  };
+  // f0: (0,c+3) line 0 -> south via rows of column c+3 on line index 1.
+  hop(0, c + 3, 0, 1);  // drives (0,c+4,1) and (1,c+3,1)
+  hop(1, c + 3, 1, 1);  // drives (1,c+4,1) and (2,c+3,1)
+  hop(2, c + 3, 1, 1);  // drives (2,c+4,1): the mux's f0 column
+  // f1: (2,c+3) line 0 -> one hop east onto the mux's column 0.
+  hop(2, c + 3, 0, 0);  // drives (2,c+4,0): the mux's f1 column
+  // x3: north pad (0,c+4,2) -> south to (2,c+4,2).
+  hop(0, c + 4, 2, 2);
+  hop(1, c + 4, 2, 2);
+
+  // Multiplexer LUT over (a,b,c) = (f1, f0, x3): f = /c.b + c.a.
+  const auto mux = TruthTable::from_function(3, [](std::uint8_t i) {
+    const bool a = i & 1, b = i & 2, s = i & 4;
+    return s ? a : b;
+  });
+  const auto lm = macros::lut3(f, 2, c + 4, mux);
+
+  ports.x3 = {0, c + 4, 2};
+  ports.out = lm.out;  // (2, c+7, 0)
+  ports.blocks_used = l0.blocks_used + l1.blocks_used + lm.blocks_used + 5;
+  return ports;
+}
+
+}  // namespace pp::map

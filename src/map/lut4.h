@@ -1,0 +1,49 @@
+// Shannon decomposition onto the fabric: any 4-variable function as
+//   f(x0..x3) = /x3 . f0(x0..x2)  +  x3 . f1(x0..x2)
+// built from three LUT3 chains — two cofactors plus a multiplexer LUT —
+// stitched together with explicit feed-through rows.  This is the paper's
+// §4 composition story in executable form: once the 3-LUT pair exists,
+// wider functions are assembled from pairs plus interconnect-configured
+// cells, never from bigger primitives.
+//
+// Geometry (3 rows x 8 columns):
+//   f0 LUT3 at (r+0, c+0..c+2)        out on line (r,   c+3, 0)
+//   [row r+1 left as the spacer that keeps the two cofactors' south-copy
+//    driver lines from colliding]
+//   f1 LUT3 at (r+2, c+0..c+2)        out on line (r+2, c+3, 0)
+//   feed-throughs in column c+3/c+4 bring f0 south and x3 down from the
+//   north boundary; the mux LUT3 sits at (r+2, c+4..c+6) reading
+//   (f1, f0, x3) and emits f at (r+2, c+7, 0).
+//
+// Inputs: x0..x2 drive BOTH cofactor columns (r, c, 0..2) and
+// (r+2, c, 0..2) — operand distribution from the IO ring, as with the
+// Fig. 10 operand bus; x3 drives the pad (r, c+4, 2).  The macro must be
+// placed at r = 0 with the fabric at least 3 rows tall so all input lines
+// are boundary pads.
+#pragma once
+
+#include "core/fabric.h"
+#include "map/router.h"
+#include "map/truth_table.h"
+
+namespace pp::map {
+
+struct Lut4Ports {
+  // Drive the same x0..x2 values on both cofactor input sets.
+  std::vector<SignalAt> inputs_f0;  ///< x0..x2 columns of the f0 cofactor
+  std::vector<SignalAt> inputs_f1;  ///< x0..x2 columns of the f1 cofactor
+  SignalAt x3;                      ///< select input pad
+  SignalAt out;                     ///< f output line
+  int blocks_used = 0;
+};
+
+/// Map a 4-variable truth table at origin (r=0, c).  Requires fabric rows
+/// >= 3 and cols >= c + 7.  Throws std::invalid_argument on bad geometry
+/// or variable count.
+Lut4Ports lut4(core::Fabric& fabric, int c, const TruthTable& tt);
+
+/// The two 3-variable cofactors of a 4-variable table (x3 = 0 and x3 = 1).
+[[nodiscard]] std::pair<TruthTable, TruthTable> shannon_cofactors(
+    const TruthTable& tt);
+
+}  // namespace pp::map

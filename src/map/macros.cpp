@@ -1,0 +1,247 @@
+#include "map/macros.h"
+
+#include <stdexcept>
+
+namespace pp::map::macros {
+
+using core::BiasLevel;
+using core::BlockConfig;
+using core::ColSource;
+using core::DriverCfg;
+using core::Fabric;
+using core::kBlockInputs;
+using core::kBlockOutputs;
+using core::LfbWhich;
+
+std::vector<SignalAt> literal_gen(Fabric& f, int r, int c, int vars) {
+  if (vars < 1 || vars > 3)
+    throw std::invalid_argument("literal_gen: 1..3 variables per block");
+  BlockConfig& b = f.block(r, c);
+  std::vector<SignalAt> ins;
+  for (int i = 0; i < vars; ++i) {
+    // Row 2i carries the true literal (inverting driver restores polarity
+    // of the single-input NAND), row 2i+1 the complement.
+    b.xpoint[2 * i][i] = BiasLevel::kActive;
+    b.driver[2 * i] = DriverCfg::kInvert;
+    b.xpoint[2 * i + 1][i] = BiasLevel::kActive;
+    b.driver[2 * i + 1] = DriverCfg::kBuffer;
+    ins.push_back({r, c, i});
+  }
+  return ins;
+}
+
+LutPorts lut3(Fabric& f, int r, int c, const TruthTable& tt) {
+  const int n = tt.num_vars();
+  if (n > 3) throw std::invalid_argument("lut3: at most 3 variables");
+  const auto cover = minimize(tt);
+  if (cover.size() > static_cast<std::size_t>(kBlockOutputs))
+    throw std::invalid_argument("lut3: cover needs more than 6 terms");
+
+  LutPorts ports;
+  ports.inputs = literal_gen(f, r, c, n);
+
+  // Product-term block: column 2i = var_i, column 2i+1 = /var_i.
+  BlockConfig& term = f.block(r, c + 1);
+  for (std::size_t t = 0; t < cover.size(); ++t) {
+    const Implicant& imp = cover[t];
+    for (int i = 0; i < n; ++i) {
+      if (!(imp.care & (1u << i))) continue;
+      const int col = 2 * i + ((imp.value >> i) & 1 ? 0 : 1);
+      term.xpoint[t][col] = BiasLevel::kActive;
+    }
+    // Line must carry /product; an empty product (constant 1) elaborates to
+    // a constant-1 row, so its driver must invert.
+    term.driver[t] =
+        imp.care == 0 ? DriverCfg::kInvert : DriverCfg::kBuffer;
+  }
+
+  // OR block: one NAND row over the /product lines gives OR of products.
+  BlockConfig& orb = f.block(r, c + 2);
+  for (std::size_t t = 0; t < cover.size(); ++t)
+    orb.xpoint[0][t] = BiasLevel::kActive;
+  // Empty cover = constant 0: the term-free row reads constant 1; invert it.
+  orb.driver[0] = cover.empty() ? DriverCfg::kInvert : DriverCfg::kBuffer;
+
+  ports.out = {r, c + 3, 0};
+  ports.blocks_used = 3;
+  ports.terms_used = static_cast<int>(cover.size());
+  return ports;
+}
+
+LatchPorts d_latch(Fabric& f, int r, int c) {
+  // Block A: n1 = NAND(D, EN);  n2 = NAND(n1, EN)  (n1 via lfb0).
+  BlockConfig& a = f.block(r, c);
+  a.lfb_src[0] = {LfbWhich::kOwn, 0};
+  a.col_src[2] = ColSource::kLfb0;
+  a.xpoint[0][0] = BiasLevel::kActive;  // D
+  a.xpoint[0][1] = BiasLevel::kActive;  // EN
+  a.driver[0] = DriverCfg::kBuffer;     // line0 = n1
+  a.xpoint[1][2] = BiasLevel::kActive;  // n1 (lfb)
+  a.xpoint[1][1] = BiasLevel::kActive;  // EN
+  a.driver[1] = DriverCfg::kBuffer;     // line1 = n2
+
+  // Block B: cross-coupled output pair.  Q = NAND(n1, QB); QB = NAND(n2, Q).
+  BlockConfig& b = f.block(r, c + 1);
+  b.lfb_src[0] = {LfbWhich::kOwn, 1};  // QB
+  b.lfb_src[1] = {LfbWhich::kOwn, 0};  // Q
+  b.col_src[2] = ColSource::kLfb0;
+  b.col_src[3] = ColSource::kLfb1;
+  b.xpoint[0][0] = BiasLevel::kActive;  // n1
+  b.xpoint[0][2] = BiasLevel::kActive;  // QB
+  b.driver[0] = DriverCfg::kBuffer;     // line0 = Q
+  b.xpoint[1][1] = BiasLevel::kActive;  // n2
+  b.xpoint[1][3] = BiasLevel::kActive;  // Q
+
+  return LatchPorts{{r, c, 0}, {r, c, 1}, {r, c + 2, 0}, 2};
+}
+
+DffPorts dff(Fabric& f, int r, int c) {
+  // Master-slave with internally generated complementary clock (spare rows
+  // of the first stage), rising-edge triggered: master transparent while
+  // CLK = 0, slave while CLK = 1.
+  // Block A (master input stage): cols D(0), CLK(1), /CLK(lfb0 on col2),
+  // n1 (lfb1 on col3).
+  BlockConfig& a = f.block(r, c);
+  a.lfb_src[0] = {LfbWhich::kOwn, 2};  // row2 = /CLK
+  a.lfb_src[1] = {LfbWhich::kOwn, 0};  // row0 = n1
+  a.col_src[2] = ColSource::kLfb0;
+  a.col_src[3] = ColSource::kLfb1;
+  a.xpoint[2][1] = BiasLevel::kActive;  // row2 = NAND(CLK) = /CLK
+  a.xpoint[0][0] = BiasLevel::kActive;  // n1 = NAND(D, /CLK)
+  a.xpoint[0][2] = BiasLevel::kActive;
+  a.driver[0] = DriverCfg::kBuffer;  // line0 = n1
+  a.xpoint[1][3] = BiasLevel::kActive;  // n2 = NAND(n1, /CLK)
+  a.xpoint[1][2] = BiasLevel::kActive;
+  a.driver[1] = DriverCfg::kBuffer;  // line1 = n2
+  a.xpoint[3][1] = BiasLevel::kActive;  // row3 = NAND(CLK)
+  a.driver[3] = DriverCfg::kInvert;     // line3 = CLK (feed-through)
+
+  // Block B (master output pair + clock feed-through).
+  BlockConfig& b = f.block(r, c + 1);
+  b.lfb_src[0] = {LfbWhich::kOwn, 1};  // QmB
+  b.lfb_src[1] = {LfbWhich::kOwn, 0};  // Qm
+  b.col_src[4] = ColSource::kLfb0;
+  b.col_src[5] = ColSource::kLfb1;
+  b.xpoint[0][0] = BiasLevel::kActive;  // Qm = NAND(n1, QmB)
+  b.xpoint[0][4] = BiasLevel::kActive;
+  b.driver[0] = DriverCfg::kBuffer;  // line0 = Qm
+  b.xpoint[1][1] = BiasLevel::kActive;  // QmB = NAND(n2, Qm)
+  b.xpoint[1][5] = BiasLevel::kActive;
+  b.xpoint[2][3] = BiasLevel::kActive;  // row2 = NAND(CLK)
+  b.driver[2] = DriverCfg::kInvert;     // line2 = CLK onward
+
+  // Block C (slave input stage): cols Qm(0), CLK(2), n1s (lfb0 on col3).
+  BlockConfig& cc = f.block(r, c + 2);
+  cc.lfb_src[0] = {LfbWhich::kOwn, 0};
+  cc.col_src[3] = ColSource::kLfb0;
+  cc.xpoint[0][0] = BiasLevel::kActive;  // n1s = NAND(Qm, CLK)
+  cc.xpoint[0][2] = BiasLevel::kActive;
+  cc.driver[0] = DriverCfg::kBuffer;  // line0 = n1s
+  cc.xpoint[1][3] = BiasLevel::kActive;  // n2s = NAND(n1s, CLK)
+  cc.xpoint[1][2] = BiasLevel::kActive;
+  cc.driver[1] = DriverCfg::kBuffer;  // line1 = n2s
+
+  // Block D (slave output pair).
+  BlockConfig& dd = f.block(r, c + 3);
+  dd.lfb_src[0] = {LfbWhich::kOwn, 1};  // QB
+  dd.lfb_src[1] = {LfbWhich::kOwn, 0};  // Q
+  dd.col_src[2] = ColSource::kLfb0;
+  dd.col_src[3] = ColSource::kLfb1;
+  dd.xpoint[0][0] = BiasLevel::kActive;  // Q = NAND(n1s, QB)
+  dd.xpoint[0][2] = BiasLevel::kActive;
+  dd.driver[0] = DriverCfg::kBuffer;  // line0 = Q
+  dd.xpoint[1][1] = BiasLevel::kActive;  // QB = NAND(n2s, Q)
+  dd.xpoint[1][3] = BiasLevel::kActive;
+
+  return DffPorts{{r, c, 0}, {r, c, 1}, {r, c + 4, 0}, 4};
+}
+
+CElementPorts c_element(Fabric& f, int r, int c) {
+  // Block A: the three products; the state variable c is tapped from the
+  // east partner's majority row through lfb0 (the pair-level feedback of
+  // Fig. 8).  Block B: cout = ab + ac + bc — the Muller C-element equation
+  // c = a.b + a.c' + b.c' of §4.1.
+  BlockConfig& a = f.block(r, c);
+  a.lfb_src[0] = {LfbWhich::kEast, 0};
+  a.col_src[2] = ColSource::kLfb0;
+  a.xpoint[0][0] = BiasLevel::kActive;  // /(ab)
+  a.xpoint[0][1] = BiasLevel::kActive;
+  a.driver[0] = DriverCfg::kBuffer;
+  a.xpoint[1][0] = BiasLevel::kActive;  // /(a.c)
+  a.xpoint[1][2] = BiasLevel::kActive;
+  a.driver[1] = DriverCfg::kBuffer;
+  a.xpoint[2][1] = BiasLevel::kActive;  // /(b.c)
+  a.xpoint[2][2] = BiasLevel::kActive;
+  a.driver[2] = DriverCfg::kBuffer;
+
+  BlockConfig& b = f.block(r, c + 1);
+  b.xpoint[0][0] = BiasLevel::kActive;
+  b.xpoint[0][1] = BiasLevel::kActive;
+  b.xpoint[0][2] = BiasLevel::kActive;
+  b.driver[0] = DriverCfg::kBuffer;  // line0 = c
+
+  return CElementPorts{{r, c, 0}, {r, c, 1}, {r, c + 2, 0}, 2};
+}
+
+AdderBitPorts full_adder_bit(Fabric& f, int r, int c) {
+  // Tile: A=(r,c) products, B=(r,c+1) carry plane, S=(r+1,c+1) sum row,
+  // F=(r,c+2) carry forward on lines 2/3.
+  // A's columns: a(0), /a(1), cin(2), /cin(3), b(4), /b(5) — the carry pair
+  // arrives on columns 2/3 so that tile i+1 receives it from tile i's F
+  // block without colliding with the operand columns.
+  BlockConfig& a = f.block(r, c);
+  auto on = [](BlockConfig& blk, int row, std::initializer_list<int> cols,
+               DriverCfg drv) {
+    for (int col : cols) blk.xpoint[row][col] = BiasLevel::kActive;
+    blk.driver[row] = drv;
+  };
+  on(a, 0, {0, 4}, DriverCfg::kBuffer);        // L0 = /(a.b)
+  on(a, 1, {0, 2}, DriverCfg::kBuffer);        // L1 = /(a.cin)
+  on(a, 2, {4, 2}, DriverCfg::kBuffer);        // L2 = /(b.cin)
+  on(a, 3, {0, 4, 2}, DriverCfg::kBuffer);     // L3 = /(a.b.cin)
+  on(a, 4, {1, 5, 3}, DriverCfg::kBuffer);     // L4 = a+b+cin (NAND of complements)
+
+  BlockConfig& b = f.block(r, c + 1);
+  b.lfb_src[0] = {LfbWhich::kOwn, 0};  // cout row
+  b.col_src[5] = ColSource::kLfb0;
+  on(b, 0, {0, 1, 2}, DriverCfg::kBuffer);     // cout = ab + a.cin + b.cin
+  on(b, 1, {0, 1, 2}, DriverCfg::kInvert);     // /cout
+  on(b, 2, {5, 3}, DriverCfg::kBuffer);        // /(cout./(abc)) = /cout + abc
+  on(b, 3, {4}, DriverCfg::kInvert);           // a+b+cin onward
+
+  BlockConfig& s = f.block(r + 1, c + 1);
+  on(s, 0, {2, 3}, DriverCfg::kInvert);        // sum = (a+b+cin).(/cout+abc)
+
+  BlockConfig& fwd = f.block(r, c + 2);
+  on(fwd, 2, {0}, DriverCfg::kInvert);         // cout forward on line 2
+  on(fwd, 3, {1}, DriverCfg::kInvert);         // /cout forward on line 3
+
+  AdderBitPorts p;
+  p.a = {r, c, 0};
+  p.na = {r, c, 1};
+  p.cin = {r, c, 2};
+  p.ncin = {r, c, 3};
+  p.b = {r, c, 4};
+  p.nb = {r, c, 5};
+  p.sum = {r + 1, c + 2, 0};
+  p.cout = {r, c + 3, 2};
+  p.ncout = {r, c + 3, 3};
+  p.blocks_used = 4;
+  p.terms_used = 5;
+  return p;
+}
+
+RippleAdderPorts ripple_adder(Fabric& f, int r, int c, int bits) {
+  if (bits < 1) throw std::invalid_argument("ripple_adder: bits >= 1");
+  if (r + ripple_adder_rows() > f.rows() ||
+      c + ripple_adder_cols(bits) > f.cols())
+    throw std::invalid_argument("ripple_adder: fabric too small");
+  RippleAdderPorts out;
+  for (int i = 0; i < bits; ++i) {
+    out.bits.push_back(full_adder_bit(f, r, c + 3 * i));
+    out.blocks_used += out.bits.back().blocks_used;
+  }
+  return out;
+}
+
+}  // namespace pp::map::macros

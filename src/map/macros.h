@@ -1,0 +1,119 @@
+// Macro library: parameterised configuration generators for the structures
+// the paper builds by hand in Figs. 9-12.  Each macro writes block configs
+// into a Fabric region and returns the port locations (input lines to drive,
+// nets to observe after elaboration).
+//
+// Geometry conventions (see fabric.h): signals flow east/south; a macro's
+// inputs are input-line positions (drive them from a neighbour, the router,
+// or — on the west/north boundary — external pads); its outputs are the
+// lines its final drivers reach.
+//
+// Block-count bookkeeping vs the paper (recorded in EXPERIMENTS.md):
+//   3-LUT            paper: 2 cells + shared literal cell   ours: 3 blocks
+//   D flip-flop      paper: 2 cells                          ours: 4 blocks
+//   full adder bit   paper: 1 cell pair, 5 terms             ours: 3 blocks,
+//                                                            same 5 terms
+// The differences come from our conservative two-lfb connectivity model;
+// the *active leaf-cell* counts (what the area argument needs) match the
+// paper's scale and are what pp::arch consumes.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "core/fabric.h"
+#include "map/router.h"
+#include "map/truth_table.h"
+
+namespace pp::map::macros {
+
+/// --- Literal generation ---------------------------------------------------
+/// Configure block (r,c) to expand up to 3 variables (on columns 0..k-1)
+/// into k true/complement line pairs: line 2i = var_i, line 2i+1 = /var_i.
+/// Returns the input column positions.
+std::vector<SignalAt> literal_gen(core::Fabric& f, int r, int c, int vars);
+
+/// --- Combinational LUT ----------------------------------------------------
+/// Ports of a mapped LUT.
+struct LutPorts {
+  std::vector<SignalAt> inputs;  ///< variable input lines (block r,c)
+  SignalAt out;                  ///< function output line
+  int blocks_used = 0;
+  int terms_used = 0;
+};
+
+/// Map an n-variable (n <= 3) truth table as literal-gen -> product-term
+/// block -> OR row, occupying blocks (r,c)..(r,c+2).  This is the Fig. 9
+/// 3-LUT structure.  Throws if the SOP cover needs more than 6 terms.
+LutPorts lut3(core::Fabric& f, int r, int c, const TruthTable& tt);
+
+/// --- State elements ---------------------------------------------------
+struct LatchPorts {
+  SignalAt d;       ///< data input line
+  SignalAt en;      ///< enable (clock) input line
+  SignalAt q;       ///< output line
+  int blocks_used = 0;
+};
+
+/// Transparent D latch in a block pair (r,c)-(r,c+1): the paper's
+/// "level-triggered (transparent) latch ... using the same number of cells".
+/// Gated-NAND structure: n1=NAND(D,EN), n2=NAND(n1,EN), cross-coupled
+/// output pair via the two lfb lines of the second block.
+LatchPorts d_latch(core::Fabric& f, int r, int c);
+
+struct DffPorts {
+  SignalAt d;
+  SignalAt clk;
+  SignalAt q;
+  int blocks_used = 0;
+};
+
+/// Rising-edge D flip-flop as a master-slave latch pair across blocks
+/// (r,c)..(r,c+3); complementary clock generated internally on spare rows
+/// (the Fig. 9 "remainder of that cell is used ... to develop the
+/// complementary clock signals").
+DffPorts dff(core::Fabric& f, int r, int c);
+
+/// --- Asynchronous primitives ----------------------------------------------
+struct CElementPorts {
+  SignalAt a, b;  ///< input lines (block r,c): both polarities are derived
+  SignalAt out;   ///< C-element output line
+  int blocks_used = 0;
+};
+
+/// Muller C-element as majority-with-feedback: block (r,c) forms the three
+/// products ab, a*c, b*c (c tapped from the east partner via lfb), block
+/// (r,c+1) NANDs them into c = ab + ac + bc.  The canonical asynchronous
+/// state machine of §4.1, realised in one block pair.
+CElementPorts c_element(core::Fabric& f, int r, int c);
+
+/// --- Datapath (Fig. 10) -----------------------------------------------
+struct AdderBitPorts {
+  SignalAt a, na;    ///< operand a, /a input lines
+  SignalAt b, nb;    ///< operand b, /b input lines
+  SignalAt cin, ncin;///< ripple carry inputs
+  SignalAt sum;      ///< sum output line
+  SignalAt cout, ncout;  ///< ripple carry outputs (feed the next bit's tile)
+  int blocks_used = 0;
+  int terms_used = 0;    ///< product terms in the first-level block (5)
+};
+
+/// One full-adder bit occupying the 3-block tile A=(r,c), B=(r,c+1),
+/// S=(r+1,c+1), with carry forward through F=(r,c+2).  Uses the paper's
+/// five shared product terms: ab, a.cin, b.cin, a.b.cin, (a+b+cin).
+AdderBitPorts full_adder_bit(core::Fabric& f, int r, int c);
+
+struct RippleAdderPorts {
+  std::vector<AdderBitPorts> bits;
+  int blocks_used = 0;
+};
+
+/// n-bit ripple-carry adder: bit i's tile at (r, c + 3*i).  Operand and
+/// carry-in lines of bit 0 are on the west/north boundary when (r,c)=(0,0).
+RippleAdderPorts ripple_adder(core::Fabric& f, int r, int c, int bits);
+
+/// Fabric rows/cols needed by ripple_adder.
+[[nodiscard]] constexpr int ripple_adder_rows() { return 2; }
+[[nodiscard]] constexpr int ripple_adder_cols(int bits) { return 3 * bits; }
+
+}  // namespace pp::map::macros

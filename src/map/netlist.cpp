@@ -1,0 +1,244 @@
+#include "map/netlist.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pp::map {
+
+int Netlist::add_input(std::string name) {
+  cells_.push_back({CellKind::kInput, {}, std::move(name)});
+  inputs_.push_back(static_cast<int>(cells_.size() - 1));
+  return static_cast<int>(cells_.size() - 1);
+}
+
+int Netlist::add_cell(CellKind kind, std::vector<int> fanin,
+                      std::string name) {
+  if (kind == CellKind::kInput)
+    throw std::invalid_argument("use add_input for inputs");
+  for (int f : fanin)
+    if (f < 0 || (kind != CellKind::kDff &&
+                  f >= static_cast<int>(cells_.size())))
+      throw std::invalid_argument("Netlist: bad fanin");
+  cells_.push_back({kind, std::move(fanin), std::move(name)});
+  return static_cast<int>(cells_.size() - 1);
+}
+
+void Netlist::mark_output(int cell) {
+  if (cell < 0 || cell >= static_cast<int>(cells_.size()))
+    throw std::invalid_argument("Netlist::mark_output");
+  outputs_.push_back(cell);
+}
+
+int Netlist::count(CellKind kind) const {
+  int n = 0;
+  for (const auto& c : cells_)
+    if (c.kind == kind) ++n;
+  return n;
+}
+
+int Netlist::depth() const {
+  std::vector<int> d(cells_.size(), 0);
+  int best = 0;
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    const auto& c = cells_[i];
+    if (c.kind == CellKind::kInput || c.kind == CellKind::kDff ||
+        c.kind == CellKind::kConst0 || c.kind == CellKind::kConst1) {
+      d[i] = 0;
+      continue;
+    }
+    int m = 0;
+    for (int f : c.fanin)
+      if (f < static_cast<int>(i)) m = std::max(m, d[f]);
+    d[i] = m + 1;
+    best = std::max(best, d[i]);
+  }
+  return best;
+}
+
+std::vector<bool> Netlist::make_state() const {
+  return std::vector<bool>(cells_.size(), false);
+}
+
+std::vector<bool> Netlist::step(const std::vector<bool>& input_values,
+                                std::vector<bool>& state) const {
+  if (input_values.size() != inputs_.size())
+    throw std::invalid_argument("Netlist::step: input count mismatch");
+  if (state.size() != cells_.size())
+    throw std::invalid_argument("Netlist::step: bad state vector");
+  std::vector<bool> v(cells_.size(), false);
+  std::size_t next_input = 0;
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    const auto& c = cells_[i];
+    switch (c.kind) {
+      case CellKind::kInput: v[i] = input_values[next_input++]; break;
+      case CellKind::kConst0: v[i] = false; break;
+      case CellKind::kConst1: v[i] = true; break;
+      case CellKind::kDff: v[i] = state[i]; break;  // Q from last cycle
+      case CellKind::kNot: v[i] = !v[c.fanin[0]]; break;
+      case CellKind::kAnd: {
+        bool r = true;
+        for (int f : c.fanin) r = r && v[f];
+        v[i] = r;
+        break;
+      }
+      case CellKind::kOr: {
+        bool r = false;
+        for (int f : c.fanin) r = r || v[f];
+        v[i] = r;
+        break;
+      }
+      case CellKind::kNand: {
+        bool r = true;
+        for (int f : c.fanin) r = r && v[f];
+        v[i] = !r;
+        break;
+      }
+      case CellKind::kNor: {
+        bool r = false;
+        for (int f : c.fanin) r = r || v[f];
+        v[i] = !r;
+        break;
+      }
+      case CellKind::kXor: {
+        bool r = false;
+        for (int f : c.fanin) r = r ^ v[f];
+        v[i] = r;
+        break;
+      }
+    }
+  }
+  // Clock edge: DFFs capture their D input's settled value.
+  for (std::size_t i = 0; i < cells_.size(); ++i)
+    if (cells_[i].kind == CellKind::kDff) state[i] = v[cells_[i].fanin[0]];
+  std::vector<bool> out;
+  out.reserve(outputs_.size());
+  for (int o : outputs_) out.push_back(v[o]);
+  return out;
+}
+
+std::vector<bool> Netlist::evaluate(
+    const std::vector<bool>& input_values) const {
+  if (count(CellKind::kDff) != 0)
+    throw std::logic_error("Netlist::evaluate: netlist is sequential");
+  auto state = make_state();
+  return step(input_values, state);
+}
+
+Netlist make_ripple_adder(int bits) {
+  Netlist nl;
+  std::vector<int> a(bits), b(bits);
+  for (int i = 0; i < bits; ++i) a[i] = nl.add_input("a" + std::to_string(i));
+  for (int i = 0; i < bits; ++i) b[i] = nl.add_input("b" + std::to_string(i));
+  int carry = nl.add_input("cin");
+  for (int i = 0; i < bits; ++i) {
+    const int axb = nl.add_cell(CellKind::kXor, {a[i], b[i]});
+    const int sum = nl.add_cell(CellKind::kXor, {axb, carry},
+                                "s" + std::to_string(i));
+    const int ab = nl.add_cell(CellKind::kAnd, {a[i], b[i]});
+    const int axb_c = nl.add_cell(CellKind::kAnd, {axb, carry});
+    carry = nl.add_cell(CellKind::kOr, {ab, axb_c});
+    nl.mark_output(sum);
+  }
+  nl.mark_output(carry);
+  return nl;
+}
+
+Netlist make_parity(int inputs) {
+  Netlist nl;
+  std::vector<int> in(inputs);
+  for (int i = 0; i < inputs; ++i)
+    in[i] = nl.add_input("x" + std::to_string(i));
+  int acc = in[0];
+  for (int i = 1; i < inputs; ++i)
+    acc = nl.add_cell(CellKind::kXor, {acc, in[i]});
+  nl.mark_output(acc);
+  return nl;
+}
+
+Netlist make_counter(int bits) {
+  Netlist nl;
+  const int en = nl.add_input("en");
+  // DFF cells first (their fanin is fixed up conceptually via later cells;
+  // Netlist allows DFF fanin to reference later cells).
+  std::vector<int> q(bits);
+  // Build: q_i' = q_i XOR carry_i, carry_0 = en, carry_{i+1} = carry_i AND q_i.
+  // Reserve DFFs by creating them with placeholder fanin then fixing: the IR
+  // is append-only, so create DFFs with forward indices computed below.
+  // Cell index layout: dffs at [1 .. bits], then logic.
+  int next = 1 + bits;  // first logic cell index
+  std::vector<int> dff_fanin(bits);
+  // Logic cells: for each bit: xor(q_i, carry) and and(carry, q_i).
+  // Predict indices.
+  int carry_idx = en;
+  for (int i = 0; i < bits; ++i) {
+    dff_fanin[i] = next;  // xor cell index
+    next += 2;            // xor + and
+    (void)carry_idx;
+  }
+  for (int i = 0; i < bits; ++i)
+    q[i] = nl.add_cell(CellKind::kDff, {dff_fanin[i]},
+                       "q" + std::to_string(i));
+  int carry = en;
+  for (int i = 0; i < bits; ++i) {
+    nl.add_cell(CellKind::kXor, {q[i], carry});
+    carry = nl.add_cell(CellKind::kAnd, {carry, q[i]});
+  }
+  for (int i = 0; i < bits; ++i) nl.mark_output(q[i]);
+  return nl;
+}
+
+Netlist make_mux4() {
+  Netlist nl;
+  const int d0 = nl.add_input("d0");
+  const int d1 = nl.add_input("d1");
+  const int d2 = nl.add_input("d2");
+  const int d3 = nl.add_input("d3");
+  const int s0 = nl.add_input("s0");
+  const int s1 = nl.add_input("s1");
+  const int ns0 = nl.add_cell(CellKind::kNot, {s0});
+  const int ns1 = nl.add_cell(CellKind::kNot, {s1});
+  const int t0 = nl.add_cell(CellKind::kAnd, {d0, ns1, ns0});
+  const int t1 = nl.add_cell(CellKind::kAnd, {d1, ns1, s0});
+  const int t2 = nl.add_cell(CellKind::kAnd, {d2, s1, ns0});
+  const int t3 = nl.add_cell(CellKind::kAnd, {d3, s1, s0});
+  const int y = nl.add_cell(CellKind::kOr, {t0, t1, t2, t3}, "y");
+  nl.mark_output(y);
+  return nl;
+}
+
+Netlist make_accumulator(int bits) {
+  Netlist nl;
+  std::vector<int> b(bits);
+  for (int i = 0; i < bits; ++i) b[i] = nl.add_input("b" + std::to_string(i));
+  // DFF indices precomputed: dffs at [bits .. 2*bits), logic follows.
+  // Logic per bit: xor(acc_i,b_i), xor(.,carry)=sum, and(acc_i,b_i),
+  // and(xor1, carry), or(...) = 5 cells per bit (carry in for bit 0 = const0).
+  const int c0 = nl.add_cell(CellKind::kConst0, {});
+  std::vector<int> dff_fanin(bits);
+  int next = bits + 1 + 1;  // inputs + const0 + first dff index... computed below
+  // Layout: cells 0..bits-1 inputs, cell bits = const0, cells bits+1 ..
+  // bits+bits = DFFs, then logic.  Sum cell for bit i is the 2nd logic cell
+  // of its group.
+  next = bits + 1 + bits;  // first logic cell
+  for (int i = 0; i < bits; ++i) {
+    dff_fanin[i] = next + 1;  // the sum xor
+    next += 5;
+  }
+  std::vector<int> acc(bits);
+  for (int i = 0; i < bits; ++i)
+    acc[i] = nl.add_cell(CellKind::kDff, {dff_fanin[i]},
+                         "acc" + std::to_string(i));
+  int carry = c0;
+  for (int i = 0; i < bits; ++i) {
+    const int axb = nl.add_cell(CellKind::kXor, {acc[i], b[i]});
+    const int sum = nl.add_cell(CellKind::kXor, {axb, carry});
+    const int ab = nl.add_cell(CellKind::kAnd, {acc[i], b[i]});
+    const int axb_c = nl.add_cell(CellKind::kAnd, {axb, carry});
+    carry = nl.add_cell(CellKind::kOr, {ab, axb_c});
+    nl.mark_output(sum);
+  }
+  for (int i = 0; i < bits; ++i) nl.mark_output(acc[i]);
+  return nl;
+}
+
+}  // namespace pp::map

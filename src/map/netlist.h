@@ -1,0 +1,88 @@
+// A lean structural netlist IR.
+//
+// Used for (a) reference evaluation — every fabric mapping is cross-checked
+// against a behavioural netlist of the same function — and (b) the FPGA
+// baseline: pp::fpga tech-maps these netlists onto 4-LUT logic cells for the
+// function-for-function comparisons of §4 (TAB-A / TAB-B).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pp::map {
+
+enum class CellKind : std::uint8_t {
+  kInput,
+  kConst0,
+  kConst1,
+  kNot,
+  kAnd,
+  kOr,
+  kNand,
+  kNor,
+  kXor,
+  kDff,  ///< fanin[0] = D; clocked by the netlist-level step()
+};
+
+struct NetlistCell {
+  CellKind kind;
+  std::vector<int> fanin;
+  std::string name;
+};
+
+/// A combinational/sequential netlist in topological construction order
+/// (cells may only reference earlier cells, except DFF fanin which may be
+/// any cell — state breaks the cycle).
+class Netlist {
+ public:
+  int add_input(std::string name);
+  int add_cell(CellKind kind, std::vector<int> fanin, std::string name = {});
+  void mark_output(int cell);
+
+  [[nodiscard]] std::size_t cell_count() const noexcept { return cells_.size(); }
+  [[nodiscard]] const NetlistCell& cell(int i) const { return cells_.at(i); }
+  [[nodiscard]] const std::vector<int>& inputs() const noexcept { return inputs_; }
+  [[nodiscard]] const std::vector<int>& outputs() const noexcept { return outputs_; }
+
+  /// Count of cells of a given kind.
+  [[nodiscard]] int count(CellKind kind) const;
+  /// Combinational depth (DFF outputs are depth 0 sources).
+  [[nodiscard]] int depth() const;
+
+  /// Evaluate one cycle: combinational settle from `input_values`, then
+  /// clock all DFFs.  Returns output values.  State persists in `state`.
+  std::vector<bool> step(const std::vector<bool>& input_values,
+                         std::vector<bool>& state) const;
+  /// Fresh all-zero DFF state vector.
+  [[nodiscard]] std::vector<bool> make_state() const;
+
+  /// Purely combinational evaluation (throws if the netlist has DFFs).
+  [[nodiscard]] std::vector<bool> evaluate(
+      const std::vector<bool>& input_values) const;
+
+ private:
+  std::vector<NetlistCell> cells_;
+  std::vector<int> inputs_;
+  std::vector<int> outputs_;
+};
+
+/// --- Generators for the workloads used across benches -------------------
+
+/// n-bit ripple-carry adder: inputs a0..a(n-1), b0..b(n-1), cin;
+/// outputs s0..s(n-1), cout.
+[[nodiscard]] Netlist make_ripple_adder(int bits);
+
+/// n-input parity (XOR chain).
+[[nodiscard]] Netlist make_parity(int inputs);
+
+/// n-bit synchronous counter (DFFs + increment logic), outputs = count bits.
+[[nodiscard]] Netlist make_counter(int bits);
+
+/// 4:1 multiplexer (2 select lines).
+[[nodiscard]] Netlist make_mux4();
+
+/// n-bit accumulator: input bus b, state register a; a' = a + b (Fig. 10).
+[[nodiscard]] Netlist make_accumulator(int bits);
+
+}  // namespace pp::map

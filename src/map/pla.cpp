@@ -1,0 +1,78 @@
+#include "map/pla.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "map/macros.h"
+
+namespace pp::map {
+
+using core::BiasLevel;
+using core::BlockConfig;
+using core::DriverCfg;
+
+std::vector<Implicant> pooled_cover(const std::vector<TruthTable>& fns) {
+  std::vector<Implicant> pool;
+  for (const auto& tt : fns) {
+    for (const auto& imp : minimize(tt)) {
+      if (std::find(pool.begin(), pool.end(), imp) == pool.end())
+        pool.push_back(imp);
+    }
+  }
+  return pool;
+}
+
+PlaPorts pla_pair(core::Fabric& fabric, int r, int c,
+                  const std::vector<TruthTable>& fns) {
+  if (fns.empty() || fns.size() > static_cast<std::size_t>(core::kBlockOutputs))
+    throw std::invalid_argument("pla_pair: 1..6 output functions");
+  const int n = fns.front().num_vars();
+  if (n > 3) throw std::invalid_argument("pla_pair: at most 3 variables");
+  for (const auto& tt : fns)
+    if (tt.num_vars() != n)
+      throw std::invalid_argument("pla_pair: inconsistent variable counts");
+
+  const auto pool = pooled_cover(fns);
+  if (pool.size() > static_cast<std::size_t>(core::kBlockOutputs))
+    throw std::invalid_argument(
+        "pla_pair: pooled cover needs more than 6 terms; decompose");
+
+  PlaPorts ports;
+  ports.inputs = macros::literal_gen(fabric, r, c, n);
+
+  // Shared product-term plane.
+  BlockConfig& term = fabric.block(r, c + 1);
+  for (std::size_t t = 0; t < pool.size(); ++t) {
+    const Implicant& imp = pool[t];
+    for (int i = 0; i < n; ++i) {
+      if (!(imp.care & (1u << i))) continue;
+      const int col = 2 * i + ((imp.value >> i) & 1 ? 0 : 1);
+      term.xpoint[t][col] = BiasLevel::kActive;
+    }
+    term.driver[t] = imp.care == 0 ? DriverCfg::kInvert : DriverCfg::kBuffer;
+  }
+
+  // OR plane: one row per output, selecting that function's terms.
+  BlockConfig& orb = fabric.block(r, c + 2);
+  for (std::size_t f = 0; f < fns.size(); ++f) {
+    const auto cover = minimize(fns[f]);
+    if (cover.empty()) {
+      // Constant-0 output: empty row reads constant 1, inverted out.
+      orb.driver[f] = DriverCfg::kInvert;
+    } else {
+      for (const auto& imp : cover) {
+        const auto it = std::find(pool.begin(), pool.end(), imp);
+        const auto col = static_cast<int>(it - pool.begin());
+        orb.xpoint[f][col] = BiasLevel::kActive;
+      }
+      orb.driver[f] = DriverCfg::kBuffer;
+    }
+    ports.outputs.push_back({r, c + 3, static_cast<int>(f)});
+    ports.terms_unshared += static_cast<int>(cover.size());
+  }
+  ports.terms_used = static_cast<int>(pool.size());
+  ports.blocks_used = 3;
+  return ports;
+}
+
+}  // namespace pp::map

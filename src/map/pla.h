@@ -1,0 +1,44 @@
+// The configured block *pair* as a multi-output PLA — the paper's §4 claim
+// that "Pairs of cells, configured together, represent the equivalent of a
+// small LUT with 6 inputs, 6 outputs and 6 product-terms".
+//
+// Structure (same chain as lut3, but multi-output with term sharing):
+//   block (r,c)   : literal generation (up to 3 variables, both polarities)
+//   block (r,c+1) : the shared product-term plane (up to 6 terms)
+//   block (r,c+2) : one OR row per output (up to 6 outputs)
+//
+// Implicants are pooled across outputs and deduplicated, which is exactly
+// where the paper's "sharing of terms" (Fig. 10's 5-term adder) comes from.
+// If the pooled cover needs more than 6 terms the functions do not fit one
+// pair and the mapper throws — the caller must decompose.
+#pragma once
+
+#include <vector>
+
+#include "core/fabric.h"
+#include "map/router.h"
+#include "map/truth_table.h"
+
+namespace pp::map {
+
+struct PlaPorts {
+  std::vector<SignalAt> inputs;   ///< variable columns of the literal block
+  std::vector<SignalAt> outputs;  ///< one line per mapped function
+  int terms_used = 0;             ///< pooled (shared) product terms
+  int terms_unshared = 0;         ///< sum of per-function cover sizes
+  int blocks_used = 0;
+};
+
+/// Map up to 6 functions of the same <=3 variables onto one term/OR block
+/// pair (plus the literal block).  All functions must have the same number
+/// of variables.  Throws std::invalid_argument if the pooled cover exceeds
+/// 6 terms or the signature is inconsistent.
+PlaPorts pla_pair(core::Fabric& fabric, int r, int c,
+                  const std::vector<TruthTable>& functions);
+
+/// The pooled, deduplicated cover the mapper would use (exposed for
+/// planning: callers check fit before committing fabric area).
+[[nodiscard]] std::vector<Implicant> pooled_cover(
+    const std::vector<TruthTable>& functions);
+
+}  // namespace pp::map

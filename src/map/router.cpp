@@ -1,0 +1,130 @@
+#include "map/router.h"
+
+#include <map>
+#include <queue>
+
+namespace pp::map {
+
+using core::BiasLevel;
+using core::BlockConfig;
+using core::ColSource;
+using core::DriverCfg;
+using core::kBlockInputs;
+using core::kBlockOutputs;
+using core::LfbWhich;
+
+bool Router::row_free(int r, int c, int row) const {
+  if (r < 0 || r >= fabric_.rows() || c < 0 || c >= fabric_.cols())
+    return false;
+  const BlockConfig& b = fabric_.block(r, c);
+  for (int j = 0; j < kBlockInputs; ++j)
+    if (b.xpoint[row][j] != BiasLevel::kForce1) return false;
+  if (b.driver[row] != DriverCfg::kOff) return false;
+  // A row tapped by an lfb (own block or a west/north partner tapping
+  // east/south) is in use even if its crosspoints are empty.
+  auto taps = [&](int br, int bc, LfbWhich which) {
+    if (br < 0 || bc < 0 || br >= fabric_.rows() || bc >= fabric_.cols())
+      return false;
+    const BlockConfig& nb = fabric_.block(br, bc);
+    for (const auto& sel : nb.lfb_src)
+      if (sel.which == which && sel.row == row) return true;
+    return false;
+  };
+  return !(taps(r, c, LfbWhich::kOwn) || taps(r, c - 1, LfbWhich::kEast) ||
+           taps(r - 1, c, LfbWhich::kSouth));
+}
+
+bool Router::line_free(int r, int c, int line) const {
+  // Drivers that can reach input line (r,c,line): west block (r,c-1) row
+  // `line`, north block (r-1,c) row `line`.
+  if (c > 0 && r < fabric_.rows() &&
+      fabric_.block(r, c - 1).driver[line] != DriverCfg::kOff)
+    return false;
+  if (r > 0 && c < fabric_.cols() &&
+      fabric_.block(r - 1, c).driver[line] != DriverCfg::kOff)
+    return false;
+  return true;
+}
+
+std::optional<RouteResult> Router::route(const SignalAt& src,
+                                         const SignalAt& dst, bool invert) {
+  struct State {
+    int r, c, line;
+  };
+  struct Prev {
+    int r, c, line;     // predecessor state
+    int via_r, via_c, via_row;  // block/row used for the hop
+  };
+  if (src == dst && !invert) return RouteResult{};  // already there
+
+  std::map<std::tuple<int, int, int>, Prev> visited;
+  std::queue<State> frontier;
+  frontier.push({src.r, src.c, src.line});
+  visited[{src.r, src.c, src.line}] = {-1, -1, -1, -1, -1, -1};
+
+  auto found = [&](const State& s) {
+    return s.r == dst.r && s.c == dst.c && s.line == dst.line;
+  };
+
+  std::optional<State> goal;
+  if (found({src.r, src.c, src.line}) && !invert) {
+    return RouteResult{};
+  }
+  while (!frontier.empty() && !goal) {
+    const State s = frontier.front();
+    frontier.pop();
+    // The signal sits on input line (s.r, s.c, s.line); block (s.r, s.c)
+    // can forward it through any free row.
+    const int br = s.r, bc = s.c;
+    if (br >= fabric_.rows() || bc >= fabric_.cols()) continue;
+    // Skip if this block's column s.line is configured to read an lfb.
+    if (fabric_.block(br, bc).col_src[s.line] != ColSource::kAbut) continue;
+    for (int row = 0; row < kBlockOutputs; ++row) {
+      if (!row_free(br, bc, row)) continue;
+      // Driving row `row` lands the value on the east and south lines of
+      // index `row`; both must be free (one driver reaches both).
+      if (!line_free(br, bc + 1, row) || !line_free(br + 1, bc, row))
+        continue;
+      for (const auto& [nr, nc] : {std::pair{br, bc + 1}, {br + 1, bc}}) {
+        if (nr > fabric_.rows() || nc > fabric_.cols()) continue;
+        if (nr == fabric_.rows() && nc == fabric_.cols()) continue;
+        const auto key = std::make_tuple(nr, nc, row);
+        if (visited.count(key)) continue;
+        visited[key] = {s.r, s.c, s.line, br, bc, row};
+        const State n{nr, nc, row};
+        if (found(n)) {
+          goal = n;
+          break;
+        }
+        frontier.push(n);
+      }
+      if (goal) break;
+    }
+  }
+  if (!goal) return std::nullopt;
+
+  // Reconstruct and apply: each hop sets xpoint[row][in_line] active and the
+  // driver to Invert (polarity-neutral hop).  The final hop's driver becomes
+  // Buffer when the caller wants the complement.
+  std::vector<Prev> chain;
+  State s = *goal;
+  for (;;) {
+    const Prev p = visited[{s.r, s.c, s.line}];
+    if (p.via_row < 0) break;
+    chain.push_back(p);
+    s = {p.r, p.c, p.line};
+  }
+  RouteResult result;
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    BlockConfig& b = fabric_.block(it->via_r, it->via_c);
+    b.xpoint[it->via_row][it->line] = BiasLevel::kActive;
+    const bool last = (it + 1 == chain.rend());
+    b.driver[it->via_row] =
+        (last && invert) ? DriverCfg::kBuffer : DriverCfg::kInvert;
+    result.hops.push_back({it->via_r, it->via_c, it->via_row});
+  }
+  result.hop_count = static_cast<int>(result.hops.size());
+  return result;
+}
+
+}  // namespace pp::map

@@ -1,0 +1,59 @@
+// Feed-through routing on the polymorphic fabric.
+//
+// The paper's interconnect story (§4): an output driver configured as a
+// buffer "provides a buffer that will allow any output line to be used as a
+// data feed-through from an adjacent cell".  A route is therefore a chain of
+// (block, row) hops: the signal enters a block on input column j, one free
+// row is configured as NAND(column j) — i.e. the complement — and its driver
+// re-drives the next abutted line.  An inverting driver restores polarity,
+// so every hop is polarity-neutral by default; the router can deliver the
+// complement for free by flipping the final hop's driver (the paper's
+// "components used interchangeably for logic and interconnection").
+//
+// Hops advance east or south only (see fabric.h's connectivity model), so
+// the router is a BFS over (block row, block col, line index) states with
+// occupancy tracking of rows and abutted lines.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/fabric.h"
+
+namespace pp::map {
+
+/// A signal location: "available on input line `line` of block (r, c)",
+/// i.e. net in_line(r, c, line).
+struct SignalAt {
+  int r, c, line;
+  bool operator==(const SignalAt&) const = default;
+};
+
+struct RouteResult {
+  std::vector<core::LinePos> hops;  ///< (block, row) used per hop
+  int hop_count = 0;
+};
+
+class Router {
+ public:
+  explicit Router(core::Fabric& fabric) : fabric_(fabric) {}
+
+  /// Route the signal at `src` so it appears on input line `dst`.
+  /// On success the fabric is updated (rows configured as feed-throughs)
+  /// and the hop list returned; on failure nothing is modified.
+  /// If `invert` is set, the delivered value is the complement.
+  std::optional<RouteResult> route(const SignalAt& src, const SignalAt& dst,
+                                   bool invert = false);
+
+  /// True if row `row` of block (r,c) is unused (no crosspoints, driver off,
+  /// not tapped by any lfb of this block or its west/north pair partners).
+  [[nodiscard]] bool row_free(int r, int c, int row) const;
+
+  /// True if input line (r,c,line) has no enabled abutting driver yet.
+  [[nodiscard]] bool line_free(int r, int c, int line) const;
+
+ private:
+  core::Fabric& fabric_;
+};
+
+}  // namespace pp::map

@@ -1,0 +1,169 @@
+#include "map/truth_table.h"
+
+#include <algorithm>
+#include <bit>
+#include <set>
+#include <stdexcept>
+
+namespace pp::map {
+
+int Implicant::literals() const noexcept { return std::popcount(care); }
+
+std::string Implicant::to_string(int num_vars) const {
+  if (care == 0) return "1";
+  std::string s;
+  for (int i = 0; i < num_vars; ++i) {
+    if (!(care & (1u << i))) continue;
+    if (!s.empty()) s += ".";
+    if (!(value & (1u << i))) s += "/";
+    s += static_cast<char>('a' + i);
+  }
+  return s;
+}
+
+TruthTable::TruthTable(int num_vars) : num_vars_(num_vars) {
+  if (num_vars < 1 || num_vars > kMaxVars)
+    throw std::invalid_argument("TruthTable: 1..6 variables");
+}
+
+TruthTable TruthTable::from_function(
+    int num_vars, const std::function<bool(std::uint8_t)>& f) {
+  TruthTable tt(num_vars);
+  for (int i = 0; i < tt.num_rows(); ++i)
+    tt.set(static_cast<std::uint8_t>(i), f(static_cast<std::uint8_t>(i)));
+  return tt;
+}
+
+TruthTable TruthTable::from_minterms(int num_vars,
+                                     const std::vector<std::uint8_t>& ms) {
+  TruthTable tt(num_vars);
+  for (std::uint8_t m : ms) tt.set(m, true);
+  return tt;
+}
+
+void TruthTable::set(std::uint8_t input, bool value) {
+  if (input >= num_rows()) throw std::out_of_range("TruthTable::set");
+  if (value)
+    bits_ |= (1ull << input);
+  else
+    bits_ &= ~(1ull << input);
+}
+
+bool TruthTable::eval(std::uint8_t input) const {
+  if (input >= num_rows()) throw std::out_of_range("TruthTable::eval");
+  return (bits_ >> input) & 1;
+}
+
+int TruthTable::count_ones() const noexcept {
+  return std::popcount(bits_ & ((num_rows() == 64)
+                                    ? ~0ull
+                                    : ((1ull << num_rows()) - 1)));
+}
+
+TruthTable TruthTable::complement() const {
+  TruthTable tt(num_vars_);
+  const std::uint64_t mask =
+      num_rows() == 64 ? ~0ull : ((1ull << num_rows()) - 1);
+  tt.bits_ = ~bits_ & mask;
+  return tt;
+}
+
+std::vector<Implicant> prime_implicants(const TruthTable& tt) {
+  const int n = tt.num_vars();
+  const std::uint8_t full = static_cast<std::uint8_t>((1u << n) - 1);
+
+  // Start from the minterms as implicants with all variables cared.
+  std::set<std::pair<std::uint8_t, std::uint8_t>> current;  // (care, value)
+  for (int m = 0; m < tt.num_rows(); ++m)
+    if (tt.eval(static_cast<std::uint8_t>(m)))
+      current.insert({full, static_cast<std::uint8_t>(m)});
+
+  std::vector<Implicant> primes;
+  while (!current.empty()) {
+    std::set<std::pair<std::uint8_t, std::uint8_t>> next;
+    std::set<std::pair<std::uint8_t, std::uint8_t>> combined;
+    const std::vector<std::pair<std::uint8_t, std::uint8_t>> items(
+        current.begin(), current.end());
+    for (std::size_t i = 0; i < items.size(); ++i) {
+      for (std::size_t j = i + 1; j < items.size(); ++j) {
+        if (items[i].first != items[j].first) continue;  // same care set
+        const std::uint8_t diff = items[i].second ^ items[j].second;
+        if (std::popcount(static_cast<unsigned>(diff & items[i].first)) != 1)
+          continue;  // must differ in exactly one cared variable
+        const std::uint8_t care = items[i].first & static_cast<std::uint8_t>(~diff);
+        next.insert({care, static_cast<std::uint8_t>(items[i].second & care)});
+        combined.insert(items[i]);
+        combined.insert(items[j]);
+      }
+    }
+    for (const auto& it : items) {
+      if (!combined.count(it))
+        primes.push_back({it.first, static_cast<std::uint8_t>(it.second & it.first)});
+    }
+    current = std::move(next);
+  }
+  return primes;
+}
+
+std::vector<Implicant> minimize(const TruthTable& tt) {
+  std::vector<std::uint8_t> minterms;
+  for (int m = 0; m < tt.num_rows(); ++m)
+    if (tt.eval(static_cast<std::uint8_t>(m)))
+      minterms.push_back(static_cast<std::uint8_t>(m));
+  if (minterms.empty()) return {};
+
+  const auto primes = prime_implicants(tt);
+  std::vector<Implicant> cover;
+  std::vector<bool> covered(minterms.size(), false);
+
+  // Essential primes: minterms covered by exactly one prime.
+  for (std::size_t mi = 0; mi < minterms.size(); ++mi) {
+    int count = 0;
+    std::size_t which = 0;
+    for (std::size_t pi = 0; pi < primes.size(); ++pi) {
+      if (primes[pi].covers(minterms[mi])) {
+        ++count;
+        which = pi;
+      }
+    }
+    if (count == 1 &&
+        std::find(cover.begin(), cover.end(), primes[which]) == cover.end()) {
+      cover.push_back(primes[which]);
+    }
+  }
+  auto mark = [&] {
+    for (std::size_t mi = 0; mi < minterms.size(); ++mi)
+      for (const auto& imp : cover)
+        if (imp.covers(minterms[mi])) covered[mi] = true;
+  };
+  mark();
+
+  // Greedy: repeatedly take the prime covering the most uncovered minterms.
+  for (;;) {
+    std::size_t best = primes.size();
+    int best_gain = 0;
+    for (std::size_t pi = 0; pi < primes.size(); ++pi) {
+      if (std::find(cover.begin(), cover.end(), primes[pi]) != cover.end())
+        continue;
+      int gain = 0;
+      for (std::size_t mi = 0; mi < minterms.size(); ++mi)
+        if (!covered[mi] && primes[pi].covers(minterms[mi])) ++gain;
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = pi;
+      }
+    }
+    if (best == primes.size()) break;
+    cover.push_back(primes[best]);
+    mark();
+  }
+  return cover;
+}
+
+bool eval_cover(const std::vector<Implicant>& cover, std::uint8_t input) {
+  for (const auto& imp : cover)
+    if (imp.covers(input)) return true;
+  return false;
+}
+
+}  // namespace pp::map

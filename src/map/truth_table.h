@@ -1,0 +1,77 @@
+// Single-output truth tables of up to 6 variables, plus two-level
+// minimisation (Quine-McCluskey prime generation + greedy cover).  Six is
+// the natural bound here: a 6x6 NAND block accepts at most six literals per
+// product term, and a configured block pair is "a small LUT with 6 inputs,
+// 6 outputs and 6 product-terms" (§4).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace pp::map {
+
+inline constexpr int kMaxVars = 6;
+
+/// A product term over n variables: for variable i,
+///   care bit i set   -> literal present, polarity from `value` bit i
+///   care bit i clear -> variable absent from the term.
+struct Implicant {
+  std::uint8_t care = 0;
+  std::uint8_t value = 0;
+
+  [[nodiscard]] bool covers(std::uint8_t minterm) const noexcept {
+    return (minterm & care) == (value & care);
+  }
+  /// Number of literals in the term.
+  [[nodiscard]] int literals() const noexcept;
+  /// Render like "a./b.c" with variables named a,b,c,...
+  [[nodiscard]] std::string to_string(int num_vars) const;
+  bool operator==(const Implicant&) const = default;
+};
+
+class TruthTable {
+ public:
+  /// All-zero function of n variables (1 <= n <= 6).
+  explicit TruthTable(int num_vars);
+
+  /// Build from an evaluator called on every input combination; bit i of
+  /// the input is variable i.
+  static TruthTable from_function(int num_vars,
+                                  const std::function<bool(std::uint8_t)>& f);
+  /// Build from the list of true minterms.
+  static TruthTable from_minterms(int num_vars,
+                                  const std::vector<std::uint8_t>& minterms);
+
+  void set(std::uint8_t input, bool value);
+  [[nodiscard]] bool eval(std::uint8_t input) const;
+
+  [[nodiscard]] int num_vars() const noexcept { return num_vars_; }
+  [[nodiscard]] std::uint64_t bits() const noexcept { return bits_; }
+  [[nodiscard]] int num_rows() const noexcept { return 1 << num_vars_; }
+  [[nodiscard]] int count_ones() const noexcept;
+
+  /// The complement function.
+  [[nodiscard]] TruthTable complement() const;
+
+  bool operator==(const TruthTable&) const = default;
+
+ private:
+  int num_vars_;
+  std::uint64_t bits_ = 0;  // row i = bit i
+};
+
+/// Quine-McCluskey prime implicant generation.
+[[nodiscard]] std::vector<Implicant> prime_implicants(const TruthTable& tt);
+
+/// Minimal-ish sum-of-products cover: essential primes first, then greedy
+/// set cover by coverage count (optimal for the small tables here in all
+/// tested cases; never returns a non-cover).
+[[nodiscard]] std::vector<Implicant> minimize(const TruthTable& tt);
+
+/// Evaluate a cover (OR of products) on an input — used to verify covers.
+[[nodiscard]] bool eval_cover(const std::vector<Implicant>& cover,
+                              std::uint8_t input);
+
+}  // namespace pp::map

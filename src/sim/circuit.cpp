@@ -1,0 +1,145 @@
+#include "sim/circuit.h"
+
+#include <sstream>
+
+namespace pp::sim {
+
+NetId Circuit::add_net(std::string name) {
+  const auto id = static_cast<NetId>(net_names_.size());
+  if (name.empty()) name = "n" + std::to_string(id);
+  net_names_.push_back(std::move(name));
+  input_flag_.push_back(false);
+  return id;
+}
+
+void Circuit::mark_input(NetId net) { input_flag_.at(net) = true; }
+
+bool Circuit::is_input(NetId n) const { return input_flag_.at(n); }
+
+GateId Circuit::add_gate(GateKind kind, std::vector<NetId> inputs,
+                         NetId output, SimTime delay_ps) {
+  Gate g;
+  g.kind = kind;
+  g.inputs = std::move(inputs);
+  g.output = output;
+  g.delay_ps = delay_ps == 0 ? 1 : delay_ps;
+  g.inertial_ps = g.delay_ps;  // classic inertial default
+  if (kind == GateKind::kDelay) g.inertial_ps = 0;  // transport semantics
+  gates_.push_back(std::move(g));
+  return static_cast<GateId>(gates_.size() - 1);
+}
+
+void Circuit::set_inertial(GateId gate, SimTime window_ps) {
+  gates_.at(gate).inertial_ps = window_ps;
+}
+
+std::size_t Circuit::driver_count(NetId n) const {
+  std::size_t count = input_flag_.at(n) ? 1u : 0u;
+  for (const auto& g : gates_)
+    if (g.output == n) ++count;
+  return count;
+}
+
+int gate_arity(GateKind kind) noexcept {
+  switch (kind) {
+    case GateKind::kNand:
+    case GateKind::kAnd:
+    case GateKind::kOr:
+    case GateKind::kNor:
+    case GateKind::kXor:
+    case GateKind::kXnor:
+      return 0;  // variadic
+    case GateKind::kNot:
+    case GateKind::kBuf:
+    case GateKind::kDelay:
+      return 1;
+    case GateKind::kTriBuf:
+    case GateKind::kTriInv:
+    case GateKind::kLatch:
+      return 2;
+    case GateKind::kDff:
+    case GateKind::kCElement:
+      return -2;  // 2 or 3 (optional active-low async reset on pin 2)
+    case GateKind::kConst0:
+    case GateKind::kConst1:
+      return -1;  // zero inputs
+  }
+  return 0;
+}
+
+const char* gate_kind_name(GateKind kind) noexcept {
+  switch (kind) {
+    case GateKind::kNand: return "NAND";
+    case GateKind::kAnd: return "AND";
+    case GateKind::kOr: return "OR";
+    case GateKind::kNor: return "NOR";
+    case GateKind::kNot: return "NOT";
+    case GateKind::kBuf: return "BUF";
+    case GateKind::kXor: return "XOR";
+    case GateKind::kXnor: return "XNOR";
+    case GateKind::kTriBuf: return "TRIBUF";
+    case GateKind::kTriInv: return "TRIINV";
+    case GateKind::kConst0: return "CONST0";
+    case GateKind::kConst1: return "CONST1";
+    case GateKind::kDff: return "DFF";
+    case GateKind::kLatch: return "LATCH";
+    case GateKind::kCElement: return "CELEM";
+    case GateKind::kDelay: return "DELAY";
+  }
+  return "?";
+}
+
+bool is_tristate(GateKind kind) noexcept {
+  return kind == GateKind::kTriBuf || kind == GateKind::kTriInv;
+}
+
+std::string Circuit::validate() const {
+  std::ostringstream err;
+  std::vector<int> strong_drivers(net_names_.size(), 0);
+  std::vector<int> tri_drivers(net_names_.size(), 0);
+  for (std::size_t gi = 0; gi < gates_.size(); ++gi) {
+    const Gate& g = gates_[gi];
+    if (g.output == kNoNet || g.output >= net_names_.size()) {
+      err << "gate " << gi << " (" << gate_kind_name(g.kind)
+          << "): bad output net\n";
+      continue;
+    }
+    for (NetId in : g.inputs) {
+      if (in == kNoNet || in >= net_names_.size())
+        err << "gate " << gi << ": bad input net\n";
+    }
+    const int arity = gate_arity(g.kind);
+    const auto nin = static_cast<int>(g.inputs.size());
+    if (arity == 0 && nin < 1)
+      err << "gate " << gi << " (" << gate_kind_name(g.kind)
+          << "): needs >= 1 input\n";
+    if (arity > 0 && nin != arity)
+      err << "gate " << gi << " (" << gate_kind_name(g.kind) << "): needs "
+          << arity << " inputs, has " << nin << "\n";
+    if (arity == -1 && nin != 0)
+      err << "gate " << gi << ": constant takes no inputs\n";
+    if (arity == -2 && (nin < 2 || nin > 3))
+      err << "gate " << gi << " (" << gate_kind_name(g.kind)
+          << "): takes 2 or 3 inputs\n";
+    if (is_tristate(g.kind))
+      ++tri_drivers[g.output];
+    else
+      ++strong_drivers[g.output];
+  }
+  for (std::size_t n = 0; n < net_names_.size(); ++n) {
+    // External input pads behave as 3-state drivers (default released), so
+    // an input net may legally also have 3-state gate drivers — that is how
+    // the fabric's boundary lines work.  Strong (always-driving) gates must
+    // be a net's sole driver.
+    const int strong = strong_drivers[n];
+    if (strong > 1)
+      err << "net " << net_names_[n] << ": " << strong
+          << " strong drivers (max 1)\n";
+    if (strong >= 1 && (tri_drivers[n] > 0 || input_flag_[n]))
+      err << "net " << net_names_[n]
+          << ": mixes a strong driver with 3-state/input drivers\n";
+  }
+  return err.str();
+}
+
+}  // namespace pp::sim

@@ -1,0 +1,104 @@
+// Gate-level circuit graph consumed by the event-driven simulator.
+//
+// Two layers of primitives coexist deliberately:
+//  * *structural* gates (NAND + 3-state drivers + constants) — everything a
+//    configured polymorphic fabric elaborates to (Figs. 7-10, 12), so that
+//    simulated behaviour follows from exactly the structures the paper draws;
+//  * *behavioural* gates (DFF, C-element, programmable delay line) — reference
+//    models used to cross-check the structural implementations and to build
+//    the Sutherland micropipeline test harnesses (Fig. 11).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "sim/logic.h"
+
+namespace pp::sim {
+
+using NetId = std::uint32_t;
+using GateId = std::uint32_t;
+/// Simulation time in picoseconds.
+using SimTime = std::uint64_t;
+
+inline constexpr NetId kNoNet = std::numeric_limits<NetId>::max();
+
+enum class GateKind : std::uint8_t {
+  kNand,      ///< n-input NAND (the fabric's product-term line)
+  kAnd,
+  kOr,
+  kNor,
+  kNot,
+  kBuf,
+  kXor,
+  kXnor,
+  kTriBuf,    ///< inputs: {data, enable}; enable=1 drives data, else Z
+  kTriInv,    ///< inputs: {data, enable}; enable=1 drives /data, else Z
+  kConst0,
+  kConst1,
+  kDff,       ///< behavioural: {D, CLK [, RSTn]} rising-edge flip-flop
+  kLatch,     ///< behavioural: {D, EN}: transparent while EN=1
+  kCElement,  ///< behavioural Muller C-element: {A, B} (state-holding)
+  kDelay,     ///< 1-input transport-delay line (bundled-data matching delay)
+};
+
+struct Gate {
+  GateKind kind;
+  std::vector<NetId> inputs;
+  NetId output = kNoNet;
+  SimTime delay_ps = 1;
+  /// Inertial rejection window; pulses shorter than this are swallowed.
+  /// Defaults to the propagation delay (classic inertial model).
+  SimTime inertial_ps = 0;
+};
+
+/// A circuit under construction.  Nets are created first, then gates that
+/// read/drive them.  Multiple gates may drive one net only if all drivers are
+/// 3-state (checked by `validate`).
+class Circuit {
+ public:
+  /// Create a net; name is optional and used for waveforms/diagnostics.
+  NetId add_net(std::string name = {});
+
+  /// Declare a net as a primary input (gives it an external driver slot).
+  void mark_input(NetId net);
+
+  /// Add a gate.  `delay_ps` must be >= 1 for state-affecting kinds so that
+  /// feedback loops (flip-flops built from NANDs) iterate in time rather
+  /// than recursing instantaneously.
+  GateId add_gate(GateKind kind, std::vector<NetId> inputs, NetId output,
+                  SimTime delay_ps = 1);
+
+  /// Set the inertial window of a gate (0 = pure transport delay).
+  void set_inertial(GateId gate, SimTime window_ps);
+
+  [[nodiscard]] std::size_t net_count() const noexcept { return net_names_.size(); }
+  [[nodiscard]] std::size_t gate_count() const noexcept { return gates_.size(); }
+  [[nodiscard]] const Gate& gate(GateId g) const { return gates_.at(g); }
+  [[nodiscard]] const std::string& net_name(NetId n) const { return net_names_.at(n); }
+  [[nodiscard]] const std::vector<Gate>& gates() const noexcept { return gates_; }
+  [[nodiscard]] bool is_input(NetId n) const;
+
+  /// Structural checks: every net driven by at most one non-3-state gate,
+  /// no dangling gate pins, behavioural gates with correct pin counts.
+  /// Returns an empty string when valid, else a diagnostic.
+  [[nodiscard]] std::string validate() const;
+
+  /// Total number of driver slots on a net (external + gate outputs).
+  [[nodiscard]] std::size_t driver_count(NetId n) const;
+
+ private:
+  std::vector<std::string> net_names_;
+  std::vector<bool> input_flag_;
+  std::vector<Gate> gates_;
+};
+
+/// Expected input pin count for fixed-arity kinds; 0 means variadic (>=1).
+[[nodiscard]] int gate_arity(GateKind kind) noexcept;
+[[nodiscard]] const char* gate_kind_name(GateKind kind) noexcept;
+/// True for kinds whose output may legally share a net with other drivers.
+[[nodiscard]] bool is_tristate(GateKind kind) noexcept;
+
+}  // namespace pp::sim

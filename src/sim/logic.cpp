@@ -1,0 +1,41 @@
+#include "sim/logic.h"
+
+namespace pp::sim {
+
+Logic nand_of(std::span<const Logic> ins) noexcept {
+  bool unknown = false;
+  for (Logic v : ins) {
+    if (v == Logic::k0) return Logic::k1;  // dominant 0
+    if (!is_binary(v)) unknown = true;
+  }
+  return unknown ? Logic::kX : Logic::k0;
+}
+
+Logic and_of(std::span<const Logic> ins) noexcept {
+  return not_of(nand_of(ins));
+}
+
+Logic or_of(std::span<const Logic> ins) noexcept {
+  bool unknown = false;
+  for (Logic v : ins) {
+    if (v == Logic::k1) return Logic::k1;  // dominant 1
+    if (!is_binary(v)) unknown = true;
+  }
+  return unknown ? Logic::kX : Logic::k0;
+}
+
+Logic xor_of(std::span<const Logic> ins) noexcept {
+  bool acc = false;
+  for (Logic v : ins) {
+    if (!is_binary(v)) return Logic::kX;
+    acc ^= to_bool(v);
+  }
+  return from_bool(acc);
+}
+
+Logic not_of(Logic v) noexcept {
+  if (!is_binary(v)) return Logic::kX;
+  return from_bool(!to_bool(v));
+}
+
+}  // namespace pp::sim

@@ -1,0 +1,54 @@
+// Four-valued logic for event-driven simulation: 0, 1, Z (undriven) and
+// X (unknown/contention).  The polymorphic fabric needs all four: 3-state
+// drivers produce Z on purpose (that is how blocks decouple from their
+// neighbours, §4), and X tracking catches configuration bugs such as two
+// drivers fighting over an abutted interconnect line.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace pp::sim {
+
+enum class Logic : std::uint8_t { k0 = 0, k1 = 1, kZ = 2, kX = 3 };
+
+[[nodiscard]] constexpr bool is_binary(Logic v) noexcept {
+  return v == Logic::k0 || v == Logic::k1;
+}
+
+[[nodiscard]] constexpr Logic from_bool(bool b) noexcept {
+  return b ? Logic::k1 : Logic::k0;
+}
+
+/// Convert to bool; only valid on binary values (asserted by callers).
+[[nodiscard]] constexpr bool to_bool(Logic v) noexcept { return v == Logic::k1; }
+
+[[nodiscard]] constexpr char to_char(Logic v) noexcept {
+  switch (v) {
+    case Logic::k0: return '0';
+    case Logic::k1: return '1';
+    case Logic::kZ: return 'Z';
+    case Logic::kX: return 'X';
+  }
+  return '?';
+}
+
+/// Wired resolution of two drivers on the same net (IEEE-1164-style):
+/// Z yields to anything; equal values agree; 0 vs 1 is contention (X).
+[[nodiscard]] constexpr Logic resolve(Logic a, Logic b) noexcept {
+  if (a == Logic::kZ) return b;
+  if (b == Logic::kZ) return a;
+  if (a == b) return a;
+  return Logic::kX;
+}
+
+/// NAND over an input span: dominant-0 (any 0 forces 1); all-1 gives 0;
+/// otherwise unknown.  Z inputs behave as X (a floating gate input).
+[[nodiscard]] Logic nand_of(std::span<const Logic> ins) noexcept;
+/// AND / OR / XOR with the same dominance rules.
+[[nodiscard]] Logic and_of(std::span<const Logic> ins) noexcept;
+[[nodiscard]] Logic or_of(std::span<const Logic> ins) noexcept;
+[[nodiscard]] Logic xor_of(std::span<const Logic> ins) noexcept;
+[[nodiscard]] Logic not_of(Logic v) noexcept;
+
+}  // namespace pp::sim

@@ -1,0 +1,244 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pp::sim {
+
+Simulator::Simulator(const Circuit& circuit) : circuit_(circuit) {
+  const std::string diag = circuit.validate();
+  if (!diag.empty())
+    throw std::invalid_argument("Simulator: invalid circuit:\n" + diag);
+
+  const std::size_t nnets = circuit.net_count();
+  const std::size_t ngates = circuit.gate_count();
+  net_value_.assign(nnets, Logic::kZ);
+  external_value_.assign(nnets, Logic::kZ);
+  driver_value_.assign(ngates, Logic::kX);
+  fanout_.assign(nnets, {});
+  net_drivers_.assign(nnets, {});
+  gate_state_.assign(ngates, Logic::kX);
+  gate_prev_clk_.assign(ngates, Logic::kX);
+  gate_epoch_.assign(ngates, 0);
+  gate_pending_time_.assign(ngates, 0);
+  gate_pending_value_.assign(ngates, Logic::kX);
+  net_toggle_count_.assign(nnets, 0);
+  net_last_change_.assign(nnets, 0);
+
+  for (GateId g = 0; g < ngates; ++g) {
+    const Gate& gate = circuit.gate(g);
+    for (NetId in : gate.inputs) fanout_[in].push_back(g);
+    net_drivers_[gate.output].push_back(g);
+    // Tri-state drivers start released; strong drivers start unknown.
+    driver_value_[g] = is_tristate(gate.kind) ? Logic::kZ : Logic::kX;
+  }
+  // External input pads start released (Z): an undriven boundary line reads
+  // as floating, exactly like a released 3-state driver.
+  for (NetId n = 0; n < nnets; ++n) resolve_net(n);
+  // Kick-start: evaluate every gate at t=0 against the initial net values.
+  for (GateId g = 0; g < ngates; ++g) evaluate_gate(g);
+}
+
+void Simulator::set_input_at(NetId net, Logic v, SimTime t) {
+  if (!circuit_.is_input(net))
+    throw std::invalid_argument("set_input_at: net " +
+                                circuit_.net_name(net) +
+                                " is not a primary input");
+  if (t < now_) throw std::invalid_argument("set_input_at: time in the past");
+  heap_.push_back(Event{t, seq_++, kExternalBit | net, 0, v});
+  std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+}
+
+void Simulator::schedule_gate(GateId g, Logic v, SimTime t, bool transport) {
+  if (!transport) {
+    // Inertial semantics: a new evaluation supersedes any pending event.
+    if (gate_pending_time_[g] != 0 && gate_pending_value_[g] == v) {
+      return;  // identical pending event already in flight
+    }
+    if (gate_pending_time_[g] == 0 && driver_value_[g] == v) {
+      return;  // no change needed
+    }
+    ++gate_epoch_[g];  // invalidate older scheduled events
+    gate_pending_time_[g] = t;
+    gate_pending_value_[g] = v;
+  }
+  heap_.push_back(Event{t, seq_++, g, transport ? 0 : gate_epoch_[g], v});
+  std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  stats_.max_queue = std::max(stats_.max_queue,
+                              static_cast<std::uint64_t>(heap_.size()));
+}
+
+void Simulator::resolve_net(NetId n) {
+  Logic v = external_value_[n];
+  for (GateId g : net_drivers_[n]) v = resolve(v, driver_value_[g]);
+  if (v == net_value_[n]) return;
+  // Glitch accounting: a change that arrives within the glitch window of the
+  // previous change counts as a runt pulse.
+  if (glitch_window_ != 0 && net_toggle_count_[n] > 0 &&
+      now_ - net_last_change_[n] < glitch_window_) {
+    ++stats_.glitch_pulses;
+  }
+  net_value_[n] = v;
+  ++net_toggle_count_[n];
+  ++stats_.net_toggles;
+  net_last_change_[n] = now_;
+  if (observer_) observer_(now_, n, v);
+  for (GateId g : fanout_[n]) evaluate_gate(g);
+}
+
+Logic Simulator::compute_gate(GateId g) {
+  const Gate& gate = circuit_.gate(g);
+  // Gather current input values (small, stack-friendly buffer).
+  Logic ins[8];
+  std::vector<Logic> big;
+  std::span<const Logic> in_span;
+  if (gate.inputs.size() <= 8) {
+    for (std::size_t i = 0; i < gate.inputs.size(); ++i)
+      ins[i] = net_value_[gate.inputs[i]];
+    in_span = {ins, gate.inputs.size()};
+  } else {
+    big.reserve(gate.inputs.size());
+    for (NetId in : gate.inputs) big.push_back(net_value_[in]);
+    in_span = big;
+  }
+
+  switch (gate.kind) {
+    case GateKind::kNand: return nand_of(in_span);
+    case GateKind::kAnd: return and_of(in_span);
+    case GateKind::kOr: return or_of(in_span);
+    case GateKind::kNor: return not_of(or_of(in_span));
+    case GateKind::kXor: return xor_of(in_span);
+    case GateKind::kXnor: return not_of(xor_of(in_span));
+    case GateKind::kNot: return not_of(in_span[0]);
+    case GateKind::kBuf:
+    case GateKind::kDelay:
+      return is_binary(in_span[0]) ? in_span[0] : Logic::kX;
+    case GateKind::kConst0: return Logic::k0;
+    case GateKind::kConst1: return Logic::k1;
+    case GateKind::kTriBuf: {
+      const Logic en = in_span[1];
+      if (en == Logic::k0) return Logic::kZ;
+      if (en == Logic::k1)
+        return is_binary(in_span[0]) ? in_span[0] : Logic::kX;
+      return Logic::kX;
+    }
+    case GateKind::kTriInv: {
+      const Logic en = in_span[1];
+      if (en == Logic::k0) return Logic::kZ;
+      if (en == Logic::k1) return not_of(in_span[0]);
+      return Logic::kX;
+    }
+    case GateKind::kDff: {
+      const Logic clk = in_span[1];
+      // Optional active-low asynchronous reset on pin 2.
+      if (gate.inputs.size() == 3 && in_span[2] == Logic::k0) {
+        gate_state_[g] = Logic::k0;
+      } else if (gate_prev_clk_[g] == Logic::k0 && clk == Logic::k1) {
+        gate_state_[g] = is_binary(in_span[0]) ? in_span[0] : Logic::kX;
+      }
+      gate_prev_clk_[g] = clk;
+      return gate_state_[g];
+    }
+    case GateKind::kLatch: {
+      if (in_span[1] == Logic::k1)
+        gate_state_[g] = is_binary(in_span[0]) ? in_span[0] : Logic::kX;
+      return gate_state_[g];
+    }
+    case GateKind::kCElement: {
+      const Logic a = in_span[0];
+      const Logic b = in_span[1];
+      // Optional active-low reset on pin 2 (micropipelines start empty).
+      if (gate.inputs.size() == 3 && in_span[2] == Logic::k0) {
+        gate_state_[g] = Logic::k0;
+      } else if (a == Logic::k1 && b == Logic::k1) {
+        gate_state_[g] = Logic::k1;
+      } else if (a == Logic::k0 && b == Logic::k0) {
+        gate_state_[g] = Logic::k0;
+      }
+      // else hold (X until first full agreement or reset)
+      return gate_state_[g];
+    }
+  }
+  return Logic::kX;
+}
+
+void Simulator::evaluate_gate(GateId g) {
+  const Gate& gate = circuit_.gate(g);
+  const Logic v = compute_gate(g);
+  const bool transport = gate.kind == GateKind::kDelay;
+  schedule_gate(g, v, now_ + gate.delay_ps, transport);
+}
+
+void Simulator::apply_driver_change(std::uint32_t source, Logic v) {
+  if (source & kExternalBit) {
+    const NetId n = source & ~kExternalBit;
+    if (external_value_[n] != v) {
+      external_value_[n] = v;
+      resolve_net(n);
+    }
+    return;
+  }
+  const GateId g = source;
+  gate_pending_time_[g] = 0;
+  if (driver_value_[g] != v) {
+    driver_value_[g] = v;
+    resolve_net(circuit_.gate(g).output);
+  }
+}
+
+bool Simulator::run_until(SimTime t_end, std::uint64_t max_events) {
+  std::uint64_t budget = max_events;
+  while (!heap_.empty() && heap_.front().t <= t_end) {
+    if (budget-- == 0) return false;
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    const Event ev = heap_.back();
+    heap_.pop_back();
+    // Drop events cancelled by a newer inertial evaluation.
+    if (!(ev.source & kExternalBit) && ev.epoch != 0 &&
+        ev.epoch != gate_epoch_[ev.source]) {
+      continue;
+    }
+    now_ = ev.t;
+    ++stats_.events_processed;
+    apply_driver_change(ev.source, ev.value);
+  }
+  now_ = std::max(now_, t_end);
+  return true;
+}
+
+bool Simulator::settle(std::uint64_t max_events) {
+  std::uint64_t budget = max_events;
+  while (!heap_.empty()) {
+    if (budget-- == 0) return false;
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    const Event ev = heap_.back();
+    heap_.pop_back();
+    if (!(ev.source & kExternalBit) && ev.epoch != 0 &&
+        ev.epoch != gate_epoch_[ev.source]) {
+      continue;
+    }
+    now_ = ev.t;
+    ++stats_.events_processed;
+    apply_driver_change(ev.source, ev.value);
+  }
+  return true;
+}
+
+std::vector<Logic> evaluate_combinational(const Circuit& c,
+                                          const std::vector<NetId>& in_nets,
+                                          const std::vector<Logic>& inputs,
+                                          const std::vector<NetId>& out_nets) {
+  if (in_nets.size() != inputs.size())
+    throw std::invalid_argument("evaluate_combinational: size mismatch");
+  Simulator sim(c);
+  for (std::size_t i = 0; i < in_nets.size(); ++i)
+    sim.set_input(in_nets[i], inputs[i]);
+  if (!sim.settle())
+    throw std::runtime_error("evaluate_combinational: circuit oscillates");
+  std::vector<Logic> out;
+  out.reserve(out_nets.size());
+  for (NetId n : out_nets) out.push_back(sim.value(n));
+  return out;
+}
+
+}  // namespace pp::sim

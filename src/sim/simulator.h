@@ -1,0 +1,127 @@
+// Event-driven 4-value logic simulator with inertial delays.
+//
+// Design notes:
+//  * Every gate output is a *driver slot* on its net; nets resolve all slots
+//    plus an optional external (primary-input) slot with IEEE-1164 rules, so
+//    the 3-state abutment scheme of Fig. 8 simulates faithfully, including
+//    contention (X) when a bitstream mis-configures two facing drivers.
+//  * Gate delays are >= 1 ps, so combinational feedback loops (the paper's
+//    "asynchronous state machine" flip-flops, Fig. 9) iterate through time
+//    instead of recursing; oscillation shows up as an exhausted event budget
+//    rather than a hang.
+//  * Inertial delay is the default (a gate swallows pulses shorter than its
+//    window); the kDelay gate is transport-delay, as required for the
+//    bundled-data matching delays of the micropipeline (Fig. 11).
+//  * Per-net toggle counters feed the activity-based power proxy in pp::arch
+//    (the sync vs async comparison of §4.1).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "sim/circuit.h"
+
+namespace pp::sim {
+
+struct SimStats {
+  std::uint64_t events_processed = 0;
+  std::uint64_t net_toggles = 0;      ///< total resolved-value changes
+  std::uint64_t glitch_pulses = 0;    ///< pulses narrower than glitch window
+  std::uint64_t max_queue = 0;
+};
+
+class Simulator {
+ public:
+  /// The circuit must pass validate(); throws std::invalid_argument else.
+  explicit Simulator(const Circuit& circuit);
+
+  /// Schedule a primary-input change at absolute time `t` (>= now).
+  void set_input_at(NetId net, Logic v, SimTime t);
+  /// Schedule a primary-input change `dt` after now.
+  void set_input(NetId net, Logic v, SimTime dt = 0) {
+    set_input_at(net, v, now_ + dt);
+  }
+
+  /// Process events up to and including time `t_end`.  Returns false if the
+  /// event budget was exhausted first (oscillation guard).
+  bool run_until(SimTime t_end, std::uint64_t max_events = 50'000'000);
+
+  /// Run until the queue drains (quiescent) or the budget is exhausted.
+  /// Returns true when quiescent.
+  bool settle(std::uint64_t max_events = 50'000'000);
+
+  [[nodiscard]] Logic value(NetId net) const { return net_value_.at(net); }
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+  [[nodiscard]] const SimStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::uint64_t toggles(NetId net) const {
+    return net_toggle_count_.at(net);
+  }
+  /// Time of the most recent resolved-value change on a net.
+  [[nodiscard]] SimTime last_change(NetId net) const {
+    return net_last_change_.at(net);
+  }
+
+  /// Pulses narrower than this window count as glitches (0 disables).
+  void set_glitch_window(SimTime w) noexcept { glitch_window_ = w; }
+
+  /// Observer invoked after each resolved net change: (time, net, value).
+  void set_observer(std::function<void(SimTime, NetId, Logic)> cb) {
+    observer_ = std::move(cb);
+  }
+
+ private:
+  struct Event {
+    SimTime t;
+    std::uint64_t seq;     // FIFO tie-break
+    std::uint32_t source;  // gate id, or kExternal | net id
+    std::uint64_t epoch;   // inertial cancellation token
+    Logic value;
+    bool operator>(const Event& o) const noexcept {
+      return t != o.t ? t > o.t : seq > o.seq;
+    }
+  };
+  static constexpr std::uint32_t kExternalBit = 0x8000'0000u;
+
+  void schedule_gate(GateId g, Logic v, SimTime t, bool transport);
+  void apply_driver_change(std::uint32_t source, Logic v);
+  void resolve_net(NetId n);
+  void evaluate_gate(GateId g);
+  [[nodiscard]] Logic compute_gate(GateId g);
+
+  const Circuit& circuit_;
+  std::vector<Logic> net_value_;
+  std::vector<Logic> external_value_;       // per net; Z if not an input
+  std::vector<Logic> driver_value_;         // per gate: currently driven value
+  std::vector<std::vector<GateId>> fanout_; // net -> reading gates
+  std::vector<std::vector<GateId>> net_drivers_;  // net -> driving gates
+
+  // Behavioural gate internal state.
+  std::vector<Logic> gate_state_;       // DFF Q / C-element keeper / latch
+  std::vector<Logic> gate_prev_clk_;    // DFF edge detector
+
+  std::vector<Event> heap_;
+  std::vector<std::uint64_t> gate_epoch_;       // current inertial epoch
+  std::vector<SimTime> gate_pending_time_;      // pending event time (or 0)
+  std::vector<Logic> gate_pending_value_;
+
+  std::vector<std::uint64_t> net_toggle_count_;
+  std::vector<SimTime> net_last_change_;
+
+  SimTime now_ = 0;
+  std::uint64_t seq_ = 0;
+  SimTime glitch_window_ = 0;
+  SimStats stats_;
+  std::function<void(SimTime, NetId, Logic)> observer_;
+};
+
+/// Convenience: drive `inputs[i]` onto the i-th input net, settle, and read
+/// back `outputs`.  Throws if the circuit fails to settle (oscillation).
+std::vector<Logic> evaluate_combinational(const Circuit& c,
+                                          const std::vector<NetId>& in_nets,
+                                          const std::vector<Logic>& inputs,
+                                          const std::vector<NetId>& out_nets);
+
+}  // namespace pp::sim

@@ -1,0 +1,85 @@
+#include "sim/waveform.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace pp::sim {
+
+Waveform::Waveform(Simulator& sim, const Circuit& circuit,
+                   std::vector<NetId> watch)
+    : circuit_(circuit) {
+  watched_.assign(circuit.net_count(), watch.empty());
+  for (NetId n : watch) watched_.at(n) = true;
+  sim.set_observer([this](SimTime t, NetId n, Logic v) {
+    if (watched_[n]) changes_.push_back({t, n, v});
+  });
+}
+
+std::vector<Change> Waveform::history(NetId net) const {
+  std::vector<Change> h;
+  for (const auto& c : changes_)
+    if (c.net == net) h.push_back(c);
+  return h;
+}
+
+std::size_t Waveform::rising_edges(NetId net) const {
+  std::size_t count = 0;
+  Logic prev = Logic::kX;
+  for (const auto& c : changes_) {
+    if (c.net != net) continue;
+    if (prev == Logic::k0 && c.value == Logic::k1) ++count;
+    prev = c.value;
+  }
+  return count;
+}
+
+SimTime Waveform::min_pulse(NetId net) const {
+  SimTime best = 0;
+  bool have_prev = false;
+  SimTime prev_t = 0;
+  for (const auto& c : changes_) {
+    if (c.net != net) continue;
+    if (have_prev) {
+      const SimTime w = c.t - prev_t;
+      if (best == 0 || w < best) best = w;
+    }
+    prev_t = c.t;
+    have_prev = true;
+  }
+  return best;
+}
+
+std::string Waveform::to_vcd(const std::string& top) const {
+  std::ostringstream os;
+  os << "$timescale 1ps $end\n$scope module " << top << " $end\n";
+  // VCD identifier codes: printable ASCII starting at '!'.
+  auto code = [](NetId n) {
+    std::string s;
+    NetId x = n;
+    do {
+      s.push_back(static_cast<char>('!' + x % 94));
+      x /= 94;
+    } while (x != 0);
+    return s;
+  };
+  for (NetId n = 0; n < circuit_.net_count(); ++n) {
+    if (!watched_[n]) continue;
+    os << "$var wire 1 " << code(n) << " " << circuit_.net_name(n)
+       << " $end\n";
+  }
+  os << "$upscope $end\n$enddefinitions $end\n";
+  SimTime cur = static_cast<SimTime>(-1);
+  for (const auto& c : changes_) {
+    if (c.t != cur) {
+      os << "#" << c.t << "\n";
+      cur = c.t;
+    }
+    char v = to_char(c.value);
+    if (v == 'Z') v = 'z';
+    if (v == 'X') v = 'x';
+    os << v << code(c.net) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace pp::sim

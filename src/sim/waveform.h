@@ -1,0 +1,49 @@
+// Waveform capture for the event simulator: change records per net, pulse
+// statistics, and a VCD dump so traces can be inspected in standard viewers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/circuit.h"
+#include "sim/simulator.h"
+
+namespace pp::sim {
+
+struct Change {
+  SimTime t;
+  NetId net;
+  Logic value;
+};
+
+class Waveform {
+ public:
+  /// Attach to a simulator; records every resolved net change from now on.
+  /// Only the nets in `watch` are recorded (empty = all nets).
+  Waveform(Simulator& sim, const Circuit& circuit,
+           std::vector<NetId> watch = {});
+
+  [[nodiscard]] const std::vector<Change>& changes() const noexcept {
+    return changes_;
+  }
+
+  /// Changes of one net, in time order.
+  [[nodiscard]] std::vector<Change> history(NetId net) const;
+
+  /// Count rising edges (0 -> 1 transitions) seen on a net.
+  [[nodiscard]] std::size_t rising_edges(NetId net) const;
+
+  /// Minimum spacing between consecutive changes on a net (pulse width
+  /// proxy); returns 0 when fewer than two changes were seen.
+  [[nodiscard]] SimTime min_pulse(NetId net) const;
+
+  /// Render a Value Change Dump (VCD) of the watched nets.
+  [[nodiscard]] std::string to_vcd(const std::string& top = "polyhw") const;
+
+ private:
+  const Circuit& circuit_;
+  std::vector<bool> watched_;
+  std::vector<Change> changes_;
+};
+
+}  // namespace pp::sim

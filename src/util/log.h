@@ -1,0 +1,55 @@
+// Minimal leveled logger for the polyhw library.
+//
+// The library is a simulator, so logging is mostly used by benches and the
+// CLI examples; the hot simulation paths never log below `warn`.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace pp::util {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are discarded.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+/// Emit one log line (thread-safe, single write to stderr).
+void log_line(LogLevel level, std::string_view msg);
+
+namespace detail {
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+  ~LogStream() { log_line(level_, os_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace pp::util
+
+#define PP_LOG_DEBUG                                                   \
+  if (::pp::util::log_level() <= ::pp::util::LogLevel::kDebug)         \
+  ::pp::util::detail::LogStream(::pp::util::LogLevel::kDebug)
+#define PP_LOG_INFO                                                    \
+  if (::pp::util::log_level() <= ::pp::util::LogLevel::kInfo)          \
+  ::pp::util::detail::LogStream(::pp::util::LogLevel::kInfo)
+#define PP_LOG_WARN                                                    \
+  if (::pp::util::log_level() <= ::pp::util::LogLevel::kWarn)          \
+  ::pp::util::detail::LogStream(::pp::util::LogLevel::kWarn)
+#define PP_LOG_ERROR                                                   \
+  if (::pp::util::log_level() <= ::pp::util::LogLevel::kError)         \
+  ::pp::util::detail::LogStream(::pp::util::LogLevel::kError)

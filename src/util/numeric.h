@@ -1,0 +1,88 @@
+// Small numeric helpers shared by the device solvers and arch models.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <functional>
+#include <stdexcept>
+#include <vector>
+
+namespace pp::util {
+
+/// n evenly spaced samples over [lo, hi] inclusive (n >= 2).
+[[nodiscard]] inline std::vector<double> linspace(double lo, double hi,
+                                                  std::size_t n) {
+  if (n < 2) throw std::invalid_argument("linspace: n must be >= 2");
+  std::vector<double> v(n);
+  const double step = (hi - lo) / static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i) v[i] = lo + step * static_cast<double>(i);
+  v.back() = hi;  // avoid accumulated rounding at the endpoint
+  return v;
+}
+
+[[nodiscard]] inline bool approx_equal(double a, double b, double tol = 1e-9) {
+  return std::fabs(a - b) <= tol * (1.0 + std::fabs(a) + std::fabs(b));
+}
+
+/// Bisection root find of f on [lo, hi]; requires sign change.  Returns the
+/// midpoint after `iters` halvings (53 gives full double precision).
+[[nodiscard]] inline double bisect(const std::function<double(double)>& f,
+                                   double lo, double hi, int iters = 80) {
+  double flo = f(lo);
+  double fhi = f(hi);
+  if (flo == 0.0) return lo;
+  if (fhi == 0.0) return hi;
+  if ((flo > 0) == (fhi > 0))
+    throw std::invalid_argument("bisect: no sign change over interval");
+  for (int i = 0; i < iters; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    const double fm = f(mid);
+    if (fm == 0.0) return mid;
+    if ((fm > 0) == (flo > 0)) {
+      lo = mid;
+      flo = fm;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+/// Classic RK4 integration of dy/dt = f(t, y) from t0 to t1 in `steps` steps.
+/// Returns the trajectory including both endpoints.
+[[nodiscard]] inline std::vector<double> rk4(
+    const std::function<double(double, double)>& f, double y0, double t0,
+    double t1, std::size_t steps) {
+  std::vector<double> traj;
+  traj.reserve(steps + 1);
+  traj.push_back(y0);
+  const double h = (t1 - t0) / static_cast<double>(steps);
+  double y = y0;
+  double t = t0;
+  for (std::size_t i = 0; i < steps; ++i) {
+    const double k1 = f(t, y);
+    const double k2 = f(t + 0.5 * h, y + 0.5 * h * k1);
+    const double k3 = f(t + 0.5 * h, y + 0.5 * h * k2);
+    const double k4 = f(t + h, y + h * k3);
+    y += h / 6.0 * (k1 + 2 * k2 + 2 * k3 + k4);
+    t += h;
+    traj.push_back(y);
+  }
+  return traj;
+}
+
+/// Linear interpolation of tabulated (x, y) samples; clamps outside range.
+[[nodiscard]] inline double interp1(const std::vector<double>& xs,
+                                    const std::vector<double>& ys, double x) {
+  if (xs.empty() || xs.size() != ys.size())
+    throw std::invalid_argument("interp1: bad tables");
+  if (x <= xs.front()) return ys.front();
+  if (x >= xs.back()) return ys.back();
+  std::size_t hi = 1;
+  while (xs[hi] < x) ++hi;
+  const std::size_t lo = hi - 1;
+  const double t = (x - xs[lo]) / (xs[hi] - xs[lo]);
+  return ys[lo] + t * (ys[hi] - ys[lo]);
+}
+
+}  // namespace pp::util

@@ -1,0 +1,74 @@
+// Deterministic, fast PRNG (splitmix64 seeding a xoshiro256**) used across
+// tests, Monte-Carlo sweeps, and workload generators.  Determinism matters:
+// every bench that prints a "paper vs measured" table must be reproducible
+// run-to-run, so nothing in the library uses std::random_device.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace pp::util {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) noexcept {
+    // splitmix64 expansion of the seed into the 4-word xoshiro state.
+    std::uint64_t x = seed;
+    for (auto& w : state_) {
+      x += 0x9e3779b97f4a7c15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      w = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit value (xoshiro256**).
+  std::uint64_t next_u64() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t next_below(std::uint64_t bound) noexcept {
+    if (bound == 0) return 0;
+    __extension__ using u128 = unsigned __int128;
+    const u128 m = static_cast<u128>(next_u64()) * bound;
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double next_in(double lo, double hi) noexcept {
+    return lo + (hi - lo) * next_double();
+  }
+
+  /// Bernoulli draw with probability p.
+  bool next_bool(double p = 0.5) noexcept { return next_double() < p; }
+
+  /// Uniform n-bit value as a mask-limited u64 (n <= 64).
+  std::uint64_t next_bits(unsigned n) noexcept {
+    if (n == 0) return 0;
+    if (n >= 64) return next_u64();
+    return next_u64() >> (64 - n);
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4];
+};
+
+}  // namespace pp::util

@@ -1,0 +1,43 @@
+// ASCII table / CSV emitter used by every bench binary to print the
+// figure/table reproductions in a uniform, diff-friendly format.
+#pragma once
+
+#include <cstdio>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace pp::util {
+
+/// Column-aligned ASCII table with an optional title, rendered to stdout or a
+/// string.  Cells are strings; helpers format doubles with fixed precision.
+class Table {
+ public:
+  explicit Table(std::string title = {}) : title_(std::move(title)) {}
+
+  Table& header(std::vector<std::string> cols);
+  Table& row(std::vector<std::string> cells);
+
+  /// Convenience: format a double with `prec` decimals.
+  static std::string num(double v, int prec = 3);
+  /// Convenience: format using scientific notation.
+  static std::string sci(double v, int prec = 2);
+  /// Convenience: integer cell.
+  static std::string num(long long v);
+
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] std::string to_csv() const;
+  void print() const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Print a section banner (used by benches to delimit experiments).
+void banner(const std::string& text);
+
+}  // namespace pp::util

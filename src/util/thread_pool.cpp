@@ -1,0 +1,84 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+namespace pp::util {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  if (workers == 0) {
+    workers = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+    ++in_flight_;
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_task_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--in_flight_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  const std::size_t workers = pool.worker_count();
+  if (workers <= 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  const std::size_t chunk = (n + workers - 1) / workers;
+  for (std::size_t begin = 0; begin < n; begin += chunk) {
+    const std::size_t end = std::min(n, begin + chunk);
+    pool.submit([begin, end, &fn] {
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+    });
+  }
+  pool.wait_idle();
+}
+
+ThreadPool& global_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace pp::util

@@ -1,0 +1,55 @@
+// A small fixed-size thread pool with a blocking task queue and a
+// parallel_for helper.  Benches use it for embarrassingly parallel parameter
+// sweeps (Monte-Carlo defect injection, VTC grids); on single-core hosts it
+// degrades gracefully to serial execution.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pp::util {
+
+class ThreadPool {
+ public:
+  /// `workers == 0` picks hardware_concurrency (minimum 1).
+  explicit ThreadPool(std::size_t workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t worker_count() const noexcept { return threads_.size(); }
+
+  /// Enqueue a task; tasks must not throw (exceptions terminate).
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+/// Run `fn(i)` for i in [0, n) across the pool, blocking until done.
+/// Chunked statically: each worker gets contiguous ranges, which suits the
+/// regular per-iteration cost of our sweeps.
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& fn);
+
+/// Process-wide default pool (lazily constructed).
+ThreadPool& global_pool();
+
+}  // namespace pp::util

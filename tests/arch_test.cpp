@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include "arch/area_model.h"
+#include "arch/defects.h"
+#include "arch/power_model.h"
+#include "fpga/logic_cell.h"
+#include "map/macros.h"
+
+namespace pp::arch {
+namespace {
+
+// ---------- Area / density (§3-§4) -------------------------------------------
+
+TEST(AreaModel, PairUnder400Lambda2) {
+  // "a pair of LUT cells could occupy less than 400 λ²".
+  EXPECT_LT(pair_area_lambda2(), 400.0);
+  EXPECT_GT(pair_area_lambda2(), 100.0);  // not absurdly small either
+}
+
+TEST(AreaModel, ThreeOrdersOfMagnitudeVsFpga) {
+  const double fpga = fpga::cell_area_lambda2();  // ~600 Kλ² per 4-LUT
+  const double poly = pair_area_lambda2();
+  const double ratio = fpga / poly;
+  EXPECT_GT(ratio, 500.0);    // "possibly as large as three orders of magnitude"
+  EXPECT_LT(ratio, 10000.0);
+}
+
+TEST(AreaModel, DensityExceedsBillionPerCm2) {
+  EXPECT_GT(cell_density_per_cm2(), 1.0e9);
+}
+
+TEST(AreaModel, DensityScalesInverseSquare) {
+  PolyAreaParams p10;
+  p10.feature_nm = 10;
+  PolyAreaParams p20;
+  p20.feature_nm = 20;
+  EXPECT_NEAR(cell_density_per_cm2(p10) / cell_density_per_cm2(p20), 4.0,
+              1e-6);
+}
+
+TEST(AreaModel, DesignAreaCountsUsedBlocksOnly) {
+  core::Fabric f(4, 6);
+  map::macros::c_element(f, 0, 0);  // 2 blocks
+  const double used = design_area_lambda2(f);
+  const double full = design_area_lambda2(f, {}, /*count_idle_tiles=*/true);
+  EXPECT_DOUBLE_EQ(used, 2 * block_area_lambda2());
+  EXPECT_DOUBLE_EQ(full, 24 * block_area_lambda2());
+}
+
+// ---------- Power (§3, §4.1) ---------------------------------------------------
+
+TEST(PowerModel, ConfigUnder100mWAcrossRoadmapRange) {
+  // 10-50 pA per cell at 1e9 cells/cm² must stay under 100 mW/cm².
+  for (double i_pa : {10.0, 25.0, 50.0}) {
+    ConfigPowerParams p;
+    p.rtd_standby_a = i_pa * 1e-12;
+    const double w = config_static_power_w_per_cm2(p);
+    EXPECT_LT(w, 0.100) << i_pa << " pA";
+    EXPECT_GT(w, 0.001) << i_pa << " pA";
+  }
+}
+
+TEST(PowerModel, DynamicEnergyProportionalToToggles) {
+  EXPECT_DOUBLE_EQ(dynamic_energy_j(0), 0.0);
+  EXPECT_DOUBLE_EQ(dynamic_energy_j(2000), 2.0 * dynamic_energy_j(1000));
+}
+
+TEST(PowerModel, ClockTreePowerScalesWithFfAndFreq) {
+  const double base = clock_tree_power_w(1e9, 1000);
+  EXPECT_NEAR(clock_tree_power_w(2e9, 1000) / base, 2.0, 1e-9);
+  EXPECT_NEAR(clock_tree_power_w(1e9, 3000) / base, 3.0, 1e-9);
+}
+
+// ---------- Defects / yield ------------------------------------------------
+
+TEST(DefectMap, MarkAndQuery) {
+  DefectMap m(2, 2);
+  EXPECT_EQ(m.defect_count(), 0);
+  m.mark_crosspoint(1, 0, 3, 2);
+  m.mark_driver(0, 1, 5);
+  m.mark_driver(0, 1, 5);  // duplicate: counted once
+  EXPECT_EQ(m.defect_count(), 2);
+  EXPECT_TRUE(m.crosspoint_bad(1, 0, 3, 2));
+  EXPECT_FALSE(m.crosspoint_bad(1, 0, 3, 3));
+  EXPECT_TRUE(m.driver_bad(0, 1, 5));
+}
+
+TEST(DefectMap, RandomRateRoughlyRespected) {
+  util::Rng rng(3);
+  const DefectMap m = DefectMap::random(4, 4, 0.1, 0.1, rng);
+  // 4*4*(36+6) = 672 resources at 10%: expect ~67, allow wide tolerance.
+  EXPECT_GT(m.defect_count(), 30);
+  EXPECT_LT(m.defect_count(), 120);
+}
+
+TEST(Defects, ConflictsDetectsCollisions) {
+  core::Fabric f(2, 3);
+  map::macros::c_element(f, 0, 0);
+  DefectMap clean(2, 3);
+  EXPECT_EQ(conflicts(f, clean), 0);
+  DefectMap bad(2, 3);
+  bad.mark_crosspoint(0, 0, 0, 0);  // used by the C-element's ab product
+  EXPECT_EQ(conflicts(f, bad), 1);
+  // A defect in an unused block does not conflict.
+  DefectMap elsewhere(2, 3);
+  elsewhere.mark_crosspoint(1, 2, 0, 0);
+  EXPECT_EQ(conflicts(f, elsewhere), 0);
+}
+
+TEST(Defects, FindCleanOriginAvoidsDefect) {
+  core::Fabric f(3, 4);
+  DefectMap map(3, 4);
+  // Poison the origin placement.
+  map.mark_crosspoint(0, 0, 0, 0);
+  const auto origin = find_clean_origin(
+      f, map, 1, 2, [](core::Fabric& fab, int r, int c) {
+        map::macros::c_element(fab, r, c);
+      });
+  ASSERT_TRUE(origin.has_value());
+  EXPECT_NE(*origin, (std::pair{0, 0}));
+  EXPECT_EQ(conflicts(f, map), 0);
+}
+
+TEST(Defects, FindCleanOriginFailsWhenSaturated) {
+  core::Fabric f(1, 2);
+  DefectMap map(1, 2);
+  for (int c = 0; c < 2; ++c)
+    for (int row = 0; row < 6; ++row)
+      for (int col = 0; col < 6; ++col) map.mark_crosspoint(0, c, row, col);
+  const auto origin = find_clean_origin(
+      f, map, 1, 2, [](core::Fabric& fab, int r, int c) {
+        map::macros::c_element(fab, r, c);
+      });
+  EXPECT_FALSE(origin.has_value());
+}
+
+TEST(Defects, YieldDecreasesWithDefectRate) {
+  auto configure = [](core::Fabric& fab, int r, int c) {
+    map::macros::c_element(fab, r, c);
+  };
+  const double y_low =
+      placement_yield(3, 4, 1, 2, configure, 0.002, 60, 1234);
+  const double y_high =
+      placement_yield(3, 4, 1, 2, configure, 0.10, 60, 1234);
+  EXPECT_GE(y_low, y_high);
+  EXPECT_GT(y_low, 0.8);   // nearly always placeable at 0.2% defects
+  EXPECT_LT(y_high, 1.0);  // sometimes fails at 10%
+}
+
+TEST(Defects, RedundancyImprovesYield) {
+  // The homogeneous-array argument: a bigger fabric (more alternative
+  // placements) yields better at the same defect rate.
+  auto configure = [](core::Fabric& fab, int r, int c) {
+    map::macros::c_element(fab, r, c);
+  };
+  const double y_small =
+      placement_yield(1, 2, 1, 2, configure, 0.05, 80, 99);
+  const double y_large =
+      placement_yield(4, 8, 1, 2, configure, 0.05, 80, 99);
+  EXPECT_GE(y_large, y_small);
+}
+
+}  // namespace
+}  // namespace pp::arch

@@ -1,0 +1,291 @@
+#include <gtest/gtest.h>
+
+#include "async/arbiter.h"
+#include "async/ecse.h"
+#include "async/gals.h"
+#include "async/micropipeline.h"
+#include "util/rng.h"
+
+namespace pp::async {
+namespace {
+
+using sim::Logic;
+
+// ---------- Micropipeline (Fig. 11) ------------------------------------------
+
+class MicropipelineDepthTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MicropipelineDepthTest, DeliversAllTokensInOrder) {
+  MicropipelineParams p;
+  p.stages = GetParam();
+  p.width = 8;
+  sim::Circuit ckt;
+  const auto ports = build_micropipeline(ckt, p);
+  sim::Simulator sim(ckt);
+  const auto stats = run_tokens(sim, ports, p.width, 16);
+  EXPECT_EQ(stats.tokens_sent, 16);
+  EXPECT_EQ(stats.tokens_received, 16);
+  for (int i = 0; i < 16; ++i)
+    EXPECT_EQ(stats.received_values[i], static_cast<std::uint64_t>(i + 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, MicropipelineDepthTest,
+                         ::testing::Values(1, 2, 3, 4, 6, 8));
+
+TEST(Micropipeline, BackpressureSlowSinkStillCorrect) {
+  MicropipelineParams p;
+  p.stages = 3;
+  p.width = 4;
+  sim::Circuit ckt;
+  const auto ports = build_micropipeline(ckt, p);
+  sim::Simulator sim(ckt);
+  const auto stats = run_tokens(sim, ports, p.width, 12,
+                                /*source_delay_ps=*/10,
+                                /*sink_delay_ps=*/500);
+  EXPECT_EQ(stats.tokens_received, 12);
+  for (int i = 0; i < 12; ++i)
+    EXPECT_EQ(stats.received_values[i],
+              static_cast<std::uint64_t>(i + 1) & 0xF);
+}
+
+TEST(Micropipeline, FastSinkThroughputBeatsSlowSink) {
+  auto run = [](sim::SimTime sink_delay) {
+    MicropipelineParams p;
+    p.stages = 4;
+    p.width = 4;
+    sim::Circuit ckt;
+    const auto ports = build_micropipeline(ckt, p);
+    sim::Simulator sim(ckt);
+    return run_tokens(sim, ports, p.width, 24, 10, sink_delay)
+        .throughput_tokens_per_ns();
+  };
+  EXPECT_GT(run(10), run(400));
+}
+
+TEST(Micropipeline, ElasticityBuffersBurst) {
+  // With a stalled sink, an N-stage pipeline still accepts ~N tokens.
+  MicropipelineParams p;
+  p.stages = 4;
+  p.width = 4;
+  sim::Circuit ckt;
+  const auto ports = build_micropipeline(ckt, p);
+  sim::Simulator sim(ckt);
+  const sim::NetId rstn = ports.stage_req.back();
+  sim.set_input(rstn, Logic::k0);
+  sim.set_input(ports.req_in, Logic::k0);
+  sim.set_input(ports.ack_out, Logic::k0);
+  for (auto d : ports.data_in) sim.set_input(d, Logic::k0);
+  sim.run_until(50);
+  sim.set_input(rstn, Logic::k1);
+  sim.run_until(100);
+
+  bool req = false;
+  int accepted = 0;
+  for (int t = 0; t < p.stages + 2; ++t) {
+    if (sim.value(ports.ack_in) != sim::from_bool(req)) break;  // FIFO full
+    req = !req;
+    sim.set_input(ports.req_in, sim::from_bool(req), 2);
+    sim.run_until(sim.now() + 500);
+    ++accepted;
+  }
+  EXPECT_GE(accepted, p.stages - 1);
+  EXPECT_LE(accepted, p.stages + 1);
+}
+
+TEST(Micropipeline, InvalidParamsThrow) {
+  sim::Circuit ckt;
+  MicropipelineParams p;
+  p.stages = 0;
+  EXPECT_THROW(build_micropipeline(ckt, p), std::invalid_argument);
+}
+
+// ---------- ECSE (Fig. 12) ----------------------------------------------------
+
+TEST(Ecse, BehaviouralCapturePassSequence) {
+  sim::Circuit ckt;
+  const auto e = build_ecse(ckt);
+  sim::Simulator s(ckt);
+  s.set_input(e.c, Logic::k0);
+  s.set_input(e.p, Logic::k0);
+  s.set_input(e.d, Logic::k1);
+  s.settle();
+  EXPECT_EQ(s.value(e.q), Logic::k1);  // transparent initially
+  s.set_input(e.d, Logic::k0);
+  s.settle();
+  EXPECT_EQ(s.value(e.q), Logic::k0);
+  s.set_input(e.c, Logic::k1);  // capture event
+  s.settle();
+  s.set_input(e.d, Logic::k1);
+  s.settle();
+  EXPECT_EQ(s.value(e.q), Logic::k0);  // held
+  s.set_input(e.p, Logic::k1);  // pass event
+  s.settle();
+  EXPECT_EQ(s.value(e.q), Logic::k1);  // transparent again
+}
+
+TEST(Ecse, FabricVersionMatchesBehavioural) {
+  core::Fabric f(1, 6);
+  const auto fp = ecse_fabric(f, 0, 0);
+  auto ef = f.elaborate();
+  sim::Simulator fs(ef.circuit());
+
+  sim::Circuit bc;
+  const auto be = build_ecse(bc);
+  sim::Simulator bs(bc);
+
+  auto set_both = [&](bool c, bool p, bool d) {
+    fs.set_input(ef.in_line(fp.c.r, fp.c.c, fp.c.line), sim::from_bool(c));
+    fs.set_input(ef.in_line(fp.p.r, fp.p.c, fp.p.line), sim::from_bool(p));
+    fs.set_input(ef.in_line(fp.d.r, fp.d.c, fp.d.line), sim::from_bool(d));
+    bs.set_input(be.c, sim::from_bool(c));
+    bs.set_input(be.p, sim::from_bool(p));
+    bs.set_input(be.d, sim::from_bool(d));
+    fs.settle();
+    bs.settle();
+  };
+  // Event sequence covering capture/pass alternation with data changes.
+  bool c = false, p = false;
+  util::Rng rng(77);
+  set_both(c, p, false);
+  for (int step = 0; step < 50; ++step) {
+    const bool d = rng.next_bool();
+    set_both(c, p, d);
+    if (rng.next_bool(0.4)) {
+      // Alternate capture / pass events, preserving the protocol (a pass
+      // only after a capture).
+      if (c == p)
+        c = !c;
+      else
+        p = !p;
+      set_both(c, p, d);
+    }
+    ASSERT_EQ(fs.value(ef.in_line(fp.q.r, fp.q.c, fp.q.line)), bs.value(be.q))
+        << "step " << step;
+  }
+}
+
+TEST(Ecse, FabricRequiresRowZero) {
+  core::Fabric f(2, 6);
+  EXPECT_THROW(ecse_fabric(f, 1, 0), std::invalid_argument);
+}
+
+// ---------- Arbiter -----------------------------------------------------------
+
+TEST(Arbiter, MutualExclusionUnderContention) {
+  Arbiter arb;
+  const auto g0 = arb.request(0, 100);
+  EXPECT_EQ(g0.side, 0);
+  EXPECT_EQ(arb.owner(), 0);
+  const auto g1 = arb.request(1, 102);  // queued
+  EXPECT_EQ(g1.at_ps, 0u);              // pending
+  EXPECT_EQ(arb.owner(), 0);
+  arb.release(0, 200);
+  EXPECT_EQ(arb.owner(), 1);  // handoff to the waiter
+}
+
+TEST(Arbiter, ReleaseWithoutOwnershipThrows) {
+  Arbiter arb;
+  arb.request(0, 10);
+  EXPECT_THROW(arb.release(1, 20), std::logic_error);
+}
+
+TEST(Arbiter, SequentialGrantsNoMetastability) {
+  Arbiter arb;
+  for (int i = 0; i < 10; ++i) {
+    const auto g = arb.request(i % 2, 1000 * (i + 1));
+    EXPECT_FALSE(g.metastable);
+    arb.release(i % 2, 1000 * (i + 1) + 100);
+  }
+  EXPECT_EQ(arb.metastable_events(), 0u);
+}
+
+TEST(Arbiter, RandomisedInvariantNeverBothGranted) {
+  Arbiter arb(ArbiterParams{}, 42);
+  util::Rng rng(42);
+  bool holding[2] = {false, false};
+  sim::SimTime t = 0;
+  for (int step = 0; step < 500; ++step) {
+    t += 1 + rng.next_below(20);
+    const int side = static_cast<int>(rng.next_below(2));
+    if (holding[side]) {
+      arb.release(side, t);
+      holding[side] = false;
+      holding[1 - side] = arb.owner() == 1 - side;
+    } else if (arb.owner() == -1) {
+      arb.request(side, t);
+      holding[side] = arb.owner() == side;
+    } else if (arb.owner() != side) {
+      arb.request(side, t);  // queue
+    }
+    ASSERT_FALSE(holding[0] && holding[1]);
+    ASSERT_EQ(arb.owner() == -1 || arb.owner() == 0 || arb.owner() == 1, true);
+  }
+}
+
+TEST(Synchronizer, TwoFlopDelayAndClean) {
+  sim::Circuit ckt;
+  const auto async_in = ckt.add_net("async");
+  const auto clk = ckt.add_net("clk");
+  ckt.mark_input(async_in);
+  ckt.mark_input(clk);
+  const auto out = add_synchronizer(ckt, async_in, clk);
+  sim::Simulator s(ckt);
+  s.set_input(async_in, Logic::k0);
+  s.set_input(clk, Logic::k0);
+  s.settle();
+  auto pulse_clock = [&] {
+    s.set_input(clk, Logic::k1, 5);
+    s.set_input(clk, Logic::k0, 50);
+    s.run_until(s.now() + 100);
+  };
+  pulse_clock();
+  pulse_clock();
+  s.set_input(async_in, Logic::k1);
+  s.run_until(s.now() + 10);
+  EXPECT_NE(s.value(out), Logic::k1);  // not yet visible
+  pulse_clock();
+  EXPECT_NE(s.value(out), Logic::k1);  // one flop deep
+  pulse_clock();
+  EXPECT_EQ(s.value(out), Logic::k1);  // visible after two edges
+}
+
+// ---------- GALS ---------------------------------------------------------------
+
+TEST(Gals, DeliversAllTokensInOrder) {
+  GalsParams gp;
+  gp.tokens = 24;
+  const auto rep = run_gals(gp);
+  EXPECT_EQ(rep.tokens_sent, 24);
+  EXPECT_EQ(rep.tokens_received, 24);
+  EXPECT_TRUE(rep.all_values_in_order);
+}
+
+TEST(Gals, WorksAcrossClockRatios) {
+  for (const auto [pa, pb] : {std::pair{100, 100},
+                              std::pair{100, 330},
+                              std::pair{270, 90}}) {
+    GalsParams gp;
+    gp.period_a_ps = pa;
+    gp.period_b_ps = pb;
+    gp.tokens = 12;
+    const auto rep = run_gals(gp);
+    EXPECT_EQ(rep.tokens_received, 12) << pa << "/" << pb;
+    EXPECT_TRUE(rep.all_values_in_order) << pa << "/" << pb;
+  }
+}
+
+TEST(Gals, ClockActivityScalesWithTreeNotTraffic) {
+  GalsParams small;
+  small.tokens = 16;
+  small.ff_count_a = small.ff_count_b = 50;
+  GalsParams large = small;
+  large.ff_count_a = large.ff_count_b = 5000;
+  const auto rs = run_gals(small);
+  const auto rl = run_gals(large);
+  // Same traffic: async activity identical, sync activity 100x.
+  EXPECT_EQ(rs.handshake_transitions, rl.handshake_transitions);
+  EXPECT_NEAR(rl.sync_activity() / rs.sync_activity(), 100.0, 1.0);
+}
+
+}  // namespace
+}  // namespace pp::async

@@ -1,0 +1,287 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "device/buffer.h"
+#include "device/dg_mosfet.h"
+#include "device/inverter.h"
+#include "device/nand2.h"
+#include "device/rtd.h"
+#include "device/rtd_ram.h"
+#include "util/numeric.h"
+
+namespace pp::device {
+namespace {
+
+// ---------- DG MOSFET compact model ----------------------------------------
+
+TEST(DgMosfet, BackGateShiftsThreshold) {
+  const MosParams p;
+  EXPECT_NEAR(nmos_vth(p, 0.0), p.vth0, 1e-12);
+  EXPECT_LT(nmos_vth(p, 1.0), nmos_vth(p, 0.0));   // positive bias strengthens N
+  EXPECT_GT(pmos_vth(p, 1.0), pmos_vth(p, 0.0));   // ... and weakens P
+}
+
+TEST(DgMosfet, CurrentMonotoneInVgs) {
+  const MosParams p;
+  double prev = -1;
+  for (double vgs = 0.0; vgs <= 1.0; vgs += 0.05) {
+    const double id = nmos_id(p, vgs, 0.5, 0.0);
+    EXPECT_GT(id, prev);
+    prev = id;
+  }
+}
+
+TEST(DgMosfet, CurrentMonotoneInVds) {
+  const MosParams p;
+  double prev = -1;
+  for (double vds = 0.0; vds <= 1.0; vds += 0.05) {
+    const double id = nmos_id(p, 0.6, vds, 0.0);
+    EXPECT_GE(id, prev);
+    prev = id;
+  }
+}
+
+TEST(DgMosfet, ZeroVdsZeroCurrent) {
+  const MosParams p;
+  EXPECT_DOUBLE_EQ(nmos_id(p, 1.0, 0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(pmos_id(p, 1.0, 0.0, 0.0), 0.0);
+}
+
+TEST(DgMosfet, SubthresholdExponential) {
+  const MosParams p;
+  const double i1 = nmos_id(p, 0.10, 0.5, 0.0);
+  const double i2 = nmos_id(p, 0.20, 0.5, 0.0);
+  // One decade per n*vt*ln(10) ~ 89 mV: 100 mV should give > 5x.
+  EXPECT_GT(i2 / i1, 5.0);
+}
+
+// ---------- Configurable inverter (Fig. 3) ----------------------------------
+
+class InverterRegimeTest
+    : public ::testing::TestWithParam<std::pair<double, InverterRegime>> {};
+
+TEST_P(InverterRegimeTest, RegimeMatchesPaper) {
+  const auto [vg2, want] = GetParam();
+  ConfigurableInverter inv;
+  EXPECT_EQ(inv.regime(vg2), want) << "vg2=" << vg2;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fig3, InverterRegimeTest,
+    ::testing::Values(std::pair{-1.5, InverterRegime::kStuckHigh},
+                      std::pair{-0.5, InverterRegime::kInverting},
+                      std::pair{0.0, InverterRegime::kInverting},
+                      std::pair{0.5, InverterRegime::kInverting},
+                      std::pair{1.5, InverterRegime::kStuckLow}));
+
+TEST(Inverter, SwitchingPointMonotoneInBackBias) {
+  ConfigurableInverter inv;
+  double prev = 1e9;
+  for (double vg2 = -1.5; vg2 <= 1.5 + 1e-9; vg2 += 0.25) {
+    const double sw = inv.switching_point(vg2);
+    EXPECT_LE(sw, prev + 1e-9) << "vg2=" << vg2;
+    prev = sw;
+  }
+}
+
+TEST(Inverter, SymmetricAtZeroBias) {
+  ConfigurableInverter inv;
+  EXPECT_NEAR(inv.switching_point(0.0), 0.5, 0.02);
+}
+
+TEST(Inverter, VtcMonotoneDecreasing) {
+  ConfigurableInverter inv;
+  const auto vins = util::linspace(0.0, 1.2, 61);
+  const auto vtc = inv.vtc(vins, 0.0);
+  for (std::size_t i = 1; i < vtc.size(); ++i)
+    EXPECT_LE(vtc[i], vtc[i - 1] + 1e-9);
+}
+
+TEST(Inverter, RailToRailAtZeroBias) {
+  ConfigurableInverter inv;
+  EXPECT_GT(inv.vout(0.0, 0.0), 0.99);
+  EXPECT_LT(inv.vout(1.0, 0.0), 0.01);
+}
+
+TEST(Inverter, ShiftedThresholdsAtHalfVolt) {
+  ConfigurableInverter inv;
+  EXPECT_NEAR(inv.switching_point(+0.5), 0.2, 0.05);
+  EXPECT_NEAR(inv.switching_point(-0.5), 0.8, 0.05);
+}
+
+// ---------- Configurable 2-NAND (Fig. 4) ------------------------------------
+
+struct NandCase {
+  BiasLevel bga, bgb;
+  const char* name;
+};
+
+class NandConfigTest : public ::testing::TestWithParam<NandCase> {};
+
+TEST_P(NandConfigTest, AnalogMatchesDigitalTable) {
+  const auto& cs = GetParam();
+  ConfigurableNand2 nd;
+  for (int a = 0; a <= 1; ++a) {
+    for (int b = 0; b <= 1; ++b) {
+      const bool want = ConfigurableNand2::digital_out(a, b, cs.bga, cs.bgb);
+      const double v = nd.vout(a ? 1.0 : 0.0, b ? 1.0 : 0.0,
+                               bias_voltage(cs.bga), bias_voltage(cs.bgb));
+      EXPECT_NEAR(v, want ? 1.0 : 0.0, 0.1)
+          << cs.name << " a=" << a << " b=" << b;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fig4Table, NandConfigTest,
+    ::testing::Values(
+        NandCase{BiasLevel::kActive, BiasLevel::kActive, "nand"},
+        NandCase{BiasLevel::kActive, BiasLevel::kForce1, "not_a"},
+        NandCase{BiasLevel::kForce1, BiasLevel::kActive, "not_b"},
+        NandCase{BiasLevel::kForce0, BiasLevel::kForce0, "const1"},
+        NandCase{BiasLevel::kForce1, BiasLevel::kForce1, "const0"},
+        NandCase{BiasLevel::kForce0, BiasLevel::kActive, "const1_single"}));
+
+TEST(Nand2, DigitalTableMatchesPaperSemantics) {
+  using N = ConfigurableNand2;
+  // (0, +2) -> /A
+  EXPECT_EQ(N::digital_out(true, false, BiasLevel::kActive, BiasLevel::kForce1), false);
+  EXPECT_EQ(N::digital_out(false, true, BiasLevel::kActive, BiasLevel::kForce1), true);
+  // (0, 0) -> /(A.B)
+  EXPECT_EQ(N::digital_out(true, true, BiasLevel::kActive, BiasLevel::kActive), false);
+  // (-2, -2) -> 1
+  EXPECT_EQ(N::digital_out(true, true, BiasLevel::kForce0, BiasLevel::kForce0), true);
+  // (+2, +2) -> 0
+  EXPECT_EQ(N::digital_out(false, false, BiasLevel::kForce1, BiasLevel::kForce1), false);
+}
+
+// ---------- Configurable buffer (Fig. 5) ------------------------------------
+
+TEST(Buffer, ModeTable) {
+  EXPECT_EQ(buffer_out(BufferMode::kInverting, true), std::optional<bool>(false));
+  EXPECT_EQ(buffer_out(BufferMode::kInverting, false), std::optional<bool>(true));
+  EXPECT_EQ(buffer_out(BufferMode::kNonInverting, true), std::optional<bool>(true));
+  EXPECT_EQ(buffer_out(BufferMode::kOpenCircuit, true), std::nullopt);
+  EXPECT_EQ(buffer_out(BufferMode::kPassGate, false), std::optional<bool>(false));
+}
+
+TEST(Buffer, DriveClassification) {
+  EXPECT_TRUE(buffer_drives(BufferMode::kInverting));
+  EXPECT_TRUE(buffer_drives(BufferMode::kNonInverting));
+  EXPECT_FALSE(buffer_drives(BufferMode::kOpenCircuit));
+  EXPECT_FALSE(buffer_drives(BufferMode::kPassGate));
+}
+
+TEST(Buffer, BiasTableDistinct) {
+  // Each mode has a distinct (VG1, VG2) programming point.
+  const auto a = buffer_bias(BufferMode::kInverting);
+  const auto b = buffer_bias(BufferMode::kNonInverting);
+  const auto c = buffer_bias(BufferMode::kOpenCircuit);
+  EXPECT_TRUE(a.vg1 != b.vg1 || a.vg2 != b.vg2);
+  EXPECT_TRUE(a.vg1 != c.vg1 || a.vg2 != c.vg2);
+  EXPECT_TRUE(b.vg1 != c.vg1 || b.vg2 != c.vg2);
+}
+
+// ---------- RTD and RTD RAM (Fig. 6) ----------------------------------------
+
+TEST(Rtd, SinglePeakHasNdrRegion) {
+  Rtd rtd;  // default single peak at 0.15 V
+  const double vp = rtd.params().peaks[0].vp;
+  // Peak current = resonant term (exact) + a couple nA of excess current.
+  EXPECT_NEAR(rtd.current(vp), rtd.params().peaks[0].ip, 5e-9);
+  // Negative differential resistance just past the peak.
+  EXPECT_LT(rtd.conductance(vp * 1.5), 0.0);
+  // Positive again deep in the valley (excess current).
+  EXPECT_GT(rtd.conductance(1.2), 0.0);
+}
+
+TEST(Rtd, OddSymmetric) {
+  Rtd rtd;
+  EXPECT_NEAR(rtd.current(-0.3), -rtd.current(0.3), 1e-15);
+  EXPECT_DOUBLE_EQ(rtd.current(0.0), 0.0);
+}
+
+TEST(Rtd, PvcrAboveThree) {
+  Rtd rtd(three_state_rtd());
+  EXPECT_GT(rtd.pvcr(), 3.0);  // "adequate room temperature PVCR" [37,38]
+}
+
+TEST(RtdRam, ExactlyThreeStableLevels) {
+  RtdRam ram;
+  const auto levels = ram.stable_levels();
+  ASSERT_EQ(levels.size(), 3u);
+  EXPECT_LT(levels[0], levels[1]);
+  EXPECT_LT(levels[1], levels[2]);
+  // Alternating stable/unstable points.
+  const auto pts = ram.operating_points();
+  ASSERT_EQ(pts.size(), 5u);
+  for (std::size_t i = 0; i < pts.size(); ++i)
+    EXPECT_EQ(pts[i].stable, i % 2 == 0) << i;
+}
+
+class RtdRamWriteTest
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(RtdRamWriteTest, WritesBetweenAllLevelPairs) {
+  const auto [from, to] = GetParam();
+  RtdRam ram;
+  ram.write(from);
+  ASSERT_EQ(ram.read(), from);
+  ram.write(to);
+  EXPECT_EQ(ram.read(), to);
+  // The settled node voltage is near the exact stable level.
+  EXPECT_NEAR(ram.node_voltage(), ram.stable_levels()[to], 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTransitions, RtdRamWriteTest,
+                         ::testing::Values(std::pair<std::size_t, std::size_t>{0, 1},
+                                           std::pair<std::size_t, std::size_t>{0, 2},
+                                           std::pair<std::size_t, std::size_t>{1, 0},
+                                           std::pair<std::size_t, std::size_t>{1, 2},
+                                           std::pair<std::size_t, std::size_t>{2, 0},
+                                           std::pair<std::size_t, std::size_t>{2, 1}));
+
+TEST(RtdRam, RetentionUnderSmallPerturbation) {
+  RtdRam ram;
+  for (std::size_t level = 0; level < 3; ++level) {
+    ram.write(level);
+    ram.perturb(+0.08);
+    EXPECT_EQ(ram.read(), level) << "level " << level << " +80mV";
+    ram.perturb(-0.08);
+    EXPECT_EQ(ram.read(), level) << "level " << level << " -80mV";
+  }
+}
+
+TEST(RtdRam, LargePerturbationFlipsState) {
+  RtdRam ram;
+  ram.write(0);
+  ram.perturb(+0.55);  // past the unstable point toward level 1
+  EXPECT_NE(ram.read(), 0u);
+}
+
+TEST(RtdRam, BiasMapCoversLogicRange) {
+  RtdRam ram;
+  EXPECT_DOUBLE_EQ(ram.bias_voltage_for(0), -2.0);
+  EXPECT_NEAR(ram.bias_voltage_for(1), 0.0, 0.05);
+  EXPECT_DOUBLE_EQ(ram.bias_voltage_for(2), 2.0);
+  EXPECT_THROW(ram.bias_voltage_for(3), std::out_of_range);
+}
+
+TEST(RtdRam, StandbyCurrentPositiveAndBounded) {
+  RtdRam ram;
+  for (std::size_t level = 0; level < 3; ++level) {
+    ram.write(level);
+    const double i = ram.standby_current();
+    EXPECT_GT(i, 0.0);
+    EXPECT_LT(i, 5e-6);  // microamp scale for the test device
+  }
+}
+
+TEST(RtdRam, WriteOutOfRangeThrows) {
+  RtdRam ram;
+  EXPECT_THROW(ram.write(7), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace pp::device

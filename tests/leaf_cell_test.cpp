@@ -1,0 +1,116 @@
+// Device-level leaf-cell tests: the full programming chain of Fig. 6,
+// trit -> RTD level -> back-gate bias -> logic role, validated both
+// digitally and through the analog NAND row.
+#include <gtest/gtest.h>
+
+#include "core/config_ram.h"
+#include "device/leaf_cell.h"
+
+namespace pp::device {
+namespace {
+
+TEST(LeafCell, ProgramAndReadBackAllRoles) {
+  LeafCell cell;
+  for (BiasLevel b :
+       {BiasLevel::kForce0, BiasLevel::kActive, BiasLevel::kForce1}) {
+    cell.program(b);
+    EXPECT_EQ(cell.configured(), b);
+  }
+}
+
+TEST(LeafCell, BackGateVoltageTracksRole) {
+  LeafCell cell;
+  cell.program(BiasLevel::kForce0);
+  EXPECT_NEAR(cell.back_gate_voltage(), -2.0, 0.05);
+  cell.program(BiasLevel::kActive);
+  EXPECT_NEAR(cell.back_gate_voltage(), 0.0, 0.05);
+  cell.program(BiasLevel::kForce1);
+  EXPECT_NEAR(cell.back_gate_voltage(), +2.0, 0.05);
+}
+
+TEST(LeafCell, ReprogrammingBetweenAllRolePairs) {
+  LeafCell cell;
+  const BiasLevel roles[] = {BiasLevel::kForce0, BiasLevel::kActive,
+                             BiasLevel::kForce1};
+  for (BiasLevel from : roles) {
+    for (BiasLevel to : roles) {
+      cell.program(from);
+      cell.program(to);
+      ASSERT_EQ(cell.configured(), to);
+    }
+  }
+}
+
+class LeafCellNandTest
+    : public ::testing::TestWithParam<std::pair<BiasLevel, BiasLevel>> {};
+
+TEST_P(LeafCellNandTest, AnalogRowMatchesDigitalSemantics) {
+  const auto [ba, bb] = GetParam();
+  LeafCell cell_a, cell_b;
+  cell_a.program(ba);
+  cell_b.program(bb);
+  for (int a = 0; a <= 1; ++a) {
+    for (int b = 0; b <= 1; ++b) {
+      const bool want =
+          !(cell_a.effective_input(a) && cell_b.effective_input(b));
+      const double v = cell_a.nand_row_vout(a ? 1.0 : 0.0, b ? 1.0 : 0.0,
+                                            cell_b);
+      EXPECT_NEAR(v, want ? 1.0 : 0.0, 0.12)
+          << "a=" << a << " b=" << b << " roles "
+          << static_cast<int>(ba) << "/" << static_cast<int>(bb);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRolePairs, LeafCellNandTest,
+    ::testing::Values(
+        std::pair{BiasLevel::kActive, BiasLevel::kActive},
+        std::pair{BiasLevel::kActive, BiasLevel::kForce1},
+        std::pair{BiasLevel::kForce1, BiasLevel::kActive},
+        std::pair{BiasLevel::kForce0, BiasLevel::kForce0},
+        std::pair{BiasLevel::kForce1, BiasLevel::kForce1},
+        std::pair{BiasLevel::kForce0, BiasLevel::kActive}));
+
+TEST(LeafCell, StandbyCurrentFiniteInEveryState) {
+  LeafCell cell;
+  for (BiasLevel b :
+       {BiasLevel::kForce0, BiasLevel::kActive, BiasLevel::kForce1}) {
+    cell.program(b);
+    EXPECT_GT(cell.standby_current(), 0.0);
+    EXPECT_LT(cell.standby_current(), 5e-6);
+  }
+}
+
+// Full block image through one physical cell: every crosspoint trit of a
+// ConfigRam row-trip survives the device.
+TEST(LeafCell, BlockImageThroughDevice) {
+  core::BlockConfig cfg;
+  cfg.xpoint[1][2] = core::BiasLevel::kActive;
+  cfg.xpoint[3][4] = core::BiasLevel::kForce0;
+  cfg.xpoint[5][0] = core::BiasLevel::kActive;
+  const auto image = core::ConfigRam::from_config(cfg);
+
+  LeafCell cell;
+  core::ConfigRam readback;
+  // The crosspoint region (trits 0..35) maps 1:1 onto leaf-cell roles.
+  for (int i = 0; i < 36; ++i) {
+    // trit encoding: 0 = Force1, 1 = Active, 2 = Force0 (see config_ram.cpp)
+    const std::uint8_t trit = image.trit(i);
+    const BiasLevel b = trit == 0   ? BiasLevel::kForce1
+                        : trit == 1 ? BiasLevel::kActive
+                                    : BiasLevel::kForce0;
+    cell.program(b);
+    const BiasLevel out = cell.configured();
+    const std::uint8_t out_trit = out == BiasLevel::kForce1 ? 0
+                                  : out == BiasLevel::kActive ? 1
+                                                              : 2;
+    readback.set_trit(i, out_trit);
+  }
+  for (int i = 36; i < core::kConfigTrits; ++i)
+    readback.set_trit(i, image.trit(i));
+  EXPECT_EQ(readback.to_config(), cfg);
+}
+
+}  // namespace
+}  // namespace pp::device

@@ -1,0 +1,107 @@
+// Shannon-decomposed 4-variable LUTs on the fabric.
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "map/lut4.h"
+#include "util/rng.h"
+
+namespace pp::map {
+namespace {
+
+using core::Fabric;
+
+TEST(Lut4, CofactorsSplitCorrectly) {
+  // f = x3 ? parity3 : majority3
+  TruthTable tt(4);
+  for (int i = 0; i < 16; ++i) {
+    const int low = i & 7;
+    const bool maj = std::popcount(unsigned(low)) >= 2;
+    const bool par = std::popcount(unsigned(low)) & 1;
+    tt.set(static_cast<std::uint8_t>(i), (i & 8) ? par : maj);
+  }
+  const auto [f0, f1] = shannon_cofactors(tt);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(f0.eval(static_cast<std::uint8_t>(i)),
+              std::popcount(unsigned(i)) >= 2);
+    EXPECT_EQ(f1.eval(static_cast<std::uint8_t>(i)),
+              static_cast<bool>(std::popcount(unsigned(i)) & 1));
+  }
+}
+
+class Lut4ExhaustiveTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(Lut4ExhaustiveTest, AllSixteenInputsMatch) {
+  TruthTable tt(4);
+  for (int i = 0; i < 16; ++i)
+    tt.set(static_cast<std::uint8_t>(i), (GetParam() >> i) & 1);
+  Fabric f(3, 8);
+  const auto ports = lut4(f, 0, tt);
+  auto ef = f.elaborate();
+  sim::Simulator s(ef.circuit());
+  auto drive = [&](const SignalAt& p, bool v) {
+    s.set_input(ef.in_line(p.r, p.c, p.line), sim::from_bool(v));
+  };
+  for (int input = 0; input < 16; ++input) {
+    for (int v = 0; v < 3; ++v) {
+      drive(ports.inputs_f0[v], (input >> v) & 1);
+      drive(ports.inputs_f1[v], (input >> v) & 1);
+    }
+    drive(ports.x3, (input >> 3) & 1);
+    ASSERT_TRUE(s.settle());
+    ASSERT_EQ(s.value(ef.in_line(ports.out.r, ports.out.c, ports.out.line)),
+              sim::from_bool(tt.eval(static_cast<std::uint8_t>(input))))
+        << "function " << GetParam() << " input " << input;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RepresentativeFunctions, Lut4ExhaustiveTest,
+    ::testing::Values(0x0000u, 0xFFFFu,
+                      0x8000u,  // and4
+                      0x6996u,  // parity4
+                      0xFEE8u,  // majority-ish
+                      0x8778u,  // xnor-of-pairs
+                      0x1234u, 0xBEEFu, 0xCAFEu, 0x5A5Au, 0x0F0Fu));
+
+class Lut4RandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(Lut4RandomTest, RandomFunctionsMatch) {
+  util::Rng rng(GetParam());
+  TruthTable tt(4);
+  for (int i = 0; i < 16; ++i)
+    tt.set(static_cast<std::uint8_t>(i), rng.next_bool());
+  Fabric f(3, 8);
+  const auto ports = lut4(f, 0, tt);
+  auto ef = f.elaborate();
+  sim::Simulator s(ef.circuit());
+  auto drive = [&](const SignalAt& p, bool v) {
+    s.set_input(ef.in_line(p.r, p.c, p.line), sim::from_bool(v));
+  };
+  for (int input = 0; input < 16; ++input) {
+    for (int v = 0; v < 3; ++v) {
+      drive(ports.inputs_f0[v], (input >> v) & 1);
+      drive(ports.inputs_f1[v], (input >> v) & 1);
+    }
+    drive(ports.x3, (input >> 3) & 1);
+    ASSERT_TRUE(s.settle());
+    ASSERT_EQ(s.value(ef.in_line(ports.out.r, ports.out.c, ports.out.line)),
+              sim::from_bool(tt.eval(static_cast<std::uint8_t>(input))));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Lut4RandomTest, ::testing::Range(500, 516));
+
+TEST(Lut4, RejectsBadGeometryAndArity) {
+  TruthTable tt3(3);
+  Fabric small(2, 8);
+  TruthTable tt4(4);
+  EXPECT_THROW(lut4(small, 0, tt4), std::invalid_argument);
+  Fabric ok(3, 8);
+  EXPECT_THROW(lut4(ok, 0, TruthTable(3)), std::invalid_argument);
+  EXPECT_THROW(lut4(ok, 2, tt4), std::invalid_argument);  // cols too few
+  EXPECT_THROW(shannon_cofactors(tt3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pp::map

@@ -1,0 +1,355 @@
+#include <gtest/gtest.h>
+
+#include "sim/circuit.h"
+#include "sim/logic.h"
+#include "sim/simulator.h"
+#include "sim/waveform.h"
+
+namespace pp::sim {
+namespace {
+
+// ---------- 4-valued logic --------------------------------------------------
+
+TEST(Logic, ResolveTable) {
+  EXPECT_EQ(resolve(Logic::kZ, Logic::k1), Logic::k1);
+  EXPECT_EQ(resolve(Logic::k0, Logic::kZ), Logic::k0);
+  EXPECT_EQ(resolve(Logic::k1, Logic::k1), Logic::k1);
+  EXPECT_EQ(resolve(Logic::k0, Logic::k1), Logic::kX);  // contention
+  EXPECT_EQ(resolve(Logic::kX, Logic::k1), Logic::kX);
+  EXPECT_EQ(resolve(Logic::kZ, Logic::kZ), Logic::kZ);
+}
+
+TEST(Logic, NandDominantZero) {
+  const Logic ins1[] = {Logic::k0, Logic::kX, Logic::kZ};
+  EXPECT_EQ(nand_of(ins1), Logic::k1);  // 0 dominates even unknowns
+  const Logic ins2[] = {Logic::k1, Logic::k1};
+  EXPECT_EQ(nand_of(ins2), Logic::k0);
+  const Logic ins3[] = {Logic::k1, Logic::kX};
+  EXPECT_EQ(nand_of(ins3), Logic::kX);
+}
+
+TEST(Logic, OrDominantOne) {
+  const Logic ins1[] = {Logic::k1, Logic::kX};
+  EXPECT_EQ(or_of(ins1), Logic::k1);
+  const Logic ins2[] = {Logic::k0, Logic::k0};
+  EXPECT_EQ(or_of(ins2), Logic::k0);
+  const Logic ins3[] = {Logic::k0, Logic::kZ};
+  EXPECT_EQ(or_of(ins3), Logic::kX);
+}
+
+TEST(Logic, XorPropagatesUnknown) {
+  const Logic ins1[] = {Logic::k1, Logic::k1, Logic::k1};
+  EXPECT_EQ(xor_of(ins1), Logic::k1);
+  const Logic ins2[] = {Logic::k1, Logic::kX};
+  EXPECT_EQ(xor_of(ins2), Logic::kX);
+}
+
+TEST(Logic, CharRendering) {
+  EXPECT_EQ(to_char(Logic::k0), '0');
+  EXPECT_EQ(to_char(Logic::k1), '1');
+  EXPECT_EQ(to_char(Logic::kZ), 'Z');
+  EXPECT_EQ(to_char(Logic::kX), 'X');
+}
+
+// ---------- Circuit validation ----------------------------------------------
+
+TEST(Circuit, RejectsTwoStrongDrivers) {
+  Circuit c;
+  const NetId a = c.add_net(), b = c.add_net(), out = c.add_net();
+  c.add_gate(GateKind::kNot, {a}, out);
+  c.add_gate(GateKind::kNot, {b}, out);
+  EXPECT_NE(c.validate(), "");
+}
+
+TEST(Circuit, RejectsStrongPlusTristate) {
+  Circuit c;
+  const NetId a = c.add_net(), en = c.add_net(), out = c.add_net();
+  c.add_gate(GateKind::kNot, {a}, out);
+  c.add_gate(GateKind::kTriBuf, {a, en}, out);
+  EXPECT_NE(c.validate(), "");
+}
+
+TEST(Circuit, AllowsMultipleTristate) {
+  Circuit c;
+  const NetId a = c.add_net(), en = c.add_net(), out = c.add_net();
+  c.mark_input(a);
+  c.mark_input(en);
+  c.add_gate(GateKind::kTriBuf, {a, en}, out);
+  c.add_gate(GateKind::kTriInv, {a, en}, out);
+  EXPECT_EQ(c.validate(), "");
+}
+
+TEST(Circuit, RejectsBadArity) {
+  Circuit c;
+  const NetId a = c.add_net(), out = c.add_net();
+  c.add_gate(GateKind::kTriBuf, {a}, out);  // needs 2 pins
+  EXPECT_NE(c.validate(), "");
+}
+
+TEST(Circuit, SimulatorRejectsInvalidCircuit) {
+  Circuit c;
+  const NetId a = c.add_net(), out = c.add_net();
+  c.add_gate(GateKind::kNot, {a}, out);
+  c.add_gate(GateKind::kBuf, {a}, out);
+  EXPECT_THROW(Simulator s(c), std::invalid_argument);
+}
+
+// ---------- Event-driven behaviour ------------------------------------------
+
+TEST(Simulator, CombinationalChainDelayAccumulates) {
+  Circuit c;
+  const NetId a = c.add_net("a");
+  c.mark_input(a);
+  const NetId n1 = c.add_net(), n2 = c.add_net();
+  c.add_gate(GateKind::kNot, {a}, n1, 10);
+  c.add_gate(GateKind::kNot, {n1}, n2, 15);
+  Simulator s(c);
+  s.set_input(a, Logic::k0);
+  ASSERT_TRUE(s.settle());
+  EXPECT_EQ(s.value(n2), Logic::k0);
+  const SimTime t0 = s.now();
+  s.set_input(a, Logic::k1);
+  ASSERT_TRUE(s.settle());
+  EXPECT_EQ(s.value(n2), Logic::k1);
+  EXPECT_EQ(s.last_change(n2), t0 + 10 + 15);
+}
+
+TEST(Simulator, InertialDelaySwallowsRunt) {
+  // 20 ps gate; a 5 ps input pulse must not reach the output.
+  Circuit c;
+  const NetId a = c.add_net("a");
+  c.mark_input(a);
+  const NetId out = c.add_net("out");
+  c.add_gate(GateKind::kBuf, {a}, out, 20);
+  Simulator s(c);
+  s.set_input_at(a, Logic::k0, 0);
+  s.run_until(100);
+  const auto toggles_before = s.toggles(out);
+  s.set_input_at(a, Logic::k1, 110);
+  s.set_input_at(a, Logic::k0, 115);  // 5 ps runt
+  s.run_until(300);
+  EXPECT_EQ(s.toggles(out), toggles_before);  // pulse filtered
+}
+
+TEST(Simulator, TransportDelayPreservesPulses) {
+  Circuit c;
+  const NetId a = c.add_net("a");
+  c.mark_input(a);
+  const NetId out = c.add_net("out");
+  c.add_gate(GateKind::kDelay, {a}, out, 50);
+  Simulator s(c);
+  s.set_input_at(a, Logic::k0, 0);
+  s.run_until(10);
+  s.set_input_at(a, Logic::k1, 20);
+  s.set_input_at(a, Logic::k0, 25);  // 5 ps pulse through 50 ps line
+  s.run_until(200);
+  EXPECT_GE(s.toggles(out), 2u);  // both edges arrive
+}
+
+TEST(Simulator, TristateBusResolution) {
+  Circuit c;
+  const NetId d0 = c.add_net(), d1 = c.add_net(), e0 = c.add_net(),
+              e1 = c.add_net(), bus = c.add_net("bus");
+  for (NetId n : {d0, d1, e0, e1}) c.mark_input(n);
+  c.add_gate(GateKind::kTriBuf, {d0, e0}, bus, 5);
+  c.add_gate(GateKind::kTriBuf, {d1, e1}, bus, 5);
+  Simulator s(c);
+  s.set_input(d0, Logic::k1);
+  s.set_input(d1, Logic::k0);
+  s.set_input(e0, Logic::k1);
+  s.set_input(e1, Logic::k0);
+  s.settle();
+  EXPECT_EQ(s.value(bus), Logic::k1);
+  s.set_input(e0, Logic::k0);
+  s.settle();
+  EXPECT_EQ(s.value(bus), Logic::kZ);
+  s.set_input(e1, Logic::k1);
+  s.settle();
+  EXPECT_EQ(s.value(bus), Logic::k0);
+  s.set_input(e0, Logic::k1);
+  s.settle();
+  EXPECT_EQ(s.value(bus), Logic::kX);  // both drive conflicting values
+}
+
+TEST(Simulator, DffSamplesOnRisingEdgeOnly) {
+  Circuit c;
+  const NetId d = c.add_net(), clk = c.add_net(), q = c.add_net();
+  c.mark_input(d);
+  c.mark_input(clk);
+  c.add_gate(GateKind::kDff, {d, clk}, q, 2);
+  Simulator s(c);
+  s.set_input(d, Logic::k1);
+  s.set_input(clk, Logic::k0);
+  s.run_until(50);
+  EXPECT_NE(s.value(q), Logic::k1);  // not yet clocked
+  s.set_input_at(clk, Logic::k1, 60);
+  s.run_until(100);
+  EXPECT_EQ(s.value(q), Logic::k1);
+  s.set_input_at(d, Logic::k0, 110);   // change D with clk high
+  s.set_input_at(clk, Logic::k0, 150);  // falling edge: no capture
+  s.run_until(200);
+  EXPECT_EQ(s.value(q), Logic::k1);
+}
+
+TEST(Simulator, DffAsyncResetOverridesClock) {
+  Circuit c;
+  const NetId d = c.add_net(), clk = c.add_net(), rst = c.add_net(),
+              q = c.add_net();
+  for (NetId n : {d, clk, rst}) c.mark_input(n);
+  c.add_gate(GateKind::kDff, {d, clk, rst}, q, 2);
+  Simulator s(c);
+  s.set_input(d, Logic::k1);
+  s.set_input(rst, Logic::k1);
+  s.set_input(clk, Logic::k0);
+  s.run_until(20);
+  s.set_input_at(clk, Logic::k1, 30);
+  s.run_until(50);
+  EXPECT_EQ(s.value(q), Logic::k1);
+  s.set_input_at(rst, Logic::k0, 60);
+  s.run_until(80);
+  EXPECT_EQ(s.value(q), Logic::k0);
+}
+
+TEST(Simulator, CElementHoldsBetweenAgreements) {
+  Circuit c;
+  const NetId a = c.add_net(), b = c.add_net(), q = c.add_net();
+  c.mark_input(a);
+  c.mark_input(b);
+  c.add_gate(GateKind::kCElement, {a, b}, q, 3);
+  Simulator s(c);
+  s.set_input(a, Logic::k0);
+  s.set_input(b, Logic::k0);
+  s.settle();
+  EXPECT_EQ(s.value(q), Logic::k0);
+  s.set_input(a, Logic::k1);
+  s.settle();
+  EXPECT_EQ(s.value(q), Logic::k0);  // hold
+  s.set_input(b, Logic::k1);
+  s.settle();
+  EXPECT_EQ(s.value(q), Logic::k1);
+  s.set_input(a, Logic::k0);
+  s.settle();
+  EXPECT_EQ(s.value(q), Logic::k1);  // hold
+}
+
+TEST(Simulator, CElementResetPin) {
+  Circuit c;
+  const NetId a = c.add_net(), b = c.add_net(), rst = c.add_net(),
+              q = c.add_net();
+  for (NetId n : {a, b, rst}) c.mark_input(n);
+  c.add_gate(GateKind::kCElement, {a, b, rst}, q, 3);
+  Simulator s(c);
+  // a=0, b=1 would leave the keeper at X forever without the reset.
+  s.set_input(a, Logic::k0);
+  s.set_input(b, Logic::k1);
+  s.set_input(rst, Logic::k0);
+  s.settle();
+  EXPECT_EQ(s.value(q), Logic::k0);
+  s.set_input(rst, Logic::k1);
+  s.settle();
+  EXPECT_EQ(s.value(q), Logic::k0);  // holds after release
+}
+
+TEST(Simulator, OscillatorExhaustsBudget) {
+  // NAND ring enabled by an input: oscillates once enabled.  The loop is
+  // first initialised with en=0 (forcing binary values into the ring);
+  // enabling it then produces unbounded switching, which must exhaust the
+  // event budget instead of hanging.
+  Circuit c;
+  const NetId en = c.add_net("en");
+  c.mark_input(en);
+  const NetId n1 = c.add_net(), n2 = c.add_net();
+  c.add_gate(GateKind::kNand, {en, n2}, n1, 7);
+  c.add_gate(GateKind::kBuf, {n1}, n2, 7);
+  Simulator s(c);
+  s.set_input(en, Logic::k0);
+  ASSERT_TRUE(s.settle());
+  EXPECT_EQ(s.value(n2), Logic::k1);
+  s.set_input(en, Logic::k1);
+  EXPECT_FALSE(s.settle(10'000));
+}
+
+TEST(Simulator, SetInputRejectsNonInputs) {
+  Circuit c;
+  const NetId a = c.add_net(), out = c.add_net();
+  c.mark_input(a);
+  c.add_gate(GateKind::kNot, {a}, out);
+  Simulator s(c);
+  EXPECT_THROW(s.set_input(out, Logic::k1), std::invalid_argument);
+}
+
+TEST(Simulator, GlitchCounterSeesHazard) {
+  // Classic static hazard: f = a.b + /a.c with b=c=1 glitches on a's edge
+  // when the inverter path is slower.
+  Circuit c;
+  const NetId a = c.add_net("a"), b = c.add_net("b"), cc = c.add_net("c");
+  for (NetId n : {a, b, cc}) c.mark_input(n);
+  const NetId na = c.add_net();
+  const NetId t1 = c.add_net(), t2 = c.add_net(), f = c.add_net("f");
+  c.add_gate(GateKind::kNot, {a}, na, 30);  // slow inverter
+  c.add_gate(GateKind::kAnd, {a, b}, t1, 5);
+  c.add_gate(GateKind::kAnd, {na, cc}, t2, 5);
+  c.add_gate(GateKind::kOr, {t1, t2}, f, 5);
+  c.set_inertial(3, 1);  // let the OR pass narrow pulses so we can see them
+  Simulator s(c);
+  s.set_glitch_window(50);
+  s.set_input(a, Logic::k1);
+  s.set_input(b, Logic::k1);
+  s.set_input(cc, Logic::k1);
+  s.settle();
+  const auto glitches_before = s.stats().glitch_pulses;
+  s.set_input(a, Logic::k0);  // 1 -> 0: f must stay 1 but glitches low
+  s.settle();
+  EXPECT_GT(s.stats().glitch_pulses, glitches_before);
+  EXPECT_EQ(s.value(f), Logic::k1);
+}
+
+TEST(Simulator, EvaluateCombinationalHelper) {
+  Circuit c;
+  const NetId a = c.add_net(), b = c.add_net(), y = c.add_net();
+  c.mark_input(a);
+  c.mark_input(b);
+  c.add_gate(GateKind::kXor, {a, b}, y);
+  const auto out = evaluate_combinational(c, {a, b}, {Logic::k1, Logic::k0}, {y});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], Logic::k1);
+}
+
+// ---------- Waveform --------------------------------------------------------
+
+TEST(Waveform, RecordsAndCountsEdges) {
+  Circuit c;
+  const NetId a = c.add_net("a");
+  c.mark_input(a);
+  const NetId out = c.add_net("out");
+  c.add_gate(GateKind::kBuf, {a}, out, 3);
+  Simulator s(c);
+  Waveform wf(s, c, {out});
+  s.set_input_at(a, Logic::k0, 0);
+  s.set_input_at(a, Logic::k1, 50);
+  s.set_input_at(a, Logic::k0, 100);
+  s.set_input_at(a, Logic::k1, 150);
+  s.run_until(200);
+  EXPECT_EQ(wf.rising_edges(out), 2u);
+  EXPECT_GE(wf.history(out).size(), 4u);
+  EXPECT_EQ(wf.min_pulse(out), 50u);
+}
+
+TEST(Waveform, VcdContainsHeaderAndChanges) {
+  Circuit c;
+  const NetId a = c.add_net("sig_a");
+  c.mark_input(a);
+  const NetId out = c.add_net("sig_out");
+  c.add_gate(GateKind::kNot, {a}, out, 2);
+  Simulator s(c);
+  Waveform wf(s, c);
+  s.set_input_at(a, Logic::k1, 10);
+  s.run_until(50);
+  const std::string vcd = wf.to_vcd("top");
+  EXPECT_NE(vcd.find("$timescale 1ps $end"), std::string::npos);
+  EXPECT_NE(vcd.find("sig_out"), std::string::npos);
+  EXPECT_NE(vcd.find("#1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pp::sim
