@@ -1,8 +1,31 @@
 // FIG11: Sutherland micropipelines.  Sweeps pipeline depth and stage delay,
 // reporting throughput, occupancy and token integrity — the asynchronous
-// half of the paper's §4.1 argument.
+// half of the paper's §4.1 argument.  Each pipeline instance is hosted in a
+// platform::Session (from_circuit); the async harness drives the handshake
+// on the session's simulator.
 #include "bench_common.h"
 #include "async/micropipeline.h"
+#include "platform/session.h"
+
+namespace {
+
+/// Build a pipeline and wrap it in a Session; exits on construction errors.
+pp::platform::Session make_session(const pp::async::MicropipelineParams& p,
+                                   pp::async::MicropipelinePorts& ports) {
+  pp::sim::Circuit ckt;
+  ports = pp::async::build_micropipeline(ckt, p);
+  auto session = pp::platform::Session::from_circuit(
+      std::move(ckt),
+      {{"req_in", ports.req_in}, {"ack_out", ports.ack_out}},
+      {{"ack_in", ports.ack_in}, {"req_out", ports.req_out}});
+  if (!session.ok()) {
+    std::printf("%s\n", session.status().to_string().c_str());
+    std::exit(1);
+  }
+  return std::move(*session);
+}
+
+}  // namespace
 
 int main() {
   using namespace pp;
@@ -21,10 +44,10 @@ int main() {
       p.stages = stages;
       p.width = 8;
       p.stage_delay_ps = delay;
-      sim::Circuit ckt;
-      const auto ports = async::build_micropipeline(ckt, p);
-      sim::Simulator sim(ckt);
-      const auto stats = async::run_tokens(sim, ports, p.width, 32);
+      async::MicropipelinePorts ports;
+      auto session = make_session(p, ports);
+      const auto stats =
+          async::run_tokens(session.simulator(), ports, p.width, 32);
       bool in_order = stats.tokens_received == 32;
       for (int i = 0; i < stats.tokens_received; ++i)
         if (stats.received_values[i] != static_cast<std::uint64_t>(i + 1))
@@ -51,10 +74,10 @@ int main() {
     async::MicropipelineParams p;
     p.stages = 4;
     p.width = 8;
-    sim::Circuit ckt;
-    const auto ports = async::build_micropipeline(ckt, p);
-    sim::Simulator sim(ckt);
-    const auto stats = async::run_tokens(sim, ports, p.width, 24, 10, sink);
+    async::MicropipelinePorts ports;
+    auto session = make_session(p, ports);
+    const auto stats =
+        async::run_tokens(session.simulator(), ports, p.width, 24, 10, sink);
     if (sink == 10) fast = stats.throughput_tokens_per_ns();
     bp.row({util::Table::num(static_cast<long long>(sink)),
             util::Table::num(stats.throughput_tokens_per_ns(), 3),

@@ -1,13 +1,17 @@
 // PERF: google-benchmark micro-benchmarks of the simulation infrastructure
-// itself (event simulator, elaboration, minimiser, router, bitstream).
-// These are engineering numbers for this reproduction, not paper claims.
+// itself (event simulator, elaboration, minimiser, router, bitstream) plus
+// the platform pipeline (compile, batch evaluation).  These are engineering
+// numbers for this reproduction, not paper claims.
 #include <benchmark/benchmark.h>
 
 #include "core/bitstream.h"
 #include "core/fabric.h"
 #include "map/macros.h"
+#include "map/netlist.h"
 #include "map/router.h"
 #include "map/truth_table.h"
+#include "platform/compiler.h"
+#include "platform/session.h"
 #include "sim/simulator.h"
 #include "util/rng.h"
 
@@ -107,6 +111,54 @@ void BM_BitstreamRoundTrip(benchmark::State& state) {
                           (8 + size * size * core::kBlockBytes + 4));
 }
 BENCHMARK(BM_BitstreamRoundTrip)->Arg(8)->Arg(16);
+
+void BM_PlatformCompile(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto nl = map::make_ripple_adder(n);
+  for (auto _ : state) {
+    auto design = platform::compile(nl);
+    if (!design.ok()) {
+      state.SkipWithError(design.status().to_string().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(design->bitstream.size());
+  }
+}
+BENCHMARK(BM_PlatformCompile)->Arg(2)->Arg(4);
+
+void BM_PlatformRunVectors(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto nl = map::make_ripple_adder(n);
+  auto design = platform::compile(nl);
+  if (!design.ok()) {
+    state.SkipWithError(design.status().to_string().c_str());
+    return;
+  }
+  auto session = platform::Session::load(*design);
+  if (!session.ok()) {
+    state.SkipWithError(session.status().to_string().c_str());
+    return;
+  }
+  const int bits = 2 * n + 1;
+  std::vector<platform::InputVector> vectors;
+  for (int v = 0; v < (1 << bits); ++v) {
+    platform::InputVector in(bits);
+    for (int i = 0; i < bits; ++i) in[i] = (v >> i) & 1;
+    vectors.push_back(std::move(in));
+  }
+  for (auto _ : state) {
+    auto out = session->run_vectors(vectors);
+    if (!out.ok()) {
+      state.SkipWithError(out.status().to_string().c_str());
+      break;
+    }
+    benchmark::DoNotOptimize(out->size());
+  }
+  state.counters["vectors/s"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * vectors.size(),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_PlatformRunVectors)->Arg(2)->Arg(3);
 
 }  // namespace
 

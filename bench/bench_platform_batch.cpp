@@ -1,0 +1,104 @@
+// PLATFORM-BATCH: throughput of platform::Session::run_vectors — serial
+// vector-at-a-time evaluation vs the sharded path that clones simulator
+// state across util::thread_pool workers.  This is the first real batching
+// path toward the ROADMAP's "heavy traffic" north star; the speedup column
+// is what the multi-core acceptance criterion reads.
+//
+// Note: the parallel path clones the settled simulator once per shard, so
+// on a single-core host the ratio degrades gracefully toward ~1x; the >2x
+// criterion applies to multi-core runners.
+#include <chrono>
+#include <vector>
+
+#include "bench_common.h"
+#include "map/netlist.h"
+#include "platform/compiler.h"
+#include "platform/session.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+double run_ms(pp::platform::Session& session,
+              const std::vector<pp::platform::InputVector>& vectors,
+              const pp::platform::RunOptions& options, bool& ok) {
+  const auto t0 = std::chrono::steady_clock::now();
+  auto out = session.run_vectors(vectors, options);
+  const auto t1 = std::chrono::steady_clock::now();
+  if (!out.ok()) {
+    std::printf("run_vectors: %s\n", out.status().to_string().c_str());
+    ok = false;
+  }
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+}  // namespace
+
+int main() {
+  using namespace pp;
+  bench::experiment_header(
+      "PLATFORM-BATCH run_vectors: serial vs sharded simulator clones",
+      "one compiled fabric, many independent stimulus vectors; shards "
+      "evaluated on cloned simulator state across the thread pool");
+
+  const std::size_t workers = util::global_pool().worker_count();
+  std::printf("thread pool: %zu worker(s)\n\n", workers);
+
+  util::Table t("Batch evaluation throughput (4-bit adder, 512-vector sets)");
+  t.header({"batch", "serial (ms)", "parallel (ms)", "speedup",
+            "vectors/s (parallel)", "match"});
+  bool all_ok = true;
+  double best_speedup = 0;
+
+  const auto nl = map::make_ripple_adder(4);
+  auto design = platform::compile(nl);
+  if (!design.ok())
+    return std::printf("%s\n", design.status().to_string().c_str()), 1;
+  auto session = platform::Session::load(*design);
+  if (!session.ok())
+    return std::printf("%s\n", session.status().to_string().c_str()), 1;
+
+  std::vector<platform::InputVector> all;
+  for (int v = 0; v < 512; ++v) {
+    platform::InputVector in(9);
+    for (int i = 0; i < 9; ++i) in[i] = (v >> i) & 1;
+    all.push_back(std::move(in));
+  }
+
+  for (int repeat : {1, 2, 4}) {
+    std::vector<platform::InputVector> vectors;
+    for (int r = 0; r < repeat; ++r)
+      vectors.insert(vectors.end(), all.begin(), all.end());
+
+    bool ok = true;
+    // Warm both paths once so first-touch allocation noise drops out.
+    (void)run_ms(*session, vectors, {.max_threads = 1}, ok);
+    const double serial = run_ms(*session, vectors, {.max_threads = 1}, ok);
+    const double parallel = run_ms(*session, vectors, {.max_threads = 0}, ok);
+
+    auto serial_out = session->run_vectors(vectors, {.max_threads = 1});
+    auto parallel_out = session->run_vectors(vectors, {.max_threads = 0});
+    const bool match = serial_out.ok() && parallel_out.ok() &&
+                       *serial_out == *parallel_out;
+    ok = ok && match;
+    all_ok = all_ok && ok;
+    const double speedup = parallel > 0 ? serial / parallel : 0;
+    best_speedup = std::max(best_speedup, speedup);
+    t.row({util::Table::num(static_cast<long long>(vectors.size())),
+           util::Table::num(serial, 1), util::Table::num(parallel, 1),
+           util::Table::num(speedup, 2),
+           util::Table::num(1000.0 * static_cast<double>(vectors.size()) /
+                                std::max(parallel, 1e-9),
+                            0),
+           match ? "yes" : "NO"});
+  }
+  t.print();
+
+  std::printf("best speedup %.2fx on %zu worker(s)%s\n", best_speedup, workers,
+              workers < 2 ? " (single-core host: >2x applies to multi-core "
+                            "runners)"
+                          : "");
+  bench::verdict(all_ok && (workers < 2 || best_speedup > 2.0),
+                 "sharded run_vectors matches serial results; speedup "
+                 "scales with available cores");
+  return all_ok ? 0 : 1;
+}

@@ -2,13 +2,16 @@
 // "each block requires 128 bits reconfiguration data - in the same order
 // (on a function-for-function basis) as the several hundred bits required
 // by typical CLB structures and their associated interconnects".
+// All resource numbers flow through platform::fabric_stats /
+// platform::baseline_stats — the same accounting the library itself reports
+// — so this table cannot drift from pp::platform's numbers.
 #include "bench_common.h"
 #include "core/bitstream.h"
 #include "core/fabric.h"
-#include "fpga/lut_map.h"
 #include "map/macros.h"
 #include "map/netlist.h"
 #include "map/truth_table.h"
+#include "platform/report.h"
 
 int main() {
   using namespace pp;
@@ -30,8 +33,8 @@ int main() {
 
   struct Case {
     const char* name;
-    int poly_blocks;
-    fpga::Mapping baseline;
+    platform::FabricStats poly;
+    platform::BaselineStats baseline;
   };
   std::vector<Case> cases;
 
@@ -47,14 +50,14 @@ int main() {
     const int orxyz = nl.add_cell(map::CellKind::kOr, {x, y, z});
     const int q = nl.add_cell(map::CellKind::kDff, {orxyz});
     nl.mark_output(q);
-    cases.push_back({"3-LUT + DFF (Fig. 9)", f.used_blocks(),
-                     fpga::lut_map(nl)});
+    cases.push_back({"3-LUT + DFF (Fig. 9)", platform::fabric_stats(f),
+                     platform::baseline_stats(nl)});
   }
   {  // 4-bit adder.
     core::Fabric f(2, map::macros::ripple_adder_cols(4));
     map::macros::ripple_adder(f, 0, 0, 4);
-    cases.push_back({"4-bit ripple adder", f.used_blocks(),
-                     fpga::lut_map(map::make_ripple_adder(4))});
+    cases.push_back({"4-bit ripple adder", platform::fabric_stats(f),
+                     platform::baseline_stats(map::make_ripple_adder(4))});
   }
   {  // C-element.
     core::Fabric f(1, 3);
@@ -67,15 +70,17 @@ int main() {
     // state-cell realisation.
     const int q = nl.add_cell(map::CellKind::kDff, {ab});
     nl.mark_output(q);
-    cases.push_back({"Muller C-element", f.used_blocks(), fpga::lut_map(nl)});
+    cases.push_back({"Muller C-element", platform::fabric_stats(f),
+                     platform::baseline_stats(nl)});
   }
 
   for (const auto& cs : cases) {
-    const long long poly = core::config_bits(cs.poly_blocks);
-    const long long base = cs.baseline.config_bits();
+    const long long poly = cs.poly.config_bits;
+    const long long base = cs.baseline.config_bits;
     const double ratio = static_cast<double>(base) / poly;
     if (ratio < 0.2 || ratio > 50.0) same_order = false;
-    t.row({cs.name, util::Table::num(static_cast<long long>(cs.poly_blocks)),
+    t.row({cs.name,
+           util::Table::num(static_cast<long long>(cs.poly.used_blocks)),
            util::Table::num(poly),
            util::Table::num(static_cast<long long>(cs.baseline.logic_cells)),
            util::Table::num(base), util::Table::num(ratio, 2)});

@@ -1,62 +1,62 @@
-// The Fig. 10 scenario: an 8-bit accumulator datapath built from the
-// fabric's ripple-carry adder macro (five shared product terms per bit),
-// with the accumulation register closed at the array boundary.
+// The Fig. 10 scenario on the platform API: an 8-bit accumulator datapath
+// (a' = a + b) compiled from its behavioural netlist.  The accumulation
+// register is a *boundary register* — the compiler maps each DFF's Q to a
+// north-boundary pad and Session::step closes the loop at the array edge
+// (DESIGN.md §6), the same modelling decision the hand-built macro version
+// used.
 //
 // Runs a stream of operands and prints the running sum computed *by the
 // simulated fabric* next to the arithmetic reference.
 #include <cstdio>
 
-#include "core/fabric.h"
-#include "map/macros.h"
-#include "sim/simulator.h"
+#include "map/netlist.h"
+#include "platform/compiler.h"
+#include "platform/session.h"
 #include "util/rng.h"
 
 int main() {
   using namespace pp;
   constexpr int kBits = 8;
 
-  core::Fabric fabric(map::macros::ripple_adder_rows(),
-                      map::macros::ripple_adder_cols(kBits));
-  const auto adder = map::macros::ripple_adder(fabric, 0, 0, kBits);
-  std::printf("8-bit ripple adder: %d blocks, %d active leaf cells, "
-              "%d product terms per bit\n\n",
-              adder.blocks_used, fabric.active_cells(),
-              adder.bits[0].terms_used);
+  const map::Netlist netlist = map::make_accumulator(kBits);
+  auto design = platform::compile(netlist);
+  if (!design.ok())
+    return std::printf("compile: %s\n", design.status().to_string().c_str()), 1;
+  const auto& rep = design->report;
+  std::printf("8-bit accumulator: %d netlist cells -> %d mapped nodes on a "
+              "%dx%d fabric\n%d blocks (%d active leaf cells), %d feed-through "
+              "rows of interconnect, %lld config bits\n\n",
+              rep.netlist_cells, rep.mapped_nodes, rep.fabric_rows,
+              rep.fabric_cols, rep.fabric.used_blocks, rep.fabric.active_cells,
+              rep.route_hops, rep.fabric.config_bits);
 
-  auto ef = fabric.elaborate();
-  sim::Simulator sim(ef.circuit());
-  auto drive = [&](const map::SignalAt& p, bool v) {
-    sim.set_input(ef.in_line(p.r, p.c, p.line), sim::from_bool(v));
-  };
-  auto read_bit = [&](const map::SignalAt& p) {
-    return sim.value(ef.in_line(p.r, p.c, p.line)) == sim::Logic::k1;
-  };
+  auto session = platform::Session::load(*design);
+  if (!session.ok())
+    return std::printf("load: %s\n", session.status().to_string().c_str()), 1;
 
   util::Rng rng(2003);  // IPDPS'03 vintage
   int acc = 0;
+  bool all_ok = true;
   std::printf("step | operand | fabric sum | expected | ok\n");
   std::printf("-----+---------+------------+----------+---\n");
   for (int step = 1; step <= 12; ++step) {
     const int b = static_cast<int>(rng.next_below(64));
-    for (int i = 0; i < kBits; ++i) {
-      drive(adder.bits[i].a, (acc >> i) & 1);   // register value (boundary loop)
-      drive(adder.bits[i].na, !((acc >> i) & 1));
-      drive(adder.bits[i].b, (b >> i) & 1);     // incoming operand
-      drive(adder.bits[i].nb, !((b >> i) & 1));
-    }
-    drive(adder.bits[0].cin, false);
-    drive(adder.bits[0].ncin, true);
-    sim.settle();
+    platform::InputVector in(kBits);
+    for (int i = 0; i < kBits; ++i) in[i] = (b >> i) & 1;
+    auto out = session->step(in);  // outputs: s0..s7 then acc0..acc7
+    if (!out.ok())
+      return std::printf("step: %s\n", out.status().to_string().c_str()), 1;
     int sum = 0;
-    for (int i = 0; i < kBits; ++i)
-      sum |= static_cast<int>(read_bit(adder.bits[i].sum)) << i;
+    for (int i = 0; i < kBits; ++i) sum |= static_cast<int>((*out)[i]) << i;
     const int expect = (acc + b) & 0xFF;
+    const bool ok = sum == expect;
+    all_ok = all_ok && ok;
     std::printf("%4d | %7d | %10d | %8d | %s\n", step, b, sum, expect,
-                sum == expect ? "yes" : "NO");
-    acc = sum;  // clock edge: capture into the accumulator register
+                ok ? "yes" : "NO");
+    acc = expect;
   }
   std::printf("\nsimulator processed %llu events\n",
               static_cast<unsigned long long>(
-                  sim.stats().events_processed));
-  return 0;
+                  session->simulator().stats().events_processed));
+  return all_ok ? 0 : 1;
 }

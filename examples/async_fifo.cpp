@@ -1,10 +1,15 @@
 // The Fig. 11/12 scenario: a 4-stage, 8-bit Sutherland micropipeline FIFO
 // moving a burst of tokens under a slow consumer, with a VCD trace of the
 // handshake you can open in any waveform viewer.
+//
+// The pipeline is a raw sim::Circuit (no fabric involved), so it rides the
+// platform API through Session::from_circuit — the session owns the
+// simulator; the async harness drives the handshake on it directly.
 #include <cstdio>
 #include <fstream>
 
 #include "async/micropipeline.h"
+#include "platform/session.h"
 #include "sim/waveform.h"
 
 int main() {
@@ -17,21 +22,27 @@ int main() {
 
   sim::Circuit circuit;
   const auto ports = async::build_micropipeline(circuit, params);
-  sim::Simulator sim(circuit);
+  auto session = platform::Session::from_circuit(
+      std::move(circuit),
+      {{"req_in", ports.req_in}, {"ack_out", ports.ack_out}},
+      {{"ack_in", ports.ack_in}, {"req_out", ports.req_out}});
+  if (!session.ok())
+    return std::printf("%s\n", session.status().to_string().c_str()), 1;
 
   // Record the control handshake for inspection.
   std::vector<sim::NetId> watch{ports.req_in, ports.ack_in, ports.req_out,
                                 ports.ack_out};
   for (std::size_t i = 0; i + 1 < ports.stage_req.size(); ++i)
     watch.push_back(ports.stage_req[i]);
-  sim::Waveform wf(sim, circuit, watch);
+  sim::Waveform wf(session->simulator(), session->circuit(), watch);
 
   std::printf("pushing 16 tokens through a %d-stage micropipeline "
               "(sink 10x slower than source)...\n",
               params.stages);
-  const auto stats = async::run_tokens(sim, ports, params.width, 16,
-                                       /*source_delay_ps=*/10,
-                                       /*sink_delay_ps=*/100);
+  const auto stats =
+      async::run_tokens(session->simulator(), ports, params.width, 16,
+                        /*source_delay_ps=*/10,
+                        /*sink_delay_ps=*/100);
 
   std::printf("delivered %d/%d tokens in %llu ps "
               "(%.3f tokens/ns)\nvalues: ",

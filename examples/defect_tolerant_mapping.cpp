@@ -1,13 +1,21 @@
 // Defect-tolerant mapping on the homogeneous fabric (the paper's §5
-// future-work direction, operationalised): sprinkle random leaf-cell
-// defects over the array, let the mapper relocate a 4-bit adder away from
-// them, and prove the relocated datapath still adds correctly.
+// future-work direction, operationalised) — two ways:
+//
+//   1. Macro relocation: sprinkle random leaf-cell defects, let
+//      arch::find_clean_origin slide a hand-mapped 4-bit adder along the
+//      boundary, and prove (via platform::Session) that the relocated
+//      datapath still adds correctly.
+//   2. Compiler-integrated: hand the same defect map to platform::compile,
+//      which vetoes defective rows in the router and slides the whole
+//      placement until it is defect-free.
 #include <cstdio>
 
 #include "arch/defects.h"
 #include "core/fabric.h"
 #include "map/macros.h"
-#include "sim/simulator.h"
+#include "map/netlist.h"
+#include "platform/compiler.h"
+#include "platform/session.h"
 #include "util/rng.h"
 
 int main() {
@@ -45,42 +53,66 @@ int main() {
   fabric.clear();
   const auto adder =
       map::macros::ripple_adder(fabric, origin->first, origin->second, kBits);
-  auto ef = fabric.elaborate();
-  sim::Simulator sim(ef.circuit());
-  auto drive = [&](const map::SignalAt& p, bool v) {
-    sim.set_input(ef.in_line(p.r, p.c, p.line), sim::from_bool(v));
-  };
+  std::vector<platform::PortBinding> inputs, observes;
+  for (int i = 0; i < kBits; ++i) {
+    const auto& bit = adder.bits[i];
+    const std::string n = std::to_string(i);
+    inputs.push_back({"a" + n, bit.a});
+    inputs.push_back({"na" + n, bit.na});
+    inputs.push_back({"b" + n, bit.b});
+    inputs.push_back({"nb" + n, bit.nb});
+    observes.push_back({"s" + n, bit.sum});
+  }
+  inputs.push_back({"cin", adder.bits[0].cin});
+  inputs.push_back({"ncin", adder.bits[0].ncin});
+  observes.push_back({"cout", adder.bits[kBits - 1].cout});
+  auto session = platform::Session::from_fabric(std::move(fabric),
+                                                std::move(inputs), observes);
+  if (!session.ok())
+    return std::printf("%s\n", session.status().to_string().c_str()), 1;
 
   int failures = 0;
   for (int a = 0; a < 16; ++a) {
     for (int b = 0; b < 16; ++b) {
       for (int i = 0; i < kBits; ++i) {
-        drive(adder.bits[i].a, (a >> i) & 1);
-        drive(adder.bits[i].na, !((a >> i) & 1));
-        drive(adder.bits[i].b, (b >> i) & 1);
-        drive(adder.bits[i].nb, !((b >> i) & 1));
+        const std::string n = std::to_string(i);
+        (void)session->poke("a" + n, (a >> i) & 1);
+        (void)session->poke("na" + n, !((a >> i) & 1));
+        (void)session->poke("b" + n, (b >> i) & 1);
+        (void)session->poke("nb" + n, !((b >> i) & 1));
       }
-      drive(adder.bits[0].cin, false);
-      drive(adder.bits[0].ncin, true);
-      sim.settle();
+      (void)session->poke("cin", false);
+      (void)session->poke("ncin", true);
+      (void)session->settle();
       int got = 0;
       for (int i = 0; i < kBits; ++i)
-        got |= static_cast<int>(sim.value(ef.in_line(
-                   adder.bits[i].sum.r, adder.bits[i].sum.c,
-                   adder.bits[i].sum.line)) == sim::Logic::k1)
+        got |= int(session->peek_bool("s" + std::to_string(i)).value_or(false))
                << i;
-      got |= static_cast<int>(
-                 sim.value(ef.in_line(adder.bits[kBits - 1].cout.r,
-                                      adder.bits[kBits - 1].cout.c,
-                                      adder.bits[kBits - 1].cout.line)) ==
-                 sim::Logic::k1)
-             << kBits;
+      got |= int(session->peek_bool("cout").value_or(false)) << kBits;
       if (got != a + b) ++failures;
     }
   }
   std::printf("exhaustive 4-bit check on the relocated adder: %s "
               "(%d/256 failures)\n",
               failures == 0 ? "PASS" : "FAIL", failures);
+
+  // The compiler does the same avoidance end-to-end: netlist in, a
+  // defect-free placed-and-routed design out.
+  util::Rng rng2(11);
+  const auto parity = map::make_parity(3);
+  auto probe = platform::compile(parity);
+  if (!probe.ok())
+    return std::printf("%s\n", probe.status().to_string().c_str()), 1;
+  auto cdefects = arch::DefectMap::random(probe->report.fabric_rows,
+                                          probe->report.fabric_cols + 12,
+                                          0.002, 0.002, rng2);
+  platform::CompileOptions opts;
+  opts.defects = &cdefects;
+  auto design = platform::compile(parity, opts);
+  std::printf("\ncompiler with %d random defects: %s (conflicts: %d)\n",
+              cdefects.defect_count(),
+              design.ok() ? "placed defect-free" : design.status().to_string().c_str(),
+              design.ok() ? arch::conflicts(design->fabric, cdefects) : -1);
 
   // Yield curve: how often a defect-free placement exists vs defect rate.
   std::printf("\nplacement yield vs defect rate (Monte-Carlo, 40 trials):\n");

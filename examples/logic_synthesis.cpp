@@ -1,5 +1,5 @@
 // Logic synthesis on the polymorphic fabric: from truth tables to
-// configured, timed, simulated hardware.
+// configured, timed, simulated hardware — driven through platform::Session.
 //
 //   1. A multi-output PLA pair (the paper's "6-input, 6-output, 6-term
 //      LUT") computing majority + AND + NOR with shared product terms.
@@ -12,6 +12,7 @@
 #include "core/timing.h"
 #include "map/lut4.h"
 #include "map/pla.h"
+#include "platform/session.h"
 
 int main() {
   using namespace pp;
@@ -28,49 +29,58 @@ int main() {
   const auto pla = map::pla_pair(pf, 0, 0, {maj, and3, nor3});
   std::printf("PLA pair: 3 outputs from %d shared terms (%d unshared)\n",
               pla.terms_used, pla.terms_unshared);
-  auto pef = pf.elaborate();
-  sim::Simulator ps(pef.circuit());
+  auto psession = platform::Session::from_fabric(
+      std::move(pf),
+      {{"a", pla.inputs[0]}, {"b", pla.inputs[1]}, {"c", pla.inputs[2]}},
+      {{"maj", pla.outputs[0]}, {"and", pla.outputs[1]},
+       {"nor", pla.outputs[2]}});
+  if (!psession.ok())
+    return std::printf("%s\n", psession.status().to_string().c_str()), 1;
   std::printf(" cba | maj and nor\n-----+------------\n");
   for (int input = 0; input < 8; ++input) {
-    for (int v = 0; v < 3; ++v)
-      ps.set_input(pef.in_line(0, 0, v), sim::from_bool((input >> v) & 1));
-    ps.settle();
-    std::printf(" %d%d%d |  %c   %c   %c\n", (input >> 2) & 1,
+    (void)psession->poke("a", input & 1);
+    (void)psession->poke("b", (input >> 1) & 1);
+    (void)psession->poke("c", (input >> 2) & 1);
+    (void)psession->settle();
+    std::printf(" %d%d%d |  %d   %d   %d\n", (input >> 2) & 1,
                 (input >> 1) & 1, input & 1,
-                sim::to_char(ps.value(pef.in_line(0, 3, 0))),
-                sim::to_char(ps.value(pef.in_line(0, 3, 1))),
-                sim::to_char(ps.value(pef.in_line(0, 3, 2))));
+                int(psession->peek_bool("maj").value_or(false)),
+                int(psession->peek_bool("and").value_or(false)),
+                int(psession->peek_bool("nor").value_or(false)));
   }
 
-  // ---- 2. Shannon-decomposed LUT4 ------------------------------------------
+  // ---- 2. Shannon-decomposed LUT4 ----------------------------------------
   // f(x0..x3) = 1 iff the 4-bit value is prime (2,3,5,7,11,13).
   map::TruthTable prime(4);
   for (int v : {2, 3, 5, 7, 11, 13}) prime.set(static_cast<std::uint8_t>(v), true);
   core::Fabric lf(3, 8);
   const auto l4 = map::lut4(lf, 0, prime);
-  auto lef = lf.elaborate();
-  sim::Simulator ls(lef.circuit());
-  auto drive = [&](const map::SignalAt& p, bool v) {
-    ls.set_input(lef.in_line(p.r, p.c, p.line), sim::from_bool(v));
-  };
+  std::vector<platform::PortBinding> inputs;
+  for (int i = 0; i < 3; ++i) {
+    inputs.push_back({"f0_x" + std::to_string(i), l4.inputs_f0[i]});
+    inputs.push_back({"f1_x" + std::to_string(i), l4.inputs_f1[i]});
+  }
+  inputs.push_back({"x3", l4.x3});
+  auto lsession = platform::Session::from_fabric(std::move(lf), inputs,
+                                                 {{"f", l4.out}});
+  if (!lsession.ok())
+    return std::printf("%s\n", lsession.status().to_string().c_str()), 1;
   std::printf("\nLUT4 'is-prime' on the fabric (%d blocks):\n  primes found:",
               l4.blocks_used);
   for (int v = 0; v < 16; ++v) {
     for (int i = 0; i < 3; ++i) {
-      drive(l4.inputs_f0[i], (v >> i) & 1);
-      drive(l4.inputs_f1[i], (v >> i) & 1);
+      (void)lsession->poke("f0_x" + std::to_string(i), (v >> i) & 1);
+      (void)lsession->poke("f1_x" + std::to_string(i), (v >> i) & 1);
     }
-    drive(l4.x3, (v >> 3) & 1);
-    ls.settle();
-    if (ls.value(lef.in_line(l4.out.r, l4.out.c, l4.out.line)) ==
-        sim::Logic::k1)
-      std::printf(" %d", v);
+    (void)lsession->poke("x3", (v >> 3) & 1);
+    (void)lsession->settle();
+    if (lsession->peek_bool("f").value_or(false)) std::printf(" %d", v);
   }
   std::printf("\n");
 
-  // ---- 3. Static timing -----------------------------------------------------
-  const auto pt = core::analyze_timing(pef.circuit());
-  const auto lt = core::analyze_timing(lef.circuit());
+  // ---- 3. Static timing --------------------------------------------------
+  const auto pt = core::analyze_timing(psession->circuit());
+  const auto lt = core::analyze_timing(lsession->circuit());
   std::printf("\nstatic timing: PLA critical path %llu ps, "
               "LUT4 critical path %llu ps (loop nets: %d/%d)\n",
               static_cast<unsigned long long>(pt.critical_path_ps),

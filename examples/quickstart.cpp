@@ -1,54 +1,48 @@
-// Quickstart: the polymorphic platform in ~60 lines.
+// Quickstart: the polymorphic platform in under 30 lines of user code.
 //
-//   1. Create a fabric (a grid of 6x6 NAND blocks).
-//   2. Configure one block: two crosspoints + an inverting driver = AND gate.
-//   3. Serialise to the 128-bit-per-block bitstream and load it back.
-//   4. Elaborate to a gate-level circuit and simulate it.
+//   1. Describe hardware as a netlist (a 4-bit ripple-carry adder).
+//   2. platform::compile places & routes it onto the NAND-block fabric and
+//      serialises the 128-bit-per-block configuration bitstream.
+//   3. platform::Session::load round-trips that bitstream back into a
+//      fabric — exactly what a reconfiguration controller would do — and
+//      simulates it at gate level.
+//   4. run_vectors verifies all 512 input combinations against the
+//      behavioural netlist, sharded across the machine's cores.
 //
 // Build & run:  ./build/examples/quickstart
 #include <cstdio>
 
-#include "core/bitstream.h"
-#include "core/fabric.h"
-#include "sim/simulator.h"
+#include "map/netlist.h"
+#include "platform/compiler.h"
+#include "platform/session.h"
 
 int main() {
   using namespace pp;
+  const map::Netlist netlist = map::make_ripple_adder(4);
 
-  // A 1x2 fabric: we use block (0,0); its outputs abut block (0,1)'s
-  // input lines, which is where we observe the result.
-  core::Fabric fabric(1, 2);
-  core::BlockConfig& blk = fabric.block(0, 0);
+  auto design = platform::compile(netlist);
+  if (!design.ok()) return std::printf("%s\n", design.status().to_string().c_str()), 1;
+  std::printf("compiled: %dx%d fabric, %d blocks, %lld config bits, %zu-byte bitstream\n",
+              design->report.fabric_rows, design->report.fabric_cols,
+              design->report.fabric.used_blocks,
+              design->report.fabric.config_bits, design->bitstream.size());
 
-  // Row 0 computes NAND(col0, col1); the inverting driver restores the
-  // polarity, so the abutted line carries col0 AND col1.
-  blk.xpoint[0][0] = core::BiasLevel::kActive;
-  blk.xpoint[0][1] = core::BiasLevel::kActive;
-  blk.driver[0] = core::DriverCfg::kInvert;
+  auto session = platform::Session::load(*design);  // loads from the bitstream
+  if (!session.ok()) return std::printf("%s\n", session.status().to_string().c_str()), 1;
 
-  // Round-trip through the configuration bitstream, exactly as a
-  // reconfiguration controller would program the array.
-  const auto bitstream = core::encode_fabric(fabric);
-  std::printf("bitstream: %zu bytes (%d config bits per block)\n",
-              bitstream.size(), core::kConfigBits);
-  core::Fabric programmed(1, 2);
-  core::load_fabric(programmed, bitstream);
-
-  // Elaborate and simulate.
-  auto elaborated = programmed.elaborate();
-  sim::Simulator sim(elaborated.circuit());
-  std::printf("\n a b | a AND b\n-----+--------\n");
-  for (int a = 0; a <= 1; ++a) {
-    for (int b = 0; b <= 1; ++b) {
-      sim.set_input(elaborated.in_line(0, 0, 0), sim::from_bool(a));
-      sim.set_input(elaborated.in_line(0, 0, 1), sim::from_bool(b));
-      sim.settle();
-      std::printf(" %d %d |    %c\n", a, b,
-                  sim::to_char(sim.value(elaborated.in_line(0, 1, 0))));
-    }
+  std::vector<platform::InputVector> vectors;  // all 512 input combinations
+  for (int v = 0; v < 512; ++v) {
+    platform::InputVector in(9);
+    for (int i = 0; i < 9; ++i) in[i] = (v >> i) & 1;
+    vectors.push_back(in);
   }
-  std::printf("\nactive leaf cells: %d (everything else in the block is "
-              "simply not instantiated)\n",
-              programmed.active_cells());
-  return 0;
+  auto results = session->run_vectors(vectors);
+  if (!results.ok()) return std::printf("%s\n", results.status().to_string().c_str()), 1;
+
+  int failures = 0;
+  for (std::size_t v = 0; v < vectors.size(); ++v)
+    if ((*results)[v] != netlist.evaluate(vectors[v])) ++failures;
+  std::printf("verified %zu/512 vectors against the netlist (%d failures)\n",
+              vectors.size() - failures, failures);
+  return failures == 0 ? 0 : 1;
 }

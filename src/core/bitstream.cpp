@@ -48,17 +48,28 @@ std::vector<std::uint8_t> encode_block(const BlockConfig& cfg) {
   return out;
 }
 
-BlockConfig decode_block(std::span<const std::uint8_t> bytes) {
+Result<BlockConfig> try_decode_block(std::span<const std::uint8_t> bytes) {
   if (bytes.size() != kBlockBytes)
-    throw std::invalid_argument("decode_block: need exactly 16 bytes");
+    return Status::invalid_argument("decode_block: need exactly 16 bytes");
   ConfigRam ram;
   for (int i = 0; i < kConfigTrits; ++i) {
     const std::uint8_t t = (bytes[i / 4] >> (2 * (i % 4))) & 0x3;
     if (t == 3)
-      throw std::invalid_argument("decode_block: reserved trit code 0b11");
+      return Status::data_loss("decode_block: reserved trit code 0b11");
     ram.set_trit(i, t);
   }
-  return ram.to_config();
+  try {
+    return ram.to_config();
+  } catch (const std::invalid_argument& e) {
+    // ConfigRam::to_config still reports out-of-range fields by throwing.
+    return Status::data_loss(std::string("decode_block: ") + e.what());
+  }
+}
+
+BlockConfig decode_block(std::span<const std::uint8_t> bytes) {
+  auto result = try_decode_block(bytes);
+  result.status().throw_if_error();
+  return std::move(result).value();
 }
 
 std::vector<std::uint8_t> encode_fabric(const Fabric& fabric) {
@@ -80,33 +91,47 @@ std::vector<std::uint8_t> encode_fabric(const Fabric& fabric) {
   return out;
 }
 
-void load_fabric(Fabric& fabric, std::span<const std::uint8_t> bytes) {
+Status try_load_fabric(Fabric& fabric, std::span<const std::uint8_t> bytes) {
   const std::size_t nblocks =
       static_cast<std::size_t>(fabric.rows()) * fabric.cols();
   const std::size_t expect = 8 + nblocks * kBlockBytes + 4;
-  if (bytes.size() != expect)
-    throw std::invalid_argument("load_fabric: truncated or oversized stream");
+  if (bytes.size() < 8)
+    return Status::out_of_range("load_fabric: stream shorter than header");
   for (int i = 0; i < 4; ++i)
     if (bytes[i] != static_cast<std::uint8_t>(kMagic[i]))
-      throw std::invalid_argument("load_fabric: bad magic");
+      return Status::invalid_argument("load_fabric: bad magic");
+  if (bytes.size() != expect)
+    return Status::out_of_range("load_fabric: truncated or oversized stream");
   const int rows = get_u16(bytes, 4);
   const int cols = get_u16(bytes, 6);
   if (rows != fabric.rows() || cols != fabric.cols())
-    throw std::invalid_argument("load_fabric: dimension mismatch");
+    return Status::invalid_argument("load_fabric: dimension mismatch");
   const auto body = bytes.first(bytes.size() - 4);
   std::uint32_t crc_stored = 0;
   for (int i = 0; i < 4; ++i)
     crc_stored |= static_cast<std::uint32_t>(bytes[bytes.size() - 4 + i])
                   << (8 * i);
   if (crc32(body) != crc_stored)
-    throw std::invalid_argument("load_fabric: CRC mismatch");
+    return Status::data_loss("load_fabric: CRC mismatch");
+  // Decode every block before touching the fabric so a corrupt image that
+  // slipped past the CRC cannot leave it half-programmed.
+  std::vector<BlockConfig> decoded;
+  decoded.reserve(nblocks);
   std::size_t at = 8;
-  for (int r = 0; r < rows; ++r) {
-    for (int c = 0; c < cols; ++c) {
-      fabric.block(r, c) = decode_block(bytes.subspan(at, kBlockBytes));
-      at += kBlockBytes;
-    }
+  for (std::size_t b = 0; b < nblocks; ++b) {
+    auto blk = try_decode_block(bytes.subspan(at, kBlockBytes));
+    if (!blk.ok()) return blk.status();
+    decoded.push_back(std::move(*blk));
+    at += kBlockBytes;
   }
+  std::size_t i = 0;
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < cols; ++c) fabric.block(r, c) = decoded[i++];
+  return Status();
+}
+
+void load_fabric(Fabric& fabric, std::span<const std::uint8_t> bytes) {
+  try_load_fabric(fabric, bytes).throw_if_error();
 }
 
 }  // namespace pp::core

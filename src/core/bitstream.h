@@ -12,6 +12,7 @@
 
 #include "core/config_ram.h"
 #include "core/fabric.h"
+#include "util/status.h"
 
 namespace pp::core {
 
@@ -24,15 +25,26 @@ inline constexpr int kBlockBytes = kConfigBits / 8;  // 16
 /// trit order within each byte).
 [[nodiscard]] std::vector<std::uint8_t> encode_block(const BlockConfig& cfg);
 
-/// Decode a 16-byte block image; throws std::invalid_argument on the
-/// reserved trit code 0b11 or any out-of-range field.
+/// Decode a 16-byte block image.  Fails with kInvalidArgument on a wrong
+/// image size, kDataLoss on the reserved trit code 0b11 or any out-of-range
+/// field (corrupt configuration data).
+[[nodiscard]] Result<BlockConfig> try_decode_block(
+    std::span<const std::uint8_t> bytes);
+
+/// Deprecated shim over `try_decode_block`; throws std::invalid_argument.
 [[nodiscard]] BlockConfig decode_block(std::span<const std::uint8_t> bytes);
 
 /// Full-fabric bitstream with header and CRC.
 [[nodiscard]] std::vector<std::uint8_t> encode_fabric(const Fabric& fabric);
 
-/// Parse and load a fabric bitstream; throws std::invalid_argument on bad
-/// magic, dimension mismatch with `fabric`, truncation, or CRC failure.
+/// Parse and load a fabric bitstream.  Error codes: kInvalidArgument for a
+/// bad magic or a dimension mismatch with `fabric`, kOutOfRange for a
+/// truncated/oversized stream, kDataLoss for a CRC failure or a corrupt
+/// block image.  On failure the fabric is left unmodified.
+[[nodiscard]] Status try_load_fabric(Fabric& fabric,
+                                     std::span<const std::uint8_t> bytes);
+
+/// Deprecated shim over `try_load_fabric`; throws std::invalid_argument.
 void load_fabric(Fabric& fabric, std::span<const std::uint8_t> bytes);
 
 /// Bits of configuration a given fabric region carries (the TAB-A metric):

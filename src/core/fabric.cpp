@@ -40,7 +40,18 @@ int Fabric::used_blocks() const {
   return total;
 }
 
+Result<Fabric> Fabric::create(int rows, int cols) {
+  if (rows < 1 || cols < 1)
+    return Status::invalid_argument("Fabric: dimensions must be positive");
+  return Fabric(rows, cols);
+}
+
 std::string Fabric::validate() const {
+  const Status s = check();
+  return s.ok() ? std::string{} : s.message();
+}
+
+Status Fabric::check() const {
   std::ostringstream err;
   for (int r = 0; r < rows_; ++r) {
     for (int c = 0; c < cols_; ++c) {
@@ -76,7 +87,9 @@ std::string Fabric::validate() const {
       }
     }
   }
-  return err.str();
+  std::string diag = err.str();
+  if (diag.empty()) return Status();
+  return Status::invalid_argument(std::move(diag));
 }
 
 sim::NetId ElaboratedFabric::in_line(int r, int c, int j) const {
@@ -102,9 +115,15 @@ sim::NetId ElaboratedFabric::lfb_net(int r, int c, int k) const {
 }
 
 ElaboratedFabric Fabric::elaborate(const FabricDelays& d) const {
-  const std::string diag = validate();
-  if (!diag.empty())
-    throw std::invalid_argument("Fabric::elaborate: invalid config:\n" + diag);
+  auto result = try_elaborate(d);
+  result.status().throw_if_error();
+  return std::move(result).value();
+}
+
+Result<ElaboratedFabric> Fabric::try_elaborate(const FabricDelays& d) const {
+  if (const Status s = check(); !s.ok())
+    return Status::invalid_argument("Fabric::elaborate: invalid config:\n" +
+                                    s.message());
 
   ElaboratedFabric ef;
   ef.rows_ = rows_;
@@ -183,7 +202,7 @@ ElaboratedFabric Fabric::elaborate(const FabricDelays& d) const {
           case ColSource::kLfb1: col_net[j] = ef.lfb_net(r, c, 1); break;
         }
         if (col_net[j] == sim::kNoNet)
-          throw std::logic_error("elaborate: column reads unsourced lfb");
+          return Status::internal("elaborate: column reads unsourced lfb");
       }
 
       // NAND rows.
@@ -236,8 +255,8 @@ ElaboratedFabric Fabric::elaborate(const FabricDelays& d) const {
 
   const std::string cdiag = ckt.validate();
   if (!cdiag.empty())
-    throw std::logic_error("Fabric::elaborate produced invalid circuit:\n" +
-                           cdiag);
+    return Status::internal("Fabric::elaborate produced invalid circuit:\n" +
+                            cdiag);
   return ef;
 }
 

@@ -30,6 +30,7 @@
 #include "core/block.h"
 #include "sim/circuit.h"
 #include "sim/simulator.h"
+#include "util/status.h"
 
 namespace pp::core {
 
@@ -85,7 +86,12 @@ class ElaboratedFabric {
 
 class Fabric {
  public:
+  /// Throws std::invalid_argument on non-positive dimensions; prefer
+  /// `create` in new code.
   Fabric(int rows, int cols);
+
+  /// Status-returning factory.
+  [[nodiscard]] static Result<Fabric> create(int rows, int cols);
 
   [[nodiscard]] int rows() const noexcept { return rows_; }
   [[nodiscard]] int cols() const noexcept { return cols_; }
@@ -102,10 +108,21 @@ class Fabric {
   [[nodiscard]] int used_blocks() const;
 
   /// Static configuration checks across blocks: per input line at most one
-  /// enabled abutting driver; block-local validity.  Empty string = OK.
+  /// enabled abutting driver; block-local validity.  The error message
+  /// carries one diagnostic line per violation.
+  [[nodiscard]] Status check() const;
+
+  /// Deprecated shim over `check()`: empty string = OK, else the diagnostic
+  /// text (the seed's convention, kept for existing callers/tests).
   [[nodiscard]] std::string validate() const;
 
-  /// Build the simulatable circuit.
+  /// Build the simulatable circuit.  Fails with kInvalidArgument when the
+  /// configuration does not pass `check()`.
+  [[nodiscard]] Result<ElaboratedFabric> try_elaborate(
+      const FabricDelays& d = {}) const;
+
+  /// Deprecated shim over `try_elaborate`; throws std::invalid_argument on a
+  /// configuration error.
   [[nodiscard]] ElaboratedFabric elaborate(const FabricDelays& d = {}) const;
 
  private:

@@ -8,7 +8,7 @@
 // or — on the west/north boundary — external pads); its outputs are the
 // lines its final drivers reach.
 //
-// Block-count bookkeeping vs the paper (recorded in EXPERIMENTS.md):
+// Block-count bookkeeping vs the paper (recorded in DESIGN.md §7):
 //   3-LUT            paper: 2 cells + shared literal cell   ours: 3 blocks
 //   D flip-flop      paper: 2 cells                          ours: 4 blocks
 //   full adder bit   paper: 1 cell pair, 5 terms             ours: 3 blocks,

@@ -16,6 +16,7 @@ using core::LfbWhich;
 bool Router::row_free(int r, int c, int row) const {
   if (r < 0 || r >= fabric_.rows() || c < 0 || c >= fabric_.cols())
     return false;
+  if (row_filter_ && !row_filter_(r, c, row)) return false;
   const BlockConfig& b = fabric_.block(r, c);
   for (int j = 0; j < kBlockInputs; ++j)
     if (b.xpoint[row][j] != BiasLevel::kForce1) return false;
@@ -48,6 +49,13 @@ bool Router::line_free(int r, int c, int line) const {
 
 std::optional<RouteResult> Router::route(const SignalAt& src,
                                          const SignalAt& dst, bool invert) {
+  auto result = try_route(src, dst, invert);
+  if (!result.ok()) return std::nullopt;
+  return std::move(*result);
+}
+
+Result<RouteResult> Router::try_route(const SignalAt& src, const SignalAt& dst,
+                                      bool invert) {
   struct State {
     int r, c, line;
   };
@@ -55,7 +63,26 @@ std::optional<RouteResult> Router::route(const SignalAt& src,
     int r, c, line;     // predecessor state
     int via_r, via_c, via_row;  // block/row used for the hop
   };
+  auto endpoint_ok = [&](const SignalAt& p) {
+    return p.r >= 0 && p.r <= fabric_.rows() && p.c >= 0 &&
+           p.c <= fabric_.cols() &&
+           !(p.r == fabric_.rows() && p.c == fabric_.cols()) && p.line >= 0 &&
+           p.line < kBlockInputs;
+  };
+  if (!endpoint_ok(src) || !endpoint_ok(dst))
+    return Status::out_of_range("route: endpoint outside the fabric");
   if (src == dst && !invert) return RouteResult{};  // already there
+
+  // A line may be used by a hop only if it has no abutting driver yet and is
+  // not reserved (the explicit destination may be reserved: reservations
+  // exist precisely to keep *other* routes off someone's input line).
+  auto line_usable = [&](int r, int c, int line) {
+    if (!line_free(r, c, line)) return false;
+    if (line_reserved(r, c, line) &&
+        !(SignalAt{r, c, line} == dst))
+      return false;
+    return true;
+  };
 
   std::map<std::tuple<int, int, int>, Prev> visited;
   std::queue<State> frontier;
@@ -67,9 +94,6 @@ std::optional<RouteResult> Router::route(const SignalAt& src,
   };
 
   std::optional<State> goal;
-  if (found({src.r, src.c, src.line}) && !invert) {
-    return RouteResult{};
-  }
   while (!frontier.empty() && !goal) {
     const State s = frontier.front();
     frontier.pop();
@@ -82,10 +106,13 @@ std::optional<RouteResult> Router::route(const SignalAt& src,
     for (int row = 0; row < kBlockOutputs; ++row) {
       if (!row_free(br, bc, row)) continue;
       // Driving row `row` lands the value on the east and south lines of
-      // index `row`; both must be free (one driver reaches both).
-      if (!line_free(br, bc + 1, row) || !line_free(br + 1, bc, row))
+      // index `row`; both must be usable (one driver reaches both).
+      if (!line_usable(br, bc + 1, row) || !line_usable(br + 1, bc, row))
         continue;
-      for (const auto& [nr, nc] : {std::pair{br, bc + 1}, {br + 1, bc}}) {
+      // South explored first: among equal-length monotone paths BFS keeps
+      // the first-visited predecessor, so routes drop south out of the IO
+      // row into open fabric instead of piling east along the boundary.
+      for (const auto& [nr, nc] : {std::pair{br + 1, bc}, {br, bc + 1}}) {
         if (nr > fabric_.rows() || nc > fabric_.cols()) continue;
         if (nr == fabric_.rows() && nc == fabric_.cols()) continue;
         const auto key = std::make_tuple(nr, nc, row);
@@ -101,7 +128,9 @@ std::optional<RouteResult> Router::route(const SignalAt& src,
       if (goal) break;
     }
   }
-  if (!goal) return std::nullopt;
+  if (!goal)
+    return Status::resource_exhausted(
+        "route: no feed-through path from the source to the destination");
 
   // Reconstruct and apply: each hop sets xpoint[row][in_line] active and the
   // driver to Invert (polarity-neutral hop).  The final hop's driver becomes

@@ -15,10 +15,14 @@
 // occupancy tracking of rows and abutted lines.
 #pragma once
 
+#include <functional>
 #include <optional>
+#include <set>
+#include <tuple>
 #include <vector>
 
 #include "core/fabric.h"
+#include "util/status.h"
 
 namespace pp::map {
 
@@ -40,20 +44,49 @@ class Router {
 
   /// Route the signal at `src` so it appears on input line `dst`.
   /// On success the fabric is updated (rows configured as feed-throughs)
-  /// and the hop list returned; on failure nothing is modified.
+  /// and the hop list returned; on failure (kResourceExhausted when no path
+  /// exists, kOutOfRange for endpoints outside the fabric) the fabric is
+  /// left unmodified — guaranteed, since configuration is applied only
+  /// after a complete path is found.
   /// If `invert` is set, the delivered value is the complement.
+  [[nodiscard]] Result<RouteResult> try_route(const SignalAt& src,
+                                              const SignalAt& dst,
+                                              bool invert = false);
+
+  /// Deprecated shim over `try_route`: nullopt on any failure.
   std::optional<RouteResult> route(const SignalAt& src, const SignalAt& dst,
                                    bool invert = false);
 
+  /// Declare an input line off-limits: no route may drive it (not even as
+  /// the side-effect copy of a hop), except as the explicit destination of
+  /// its own `route` call.  The platform compiler reserves IO pad lines and
+  /// macro input lines this way.
+  void reserve_line(const SignalAt& s) { reserved_.insert({s.r, s.c, s.line}); }
+  [[nodiscard]] bool line_reserved(int r, int c, int line) const {
+    return reserved_.count({r, c, line}) > 0;
+  }
+
+  /// Install a predicate vetoing rows (e.g. rows with defective leaf cells,
+  /// from arch::DefectMap).  Returning false blocks row `row` of block
+  /// (r, c) for routing.  Pass nullptr to clear.
+  void set_row_filter(std::function<bool(int r, int c, int row)> filter) {
+    row_filter_ = std::move(filter);
+  }
+
   /// True if row `row` of block (r,c) is unused (no crosspoints, driver off,
-  /// not tapped by any lfb of this block or its west/north pair partners).
+  /// not tapped by any lfb of this block or its west/north pair partners)
+  /// and not vetoed by the row filter.
   [[nodiscard]] bool row_free(int r, int c, int row) const;
 
   /// True if input line (r,c,line) has no enabled abutting driver yet.
+  /// (Reservations are a separate, router-level constraint — see
+  /// `line_reserved`.)
   [[nodiscard]] bool line_free(int r, int c, int line) const;
 
  private:
   core::Fabric& fabric_;
+  std::set<std::tuple<int, int, int>> reserved_;
+  std::function<bool(int, int, int)> row_filter_;
 };
 
 }  // namespace pp::map

@@ -1,0 +1,396 @@
+#include "platform/compiler.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "arch/power_model.h"
+#include "core/timing.h"
+#include "map/macros.h"
+#include "map/truth_table.h"
+
+namespace pp::platform {
+namespace {
+
+using core::BiasLevel;
+using core::DriverCfg;
+using map::CellKind;
+using map::SignalAt;
+
+/// A signal source: a north-boundary IO pad or the output of a mapped node.
+struct Sig {
+  bool is_pad;
+  int idx;  // pad column, or node index
+};
+
+/// A ≤3-input mapped node: a LUT3 tile, or a single constant block.
+struct Node {
+  bool is_const = false;
+  bool const_value = false;
+  map::TruthTable tt{1};
+  std::vector<int> srcs;  // signal ids feeding variables 0..m-1
+};
+
+[[nodiscard]] bool eval_kind(CellKind kind, unsigned bits, int m) {
+  const unsigned mask = (1u << m) - 1u;
+  switch (kind) {
+    case CellKind::kNot: return !(bits & 1u);
+    case CellKind::kAnd: return (bits & mask) == mask;
+    case CellKind::kNand: return (bits & mask) != mask;
+    case CellKind::kOr: return (bits & mask) != 0u;
+    case CellKind::kNor: return (bits & mask) == 0u;
+    case CellKind::kXor: {
+      bool r = false;
+      for (int i = 0; i < m; ++i) r ^= ((bits >> i) & 1u) != 0u;
+      return r;
+    }
+    default: return false;
+  }
+}
+
+[[nodiscard]] map::TruthTable table_for(CellKind kind, int m) {
+  return map::TruthTable::from_function(
+      m, [kind, m](std::uint8_t bits) { return eval_kind(kind, bits, m); });
+}
+
+/// The associative kind used for partial reductions of wide cells.
+[[nodiscard]] CellKind partial_kind(CellKind kind) {
+  switch (kind) {
+    case CellKind::kAnd:
+    case CellKind::kNand: return CellKind::kAnd;
+    case CellKind::kOr:
+    case CellKind::kNor: return CellKind::kOr;
+    default: return kind;  // kXor
+  }
+}
+
+/// Expansion result: the node list plus per-netlist-cell signal ids.
+struct Expansion {
+  std::vector<Node> nodes;
+  std::vector<Sig> sigs;          // signal id -> source
+  std::vector<int> sig_of_cell;   // netlist cell -> signal id
+  std::vector<int> pad_of_cell;   // netlist cell -> pad index (or -1)
+  int npads = 0;
+};
+
+[[nodiscard]] Result<Expansion> expand(const map::Netlist& nl) {
+  Expansion ex;
+  ex.sig_of_cell.assign(nl.cell_count(), -1);
+  ex.pad_of_cell.assign(nl.cell_count(), -1);
+
+  auto new_pad_sig = [&ex]() {
+    const int pad = ex.npads++;
+    ex.sigs.push_back({true, pad});
+    return static_cast<int>(ex.sigs.size() - 1);
+  };
+  auto new_node_sig = [&ex](Node node) {
+    ex.nodes.push_back(std::move(node));
+    ex.sigs.push_back({false, static_cast<int>(ex.nodes.size() - 1)});
+    return static_cast<int>(ex.sigs.size() - 1);
+  };
+
+  for (int i = 0; i < static_cast<int>(nl.cell_count()); ++i) {
+    const map::NetlistCell& cell = nl.cell(i);
+    switch (cell.kind) {
+      case CellKind::kInput:
+      case CellKind::kDff:
+        ex.pad_of_cell[i] = ex.npads;
+        ex.sig_of_cell[i] = new_pad_sig();
+        break;
+      case CellKind::kConst0:
+      case CellKind::kConst1: {
+        Node n;
+        n.is_const = true;
+        n.const_value = cell.kind == CellKind::kConst1;
+        ex.sig_of_cell[i] = new_node_sig(std::move(n));
+        break;
+      }
+      case CellKind::kNot:
+      case CellKind::kAnd:
+      case CellKind::kOr:
+      case CellKind::kNand:
+      case CellKind::kNor:
+      case CellKind::kXor: {
+        if (cell.fanin.empty())
+          return Status::unimplemented("compile: cell " + std::to_string(i) +
+                                       " has no fanin");
+        std::vector<int> srcs;
+        srcs.reserve(cell.fanin.size());
+        for (int f : cell.fanin) {
+          if (f < 0 || f >= i || ex.sig_of_cell[f] < 0)
+            return Status::invalid_argument(
+                "compile: combinational cell " + std::to_string(i) +
+                " reads an unmapped fanin");
+          srcs.push_back(ex.sig_of_cell[f]);
+        }
+        // Reduce wide cells with the associative partial kind until at most
+        // three sources remain, then apply the cell's own function.
+        const CellKind pk = partial_kind(cell.kind);
+        while (srcs.size() > 3) {
+          Node partial;
+          partial.tt = table_for(pk, 3);
+          partial.srcs = {srcs[0], srcs[1], srcs[2]};
+          const int psig = new_node_sig(std::move(partial));
+          srcs.erase(srcs.begin(), srcs.begin() + 3);
+          srcs.insert(srcs.begin(), psig);
+        }
+        Node n;
+        n.tt = table_for(cell.kind, static_cast<int>(srcs.size()));
+        n.srcs = std::move(srcs);
+        ex.sig_of_cell[i] = new_node_sig(std::move(n));
+        break;
+      }
+    }
+  }
+  return ex;
+}
+
+/// Geometry of the staircase placement for one (shift) attempt.  Node k's
+/// tile occupies row band 1+2k at columns c0+5k+shift.., keeping column
+/// bands 0..npads-1 free as the pads' southbound corridors.  The pitch
+/// leaves a spacer row under every band and a spare column after every
+/// output line: an east-running feed-through drives a *south copy* onto the
+/// next row's lines (one physical driver abuts two lines, DESIGN.md §5), so
+/// without the spacers each node's routing corridor would be polluted by
+/// the band above it.
+struct Layout {
+  int c0 = 0;
+  int shift = 0;
+
+  [[nodiscard]] SignalAt pad_at(int pad) const { return {0, pad, 0}; }
+  [[nodiscard]] int tile_row(int k) const { return 1 + 2 * k; }
+  [[nodiscard]] int tile_col(int k) const { return c0 + 5 * k + shift; }
+  [[nodiscard]] SignalAt node_in(int k, int var) const {
+    return {tile_row(k), tile_col(k), var};
+  }
+  [[nodiscard]] SignalAt node_out(int k, bool is_const) const {
+    return {tile_row(k), tile_col(k) + (is_const ? 1 : 3), 0};
+  }
+  [[nodiscard]] SignalAt sig_at(const Expansion& ex, int sig) const {
+    const Sig& s = ex.sigs[sig];
+    if (s.is_pad) return pad_at(s.idx);
+    return node_out(s.idx, ex.nodes[s.idx].is_const);
+  }
+};
+
+/// True when no leaf cell of block (r,c) is marked defective.
+[[nodiscard]] bool block_clean(const arch::DefectMap& defects, int r, int c) {
+  for (int row = 0; row < core::kBlockOutputs; ++row) {
+    if (defects.driver_bad(r, c, row)) return false;
+    for (int col = 0; col < core::kBlockInputs; ++col)
+      if (defects.crosspoint_bad(r, c, row, col)) return false;
+  }
+  return true;
+}
+
+struct Attempt {
+  core::Fabric fabric{1, 1};
+  int route_hops = 0;
+};
+
+[[nodiscard]] Result<Attempt> place_and_route(const Expansion& ex,
+                                              const Layout& layout, int rows,
+                                              int cols,
+                                              const arch::DefectMap* defects) {
+  auto fabric = core::Fabric::create(rows, cols);
+  if (!fabric.ok()) return fabric.status();
+  Attempt attempt{std::move(*fabric), 0};
+  core::Fabric& f = attempt.fabric;
+
+  // Place tiles (defect-checked sites first, so a bad site fails fast
+  // before any routing work).
+  for (int k = 0; k < static_cast<int>(ex.nodes.size()); ++k) {
+    const Node& node = ex.nodes[k];
+    const int r = layout.tile_row(k), c = layout.tile_col(k);
+    const int width = node.is_const ? 1 : 3;
+    if (r >= rows || c + width > cols)
+      return Status::resource_exhausted(
+          "compile: fabric too small for the staircase placement");
+    if (defects)
+      for (int b = 0; b < width; ++b)
+        if (!block_clean(*defects, r, c + b))
+          return Status::resource_exhausted(
+              "compile: defective leaf cell under a tile site");
+    if (node.is_const) {
+      // An empty NAND row reads constant 1; the driver picks the polarity.
+      f.block(r, c).driver[0] =
+          node.const_value ? DriverCfg::kBuffer : DriverCfg::kInvert;
+    } else {
+      try {
+        map::macros::lut3(f, r, c, node.tt);
+      } catch (const std::invalid_argument& e) {
+        return Status::internal(std::string("compile: lut3 placement: ") +
+                                e.what());
+      }
+    }
+  }
+
+  // Route.  Pad lines and node input lines are reserved so no feed-through
+  // (or its abutted south/east copy) can collide with external IO or with a
+  // connection still to be made.
+  map::Router router(f);
+  for (int p = 0; p < ex.npads; ++p) router.reserve_line(layout.pad_at(p));
+  for (int k = 0; k < static_cast<int>(ex.nodes.size()); ++k)
+    for (std::size_t v = 0; v < ex.nodes[k].srcs.size(); ++v)
+      router.reserve_line(layout.node_in(k, static_cast<int>(v)));
+  if (defects) {
+    router.set_row_filter([defects](int r, int c, int row) {
+      if (defects->driver_bad(r, c, row)) return false;
+      for (int col = 0; col < core::kBlockInputs; ++col)
+        if (defects->crosspoint_bad(r, c, row, col)) return false;
+      return true;
+    });
+  }
+  for (int k = 0; k < static_cast<int>(ex.nodes.size()); ++k) {
+    const Node& node = ex.nodes[k];
+    for (std::size_t v = 0; v < node.srcs.size(); ++v) {
+      const SignalAt src = layout.sig_at(ex, node.srcs[v]);
+      const SignalAt dst = layout.node_in(k, static_cast<int>(v));
+      auto route = router.try_route(src, dst);
+      if (!route.ok())
+        return Status::resource_exhausted(
+            "compile: routing node " + std::to_string(k) + " input " +
+            std::to_string(v) + ": " + route.status().message());
+      attempt.route_hops += route->hop_count;
+    }
+  }
+
+  if (const Status s = f.check(); !s.ok())
+    return Status::internal("compile: mapped fabric failed validation:\n" +
+                            s.message());
+  if (defects && arch::conflicts(f, *defects) != 0)
+    return Status::resource_exhausted(
+        "compile: placement still collides with defects");
+  return attempt;
+}
+
+[[nodiscard]] std::string port_name(const std::string& cell_name,
+                                    const char* prefix, int index) {
+  if (!cell_name.empty()) return cell_name;
+  return prefix + std::to_string(index);
+}
+
+}  // namespace
+
+Result<CompiledDesign> Compiler::compile(const map::Netlist& netlist) const {
+  CompiledDesign design;
+  design.target = options_.target;
+  design.delays = options_.delays;
+  design.report.baseline = baseline_stats(netlist, options_.fpga);
+  design.report.netlist_cells = static_cast<int>(netlist.cell_count());
+  design.report.netlist_depth = netlist.depth();
+
+  if (options_.target == Target::kFpgaBaseline) {
+    // The baseline is a resource-accounting model (fpga::lut_map), not a
+    // simulatable structure; the report carries everything it produces.
+    return design;
+  }
+
+  auto expansion = expand(netlist);
+  if (!expansion.ok()) return expansion.status();
+  const Expansion& ex = *expansion;
+  design.report.mapped_nodes = static_cast<int>(ex.nodes.size());
+
+  const int nnodes = static_cast<int>(ex.nodes.size());
+  const int c0 = ex.npads;
+  const int need_rows = std::max(2, 2 * nnodes);
+  auto need_cols = [&](int shift) {
+    return std::max(ex.npads + 1, c0 + 5 * nnodes + 2 + shift);
+  };
+
+  // Resolve fabric dimensions: explicit options win; with a defect map the
+  // physical array is the map's; otherwise auto-size to the placement.
+  int rows = options_.rows, cols = options_.cols;
+  if (rows == 0 && cols == 0 && options_.defects) {
+    rows = options_.defects->rows();
+    cols = options_.defects->cols();
+  } else if (rows == 0 && cols == 0) {
+    rows = need_rows;
+    cols = need_cols(0);
+  } else if (rows <= 0 || cols <= 0) {
+    return Status::invalid_argument(
+        "compile: rows/cols must both be positive (or both 0 = auto)");
+  }
+  if (options_.defects &&
+      (options_.defects->rows() < rows || options_.defects->cols() < cols))
+    return Status::invalid_argument(
+        "compile: defect map is smaller than the fabric");
+  if (rows < need_rows || cols < need_cols(0))
+    return Status::resource_exhausted(
+        "compile: fabric " + std::to_string(rows) + "x" + std::to_string(cols) +
+        " is smaller than the placement needs (" + std::to_string(need_rows) +
+        "x" + std::to_string(need_cols(0)) + ")");
+
+  // Defect avoidance: slide the whole placement east one column at a time
+  // until every tile site and route clears the defect map (any region of a
+  // homogeneous array is as good as any other).
+  const int max_shift = options_.defects ? options_.max_placement_shifts : 0;
+  Status last = Status::internal("compile: no placement attempt ran");
+  for (int shift = 0; shift <= max_shift; ++shift) {
+    if (cols < need_cols(shift)) break;
+    Layout layout{c0, shift};
+    auto attempt = place_and_route(ex, layout, rows, cols, options_.defects);
+    if (!attempt.ok()) {
+      last = attempt.status();
+      continue;
+    }
+
+    design.fabric = std::move(attempt->fabric);
+    design.report.route_hops = attempt->route_hops;
+    design.report.fabric_rows = rows;
+    design.report.fabric_cols = cols;
+
+    // Port bindings.
+    const auto& inputs = netlist.inputs();
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      const auto& cell = netlist.cell(inputs[i]);
+      design.inputs.push_back(
+          {port_name(cell.name, "in", static_cast<int>(i)),
+           layout.pad_at(ex.pad_of_cell[inputs[i]])});
+    }
+    const auto& outputs = netlist.outputs();
+    for (std::size_t i = 0; i < outputs.size(); ++i) {
+      const auto& cell = netlist.cell(outputs[i]);
+      design.outputs.push_back(
+          {port_name(cell.name, "out", static_cast<int>(i)),
+           layout.sig_at(ex, ex.sig_of_cell[outputs[i]])});
+    }
+    int dff_index = 0;
+    for (int i = 0; i < static_cast<int>(netlist.cell_count()); ++i) {
+      const auto& cell = netlist.cell(i);
+      if (cell.kind != CellKind::kDff) continue;
+      if (cell.fanin.empty())
+        return Status::invalid_argument("compile: DFF cell " +
+                                        std::to_string(i) + " has no D fanin");
+      const int d_cell = cell.fanin[0];
+      if (d_cell < 0 || d_cell >= static_cast<int>(netlist.cell_count()) ||
+          ex.sig_of_cell[d_cell] < 0)
+        return Status::invalid_argument("compile: DFF with unmapped D fanin");
+      design.state.push_back({port_name(cell.name, "dff", dff_index),
+                              layout.pad_at(ex.pad_of_cell[i]),
+                              layout.sig_at(ex, ex.sig_of_cell[d_cell])});
+      ++dff_index;
+    }
+
+    // Elaborate once for the timing side of the report, then serialise.
+    auto elaborated = design.fabric.try_elaborate(options_.delays);
+    if (!elaborated.ok())
+      return Status::internal("compile: elaboration of the mapped design: " +
+                              elaborated.status().message());
+    design.report.critical_path_ps =
+        core::analyze_timing(elaborated->circuit()).critical_path_ps;
+    design.report.fabric = fabric_stats(design.fabric);
+    design.report.config_static_w_per_cm2 =
+        arch::config_static_power_w_per_cm2();
+    design.bitstream = core::encode_fabric(design.fabric);
+    return design;
+  }
+  return last;
+}
+
+Result<CompiledDesign> compile(const map::Netlist& netlist,
+                               const CompileOptions& options) {
+  return Compiler(options).compile(netlist);
+}
+
+}  // namespace pp::platform

@@ -1,0 +1,123 @@
+// platform::Compiler — one entry point from a behavioural netlist to
+// programmed polymorphic hardware.
+//
+// The seed exposed the flow as loose layers (map::Netlist, map::macros,
+// map::Router, core::Fabric::elaborate, sim::Simulator) and every example
+// and bench driver hand-rolled the same glue.  The compiler owns that glue:
+//
+//   map::Netlist ──compile──▶ CompiledDesign
+//     │  1. decompose cells into ≤3-input nodes (the fabric's natural LUT3)
+//     │  2. place nodes on a south-east staircase (one row band per node,
+//     │     IO pads on the north boundary), so every fanin is strictly
+//     │     north-west of its reader — the fabric's east/south signal flow
+//     │     (DESIGN.md §5) then guarantees a feed-through path exists
+//     │  3. route every connection with map::Router (pad lines reserved so
+//     │     no feed-through ever collides with external IO)
+//     │  4. elaborate, encode the 128-bit-per-block bitstream, and account
+//     │     resources against the 4-LUT baseline (platform::Report)
+//
+// Sequential netlists: DFF cells become *boundary registers* — their Q is a
+// north-boundary pad and their D a probe point on the fabric; Session::step
+// closes the loop at the array edge, the same modelling decision the Fig. 10
+// accumulator uses (DESIGN.md §6).
+//
+// Defects: given an arch::DefectMap, the compiler vetoes defective rows in
+// the router, prechecks tile sites, and slides the whole placement east
+// until it lands defect-free — the homogeneous-array remapping story of §5.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/defects.h"
+#include "core/fabric.h"
+#include "map/netlist.h"
+#include "map/router.h"
+#include "platform/report.h"
+#include "util/status.h"
+
+namespace pp::platform {
+
+/// What the compiler targets: the polymorphic fabric (simulatable hardware)
+/// or the conventional 4-LUT baseline (a resource-accounting model only —
+/// the §4 comparisons need both sides from the same netlist).
+enum class Target {
+  kPolymorphic,
+  kFpgaBaseline,
+};
+
+struct CompileOptions {
+  /// Fabric dimensions; 0 = auto-size to the placement.  Explicit
+  /// dimensions smaller than the placement fail with kResourceExhausted.
+  int rows = 0;
+  int cols = 0;
+  Target target = Target::kPolymorphic;
+  /// Optional defect map (not owned; must outlive the call).  The compiled
+  /// design is guaranteed to avoid every marked resource.
+  const arch::DefectMap* defects = nullptr;
+  /// How many one-column placement slides to try when avoiding defects.
+  int max_placement_shifts = 24;
+  /// Gate delays used at elaboration time.
+  core::FabricDelays delays{};
+  /// Baseline technology parameters for the report.
+  fpga::FpgaParams fpga{};
+};
+
+/// A named external connection point of a compiled design.  `at` addresses
+/// input line (r, c, line) of the configured fabric (a north-boundary pad
+/// for inputs, an output-driver line for outputs).
+struct PortBinding {
+  std::string name;
+  map::SignalAt at;
+};
+
+/// A DFF mapped as a boundary register: `q_pad` is the north-boundary pad
+/// that plays Q, `d_at` the line where the settled D value is observable.
+struct StateBinding {
+  std::string name;
+  map::SignalAt q_pad;
+  map::SignalAt d_at;
+};
+
+/// The result of compilation: a configured fabric, its serialised
+/// bitstream, the name→line bindings needed to drive and observe it, and
+/// the resource report.  Self-contained: Session loads designs from the
+/// *bitstream*, round-tripping the configuration exactly as a
+/// reconfiguration controller would.
+struct CompiledDesign {
+  Target target = Target::kPolymorphic;
+  core::Fabric fabric{1, 1};           ///< configured fabric (polymorphic)
+  std::vector<std::uint8_t> bitstream; ///< encode_fabric(fabric)
+  core::FabricDelays delays{};
+  std::vector<PortBinding> inputs;     ///< netlist input order
+  std::vector<PortBinding> outputs;    ///< netlist output order
+  std::vector<StateBinding> state;     ///< DFF boundary registers
+  Report report;
+};
+
+class Compiler {
+ public:
+  explicit Compiler(CompileOptions options = {})
+      : options_(std::move(options)) {}
+
+  /// Compile a netlist.  Failure modes: kUnimplemented for constructs the
+  /// mapper cannot place, kResourceExhausted when routing or defect
+  /// avoidance runs out of fabric, kInternal if a mapped design fails its
+  /// own validity checks.
+  [[nodiscard]] Result<CompiledDesign> compile(
+      const map::Netlist& netlist) const;
+
+  [[nodiscard]] const CompileOptions& options() const noexcept {
+    return options_;
+  }
+
+ private:
+  CompileOptions options_;
+};
+
+/// One-shot convenience: Compiler(options).compile(netlist).
+[[nodiscard]] Result<CompiledDesign> compile(const map::Netlist& netlist,
+                                             const CompileOptions& options = {});
+
+}  // namespace pp::platform

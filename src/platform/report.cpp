@@ -1,0 +1,28 @@
+#include "platform/report.h"
+
+namespace pp::platform {
+
+FabricStats fabric_stats(const core::Fabric& fabric,
+                         const arch::PolyAreaParams& area) {
+  FabricStats s;
+  s.used_blocks = fabric.used_blocks();
+  s.active_cells = fabric.active_cells();
+  s.config_bits = core::config_bits(s.used_blocks);
+  s.area_lambda2 = arch::design_area_lambda2(fabric, area);
+  return s;
+}
+
+BaselineStats baseline_stats(const map::Netlist& netlist,
+                             const fpga::FpgaParams& params) {
+  const fpga::Mapping m = fpga::lut_map(netlist, params);
+  BaselineStats s;
+  s.luts = m.luts;
+  s.ffs = m.ffs;
+  s.depth = m.depth;
+  s.logic_cells = m.logic_cells;
+  s.config_bits = m.config_bits(params);
+  s.area_lambda2 = m.area_lambda2(params);
+  return s;
+}
+
+}  // namespace pp::platform

@@ -1,0 +1,60 @@
+// Resource/area/power/timing accounting for compiled designs — the single
+// source of the block-count numbers the TAB-A/TAB-B benches print, so the
+// benches cannot drift from the library.
+//
+// `fabric_stats` is the one shared accounting helper: every consumer of
+// "how many blocks / leaf cells / configuration bits / λ² does this
+// configured fabric cost" goes through it (the paper's resource comparisons
+// are exactly these four numbers).
+#pragma once
+
+#include "arch/area_model.h"
+#include "core/bitstream.h"
+#include "core/fabric.h"
+#include "fpga/logic_cell.h"
+#include "fpga/lut_map.h"
+#include "map/netlist.h"
+#include "sim/circuit.h"
+
+namespace pp::platform {
+
+/// The paper-facing resource numbers of one configured fabric.
+struct FabricStats {
+  int used_blocks = 0;    ///< non-empty blocks (the tile count TAB-B charges)
+  int active_cells = 0;   ///< instantiated leaf cells (the §3 area argument)
+  long long config_bits = 0;  ///< 128 x used blocks (the TAB-A metric)
+  double area_lambda2 = 0.0;  ///< used-blocks λ² (arch::design_area_lambda2)
+};
+
+/// Compute the shared accounting for a configured fabric.
+[[nodiscard]] FabricStats fabric_stats(const core::Fabric& fabric,
+                                       const arch::PolyAreaParams& area = {});
+
+/// The conventional-FPGA side of the function-for-function comparison.
+struct BaselineStats {
+  int luts = 0;
+  int ffs = 0;
+  int depth = 0;
+  int logic_cells = 0;
+  long long config_bits = 0;
+  double area_lambda2 = 0.0;
+};
+
+/// Tech-map `netlist` onto the 4-LUT baseline and account it.
+[[nodiscard]] BaselineStats baseline_stats(const map::Netlist& netlist,
+                                           const fpga::FpgaParams& params = {});
+
+/// Everything `platform::compile` learns about a design.
+struct Report {
+  FabricStats fabric;          ///< polymorphic-side resources
+  BaselineStats baseline;      ///< 4-LUT baseline (always computed; cheap)
+  sim::SimTime critical_path_ps = 0;  ///< static timing of the elaborated net
+  double config_static_w_per_cm2 = 0; ///< §3 configuration-plane standby power
+  int netlist_cells = 0;       ///< cells in the source netlist
+  int netlist_depth = 0;       ///< combinational depth of the source netlist
+  int mapped_nodes = 0;        ///< ≤3-input nodes after decomposition
+  int route_hops = 0;          ///< feed-through rows spent on interconnect
+  int fabric_rows = 0, fabric_cols = 0;
+};
+
+}  // namespace pp::platform

@@ -1,0 +1,371 @@
+#include "platform/session.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "core/bitstream.h"
+#include "util/thread_pool.h"
+
+namespace pp::platform {
+
+struct Session::Impl {
+  // Exactly one source owns the circuit: a fabric (elaborated here) or a
+  // raw circuit.  The simulator holds a reference into it, so Impl lives on
+  // the heap and is never moved piecemeal.
+  std::optional<core::Fabric> fabric;
+  std::optional<core::ElaboratedFabric> elab;
+  std::optional<sim::Circuit> circuit_store;
+  const sim::Circuit* circuit = nullptr;
+  std::optional<sim::Simulator> sim;
+
+  std::vector<std::string> input_names;
+  std::vector<sim::NetId> input_nets;
+  std::vector<std::string> output_names;
+  std::vector<sim::NetId> output_nets;
+  // All peekable names; pokeable_ is the subset with an external driver.
+  std::map<std::string, sim::NetId, std::less<>> by_name;
+  std::map<std::string, sim::NetId, std::less<>> pokeable;
+
+  struct StateElem {
+    std::string name;
+    sim::NetId q;
+    sim::NetId d;
+  };
+  std::vector<StateElem> state;
+
+  [[nodiscard]] Result<sim::NetId> net_of(const map::SignalAt& at) const {
+    if (!elab)
+      return Status::failed_precondition("session has no elaborated fabric");
+    if (at.r < 0 || at.r > elab->rows() || at.c < 0 || at.c > elab->cols() ||
+        at.line < 0 || at.line >= core::kBlockInputs)
+      return Status::out_of_range("port line outside the fabric");
+    return elab->in_line(at.r, at.c, at.line);
+  }
+
+  [[nodiscard]] Status bind_name(const std::string& name, sim::NetId net,
+                                 bool is_pokeable) {
+    auto [it, inserted] = by_name.emplace(name, net);
+    if (!inserted && it->second != net)
+      return Status::invalid_argument("duplicate port name '" + name +
+                                      "' bound to different nets");
+    if (is_pokeable) pokeable.emplace(name, net);
+    return Status();
+  }
+};
+
+Session::Session(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {}
+Session::Session(Session&&) noexcept = default;
+Session& Session::operator=(Session&&) noexcept = default;
+Session::~Session() = default;
+
+namespace {
+
+/// Evaluate one vector on a simulator: drive, settle, read.  Returns a
+/// non-OK status on oscillation or a non-binary output.
+[[nodiscard]] Status eval_vector(sim::Simulator& sim,
+                                 const std::vector<sim::NetId>& input_nets,
+                                 const std::vector<sim::NetId>& output_nets,
+                                 const std::vector<std::string>& output_names,
+                                 const InputVector& in, BitVector& out,
+                                 std::uint64_t max_events) {
+  for (std::size_t j = 0; j < input_nets.size(); ++j)
+    sim.set_input(input_nets[j], sim::from_bool(in[j]));
+  if (!sim.settle(max_events))
+    return Status::resource_exhausted(
+        "run_vectors: event budget exhausted (oscillation?)");
+  out.assign(output_nets.size(), false);
+  for (std::size_t k = 0; k < output_nets.size(); ++k) {
+    const sim::Logic v = sim.value(output_nets[k]);
+    if (!sim::is_binary(v))
+      return Status::internal("run_vectors: output '" + output_names[k] +
+                              "' settled to " +
+                              std::string(1, sim::to_char(v)));
+    out[k] = v == sim::Logic::k1;
+  }
+  return Status();
+}
+
+}  // namespace
+
+Result<Session> Session::load(const CompiledDesign& design) {
+  if (design.target != Target::kPolymorphic)
+    return Status::failed_precondition(
+        "Session::load: the FPGA baseline target is an accounting model, "
+        "not simulatable hardware");
+  auto impl = std::make_unique<Impl>();
+  auto fabric =
+      core::Fabric::create(design.fabric.rows(), design.fabric.cols());
+  if (!fabric.ok()) return fabric.status();
+  impl->fabric.emplace(std::move(*fabric));
+  if (Status s = core::try_load_fabric(*impl->fabric, design.bitstream);
+      !s.ok())
+    return s;
+  auto elab = impl->fabric->try_elaborate(design.delays);
+  if (!elab.ok()) return elab.status();
+  impl->elab.emplace(std::move(*elab));
+  impl->circuit = &impl->elab->circuit();
+  auto sim = sim::Simulator::create(*impl->circuit);
+  if (!sim.ok()) return sim.status();
+  impl->sim.emplace(std::move(*sim));
+
+  for (const PortBinding& p : design.inputs) {
+    auto net = impl->net_of(p.at);
+    if (!net.ok()) return net.status();
+    impl->input_names.push_back(p.name);
+    impl->input_nets.push_back(*net);
+    if (Status s = impl->bind_name(p.name, *net, true); !s.ok()) return s;
+  }
+  for (const PortBinding& p : design.outputs) {
+    auto net = impl->net_of(p.at);
+    if (!net.ok()) return net.status();
+    impl->output_names.push_back(p.name);
+    impl->output_nets.push_back(*net);
+    if (Status s = impl->bind_name(p.name, *net, false); !s.ok()) return s;
+  }
+  for (const StateBinding& sb : design.state) {
+    auto q = impl->net_of(sb.q_pad);
+    if (!q.ok()) return q.status();
+    auto d = impl->net_of(sb.d_at);
+    if (!d.ok()) return d.status();
+    impl->state.push_back({sb.name, *q, *d});
+    if (Status s = impl->bind_name(sb.name, *q, true); !s.ok()) return s;
+  }
+  // Reset: boundary registers start at 0 (Netlist::make_state semantics).
+  for (const auto& se : impl->state)
+    impl->sim->set_input(se.q, sim::Logic::k0);
+  if (!impl->sim->settle())
+    return Status::resource_exhausted("Session::load: design never settled");
+  return Session(std::move(impl));
+}
+
+Result<Session> Session::from_fabric(core::Fabric fabric,
+                                     std::vector<PortBinding> inputs,
+                                     std::vector<PortBinding> observes,
+                                     const core::FabricDelays& delays) {
+  auto impl = std::make_unique<Impl>();
+  impl->fabric.emplace(std::move(fabric));
+  auto elab = impl->fabric->try_elaborate(delays);
+  if (!elab.ok()) return elab.status();
+  impl->elab.emplace(std::move(*elab));
+  impl->circuit = &impl->elab->circuit();
+  auto sim = sim::Simulator::create(*impl->circuit);
+  if (!sim.ok()) return sim.status();
+  impl->sim.emplace(std::move(*sim));
+  for (const PortBinding& p : inputs) {
+    auto net = impl->net_of(p.at);
+    if (!net.ok()) return net.status();
+    impl->input_names.push_back(p.name);
+    impl->input_nets.push_back(*net);
+    if (Status s = impl->bind_name(p.name, *net, true); !s.ok()) return s;
+  }
+  for (const PortBinding& p : observes) {
+    auto net = impl->net_of(p.at);
+    if (!net.ok()) return net.status();
+    impl->output_names.push_back(p.name);
+    impl->output_nets.push_back(*net);
+    if (Status s = impl->bind_name(p.name, *net, false); !s.ok()) return s;
+  }
+  if (!impl->sim->settle())
+    return Status::resource_exhausted("Session::from_fabric: never settled");
+  return Session(std::move(impl));
+}
+
+Result<Session> Session::from_circuit(sim::Circuit circuit,
+                                      std::vector<NetBinding> inputs,
+                                      std::vector<NetBinding> observes) {
+  auto impl = std::make_unique<Impl>();
+  impl->circuit_store.emplace(std::move(circuit));
+  impl->circuit = &*impl->circuit_store;
+  auto sim = sim::Simulator::create(*impl->circuit);
+  if (!sim.ok()) return sim.status();
+  impl->sim.emplace(std::move(*sim));
+  for (const NetBinding& b : inputs) {
+    if (b.net >= impl->circuit->net_count())
+      return Status::out_of_range("from_circuit: input net out of range");
+    if (!impl->circuit->is_input(b.net))
+      return Status::invalid_argument("from_circuit: net '" + b.name +
+                                      "' is not a primary input");
+    impl->input_names.push_back(b.name);
+    impl->input_nets.push_back(b.net);
+    if (Status s = impl->bind_name(b.name, b.net, true); !s.ok()) return s;
+  }
+  for (const NetBinding& b : observes) {
+    if (b.net >= impl->circuit->net_count())
+      return Status::out_of_range("from_circuit: observe net out of range");
+    impl->output_names.push_back(b.name);
+    impl->output_nets.push_back(b.net);
+    if (Status s = impl->bind_name(b.name, b.net, false); !s.ok()) return s;
+  }
+  return Session(std::move(impl));
+}
+
+Status Session::poke(std::string_view name, bool value) {
+  return poke_logic(name, sim::from_bool(value));
+}
+
+Status Session::poke_logic(std::string_view name, sim::Logic value) {
+  const auto it = impl_->pokeable.find(name);
+  if (it == impl_->pokeable.end())
+    return Status::not_found("poke: no input port named '" +
+                             std::string(name) + "'");
+  impl_->sim->set_input(it->second, value);
+  return Status();
+}
+
+Result<sim::Logic> Session::peek(std::string_view name) const {
+  const auto it = impl_->by_name.find(name);
+  if (it == impl_->by_name.end())
+    return Status::not_found("peek: no port named '" + std::string(name) +
+                             "'");
+  return impl_->sim->value(it->second);
+}
+
+Result<bool> Session::peek_bool(std::string_view name) const {
+  auto v = peek(name);
+  if (!v.ok()) return v.status();
+  if (!sim::is_binary(*v))
+    return Status::internal("peek: port '" + std::string(name) + "' reads " +
+                            std::string(1, sim::to_char(*v)));
+  return *v == sim::Logic::k1;
+}
+
+Status Session::settle(std::uint64_t max_events) {
+  if (!impl_->sim->settle(max_events))
+    return Status::resource_exhausted(
+        "settle: event budget exhausted (oscillation?)");
+  return Status();
+}
+
+Result<BitVector> Session::step(const InputVector& inputs) {
+  if (inputs.size() != impl_->input_nets.size())
+    return Status::invalid_argument(
+        "step: expected " + std::to_string(impl_->input_nets.size()) +
+        " input values, got " + std::to_string(inputs.size()));
+  for (std::size_t j = 0; j < inputs.size(); ++j)
+    impl_->sim->set_input(impl_->input_nets[j], sim::from_bool(inputs[j]));
+  if (Status s = settle(); !s.ok()) return s;
+
+  BitVector out(impl_->output_nets.size());
+  for (std::size_t k = 0; k < impl_->output_nets.size(); ++k) {
+    const sim::Logic v = impl_->sim->value(impl_->output_nets[k]);
+    if (!sim::is_binary(v))
+      return Status::internal("step: output '" + impl_->output_names[k] +
+                              "' settled to " +
+                              std::string(1, sim::to_char(v)));
+    out[k] = v == sim::Logic::k1;
+  }
+
+  // Clock edge: capture D values, then drive them onto the Q pads.
+  std::vector<sim::Logic> captured(impl_->state.size());
+  for (std::size_t s = 0; s < impl_->state.size(); ++s) {
+    captured[s] = impl_->sim->value(impl_->state[s].d);
+    if (!sim::is_binary(captured[s]))
+      return Status::internal("step: register '" + impl_->state[s].name +
+                              "' captured " +
+                              std::string(1, sim::to_char(captured[s])));
+  }
+  for (std::size_t s = 0; s < impl_->state.size(); ++s)
+    impl_->sim->set_input(impl_->state[s].q, captured[s]);
+  if (Status s = settle(); !s.ok()) return s;
+  return out;
+}
+
+Result<std::vector<BitVector>> Session::run_vectors(
+    std::span<const InputVector> vectors, const RunOptions& options) {
+  if (!impl_->state.empty())
+    return Status::failed_precondition(
+        "run_vectors: sequential design — vectors are not independent; use "
+        "step()");
+  const std::size_t nin = impl_->input_nets.size();
+  for (const InputVector& v : vectors)
+    if (v.size() != nin)
+      return Status::invalid_argument(
+          "run_vectors: every vector must have " + std::to_string(nin) +
+          " input values");
+
+  std::vector<BitVector> results(vectors.size());
+  if (vectors.empty()) return results;
+
+  util::ThreadPool& pool = util::global_pool();
+  // max_threads may exceed the pool size: extra shards simply queue, which
+  // also lets single-core hosts exercise the cloning path.
+  std::size_t workers =
+      options.max_threads == 0 ? pool.worker_count() : options.max_threads;
+  workers = std::min(workers, vectors.size());
+
+  if (workers <= 1) {
+    // Serial reference path: stream every vector through our simulator.
+    for (std::size_t i = 0; i < vectors.size(); ++i) {
+      if (Status s = eval_vector(*impl_->sim, impl_->input_nets,
+                                 impl_->output_nets, impl_->output_names,
+                                 vectors[i], results[i],
+                                 options.max_events_per_vector);
+          !s.ok())
+        return s;
+    }
+    return results;
+  }
+
+  // Parallel path: shard vectors into one contiguous chunk per worker; each
+  // task clones the settled base simulator once and streams its shard.
+  // Completion is tracked with a per-call latch rather than the pool-wide
+  // wait_idle(): concurrent run_vectors calls (or other pool users) must
+  // not be able to stall — or deadlock — this one.
+  if (!impl_->sim->settle())
+    return Status::resource_exhausted("run_vectors: base state never settled");
+  const sim::Simulator& base = *impl_->sim;
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  Status first_error;
+  const std::size_t chunk = (vectors.size() + workers - 1) / workers;
+  std::size_t remaining = (vectors.size() + chunk - 1) / chunk;
+  for (std::size_t begin = 0; begin < vectors.size(); begin += chunk) {
+    const std::size_t end = std::min(begin + chunk, vectors.size());
+    pool.submit([&, begin, end] {
+      sim::Simulator local(base);  // clone of the settled state
+      Status shard_status;
+      for (std::size_t i = begin; i < end && shard_status.ok(); ++i) {
+        shard_status = eval_vector(local, impl_->input_nets,
+                                   impl_->output_nets, impl_->output_names,
+                                   vectors[i], results[i],
+                                   options.max_events_per_vector);
+      }
+      {
+        const std::lock_guard<std::mutex> lock(done_mutex);
+        if (!shard_status.ok() && first_error.ok())
+          first_error = std::move(shard_status);
+        --remaining;
+      }
+      done_cv.notify_one();
+    });
+  }
+  {
+    std::unique_lock<std::mutex> lock(done_mutex);
+    done_cv.wait(lock, [&] { return remaining == 0; });
+  }
+  if (!first_error.ok()) return first_error;
+  return results;
+}
+
+const std::vector<std::string>& Session::input_names() const {
+  return impl_->input_names;
+}
+const std::vector<std::string>& Session::output_names() const {
+  return impl_->output_names;
+}
+bool Session::sequential() const { return !impl_->state.empty(); }
+
+Result<sim::NetId> Session::net(std::string_view name) const {
+  const auto it = impl_->by_name.find(name);
+  if (it == impl_->by_name.end())
+    return Status::not_found("net: no port named '" + std::string(name) + "'");
+  return it->second;
+}
+sim::Simulator& Session::simulator() { return *impl_->sim; }
+const sim::Circuit& Session::circuit() const { return *impl_->circuit; }
+
+}  // namespace pp::platform

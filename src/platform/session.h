@@ -1,0 +1,122 @@
+// platform::Session — drive a compiled design (or any configured fabric /
+// circuit) by port *name*, with a batch path that evaluates many stimulus
+// vectors in parallel.
+//
+// A session owns the whole simulation stack: the fabric decoded from the
+// design's bitstream (round-tripping the configuration exactly as a
+// reconfiguration controller would), its elaborated circuit, and the event
+// simulator.  Callers poke/peek ports by name; the raw simulator stays
+// reachable for waveforms and stats.
+//
+// Sequential designs (DFF boundary registers, DESIGN.md §6) advance with
+// `step`: combinational settle, outputs sampled, then the captured D values
+// are driven back onto the Q pads — the register loop closes at the array
+// edge.
+//
+// `run_vectors` is the throughput path: stimulus vectors are sharded across
+// util::thread_pool workers, each worker cloning the settled simulator
+// state once and streaming its shard through the clone.  Vectors must be
+// independent, so the design must be combinational.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/fabric.h"
+#include "platform/compiler.h"
+#include "sim/simulator.h"
+#include "util/status.h"
+
+namespace pp::platform {
+
+using BitVector = std::vector<bool>;
+using InputVector = BitVector;
+
+struct RunOptions {
+  /// Worker cap for run_vectors; 0 = every worker of the global pool.
+  /// 1 forces the serial reference path (no cloning).
+  std::size_t max_threads = 0;
+  /// Event budget per vector (oscillation guard).
+  std::uint64_t max_events_per_vector = 2'000'000;
+};
+
+class Session {
+ public:
+  /// Load a compiled polymorphic design from its bitstream.  Fails with
+  /// kFailedPrecondition for an FPGA-baseline design (an accounting model,
+  /// nothing to simulate) and with the bitstream's Status on corruption.
+  [[nodiscard]] static Result<Session> load(const CompiledDesign& design);
+
+  /// Wrap a hand-configured fabric (e.g. built from map::macros) with named
+  /// ports: `inputs` name boundary pad lines to drive, `observes` name any
+  /// input-line positions to read back.
+  [[nodiscard]] static Result<Session> from_fabric(
+      core::Fabric fabric, std::vector<PortBinding> inputs,
+      std::vector<PortBinding> observes, const core::FabricDelays& delays = {});
+
+  struct NetBinding {
+    std::string name;
+    sim::NetId net;
+  };
+
+  /// Wrap a raw circuit (e.g. an async micropipeline harness) with named
+  /// nets.  Nets in `inputs` must be primary inputs of the circuit.
+  [[nodiscard]] static Result<Session> from_circuit(
+      sim::Circuit circuit, std::vector<NetBinding> inputs,
+      std::vector<NetBinding> observes);
+
+  Session(Session&&) noexcept;
+  Session& operator=(Session&&) noexcept;
+  ~Session();
+
+  /// Drive a named input port.  kNotFound for unknown names.
+  [[nodiscard]] Status poke(std::string_view name, bool value);
+  [[nodiscard]] Status poke_logic(std::string_view name, sim::Logic value);
+
+  /// Read a named port (any bound name: input, output, or observe point).
+  [[nodiscard]] Result<sim::Logic> peek(std::string_view name) const;
+  /// As `peek`, but fails with kInternal when the port is X or Z.
+  [[nodiscard]] Result<bool> peek_bool(std::string_view name) const;
+
+  /// Run the event simulator until quiescent; kResourceExhausted when the
+  /// event budget trips first (oscillation).
+  [[nodiscard]] Status settle(std::uint64_t max_events = 50'000'000);
+
+  /// One synchronous cycle of a sequential design: drive `inputs` (netlist
+  /// input order), settle, sample outputs, then capture every DFF's D into
+  /// its boundary register.  Matches map::Netlist::step's semantics.
+  [[nodiscard]] Result<BitVector> step(const InputVector& inputs);
+
+  /// Evaluate many independent stimulus vectors (netlist input order) and
+  /// return the outputs (netlist output order) for each.  Combinational
+  /// designs only (kFailedPrecondition otherwise).  Vectors are sharded
+  /// across the global thread pool; each worker clones the settled
+  /// simulator state.  The session's own simulator is left settled but its
+  /// input values are unspecified afterwards.
+  [[nodiscard]] Result<std::vector<BitVector>> run_vectors(
+      std::span<const InputVector> vectors, const RunOptions& options = {});
+
+  [[nodiscard]] const std::vector<std::string>& input_names() const;
+  [[nodiscard]] const std::vector<std::string>& output_names() const;
+  [[nodiscard]] bool sequential() const;
+
+  /// Resolve a bound port name to its simulator net (for waveforms and
+  /// timing probes on the raw simulator).
+  [[nodiscard]] Result<sim::NetId> net(std::string_view name) const;
+
+  /// The underlying simulator/circuit, for waveforms, stats, and the async
+  /// harnesses that drive handshakes directly.
+  [[nodiscard]] sim::Simulator& simulator();
+  [[nodiscard]] const sim::Circuit& circuit() const;
+
+ private:
+  struct Impl;
+  explicit Session(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace pp::platform

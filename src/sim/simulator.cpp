@@ -39,6 +39,13 @@ Simulator::Simulator(const Circuit& circuit) : circuit_(circuit) {
   for (GateId g = 0; g < ngates; ++g) evaluate_gate(g);
 }
 
+Result<Simulator> Simulator::create(const Circuit& circuit) {
+  const std::string diag = circuit.validate();
+  if (!diag.empty())
+    return Status::invalid_argument("Simulator: invalid circuit:\n" + diag);
+  return Simulator(circuit);
+}
+
 void Simulator::set_input_at(NetId net, Logic v, SimTime t) {
   if (!circuit_.is_input(net))
     throw std::invalid_argument("set_input_at: net " +

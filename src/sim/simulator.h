@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "sim/circuit.h"
+#include "util/status.h"
 
 namespace pp::sim {
 
@@ -36,7 +37,13 @@ struct SimStats {
 class Simulator {
  public:
   /// The circuit must pass validate(); throws std::invalid_argument else.
+  /// Prefer `create` in new code.
   explicit Simulator(const Circuit& circuit);
+
+  /// Status-returning factory: fails with kInvalidArgument (and the
+  /// circuit's diagnostic) instead of throwing when the circuit is invalid.
+  /// The circuit must outlive the simulator.
+  [[nodiscard]] static Result<Simulator> create(const Circuit& circuit);
 
   /// Schedule a primary-input change at absolute time `t` (>= now).
   void set_input_at(NetId net, Logic v, SimTime t);

@@ -1,0 +1,137 @@
+// pp::Status / pp::Result<T> — the error model of the platform layer.
+//
+// The seed code mixed three error styles: `std::string validate()` returns
+// (empty = OK), thrown std::invalid_argument from constructors and decoders,
+// and std::optional for recoverable failures.  The platform API unifies them:
+// fallible operations return a Status (or a Result<T> carrying the value),
+// with a machine-readable code plus a human-readable message.  The legacy
+// throwing/string entry points survive as thin shims over these.
+//
+// Conventions:
+//   * kInvalidArgument  — the caller handed us something malformed;
+//   * kFailedPrecondition — the object is in a state that forbids the call;
+//   * kResourceExhausted — a search ran out of fabric (rows, lines, area);
+//   * kDataLoss         — a bitstream failed its integrity checks (CRC);
+//   * kUnimplemented    — the construct is not (yet) mappable;
+//   * kInternal         — an invariant of ours broke, not the caller's fault.
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace pp {
+
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument,
+  kFailedPrecondition,
+  kOutOfRange,
+  kNotFound,
+  kResourceExhausted,
+  kDataLoss,
+  kUnimplemented,
+  kInternal,
+};
+
+[[nodiscard]] const char* status_code_name(StatusCode code) noexcept;
+
+class [[nodiscard]] Status {
+ public:
+  /// Default status is OK.
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  [[nodiscard]] static Status invalid_argument(std::string m) {
+    return {StatusCode::kInvalidArgument, std::move(m)};
+  }
+  [[nodiscard]] static Status failed_precondition(std::string m) {
+    return {StatusCode::kFailedPrecondition, std::move(m)};
+  }
+  [[nodiscard]] static Status out_of_range(std::string m) {
+    return {StatusCode::kOutOfRange, std::move(m)};
+  }
+  [[nodiscard]] static Status not_found(std::string m) {
+    return {StatusCode::kNotFound, std::move(m)};
+  }
+  [[nodiscard]] static Status resource_exhausted(std::string m) {
+    return {StatusCode::kResourceExhausted, std::move(m)};
+  }
+  [[nodiscard]] static Status data_loss(std::string m) {
+    return {StatusCode::kDataLoss, std::move(m)};
+  }
+  [[nodiscard]] static Status unimplemented(std::string m) {
+    return {StatusCode::kUnimplemented, std::move(m)};
+  }
+  [[nodiscard]] static Status internal(std::string m) {
+    return {StatusCode::kInternal, std::move(m)};
+  }
+
+  [[nodiscard]] bool ok() const noexcept { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept { return message_; }
+
+  /// "OK" or "INVALID_ARGUMENT: <message>".
+  [[nodiscard]] std::string to_string() const;
+
+  /// Legacy bridge: throw std::invalid_argument (the seed's exception type)
+  /// if not OK.  Used by the deprecated shims; new code should branch on ok().
+  void throw_if_error() const {
+    if (!ok()) throw std::invalid_argument(to_string());
+  }
+
+  bool operator==(const Status& other) const = default;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// A Status or a value.  Construction from T yields an OK result; construction
+/// from a non-OK Status yields an error (an OK Status without a value is an
+/// internal error — there is no "empty success").
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-*)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok())
+      status_ = Status::internal("Result constructed from OK status");
+  }
+
+  [[nodiscard]] bool ok() const noexcept { return value_.has_value(); }
+  [[nodiscard]] const Status& status() const noexcept { return status_; }
+
+  /// Access the value; throws on error (legacy bridge, mirrors the seed's
+  /// exception behaviour so `result.value()` is a drop-in for old calls).
+  [[nodiscard]] T& value() & {
+    status_.throw_if_error();
+    return *value_;
+  }
+  [[nodiscard]] const T& value() const& {
+    status_.throw_if_error();
+    return *value_;
+  }
+  [[nodiscard]] T&& value() && {
+    status_.throw_if_error();
+    return std::move(*value_);
+  }
+
+  /// Unchecked access (call only after ok()).
+  [[nodiscard]] T& operator*() noexcept { return *value_; }
+  [[nodiscard]] const T& operator*() const noexcept { return *value_; }
+  [[nodiscard]] T* operator->() noexcept { return &*value_; }
+  [[nodiscard]] const T* operator->() const noexcept { return &*value_; }
+
+  [[nodiscard]] T value_or(T fallback) const& {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace pp

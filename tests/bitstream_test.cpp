@@ -1,0 +1,138 @@
+// Bitstream robustness: random-fabric round trips plus corruption cases,
+// all reporting through pp::Status (the seed's throwing entry points remain
+// as shims and are covered by core_test).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/bitstream.h"
+#include "core/fabric.h"
+#include "util/rng.h"
+
+namespace pp::core {
+namespace {
+
+/// A random but *decodable* block configuration (every field within its
+/// encodable range).
+BlockConfig random_block(util::Rng& rng) {
+  BlockConfig b;
+  for (int row = 0; row < kBlockOutputs; ++row) {
+    for (int col = 0; col < kBlockInputs; ++col)
+      // BiasLevel enumerators are the bias polarities {-1, 0, +1}.
+      b.xpoint[row][col] =
+          static_cast<BiasLevel>(static_cast<int>(rng.next_below(3)) - 1);
+    b.driver[row] = static_cast<DriverCfg>(rng.next_below(4));
+  }
+  for (int col = 0; col < kBlockInputs; ++col)
+    b.col_src[col] = static_cast<ColSource>(rng.next_below(3));
+  for (int k = 0; k < kLfbLines; ++k)
+    b.lfb_src[k] = {static_cast<LfbWhich>(rng.next_below(4)),
+                    static_cast<std::uint8_t>(rng.next_below(kBlockOutputs))};
+  return b;
+}
+
+TEST(BitstreamRobustness, RandomFabricRoundTrips) {
+  util::Rng rng(20030422);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int rows = 1 + static_cast<int>(rng.next_below(4));
+    const int cols = 1 + static_cast<int>(rng.next_below(5));
+    Fabric f(rows, cols);
+    for (int r = 0; r < rows; ++r)
+      for (int c = 0; c < cols; ++c) f.block(r, c) = random_block(rng);
+
+    const auto bytes = encode_fabric(f);
+    EXPECT_EQ(bytes.size(),
+              8u + static_cast<std::size_t>(rows) * cols * kBlockBytes + 4u);
+    Fabric g(rows, cols);
+    ASSERT_TRUE(try_load_fabric(g, bytes).ok());
+    for (int r = 0; r < rows; ++r)
+      for (int c = 0; c < cols; ++c) EXPECT_EQ(g.block(r, c), f.block(r, c));
+  }
+}
+
+TEST(BitstreamRobustness, BadMagicIsInvalidArgument) {
+  Fabric f(2, 2);
+  auto bytes = encode_fabric(f);
+  bytes[1] = 'X';
+  Fabric g(2, 2);
+  const Status s = try_load_fabric(g, bytes);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BitstreamRobustness, TruncationIsOutOfRange) {
+  Fabric f(2, 2);
+  const auto bytes = encode_fabric(f);
+  Fabric g(2, 2);
+  for (std::size_t keep : {std::size_t{0}, std::size_t{3}, std::size_t{7},
+                           bytes.size() - 1}) {
+    std::vector<std::uint8_t> cut(bytes.begin(), bytes.begin() + keep);
+    const Status s = try_load_fabric(g, cut);
+    EXPECT_FALSE(s.ok()) << "kept " << keep;
+    EXPECT_EQ(s.code(), StatusCode::kOutOfRange) << "kept " << keep;
+  }
+}
+
+TEST(BitstreamRobustness, FlippedCrcByteIsDataLoss) {
+  Fabric f(2, 3);
+  f.block(0, 1).xpoint[2][3] = BiasLevel::kActive;
+  f.block(0, 1).driver[2] = DriverCfg::kInvert;
+  auto bytes = encode_fabric(f);
+  bytes[bytes.size() - 2] ^= 0xFF;  // inside the stored CRC32
+  Fabric g(2, 3);
+  EXPECT_EQ(try_load_fabric(g, bytes).code(), StatusCode::kDataLoss);
+}
+
+TEST(BitstreamRobustness, FlippedPayloadByteIsDataLoss) {
+  Fabric f(2, 3);
+  auto bytes = encode_fabric(f);
+  bytes[12] ^= 0x20;
+  Fabric g(2, 3);
+  EXPECT_EQ(try_load_fabric(g, bytes).code(), StatusCode::kDataLoss);
+}
+
+TEST(BitstreamRobustness, ReservedTritCodeIsDataLoss) {
+  auto blk = encode_block(BlockConfig{});
+  blk[2] |= 0x3;  // one trit = 0b11 (reserved)
+  const auto decoded = try_decode_block(blk);
+  EXPECT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(BitstreamRobustness, ReservedTritWithFixedCrcLeavesFabricUntouched) {
+  // Craft a stream whose CRC is *valid* but whose payload carries the
+  // reserved trit code: the loader must reject it without modifying any
+  // block it already decoded.
+  Fabric f(1, 2);
+  f.block(0, 0).xpoint[0][0] = BiasLevel::kActive;
+  f.block(0, 0).driver[0] = DriverCfg::kInvert;
+  auto bytes = encode_fabric(f);
+  bytes[8 + kBlockBytes] |= 0x3;  // first trit of block (0,1) -> 0b11
+  // Recompute the CRC over the corrupted body.
+  const std::uint32_t crc =
+      crc32(std::span<const std::uint8_t>(bytes.data(), bytes.size() - 4));
+  for (int i = 0; i < 4; ++i)
+    bytes[bytes.size() - 4 + i] =
+        static_cast<std::uint8_t>((crc >> (8 * i)) & 0xFF);
+
+  Fabric g(1, 2);
+  const Status s = try_load_fabric(g, bytes);
+  EXPECT_EQ(s.code(), StatusCode::kDataLoss);
+  EXPECT_TRUE(g.block(0, 0).is_empty())
+      << "failed load must not half-program the fabric";
+}
+
+TEST(BitstreamRobustness, WrongSizeBlockImageIsInvalidArgument) {
+  std::vector<std::uint8_t> bytes(kBlockBytes - 1, 0);
+  EXPECT_EQ(try_decode_block(bytes).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(BitstreamRobustness, DimensionMismatchIsInvalidArgument) {
+  Fabric f(2, 3);
+  const auto bytes = encode_fabric(f);
+  Fabric g(3, 2);
+  EXPECT_EQ(try_load_fabric(g, bytes).code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace pp::core

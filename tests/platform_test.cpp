@@ -1,0 +1,199 @@
+// pp::platform end-to-end tests: Netlist -> Compiler -> bitstream ->
+// Session, verified against the behavioural netlist reference.
+#include <gtest/gtest.h>
+
+#include "arch/defects.h"
+#include "map/netlist.h"
+#include "platform/compiler.h"
+#include "platform/report.h"
+#include "platform/session.h"
+#include "util/rng.h"
+
+namespace pp::platform {
+namespace {
+
+/// Exhaustively check a combinational design against its netlist via
+/// run_vectors.
+void verify_exhaustive(const map::Netlist& nl, Session& session,
+                       const RunOptions& run = {}) {
+  const int n = static_cast<int>(nl.inputs().size());
+  ASSERT_LE(n, 12) << "exhaustive check too wide";
+  std::vector<InputVector> vectors;
+  for (int v = 0; v < (1 << n); ++v) {
+    InputVector in(n);
+    for (int i = 0; i < n; ++i) in[i] = (v >> i) & 1;
+    vectors.push_back(std::move(in));
+  }
+  auto results = session.run_vectors(vectors, run);
+  ASSERT_TRUE(results.ok()) << results.status().to_string();
+  ASSERT_EQ(results->size(), vectors.size());
+  for (std::size_t v = 0; v < vectors.size(); ++v) {
+    const auto expect = nl.evaluate(vectors[v]);
+    ASSERT_EQ((*results)[v].size(), expect.size());
+    for (std::size_t k = 0; k < expect.size(); ++k)
+      EXPECT_EQ((*results)[v][k], expect[k])
+          << "vector " << v << " output " << k;
+  }
+}
+
+TEST(Compiler, RippleAdder2ExhaustiveSerial) {
+  const auto nl = map::make_ripple_adder(2);
+  auto design = compile(nl);
+  ASSERT_TRUE(design.ok()) << design.status().to_string();
+  EXPECT_FALSE(design->bitstream.empty());
+  EXPECT_EQ(design->inputs.size(), 5u);
+  EXPECT_EQ(design->outputs.size(), 3u);
+  EXPECT_TRUE(design->state.empty());
+  auto session = Session::load(*design);
+  ASSERT_TRUE(session.ok()) << session.status().to_string();
+  EXPECT_FALSE(session->sequential());
+  verify_exhaustive(nl, *session, RunOptions{.max_threads = 1});
+}
+
+TEST(Compiler, RippleAdder2ExhaustiveShardedClones) {
+  const auto nl = map::make_ripple_adder(2);
+  auto design = compile(nl);
+  ASSERT_TRUE(design.ok()) << design.status().to_string();
+  auto session = Session::load(*design);
+  ASSERT_TRUE(session.ok()) << session.status().to_string();
+  // Force the cloning path even on a single-core pool.
+  verify_exhaustive(nl, *session, RunOptions{.max_threads = 4});
+}
+
+TEST(Compiler, Mux4Exhaustive) {
+  // make_mux4 exercises 3-input ANDs and a 4-input OR (wide-cell
+  // decomposition) plus kNot cells.
+  const auto nl = map::make_mux4();
+  auto design = compile(nl);
+  ASSERT_TRUE(design.ok()) << design.status().to_string();
+  auto session = Session::load(*design);
+  ASSERT_TRUE(session.ok()) << session.status().to_string();
+  verify_exhaustive(nl, *session);
+}
+
+TEST(Compiler, ParityExhaustive) {
+  const auto nl = map::make_parity(5);
+  auto design = compile(nl);
+  ASSERT_TRUE(design.ok()) << design.status().to_string();
+  auto session = Session::load(*design);
+  ASSERT_TRUE(session.ok()) << session.status().to_string();
+  verify_exhaustive(nl, *session);
+}
+
+TEST(Compiler, NamedPortsPokePeek) {
+  const auto nl = map::make_ripple_adder(2);
+  auto design = compile(nl);
+  ASSERT_TRUE(design.ok()) << design.status().to_string();
+  auto session = Session::load(*design);
+  ASSERT_TRUE(session.ok()) << session.status().to_string();
+  // 1 + 2 (+ carry in) = 0b11: poke by name, read by name.
+  ASSERT_TRUE(session->poke("a0", true).ok());
+  ASSERT_TRUE(session->poke("a1", false).ok());
+  ASSERT_TRUE(session->poke("b0", false).ok());
+  ASSERT_TRUE(session->poke("b1", true).ok());
+  ASSERT_TRUE(session->poke("cin", false).ok());
+  ASSERT_TRUE(session->settle().ok());
+  EXPECT_EQ(session->peek_bool("s0").value(), true);
+  EXPECT_EQ(session->peek_bool("s1").value(), true);
+  EXPECT_EQ(session->peek_bool("out2").value(), false);  // unnamed cout
+  EXPECT_EQ(session->poke("nope", true).code(), StatusCode::kNotFound);
+  EXPECT_EQ(session->peek("nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST(Compiler, SequentialCounterStepsLikeNetlist) {
+  const auto nl = map::make_counter(3);
+  auto design = compile(nl);
+  ASSERT_TRUE(design.ok()) << design.status().to_string();
+  EXPECT_EQ(design->state.size(), 3u);
+  auto session = Session::load(*design);
+  ASSERT_TRUE(session.ok()) << session.status().to_string();
+  EXPECT_TRUE(session->sequential());
+
+  auto state = nl.make_state();
+  for (int cycle = 0; cycle < 12; ++cycle) {
+    const bool en = cycle != 5;  // hold one cycle mid-count
+    const auto expect = nl.step({en}, state);
+    auto got = session->step({en});
+    ASSERT_TRUE(got.ok()) << got.status().to_string();
+    ASSERT_EQ(got->size(), expect.size());
+    for (std::size_t k = 0; k < expect.size(); ++k)
+      EXPECT_EQ((*got)[k], expect[k]) << "cycle " << cycle << " q" << k;
+  }
+}
+
+TEST(Compiler, RunVectorsRefusesSequentialDesigns) {
+  auto design = compile(map::make_counter(2));
+  ASSERT_TRUE(design.ok()) << design.status().to_string();
+  auto session = Session::load(*design);
+  ASSERT_TRUE(session.ok()) << session.status().to_string();
+  std::vector<InputVector> vectors{{true}};
+  EXPECT_EQ(session->run_vectors(vectors).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(Compiler, DefectAvoidanceRelocatesAndStillComputes) {
+  const auto nl = map::make_parity(3);
+  // First learn the clean auto-size, then mark defects under the first tile
+  // site on a fabric of the same size.
+  auto clean = compile(nl);
+  ASSERT_TRUE(clean.ok()) << clean.status().to_string();
+  const int rows = clean->report.fabric_rows;
+  const int cols = clean->report.fabric_cols + 8;  // room to slide east
+
+  arch::DefectMap defects(rows, cols);
+  defects.mark_crosspoint(1, 3, 0, 0);  // node 0 literal block site
+  defects.mark_driver(3, 8, 0);         // node 1 literal block site
+
+  CompileOptions options;
+  options.defects = &defects;
+  auto design = compile(nl, options);
+  ASSERT_TRUE(design.ok()) << design.status().to_string();
+  EXPECT_EQ(arch::conflicts(design->fabric, defects), 0);
+  auto session = Session::load(*design);
+  ASSERT_TRUE(session.ok()) << session.status().to_string();
+  verify_exhaustive(nl, *session);
+}
+
+TEST(Compiler, FpgaBaselineTargetIsAccountingOnly) {
+  CompileOptions options;
+  options.target = Target::kFpgaBaseline;
+  auto design = compile(map::make_ripple_adder(4), options);
+  ASSERT_TRUE(design.ok()) << design.status().to_string();
+  EXPECT_GT(design->report.baseline.luts, 0);
+  EXPECT_GT(design->report.baseline.config_bits, 0);
+  EXPECT_TRUE(design->bitstream.empty());
+  EXPECT_EQ(Session::load(*design).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(Compiler, ReportMatchesSharedAccounting) {
+  auto design = compile(map::make_ripple_adder(2));
+  ASSERT_TRUE(design.ok()) << design.status().to_string();
+  const FabricStats direct = fabric_stats(design->fabric);
+  EXPECT_EQ(design->report.fabric.used_blocks, direct.used_blocks);
+  EXPECT_EQ(design->report.fabric.active_cells, direct.active_cells);
+  EXPECT_EQ(design->report.fabric.config_bits,
+            core::config_bits(direct.used_blocks));
+  EXPECT_GT(design->report.mapped_nodes, 0);
+  EXPECT_GT(design->report.route_hops, 0);
+  EXPECT_GT(design->report.critical_path_ps, 0u);
+}
+
+TEST(Session, LoadRejectsCorruptBitstream) {
+  auto design = compile(map::make_parity(3));
+  ASSERT_TRUE(design.ok()) << design.status().to_string();
+  design->bitstream[10] ^= 0x01;
+  EXPECT_EQ(Session::load(*design).status().code(), StatusCode::kDataLoss);
+}
+
+TEST(Session, StepRejectsWrongInputCount) {
+  auto design = compile(map::make_counter(2));
+  ASSERT_TRUE(design.ok()) << design.status().to_string();
+  auto session = Session::load(*design);
+  ASSERT_TRUE(session.ok()) << session.status().to_string();
+  EXPECT_EQ(session->step({true, false}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace pp::platform

@@ -1,0 +1,143 @@
+// Router edge cases: refusal when the fabric is full, polarity of inverted
+// delivery (checked in simulation), the no-modification guarantee on
+// failure, and the platform-facing reservation / row-filter hooks.
+#include <gtest/gtest.h>
+
+#include "core/fabric.h"
+#include "map/router.h"
+#include "sim/simulator.h"
+
+namespace pp::map {
+namespace {
+
+using core::BiasLevel;
+using core::DriverCfg;
+using core::Fabric;
+
+/// Occupy every row of a block with a dummy term so the router cannot use
+/// it.
+void fill_block(Fabric& f, int r, int c) {
+  for (int row = 0; row < core::kBlockOutputs; ++row)
+    f.block(r, c).xpoint[row][row] = BiasLevel::kActive;
+}
+
+TEST(Router, RefusedWhenAllRowsOccupied) {
+  Fabric f(2, 2);
+  for (int r = 0; r < 2; ++r)
+    for (int c = 0; c < 2; ++c) fill_block(f, r, c);
+  Router router(f);
+  const auto result = router.try_route({0, 0, 0}, {1, 1, 3});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(Router, FailedRouteLeavesFabricUnmodified) {
+  // A long route that *starts* routable but hits a wall: the south-east
+  // quadrant is fully occupied, so no path reaches the destination.  The
+  // guarantee: the attempt must not leave any partial feed-through behind.
+  Fabric f(3, 6);
+  for (int r = 0; r < 3; ++r)
+    for (int c = 3; c < 6; ++c) fill_block(f, r, c);
+  Router router(f);
+
+  // Snapshot the full configuration before the failed attempt.
+  std::vector<core::BlockConfig> before;
+  for (int r = 0; r < 3; ++r)
+    for (int c = 0; c < 6; ++c) before.push_back(f.block(r, c));
+
+  const auto result = router.try_route({0, 0, 0}, {2, 5, 4});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+
+  std::size_t i = 0;
+  for (int r = 0; r < 3; ++r)
+    for (int c = 0; c < 6; ++c)
+      EXPECT_EQ(f.block(r, c), before[i++]) << "block (" << r << "," << c
+                                            << ") modified by failed route";
+}
+
+TEST(Router, OutOfRangeEndpointsRejected) {
+  Fabric f(2, 2);
+  Router router(f);
+  EXPECT_EQ(router.try_route({-1, 0, 0}, {1, 1, 0}).status().code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(router.try_route({0, 0, 0}, {1, 1, 6}).status().code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(router.try_route({0, 0, 0}, {2, 2, 0}).status().code(),
+            StatusCode::kOutOfRange);  // the non-existent corner
+}
+
+/// Elaborate and check what value the routed line carries for a driven 1.
+sim::Logic delivered_value(Fabric& f, const SignalAt& src, const SignalAt& dst,
+                           bool drive) {
+  auto ef = f.elaborate();
+  sim::Simulator s(ef.circuit());
+  s.set_input(ef.in_line(src.r, src.c, src.line), sim::from_bool(drive));
+  s.settle();
+  return s.value(ef.in_line(dst.r, dst.c, dst.line));
+}
+
+TEST(Router, InvertDeliversComplementInSimulation) {
+  for (const bool drive : {false, true}) {
+    Fabric f(2, 4);
+    Router router(f);
+    const auto result = router.try_route({0, 0, 0}, {1, 3, 2}, /*invert=*/true);
+    ASSERT_TRUE(result.ok()) << result.status().to_string();
+    EXPECT_EQ(delivered_value(f, {0, 0, 0}, {1, 3, 2}, drive),
+              sim::from_bool(!drive));
+  }
+}
+
+TEST(Router, StraightDeliveryPreservesPolarityInSimulation) {
+  for (const bool drive : {false, true}) {
+    Fabric f(2, 4);
+    Router router(f);
+    const auto result = router.try_route({0, 0, 0}, {1, 3, 2});
+    ASSERT_TRUE(result.ok()) << result.status().to_string();
+    EXPECT_EQ(delivered_value(f, {0, 0, 0}, {1, 3, 2}, drive),
+              sim::from_bool(drive));
+  }
+}
+
+TEST(Router, ReservedLineIsAvoidedExceptAsDestination) {
+  // With line (0,1,*) unreserved, the straight east route would drive
+  // through it.  Reserving (0,1,0) forces the router around (or fails);
+  // the reserved line must end up undriven.
+  Fabric f(2, 3);
+  Router router(f);
+  router.reserve_line({0, 1, 0});
+  const auto result = router.try_route({0, 0, 0}, {0, 2, 0});
+  ASSERT_TRUE(result.ok()) << result.status().to_string();
+  EXPECT_TRUE(router.line_free(0, 1, 0))
+      << "route drove a reserved line as a side effect";
+
+  // The same reserved line is still routable as an explicit destination.
+  Fabric g(2, 3);
+  Router router2(g);
+  router2.reserve_line({0, 1, 0});
+  EXPECT_TRUE(router2.try_route({0, 0, 0}, {0, 1, 0}).ok());
+}
+
+TEST(Router, RowFilterVetoesRows) {
+  Fabric f(1, 3);
+  Router router(f);
+  // Veto every row of the only forwarding block: routing must fail.
+  router.set_row_filter([](int, int c, int) { return c != 0; });
+  EXPECT_EQ(router.try_route({0, 0, 0}, {0, 1, 3}).status().code(),
+            StatusCode::kResourceExhausted);
+  router.set_row_filter(nullptr);
+  EXPECT_TRUE(router.try_route({0, 0, 0}, {0, 1, 3}).ok());
+}
+
+TEST(Router, LegacyOptionalShimStillWorks) {
+  Fabric f(1, 3);
+  Router router(f);
+  EXPECT_TRUE(router.route({0, 0, 0}, {0, 2, 1}).has_value());
+  Fabric full(1, 1);
+  fill_block(full, 0, 0);
+  Router blocked(full);
+  EXPECT_FALSE(blocked.route({0, 0, 0}, {0, 1, 0}).has_value());
+}
+
+}  // namespace
+}  // namespace pp::map

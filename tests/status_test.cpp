@@ -1,0 +1,70 @@
+// pp::Status / pp::Result<T> semantics.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/status.h"
+
+namespace pp {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.to_string(), "OK");
+  EXPECT_NO_THROW(s.throw_if_error());
+}
+
+TEST(Status, FactoriesCarryCodeAndMessage) {
+  const Status s = Status::data_loss("CRC mismatch");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(s.message(), "CRC mismatch");
+  EXPECT_EQ(s.to_string(), "DATA_LOSS: CRC mismatch");
+}
+
+TEST(Status, ThrowIfErrorBridgesToInvalidArgument) {
+  const Status s = Status::invalid_argument("bad");
+  EXPECT_THROW(s.throw_if_error(), std::invalid_argument);
+}
+
+TEST(Status, CodeNamesCoverAllCodes) {
+  EXPECT_STREQ(status_code_name(StatusCode::kOk), "OK");
+  EXPECT_STREQ(status_code_name(StatusCode::kResourceExhausted),
+               "RESOURCE_EXHAUSTED");
+  EXPECT_STREQ(status_code_name(StatusCode::kUnimplemented), "UNIMPLEMENTED");
+  EXPECT_STREQ(status_code_name(StatusCode::kInternal), "INTERNAL");
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r = Status::not_found("gone");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(7), 7);
+  EXPECT_THROW((void)r.value(), std::invalid_argument);
+}
+
+TEST(Result, MoveOnlyValuesWork) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(5);
+  ASSERT_TRUE(r.ok());
+  auto owned = std::move(r).value();
+  EXPECT_EQ(*owned, 5);
+}
+
+TEST(Result, OkStatusIsRejected) {
+  Result<int> r{Status()};
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace pp
