@@ -70,13 +70,20 @@ int main() {
       vectors.insert(vectors.end(), all.begin(), all.end());
 
     bool ok = true;
+    // This bench measures the event-driven clone-sharding path on purpose
+    // (bench_engine_compare covers the bit-parallel engine), so pin the
+    // engine: kAuto would route this combinational design to CompiledEval.
+    const platform::RunOptions serial_opts{
+        .max_threads = 1, .engine = platform::Engine::kEventDriven};
+    const platform::RunOptions parallel_opts{
+        .max_threads = 0, .engine = platform::Engine::kEventDriven};
     // Warm both paths once so first-touch allocation noise drops out.
-    (void)run_ms(*session, vectors, {.max_threads = 1}, ok);
-    const double serial = run_ms(*session, vectors, {.max_threads = 1}, ok);
-    const double parallel = run_ms(*session, vectors, {.max_threads = 0}, ok);
+    (void)run_ms(*session, vectors, serial_opts, ok);
+    const double serial = run_ms(*session, vectors, serial_opts, ok);
+    const double parallel = run_ms(*session, vectors, parallel_opts, ok);
 
-    auto serial_out = session->run_vectors(vectors, {.max_threads = 1});
-    auto parallel_out = session->run_vectors(vectors, {.max_threads = 0});
+    auto serial_out = session->run_vectors(vectors, serial_opts);
+    auto parallel_out = session->run_vectors(vectors, parallel_opts);
     const bool match = serial_out.ok() && parallel_out.ok() &&
                        *serial_out == *parallel_out;
     ok = ok && match;

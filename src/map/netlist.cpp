@@ -36,23 +36,24 @@ int Netlist::count(CellKind kind) const {
   return n;
 }
 
-int Netlist::depth() const {
+std::vector<int> Netlist::levels() const {
   std::vector<int> d(cells_.size(), 0);
-  int best = 0;
   for (std::size_t i = 0; i < cells_.size(); ++i) {
     const auto& c = cells_[i];
     if (c.kind == CellKind::kInput || c.kind == CellKind::kDff ||
-        c.kind == CellKind::kConst0 || c.kind == CellKind::kConst1) {
-      d[i] = 0;
+        c.kind == CellKind::kConst0 || c.kind == CellKind::kConst1)
       continue;
-    }
     int m = 0;
     for (int f : c.fanin)
       if (f < static_cast<int>(i)) m = std::max(m, d[f]);
     d[i] = m + 1;
-    best = std::max(best, d[i]);
   }
-  return best;
+  return d;
+}
+
+int Netlist::depth() const {
+  const std::vector<int> d = levels();
+  return d.empty() ? 0 : *std::max_element(d.begin(), d.end());
 }
 
 std::vector<bool> Netlist::make_state() const {

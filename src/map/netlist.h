@@ -47,7 +47,13 @@ class Netlist {
 
   /// Count of cells of a given kind.
   [[nodiscard]] int count(CellKind kind) const;
-  /// Combinational depth (DFF outputs are depth 0 sources).
+  /// Per-cell combinational level: inputs, constants, and DFF outputs are
+  /// level 0; every other cell sits one above its deepest fanin.  depth()
+  /// is its maximum.  (The per-*gate* analogue for elaborated circuits is
+  /// sim::levelize(), which is what the platform compiler records in
+  /// CompiledDesign::levels.)
+  [[nodiscard]] std::vector<int> levels() const;
+  /// Combinational depth (max over levels(); DFF outputs are depth 0).
   [[nodiscard]] int depth() const;
 
   /// Evaluate one cycle: combinational settle from `input_values`, then

@@ -379,6 +379,12 @@ Result<CompiledDesign> Compiler::compile(const map::Netlist& netlist) const {
                               elaborated.status().message());
     design.report.critical_path_ps =
         core::analyze_timing(elaborated->circuit()).critical_path_ps;
+    // Record the levelization while the elaborated circuit is in hand:
+    // Session reuses it to build the bit-parallel engine without repeating
+    // the topological sort.  Designs with combinational feedback simply
+    // carry no levels (the event-driven engine needs none).
+    if (auto levels = sim::levelize(elaborated->circuit()); levels.ok())
+      design.levels = std::move(*levels);
     design.report.fabric = fabric_stats(design.fabric);
     design.report.config_static_w_per_cm2 =
         arch::config_static_power_w_per_cm2();

@@ -35,6 +35,7 @@
 #include "map/netlist.h"
 #include "map/router.h"
 #include "platform/report.h"
+#include "sim/evaluator.h"
 #include "util/status.h"
 
 namespace pp::platform {
@@ -94,6 +95,12 @@ struct CompiledDesign {
   std::vector<PortBinding> outputs;    ///< netlist output order
   std::vector<StateBinding> state;     ///< DFF boundary registers
   Report report;
+  /// Per-gate levelization of the elaborated circuit, recorded at compile
+  /// time (elaboration is deterministic, so it matches the circuit a
+  /// Session re-elaborates from the bitstream).  Lets the bit-parallel
+  /// engine skip the topological sort when a reconfigured fabric is
+  /// recompiled/reloaded.  Empty when the circuit has feedback.
+  sim::LevelMap levels;
 };
 
 class Compiler {

@@ -37,6 +37,51 @@ struct Session::Impl {
   };
   std::vector<StateElem> state;
 
+  // Bit-parallel engine: levelization recorded by the compiler (empty when
+  // unavailable) and the lazily built, cached CompiledEval.
+  sim::LevelMap levels;
+  bool compiled_attempted = false;
+  Status compiled_status;
+  std::unique_ptr<sim::CompiledEval> compiled;
+
+  [[nodiscard]] Status ensure_compiled() {
+    if (compiled_attempted) return compiled_status;
+    compiled_attempted = true;
+    if (!state.empty()) {
+      compiled_status = Status::failed_precondition(
+          "compiled engine: sequential design — boundary-register state "
+          "needs step()");
+      return compiled_status;
+    }
+    auto engine = sim::CompiledEval::compile(
+        *circuit, input_nets, output_nets,
+        levels.empty() ? nullptr : &levels);
+    if (!engine.ok()) {
+      compiled_status = engine.status();
+      return compiled_status;
+    }
+    compiled = std::make_unique<sim::CompiledEval>(std::move(*engine));
+    return compiled_status;
+  }
+
+  // Event-driven engine behind the same Evaluator interface (the
+  // always-available fallback); lazily built and cached like the compiled
+  // one.  Its base simulator is independent of `sim`, so run_vectors no
+  // longer disturbs the session's interactive state.
+  std::unique_ptr<sim::EventEval> event_engine;
+
+  [[nodiscard]] Result<sim::Evaluator*> ensure_event(std::uint64_t budget) {
+    if (event_engine) {
+      event_engine->set_max_events(budget);
+      return static_cast<sim::Evaluator*>(event_engine.get());
+    }
+    auto engine = sim::EventEval::create(*circuit, input_nets, output_nets,
+                                         budget);
+    if (!engine.ok()) return engine.status();
+    event_engine = std::make_unique<sim::EventEval>(std::move(*engine));
+    return static_cast<sim::Evaluator*>(event_engine.get());
+  }
+
   [[nodiscard]] Result<sim::NetId> net_of(const map::SignalAt& at) const {
     if (!elab)
       return Status::failed_precondition("session has no elaborated fabric");
@@ -64,27 +109,43 @@ Session::~Session() = default;
 
 namespace {
 
-/// Evaluate one vector on a simulator: drive, settle, read.  Returns a
-/// non-OK status on oscillation or a non-binary output.
-[[nodiscard]] Status eval_vector(sim::Simulator& sim,
-                                 const std::vector<sim::NetId>& input_nets,
-                                 const std::vector<sim::NetId>& output_nets,
-                                 const std::vector<std::string>& output_names,
-                                 const InputVector& in, BitVector& out,
-                                 std::uint64_t max_events) {
-  for (std::size_t j = 0; j < input_nets.size(); ++j)
-    sim.set_input(input_nets[j], sim::from_bool(in[j]));
-  if (!sim.settle(max_events))
-    return Status::resource_exhausted(
-        "run_vectors: event budget exhausted (oscillation?)");
-  out.assign(output_nets.size(), false);
-  for (std::size_t k = 0; k < output_nets.size(); ++k) {
-    const sim::Logic v = sim.value(output_nets[k]);
-    if (!sim::is_binary(v))
-      return Status::internal("run_vectors: output '" + output_names[k] +
-                              "' settled to " +
-                              std::string(1, sim::to_char(v)));
-    out[k] = v == sim::Logic::k1;
+constexpr int kLanes = sim::Evaluator::kBatchLanes;
+
+/// Evaluate 64-wide batches [batch_begin, batch_end) of `vectors` on one
+/// engine instance, unpacking each lane into `results`.  Fails on a
+/// non-binary output, whichever engine produced it.
+[[nodiscard]] Status eval_batches(sim::Evaluator& eval,
+                                  std::span<const InputVector> vectors,
+                                  const std::vector<std::string>& output_names,
+                                  std::vector<BitVector>& results,
+                                  std::size_t batch_begin,
+                                  std::size_t batch_end) {
+  const std::size_t nin = eval.input_count();
+  const std::size_t nout = eval.output_count();
+  std::vector<sim::PackedBits> in(nin), out(nout);
+  for (std::size_t b = batch_begin; b < batch_end; ++b) {
+    const std::size_t v0 = b * kLanes;
+    const int lanes = static_cast<int>(
+        std::min<std::size_t>(kLanes, vectors.size() - v0));
+    for (std::size_t j = 0; j < nin; ++j) {
+      sim::PackedBits p;
+      for (int lane = 0; lane < lanes; ++lane)
+        if (vectors[v0 + lane][j]) p.value |= std::uint64_t{1} << lane;
+      in[j] = p;
+    }
+    if (Status s = eval.eval_packed(in, out, lanes); !s.ok()) return s;
+    for (int lane = 0; lane < lanes; ++lane) {
+      BitVector& r = results[v0 + lane];
+      r.assign(nout, false);
+      for (std::size_t k = 0; k < nout; ++k) {
+        const sim::Logic v = sim::get_lane(out[k], lane);
+        if (!sim::is_binary(v))
+          return Status::internal("run_vectors: output '" + output_names[k] +
+                                  "' settled to " +
+                                  std::string(1, sim::to_char(v)));
+        r[k] = v == sim::Logic::k1;
+      }
+    }
   }
   return Status();
 }
@@ -134,6 +195,11 @@ Result<Session> Session::load(const CompiledDesign& design) {
     impl->state.push_back({sb.name, *q, *d});
     if (Status s = impl->bind_name(sb.name, *q, true); !s.ok()) return s;
   }
+  // Reuse the compiler's levelization: elaboration is deterministic, so the
+  // recorded gate levels line up with the circuit decoded from the
+  // bitstream (ensure_compiled re-validates the size before trusting them).
+  impl->levels = design.levels;
+
   // Reset: boundary registers start at 0 (Netlist::make_state semantics).
   for (const auto& se : impl->state)
     impl->sim->set_input(se.q, sim::Logic::k0);
@@ -290,50 +356,59 @@ Result<std::vector<BitVector>> Session::run_vectors(
   std::vector<BitVector> results(vectors.size());
   if (vectors.empty()) return results;
 
+  // Engine selection: kAuto prefers the bit-parallel compiled engine and
+  // falls back to the event-driven engine when CompiledEval rejects the
+  // design; kCompiled surfaces that rejection instead.  Both engines sit
+  // behind sim::Evaluator, so everything below is engine-agnostic.
+  sim::Evaluator* engine = nullptr;
+  if (options.engine != Engine::kEventDriven) {
+    const Status s = impl_->ensure_compiled();
+    if (s.ok()) {
+      engine = impl_->compiled.get();
+    } else if (options.engine == Engine::kCompiled) {
+      return s;
+    }
+  }
+  if (!engine) {
+    auto ev = impl_->ensure_event(options.max_events_per_vector);
+    if (!ev.ok()) return ev.status();
+    engine = *ev;
+  }
+
+  // Pack vectors into 64-wide batches and shard whole batches across the
+  // pool.  Compiled clones share the immutable program and carry only
+  // scratch slots; event clones copy the settled base simulator once per
+  // shard.  max_threads may exceed the pool size: extra shards simply
+  // queue, which also lets single-core hosts exercise the cloning path.
   util::ThreadPool& pool = util::global_pool();
-  // max_threads may exceed the pool size: extra shards simply queue, which
-  // also lets single-core hosts exercise the cloning path.
   std::size_t workers =
       options.max_threads == 0 ? pool.worker_count() : options.max_threads;
-  workers = std::min(workers, vectors.size());
+  const std::size_t nbatches = (vectors.size() + kLanes - 1) / kLanes;
+  workers = std::min(workers, nbatches);
 
   if (workers <= 1) {
-    // Serial reference path: stream every vector through our simulator.
-    for (std::size_t i = 0; i < vectors.size(); ++i) {
-      if (Status s = eval_vector(*impl_->sim, impl_->input_nets,
-                                 impl_->output_nets, impl_->output_names,
-                                 vectors[i], results[i],
-                                 options.max_events_per_vector);
-          !s.ok())
-        return s;
-    }
+    // Serial reference path: stream every batch through the engine itself.
+    if (Status s = eval_batches(*engine, vectors, impl_->output_names,
+                                results, 0, nbatches);
+        !s.ok())
+      return s;
     return results;
   }
 
-  // Parallel path: shard vectors into one contiguous chunk per worker; each
-  // task clones the settled base simulator once and streams its shard.
   // Completion is tracked with a per-call latch rather than the pool-wide
   // wait_idle(): concurrent run_vectors calls (or other pool users) must
   // not be able to stall — or deadlock — this one.
-  if (!impl_->sim->settle())
-    return Status::resource_exhausted("run_vectors: base state never settled");
-  const sim::Simulator& base = *impl_->sim;
   std::mutex done_mutex;
   std::condition_variable done_cv;
   Status first_error;
-  const std::size_t chunk = (vectors.size() + workers - 1) / workers;
-  std::size_t remaining = (vectors.size() + chunk - 1) / chunk;
-  for (std::size_t begin = 0; begin < vectors.size(); begin += chunk) {
-    const std::size_t end = std::min(begin + chunk, vectors.size());
+  const std::size_t chunk = (nbatches + workers - 1) / workers;
+  std::size_t remaining = (nbatches + chunk - 1) / chunk;
+  for (std::size_t begin = 0; begin < nbatches; begin += chunk) {
+    const std::size_t end = std::min(begin + chunk, nbatches);
     pool.submit([&, begin, end] {
-      sim::Simulator local(base);  // clone of the settled state
-      Status shard_status;
-      for (std::size_t i = begin; i < end && shard_status.ok(); ++i) {
-        shard_status = eval_vector(local, impl_->input_nets,
-                                   impl_->output_nets, impl_->output_names,
-                                   vectors[i], results[i],
-                                   options.max_events_per_vector);
-      }
+      const std::unique_ptr<sim::Evaluator> local = engine->clone();
+      Status shard_status = eval_batches(*local, vectors, impl_->output_names,
+                                         results, begin, end);
       {
         const std::lock_guard<std::mutex> lock(done_mutex);
         if (!shard_status.ok() && first_error.ok())
@@ -350,6 +425,8 @@ Result<std::vector<BitVector>> Session::run_vectors(
   if (!first_error.ok()) return first_error;
   return results;
 }
+
+Status Session::compiled_engine_status() { return impl_->ensure_compiled(); }
 
 const std::vector<std::string>& Session::input_names() const {
   return impl_->input_names;

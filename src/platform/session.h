@@ -13,10 +13,13 @@
 // are driven back onto the Q pads — the register loop closes at the array
 // edge.
 //
-// `run_vectors` is the throughput path: stimulus vectors are sharded across
-// util::thread_pool workers, each worker cloning the settled simulator
-// state once and streaming its shard through the clone.  Vectors must be
-// independent, so the design must be combinational.
+// `run_vectors` is the throughput path: callers pick an evaluation engine
+// (or let `Engine::kAuto` pick one) and the stimulus vectors are packed
+// into 64-wide batches sharded across util::thread_pool workers.  The
+// bit-parallel `sim::CompiledEval` engine serves purely combinational
+// configured fabrics; the event-driven clone-sharding path remains the
+// always-correct fallback.  Vectors must be independent, so the design must
+// be combinational either way.
 #pragma once
 
 #include <cstdint>
@@ -28,6 +31,7 @@
 
 #include "core/fabric.h"
 #include "platform/compiler.h"
+#include "sim/evaluator.h"
 #include "sim/simulator.h"
 #include "util/status.h"
 
@@ -36,12 +40,28 @@ namespace pp::platform {
 using BitVector = std::vector<bool>;
 using InputVector = BitVector;
 
+/// Which evaluation engine run_vectors uses.
+enum class Engine : std::uint8_t {
+  /// Pick the bit-parallel compiled engine when the design supports it
+  /// (combinational, no dynamic tri-state, no behavioural async gates);
+  /// fall back to the event-driven path otherwise.
+  kAuto,
+  /// Force the event-driven clone-sharding path (the timing-accurate
+  /// reference; mandatory for anything CompiledEval rejects).
+  kEventDriven,
+  /// Force the bit-parallel compiled engine; run_vectors fails with the
+  /// engine's compile Status when the design is unsupported.
+  kCompiled,
+};
+
 struct RunOptions {
   /// Worker cap for run_vectors; 0 = every worker of the global pool.
   /// 1 forces the serial reference path (no cloning).
   std::size_t max_threads = 0;
-  /// Event budget per vector (oscillation guard).
+  /// Event budget per vector (oscillation guard; event engine only).
   std::uint64_t max_events_per_vector = 2'000'000;
+  /// Engine selection policy.
+  Engine engine = Engine::kAuto;
 };
 
 class Session {
@@ -93,12 +113,20 @@ class Session {
 
   /// Evaluate many independent stimulus vectors (netlist input order) and
   /// return the outputs (netlist output order) for each.  Combinational
-  /// designs only (kFailedPrecondition otherwise).  Vectors are sharded
-  /// across the global thread pool; each worker clones the settled
-  /// simulator state.  The session's own simulator is left settled but its
-  /// input values are unspecified afterwards.
+  /// designs only (kFailedPrecondition otherwise).  Vectors are packed
+  /// into 64-wide batches sharded across the global thread pool: the
+  /// compiled engine clones only its scratch slots, the event engine
+  /// clones its settled base simulator per shard.  Both engines are owned
+  /// by the session and cached; the session's interactive simulator
+  /// (poke/peek/settle) is never disturbed.
   [[nodiscard]] Result<std::vector<BitVector>> run_vectors(
       std::span<const InputVector> vectors, const RunOptions& options = {});
+
+  /// Status of the bit-parallel compiled engine for this design: OK when
+  /// Engine::kAuto will use it, else why CompiledEval rejected the design
+  /// (the reason Engine::kCompiled would fail).  Builds and caches the
+  /// engine on first call.
+  [[nodiscard]] Status compiled_engine_status();
 
   [[nodiscard]] const std::vector<std::string>& input_names() const;
   [[nodiscard]] const std::vector<std::string>& output_names() const;

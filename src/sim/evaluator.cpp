@@ -1,0 +1,640 @@
+#include "sim/evaluator.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+namespace pp::sim {
+
+// ---------------------------------------------------------------------------
+// Levelization
+// ---------------------------------------------------------------------------
+
+namespace {
+
+[[nodiscard]] std::string net_label(const Circuit& c, NetId n) {
+  const std::string& name = c.net_name(n);
+  std::string label;
+  if (name.empty()) {
+    label = '#' + std::to_string(n);
+  } else {
+    label.reserve(name.size() + 2);
+    label += '\'';
+    label += name;
+    label += '\'';
+  }
+  return label;
+}
+
+}  // namespace
+
+Result<LevelMap> levelize(const Circuit& circuit) {
+  const std::size_t ngates = circuit.gate_count();
+  const std::size_t nnets = circuit.net_count();
+
+  // net -> driving gates (several when 3-state drivers share the net) and
+  // net -> reading gates (one entry per reading pin).
+  std::vector<std::vector<GateId>> drivers(nnets);
+  for (GateId g = 0; g < ngates; ++g)
+    drivers[circuit.gate(g).output].push_back(g);
+  std::vector<std::vector<GateId>> readers(nnets);
+  std::vector<std::uint32_t> indegree(ngates, 0);
+  for (GateId g = 0; g < ngates; ++g)
+    for (NetId in : circuit.gate(g).inputs) {
+      readers[in].push_back(g);
+      indegree[g] += static_cast<std::uint32_t>(drivers[in].size());
+    }
+
+  // Kahn's algorithm over driver->reader edges.  A gate's level is one above
+  // its deepest input driver, so the FIFO pop order is already topological.
+  LevelMap lm;
+  lm.gate_level.assign(ngates, 0);
+  lm.order.reserve(ngates);
+  std::vector<GateId> ready;
+  for (GateId g = 0; g < ngates; ++g)
+    if (indegree[g] == 0) ready.push_back(g);
+  for (std::size_t head = 0; head < ready.size(); ++head) {
+    const GateId g = ready[head];
+    lm.order.push_back(g);
+    std::uint32_t level = 0;
+    for (NetId in : circuit.gate(g).inputs)
+      for (GateId d : drivers[in])
+        level = std::max(level, lm.gate_level[d] + 1);
+    lm.gate_level[g] = level;
+    lm.max_level = std::max(lm.max_level, level);
+    for (GateId r : readers[circuit.gate(g).output])
+      if (--indegree[r] == 0) ready.push_back(r);
+  }
+
+  if (lm.order.size() != ngates) {
+    for (GateId g = 0; g < ngates; ++g)
+      if (indegree[g] != 0)
+        return Status::failed_precondition(
+            "levelize: combinational cycle through net " +
+            net_label(circuit, circuit.gate(g).output));
+  }
+  return lm;
+}
+
+// ---------------------------------------------------------------------------
+// CompiledEval
+// ---------------------------------------------------------------------------
+
+namespace {
+
+enum class Op : std::uint8_t {
+  kBuf,
+  kNot,
+  kAnd,
+  kNand,
+  kOr,
+  kNor,
+  kXor,
+  kXnor,
+  kResolve,  ///< wired-and over always-driving sources: agree or X
+};
+
+struct Instr {
+  Op op;
+  std::uint32_t nin;
+  std::uint32_t in_ofs;  ///< first operand index in Program::operands
+  std::uint32_t out;     ///< destination slot
+};
+
+constexpr std::uint32_t kNoSlot = 0xffff'ffffu;
+
+[[nodiscard]] PackedBits broadcast(Logic v) noexcept {
+  switch (v) {
+    case Logic::k0: return {0, 0};
+    case Logic::k1: return {~std::uint64_t{0}, 0};
+    case Logic::kZ:
+    case Logic::kX: break;
+  }
+  return {0, ~std::uint64_t{0}};
+}
+
+/// Scalar settled value of a non-3-state combinational gate, mirroring
+/// Simulator::compute_gate exactly (Z inputs behave as X).
+[[nodiscard]] Logic fold_gate(GateKind kind, std::span<const Logic> ins) {
+  switch (kind) {
+    case GateKind::kNand: return nand_of(ins);
+    case GateKind::kAnd: return and_of(ins);
+    case GateKind::kOr: return or_of(ins);
+    case GateKind::kNor: return not_of(or_of(ins));
+    case GateKind::kXor: return xor_of(ins);
+    case GateKind::kXnor: return not_of(xor_of(ins));
+    case GateKind::kNot: return not_of(ins[0]);
+    case GateKind::kBuf:
+    case GateKind::kDelay: return is_binary(ins[0]) ? ins[0] : Logic::kX;
+    case GateKind::kConst0: return Logic::k0;
+    case GateKind::kConst1: return Logic::k1;
+    default: return Logic::kX;
+  }
+}
+
+/// True when `lm` verifiably belongs to this circuit: `order` is a
+/// permutation of all gates in which every driver of every input net of a
+/// gate precedes that gate (the invariant the classification pass depends
+/// on), and `gate_level`/`max_level` match what that order implies.  Guards
+/// against a stale LevelMap (e.g. recorded for a differently configured
+/// fabric of the same size).
+[[nodiscard]] bool levels_fit_circuit(
+    const Circuit& c, const std::vector<std::vector<GateId>>& drivers,
+    const LevelMap& lm) {
+  const std::size_t ngates = c.gate_count();
+  if (lm.gate_level.size() != ngates || lm.order.size() != ngates)
+    return false;
+  std::vector<char> done(ngates, 0);
+  std::uint32_t max_seen = 0;
+  for (GateId g : lm.order) {
+    if (g >= ngates || done[g]) return false;
+    std::uint32_t level = 0;
+    for (NetId in : c.gate(g).inputs)
+      for (GateId d : drivers[in]) {
+        if (!done[d]) return false;
+        level = std::max(level, lm.gate_level[d] + 1);
+      }
+    if (lm.gate_level[g] != level) return false;
+    max_seen = std::max(max_seen, level);
+    done[g] = 1;
+  }
+  return max_seen == lm.max_level;
+}
+
+[[nodiscard]] Op op_for(GateKind kind) {
+  switch (kind) {
+    case GateKind::kNand: return Op::kNand;
+    case GateKind::kAnd: return Op::kAnd;
+    case GateKind::kOr: return Op::kOr;
+    case GateKind::kNor: return Op::kNor;
+    case GateKind::kXor: return Op::kXor;
+    case GateKind::kXnor: return Op::kXnor;
+    case GateKind::kNot: return Op::kNot;
+    default: return Op::kBuf;  // kBuf / kDelay (transport delay is identity
+                               // once settled)
+  }
+}
+
+}  // namespace
+
+struct CompiledEval::Program {
+  std::vector<Instr> instrs;
+  std::vector<std::uint32_t> operands;
+  std::vector<PackedBits> init;          ///< initial slot image (constants)
+  std::vector<std::uint32_t> in_slots;   ///< per bound input net
+  std::vector<std::uint32_t> out_slots;  ///< per bound output net
+  std::uint32_t levels = 0;
+};
+
+CompiledEval::CompiledEval(std::shared_ptr<const Program> program)
+    : program_(std::move(program)), slots_(program_->init) {}
+
+std::size_t CompiledEval::input_count() const noexcept {
+  return program_->in_slots.size();
+}
+std::size_t CompiledEval::output_count() const noexcept {
+  return program_->out_slots.size();
+}
+std::size_t CompiledEval::instruction_count() const noexcept {
+  return program_->instrs.size();
+}
+std::uint32_t CompiledEval::level_count() const noexcept {
+  return program_->levels;
+}
+
+std::unique_ptr<Evaluator> CompiledEval::clone() const {
+  return std::unique_ptr<Evaluator>(new CompiledEval(program_));
+}
+
+Result<CompiledEval> CompiledEval::compile(const Circuit& circuit,
+                                           std::vector<NetId> in_nets,
+                                           std::vector<NetId> out_nets,
+                                           const LevelMap* levels) {
+  if (const std::string diag = circuit.validate(); !diag.empty())
+    return Status::invalid_argument("CompiledEval: invalid circuit:\n" + diag);
+
+  const std::size_t ngates = circuit.gate_count();
+  const std::size_t nnets = circuit.net_count();
+
+  for (GateId g = 0; g < ngates; ++g) {
+    const GateKind k = circuit.gate(g).kind;
+    if (k == GateKind::kDff || k == GateKind::kLatch ||
+        k == GateKind::kCElement)
+      return Status::failed_precondition(
+          std::string("CompiledEval: behavioural state-holding gate (") +
+          gate_kind_name(k) + ") needs the event-driven engine");
+  }
+
+  std::vector<std::vector<GateId>> drivers(nnets);
+  for (GateId g = 0; g < ngates; ++g)
+    drivers[circuit.gate(g).output].push_back(g);
+
+  // Levelize, reusing the caller's metadata only when it verifiably fits
+  // *this* circuit (the check is O(pins), far cheaper than the sort it
+  // skips); anything stale falls back to a fresh levelization, so a reused
+  // map can never bypass cycle rejection or break the topo-order invariant
+  // the classification pass depends on.
+  LevelMap computed;
+  const LevelMap* lm = nullptr;
+  if (levels && levels_fit_circuit(circuit, drivers, *levels)) {
+    lm = levels;
+  } else {
+    auto lv = levelize(circuit);
+    if (!lv.ok()) return lv.status();
+    computed = std::move(*lv);
+    lm = &computed;
+  }
+
+  // Bound-net checks.  Externally driven nets must be pure attachment
+  // points: a gate driver alongside the external slot would resolve against
+  // a possibly-floating (Z) external value, which two planes cannot express.
+  std::vector<char> ext(nnets, 0);
+  for (NetId n : in_nets) {
+    if (n >= nnets)
+      return Status::invalid_argument("CompiledEval: input net out of range");
+    if (!circuit.is_input(n))
+      return Status::invalid_argument("CompiledEval: net " +
+                                      net_label(circuit, n) +
+                                      " is not a primary input");
+    if (!drivers[n].empty())
+      return Status::failed_precondition(
+          "CompiledEval: bound input net " + net_label(circuit, n) +
+          " is also gate-driven (external/driver resolution)");
+    ext[n] = 1;
+  }
+  for (NetId n : out_nets)
+    if (n >= nnets)
+      return Status::invalid_argument("CompiledEval: output net out of range");
+
+  // --- Pass A: classify every gate and net in topological order. ----------
+  // A gate/net is either a compile-time constant (configuration structure:
+  // const rows, released or always-on 3-state drivers, undriven lines) or
+  // varying (depends on bound inputs).  Constant folding here is what turns
+  // the elaborated fabric's 3-state abutment forest into plain logic.
+  struct GateRec {
+    bool varying = false;
+    Logic cval = Logic::kZ;      // settled driver value when !varying
+    Op op = Op::kBuf;            // when varying
+    std::vector<NetId> srcs;     // nets read when varying
+    std::uint32_t slot = kNoSlot;  // destination slot once emitted
+    bool needed = false;
+  };
+  struct NetRec {
+    bool finalized = false;
+    bool varying = false;
+    Logic cval = Logic::kZ;           // settled value when !varying
+    Logic cpart = Logic::kZ;          // constant resolution participant
+    std::vector<GateId> vdrivers;     // varying drivers
+    std::uint32_t slot = kNoSlot;
+    bool needed = false;
+  };
+  std::vector<GateRec> grec(ngates);
+  std::vector<NetRec> nrec(nnets);
+
+  // All of a net's drivers precede any reader in topo order, so a net can be
+  // finalized the first time a reader (or the output binding) looks at it.
+  auto finalize_net = [&](NetId n) -> NetRec& {
+    NetRec& r = nrec[n];
+    if (r.finalized) return r;
+    r.finalized = true;
+    if (ext[n]) {
+      r.varying = true;
+      return r;
+    }
+    Logic cpart = Logic::kZ;
+    for (GateId d : drivers[n]) {
+      if (grec[d].varying) r.vdrivers.push_back(d);
+      else cpart = resolve(cpart, grec[d].cval);
+    }
+    if (cpart == Logic::kX || r.vdrivers.empty()) {
+      // X from constant contention dominates any varying driver
+      // (resolve(X, v) == X); otherwise the net is fully constant
+      // (possibly Z: an undriven or all-released line).
+      r.cval = cpart;
+      r.vdrivers.clear();
+      return r;
+    }
+    r.varying = true;
+    r.cpart = cpart;  // kZ (absent) or a binary constant co-driver
+    return r;
+  };
+
+  for (const GateId g : lm->order) {
+    const Gate& gate = circuit.gate(g);
+    GateRec& gr = grec[g];
+
+    if (gate.kind == GateKind::kConst0 || gate.kind == GateKind::kConst1) {
+      gr.cval = gate.kind == GateKind::kConst1 ? Logic::k1 : Logic::k0;
+      continue;
+    }
+
+    if (is_tristate(gate.kind)) {
+      const NetRec& en = finalize_net(gate.inputs[1]);
+      if (en.varying)
+        return Status::failed_precondition(
+            "CompiledEval: 3-state driver on net " +
+            net_label(circuit, gate.output) +
+            " has a non-constant enable (dynamic contention is not "
+            "representable bit-parallel)");
+      if (en.cval == Logic::k0) {
+        gr.cval = Logic::kZ;  // released for every vector
+        continue;
+      }
+      if (en.cval != Logic::k1) {
+        gr.cval = Logic::kX;  // unknown enable poisons the output
+        continue;
+      }
+      // Always-on driver: plain buffer/inverter of the data input.
+      const NetRec& data = finalize_net(gate.inputs[0]);
+      const bool invert = gate.kind == GateKind::kTriInv;
+      if (!data.varying) {
+        gr.cval = invert ? not_of(data.cval)
+                         : (is_binary(data.cval) ? data.cval : Logic::kX);
+        continue;
+      }
+      gr.varying = true;
+      gr.op = invert ? Op::kNot : Op::kBuf;
+      gr.srcs = {gate.inputs[0]};
+      continue;
+    }
+
+    // Plain combinational gate: fold when every input is constant, shortcut
+    // when a dominant constant forces the output, else emit.
+    bool all_const = true;
+    bool dominated = false;
+    Logic dom_val = Logic::kX;
+    for (NetId in : gate.inputs) {
+      const NetRec& ir = finalize_net(in);
+      if (ir.varying) {
+        all_const = false;
+        continue;
+      }
+      switch (gate.kind) {
+        case GateKind::kNand:
+        case GateKind::kAnd:
+          if (ir.cval == Logic::k0) {
+            dominated = true;
+            dom_val = gate.kind == GateKind::kNand ? Logic::k1 : Logic::k0;
+          }
+          break;
+        case GateKind::kOr:
+        case GateKind::kNor:
+          if (ir.cval == Logic::k1) {
+            dominated = true;
+            dom_val = gate.kind == GateKind::kOr ? Logic::k1 : Logic::k0;
+          }
+          break;
+        case GateKind::kXor:
+        case GateKind::kXnor:
+          if (!is_binary(ir.cval)) {
+            dominated = true;
+            dom_val = Logic::kX;
+          }
+          break;
+        default: break;
+      }
+    }
+    if (dominated) {
+      gr.cval = dom_val;
+      continue;
+    }
+    if (all_const) {
+      std::vector<Logic> ins;
+      ins.reserve(gate.inputs.size());
+      for (NetId in : gate.inputs) ins.push_back(nrec[in].cval);
+      gr.cval = fold_gate(gate.kind, ins);
+      continue;
+    }
+    gr.varying = true;
+    gr.op = op_for(gate.kind);
+    gr.srcs.assign(gate.inputs.begin(), gate.inputs.end());
+  }
+  for (NetId n : out_nets) finalize_net(n);
+
+  // --- Pass B: dead-code elimination. --------------------------------------
+  // Only the cone feeding the bound outputs is evaluated; on an elaborated
+  // fabric this strips every unconfigured block.
+  {
+    std::vector<NetId> stack(out_nets.begin(), out_nets.end());
+    while (!stack.empty()) {
+      const NetId n = stack.back();
+      stack.pop_back();
+      NetRec& r = nrec[n];
+      if (r.needed) continue;
+      r.needed = true;
+      for (GateId d : r.vdrivers) {
+        GateRec& gr = grec[d];
+        if (gr.needed) continue;
+        gr.needed = true;
+        for (NetId src : gr.srcs) stack.push_back(src);
+      }
+    }
+  }
+
+  // --- Pass C: compact slot assignment + instruction emission. -------------
+  auto program = std::make_shared<Program>();
+  program->levels = lm->max_level + (ngates ? 1 : 0);
+  auto new_slot = [&](PackedBits init) {
+    program->init.push_back(init);
+    return static_cast<std::uint32_t>(program->init.size() - 1);
+  };
+  auto net_slot = [&](NetId n) {
+    NetRec& r = nrec[n];
+    if (r.slot == kNoSlot)
+      r.slot = new_slot(r.varying ? PackedBits{} : broadcast(r.cval));
+    return r.slot;
+  };
+
+  // Inputs get the first slots (even when dead — they are written per batch).
+  program->in_slots.reserve(in_nets.size());
+  for (NetId n : in_nets) program->in_slots.push_back(net_slot(n));
+
+  std::vector<std::uint32_t> pending(nnets, 0);
+  for (NetId n = 0; n < nnets; ++n)
+    pending[n] = static_cast<std::uint32_t>(nrec[n].vdrivers.size());
+
+  auto emit = [&](Op op, std::span<const std::uint32_t> operands,
+                  std::uint32_t out) {
+    const auto ofs = static_cast<std::uint32_t>(program->operands.size());
+    program->operands.insert(program->operands.end(), operands.begin(),
+                             operands.end());
+    program->instrs.push_back(
+        {op, static_cast<std::uint32_t>(operands.size()), ofs, out});
+  };
+
+  for (const GateId g : lm->order) {
+    GateRec& gr = grec[g];
+    if (!gr.needed) continue;
+    const NetId out = circuit.gate(g).output;
+    NetRec& onet = nrec[out];
+    const bool multi = onet.vdrivers.size() > 1 || onet.cpart != Logic::kZ;
+    std::vector<std::uint32_t> operands;
+    operands.reserve(gr.srcs.size());
+    for (NetId src : gr.srcs) operands.push_back(net_slot(src));
+    gr.slot = multi ? new_slot({}) : net_slot(out);
+    emit(gr.op, operands, gr.slot);
+    if (multi && --pending[out] == 0) {
+      // All drivers of this net are computed: wire-resolve them (plus the
+      // constant co-driver, if any) into the net's slot before any reader.
+      std::vector<std::uint32_t> rops;
+      rops.reserve(onet.vdrivers.size() + 1);
+      for (GateId d : onet.vdrivers) rops.push_back(grec[d].slot);
+      if (onet.cpart != Logic::kZ) rops.push_back(new_slot(broadcast(onet.cpart)));
+      emit(Op::kResolve, rops, net_slot(out));
+    }
+  }
+
+  program->out_slots.reserve(out_nets.size());
+  for (NetId n : out_nets) program->out_slots.push_back(net_slot(n));
+
+  return CompiledEval(std::move(program));
+}
+
+Status CompiledEval::eval_packed(std::span<const PackedBits> inputs,
+                                 std::span<PackedBits> outputs, int lanes) {
+  if (lanes < 1 || lanes > kBatchLanes)
+    return Status::invalid_argument("eval_packed: lanes must be 1..64");
+  if (inputs.size() != program_->in_slots.size() ||
+      outputs.size() != program_->out_slots.size())
+    return Status::invalid_argument(
+        "eval_packed: expected " + std::to_string(program_->in_slots.size()) +
+        " inputs and " + std::to_string(program_->out_slots.size()) +
+        " outputs");
+
+  PackedBits* s = slots_.data();
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    PackedBits p = inputs[i];
+    p.value &= ~p.unknown;  // canonicalize
+    s[program_->in_slots[i]] = p;
+  }
+
+  const std::uint32_t* ops = program_->operands.data();
+  for (const Instr& it : program_->instrs) {
+    const std::uint32_t* o = ops + it.in_ofs;
+    switch (it.op) {
+      case Op::kBuf:
+        s[it.out] = s[o[0]];
+        break;
+      case Op::kNot: {
+        const PackedBits a = s[o[0]];
+        s[it.out] = {~a.value & ~a.unknown, a.unknown};
+        break;
+      }
+      case Op::kAnd:
+      case Op::kNand: {
+        std::uint64_t all1 = ~std::uint64_t{0}, any0 = 0;
+        for (std::uint32_t j = 0; j < it.nin; ++j) {
+          const PackedBits a = s[o[j]];
+          all1 &= a.value;
+          any0 |= ~a.value & ~a.unknown;
+        }
+        s[it.out] = {it.op == Op::kAnd ? all1 : any0, ~(all1 | any0)};
+        break;
+      }
+      case Op::kOr:
+      case Op::kNor: {
+        std::uint64_t any1 = 0, all0 = ~std::uint64_t{0};
+        for (std::uint32_t j = 0; j < it.nin; ++j) {
+          const PackedBits a = s[o[j]];
+          any1 |= a.value;
+          all0 &= ~a.value & ~a.unknown;
+        }
+        s[it.out] = {it.op == Op::kOr ? any1 : all0, ~(any1 | all0)};
+        break;
+      }
+      case Op::kXor:
+      case Op::kXnor: {
+        std::uint64_t v = 0, u = 0;
+        for (std::uint32_t j = 0; j < it.nin; ++j) {
+          const PackedBits a = s[o[j]];
+          v ^= a.value;
+          u |= a.unknown;
+        }
+        if (it.op == Op::kXnor) v = ~v;
+        s[it.out] = {v & ~u, u};
+        break;
+      }
+      case Op::kResolve: {
+        PackedBits acc = s[o[0]];
+        for (std::uint32_t j = 1; j < it.nin; ++j) {
+          const PackedBits b = s[o[j]];
+          acc.unknown |= b.unknown | (acc.value ^ b.value);
+          acc.value &= b.value;
+        }
+        acc.value &= ~acc.unknown;
+        s[it.out] = acc;
+        break;
+      }
+    }
+  }
+
+  const std::uint64_t mask =
+      lanes >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << lanes) - 1;
+  for (std::size_t k = 0; k < outputs.size(); ++k) {
+    const PackedBits p = s[program_->out_slots[k]];
+    outputs[k] = {p.value & mask, p.unknown & mask};
+  }
+  return Status();
+}
+
+// ---------------------------------------------------------------------------
+// EventEval
+// ---------------------------------------------------------------------------
+
+EventEval::EventEval(std::vector<NetId> in_nets, std::vector<NetId> out_nets,
+                     std::uint64_t budget)
+    : in_nets_(std::move(in_nets)),
+      out_nets_(std::move(out_nets)),
+      budget_(budget) {}
+
+Result<EventEval> EventEval::create(const Circuit& circuit,
+                                    std::vector<NetId> in_nets,
+                                    std::vector<NetId> out_nets,
+                                    std::uint64_t max_events_per_vector) {
+  for (NetId n : in_nets) {
+    if (n >= circuit.net_count())
+      return Status::invalid_argument("EventEval: input net out of range");
+    if (!circuit.is_input(n))
+      return Status::invalid_argument("EventEval: net " +
+                                      net_label(circuit, n) +
+                                      " is not a primary input");
+  }
+  for (NetId n : out_nets)
+    if (n >= circuit.net_count())
+      return Status::invalid_argument("EventEval: output net out of range");
+  auto sim = Simulator::create(circuit);
+  if (!sim.ok()) return sim.status();
+  EventEval ev(std::move(in_nets), std::move(out_nets),
+               max_events_per_vector);
+  ev.sim_.emplace(std::move(*sim));
+  if (!ev.sim_->settle())
+    return Status::resource_exhausted("EventEval: base state never settled");
+  return ev;
+}
+
+std::unique_ptr<Evaluator> EventEval::clone() const {
+  return std::unique_ptr<Evaluator>(new EventEval(*this));
+}
+
+Status EventEval::eval_packed(std::span<const PackedBits> inputs,
+                              std::span<PackedBits> outputs, int lanes) {
+  if (lanes < 1 || lanes > kBatchLanes)
+    return Status::invalid_argument("eval_packed: lanes must be 1..64");
+  if (inputs.size() != in_nets_.size() || outputs.size() != out_nets_.size())
+    return Status::invalid_argument(
+        "eval_packed: expected " + std::to_string(in_nets_.size()) +
+        " inputs and " + std::to_string(out_nets_.size()) + " outputs");
+  for (PackedBits& p : outputs) p = {};
+  for (int lane = 0; lane < lanes; ++lane) {
+    for (std::size_t j = 0; j < in_nets_.size(); ++j)
+      sim_->set_input(in_nets_[j], get_lane(inputs[j], lane));
+    if (!sim_->settle(budget_))
+      return Status::resource_exhausted(
+          "EventEval: event budget exhausted (oscillation?)");
+    for (std::size_t k = 0; k < out_nets_.size(); ++k)
+      set_lane(outputs[k], lane, sim_->value(out_nets_[k]));
+  }
+  return Status();
+}
+
+}  // namespace pp::sim

@@ -1,0 +1,202 @@
+// Pluggable evaluation engines for combinational batch workloads.
+//
+// The event-driven pp::sim::Simulator is the timing-accurate reference: it
+// models inertial delays, glitches, and oscillation, and it is what every
+// paper-facing figure drives.  But batch traffic ("evaluate these 10k
+// stimulus vectors") does not need timing — it needs the *settled* values,
+// as fast as the hardware allows.  This header separates the two concerns
+// behind one interface (the classic functional-vs-timing split of
+// reconfigurable-platform software stacks):
+//
+//  * `Evaluator` — the engine abstraction callers program against.  One
+//    call evaluates a *batch* of up to 64 independent vectors, packed
+//    bit-parallel in two planes per signal (see `PackedBits`).
+//  * `CompiledEval` — topologically levelizes a validated combinational
+//    circuit, constant-folds configuration structure (3-state drivers with
+//    constant enables, the fabric's const-1 rows), dead-code-eliminates the
+//    cone outside the observed outputs, and flattens what remains into a
+//    contiguous instruction array evaluated 64 vectors at a time with
+//    bitwise word ops.  Circuits it cannot model — combinational cycles,
+//    3-state drivers whose enable is not a compile-time constant (dynamic
+//    contention), behavioural async gates (DFF/latch/C-element) — are
+//    rejected via Status so callers can fall back to the event engine.
+//  * `EventEval` — the event-driven Simulator behind the same packed
+//    interface: the always-correct fallback.
+//
+// Two-plane encoding: each signal carries a `value` word and an `unknown`
+// word, bit i belonging to vector i of the batch.  unknown=1 means X (Z
+// collapses into X at the packing boundary — at a gate input the simulator
+// treats a floating line exactly like an unknown one, and after constant
+// folding no CompiledEval driver can emit a *dynamic* Z, so the collapse is
+// exact for every net the engine accepts).  The planes are kept canonical:
+// value=0 wherever unknown=1, so plane-equality is value-equality.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "sim/circuit.h"
+#include "sim/logic.h"
+#include "sim/simulator.h"
+#include "util/status.h"
+
+namespace pp::sim {
+
+/// One batch worth of a signal: bit i of each plane is vector i's value.
+struct PackedBits {
+  std::uint64_t value = 0;
+  std::uint64_t unknown = 0;  ///< X/Z mask; canonical form has value&unknown==0
+
+  bool operator==(const PackedBits&) const = default;
+};
+
+/// Write vector `lane`'s value into a packed signal (keeps canonical form).
+constexpr void set_lane(PackedBits& p, int lane, Logic v) noexcept {
+  const std::uint64_t bit = std::uint64_t{1} << lane;
+  p.value &= ~bit;
+  p.unknown &= ~bit;
+  if (v == Logic::k1) p.value |= bit;
+  else if (v != Logic::k0) p.unknown |= bit;
+}
+
+/// Read vector `lane`'s value out of a packed signal (X for unknown — the
+/// packed encoding does not distinguish X from Z).
+[[nodiscard]] constexpr Logic get_lane(const PackedBits& p, int lane) noexcept {
+  const std::uint64_t bit = std::uint64_t{1} << lane;
+  if (p.unknown & bit) return Logic::kX;
+  return (p.value & bit) ? Logic::k1 : Logic::k0;
+}
+
+/// Topological levelization of a circuit's gate graph.  Level 0 gates read
+/// only primary inputs, constants, or undriven nets; every other gate sits
+/// one above its deepest driver.  `order` lists every gate in evaluation
+/// order (drivers strictly before readers).
+struct LevelMap {
+  std::vector<std::uint32_t> gate_level;  ///< per GateId
+  std::vector<GateId> order;              ///< all gates, topologically sorted
+  std::uint32_t max_level = 0;
+
+  [[nodiscard]] bool empty() const noexcept { return order.empty(); }
+};
+
+/// Levelize a circuit.  Fails with kFailedPrecondition when the gate graph
+/// has a combinational cycle (naming a net on the cycle); behavioural
+/// state-holding gates participate structurally, so circuits that close
+/// feedback through them (micropipelines, in-fabric latches) also fail —
+/// exactly the designs that need the event-driven engine.
+[[nodiscard]] Result<LevelMap> levelize(const Circuit& circuit);
+
+/// An evaluation engine over a fixed (circuit, input nets, output nets)
+/// binding.  Engines evaluate batches of up to `kBatchLanes` independent
+/// vectors; they are stateful only through scratch storage, so concurrent
+/// use requires one `clone()` per thread.
+class Evaluator {
+ public:
+  static constexpr int kBatchLanes = 64;
+
+  virtual ~Evaluator() = default;
+
+  [[nodiscard]] virtual const char* name() const noexcept = 0;
+  [[nodiscard]] virtual std::size_t input_count() const noexcept = 0;
+  [[nodiscard]] virtual std::size_t output_count() const noexcept = 0;
+
+  /// Evaluate one batch.  `inputs[i]` packs the i-th bound input net across
+  /// the batch, `outputs[k]` receives the k-th bound output net.  `lanes`
+  /// bounds how many vectors of the batch are meaningful (1..kBatchLanes);
+  /// engines may compute all 64 but must not fail on garbage in the unused
+  /// lanes, and must leave them 0/0 in the outputs.
+  [[nodiscard]] virtual Status eval_packed(std::span<const PackedBits> inputs,
+                                           std::span<PackedBits> outputs,
+                                           int lanes = kBatchLanes) = 0;
+
+  /// Independent engine over the same binding, for per-thread sharding.
+  [[nodiscard]] virtual std::unique_ptr<Evaluator> clone() const = 0;
+};
+
+/// The levelized bit-parallel backend.  Compilation is a one-time cost per
+/// (circuit, binding); evaluation is a single pass over a flat instruction
+/// array per 64-vector batch.  Clones share the immutable program and carry
+/// only their own slot scratch, so cloning is cheap.
+class CompiledEval final : public Evaluator {
+ public:
+  /// Compile a circuit.  `in_nets` must be primary inputs that no gate
+  /// drives; every other primary input is treated as constantly undriven
+  /// (Z -> unknown), matching a fresh event simulator.  Pass `levels` to
+  /// reuse a previously computed levelization of the *same* circuit (e.g.
+  /// recompiling a reconfigured fabric); it is verified to be a valid
+  /// topological order of this circuit (O(pins)) and silently recomputed
+  /// when it is not, so a stale map can never corrupt compilation.
+  ///
+  /// Failure modes (all leave the caller free to fall back):
+  ///  * kInvalidArgument     — circuit fails validate(), or a bound net is
+  ///                           out of range / not a primary input;
+  ///  * kFailedPrecondition  — combinational cycle, behavioural async gate,
+  ///                           3-state driver with a non-constant enable, or
+  ///                           an externally driven net that gates also drive.
+  [[nodiscard]] static Result<CompiledEval> compile(
+      const Circuit& circuit, std::vector<NetId> in_nets,
+      std::vector<NetId> out_nets, const LevelMap* levels = nullptr);
+
+  [[nodiscard]] const char* name() const noexcept override {
+    return "compiled-bitparallel";
+  }
+  [[nodiscard]] std::size_t input_count() const noexcept override;
+  [[nodiscard]] std::size_t output_count() const noexcept override;
+  [[nodiscard]] Status eval_packed(std::span<const PackedBits> inputs,
+                                   std::span<PackedBits> outputs,
+                                   int lanes = kBatchLanes) override;
+  [[nodiscard]] std::unique_ptr<Evaluator> clone() const override;
+
+  /// Introspection for tests/benches: live instructions after constant
+  /// folding + dead-code elimination, and the levelized depth.
+  [[nodiscard]] std::size_t instruction_count() const noexcept;
+  [[nodiscard]] std::uint32_t level_count() const noexcept;
+
+ private:
+  struct Program;
+  explicit CompiledEval(std::shared_ptr<const Program> program);
+  std::shared_ptr<const Program> program_;
+  std::vector<PackedBits> slots_;
+};
+
+/// The event-driven Simulator behind the Evaluator interface: lanes are
+/// evaluated one at a time on a private simulator (cloned from the settled
+/// base state, like Session::run_vectors' sharded path).  Always available
+/// for any valid circuit; per-lane event budget guards oscillation.
+class EventEval final : public Evaluator {
+ public:
+  [[nodiscard]] static Result<EventEval> create(
+      const Circuit& circuit, std::vector<NetId> in_nets,
+      std::vector<NetId> out_nets,
+      std::uint64_t max_events_per_vector = 2'000'000);
+
+  [[nodiscard]] const char* name() const noexcept override {
+    return "event-driven";
+  }
+  [[nodiscard]] std::size_t input_count() const noexcept override {
+    return in_nets_.size();
+  }
+  [[nodiscard]] std::size_t output_count() const noexcept override {
+    return out_nets_.size();
+  }
+  [[nodiscard]] Status eval_packed(std::span<const PackedBits> inputs,
+                                   std::span<PackedBits> outputs,
+                                   int lanes = kBatchLanes) override;
+  [[nodiscard]] std::unique_ptr<Evaluator> clone() const override;
+
+  /// Adjust the per-lane event budget (inherited by future clones).
+  void set_max_events(std::uint64_t budget) noexcept { budget_ = budget; }
+
+ private:
+  EventEval(std::vector<NetId> in_nets, std::vector<NetId> out_nets,
+            std::uint64_t budget);
+  std::vector<NetId> in_nets_;
+  std::vector<NetId> out_nets_;
+  std::uint64_t budget_;
+  std::optional<Simulator> sim_;
+};
+
+}  // namespace pp::sim

@@ -231,20 +231,44 @@ bool Simulator::settle(std::uint64_t max_events) {
   return true;
 }
 
+Status evaluate_combinational(const Circuit& c,
+                              const std::vector<NetId>& in_nets,
+                              const std::vector<Logic>& inputs,
+                              const std::vector<NetId>& out_nets,
+                              std::vector<Logic>& outputs,
+                              std::uint64_t max_events) {
+  if (in_nets.size() != inputs.size())
+    return Status::invalid_argument("evaluate_combinational: size mismatch");
+  for (NetId n : in_nets)
+    if (n >= c.net_count() || !c.is_input(n))
+      return Status::invalid_argument(
+          "evaluate_combinational: net is not a primary input");
+  for (NetId n : out_nets)
+    if (n >= c.net_count())
+      return Status::invalid_argument(
+          "evaluate_combinational: output net out of range");
+  auto sim = Simulator::create(c);
+  if (!sim.ok()) return sim.status();
+  for (std::size_t i = 0; i < in_nets.size(); ++i)
+    sim->set_input(in_nets[i], inputs[i]);
+  if (!sim->settle(max_events))
+    return Status::resource_exhausted(
+        "evaluate_combinational: circuit oscillates");
+  outputs.clear();
+  outputs.reserve(out_nets.size());
+  for (NetId n : out_nets) outputs.push_back(sim->value(n));
+  return Status();
+}
+
 std::vector<Logic> evaluate_combinational(const Circuit& c,
                                           const std::vector<NetId>& in_nets,
                                           const std::vector<Logic>& inputs,
                                           const std::vector<NetId>& out_nets) {
-  if (in_nets.size() != inputs.size())
-    throw std::invalid_argument("evaluate_combinational: size mismatch");
-  Simulator sim(c);
-  for (std::size_t i = 0; i < in_nets.size(); ++i)
-    sim.set_input(in_nets[i], inputs[i]);
-  if (!sim.settle())
-    throw std::runtime_error("evaluate_combinational: circuit oscillates");
   std::vector<Logic> out;
-  out.reserve(out_nets.size());
-  for (NetId n : out_nets) out.push_back(sim.value(n));
+  const Status s = evaluate_combinational(c, in_nets, inputs, out_nets, out);
+  if (s.code() == StatusCode::kResourceExhausted)
+    throw std::runtime_error(s.to_string());
+  s.throw_if_error();
   return out;
 }
 

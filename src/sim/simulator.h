@@ -125,7 +125,18 @@ class Simulator {
 };
 
 /// Convenience: drive `inputs[i]` onto the i-th input net, settle, and read
-/// back `outputs`.  Throws if the circuit fails to settle (oscillation).
+/// the settled value of every net in `out_nets` into `outputs`.  Fails with
+/// kInvalidArgument on a size mismatch / non-input net / invalid circuit and
+/// kResourceExhausted when the circuit never settles (oscillation).
+[[nodiscard]] Status evaluate_combinational(const Circuit& c,
+                                            const std::vector<NetId>& in_nets,
+                                            const std::vector<Logic>& inputs,
+                                            const std::vector<NetId>& out_nets,
+                                            std::vector<Logic>& outputs,
+                                            std::uint64_t max_events = 50'000'000);
+
+/// Deprecated shim over the Status overload; throws std::invalid_argument on
+/// bad arguments and std::runtime_error on oscillation (the seed's types).
 std::vector<Logic> evaluate_combinational(const Circuit& c,
                                           const std::vector<NetId>& in_nets,
                                           const std::vector<Logic>& inputs,

@@ -1,0 +1,353 @@
+// sim::Evaluator engines: levelization, the bit-parallel CompiledEval
+// backend, and the differential property test pitting it against the
+// settled event-driven Simulator — bit-for-bit, X propagation included.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "sim/circuit.h"
+#include "sim/evaluator.h"
+#include "sim/logic.h"
+#include "sim/simulator.h"
+#include "util/rng.h"
+
+namespace pp::sim {
+namespace {
+
+// ---------- packed encoding -------------------------------------------------
+
+TEST(PackedBits, LaneRoundTripAndCanonicalForm) {
+  PackedBits p;
+  set_lane(p, 0, Logic::k1);
+  set_lane(p, 1, Logic::k0);
+  set_lane(p, 2, Logic::kX);
+  set_lane(p, 63, Logic::kZ);  // Z collapses into the unknown plane
+  EXPECT_EQ(get_lane(p, 0), Logic::k1);
+  EXPECT_EQ(get_lane(p, 1), Logic::k0);
+  EXPECT_EQ(get_lane(p, 2), Logic::kX);
+  EXPECT_EQ(get_lane(p, 63), Logic::kX);
+  EXPECT_EQ(p.value & p.unknown, 0u);  // canonical: value 0 where unknown
+  set_lane(p, 2, Logic::k1);           // overwrite clears the unknown bit
+  EXPECT_EQ(get_lane(p, 2), Logic::k1);
+}
+
+// ---------- levelization ----------------------------------------------------
+
+TEST(Levelize, ChainLevelsAndOrder) {
+  Circuit c;
+  const NetId a = c.add_net("a");
+  c.mark_input(a);
+  const NetId b = c.add_net("b"), d = c.add_net("d"), e = c.add_net("e");
+  const GateId g0 = c.add_gate(GateKind::kNot, {a}, b);
+  const GateId g1 = c.add_gate(GateKind::kNot, {b}, d);
+  const GateId g2 = c.add_gate(GateKind::kAnd, {a, d}, e);
+  auto lm = levelize(c);
+  ASSERT_TRUE(lm.ok()) << lm.status().to_string();
+  EXPECT_EQ(lm->gate_level[g0], 0u);
+  EXPECT_EQ(lm->gate_level[g1], 1u);
+  EXPECT_EQ(lm->gate_level[g2], 2u);
+  EXPECT_EQ(lm->max_level, 2u);
+  EXPECT_EQ(lm->order.size(), 3u);
+}
+
+TEST(Levelize, RejectsCombinationalCycle) {
+  // Cross-coupled NAND latch: the classic combinational cycle.
+  Circuit c;
+  const NetId s = c.add_net("s"), r = c.add_net("r");
+  c.mark_input(s);
+  c.mark_input(r);
+  const NetId q = c.add_net("q"), nq = c.add_net("nq");
+  c.add_gate(GateKind::kNand, {s, nq}, q);
+  c.add_gate(GateKind::kNand, {r, q}, nq);
+  auto lm = levelize(c);
+  EXPECT_EQ(lm.status().code(), StatusCode::kFailedPrecondition);
+}
+
+// ---------- CompiledEval rejection paths ------------------------------------
+
+TEST(CompiledEval, RejectsCycleBehaviouralAndDynamicTristate) {
+  {
+    Circuit c;
+    const NetId a = c.add_net("a");
+    c.mark_input(a);
+    const NetId q = c.add_net("q");
+    c.add_gate(GateKind::kOr, {a, q}, q);  // self-loop
+    EXPECT_EQ(CompiledEval::compile(c, {a}, {q}).status().code(),
+              StatusCode::kFailedPrecondition);
+  }
+  {
+    Circuit c;
+    const NetId d = c.add_net("d"), clk = c.add_net("clk");
+    c.mark_input(d);
+    c.mark_input(clk);
+    const NetId q = c.add_net("q");
+    c.add_gate(GateKind::kDff, {d, clk}, q);
+    EXPECT_EQ(CompiledEval::compile(c, {d, clk}, {q}).status().code(),
+              StatusCode::kFailedPrecondition);
+  }
+  {
+    // Enable driven by a primary input: contention is decided per vector,
+    // which the two-plane encoding cannot express.
+    Circuit c;
+    const NetId d = c.add_net("d"), en = c.add_net("en");
+    c.mark_input(d);
+    c.mark_input(en);
+    const NetId y = c.add_net("y");
+    c.add_gate(GateKind::kTriBuf, {d, en}, y);
+    EXPECT_EQ(CompiledEval::compile(c, {d, en}, {y}).status().code(),
+              StatusCode::kFailedPrecondition);
+  }
+}
+
+// ---------- constant folding ------------------------------------------------
+
+TEST(CompiledEval, FoldsConstantEnabledTristateStructure) {
+  // The shape fabric elaboration emits: a const-1 enable line, always-on
+  // drivers, a released driver, and a const row.  Everything but the two
+  // live gates folds away.
+  Circuit c;
+  const NetId a = c.add_net("a");
+  c.mark_input(a);
+  const NetId one = c.add_net("one");
+  c.add_gate(GateKind::kConst1, {}, one);
+  const NetId zero = c.add_net("zero");
+  c.add_gate(GateKind::kConst0, {}, zero);
+  const NetId line = c.add_net("line");
+  c.add_gate(GateKind::kTriInv, {a, one}, line);   // always-on inverter
+  c.add_gate(GateKind::kTriBuf, {a, zero}, line);  // released: resolves away
+  const NetId y = c.add_net("y");
+  c.add_gate(GateKind::kNand, {line, one}, y);
+  auto eval = CompiledEval::compile(c, {a}, {y});
+  ASSERT_TRUE(eval.ok()) << eval.status().to_string();
+  // 5 gates compile down to two instructions: NOT(a) and NAND(line, const1).
+  EXPECT_LE(eval->instruction_count(), 2u);
+
+  std::vector<PackedBits> in(1), out(1);
+  set_lane(in[0], 0, Logic::k0);
+  set_lane(in[0], 1, Logic::k1);
+  set_lane(in[0], 2, Logic::kX);
+  ASSERT_TRUE(eval->eval_packed(in, out, 3).ok());
+  EXPECT_EQ(get_lane(out[0], 0), Logic::k0);  // NAND(NOT(0), 1) = NAND(1,1)
+  EXPECT_EQ(get_lane(out[0], 1), Logic::k1);  // NAND(NOT(1), 1) = NAND(0,1)
+  EXPECT_EQ(get_lane(out[0], 2), Logic::kX);  // X propagates
+}
+
+TEST(CompiledEval, DominantConstantsShortCircuitX) {
+  // NAND(X, 0) must be 1 (dominant 0) even though another input is unknown.
+  Circuit c;
+  const NetId a = c.add_net("a");
+  c.mark_input(a);
+  const NetId zero = c.add_net("zero");
+  c.add_gate(GateKind::kConst0, {}, zero);
+  const NetId floating = c.add_net("floating");  // undriven: constant Z
+  const NetId y1 = c.add_net("y1"), y2 = c.add_net("y2");
+  c.add_gate(GateKind::kNand, {floating, zero}, y1);
+  c.add_gate(GateKind::kNand, {floating, a}, y2);
+  auto eval = CompiledEval::compile(c, {a}, {y1, y2});
+  ASSERT_TRUE(eval.ok()) << eval.status().to_string();
+  // y1 folds to constant 1; y2 depends on `a` so it stays an instruction.
+  EXPECT_EQ(eval->instruction_count(), 1u);
+
+  std::vector<PackedBits> in(1), out(2);
+  set_lane(in[0], 0, Logic::k0);
+  set_lane(in[0], 1, Logic::k1);
+  ASSERT_TRUE(eval->eval_packed(in, out, 2).ok());
+  EXPECT_EQ(get_lane(out[0], 0), Logic::k1);  // NAND(Z, 0) = 1
+  EXPECT_EQ(get_lane(out[0], 1), Logic::k1);
+  EXPECT_EQ(get_lane(out[1], 0), Logic::k1);  // NAND(Z, 0) dominant
+  EXPECT_EQ(get_lane(out[1], 1), Logic::kX);  // NAND(Z, 1) = X
+}
+
+// ---------- differential property test --------------------------------------
+
+struct RandomCircuit {
+  Circuit c;
+  std::vector<NetId> ins;
+  std::vector<NetId> outs;
+};
+
+/// Random ≤3-input netlist in the fabric's idiom: plain gates, constant
+/// sources, a floating line, and 3-state buses whose enables are
+/// compile-time constants (configured on, configured off, or floating).
+RandomCircuit make_random_circuit(util::Rng& rng) {
+  RandomCircuit rc;
+  std::vector<NetId> pool;
+  const int nin = 2 + static_cast<int>(rng.next_below(5));
+  for (int i = 0; i < nin; ++i) {
+    const NetId n = rc.c.add_net("in" + std::to_string(i));
+    rc.c.mark_input(n);
+    rc.ins.push_back(n);
+    pool.push_back(n);
+  }
+  const NetId floating = rc.c.add_net("floating");
+  pool.push_back(floating);
+  const NetId c0 = rc.c.add_net("c0");
+  rc.c.add_gate(GateKind::kConst0, {}, c0);
+  pool.push_back(c0);
+  const NetId c1 = rc.c.add_net("c1");
+  rc.c.add_gate(GateKind::kConst1, {}, c1);
+  pool.push_back(c1);
+
+  auto pick = [&] { return pool[rng.next_below(pool.size())]; };
+  const int ngates = 5 + static_cast<int>(rng.next_below(30));
+  for (int g = 0; g < ngates; ++g) {
+    if (rng.next_bool(0.15)) {
+      // A 3-state bus with 1..3 drivers; enables are constant nets only
+      // (const-0, const-1, or the floating line), as a configured fabric's.
+      const NetId bus = rc.c.add_net("bus" + std::to_string(g));
+      const int nd = 1 + static_cast<int>(rng.next_below(3));
+      for (int d = 0; d < nd; ++d) {
+        const NetId enables[3] = {c0, c1, floating};
+        const NetId en = enables[rng.next_below(3)];
+        rc.c.add_gate(rng.next_bool() ? GateKind::kTriBuf : GateKind::kTriInv,
+                      {pick(), en}, bus);
+      }
+      pool.push_back(bus);
+      continue;
+    }
+    static constexpr GateKind kKinds[] = {
+        GateKind::kNand, GateKind::kAnd,  GateKind::kOr,
+        GateKind::kNor,  GateKind::kXor,  GateKind::kXnor,
+        GateKind::kNot,  GateKind::kBuf,  GateKind::kDelay,
+    };
+    const GateKind kind = kKinds[rng.next_below(std::size(kKinds))];
+    const bool unary = kind == GateKind::kNot || kind == GateKind::kBuf ||
+                       kind == GateKind::kDelay;
+    const int arity = unary ? 1 : 1 + static_cast<int>(rng.next_below(3));
+    std::vector<NetId> inputs;
+    for (int i = 0; i < arity; ++i) inputs.push_back(pick());
+    const NetId out = rc.c.add_net("n" + std::to_string(g));
+    rc.c.add_gate(kind, std::move(inputs), out);
+    pool.push_back(out);
+  }
+
+  rc.outs.push_back(pool.back());
+  for (int i = 0; i < 4; ++i) rc.outs.push_back(pick());
+  return rc;
+}
+
+[[nodiscard]] Logic random_logic(util::Rng& rng) {
+  const auto r = rng.next_below(8);
+  if (r == 0) return Logic::kX;  // 1-in-8 unknown lanes
+  return (r & 1) ? Logic::k1 : Logic::k0;
+}
+
+TEST(CompiledEval, DifferentialAgainstSettledEventSimulator) {
+  util::Rng rng(20260728);
+  int compiled_circuits = 0;
+  for (int trial = 0; trial < 150; ++trial) {
+    RandomCircuit rc = make_random_circuit(rng);
+    ASSERT_EQ(rc.c.validate(), "");
+
+    // Random packed stimulus, X lanes included.
+    std::vector<PackedBits> in(rc.ins.size());
+    for (auto& p : in)
+      for (int lane = 0; lane < Evaluator::kBatchLanes; ++lane)
+        set_lane(p, lane, random_logic(rng));
+
+    // Reference: the settled event-driven simulator, lane by lane.
+    Simulator sim(rc.c);
+    std::vector<PackedBits> expect(rc.outs.size());
+    for (int lane = 0; lane < Evaluator::kBatchLanes; ++lane) {
+      for (std::size_t j = 0; j < rc.ins.size(); ++j)
+        sim.set_input(rc.ins[j], get_lane(in[j], lane));
+      ASSERT_TRUE(sim.settle()) << "trial " << trial << " oscillated";
+      for (std::size_t k = 0; k < rc.outs.size(); ++k)
+        set_lane(expect[k], lane, sim.value(rc.outs[k]));
+    }
+
+    auto eval = CompiledEval::compile(rc.c, rc.ins, rc.outs);
+    ASSERT_TRUE(eval.ok()) << "trial " << trial << ": "
+                           << eval.status().to_string();
+    ++compiled_circuits;
+    std::vector<PackedBits> got(rc.outs.size());
+    ASSERT_TRUE(eval->eval_packed(in, got).ok());
+    for (std::size_t k = 0; k < rc.outs.size(); ++k) {
+      EXPECT_EQ(got[k].value, expect[k].value)
+          << "trial " << trial << " output " << k << " value plane";
+      EXPECT_EQ(got[k].unknown, expect[k].unknown)
+          << "trial " << trial << " output " << k << " unknown plane";
+    }
+
+    // The event engine behind the same interface must agree too.
+    auto ev = EventEval::create(rc.c, rc.ins, rc.outs);
+    ASSERT_TRUE(ev.ok()) << ev.status().to_string();
+    std::vector<PackedBits> got_ev(rc.outs.size());
+    ASSERT_TRUE(ev->eval_packed(in, got_ev).ok());
+    for (std::size_t k = 0; k < rc.outs.size(); ++k)
+      EXPECT_EQ(got_ev[k], expect[k]) << "trial " << trial << " output " << k;
+  }
+  EXPECT_EQ(compiled_circuits, 150);
+}
+
+TEST(CompiledEval, ReusesPrecomputedLevelization) {
+  util::Rng rng(7);
+  RandomCircuit rc = make_random_circuit(rng);
+  auto lm = levelize(rc.c);
+  ASSERT_TRUE(lm.ok());
+  auto fresh = CompiledEval::compile(rc.c, rc.ins, rc.outs);
+  auto reused = CompiledEval::compile(rc.c, rc.ins, rc.outs, &*lm);
+  ASSERT_TRUE(fresh.ok());
+  ASSERT_TRUE(reused.ok());
+  EXPECT_EQ(fresh->instruction_count(), reused->instruction_count());
+  std::vector<PackedBits> in(rc.ins.size());
+  for (auto& p : in)
+    for (int lane = 0; lane < 64; ++lane) set_lane(p, lane, random_logic(rng));
+  std::vector<PackedBits> a(rc.outs.size()), b(rc.outs.size());
+  ASSERT_TRUE(fresh->eval_packed(in, a).ok());
+  ASSERT_TRUE(reused->eval_packed(in, b).ok());
+  EXPECT_EQ(a, b);
+
+  // A stale map of the right size (here: reversed order, which violates
+  // driver-before-reader) must not be trusted — compile falls back to a
+  // fresh levelization and still produces correct results.
+  LevelMap stale = *lm;
+  std::reverse(stale.order.begin(), stale.order.end());
+  auto guarded = CompiledEval::compile(rc.c, rc.ins, rc.outs, &stale);
+  ASSERT_TRUE(guarded.ok()) << guarded.status().to_string();
+  std::vector<PackedBits> g(rc.outs.size());
+  ASSERT_TRUE(guarded->eval_packed(in, g).ok());
+  EXPECT_EQ(a, g);
+}
+
+TEST(CompiledEval, PartialBatchZeroesUnusedLanes) {
+  Circuit c;
+  const NetId a = c.add_net("a");
+  c.mark_input(a);
+  const NetId y = c.add_net("y");
+  c.add_gate(GateKind::kNot, {a}, y);
+  auto eval = CompiledEval::compile(c, {a}, {y});
+  ASSERT_TRUE(eval.ok());
+  std::vector<PackedBits> in(1), out(1);
+  in[0].value = ~std::uint64_t{0};  // garbage beyond the valid lanes
+  ASSERT_TRUE(eval->eval_packed(in, out, 3).ok());
+  EXPECT_EQ(out[0].value & ~std::uint64_t{7}, 0u);
+  EXPECT_EQ(out[0].unknown, 0u);
+  EXPECT_EQ(get_lane(out[0], 0), Logic::k0);
+}
+
+TEST(CompiledEval, ClonesShareProgramButNotScratch) {
+  Circuit c;
+  const NetId a = c.add_net("a"), b = c.add_net("b");
+  c.mark_input(a);
+  c.mark_input(b);
+  const NetId y = c.add_net("y");
+  c.add_gate(GateKind::kXor, {a, b}, y);
+  auto eval = CompiledEval::compile(c, {a, b}, {y});
+  ASSERT_TRUE(eval.ok());
+  auto copy = eval->clone();
+  std::vector<PackedBits> in1(2), in2(2), out1(1), out2(1);
+  in1[0].value = 0xAAAA;  // a
+  in1[1].value = 0x00FF;  // b
+  in2[0].value = 0x5555;
+  in2[1].value = 0x0F0F;
+  ASSERT_TRUE(eval->eval_packed(in1, out1).ok());
+  ASSERT_TRUE(copy->eval_packed(in2, out2).ok());
+  EXPECT_EQ(out1[0].value, 0xAAAAull ^ 0x00FFull);
+  EXPECT_EQ(out2[0].value, 0x5555ull ^ 0x0F0Full);
+}
+
+}  // namespace
+}  // namespace pp::sim

@@ -47,7 +47,9 @@ TEST(Compiler, RippleAdder2ExhaustiveSerial) {
   auto session = Session::load(*design);
   ASSERT_TRUE(session.ok()) << session.status().to_string();
   EXPECT_FALSE(session->sequential());
-  verify_exhaustive(nl, *session, RunOptions{.max_threads = 1});
+  verify_exhaustive(
+      nl, *session,
+      RunOptions{.max_threads = 1, .engine = Engine::kEventDriven});
 }
 
 TEST(Compiler, RippleAdder2ExhaustiveShardedClones) {
@@ -56,8 +58,35 @@ TEST(Compiler, RippleAdder2ExhaustiveShardedClones) {
   ASSERT_TRUE(design.ok()) << design.status().to_string();
   auto session = Session::load(*design);
   ASSERT_TRUE(session.ok()) << session.status().to_string();
-  // Force the cloning path even on a single-core pool.
-  verify_exhaustive(nl, *session, RunOptions{.max_threads = 4});
+  // Force the event-driven cloning path even on a single-core pool.
+  verify_exhaustive(
+      nl, *session,
+      RunOptions{.max_threads = 4, .engine = Engine::kEventDriven});
+}
+
+TEST(Compiler, CompiledEngineExhaustive) {
+  const auto nl = map::make_ripple_adder(2);
+  auto design = compile(nl);
+  ASSERT_TRUE(design.ok()) << design.status().to_string();
+  EXPECT_FALSE(design->levels.empty());  // compiler records the levelization
+  auto session = Session::load(*design);
+  ASSERT_TRUE(session.ok()) << session.status().to_string();
+  ASSERT_TRUE(session->compiled_engine_status().ok())
+      << session->compiled_engine_status().to_string();
+  // Serial and sharded bit-parallel batches, forced (no silent fallback).
+  verify_exhaustive(nl, *session,
+                    RunOptions{.max_threads = 1, .engine = Engine::kCompiled});
+  verify_exhaustive(nl, *session,
+                    RunOptions{.max_threads = 4, .engine = Engine::kCompiled});
+}
+
+TEST(Compiler, CompiledEngineRejectsSequentialDesigns) {
+  auto design = compile(map::make_counter(2));
+  ASSERT_TRUE(design.ok()) << design.status().to_string();
+  auto session = Session::load(*design);
+  ASSERT_TRUE(session.ok()) << session.status().to_string();
+  EXPECT_EQ(session->compiled_engine_status().code(),
+            StatusCode::kFailedPrecondition);
 }
 
 TEST(Compiler, Mux4Exhaustive) {

@@ -310,9 +310,26 @@ TEST(Simulator, EvaluateCombinationalHelper) {
   c.mark_input(a);
   c.mark_input(b);
   c.add_gate(GateKind::kXor, {a, b}, y);
-  const auto out = evaluate_combinational(c, {a, b}, {Logic::k1, Logic::k0}, {y});
+  std::vector<Logic> out;
+  const Status s =
+      evaluate_combinational(c, {a, b}, {Logic::k1, Logic::k0}, {y}, out);
+  ASSERT_TRUE(s.ok()) << s.to_string();
   ASSERT_EQ(out.size(), 1u);
   EXPECT_EQ(out[0], Logic::k1);
+}
+
+TEST(Simulator, EvaluateCombinationalStatusErrors) {
+  Circuit c;
+  const NetId a = c.add_net(), y = c.add_net();
+  c.mark_input(a);
+  c.add_gate(GateKind::kNot, {a}, y);
+  std::vector<Logic> out;
+  // Size mismatch and non-input drive both surface as kInvalidArgument
+  // instead of the legacy throw.
+  EXPECT_EQ(evaluate_combinational(c, {a}, {}, {y}, out).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(evaluate_combinational(c, {y}, {Logic::k1}, {y}, out).code(),
+            StatusCode::kInvalidArgument);
 }
 
 // ---------- Waveform --------------------------------------------------------
