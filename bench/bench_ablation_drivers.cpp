@@ -35,7 +35,8 @@ double chain_delay(core::DriverCfg cfg, int length) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  pp::bench::init(argc, argv);
   bench::experiment_header(
       "ABLATION feed-through style and term sharing",
       "pass connections are faster but non-restoring (the paper allows "

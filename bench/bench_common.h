@@ -1,14 +1,99 @@
 // Shared helpers for the per-figure/table bench binaries.  Every bench
 // prints (a) what the paper reports and (b) what this reproduction measures,
 // in the uniform table format consumed by EXPERIMENTS.md.
+//
+// Machine-readable output: every bench accepts `--json <path>` and, on
+// exit, writes the metrics it recorded via `record()` as a JSON array of
+// {"name", "metric", "value"} objects — the BENCH trajectory consumes
+// these, so record the headline number(s) of each experiment, not every
+// table cell.
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "util/table.h"
 
 namespace pp::bench {
+
+namespace detail {
+
+inline std::string& json_path() {
+  static std::string path;
+  return path;
+}
+
+inline std::string& bench_name() {
+  static std::string name = "bench";
+  return name;
+}
+
+inline std::vector<std::string>& json_records() {
+  static std::vector<std::string> records;
+  return records;
+}
+
+inline void flush_json() {
+  const std::string& path = json_path();
+  if (path.empty()) return;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "bench: cannot write --json file '%s'\n",
+                 path.c_str());
+    return;
+  }
+  std::fputs("[\n", f);
+  const auto& records = json_records();
+  for (std::size_t i = 0; i < records.size(); ++i)
+    std::fprintf(f, "  %s%s\n", records[i].c_str(),
+                 i + 1 < records.size() ? "," : "");
+  std::fputs("]\n", f);
+  std::fclose(f);
+}
+
+}  // namespace detail
+
+/// Parse `--json <path>` from the command line and arrange for recorded
+/// metrics to be written there at process exit (normal return or exit()).
+/// Call first thing in main(); other arguments are ignored.  The bench's
+/// record name is argv[0]'s basename.
+inline void init(int argc, char** argv) {
+  if (argc > 0 && argv[0] != nullptr) {
+    std::string_view name = argv[0];
+    if (const auto slash = name.find_last_of('/');
+        slash != std::string_view::npos)
+      name.remove_prefix(slash + 1);
+    detail::bench_name() = std::string(name);
+  }
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::string_view(argv[i]) == "--json") detail::json_path() = argv[i + 1];
+  // Touch the records store before registering the atexit hook: function-
+  // local statics are destroyed in reverse construction order relative to
+  // atexit handlers, so constructing it first keeps it alive for the flush.
+  detail::json_records();
+  if (!detail::json_path().empty()) std::atexit(detail::flush_json);
+}
+
+/// Record one machine-readable metric: {"name": ..., "metric": ...,
+/// "value": ...}.  `name` identifies the experiment (usually the binary),
+/// `metric` the measured quantity.  No-op cost when --json was not given.
+inline void record(std::string_view name, std::string_view metric,
+                   double value) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"name\": \"%.*s\", \"metric\": \"%.*s\", \"value\": %.17g}",
+                static_cast<int>(name.size()), name.data(),
+                static_cast<int>(metric.size()), metric.data(), value);
+  detail::json_records().push_back(buf);
+}
+
+/// As above, under this bench's own name (set by init()).
+inline void record(std::string_view metric, double value) {
+  record(detail::bench_name(), metric, value);
+}
 
 inline void experiment_header(const std::string& id,
                               const std::string& paper_claim) {
@@ -16,7 +101,10 @@ inline void experiment_header(const std::string& id,
   std::printf("paper: %s\n\n", paper_claim.c_str());
 }
 
+/// Print the REPRODUCED/DIVERGENT verdict and record it as the bench's
+/// `reproduced` metric (1 or 0) for the --json sink.
 inline void verdict(bool ok, const std::string& what) {
+  record("reproduced", ok ? 1 : 0);
   std::printf("[%s] %s\n", ok ? "REPRODUCED" : "DIVERGENT", what.c_str());
 }
 

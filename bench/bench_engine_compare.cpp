@@ -36,7 +36,8 @@ double run_ms(pp::platform::Session& session,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  pp::bench::init(argc, argv);
   using namespace pp;
   bench::experiment_header(
       "ENGINE-COMPARE run_vectors: event-driven clones vs bit-parallel "
@@ -123,6 +124,7 @@ int main() {
       "note: both engines run the same compiled fabric; the event path pays "
       "per-event heap/resolution cost, the compiled path one bitwise pass "
       "per 64 vectors over the levelized cone (dead fabric stripped).\n");
+  bench::record("min_speedup", min_speedup);
   bench::verdict(all_ok && min_speedup >= 10.0,
                  "engines agree on every vector and CompiledEval is >= 10x "
                  "the event-driven path on the fig10 datapath");

@@ -14,7 +14,8 @@
 #include "platform/session.h"
 #include "util/rng.h"
 
-int main() {
+int main(int argc, char** argv) {
+  pp::bench::init(argc, argv);
   using namespace pp;
   bench::experiment_header(
       "FIG10 ripple-carry adder / accumulator datapath",

@@ -27,7 +27,8 @@ pp::platform::Session make_session(const pp::async::MicropipelineParams& p,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  pp::bench::init(argc, argv);
   using namespace pp;
   bench::experiment_header(
       "FIG11 micropipeline (C-element chain + ECSE registers)",

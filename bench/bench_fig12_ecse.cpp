@@ -7,7 +7,8 @@
 #include "sim/simulator.h"
 #include "util/rng.h"
 
-int main() {
+int main(int argc, char** argv) {
+  pp::bench::init(argc, argv);
   using namespace pp;
   bench::experiment_header(
       "FIG12 event-controlled storage element",

@@ -5,7 +5,8 @@
 #include "device/inverter.h"
 #include "util/numeric.h"
 
-int main() {
+int main(int argc, char** argv) {
+  pp::bench::init(argc, argv);
   using namespace pp;
   bench::experiment_header(
       "FIG3 configurable inverter VTC",

@@ -5,7 +5,8 @@
 #include "device/nand2.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
+  pp::bench::init(argc, argv);
   using namespace pp;
   using device::BiasLevel;
   bench::experiment_header(

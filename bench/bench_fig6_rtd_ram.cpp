@@ -6,7 +6,8 @@
 #include "device/rtd_ram.h"
 #include "util/numeric.h"
 
-int main() {
+int main(int argc, char** argv) {
+  pp::bench::init(argc, argv);
   using namespace pp;
   bench::experiment_header(
       "FIG6 RTD multi-valued configuration RAM",

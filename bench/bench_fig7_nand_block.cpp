@@ -8,7 +8,8 @@
 #include "sim/simulator.h"
 #include "util/rng.h"
 
-int main() {
+int main(int argc, char** argv) {
+  pp::bench::init(argc, argv);
   using namespace pp;
   using core::BiasLevel;
   bench::experiment_header(

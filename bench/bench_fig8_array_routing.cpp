@@ -6,7 +6,8 @@
 #include "map/router.h"
 #include "sim/simulator.h"
 
-int main() {
+int main(int argc, char** argv) {
+  pp::bench::init(argc, argv);
   using namespace pp;
   bench::experiment_header(
       "FIG8 adjacent-only array routing",

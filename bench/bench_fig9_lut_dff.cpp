@@ -11,7 +11,8 @@
 #include "platform/report.h"
 #include "platform/session.h"
 
-int main() {
+int main(int argc, char** argv) {
+  pp::bench::init(argc, argv);
   using namespace pp;
   bench::experiment_header(
       "FIG9 3-LUT (x+y+z) + edge-triggered D flip-flop",

@@ -6,7 +6,8 @@
 #include "arch/power_model.h"
 #include "async/gals.h"
 
-int main() {
+int main(int argc, char** argv) {
+  pp::bench::init(argc, argv);
   using namespace pp;
   bench::experiment_header(
       "GALS system (sync islands + async wrapper)",

@@ -4,6 +4,7 @@
 // numbers for this reproduction, not paper claims.
 #include <benchmark/benchmark.h>
 
+#include "bench_common.h"
 #include "core/bitstream.h"
 #include "core/fabric.h"
 #include "map/macros.h"
@@ -104,7 +105,8 @@ void BM_BitstreamRoundTrip(benchmark::State& state) {
   for (auto _ : state) {
     const auto bytes = core::encode_fabric(f);
     core::Fabric g(size, size);
-    core::load_fabric(g, bytes);
+    if (!core::try_load_fabric(g, bytes).ok())
+      state.SkipWithError("bitstream round trip failed");
     benchmark::DoNotOptimize(g.active_cells());
   }
   state.SetBytesProcessed(state.iterations() *
@@ -162,4 +164,25 @@ BENCHMARK(BM_PlatformRunVectors)->Arg(2)->Arg(3);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Hand-rolled BENCHMARK_MAIN so the uniform `--json <path>` contract works
+// here too: bench::init consumes it, then the flag is stripped before
+// google-benchmark parses the rest of the command line.
+int main(int argc, char** argv) {
+  pp::bench::init(argc, argv);
+  std::vector<char*> args;
+  for (int i = 0; i < argc; ++i) {
+    if (i > 0 && std::string_view(argv[i]) == "--json" && i + 1 < argc) {
+      ++i;  // skip the path operand too
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  pp::bench::record("completed", 1);
+  benchmark::Shutdown();
+  return 0;
+}

@@ -33,7 +33,8 @@ double run_ms(pp::platform::Session& session,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  pp::bench::init(argc, argv);
   using namespace pp;
   bench::experiment_header(
       "PLATFORM-BATCH run_vectors: serial vs sharded simulator clones",
@@ -104,6 +105,7 @@ int main() {
               workers < 2 ? " (single-core host: >2x applies to multi-core "
                             "runners)"
                           : "");
+  bench::record("best_speedup", best_speedup);
   bench::verdict(all_ok && (workers < 2 || best_speedup > 2.0),
                  "sharded run_vectors matches serial results; speedup "
                  "scales with available cores");

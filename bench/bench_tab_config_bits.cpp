@@ -13,7 +13,8 @@
 #include "map/truth_table.h"
 #include "platform/report.h"
 
-int main() {
+int main(int argc, char** argv) {
+  pp::bench::init(argc, argv);
   using namespace pp;
   bench::experiment_header(
       "TAB-A config bits per function (polymorphic vs CLB)",

@@ -5,7 +5,8 @@
 #include "arch/area_model.h"
 #include "arch/power_model.h"
 
-int main() {
+int main(int argc, char** argv) {
+  pp::bench::init(argc, argv);
   using namespace pp;
   bench::experiment_header(
       "TAB-C density and configuration standby power",

@@ -5,7 +5,8 @@
 #include "bench_common.h"
 #include "fpga/area_delay.h"
 
-int main() {
+int main(int argc, char** argv) {
+  pp::bench::init(argc, argv);
   using namespace pp;
   using fpga::TechPoint;
   bench::experiment_header(

@@ -2,11 +2,13 @@
 
 #include <array>
 #include <stdexcept>
+#include <string>
 
 namespace pp::core {
 namespace {
 
 constexpr char kMagic[4] = {'P', 'P', 'H', 'W'};
+constexpr char kDeltaMagic[4] = {'P', 'P', 'D', 'T'};
 
 std::array<std::uint32_t, 256> make_crc_table() {
   std::array<std::uint32_t, 256> table{};
@@ -24,18 +26,58 @@ void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
   out.push_back(static_cast<std::uint8_t>(v >> 8));
 }
 
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF));
+}
+
 std::uint16_t get_u16(std::span<const std::uint8_t> in, std::size_t at) {
   return static_cast<std::uint16_t>(in[at] | (in[at + 1] << 8));
+}
+
+std::uint32_t get_u32(std::span<const std::uint8_t> in, std::size_t at) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(in[at + i]) << (8 * i);
+  return v;
+}
+
+/// Check the trailing CRC of a stream: crc32 over everything before it.
+[[nodiscard]] bool trailer_crc_ok(std::span<const std::uint8_t> bytes) {
+  const auto body = bytes.first(bytes.size() - 4);
+  return crc32(body) == get_u32(bytes, bytes.size() - 4);
+}
+
+/// The header bytes of a fabric's full bitstream (magic + dimensions).
+[[nodiscard]] std::vector<std::uint8_t> fabric_header(const Fabric& fabric) {
+  std::vector<std::uint8_t> header;
+  for (char m : kMagic) header.push_back(static_cast<std::uint8_t>(m));
+  put_u16(header, static_cast<std::uint16_t>(fabric.rows()));
+  put_u16(header, static_cast<std::uint16_t>(fabric.cols()));
+  return header;
+}
+
+/// Raw (pre/post-conditioning applied by the callers) CRC state update.
+std::uint32_t crc_update(std::uint32_t state,
+                         std::span<const std::uint8_t> data) {
+  static const auto table = make_crc_table();
+  for (std::uint8_t byte : data)
+    state = (state >> 8) ^ table[(state ^ byte) & 0xFF];
+  return state;
 }
 
 }  // namespace
 
 std::uint32_t crc32(std::span<const std::uint8_t> data) {
-  static const auto table = make_crc_table();
-  std::uint32_t crc = 0xFFFFFFFFu;
-  for (std::uint8_t byte : data)
-    crc = (crc >> 8) ^ table[(crc ^ byte) & 0xFF];
-  return crc ^ 0xFFFFFFFFu;
+  return crc_update(0xFFFFFFFFu, data) ^ 0xFFFFFFFFu;
+}
+
+std::uint32_t fabric_config_crc(const Fabric& fabric) {
+  std::uint32_t state = crc_update(0xFFFFFFFFu, fabric_header(fabric));
+  for (int r = 0; r < fabric.rows(); ++r)
+    for (int c = 0; c < fabric.cols(); ++c)
+      state = crc_update(state, encode_block(fabric.block(r, c)));
+  return state ^ 0xFFFFFFFFu;
 }
 
 std::vector<std::uint8_t> encode_block(const BlockConfig& cfg) {
@@ -66,12 +108,6 @@ Result<BlockConfig> try_decode_block(std::span<const std::uint8_t> bytes) {
   }
 }
 
-BlockConfig decode_block(std::span<const std::uint8_t> bytes) {
-  auto result = try_decode_block(bytes);
-  result.status().throw_if_error();
-  return std::move(result).value();
-}
-
 std::vector<std::uint8_t> encode_fabric(const Fabric& fabric) {
   std::vector<std::uint8_t> out;
   out.reserve(8 + static_cast<std::size_t>(fabric.rows()) * fabric.cols() *
@@ -85,9 +121,7 @@ std::vector<std::uint8_t> encode_fabric(const Fabric& fabric) {
       out.insert(out.end(), blk.begin(), blk.end());
     }
   }
-  const std::uint32_t crc = crc32(out);
-  for (int i = 0; i < 4; ++i)
-    out.push_back(static_cast<std::uint8_t>((crc >> (8 * i)) & 0xFF));
+  put_u32(out, crc32(out));
   return out;
 }
 
@@ -106,12 +140,7 @@ Status try_load_fabric(Fabric& fabric, std::span<const std::uint8_t> bytes) {
   const int cols = get_u16(bytes, 6);
   if (rows != fabric.rows() || cols != fabric.cols())
     return Status::invalid_argument("load_fabric: dimension mismatch");
-  const auto body = bytes.first(bytes.size() - 4);
-  std::uint32_t crc_stored = 0;
-  for (int i = 0; i < 4; ++i)
-    crc_stored |= static_cast<std::uint32_t>(bytes[bytes.size() - 4 + i])
-                  << (8 * i);
-  if (crc32(body) != crc_stored)
+  if (!trailer_crc_ok(bytes))
     return Status::data_loss("load_fabric: CRC mismatch");
   // Decode every block before touching the fabric so a corrupt image that
   // slipped past the CRC cannot leave it half-programmed.
@@ -130,8 +159,120 @@ Status try_load_fabric(Fabric& fabric, std::span<const std::uint8_t> bytes) {
   return Status();
 }
 
-void load_fabric(Fabric& fabric, std::span<const std::uint8_t> bytes) {
-  try_load_fabric(fabric, bytes).throw_if_error();
+Result<std::vector<std::uint8_t>> encode_delta(const Fabric& from,
+                                               const Fabric& to) {
+  if (from.rows() != to.rows() || from.cols() != to.cols())
+    return Status::invalid_argument(
+        "encode_delta: fabric dimensions differ (a delta never resizes the "
+        "array)");
+  std::vector<std::uint8_t> out;
+  for (char m : kDeltaMagic) out.push_back(static_cast<std::uint8_t>(m));
+  put_u16(out, static_cast<std::uint16_t>(from.rows()));
+  put_u16(out, static_cast<std::uint16_t>(from.cols()));
+  // Base CRC and frame count are patched in after the sweep (the base CRC
+  // is accumulated from the same block images the comparison needs, so the
+  // base bitstream is never materialized).
+  const std::size_t base_crc_at = out.size();
+  put_u32(out, 0);
+  const std::size_t count_at = out.size();
+  put_u32(out, 0);
+  std::uint32_t base_state = crc_update(0xFFFFFFFFu, fabric_header(from));
+  std::uint32_t frames = 0;
+  for (int r = 0; r < from.rows(); ++r) {
+    for (int c = 0; c < from.cols(); ++c) {
+      const auto base = encode_block(from.block(r, c));
+      base_state = crc_update(base_state, base);
+      const auto next = encode_block(to.block(r, c));
+      if (base == next) continue;
+      put_u32(out, static_cast<std::uint32_t>(r) * from.cols() + c);
+      out.insert(out.end(), next.begin(), next.end());
+      ++frames;
+    }
+  }
+  const std::uint32_t base_crc = base_state ^ 0xFFFFFFFFu;
+  for (int i = 0; i < 4; ++i) {
+    out[base_crc_at + i] =
+        static_cast<std::uint8_t>((base_crc >> (8 * i)) & 0xFF);
+    out[count_at + i] = static_cast<std::uint8_t>((frames >> (8 * i)) & 0xFF);
+  }
+  put_u32(out, crc32(out));
+  return out;
+}
+
+namespace {
+
+/// Shared header validation for apply/inspect.  On success `info` carries
+/// the parsed dimensions, frame count, and base CRC.
+[[nodiscard]] Status parse_delta(std::span<const std::uint8_t> bytes,
+                                 DeltaInfo& info) {
+  if (bytes.size() < kDeltaHeaderBytes + kDeltaTrailerBytes)
+    return Status::out_of_range("apply_delta: stream shorter than header");
+  for (int i = 0; i < 4; ++i)
+    if (bytes[i] != static_cast<std::uint8_t>(kDeltaMagic[i]))
+      return Status::invalid_argument("apply_delta: bad magic");
+  info.rows = get_u16(bytes, 4);
+  info.cols = get_u16(bytes, 6);
+  info.base_crc = get_u32(bytes, 8);
+  info.frames = get_u32(bytes, 12);
+  const std::size_t expect = kDeltaHeaderBytes +
+                             info.frames * kDeltaFrameBytes +
+                             kDeltaTrailerBytes;
+  if (bytes.size() != expect)
+    return Status::out_of_range("apply_delta: truncated or oversized stream");
+  if (!trailer_crc_ok(bytes))
+    return Status::data_loss("apply_delta: stream CRC mismatch");
+  return Status();
+}
+
+}  // namespace
+
+Status try_apply_delta(Fabric& fabric, std::span<const std::uint8_t> bytes) {
+  return try_apply_delta(fabric, bytes, fabric_config_crc(fabric));
+}
+
+Status try_apply_delta(Fabric& fabric, std::span<const std::uint8_t> bytes,
+                       std::uint32_t resident_crc) {
+  DeltaInfo info;
+  if (Status s = parse_delta(bytes, info); !s.ok()) return s;
+  if (info.rows != fabric.rows() || info.cols != fabric.cols())
+    return Status::invalid_argument("apply_delta: dimension mismatch");
+  if (info.base_crc != resident_crc)
+    return Status::data_loss(
+        "apply_delta: base CRC mismatch (delta encoded against a different "
+        "resident configuration)");
+  const std::size_t nblocks =
+      static_cast<std::size_t>(info.rows) * info.cols;
+  // Decode every frame before touching the fabric (same commit discipline
+  // as try_load_fabric): a bad frame must leave the array untouched.
+  std::vector<std::pair<std::size_t, BlockConfig>> decoded;
+  decoded.reserve(info.frames);
+  std::size_t at = kDeltaHeaderBytes;
+  std::uint64_t prev_index = 0;
+  for (std::size_t f = 0; f < info.frames; ++f) {
+    const std::uint32_t index = get_u32(bytes, at);
+    if (index >= nblocks)
+      return Status::out_of_range("apply_delta: frame " + std::to_string(f) +
+                                  " addresses block " + std::to_string(index) +
+                                  " outside the array");
+    if (f > 0 && index <= prev_index)
+      return Status::out_of_range(
+          "apply_delta: frame indices must be strictly increasing");
+    prev_index = index;
+    auto blk = try_decode_block(bytes.subspan(at + 4, kBlockBytes));
+    if (!blk.ok()) return blk.status();
+    decoded.emplace_back(index, std::move(*blk));
+    at += kDeltaFrameBytes;
+  }
+  for (auto& [index, cfg] : decoded)
+    fabric.block(static_cast<int>(index / info.cols),
+                 static_cast<int>(index % info.cols)) = std::move(cfg);
+  return Status();
+}
+
+Result<DeltaInfo> inspect_delta(std::span<const std::uint8_t> bytes) {
+  DeltaInfo info;
+  if (Status s = parse_delta(bytes, info); !s.ok()) return s;
+  return info;
 }
 
 }  // namespace pp::core

@@ -4,6 +4,13 @@
 // 16 bytes = 128 bits, the paper's per-block figure.  Per fabric: a small
 // header (magic, dimensions) + blocks in row-major order + CRC32, which is
 // what "a link to a reconfiguration bit stream" (§4) needs in practice.
+//
+// Partial reconfiguration: a *delta* stream carries only the blocks whose
+// 16-byte images differ between two personalities of the same array
+// (block-addressed frames, DESIGN.md §10).  A delta is bound to its base
+// configuration by the base bitstream's CRC, so a reconfiguration
+// controller can never apply it to the wrong resident personality; the
+// stream itself is covered by a trailing CRC like the full bitstream.
 #pragma once
 
 #include <cstdint>
@@ -31,9 +38,6 @@ inline constexpr int kBlockBytes = kConfigBits / 8;  // 16
 [[nodiscard]] Result<BlockConfig> try_decode_block(
     std::span<const std::uint8_t> bytes);
 
-/// Deprecated shim over `try_decode_block`; throws std::invalid_argument.
-[[nodiscard]] BlockConfig decode_block(std::span<const std::uint8_t> bytes);
-
 /// Full-fabric bitstream with header and CRC.
 [[nodiscard]] std::vector<std::uint8_t> encode_fabric(const Fabric& fabric);
 
@@ -44,8 +48,62 @@ inline constexpr int kBlockBytes = kConfigBits / 8;  // 16
 [[nodiscard]] Status try_load_fabric(Fabric& fabric,
                                      std::span<const std::uint8_t> bytes);
 
-/// Deprecated shim over `try_load_fabric`; throws std::invalid_argument.
-void load_fabric(Fabric& fabric, std::span<const std::uint8_t> bytes);
+// --- Partial-reconfiguration deltas (DESIGN.md §10) ------------------------
+//
+// Layout (all integers little-endian):
+//   [0,4)    magic "PPDT"
+//   [4,6)    rows   [6,8) cols          — array dimensions
+//   [8,12)   CRC-32 of the *base* full bitstream (encode_fabric(from))
+//   [12,16)  frame count
+//   then per frame: u32 row-major block index + 16-byte block image,
+//   indices strictly increasing;
+//   [end-4,end) CRC-32 over every preceding byte of the delta stream.
+
+inline constexpr std::size_t kDeltaHeaderBytes = 16;
+inline constexpr std::size_t kDeltaFrameBytes = 4 + kBlockBytes;  // 20
+inline constexpr std::size_t kDeltaTrailerBytes = 4;
+
+/// Encode the delta that reconfigures `from` into `to`.  One frame per
+/// block whose 16-byte image differs; identical fabrics yield a zero-frame
+/// delta (header + CRC only).  Fails with kInvalidArgument when the two
+/// fabrics have different dimensions (a delta never resizes the array).
+[[nodiscard]] Result<std::vector<std::uint8_t>> encode_delta(
+    const Fabric& from, const Fabric& to);
+
+/// CRC identifying a fabric's configuration: the trailing CRC of its full
+/// bitstream (crc over header + blocks, computed incrementally — the
+/// stream is never materialized).  This is the value a delta's base-CRC
+/// field carries; deliberately *not* a CRC over the entire stream, because
+/// crc32(m ++ crc32(m)) is the same constant for every m.
+[[nodiscard]] std::uint32_t fabric_config_crc(const Fabric& fabric);
+
+/// Apply a delta stream to the resident configuration.  Error codes:
+/// kInvalidArgument for a bad magic or dimension mismatch, kOutOfRange for
+/// a truncated/oversized stream or a frame index outside the array (or out
+/// of order), kDataLoss for a stream-CRC failure, a corrupt block image, or
+/// a base-CRC mismatch (the delta was encoded against a different resident
+/// configuration).  On failure the fabric is left unmodified.
+[[nodiscard]] Status try_apply_delta(Fabric& fabric,
+                                     std::span<const std::uint8_t> bytes);
+
+/// As above, but the caller supplies the resident configuration's CRC
+/// (`fabric_config_crc(fabric)`, or the trailing 4 bytes of the bitstream
+/// it was loaded from) instead of having it re-derived — the reconfig
+/// controller's hot path, which tracks the CRC across swaps.
+[[nodiscard]] Status try_apply_delta(Fabric& fabric,
+                                     std::span<const std::uint8_t> bytes,
+                                     std::uint32_t resident_crc);
+
+/// Parsed summary of a delta stream (size/frame accounting for reconfig
+/// cost reporting).  Validates header, size, and stream CRC.
+struct DeltaInfo {
+  int rows = 0;
+  int cols = 0;
+  std::size_t frames = 0;
+  std::uint32_t base_crc = 0;
+};
+[[nodiscard]] Result<DeltaInfo> inspect_delta(
+    std::span<const std::uint8_t> bytes);
 
 /// Bits of configuration a given fabric region carries (the TAB-A metric):
 /// simply 128 x number of blocks.

@@ -42,6 +42,8 @@ struct FabricDelays {
   sim::SimTime driver_ps = 8;   ///< restoring driver (invert/buffer)
   sim::SimTime pass_ps = 3;     ///< pass-transistor connection
   sim::SimTime lfb_ps = 2;      ///< local feedback tap
+
+  bool operator==(const FabricDelays&) const = default;
 };
 
 /// Where a fabric net lives, for diagnostics and the mapper.

@@ -29,6 +29,30 @@ void Netlist::mark_output(int cell) {
   outputs_.push_back(cell);
 }
 
+std::uint64_t content_hash(const Netlist& netlist) {
+  std::uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a 64 offset basis
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFF;
+      h *= 0x100000001b3ull;
+    }
+  };
+  mix(netlist.cell_count());
+  for (std::size_t i = 0; i < netlist.cell_count(); ++i) {
+    const NetlistCell& cell = netlist.cell(static_cast<int>(i));
+    mix(static_cast<std::uint64_t>(cell.kind));
+    mix(cell.fanin.size());
+    for (int f : cell.fanin) mix(static_cast<std::uint64_t>(f));
+    mix(cell.name.size());
+    for (char ch : cell.name) mix(static_cast<std::uint8_t>(ch));
+  }
+  mix(netlist.inputs().size());
+  for (int i : netlist.inputs()) mix(static_cast<std::uint64_t>(i));
+  mix(netlist.outputs().size());
+  for (int i : netlist.outputs()) mix(static_cast<std::uint64_t>(i));
+  return h;
+}
+
 int Netlist::count(CellKind kind) const {
   int n = 0;
   for (const auto& c : cells_)

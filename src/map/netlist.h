@@ -73,6 +73,13 @@ class Netlist {
   std::vector<int> outputs_;
 };
 
+/// Structural content hash (FNV-1a 64) over every cell's kind, fanin, and
+/// name plus the input/output lists.  Two netlists hash equal iff they were
+/// built identically, which is what pp::rt::Device uses to dedupe repeated
+/// loads of the same design (the bitstream comparison stays authoritative —
+/// the hash is the fast path).
+[[nodiscard]] std::uint64_t content_hash(const Netlist& netlist);
+
 /// --- Generators for the workloads used across benches -------------------
 
 /// n-bit ripple-carry adder: inputs a0..a(n-1), b0..b(n-1), cin;

@@ -272,10 +272,33 @@ struct Attempt {
 
 }  // namespace
 
+namespace {
+
+/// Netlist hash mixed with everything that changes the compiled function or
+/// its timing; deliberately excludes the fabric dimensions, because the
+/// placement is dimension-independent (explicit dims only pad) and
+/// rt::Device re-pads designs to its own size before comparing.
+[[nodiscard]] std::uint64_t design_hash(const map::Netlist& netlist,
+                                        const CompileOptions& options) {
+  std::uint64_t h = map::content_hash(netlist);
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  };
+  mix(static_cast<std::uint64_t>(options.target));
+  mix(static_cast<std::uint64_t>(options.delays.nand_ps));
+  mix(static_cast<std::uint64_t>(options.delays.driver_ps));
+  mix(static_cast<std::uint64_t>(options.delays.pass_ps));
+  mix(static_cast<std::uint64_t>(options.delays.lfb_ps));
+  return h == 0 ? 1 : h;  // 0 is reserved for "unknown"
+}
+
+}  // namespace
+
 Result<CompiledDesign> Compiler::compile(const map::Netlist& netlist) const {
   CompiledDesign design;
   design.target = options_.target;
   design.delays = options_.delays;
+  design.content_hash = design_hash(netlist, options_);
   design.report.baseline = baseline_stats(netlist, options_.fpga);
   design.report.netlist_cells = static_cast<int>(netlist.cell_count());
   design.report.netlist_depth = netlist.depth();
@@ -397,6 +420,32 @@ Result<CompiledDesign> Compiler::compile(const map::Netlist& netlist) const {
 Result<CompiledDesign> compile(const map::Netlist& netlist,
                                const CompileOptions& options) {
   return Compiler(options).compile(netlist);
+}
+
+Result<CompiledDesign> pad_to(const CompiledDesign& design, int rows,
+                              int cols) {
+  if (design.target != Target::kPolymorphic)
+    return Status::failed_precondition(
+        "pad_to: the FPGA baseline target has no fabric to re-target");
+  if (rows < design.fabric.rows() || cols < design.fabric.cols())
+    return Status::resource_exhausted(
+        "pad_to: design needs " + std::to_string(design.fabric.rows()) + "x" +
+        std::to_string(design.fabric.cols()) + ", target array is only " +
+        std::to_string(rows) + "x" + std::to_string(cols));
+  if (rows == design.fabric.rows() && cols == design.fabric.cols())
+    return design;
+  auto fabric = core::Fabric::create(rows, cols);
+  if (!fabric.ok()) return fabric.status();
+  for (int r = 0; r < design.fabric.rows(); ++r)
+    for (int c = 0; c < design.fabric.cols(); ++c)
+      fabric->block(r, c) = design.fabric.block(r, c);
+  CompiledDesign padded = design;
+  padded.fabric = std::move(*fabric);
+  padded.bitstream = core::encode_fabric(padded.fabric);
+  padded.levels = {};
+  padded.report.fabric_rows = rows;
+  padded.report.fabric_cols = cols;
+  return padded;
 }
 
 }  // namespace pp::platform

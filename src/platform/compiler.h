@@ -101,6 +101,11 @@ struct CompiledDesign {
   /// engine skip the topological sort when a reconfigured fabric is
   /// recompiled/reloaded.  Empty when the circuit has feedback.
   sim::LevelMap levels;
+  /// Hash of the source netlist (map::content_hash) mixed with the compile
+  /// target and gate delays.  rt::Device uses it to dedupe repeated loads
+  /// of the same design; 0 means "unknown" (hand-assembled designs) and is
+  /// never deduped.
+  std::uint64_t content_hash = 0;
 };
 
 class Compiler {
@@ -126,5 +131,18 @@ class Compiler {
 /// One-shot convenience: Compiler(options).compile(netlist).
 [[nodiscard]] Result<CompiledDesign> compile(const map::Netlist& netlist,
                                              const CompileOptions& options = {});
+
+/// Re-target a compiled polymorphic design onto a larger array: the placed
+/// blocks keep their top-left-anchored coordinates, the extra area stays
+/// empty (3-state drivers released, so the padding only loads the design's
+/// boundary nets and never drives into it), and the bitstream is re-encoded
+/// at the new dimensions.  Port bindings stay valid verbatim.  This is how
+/// rt::Device makes differently auto-sized designs resident on one fixed
+/// fabric.  Fails with kFailedPrecondition for an FPGA-baseline design and
+/// kResourceExhausted when the design does not fit.  The recorded
+/// levelization is dropped (the padded fabric elaborates to a different
+/// circuit); engines recompute it on first use.
+[[nodiscard]] Result<CompiledDesign> pad_to(const CompiledDesign& design,
+                                            int rows, int cols);
 
 }  // namespace pp::platform

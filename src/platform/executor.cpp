@@ -1,0 +1,175 @@
+#include "platform/executor.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <mutex>
+#include <utility>
+
+#include "util/thread_pool.h"
+
+namespace pp::platform {
+namespace {
+
+constexpr int kLanes = sim::Evaluator::kBatchLanes;
+
+/// Evaluate 64-wide batches [batch_begin, batch_end) of `vectors` on one
+/// engine instance, unpacking each lane into `results`.  Fails on a
+/// non-binary output, whichever engine produced it.
+[[nodiscard]] Status eval_batches(sim::Evaluator& eval,
+                                  std::span<const InputVector> vectors,
+                                  const std::vector<std::string>& output_names,
+                                  std::vector<BitVector>& results,
+                                  std::size_t batch_begin,
+                                  std::size_t batch_end) {
+  const std::size_t nin = eval.input_count();
+  const std::size_t nout = eval.output_count();
+  std::vector<sim::PackedBits> in(nin), out(nout);
+  for (std::size_t b = batch_begin; b < batch_end; ++b) {
+    const std::size_t v0 = b * kLanes;
+    const int lanes = static_cast<int>(
+        std::min<std::size_t>(kLanes, vectors.size() - v0));
+    for (std::size_t j = 0; j < nin; ++j) {
+      sim::PackedBits p;
+      for (int lane = 0; lane < lanes; ++lane)
+        if (vectors[v0 + lane][j]) p.value |= std::uint64_t{1} << lane;
+      in[j] = p;
+    }
+    if (Status s = eval.eval_packed(in, out, lanes); !s.ok()) return s;
+    for (int lane = 0; lane < lanes; ++lane) {
+      BitVector& r = results[v0 + lane];
+      r.assign(nout, false);
+      for (std::size_t k = 0; k < nout; ++k) {
+        const sim::Logic v = sim::get_lane(out[k], lane);
+        if (!sim::is_binary(v))
+          return Status::internal("run_vectors: output '" + output_names[k] +
+                                  "' settled to " +
+                                  std::string(1, sim::to_char(v)));
+        r[k] = v == sim::Logic::k1;
+      }
+    }
+  }
+  return Status();
+}
+
+}  // namespace
+
+BatchExecutor::BatchExecutor(const sim::Circuit& circuit,
+                             std::vector<sim::NetId> in_nets,
+                             std::vector<sim::NetId> out_nets,
+                             std::vector<std::string> output_names,
+                             sim::LevelMap levels)
+    : circuit_(&circuit),
+      in_nets_(std::move(in_nets)),
+      out_nets_(std::move(out_nets)),
+      output_names_(std::move(output_names)),
+      levels_(std::move(levels)) {}
+
+Status BatchExecutor::ensure_compiled() {
+  if (compiled_attempted_) return compiled_status_;
+  compiled_attempted_ = true;
+  auto engine = sim::CompiledEval::compile(
+      *circuit_, in_nets_, out_nets_, levels_.empty() ? nullptr : &levels_);
+  if (!engine.ok()) {
+    compiled_status_ = engine.status();
+    return compiled_status_;
+  }
+  compiled_ = std::make_unique<sim::CompiledEval>(std::move(*engine));
+  return compiled_status_;
+}
+
+Result<sim::Evaluator*> BatchExecutor::ensure_event(std::uint64_t budget) {
+  if (event_engine_) {
+    event_engine_->set_max_events(budget);
+    return static_cast<sim::Evaluator*>(event_engine_.get());
+  }
+  auto engine = sim::EventEval::create(*circuit_, in_nets_, out_nets_, budget);
+  if (!engine.ok()) return engine.status();
+  event_engine_ = std::make_unique<sim::EventEval>(std::move(*engine));
+  return static_cast<sim::Evaluator*>(event_engine_.get());
+}
+
+Status BatchExecutor::compiled_engine_status() { return ensure_compiled(); }
+
+Result<std::vector<BitVector>> BatchExecutor::run(
+    std::span<const InputVector> vectors, const RunOptions& options) {
+  const std::size_t nin = in_nets_.size();
+  for (const InputVector& v : vectors)
+    if (v.size() != nin)
+      return Status::invalid_argument(
+          "run_vectors: every vector must have " + std::to_string(nin) +
+          " input values");
+
+  std::vector<BitVector> results(vectors.size());
+  if (vectors.empty()) return results;
+
+  // Engine selection: kAuto prefers the bit-parallel compiled engine and
+  // falls back to the event-driven engine when CompiledEval rejects the
+  // design; kCompiled surfaces that rejection instead.  Both engines sit
+  // behind sim::Evaluator, so everything below is engine-agnostic.
+  sim::Evaluator* engine = nullptr;
+  if (options.engine != Engine::kEventDriven) {
+    const Status s = ensure_compiled();
+    if (s.ok()) {
+      engine = compiled_.get();
+    } else if (options.engine == Engine::kCompiled) {
+      return s;
+    }
+  }
+  if (!engine) {
+    auto ev = ensure_event(options.max_events_per_vector);
+    if (!ev.ok()) return ev.status();
+    engine = *ev;
+  }
+
+  // Pack vectors into 64-wide batches and shard whole batches across the
+  // pool.  Compiled clones share the immutable program and carry only
+  // scratch slots; event clones copy the settled base simulator once per
+  // shard.  max_threads may exceed the pool size: extra shards simply
+  // queue, which also lets single-core hosts exercise the cloning path.
+  util::ThreadPool& pool = util::global_pool();
+  std::size_t workers =
+      options.max_threads == 0 ? pool.worker_count() : options.max_threads;
+  const std::size_t nbatches = (vectors.size() + kLanes - 1) / kLanes;
+  workers = std::min(workers, nbatches);
+
+  if (workers <= 1) {
+    // Serial reference path: stream every batch through the engine itself.
+    if (Status s = eval_batches(*engine, vectors, output_names_, results, 0,
+                                nbatches);
+        !s.ok())
+      return s;
+    return results;
+  }
+
+  // Completion is tracked with a per-call latch rather than the pool-wide
+  // wait_idle(): concurrent runs (or other pool users) must not be able to
+  // stall — or deadlock — this one.
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  Status first_error;
+  const std::size_t chunk = (nbatches + workers - 1) / workers;
+  std::size_t remaining = (nbatches + chunk - 1) / chunk;
+  for (std::size_t begin = 0; begin < nbatches; begin += chunk) {
+    const std::size_t end = std::min(begin + chunk, nbatches);
+    pool.submit([&, begin, end] {
+      const std::unique_ptr<sim::Evaluator> local = engine->clone();
+      Status shard_status =
+          eval_batches(*local, vectors, output_names_, results, begin, end);
+      {
+        const std::lock_guard<std::mutex> lock(done_mutex);
+        if (!shard_status.ok() && first_error.ok())
+          first_error = std::move(shard_status);
+        --remaining;
+      }
+      done_cv.notify_one();
+    });
+  }
+  {
+    std::unique_lock<std::mutex> lock(done_mutex);
+    done_cv.wait(lock, [&] { return remaining == 0; });
+  }
+  if (!first_error.ok()) return first_error;
+  return results;
+}
+
+}  // namespace pp::platform

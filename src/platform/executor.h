@@ -1,0 +1,106 @@
+// platform::BatchExecutor — the engine-owning batch-evaluation core shared
+// by the synchronous Session API and the pp::rt device runtime.
+//
+// PR 2 put the two evaluation engines (bit-parallel CompiledEval, event-
+// driven EventEval) behind sim::Evaluator but left the policy — engine
+// selection, lazy construction and caching, 64-wide packing, sharding whole
+// batches across util::thread_pool — buried in Session.  The runtime needs
+// exactly the same machinery per resident design, so it lives here: one
+// BatchExecutor per (circuit, input nets, output nets) binding, engines
+// built on first use and cached for the executor's lifetime (which is how a
+// design re-activated on an rt::Device reuses its levelization and compiled
+// program instead of re-deriving them).
+//
+// Thread-safety: `run` shards *within* one call, but the executor itself is
+// not synchronized — callers serialize calls (Session is single-threaded by
+// contract; rt::Device funnels every job through its dispatcher).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/evaluator.h"
+#include "util/status.h"
+
+namespace pp::platform {
+
+using BitVector = std::vector<bool>;
+using InputVector = BitVector;
+
+/// Which evaluation engine batch runs use.
+enum class Engine : std::uint8_t {
+  /// Pick the bit-parallel compiled engine when the design supports it
+  /// (combinational, no dynamic tri-state, no behavioural async gates);
+  /// fall back to the event-driven path otherwise.
+  kAuto,
+  /// Force the event-driven clone-sharding path (the timing-accurate
+  /// reference; mandatory for anything CompiledEval rejects).
+  kEventDriven,
+  /// Force the bit-parallel compiled engine; runs fail with the engine's
+  /// compile Status when the design is unsupported.
+  kCompiled,
+};
+
+struct RunOptions {
+  /// Worker cap for a batch run; 0 = every worker of the global pool.
+  /// 1 forces the serial reference path (no cloning).
+  std::size_t max_threads = 0;
+  /// Event budget per vector (oscillation guard; event engine only).
+  std::uint64_t max_events_per_vector = 2'000'000;
+  /// Engine selection policy.
+  Engine engine = Engine::kAuto;
+};
+
+class BatchExecutor {
+ public:
+  /// Bind an executor to a circuit.  The circuit must outlive the executor;
+  /// nets are validated by the engines on first use.  `output_names` label
+  /// outputs in diagnostics; `levels` optionally reuses a previously
+  /// computed levelization of the same circuit (empty = recompute).
+  BatchExecutor(const sim::Circuit& circuit, std::vector<sim::NetId> in_nets,
+                std::vector<sim::NetId> out_nets,
+                std::vector<std::string> output_names, sim::LevelMap levels);
+
+  BatchExecutor(BatchExecutor&&) noexcept = default;
+  BatchExecutor& operator=(BatchExecutor&&) noexcept = default;
+
+  /// Evaluate many independent stimulus vectors (bound input order) and
+  /// return the outputs (bound output order) for each.  Vectors are packed
+  /// into 64-wide batches sharded across the global thread pool: the
+  /// compiled engine clones only its scratch slots, the event engine clones
+  /// its settled base simulator per shard.
+  [[nodiscard]] Result<std::vector<BitVector>> run(
+      std::span<const InputVector> vectors, const RunOptions& options = {});
+
+  /// Status of the bit-parallel compiled engine for this binding: OK when
+  /// Engine::kAuto will use it, else why CompiledEval rejected the circuit.
+  /// Builds and caches the engine on first call.
+  [[nodiscard]] Status compiled_engine_status();
+
+  [[nodiscard]] std::size_t input_count() const noexcept {
+    return in_nets_.size();
+  }
+  [[nodiscard]] std::size_t output_count() const noexcept {
+    return out_nets_.size();
+  }
+
+ private:
+  [[nodiscard]] Status ensure_compiled();
+  [[nodiscard]] Result<sim::Evaluator*> ensure_event(std::uint64_t budget);
+
+  const sim::Circuit* circuit_;
+  std::vector<sim::NetId> in_nets_;
+  std::vector<sim::NetId> out_nets_;
+  std::vector<std::string> output_names_;
+  sim::LevelMap levels_;
+
+  bool compiled_attempted_ = false;
+  Status compiled_status_;
+  std::unique_ptr<sim::CompiledEval> compiled_;
+  std::unique_ptr<sim::EventEval> event_engine_;
+};
+
+}  // namespace pp::platform

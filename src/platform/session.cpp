@@ -1,14 +1,11 @@
 #include "platform/session.h"
 
-#include <algorithm>
-#include <condition_variable>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <utility>
 
 #include "core/bitstream.h"
-#include "util/thread_pool.h"
+#include "platform/executor.h"
 
 namespace pp::platform {
 
@@ -37,49 +34,19 @@ struct Session::Impl {
   };
   std::vector<StateElem> state;
 
-  // Bit-parallel engine: levelization recorded by the compiler (empty when
-  // unavailable) and the lazily built, cached CompiledEval.
+  // The batch core: engine selection/caching and sharded evaluation live in
+  // BatchExecutor (shared with the rt runtime), built lazily on first batch
+  // use.  Its engines are independent of `sim`, so run_vectors never
+  // disturbs the session's interactive state.  Levelization recorded by the
+  // compiler is handed through (empty when unavailable).
   sim::LevelMap levels;
-  bool compiled_attempted = false;
-  Status compiled_status;
-  std::unique_ptr<sim::CompiledEval> compiled;
+  std::optional<BatchExecutor> executor;
 
-  [[nodiscard]] Status ensure_compiled() {
-    if (compiled_attempted) return compiled_status;
-    compiled_attempted = true;
-    if (!state.empty()) {
-      compiled_status = Status::failed_precondition(
-          "compiled engine: sequential design — boundary-register state "
-          "needs step()");
-      return compiled_status;
-    }
-    auto engine = sim::CompiledEval::compile(
-        *circuit, input_nets, output_nets,
-        levels.empty() ? nullptr : &levels);
-    if (!engine.ok()) {
-      compiled_status = engine.status();
-      return compiled_status;
-    }
-    compiled = std::make_unique<sim::CompiledEval>(std::move(*engine));
-    return compiled_status;
-  }
-
-  // Event-driven engine behind the same Evaluator interface (the
-  // always-available fallback); lazily built and cached like the compiled
-  // one.  Its base simulator is independent of `sim`, so run_vectors no
-  // longer disturbs the session's interactive state.
-  std::unique_ptr<sim::EventEval> event_engine;
-
-  [[nodiscard]] Result<sim::Evaluator*> ensure_event(std::uint64_t budget) {
-    if (event_engine) {
-      event_engine->set_max_events(budget);
-      return static_cast<sim::Evaluator*>(event_engine.get());
-    }
-    auto engine = sim::EventEval::create(*circuit, input_nets, output_nets,
-                                         budget);
-    if (!engine.ok()) return engine.status();
-    event_engine = std::make_unique<sim::EventEval>(std::move(*engine));
-    return static_cast<sim::Evaluator*>(event_engine.get());
+  [[nodiscard]] BatchExecutor& exec() {
+    if (!executor)
+      executor.emplace(*circuit, input_nets, output_nets, output_names,
+                       std::move(levels));
+    return *executor;
   }
 
   [[nodiscard]] Result<sim::NetId> net_of(const map::SignalAt& at) const {
@@ -106,51 +73,6 @@ Session::Session(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {}
 Session::Session(Session&&) noexcept = default;
 Session& Session::operator=(Session&&) noexcept = default;
 Session::~Session() = default;
-
-namespace {
-
-constexpr int kLanes = sim::Evaluator::kBatchLanes;
-
-/// Evaluate 64-wide batches [batch_begin, batch_end) of `vectors` on one
-/// engine instance, unpacking each lane into `results`.  Fails on a
-/// non-binary output, whichever engine produced it.
-[[nodiscard]] Status eval_batches(sim::Evaluator& eval,
-                                  std::span<const InputVector> vectors,
-                                  const std::vector<std::string>& output_names,
-                                  std::vector<BitVector>& results,
-                                  std::size_t batch_begin,
-                                  std::size_t batch_end) {
-  const std::size_t nin = eval.input_count();
-  const std::size_t nout = eval.output_count();
-  std::vector<sim::PackedBits> in(nin), out(nout);
-  for (std::size_t b = batch_begin; b < batch_end; ++b) {
-    const std::size_t v0 = b * kLanes;
-    const int lanes = static_cast<int>(
-        std::min<std::size_t>(kLanes, vectors.size() - v0));
-    for (std::size_t j = 0; j < nin; ++j) {
-      sim::PackedBits p;
-      for (int lane = 0; lane < lanes; ++lane)
-        if (vectors[v0 + lane][j]) p.value |= std::uint64_t{1} << lane;
-      in[j] = p;
-    }
-    if (Status s = eval.eval_packed(in, out, lanes); !s.ok()) return s;
-    for (int lane = 0; lane < lanes; ++lane) {
-      BitVector& r = results[v0 + lane];
-      r.assign(nout, false);
-      for (std::size_t k = 0; k < nout; ++k) {
-        const sim::Logic v = sim::get_lane(out[k], lane);
-        if (!sim::is_binary(v))
-          return Status::internal("run_vectors: output '" + output_names[k] +
-                                  "' settled to " +
-                                  std::string(1, sim::to_char(v)));
-        r[k] = v == sim::Logic::k1;
-      }
-    }
-  }
-  return Status();
-}
-
-}  // namespace
 
 Result<Session> Session::load(const CompiledDesign& design) {
   if (design.target != Target::kPolymorphic)
@@ -346,87 +268,16 @@ Result<std::vector<BitVector>> Session::run_vectors(
     return Status::failed_precondition(
         "run_vectors: sequential design — vectors are not independent; use "
         "step()");
-  const std::size_t nin = impl_->input_nets.size();
-  for (const InputVector& v : vectors)
-    if (v.size() != nin)
-      return Status::invalid_argument(
-          "run_vectors: every vector must have " + std::to_string(nin) +
-          " input values");
-
-  std::vector<BitVector> results(vectors.size());
-  if (vectors.empty()) return results;
-
-  // Engine selection: kAuto prefers the bit-parallel compiled engine and
-  // falls back to the event-driven engine when CompiledEval rejects the
-  // design; kCompiled surfaces that rejection instead.  Both engines sit
-  // behind sim::Evaluator, so everything below is engine-agnostic.
-  sim::Evaluator* engine = nullptr;
-  if (options.engine != Engine::kEventDriven) {
-    const Status s = impl_->ensure_compiled();
-    if (s.ok()) {
-      engine = impl_->compiled.get();
-    } else if (options.engine == Engine::kCompiled) {
-      return s;
-    }
-  }
-  if (!engine) {
-    auto ev = impl_->ensure_event(options.max_events_per_vector);
-    if (!ev.ok()) return ev.status();
-    engine = *ev;
-  }
-
-  // Pack vectors into 64-wide batches and shard whole batches across the
-  // pool.  Compiled clones share the immutable program and carry only
-  // scratch slots; event clones copy the settled base simulator once per
-  // shard.  max_threads may exceed the pool size: extra shards simply
-  // queue, which also lets single-core hosts exercise the cloning path.
-  util::ThreadPool& pool = util::global_pool();
-  std::size_t workers =
-      options.max_threads == 0 ? pool.worker_count() : options.max_threads;
-  const std::size_t nbatches = (vectors.size() + kLanes - 1) / kLanes;
-  workers = std::min(workers, nbatches);
-
-  if (workers <= 1) {
-    // Serial reference path: stream every batch through the engine itself.
-    if (Status s = eval_batches(*engine, vectors, impl_->output_names,
-                                results, 0, nbatches);
-        !s.ok())
-      return s;
-    return results;
-  }
-
-  // Completion is tracked with a per-call latch rather than the pool-wide
-  // wait_idle(): concurrent run_vectors calls (or other pool users) must
-  // not be able to stall — or deadlock — this one.
-  std::mutex done_mutex;
-  std::condition_variable done_cv;
-  Status first_error;
-  const std::size_t chunk = (nbatches + workers - 1) / workers;
-  std::size_t remaining = (nbatches + chunk - 1) / chunk;
-  for (std::size_t begin = 0; begin < nbatches; begin += chunk) {
-    const std::size_t end = std::min(begin + chunk, nbatches);
-    pool.submit([&, begin, end] {
-      const std::unique_ptr<sim::Evaluator> local = engine->clone();
-      Status shard_status = eval_batches(*local, vectors, impl_->output_names,
-                                         results, begin, end);
-      {
-        const std::lock_guard<std::mutex> lock(done_mutex);
-        if (!shard_status.ok() && first_error.ok())
-          first_error = std::move(shard_status);
-        --remaining;
-      }
-      done_cv.notify_one();
-    });
-  }
-  {
-    std::unique_lock<std::mutex> lock(done_mutex);
-    done_cv.wait(lock, [&] { return remaining == 0; });
-  }
-  if (!first_error.ok()) return first_error;
-  return results;
+  return impl_->exec().run(vectors, options);
 }
 
-Status Session::compiled_engine_status() { return impl_->ensure_compiled(); }
+Status Session::compiled_engine_status() {
+  if (!impl_->state.empty())
+    return Status::failed_precondition(
+        "compiled engine: sequential design — boundary-register state "
+        "needs step()");
+  return impl_->exec().compiled_engine_status();
+}
 
 const std::vector<std::string>& Session::input_names() const {
   return impl_->input_names;

@@ -13,13 +13,14 @@
 // are driven back onto the Q pads — the register loop closes at the array
 // edge.
 //
-// `run_vectors` is the throughput path: callers pick an evaluation engine
-// (or let `Engine::kAuto` pick one) and the stimulus vectors are packed
-// into 64-wide batches sharded across util::thread_pool workers.  The
-// bit-parallel `sim::CompiledEval` engine serves purely combinational
-// configured fabrics; the event-driven clone-sharding path remains the
-// always-correct fallback.  Vectors must be independent, so the design must
-// be combinational either way.
+// `run_vectors` is the throughput path, and the session is the thin
+// synchronous convenience over the same machinery the pp::rt device runtime
+// schedules asynchronously: both delegate to platform::BatchExecutor, which
+// owns engine selection (Engine::kAuto), 64-wide packing, and sharding
+// across util::thread_pool workers.  The bit-parallel `sim::CompiledEval`
+// engine serves purely combinational configured fabrics; the event-driven
+// clone-sharding path remains the always-correct fallback.  Vectors must be
+// independent, so the design must be combinational either way.
 #pragma once
 
 #include <cstdint>
@@ -31,38 +32,12 @@
 
 #include "core/fabric.h"
 #include "platform/compiler.h"
+#include "platform/executor.h"
 #include "sim/evaluator.h"
 #include "sim/simulator.h"
 #include "util/status.h"
 
 namespace pp::platform {
-
-using BitVector = std::vector<bool>;
-using InputVector = BitVector;
-
-/// Which evaluation engine run_vectors uses.
-enum class Engine : std::uint8_t {
-  /// Pick the bit-parallel compiled engine when the design supports it
-  /// (combinational, no dynamic tri-state, no behavioural async gates);
-  /// fall back to the event-driven path otherwise.
-  kAuto,
-  /// Force the event-driven clone-sharding path (the timing-accurate
-  /// reference; mandatory for anything CompiledEval rejects).
-  kEventDriven,
-  /// Force the bit-parallel compiled engine; run_vectors fails with the
-  /// engine's compile Status when the design is unsupported.
-  kCompiled,
-};
-
-struct RunOptions {
-  /// Worker cap for run_vectors; 0 = every worker of the global pool.
-  /// 1 forces the serial reference path (no cloning).
-  std::size_t max_threads = 0;
-  /// Event budget per vector (oscillation guard; event engine only).
-  std::uint64_t max_events_per_vector = 2'000'000;
-  /// Engine selection policy.
-  Engine engine = Engine::kAuto;
-};
 
 class Session {
  public:

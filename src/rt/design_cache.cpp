@@ -1,0 +1,154 @@
+#include "rt/design_cache.h"
+
+#include <optional>
+#include <utility>
+
+#include "core/bitstream.h"
+
+namespace pp::rt {
+
+namespace {
+
+/// Resolve a port binding to its elaborated net (the same addressing rule
+/// platform::Session uses: r/c may equal rows/cols to reach the south/east
+/// boundary lines).
+[[nodiscard]] Result<sim::NetId> net_of(const core::ElaboratedFabric& elab,
+                                        const map::SignalAt& at) {
+  if (at.r < 0 || at.r > elab.rows() || at.c < 0 || at.c > elab.cols() ||
+      at.line < 0 || at.line >= core::kBlockInputs)
+    return Status::out_of_range("resident design: port line outside the "
+                                "fabric");
+  return elab.in_line(at.r, at.c, at.line);
+}
+
+}  // namespace
+
+Result<std::shared_ptr<ResidentDesign>> ResidentDesign::create(
+    std::string name, platform::CompiledDesign padded) {
+  if (padded.target != platform::Target::kPolymorphic)
+    return Status::failed_precondition(
+        "Device::load: the FPGA baseline target is an accounting model, "
+        "nothing can be made resident");
+  auto rd = std::shared_ptr<ResidentDesign>(new ResidentDesign());
+  rd->name_ = std::move(name);
+  rd->design_ = std::move(padded);
+
+  auto fabric = core::Fabric::create(rd->design_.fabric.rows(),
+                                     rd->design_.fabric.cols());
+  if (!fabric.ok()) return fabric.status();
+  rd->fabric_ = std::move(*fabric);
+  if (Status s = core::try_load_fabric(rd->fabric_, rd->design_.bitstream);
+      !s.ok())
+    return s;
+
+  auto elab = rd->fabric_.try_elaborate(rd->design_.delays);
+  if (!elab.ok()) return elab.status();
+  rd->elab_ = std::make_unique<core::ElaboratedFabric>(std::move(*elab));
+
+  std::vector<sim::NetId> in_nets, out_nets;
+  std::vector<std::string> output_names;
+  for (const platform::PortBinding& p : rd->design_.inputs) {
+    auto net = net_of(*rd->elab_, p.at);
+    if (!net.ok()) return net.status();
+    in_nets.push_back(*net);
+  }
+  for (const platform::PortBinding& p : rd->design_.outputs) {
+    auto net = net_of(*rd->elab_, p.at);
+    if (!net.ok()) return net.status();
+    out_nets.push_back(*net);
+    output_names.push_back(p.name);
+  }
+
+  // Recover the levelization once at load: the compiler's recorded levels
+  // survive only when no padding re-shaped the circuit (pad_to drops them);
+  // otherwise levelize here so every later engine build — across any number
+  // of activations — skips the topological sort.
+  sim::LevelMap levels = std::move(rd->design_.levels);
+  rd->design_.levels = {};
+  if (levels.empty())
+    if (auto computed = sim::levelize(rd->elab_->circuit()); computed.ok())
+      levels = std::move(*computed);
+
+  rd->executor_ = std::make_unique<platform::BatchExecutor>(
+      rd->elab_->circuit(), std::move(in_nets), std::move(out_nets),
+      std::move(output_names), std::move(levels));
+  return rd;
+}
+
+Result<DesignCache::LoadOutcome> DesignCache::load(
+    std::string name, platform::CompiledDesign padded) {
+  const std::uint64_t hash = padded.content_hash;
+  // Resolve against the registry (mutex_ held): a dedupe hit, an idempotent
+  // re-load, or a name conflict — nullopt means "not resident yet, build
+  // it".  Run both before building and again after re-acquiring the lock,
+  // so a concurrent identical load resolves to the winner's resident object
+  // instead of a spurious name conflict.
+  const auto resolve = [&](const platform::CompiledDesign& design)
+      -> std::optional<Result<LoadOutcome>> {
+    // "Same content" is the full identity, not just the configuration
+    // bytes: the hash covers netlist structure/names/target/delays, and
+    // the delays are compared outright too (hash-0 designs carry them but
+    // no hash; the bitstream alone cannot see a timing-model change).
+    const auto same_content = [&design](const ResidentDesign& resident) {
+      const platform::CompiledDesign& d = resident.design();
+      return d.content_hash == design.content_hash &&
+             d.bitstream == design.bitstream && d.delays == design.delays;
+    };
+    // Content dedupe: identical content is the same personality, whatever
+    // it is called — alias the resident object.
+    std::shared_ptr<ResidentDesign> twin;
+    if (hash != 0) {
+      if (auto it = by_hash_.find(hash); it != by_hash_.end())
+        for (const auto& candidate : it->second)
+          if (same_content(*candidate)) {
+            twin = candidate;
+            break;
+          }
+    }
+    if (auto it = by_name_.find(name); it != by_name_.end()) {
+      if (it->second == twin || same_content(*it->second))
+        return Result<LoadOutcome>(
+            LoadOutcome{it->second, true});  // idempotent re-load
+      return Result<LoadOutcome>(Status::failed_precondition(
+          "Device::load: name '" + name + "' already names a different "
+          "design"));
+    }
+    if (twin) {
+      by_name_.emplace(name, twin);
+      return Result<LoadOutcome>(LoadOutcome{std::move(twin), true});
+    }
+    return std::nullopt;
+  };
+
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (auto outcome = resolve(padded)) return *std::move(outcome);
+  }
+  // First residency of this content: build outside the registry lock (the
+  // elaboration is the expensive step and needs no shared state).
+  auto rd = ResidentDesign::create(name, std::move(padded));
+  if (!rd.ok()) return rd.status();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (auto outcome = resolve((*rd)->design()))
+    return *std::move(outcome);  // a concurrent load won; drop our build
+  by_name_.emplace(std::move(name), *rd);
+  if (hash != 0) by_hash_[hash].push_back(*rd);
+  return LoadOutcome{std::move(*rd), false};
+}
+
+std::shared_ptr<ResidentDesign> DesignCache::find(
+    std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : it->second;
+}
+
+std::vector<std::string> DesignCache::names() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(by_name_.size());
+  for (const auto& [name, rd] : by_name_) out.push_back(name);
+  return out;
+}
+
+}  // namespace pp::rt

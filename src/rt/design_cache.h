@@ -1,0 +1,95 @@
+// rt::DesignCache — named designs resident on one device.
+//
+// Making a design resident is where all the one-time work happens, exactly
+// once per distinct design: the (padded) bitstream is decoded back into a
+// fabric — round-tripping the configuration as a reconfiguration controller
+// would — the fabric is elaborated, port bindings are resolved to nets, the
+// levelization is recovered (reusing the compiler's when it survived
+// padding), and a platform::BatchExecutor is bound.  Activating a design on
+// the fabric later touches none of this: personalities swap via bitstream
+// deltas while every resident design keeps its elaborated circuit and
+// cached engines warm.
+//
+// The cache dedupes by content: loading a design whose content hash and
+// padded bitstream match an already-resident design aliases the existing
+// ResidentDesign under the new name instead of building a second copy.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/fabric.h"
+#include "platform/compiler.h"
+#include "platform/executor.h"
+#include "util/status.h"
+
+namespace pp::rt {
+
+/// One design made resident: immutable after creation, shared between the
+/// registry (possibly under several names) and the dispatcher.
+class ResidentDesign {
+ public:
+  /// Build from a design already padded to the device dimensions.  Fails
+  /// with the bitstream/elaboration/binding Status on any inconsistency.
+  [[nodiscard]] static Result<std::shared_ptr<ResidentDesign>> create(
+      std::string name, platform::CompiledDesign padded);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const platform::CompiledDesign& design() const noexcept {
+    return design_;
+  }
+  /// The decoded target personality (what activation writes to the array).
+  [[nodiscard]] const core::Fabric& fabric() const noexcept { return fabric_; }
+  /// DFF boundary registers present: jobs are rejected, open a Session.
+  [[nodiscard]] bool sequential() const noexcept {
+    return !design_.state.empty();
+  }
+  /// The cached batch engine core.  Not synchronized: only the device
+  /// dispatcher may run it (Device serializes all job execution).
+  [[nodiscard]] platform::BatchExecutor& executor() noexcept {
+    return *executor_;
+  }
+
+ private:
+  ResidentDesign() = default;
+  std::string name_;
+  platform::CompiledDesign design_;
+  core::Fabric fabric_{1, 1};
+  std::unique_ptr<core::ElaboratedFabric> elab_;
+  std::unique_ptr<platform::BatchExecutor> executor_;
+};
+
+class DesignCache {
+ public:
+  struct LoadOutcome {
+    std::shared_ptr<ResidentDesign> resident;
+    bool deduped = false;  ///< aliased an already-resident identical design
+  };
+
+  /// Make `padded` resident under `name`.  Fails with kFailedPrecondition
+  /// when the name is already taken by a *different* design (re-loading an
+  /// identical design under the same name is an idempotent dedupe hit).
+  [[nodiscard]] Result<LoadOutcome> load(std::string name,
+                                         platform::CompiledDesign padded);
+
+  [[nodiscard]] std::shared_ptr<ResidentDesign> find(
+      std::string_view name) const;
+  [[nodiscard]] std::vector<std::string> names() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<ResidentDesign>, std::less<>>
+      by_name_;
+  // Content-hash fast path for dedupe; the padded bitstream comparison in
+  // load() stays authoritative (hash collisions only cost a byte compare).
+  std::unordered_map<std::uint64_t, std::vector<std::shared_ptr<ResidentDesign>>>
+      by_hash_;
+};
+
+}  // namespace pp::rt

@@ -1,0 +1,299 @@
+#include "rt/device.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "core/bitstream.h"
+#include "rt/design_cache.h"
+#include "rt/queue.h"
+
+namespace pp::rt {
+
+using detail::JobState;
+
+struct Device::Impl {
+  int rows = 0, cols = 0;
+
+  // The physical array and its active personality.  hw_mutex pins the
+  // personality across a reconfigure-then-run sequence; the dispatcher
+  // holds it for each job, so a manual activate() waits for the fabric.
+  mutable std::mutex hw_mutex;
+  core::Fabric hw{1, 1};
+  // The resident configuration's CRC (fabric_config_crc), tracked across
+  // swaps so activation never re-encodes the whole array just to bind the
+  // delta to its base.
+  std::uint32_t hw_crc = 0;
+  std::shared_ptr<ResidentDesign> active;
+  // Deltas between resident personalities, keyed by (from, to) resident
+  // name ("" = the blank power-on personality).  Designs are immutable once
+  // resident, so cached deltas never go stale.
+  std::map<std::pair<std::string, std::string>, std::vector<std::uint8_t>>
+      delta_cache;
+
+  DesignCache cache;
+  JobQueue queue;
+
+  mutable std::mutex stats_mutex;
+  DeviceStats stats;
+
+  std::atomic<std::uint64_t> next_job_id{1};
+
+  // Outstanding-work tracking for drain(): incremented at submit,
+  // decremented when the dispatcher retires the job (run, failed, or
+  // discarded after a cancel) — never skipped, because canceled jobs still
+  // flow out of the queue to the dispatcher.
+  std::mutex idle_mutex;
+  std::condition_variable idle_cv;
+  std::uint64_t outstanding = 0;
+
+  std::thread dispatcher;
+
+  /// Swap the array to `rd`'s personality (hw_mutex held).  Returns true in
+  /// `swapped` when a delta was actually written.
+  [[nodiscard]] Status activate_locked(
+      const std::shared_ptr<ResidentDesign>& rd, bool& swapped) {
+    swapped = false;
+    if (active == rd) {
+      const std::lock_guard<std::mutex> lock(stats_mutex);
+      ++stats.activation_skips;
+      return Status();
+    }
+    const std::pair<std::string, std::string> key{
+        active ? active->name() : "", rd->name()};
+    auto it = delta_cache.find(key);
+    if (it == delta_cache.end()) {
+      auto delta = core::encode_delta(hw, rd->fabric());
+      if (!delta.ok()) return delta.status();
+      it = delta_cache.emplace(key, std::move(*delta)).first;
+    }
+    if (Status s = core::try_apply_delta(hw, it->second, hw_crc); !s.ok())
+      return s;
+    // The array now holds rd's personality; its CRC is the trailing word
+    // of rd's full bitstream.
+    const auto& stream = rd->design().bitstream;
+    hw_crc = 0;
+    for (int i = 0; i < 4; ++i)
+      hw_crc |= static_cast<std::uint32_t>(stream[stream.size() - 4 + i])
+                << (8 * i);
+    active = rd;
+    const std::lock_guard<std::mutex> lock(stats_mutex);
+    ++stats.activations;
+    stats.delta_bytes += it->second.size();
+    stats.full_bytes += rd->design().bitstream.size();
+    swapped = true;
+    return Status();
+  }
+
+  [[nodiscard]] std::string active_name() const {
+    const std::lock_guard<std::mutex> lock(hw_mutex);
+    return active ? active->name() : std::string();
+  }
+
+  void dispatch_loop() {
+    for (;;) {
+      std::shared_ptr<JobState> job = queue.pop(active_name());
+      if (!job) break;  // shutdown, queue drained
+      run_job(*job);
+      {
+        const std::lock_guard<std::mutex> lock(idle_mutex);
+        --outstanding;
+      }
+      idle_cv.notify_all();
+    }
+  }
+
+  void run_job(JobState& job) {
+    {
+      const std::lock_guard<std::mutex> lock(job.mutex);
+      if (job.phase != JobState::Phase::kQueued) {  // lost to cancel
+        const std::lock_guard<std::mutex> stats_lock(stats_mutex);
+        ++stats.jobs_canceled;
+        return;
+      }
+      job.phase = JobState::Phase::kRunning;
+    }
+    // Residency is permanent (no unload), so the design always resolves.
+    const std::shared_ptr<ResidentDesign> rd = cache.find(job.design);
+    Status status = rd ? Status()
+                       : Status::internal("job " + std::to_string(job.id) +
+                                          ": design '" + job.design +
+                                          "' vanished from the device");
+    std::vector<BitVector> results;
+    if (status.ok()) {
+      const std::lock_guard<std::mutex> hw_lock(hw_mutex);
+      bool swapped = false;
+      status = activate_locked(rd, swapped);
+      if (status.ok()) {
+        auto run = rd->executor().run(job.vectors, job.options);
+        if (run.ok())
+          results = std::move(*run);
+        else
+          status = run.status();
+        if (!swapped) {
+          const std::lock_guard<std::mutex> lock(stats_mutex);
+          ++stats.batched_jobs;
+        }
+      }
+    }
+    {
+      const std::lock_guard<std::mutex> lock(stats_mutex);
+      ++(status.ok() ? stats.jobs_completed : stats.jobs_failed);
+    }
+    {
+      const std::lock_guard<std::mutex> lock(job.mutex);
+      job.vectors.clear();
+      job.status = std::move(status);
+      job.results = std::move(results);
+      job.phase = JobState::Phase::kDone;
+    }
+    job.cv.notify_all();
+  }
+};
+
+Device::Device(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {}
+Device::Device(Device&&) noexcept = default;
+
+Device& Device::operator=(Device&& other) noexcept {
+  if (this != &other) {
+    shutdown_impl();  // the overwritten device's dispatcher must be joined
+    impl_ = std::move(other.impl_);
+  }
+  return *this;
+}
+
+Device::~Device() { shutdown_impl(); }
+
+void Device::shutdown_impl() {
+  if (!impl_) return;  // moved-from
+  // Wake waiters of still-queued jobs (they see kCanceled), let the
+  // dispatcher finish the in-flight job, and join it.
+  const std::size_t orphaned = impl_->queue.shutdown();
+  if (orphaned > 0) {
+    const std::lock_guard<std::mutex> lock(impl_->stats_mutex);
+    impl_->stats.jobs_canceled += orphaned;
+  }
+  if (impl_->dispatcher.joinable()) impl_->dispatcher.join();
+  impl_.reset();
+}
+
+Result<Device> Device::create(int rows, int cols) {
+  auto fabric = core::Fabric::create(rows, cols);
+  if (!fabric.ok()) return fabric.status();
+  auto impl = std::make_unique<Impl>();
+  impl->rows = rows;
+  impl->cols = cols;
+  impl->hw = std::move(*fabric);
+  impl->hw_crc = core::fabric_config_crc(impl->hw);
+  Impl* raw = impl.get();
+  impl->dispatcher = std::thread([raw] { raw->dispatch_loop(); });
+  return Device(std::move(impl));
+}
+
+int Device::rows() const noexcept { return impl_->rows; }
+int Device::cols() const noexcept { return impl_->cols; }
+
+Status Device::load(std::string name,
+                    const platform::CompiledDesign& design) {
+  if (name.empty())
+    return Status::invalid_argument(
+        "Device::load: the empty name is reserved for the blank power-on "
+        "personality");
+  auto padded = platform::pad_to(design, impl_->rows, impl_->cols);
+  if (!padded.ok()) return padded.status();
+  auto outcome = impl_->cache.load(std::move(name), std::move(*padded));
+  if (!outcome.ok()) return outcome.status();
+  const std::lock_guard<std::mutex> lock(impl_->stats_mutex);
+  ++(outcome->deduped ? impl_->stats.dedup_hits
+                      : impl_->stats.designs_loaded);
+  return Status();
+}
+
+bool Device::resident(std::string_view name) const {
+  return impl_->cache.find(name) != nullptr;
+}
+
+std::vector<std::string> Device::designs() const {
+  return impl_->cache.names();
+}
+
+Status Device::activate(std::string_view name) {
+  const std::shared_ptr<ResidentDesign> rd = impl_->cache.find(name);
+  if (!rd)
+    return Status::not_found("activate: no resident design named '" +
+                             std::string(name) + "'");
+  const std::lock_guard<std::mutex> lock(impl_->hw_mutex);
+  bool swapped = false;
+  return impl_->activate_locked(rd, swapped);
+}
+
+std::string Device::active() const { return impl_->active_name(); }
+
+core::Fabric Device::personality() const {
+  const std::lock_guard<std::mutex> lock(impl_->hw_mutex);
+  return impl_->hw;
+}
+
+Result<Job> Device::submit(std::string_view name,
+                           std::vector<InputVector> vectors,
+                           const RunOptions& options) {
+  const std::shared_ptr<ResidentDesign> rd = impl_->cache.find(name);
+  if (!rd)
+    return Status::not_found("submit: no resident design named '" +
+                             std::string(name) + "'");
+  if (rd->sequential())
+    return Status::failed_precondition(
+        "submit: sequential design — boundary-register state needs an "
+        "interactive Session (open_session) and step()");
+  const std::size_t nin = rd->executor().input_count();
+  for (const InputVector& v : vectors)
+    if (v.size() != nin)
+      return Status::invalid_argument(
+          "submit: every vector must have " + std::to_string(nin) +
+          " input values");
+  auto state = std::make_shared<JobState>(
+      impl_->next_job_id.fetch_add(1, std::memory_order_relaxed),
+      std::string(name), std::move(vectors), options);
+  {
+    const std::lock_guard<std::mutex> lock(impl_->stats_mutex);
+    ++impl_->stats.jobs_submitted;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(impl_->idle_mutex);
+    ++impl_->outstanding;
+  }
+  impl_->queue.push(state);
+  return Job(std::move(state));
+}
+
+Result<std::vector<BitVector>> Device::run_sync(std::string_view name,
+                                                std::vector<InputVector>
+                                                    vectors,
+                                                const RunOptions& options) {
+  auto job = submit(name, std::move(vectors), options);
+  if (!job.ok()) return job.status();
+  return job->wait();
+}
+
+void Device::drain() {
+  std::unique_lock<std::mutex> lock(impl_->idle_mutex);
+  impl_->idle_cv.wait(lock, [&] { return impl_->outstanding == 0; });
+}
+
+Result<platform::Session> Device::open_session(std::string_view name) const {
+  const std::shared_ptr<ResidentDesign> rd = impl_->cache.find(name);
+  if (!rd)
+    return Status::not_found("open_session: no resident design named '" +
+                             std::string(name) + "'");
+  return platform::Session::load(rd->design());
+}
+
+DeviceStats Device::stats() const {
+  const std::lock_guard<std::mutex> lock(impl_->stats_mutex);
+  return impl_->stats;
+}
+
+}  // namespace pp::rt

@@ -1,0 +1,142 @@
+// rt::Device — the runtime's view of one polymorphic array.
+//
+// The paper's fabric has no fixed function: its personality is "a link to a
+// reconfiguration bit stream" (§4).  The runtime API mirrors that directly,
+// in the device/kernel/run shape of mature reconfigurable-platform stacks
+// (XRT-style): a Device owns the hardware, named designs are made
+// *resident* on it (`load`, deduped by content hash), `activate` swaps the
+// array's personality, and `submit` returns an asynchronous Job handle so
+// many clients can keep one fabric busy across many designs.
+//
+//  * Residency vs activation: loading pays the one-time cost (bitstream
+//    decode, elaboration, levelization, engine binding — see DesignCache)
+//    and many designs stay resident at once; exactly one is *active* on the
+//    array.  Activation is partial reconfiguration: a core::BitstreamDelta
+//    writes only the blocks whose 128-bit images differ from the resident
+//    personality, a measured fraction of the full bitstream (the device
+//    accounts both, see Stats).
+//  * Scheduling: submissions land in a per-device JobQueue consumed by one
+//    dispatcher thread — the fabric is exclusive, so job *dispatch* is
+//    serial, while each job's vectors shard across util::thread_pool via
+//    the resident design's BatchExecutor.  The queue prefers jobs matching
+//    the active personality (oldest-first within a design, strict FIFO
+//    across personalities otherwise), batching same-design bursts to
+//    amortize reconfiguration.
+//  * platform::Session stays the synchronous convenience: `open_session`
+//    hands out an interactive session for any resident design (needed for
+//    sequential designs, which hold boundary-register state and therefore
+//    cannot ride the independent-vector job path).
+//
+// Thread-safety: every public method is safe to call from any thread.  The
+// destructor cancels still-queued jobs (waking their waiters), finishes the
+// running one, and joins the dispatcher; call drain() first to let queued
+// work complete.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/fabric.h"
+#include "platform/compiler.h"
+#include "platform/executor.h"
+#include "platform/session.h"
+#include "rt/job.h"
+#include "util/status.h"
+
+namespace pp::rt {
+
+using platform::RunOptions;
+
+/// Cumulative runtime accounting (all counters monotone).
+struct DeviceStats {
+  std::uint64_t designs_loaded = 0;    ///< distinct resident designs built
+  std::uint64_t dedup_hits = 0;        ///< loads aliased to a resident twin
+  std::uint64_t activations = 0;       ///< personality swaps applied
+  std::uint64_t activation_skips = 0;  ///< activate() of the active design
+  std::uint64_t delta_bytes = 0;       ///< reconfig bytes actually written
+  std::uint64_t full_bytes = 0;        ///< full-bitstream bytes those swaps
+                                       ///< would have cost
+  std::uint64_t jobs_submitted = 0;
+  std::uint64_t jobs_completed = 0;  ///< finished OK
+  std::uint64_t jobs_failed = 0;     ///< finished with a non-OK status
+  std::uint64_t jobs_canceled = 0;   ///< withdrawn before execution
+  std::uint64_t batched_jobs = 0;    ///< ran without a personality swap
+};
+
+class Device {
+ public:
+  /// A device over a rows x cols array, initially blank (no personality).
+  [[nodiscard]] static Result<Device> create(int rows, int cols);
+
+  Device(Device&&) noexcept;
+  Device& operator=(Device&&) noexcept;
+  ~Device();
+
+  [[nodiscard]] int rows() const noexcept;
+  [[nodiscard]] int cols() const noexcept;
+
+  /// Make a compiled design resident under `name` (non-empty; "" is
+  /// reserved for the blank power-on personality).  Designs smaller than
+  /// the array are re-targeted onto it (platform::pad_to); designs that do
+  /// not fit fail with kResourceExhausted.  Loading content already
+  /// resident under another name aliases it instead of rebuilding
+  /// (content-hash dedupe); re-loading the same content under the same name
+  /// is idempotent.  A name may never be rebound to different content.
+  [[nodiscard]] Status load(std::string name,
+                            const platform::CompiledDesign& design);
+
+  [[nodiscard]] bool resident(std::string_view name) const;
+  /// Names of all resident designs (aliases included), sorted.
+  [[nodiscard]] std::vector<std::string> designs() const;
+
+  /// Swap the array to `name`'s personality via partial reconfiguration.
+  /// No-op (counted as a skip) when already active.  Blocks while a job is
+  /// mid-flight — the personality is pinned for the duration of each job.
+  [[nodiscard]] Status activate(std::string_view name);
+
+  /// Name of the active design ("" while the array is blank).
+  [[nodiscard]] std::string active() const;
+
+  /// A snapshot of the resident configuration of the physical array (what
+  /// a controller would read back), taken under the personality lock so it
+  /// is never half-reconfigured; byte-compare its re-encoding against a
+  /// design's bitstream to check a personality landed exactly.
+  [[nodiscard]] core::Fabric personality() const;
+
+  /// Enqueue a batch of stimulus vectors against a resident combinational
+  /// design.  Fails fast (before queueing) with kNotFound for an unknown
+  /// design, kFailedPrecondition for a sequential one, kInvalidArgument on
+  /// a vector-width mismatch.  The returned Job completes asynchronously.
+  [[nodiscard]] Result<Job> submit(std::string_view name,
+                                   std::vector<InputVector> vectors,
+                                   const RunOptions& options = {});
+
+  /// Synchronous convenience: submit + wait.
+  [[nodiscard]] Result<std::vector<BitVector>> run_sync(
+      std::string_view name, std::vector<InputVector> vectors,
+      const RunOptions& options = {});
+
+  /// Block until every job submitted so far has left the queue and the
+  /// dispatcher is idle.
+  void drain();
+
+  /// An interactive synchronous Session over a resident design (its own
+  /// simulator; independent of the job path and the array personality).
+  [[nodiscard]] Result<platform::Session> open_session(
+      std::string_view name) const;
+
+  [[nodiscard]] DeviceStats stats() const;
+
+ private:
+  struct Impl;
+  explicit Device(std::unique_ptr<Impl> impl);
+  /// Cancel queued jobs and join the dispatcher (destructor body; also
+  /// runs on the overwritten device in move-assignment).
+  void shutdown_impl();
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace pp::rt

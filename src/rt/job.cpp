@@ -1,0 +1,52 @@
+#include "rt/job.h"
+
+namespace pp::rt {
+
+using detail::JobState;
+
+namespace {
+
+/// Terminal-phase outcome as a Result (caller holds the state mutex).
+[[nodiscard]] Result<std::vector<BitVector>> outcome(const JobState& state) {
+  if (state.phase == JobState::Phase::kCanceled)
+    return Status::failed_precondition("job " + std::to_string(state.id) +
+                                       ": canceled before execution");
+  if (!state.status.ok()) return state.status;
+  return state.results;
+}
+
+}  // namespace
+
+Result<std::vector<BitVector>> Job::wait() {
+  std::unique_lock<std::mutex> lock(state_->mutex);
+  state_->cv.wait(lock, [&] {
+    return state_->phase == JobState::Phase::kDone ||
+           state_->phase == JobState::Phase::kCanceled;
+  });
+  return outcome(*state_);
+}
+
+std::optional<Result<std::vector<BitVector>>> Job::try_result() {
+  const std::lock_guard<std::mutex> lock(state_->mutex);
+  if (state_->phase != JobState::Phase::kDone &&
+      state_->phase != JobState::Phase::kCanceled)
+    return std::nullopt;
+  return outcome(*state_);
+}
+
+bool Job::cancel() {
+  const std::lock_guard<std::mutex> lock(state_->mutex);
+  if (state_->phase != JobState::Phase::kQueued) return false;
+  state_->phase = JobState::Phase::kCanceled;
+  state_->vectors.clear();
+  state_->cv.notify_all();
+  return true;
+}
+
+bool Job::done() const {
+  const std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->phase == JobState::Phase::kDone ||
+         state_->phase == JobState::Phase::kCanceled;
+}
+
+}  // namespace pp::rt

@@ -1,0 +1,92 @@
+// rt::Job — a future-like handle on one unit of device work.
+//
+// A job is a batch of stimulus vectors bound to a named resident design.
+// `Device::submit` enqueues it and returns immediately; the handle lets the
+// client block (`wait`), poll (`try_result`), or withdraw the work before
+// the dispatcher picks it up (`cancel`).  Handles are cheap shared-state
+// references: copying one observes the same job, and a handle outliving its
+// device stays safe (the dispatcher completes or cancels every queued job
+// before the device dies).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "platform/executor.h"
+#include "util/status.h"
+
+namespace pp::rt {
+
+using platform::BitVector;
+using platform::InputVector;
+
+namespace detail {
+
+/// Shared state between the client-side Job handle and the device
+/// dispatcher.  Lifecycle: kQueued -> kRunning -> kDone, or kQueued ->
+/// kCanceled (cancel only wins while the job is still queued).
+struct JobState {
+  JobState(std::uint64_t id_in, std::string design_in,
+           std::vector<InputVector> vectors_in, platform::RunOptions options_in)
+      : id(id_in),
+        design(std::move(design_in)),
+        vectors(std::move(vectors_in)),
+        options(options_in) {}
+
+  const std::uint64_t id;
+  const std::string design;
+  std::vector<InputVector> vectors;  // cleared once consumed by the runner
+  const platform::RunOptions options;
+
+  enum class Phase : std::uint8_t { kQueued, kRunning, kDone, kCanceled };
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  Phase phase = Phase::kQueued;
+  Status status;                   // final status (OK when results valid)
+  std::vector<BitVector> results;  // valid iff phase==kDone && status.ok()
+};
+
+}  // namespace detail
+
+class Job {
+ public:
+  /// Default-constructed handles are empty (valid() == false); every other
+  /// accessor requires a handle obtained from Device::submit.
+  Job() = default;
+
+  [[nodiscard]] bool valid() const noexcept { return state_ != nullptr; }
+  [[nodiscard]] std::uint64_t id() const noexcept { return state_->id; }
+  [[nodiscard]] const std::string& design() const noexcept {
+    return state_->design;
+  }
+
+  /// Block until the job finishes, then return its results (or the failure
+  /// Status; a canceled job reports kFailedPrecondition).  Idempotent.
+  [[nodiscard]] Result<std::vector<BitVector>> wait();
+
+  /// Non-blocking poll: empty while the job is queued or running, otherwise
+  /// exactly what wait() would return.
+  [[nodiscard]] std::optional<Result<std::vector<BitVector>>> try_result();
+
+  /// Withdraw the job if the dispatcher has not started it.  Returns true
+  /// when the cancellation won (the job will never run); false when the job
+  /// is already running or finished.
+  bool cancel();
+
+  /// True once the job reached a terminal phase (done or canceled).
+  [[nodiscard]] bool done() const;
+
+ private:
+  friend class Device;
+  explicit Job(std::shared_ptr<detail::JobState> state)
+      : state_(std::move(state)) {}
+  std::shared_ptr<detail::JobState> state_;
+};
+
+}  // namespace pp::rt

@@ -1,0 +1,69 @@
+#include "rt/queue.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace pp::rt {
+
+using detail::JobState;
+
+void JobQueue::push(std::shared_ptr<JobState> job) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(job));
+  }
+  cv_.notify_one();
+}
+
+std::shared_ptr<JobState> JobQueue::pop(std::string_view active_design) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
+  if (queue_.empty()) return nullptr;  // shutdown, drained
+  // Same-design batching: take the oldest job already matching the resident
+  // personality, falling back to strict FIFO.  The bypass is bounded —
+  // after kMaxBatchRun consecutive pops that jumped an older job, the
+  // front is served unconditionally, so no design can starve the others.
+  // Entries canceled while they sat here still flow out — the dispatcher
+  // discards them, which keeps the submitted/terminal accounting in one
+  // place.
+  auto it = queue_.begin();
+  if (batch_run_ < kMaxBatchRun) {
+    const auto match =
+        std::find_if(queue_.begin(), queue_.end(), [&](const auto& j) {
+          return j->design == active_design;
+        });
+    if (match != queue_.end()) it = match;
+  }
+  batch_run_ = it == queue_.begin() ? 0 : batch_run_ + 1;
+  std::shared_ptr<JobState> job = std::move(*it);
+  queue_.erase(it);
+  return job;
+}
+
+std::size_t JobQueue::shutdown() {
+  std::deque<std::shared_ptr<JobState>> orphaned;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+    orphaned.swap(queue_);
+  }
+  std::size_t canceled = 0;
+  for (const auto& job : orphaned) {
+    const std::lock_guard<std::mutex> lock(job->mutex);
+    if (job->phase == JobState::Phase::kQueued) {
+      job->phase = JobState::Phase::kCanceled;
+      job->vectors.clear();
+      job->cv.notify_all();
+      ++canceled;
+    }
+  }
+  cv_.notify_all();
+  return canceled;
+}
+
+std::size_t JobQueue::pending() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+}  // namespace pp::rt

@@ -1,0 +1,57 @@
+// rt::JobQueue — the per-device submission queue.
+//
+// A blocking MPSC queue (many client threads submit, one dispatcher
+// consumes) with one scheduling twist: `pop` prefers the oldest job whose
+// design is already active on the fabric, so bursts that interleave designs
+// still batch per personality and amortize reconfiguration.  Within one
+// design jobs stay FIFO, and a job can never starve: the preference may
+// bypass the queue's front at most kMaxBatchRun consecutive times before a
+// strict-FIFO pop is forced, so the oldest waiting job is served after a
+// bounded number of batched rides even under a sustained stream of
+// active-design submissions.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string_view>
+
+#include "rt/job.h"
+
+namespace pp::rt {
+
+class JobQueue {
+ public:
+  /// How many times in a row pop() may serve a matching-design job ahead
+  /// of an older job of another design before strict FIFO is forced.
+  static constexpr int kMaxBatchRun = 8;
+
+  /// Enqueue a job (any thread).  Jobs arrive in phase kQueued.
+  void push(std::shared_ptr<detail::JobState> job);
+
+  /// Block until a job is available or the queue is shut down.  Returns the
+  /// oldest job whose design matches `active_design` if any, else the
+  /// oldest job overall; nullptr only after shutdown() with the queue
+  /// drained.  Jobs canceled while queued still flow out (the consumer
+  /// discards them, keeping submission/terminal accounting in one place).
+  [[nodiscard]] std::shared_ptr<detail::JobState> pop(
+      std::string_view active_design);
+
+  /// Mark every still-queued job canceled (waking its waiters) and make
+  /// pop() return nullptr once the queue is empty.  Idempotent.  Returns
+  /// how many jobs this call actually canceled.
+  std::size_t shutdown();
+
+  [[nodiscard]] std::size_t pending() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::shared_ptr<detail::JobState>> queue_;
+  int batch_run_ = 0;  ///< consecutive pops that bypassed the queue front
+  bool shutdown_ = false;
+};
+
+}  // namespace pp::rt

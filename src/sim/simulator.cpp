@@ -260,16 +260,4 @@ Status evaluate_combinational(const Circuit& c,
   return Status();
 }
 
-std::vector<Logic> evaluate_combinational(const Circuit& c,
-                                          const std::vector<NetId>& in_nets,
-                                          const std::vector<Logic>& inputs,
-                                          const std::vector<NetId>& out_nets) {
-  std::vector<Logic> out;
-  const Status s = evaluate_combinational(c, in_nets, inputs, out_nets, out);
-  if (s.code() == StatusCode::kResourceExhausted)
-    throw std::runtime_error(s.to_string());
-  s.throw_if_error();
-  return out;
-}
-
 }  // namespace pp::sim

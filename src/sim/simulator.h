@@ -135,11 +135,4 @@ class Simulator {
                                             std::vector<Logic>& outputs,
                                             std::uint64_t max_events = 50'000'000);
 
-/// Deprecated shim over the Status overload; throws std::invalid_argument on
-/// bad arguments and std::runtime_error on oscillation (the seed's types).
-std::vector<Logic> evaluate_combinational(const Circuit& c,
-                                          const std::vector<NetId>& in_nets,
-                                          const std::vector<Logic>& inputs,
-                                          const std::vector<NetId>& out_nets);
-
 }  // namespace pp::sim

@@ -261,7 +261,7 @@ TEST(Gals, DeliversAllTokensInOrder) {
 }
 
 TEST(Gals, WorksAcrossClockRatios) {
-  for (const auto [pa, pb] : {std::pair{100, 100},
+  for (const auto& [pa, pb] : {std::pair{100, 100},
                               std::pair{100, 330},
                               std::pair{270, 90}}) {
     GalsParams gp;

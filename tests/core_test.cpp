@@ -147,7 +147,7 @@ TEST(ConfigRam, DecodeRejectsBadDriverCode) {
   ConfigRam ram = ConfigRam::from_config(BlockConfig{});
   ram.set_trit(36, 2);  // driver 0 low trit = 2
   ram.set_trit(37, 2);  // driver 0 high trit = 2 -> value 8, invalid
-  EXPECT_THROW(ram.to_config(), std::invalid_argument);
+  EXPECT_THROW((void)ram.to_config(), std::invalid_argument);
 }
 
 TEST(ConfigRam, DecodeRejectsBadLfbRow) {
@@ -155,7 +155,7 @@ TEST(ConfigRam, DecodeRejectsBadLfbRow) {
   ram.set_trit(54, 1);  // lfb0 which = own
   ram.set_trit(56, 0);
   ram.set_trit(57, 2);  // row = 6, out of range
-  EXPECT_THROW(ram.to_config(), std::invalid_argument);
+  EXPECT_THROW((void)ram.to_config(), std::invalid_argument);
 }
 
 // ---------- Bitstream -------------------------------------------------------
@@ -178,7 +178,9 @@ TEST(Bitstream, BlockRoundTrip) {
     }
     b.driver[r] = static_cast<DriverCfg>(rng.next_below(4));
   }
-  EXPECT_EQ(decode_block(encode_block(b)), b);
+  const auto decoded = try_decode_block(encode_block(b));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().to_string();
+  EXPECT_EQ(*decoded, b);
 }
 
 TEST(Bitstream, FabricRoundTripAndCrc) {
@@ -188,12 +190,12 @@ TEST(Bitstream, FabricRoundTripAndCrc) {
   f.block(1, 2).driver[0] = DriverCfg::kInvert;
   auto bytes = encode_fabric(f);
   Fabric g(2, 3);
-  load_fabric(g, bytes);
+  ASSERT_TRUE(try_load_fabric(g, bytes).ok());
   for (int r = 0; r < 2; ++r)
     for (int c = 0; c < 3; ++c) EXPECT_EQ(g.block(r, c), f.block(r, c));
   // Flip a payload bit: CRC must catch it.
   bytes[10] ^= 0x40;
-  EXPECT_THROW(load_fabric(g, bytes), std::invalid_argument);
+  EXPECT_EQ(try_load_fabric(g, bytes).code(), StatusCode::kDataLoss);
 }
 
 TEST(Bitstream, RejectsTruncationAndBadMagic) {
@@ -202,23 +204,24 @@ TEST(Bitstream, RejectsTruncationAndBadMagic) {
   Fabric g(1, 1);
   auto truncated = bytes;
   truncated.pop_back();
-  EXPECT_THROW(load_fabric(g, truncated), std::invalid_argument);
+  EXPECT_EQ(try_load_fabric(g, truncated).code(), StatusCode::kOutOfRange);
   auto bad_magic = bytes;
   bad_magic[0] = 'X';
-  EXPECT_THROW(load_fabric(g, bad_magic), std::invalid_argument);
+  EXPECT_EQ(try_load_fabric(g, bad_magic).code(),
+            StatusCode::kInvalidArgument);
 }
 
 TEST(Bitstream, RejectsDimensionMismatch) {
   Fabric f(1, 2);
   const auto bytes = encode_fabric(f);
   Fabric g(2, 1);
-  EXPECT_THROW(load_fabric(g, bytes), std::invalid_argument);
+  EXPECT_EQ(try_load_fabric(g, bytes).code(), StatusCode::kInvalidArgument);
 }
 
 TEST(Bitstream, ReservedTritCodeRejected) {
   auto bytes = encode_block(BlockConfig{});
   bytes[0] |= 0x3;  // trit 0 = 0b11 (reserved)
-  EXPECT_THROW(decode_block(bytes), std::invalid_argument);
+  EXPECT_EQ(try_decode_block(bytes).status().code(), StatusCode::kDataLoss);
 }
 
 TEST(Bitstream, Crc32KnownVector) {
@@ -232,7 +235,7 @@ TEST(Fabric, DimensionsAndAccess) {
   Fabric f(3, 4);
   EXPECT_EQ(f.rows(), 3);
   EXPECT_EQ(f.cols(), 4);
-  EXPECT_THROW(f.block(3, 0), std::out_of_range);
+  EXPECT_THROW((void)f.block(3, 0), std::out_of_range);
   EXPECT_THROW(Fabric(0, 1), std::invalid_argument);
 }
 

@@ -265,7 +265,7 @@ TEST(RtdRam, BiasMapCoversLogicRange) {
   EXPECT_DOUBLE_EQ(ram.bias_voltage_for(0), -2.0);
   EXPECT_NEAR(ram.bias_voltage_for(1), 0.0, 0.05);
   EXPECT_DOUBLE_EQ(ram.bias_voltage_for(2), 2.0);
-  EXPECT_THROW(ram.bias_voltage_for(3), std::out_of_range);
+  EXPECT_THROW((void)ram.bias_voltage_for(3), std::out_of_range);
 }
 
 TEST(RtdRam, StandbyCurrentPositiveAndBounded) {

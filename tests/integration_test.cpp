@@ -78,7 +78,7 @@ TEST(Integration, AdderSurvivesBitstreamRoundTrip) {
   const auto stream = core::encode_fabric(built);
 
   Fabric loaded(2, map::macros::ripple_adder_cols(n));
-  core::load_fabric(loaded, stream);
+  ASSERT_TRUE(core::try_load_fabric(loaded, stream).ok());
   auto ef = loaded.elaborate();
   sim::Simulator s(ef.circuit());
   util::Rng rng(17);

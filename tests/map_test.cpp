@@ -34,7 +34,7 @@ TEST(TruthTable, SetEvalComplement) {
   EXPECT_FALSE(tt.eval(4));
   EXPECT_EQ(tt.count_ones(), 1);
   EXPECT_EQ(tt.complement().count_ones(), 7);
-  EXPECT_THROW(tt.eval(8), std::out_of_range);
+  EXPECT_THROW((void)tt.eval(8), std::out_of_range);
   EXPECT_THROW(TruthTable(7), std::invalid_argument);
 }
 
@@ -224,7 +224,9 @@ TEST(Router, AvoidsOccupiedRows) {
   const auto res = router.route({0, 0, 2}, {0, 2, 5});
   ASSERT_TRUE(res.has_value());
   for (const auto& hop : res->hops)
-    if (hop.r == 0 && hop.c == 1) EXPECT_EQ(hop.line, 5);
+    if (hop.r == 0 && hop.c == 1) {
+      EXPECT_EQ(hop.line, 5);
+    }
 }
 
 TEST(Router, FailsWhenBlocked) {
@@ -352,7 +354,9 @@ TEST(Macros, DffRandomStreamMatchesBehaviouralModel) {
     EXPECT_EQ(read1(s, ef, dp.q), model_q) << "step " << step;
     drive(s, ef, dp.clk, false);
     s.settle();
-    if (have_model) EXPECT_EQ(read1(s, ef, dp.q), model_q);
+    if (have_model) {
+      EXPECT_EQ(read1(s, ef, dp.q), model_q);
+    }
   }
 }
 

@@ -63,7 +63,7 @@ TEST_P(BitstreamCorruptionTest, SingleByteFlipAlwaysDetected) {
   const auto mask = static_cast<std::uint8_t>(1 + rng.next_below(255));
   bytes[pos] ^= mask;
   Fabric g(2, 2);
-  EXPECT_THROW(core::load_fabric(g, bytes), std::invalid_argument)
+  EXPECT_FALSE(core::try_load_fabric(g, bytes).ok())
       << "flip at byte " << pos << " mask " << int(mask);
 }
 
@@ -97,7 +97,9 @@ TEST_P(BlockRoundTripTest, EncodeDecodeIdentity) {
     else if (pick == 2 && b.lfb_src[1].which != core::LfbWhich::kOff)
       b.col_src[c] = core::ColSource::kLfb1;
   }
-  EXPECT_EQ(core::decode_block(core::encode_block(b)), b);
+  const auto decoded = core::try_decode_block(core::encode_block(b));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().to_string();
+  EXPECT_EQ(*decoded, b);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, BlockRoundTripTest, ::testing::Range(1, 33));

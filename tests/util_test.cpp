@@ -96,7 +96,7 @@ TEST(Numeric, BisectFindsRoot) {
   const double root =
       bisect([](double x) { return x * x - 2.0; }, 0.0, 2.0);
   EXPECT_NEAR(root, std::sqrt(2.0), 1e-10);
-  EXPECT_THROW(bisect([](double) { return 1.0; }, 0, 1),
+  EXPECT_THROW((void)bisect([](double) { return 1.0; }, 0, 1),
                std::invalid_argument);
 }
 
