@@ -4,9 +4,11 @@
 //
 // Machine-readable output: every bench accepts `--json <path>` and, on
 // exit, writes the metrics it recorded via `record()` as a JSON array of
-// {"name", "metric", "value"} objects — the BENCH trajectory consumes
-// these, so record the headline number(s) of each experiment, not every
-// table cell.
+// {"name", "metric", "value"} objects, plus an optional "devices" field on
+// benches where the device count is part of the experiment's identity
+// (docs/bench-json.md is the normative schema).  The BENCH trajectory
+// consumes these, so record the headline number(s) of each experiment, not
+// every table cell.
 #pragma once
 
 #include <cstdio>
@@ -77,22 +79,55 @@ inline void init(int argc, char** argv) {
   if (!detail::json_path().empty()) std::atexit(detail::flush_json);
 }
 
+namespace detail {
+
+/// The one formatter behind record()/record_devices() — the schema
+/// (docs/bench-json.md) is emitted in exactly one place.  `devices` is
+/// the optional fleet-size field; nullptr omits it.
+inline void push_record(std::string_view name, std::string_view metric,
+                        double value, const int* devices) {
+  char buf[256];
+  int n = std::snprintf(buf, sizeof(buf),
+                        "{\"name\": \"%.*s\", \"metric\": \"%.*s\", "
+                        "\"value\": %.17g",
+                        static_cast<int>(name.size()), name.data(),
+                        static_cast<int>(metric.size()), metric.data(),
+                        value);
+  if (n < 0 || n >= static_cast<int>(sizeof(buf))) return;  // oversized name
+  const std::size_t left = sizeof(buf) - static_cast<std::size_t>(n);
+  const int m = devices != nullptr
+                    ? std::snprintf(buf + n, left, ", \"devices\": %d}",
+                                    *devices)
+                    : std::snprintf(buf + n, left, "}");
+  if (m < 0 || m >= static_cast<int>(left))
+    return;  // suffix would truncate: drop the record, never emit bad JSON
+  json_records().push_back(buf);
+}
+
+}  // namespace detail
+
 /// Record one machine-readable metric: {"name": ..., "metric": ...,
 /// "value": ...}.  `name` identifies the experiment (usually the binary),
 /// `metric` the measured quantity.  No-op cost when --json was not given.
+/// Schema: docs/bench-json.md.
 inline void record(std::string_view name, std::string_view metric,
                    double value) {
-  char buf[256];
-  std::snprintf(buf, sizeof(buf),
-                "{\"name\": \"%.*s\", \"metric\": \"%.*s\", \"value\": %.17g}",
-                static_cast<int>(name.size()), name.data(),
-                static_cast<int>(metric.size()), metric.data(), value);
-  detail::json_records().push_back(buf);
+  detail::push_record(name, metric, value, nullptr);
 }
 
 /// As above, under this bench's own name (set by init()).
 inline void record(std::string_view metric, double value) {
   record(detail::bench_name(), metric, value);
+}
+
+/// Record a metric measured on a fleet of `devices` fabric devices:
+/// {"name": ..., "metric": ..., "value": ..., "devices": N}.  Use this for
+/// every metric whose value only means something at a given device count
+/// (throughput scaling curves), so the perf-trajectory tooling can key on
+/// (name, metric, devices) instead of conflating fleet sizes.
+inline void record_devices(std::string_view metric, double value,
+                           int devices) {
+  detail::push_record(detail::bench_name(), metric, value, &devices);
 }
 
 inline void experiment_header(const std::string& id,

@@ -186,8 +186,8 @@ int main(int argc, char** argv) {
       "personalities.\n",
       full_bytes);
 
-  bench::record("jobs_per_sec", jobs_per_sec);
-  bench::record("vectors_per_sec", vec_per_sec);
+  bench::record_devices("jobs_per_sec", jobs_per_sec, 1);
+  bench::record_devices("vectors_per_sec", vec_per_sec, 1);
   bench::record("delta_fraction", delta_fraction);
   bench::record("personality_swaps", static_cast<double>(swaps));
 

@@ -1,0 +1,260 @@
+// RT-POOL: fleet scheduling across 1 / 2 / 4 devices on the PR 3 mixed
+// workload (ripple adder, parity logic, 4:1 mux).
+//
+// Two experiments:
+//  * SERVING (the scaling gate) — closed-loop clients, each submitting a
+//    job and waiting for its result before the next (the latency-bound
+//    serving shape), rotating through the designs round by round (the
+//    multi-tenant pattern: a client is not married to one personality).
+//    A single device must reconfigure for nearly every round trip because
+//    consecutive arrivals alternate designs; the pool's affinity router
+//    sends each job to the device already wearing its personality, so the
+//    fleet serves the same stream with almost no reconfiguration — and
+//    with the dispatchers running in parallel on top.  Engines are warmed
+//    before timing (one-time builds are residency cost, not serving
+//    cost).  Acceptance: every result matches the serial
+//    Session::run_vectors reference and jobs/s improves >= 1.5x going
+//    1 -> 4 devices (non-zero exit otherwise; wired into the CI bench
+//    smoke).
+//  * BURST — the PR 3 open-loop replay (every job pre-queued) against the
+//    4-device pool with an aggressive replication threshold, to exercise
+//    and report hot-design replication and the PoolStats counters.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "map/netlist.h"
+#include "platform/compiler.h"
+#include "platform/session.h"
+#include "rt/pool.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+struct Workload {
+  std::string name;
+  pp::map::Netlist netlist;
+  pp::platform::CompiledDesign design;
+  std::vector<std::vector<pp::platform::InputVector>> job_vectors;
+  std::vector<std::vector<pp::platform::BitVector>> expected;
+};
+
+struct ServeResult {
+  std::size_t devices = 0;
+  double jobs_per_sec = 0;
+  std::uint64_t swaps = 0;
+  std::uint64_t affinity_active = 0;
+  bool match = false;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pp;
+  bench::init(argc, argv);
+  bench::experiment_header(
+      "RT-POOL fleet scheduling: affinity routing + hot-design replication "
+      "across 1/2/4 devices",
+      "one fabric has many personalities (§4); a fleet of fabrics serves "
+      "them without paying a reconfiguration per personality switch");
+
+  // The PR 3 mixed workload: three designs with very different shapes.
+  std::vector<Workload> workloads;
+  workloads.push_back({"adder8", map::make_ripple_adder(8), {}, {}, {}});
+  workloads.push_back({"parity10", map::make_parity(10), {}, {}, {}});
+  workloads.push_back({"mux4", map::make_mux4(), {}, {}, {}});
+
+  int rows = 0, cols = 0;
+  for (auto& w : workloads) {
+    auto design = platform::compile(w.netlist);
+    if (!design.ok())
+      return std::printf("compile %s: %s\n", w.name.c_str(),
+                         design.status().to_string().c_str()),
+             1;
+    w.design = std::move(*design);
+    rows = std::max(rows, w.design.fabric.rows());
+    cols = std::max(cols, w.design.fabric.cols());
+  }
+
+  // Small jobs, run single-threaded: the regime where reconfiguration and
+  // dispatch, not vector evaluation, are the costs being measured — fleet
+  // scaling must come from the devices, not from sharding one job across
+  // the worker pool.
+  const int jobs_per_design = 24;
+  const std::size_t vectors_per_job = 64;
+  const platform::RunOptions run_options{.max_threads = 1};
+  util::Rng rng(2026);
+  for (auto& w : workloads) {
+    auto session = platform::Session::load(w.design);
+    if (!session.ok())
+      return std::printf("%s\n", session.status().to_string().c_str()), 1;
+    for (int j = 0; j < jobs_per_design; ++j) {
+      std::vector<platform::InputVector> vectors(vectors_per_job);
+      for (auto& v : vectors) {
+        v.resize(w.netlist.inputs().size());
+        for (std::size_t k = 0; k < v.size(); ++k) v[k] = rng.next_bool();
+      }
+      auto expected = session->run_vectors(vectors, run_options);
+      if (!expected.ok())
+        return std::printf("%s\n", expected.status().to_string().c_str()), 1;
+      w.job_vectors.push_back(std::move(vectors));
+      w.expected.push_back(std::move(*expected));
+    }
+  }
+  const std::size_t total_jobs = workloads.size() * jobs_per_design;
+  std::printf("pool dims %dx%d, %zu designs, %d jobs/design x %zu vectors, "
+              "%zu worker(s) in the shared pool\n\n",
+              rows, cols, workloads.size(), jobs_per_design, vectors_per_job,
+              util::global_pool().worker_count());
+
+  // --- SERVING: closed-loop rotating clients against growing fleets ------
+  const auto serve = [&](std::size_t ndev) -> Result<ServeResult> {
+    auto pool = rt::DevicePool::create(ndev, rows, cols);
+    if (!pool.ok()) return pool.status();
+    for (const auto& w : workloads)
+      if (Status s = pool->register_design(w.name, w.design); !s.ok())
+        return s;
+    // Warm-up: one untimed job per design builds the engines on each
+    // design's home device; serving steady-state is what gets timed.
+    for (const auto& w : workloads) {
+      auto warm = pool->run_sync(w.name, w.job_vectors[0], run_options);
+      if (!warm.ok()) return warm.status();
+    }
+    std::vector<int> failures(workloads.size(), 0);
+    const auto before = pool->stats();
+    const auto t0 = std::chrono::steady_clock::now();
+    {
+      std::vector<std::thread> clients;
+      for (std::size_t c = 0; c < workloads.size(); ++c)
+        clients.emplace_back([&, c] {
+          // Client c serves design (c + j) % N in round j: every client
+          // alternates personalities every round, every job index of every
+          // design is covered exactly once across the client set.
+          for (int j = 0; j < jobs_per_design; ++j) {
+            const Workload& w = workloads[(c + j) % workloads.size()];
+            auto result = pool->run_sync(w.name, w.job_vectors[j], run_options);
+            if (!result.ok() || *result != w.expected[j]) ++failures[c];
+          }
+        });
+      for (auto& client : clients) client.join();
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    const double wall_s = std::chrono::duration<double>(t1 - t0).count();
+    const auto stats = pool->stats();
+    ServeResult r;
+    r.devices = ndev;
+    r.jobs_per_sec = wall_s > 0 ? static_cast<double>(total_jobs) / wall_s : 0;
+    for (std::size_t i = 0; i < stats.device.size(); ++i)
+      r.swaps += stats.device[i].activations - before.device[i].activations;
+    r.affinity_active = stats.affinity_active - before.affinity_active;
+    r.match = std::all_of(failures.begin(), failures.end(),
+                          [](int f) { return f == 0; });
+    return r;
+  };
+
+  util::Table serving("closed-loop serving, one client per design (" +
+                      std::to_string(total_jobs) + " jobs x " +
+                      std::to_string(vectors_per_job) + " vectors)");
+  serving.header({"devices", "jobs/s", "swaps", "affinity hits", "match"});
+  std::vector<ServeResult> results;
+  for (const std::size_t ndev : {std::size_t{1}, std::size_t{2},
+                                 std::size_t{4}}) {
+    auto r = serve(ndev);
+    if (!r.ok())
+      return std::printf("pool of %zu: %s\n", ndev,
+                         r.status().to_string().c_str()),
+             1;
+    results.push_back(*r);
+    serving.row({util::Table::num(static_cast<long long>(r->devices)),
+                 util::Table::num(r->jobs_per_sec, 1),
+                 util::Table::num(static_cast<long long>(r->swaps)),
+                 util::Table::num(static_cast<long long>(r->affinity_active)),
+                 r->match ? "pass" : "FAIL"});
+    bench::record_devices("jobs_per_sec", r->jobs_per_sec,
+                          static_cast<int>(ndev));
+    bench::record_devices("personality_swaps", static_cast<double>(r->swaps),
+                          static_cast<int>(ndev));
+  }
+  serving.print();
+
+  const double speedup = results.front().jobs_per_sec > 0
+                             ? results.back().jobs_per_sec /
+                                   results.front().jobs_per_sec
+                             : 0;
+  std::printf(
+      "\n1 -> 4 devices: %.2fx jobs/s (swaps %llu -> %llu: the single "
+      "device reconfigures per round trip, the fleet pins one personality "
+      "per device)\n\n",
+      speedup, static_cast<unsigned long long>(results.front().swaps),
+      static_cast<unsigned long long>(results.back().swaps));
+
+  // --- BURST: open-loop replay with aggressive replication ---------------
+  // Pre-queue every job on the 4-device pool.  Depths spike immediately,
+  // so the hot designs replicate onto the idle devices; the check is that
+  // replication actually fires and results stay correct (replication cost
+  // is a one-time residency investment, so this phase has no perf gate).
+  rt::PoolOptions burst_options;
+  burst_options.replicate_depth = 2;
+  burst_options.replicate_streak = 2;
+  auto burst_pool = rt::DevicePool::create(4, rows, cols, burst_options);
+  if (!burst_pool.ok())
+    return std::printf("%s\n", burst_pool.status().to_string().c_str()), 1;
+  for (const auto& w : workloads)
+    if (Status s = burst_pool->register_design(w.name, w.design); !s.ok())
+      return std::printf("%s\n", s.to_string().c_str()), 1;
+  std::vector<std::pair<rt::Job, const Workload*>> burst_jobs;
+  for (int j = 0; j < jobs_per_design; ++j)
+    for (auto& w : workloads) {
+      auto job = burst_pool->submit(w.name, w.job_vectors[j], run_options);
+      if (!job.ok())
+        return std::printf("%s\n", job.status().to_string().c_str()), 1;
+      burst_jobs.emplace_back(std::move(*job), &w);
+    }
+  bool burst_match = true;
+  std::vector<int> job_index(workloads.size(), 0);
+  for (auto& [job, w] : burst_jobs) {
+    auto result = job.wait();
+    if (!result.ok())
+      return std::printf("%s\n", result.status().to_string().c_str()), 1;
+    const int j = job_index[static_cast<std::size_t>(w - &workloads[0])]++;
+    burst_match = burst_match && *result == w->expected[j];
+  }
+  const auto burst_stats = burst_pool->stats();
+  util::Table burst("burst replay on 4 devices (replicate_depth=2)");
+  burst.header({"jobs", "replications", "affinity active", "affinity "
+                "resident", "jobs/device", "match"});
+  std::string per_device;
+  for (std::size_t i = 0; i < burst_stats.jobs_per_device.size(); ++i)
+    per_device += (i ? "/" : "") +
+                  std::to_string(burst_stats.jobs_per_device[i]);
+  burst.row({util::Table::num(static_cast<long long>(
+                 burst_stats.jobs_submitted)),
+             util::Table::num(static_cast<long long>(
+                 burst_stats.replications)),
+             util::Table::num(static_cast<long long>(
+                 burst_stats.affinity_active)),
+             util::Table::num(static_cast<long long>(
+                 burst_stats.affinity_resident)),
+             per_device, burst_match ? "pass" : "FAIL"});
+  burst.print();
+  bench::record_devices("burst_replications",
+                        static_cast<double>(burst_stats.replications), 4);
+
+  const bool all_match =
+      burst_match && std::all_of(results.begin(), results.end(),
+                                 [](const ServeResult& r) { return r.match; });
+  bench::record("scaling_1_to_4", speedup);
+
+  const bool ok = all_match && speedup >= 1.5 && burst_stats.replications > 0;
+  bench::verdict(ok,
+                 "pool results match the serial reference at every fleet "
+                 "size, 4 devices serve the closed-loop mixed workload >= "
+                 "1.5x faster than 1, and hot designs replicate under "
+                 "burst load");
+  return ok ? 0 : 1;
+}

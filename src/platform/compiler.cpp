@@ -448,4 +448,9 @@ Result<CompiledDesign> pad_to(const CompiledDesign& design, int rows,
   return padded;
 }
 
+bool same_content(const CompiledDesign& a, const CompiledDesign& b) {
+  return a.content_hash == b.content_hash && a.bitstream == b.bitstream &&
+         a.delays == b.delays;
+}
+
 }  // namespace pp::platform

@@ -24,6 +24,10 @@
 // Defects: given an arch::DefectMap, the compiler vetoes defective rows in
 // the router, prechecks tile sites, and slides the whole placement east
 // until it lands defect-free — the homogeneous-array remapping story of §5.
+
+/// \file
+/// \brief platform::Compiler / CompiledDesign — one entry point from a
+/// behavioural netlist to programmed polymorphic hardware.
 #pragma once
 
 #include <cstdint>
@@ -44,15 +48,19 @@ namespace pp::platform {
 /// or the conventional 4-LUT baseline (a resource-accounting model only —
 /// the §4 comparisons need both sides from the same netlist).
 enum class Target {
-  kPolymorphic,
-  kFpgaBaseline,
+  kPolymorphic,   ///< the paper's NAND-block fabric (simulatable)
+  kFpgaBaseline,  ///< conventional 4-LUT accounting model (not simulatable)
 };
 
+/// Knobs for one compilation (see the field docs; defaults reproduce the
+/// paper's setup on an auto-sized fabric).
 struct CompileOptions {
-  /// Fabric dimensions; 0 = auto-size to the placement.  Explicit
-  /// dimensions smaller than the placement fail with kResourceExhausted.
+  /// Fabric rows; 0 = auto-size to the placement.  Explicit dimensions
+  /// smaller than the placement fail with kResourceExhausted.
   int rows = 0;
+  /// Fabric columns; 0 = auto-size (see rows).
   int cols = 0;
+  /// What to compile for: simulatable fabric or baseline accounting.
   Target target = Target::kPolymorphic;
   /// Optional defect map (not owned; must outlive the call).  The compiled
   /// design is guaranteed to avoid every marked resource.
@@ -69,16 +77,16 @@ struct CompileOptions {
 /// input line (r, c, line) of the configured fabric (a north-boundary pad
 /// for inputs, an output-driver line for outputs).
 struct PortBinding {
-  std::string name;
-  map::SignalAt at;
+  std::string name;   ///< port name (netlist input/output name)
+  map::SignalAt at;   ///< fabric input-line position backing the port
 };
 
 /// A DFF mapped as a boundary register: `q_pad` is the north-boundary pad
 /// that plays Q, `d_at` the line where the settled D value is observable.
 struct StateBinding {
-  std::string name;
-  map::SignalAt q_pad;
-  map::SignalAt d_at;
+  std::string name;      ///< the DFF's name in the source netlist
+  map::SignalAt q_pad;   ///< north-boundary pad playing Q
+  map::SignalAt d_at;    ///< line where the settled D value is observable
 };
 
 /// The result of compilation: a configured fabric, its serialised
@@ -87,14 +95,14 @@ struct StateBinding {
 /// *bitstream*, round-tripping the configuration exactly as a
 /// reconfiguration controller would.
 struct CompiledDesign {
-  Target target = Target::kPolymorphic;
+  Target target = Target::kPolymorphic;  ///< which side this design is for
   core::Fabric fabric{1, 1};           ///< configured fabric (polymorphic)
   std::vector<std::uint8_t> bitstream; ///< encode_fabric(fabric)
-  core::FabricDelays delays{};
+  core::FabricDelays delays{};         ///< gate delays used at elaboration
   std::vector<PortBinding> inputs;     ///< netlist input order
   std::vector<PortBinding> outputs;    ///< netlist output order
   std::vector<StateBinding> state;     ///< DFF boundary registers
-  Report report;
+  Report report;                       ///< resource/timing accounting
   /// Per-gate levelization of the elaborated circuit, recorded at compile
   /// time (elaboration is deterministic, so it matches the circuit a
   /// Session re-elaborates from the bitstream).  Lets the bit-parallel
@@ -108,8 +116,13 @@ struct CompiledDesign {
   std::uint64_t content_hash = 0;
 };
 
+/// The four-step netlist→fabric pipeline (decompose, place, route,
+/// account & serialise — see the file comment).  Stateless apart from its
+/// options; compile() may be called repeatedly.
 class Compiler {
  public:
+  /// A compiler with fixed options (defaults: auto-sized polymorphic
+  /// fabric, no defects).
   explicit Compiler(CompileOptions options = {})
       : options_(std::move(options)) {}
 
@@ -120,6 +133,7 @@ class Compiler {
   [[nodiscard]] Result<CompiledDesign> compile(
       const map::Netlist& netlist) const;
 
+  /// The options this compiler was constructed with.
   [[nodiscard]] const CompileOptions& options() const noexcept {
     return options_;
   }
@@ -131,6 +145,15 @@ class Compiler {
 /// One-shot convenience: Compiler(options).compile(netlist).
 [[nodiscard]] Result<CompiledDesign> compile(const map::Netlist& netlist,
                                              const CompileOptions& options = {});
+
+/// The identical-content rule shared by every residency layer
+/// (rt::DesignCache dedupe/idempotency, rt::DevicePool re-registration):
+/// same content hash (fast path; 0 only equals 0), byte-identical
+/// bitstream (authoritative), and equal delays (the bitstream cannot see a
+/// timing-model change).  Two designs that satisfy it are the same
+/// personality and may be aliased or replicated interchangeably.
+[[nodiscard]] bool same_content(const CompiledDesign& a,
+                                const CompiledDesign& b);
 
 /// Re-target a compiled polymorphic design onto a larger array: the placed
 /// blocks keep their top-left-anchored coordinates, the extra area stays

@@ -120,6 +120,8 @@ Result<std::vector<BitVector>> BatchExecutor::run(
     if (!ev.ok()) return ev.status();
     engine = *ev;
   }
+  ++stats_.runs;
+  ++(engine == compiled_.get() ? stats_.compiled_runs : stats_.event_runs);
 
   // Pack vectors into 64-wide batches and shard whole batches across the
   // pool.  Compiled clones share the immutable program and carry only
@@ -138,6 +140,7 @@ Result<std::vector<BitVector>> BatchExecutor::run(
                                 nbatches);
         !s.ok())
       return s;
+    stats_.vectors_run += vectors.size();
     return results;
   }
 
@@ -169,6 +172,7 @@ Result<std::vector<BitVector>> BatchExecutor::run(
     done_cv.wait(lock, [&] { return remaining == 0; });
   }
   if (!first_error.ok()) return first_error;
+  stats_.vectors_run += vectors.size();
   return results;
 }
 

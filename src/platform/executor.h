@@ -14,6 +14,10 @@
 // Thread-safety: `run` shards *within* one call, but the executor itself is
 // not synchronized — callers serialize calls (Session is single-threaded by
 // contract; rt::Device funnels every job through its dispatcher).
+
+/// \file
+/// \brief platform::BatchExecutor — the engine-owning batch-evaluation
+/// core shared by Session and the pp::rt runtime.
 #pragma once
 
 #include <cstdint>
@@ -27,7 +31,9 @@
 
 namespace pp::platform {
 
+/// One vector of port values, index = bound port order.
 using BitVector = std::vector<bool>;
+/// One stimulus vector (bound input order); a batch is a span of these.
 using InputVector = BitVector;
 
 /// Which evaluation engine batch runs use.
@@ -44,6 +50,7 @@ enum class Engine : std::uint8_t {
   kCompiled,
 };
 
+/// Per-call knobs for a batch run (engine choice, sharding, budgets).
 struct RunOptions {
   /// Worker cap for a batch run; 0 = every worker of the global pool.
   /// 1 forces the serial reference path (no cloning).
@@ -54,6 +61,21 @@ struct RunOptions {
   Engine engine = Engine::kAuto;
 };
 
+/// Cumulative accounting of one executor's batch runs (all counters
+/// monotone; failed runs count toward runs but not vectors_run).  Shares
+/// the executor's synchronization contract: read it from the thread that
+/// serializes run() calls.
+struct ExecutorStats {
+  std::uint64_t runs = 0;           ///< run() calls that reached an engine
+  std::uint64_t vectors_run = 0;    ///< stimulus vectors evaluated OK
+  std::uint64_t compiled_runs = 0;  ///< runs served by the compiled engine
+  std::uint64_t event_runs = 0;     ///< runs served by the event engine
+};
+
+/// The engine-owning batch-evaluation core: one executor per (circuit,
+/// input nets, output nets) binding, engines built lazily and cached for
+/// its lifetime.  Not synchronized — callers serialize run() calls (see
+/// the file comment).
 class BatchExecutor {
  public:
   /// Bind an executor to a circuit.  The circuit must outlive the executor;
@@ -64,7 +86,11 @@ class BatchExecutor {
                 std::vector<sim::NetId> out_nets,
                 std::vector<std::string> output_names, sim::LevelMap levels);
 
+  /// Moves transfer the cached engines; the moved-from executor may only
+  /// be destroyed or assigned to.
   BatchExecutor(BatchExecutor&&) noexcept = default;
+  /// Moves transfer the cached engines; the moved-from executor may only
+  /// be destroyed or assigned to.
   BatchExecutor& operator=(BatchExecutor&&) noexcept = default;
 
   /// Evaluate many independent stimulus vectors (bound input order) and
@@ -80,12 +106,21 @@ class BatchExecutor {
   /// Builds and caches the engine on first call.
   [[nodiscard]] Status compiled_engine_status();
 
+  /// Number of bound input nets (the width every stimulus vector must have).
   [[nodiscard]] std::size_t input_count() const noexcept {
     return in_nets_.size();
   }
+  /// Number of bound output nets (the width of every result vector).
   [[nodiscard]] std::size_t output_count() const noexcept {
     return out_nets_.size();
   }
+
+  /// Accounting across this executor's lifetime — how often each engine
+  /// actually served and how many vectors went through.  Surfaced as
+  /// Session::executor_stats(); rt::Device keeps its own aggregate
+  /// (DeviceStats::vectors_run) under its stats lock because this view
+  /// shares the executor's caller-serialized contract.
+  [[nodiscard]] const ExecutorStats& stats() const noexcept { return stats_; }
 
  private:
   [[nodiscard]] Status ensure_compiled();
@@ -101,6 +136,7 @@ class BatchExecutor {
   Status compiled_status_;
   std::unique_ptr<sim::CompiledEval> compiled_;
   std::unique_ptr<sim::EventEval> event_engine_;
+  ExecutorStats stats_;
 };
 
 }  // namespace pp::platform

@@ -6,6 +6,10 @@
 // "how many blocks / leaf cells / configuration bits / λ² does this
 // configured fabric cost" goes through it (the paper's resource comparisons
 // are exactly these four numbers).
+
+/// \file
+/// \brief platform::Report / fabric_stats / baseline_stats — the shared
+/// resource/area/power/timing accounting for compiled designs.
 #pragma once
 
 #include "arch/area_model.h"
@@ -32,12 +36,12 @@ struct FabricStats {
 
 /// The conventional-FPGA side of the function-for-function comparison.
 struct BaselineStats {
-  int luts = 0;
-  int ffs = 0;
-  int depth = 0;
-  int logic_cells = 0;
-  long long config_bits = 0;
-  double area_lambda2 = 0.0;
+  int luts = 0;               ///< 4-LUTs after tech mapping
+  int ffs = 0;                ///< flip-flops after tech mapping
+  int depth = 0;              ///< LUT levels on the critical path
+  int logic_cells = 0;        ///< logic cells (LUT+FF sites) consumed
+  long long config_bits = 0;  ///< baseline configuration bits
+  double area_lambda2 = 0.0;  ///< baseline λ² area (fpga::FpgaParams)
 };
 
 /// Tech-map `netlist` onto the 4-LUT baseline and account it.
@@ -54,7 +58,8 @@ struct Report {
   int netlist_depth = 0;       ///< combinational depth of the source netlist
   int mapped_nodes = 0;        ///< ≤3-input nodes after decomposition
   int route_hops = 0;          ///< feed-through rows spent on interconnect
-  int fabric_rows = 0, fabric_cols = 0;
+  int fabric_rows = 0;         ///< compiled fabric rows
+  int fabric_cols = 0;         ///< compiled fabric columns
 };
 
 }  // namespace pp::platform

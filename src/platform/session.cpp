@@ -279,6 +279,11 @@ Status Session::compiled_engine_status() {
   return impl_->exec().compiled_engine_status();
 }
 
+ExecutorStats Session::executor_stats() const {
+  // All-zero before the first batch run (the executor is built lazily).
+  return impl_->executor ? impl_->executor->stats() : ExecutorStats{};
+}
+
 const std::vector<std::string>& Session::input_names() const {
   return impl_->input_names;
 }

@@ -21,6 +21,10 @@
 // engine serves purely combinational configured fabrics; the event-driven
 // clone-sharding path remains the always-correct fallback.  Vectors must be
 // independent, so the design must be combinational either way.
+
+/// \file
+/// \brief platform::Session — name-based synchronous driving of a compiled
+/// design (poke/peek/settle/step) plus the run_vectors batch path.
 #pragma once
 
 #include <cstdint>
@@ -39,6 +43,10 @@
 
 namespace pp::platform {
 
+/// An interactive simulation session over one design: the fabric decoded
+/// from its bitstream, the elaborated circuit, the event simulator, and
+/// name→net port bindings.  Single-threaded by contract (one session, one
+/// driving thread); run_vectors shards internally.
 class Session {
  public:
   /// Load a compiled polymorphic design from its bitstream.  Fails with
@@ -53,9 +61,10 @@ class Session {
       core::Fabric fabric, std::vector<PortBinding> inputs,
       std::vector<PortBinding> observes, const core::FabricDelays& delays = {});
 
+  /// A named simulator net (for from_circuit sessions).
   struct NetBinding {
-    std::string name;
-    sim::NetId net;
+    std::string name;  ///< port name
+    sim::NetId net;    ///< the circuit net backing it
   };
 
   /// Wrap a raw circuit (e.g. an async micropipeline harness) with named
@@ -64,12 +73,16 @@ class Session {
       sim::Circuit circuit, std::vector<NetBinding> inputs,
       std::vector<NetBinding> observes);
 
+  /// Moved-from sessions may only be destroyed or assigned to.
   Session(Session&&) noexcept;
+  /// Replaces this session with the moved-in one.
   Session& operator=(Session&&) noexcept;
+  /// Tears down the simulator and cached engines.
   ~Session();
 
   /// Drive a named input port.  kNotFound for unknown names.
   [[nodiscard]] Status poke(std::string_view name, bool value);
+  /// As `poke`, but with a 4-value logic level (X/Z injection).
   [[nodiscard]] Status poke_logic(std::string_view name, sim::Logic value);
 
   /// Read a named port (any bound name: input, output, or observe point).
@@ -103,17 +116,26 @@ class Session {
   /// engine on first call.
   [[nodiscard]] Status compiled_engine_status();
 
+  /// Batch-run accounting for this session (runs, vectors evaluated, which
+  /// engine served them); all-zero until the first run_vectors call.
+  [[nodiscard]] ExecutorStats executor_stats() const;
+
+  /// Bound input port names, in netlist input order.
   [[nodiscard]] const std::vector<std::string>& input_names() const;
+  /// Bound output port names, in netlist output order.
   [[nodiscard]] const std::vector<std::string>& output_names() const;
+  /// True when the design has DFF boundary registers (drive it with step;
+  /// run_vectors is rejected).
   [[nodiscard]] bool sequential() const;
 
   /// Resolve a bound port name to its simulator net (for waveforms and
   /// timing probes on the raw simulator).
   [[nodiscard]] Result<sim::NetId> net(std::string_view name) const;
 
-  /// The underlying simulator/circuit, for waveforms, stats, and the async
+  /// The underlying event simulator, for waveforms, stats, and the async
   /// harnesses that drive handshakes directly.
   [[nodiscard]] sim::Simulator& simulator();
+  /// The elaborated circuit the simulator runs.
   [[nodiscard]] const sim::Circuit& circuit() const;
 
  private:

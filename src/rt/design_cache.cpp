@@ -86,13 +86,10 @@ Result<DesignCache::LoadOutcome> DesignCache::load(
   const auto resolve = [&](const platform::CompiledDesign& design)
       -> std::optional<Result<LoadOutcome>> {
     // "Same content" is the full identity, not just the configuration
-    // bytes: the hash covers netlist structure/names/target/delays, and
-    // the delays are compared outright too (hash-0 designs carry them but
-    // no hash; the bitstream alone cannot see a timing-model change).
+    // bytes — platform::same_content is the one shared rule (hash fast
+    // path, authoritative bitstream bytes, outright-compared delays).
     const auto same_content = [&design](const ResidentDesign& resident) {
-      const platform::CompiledDesign& d = resident.design();
-      return d.content_hash == design.content_hash &&
-             d.bitstream == design.bitstream && d.delays == design.delays;
+      return platform::same_content(resident.design(), design);
     };
     // Content dedupe: identical content is the same personality, whatever
     // it is called — alias the resident object.

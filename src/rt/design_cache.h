@@ -13,6 +13,10 @@
 // The cache dedupes by content: loading a design whose content hash and
 // padded bitstream match an already-resident design aliases the existing
 // ResidentDesign under the new name instead of building a second copy.
+
+/// \file
+/// \brief rt::DesignCache / rt::ResidentDesign — named designs resident on
+/// one device, deduped by content.
 #pragma once
 
 #include <cstdint>
@@ -40,7 +44,9 @@ class ResidentDesign {
   [[nodiscard]] static Result<std::shared_ptr<ResidentDesign>> create(
       std::string name, platform::CompiledDesign padded);
 
+  /// The first name this content was made resident under.
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  /// The padded compiled design (bitstream, bindings, report).
   [[nodiscard]] const platform::CompiledDesign& design() const noexcept {
     return design_;
   }
@@ -65,9 +71,14 @@ class ResidentDesign {
   std::unique_ptr<platform::BatchExecutor> executor_;
 };
 
+/// The per-device registry of resident designs: name → ResidentDesign,
+/// with content-hash dedupe so identical content is built exactly once.
+/// All methods are thread-safe.
 class DesignCache {
  public:
+  /// What a load resolved to.
   struct LoadOutcome {
+    /// The (possibly pre-existing) resident design now bound to the name.
     std::shared_ptr<ResidentDesign> resident;
     bool deduped = false;  ///< aliased an already-resident identical design
   };
@@ -78,8 +89,10 @@ class DesignCache {
   [[nodiscard]] Result<LoadOutcome> load(std::string name,
                                          platform::CompiledDesign padded);
 
+  /// The resident design bound to `name`, or nullptr.
   [[nodiscard]] std::shared_ptr<ResidentDesign> find(
       std::string_view name) const;
+  /// All bound names (aliases included), sorted.
   [[nodiscard]] std::vector<std::string> names() const;
 
  private:

@@ -28,6 +28,12 @@ struct Device::Impl {
   // delta to its base.
   std::uint32_t hw_crc = 0;
   std::shared_ptr<ResidentDesign> active;
+  // Mirror of `active` readable without hw_mutex: the dispatcher holds
+  // hw_mutex for a whole job (the personality is pinned), so introspection
+  // through it would block scheduling decisions for the job's duration.
+  // Published under its own tiny lock at the instant each swap applies.
+  mutable std::mutex active_snapshot_mutex;
+  std::shared_ptr<ResidentDesign> active_snapshot;
   // Deltas between resident personalities, keyed by (from, to) resident
   // name ("" = the blank power-on personality).  Designs are immutable once
   // resident, so cached deltas never go stale.
@@ -80,6 +86,10 @@ struct Device::Impl {
       hw_crc |= static_cast<std::uint32_t>(stream[stream.size() - 4 + i])
                 << (8 * i);
     active = rd;
+    {
+      const std::lock_guard<std::mutex> lock(active_snapshot_mutex);
+      active_snapshot = rd;
+    }
     const std::lock_guard<std::mutex> lock(stats_mutex);
     ++stats.activations;
     stats.delta_bytes += it->second.size();
@@ -88,9 +98,14 @@ struct Device::Impl {
     return Status();
   }
 
+  [[nodiscard]] std::shared_ptr<ResidentDesign> active_design() const {
+    const std::lock_guard<std::mutex> lock(active_snapshot_mutex);
+    return active_snapshot;
+  }
+
   [[nodiscard]] std::string active_name() const {
-    const std::lock_guard<std::mutex> lock(hw_mutex);
-    return active ? active->name() : std::string();
+    const auto rd = active_design();
+    return rd ? rd->name() : std::string();
   }
 
   void dispatch_loop() {
@@ -133,10 +148,9 @@ struct Device::Impl {
           results = std::move(*run);
         else
           status = run.status();
-        if (!swapped) {
-          const std::lock_guard<std::mutex> lock(stats_mutex);
-          ++stats.batched_jobs;
-        }
+        const std::lock_guard<std::mutex> lock(stats_mutex);
+        if (!swapped) ++stats.batched_jobs;
+        if (status.ok()) stats.vectors_run += results.size();
       }
     }
     {
@@ -231,6 +245,23 @@ Status Device::activate(std::string_view name) {
 }
 
 std::string Device::active() const { return impl_->active_name(); }
+
+bool Device::active_matches(std::string_view name) const {
+  const auto rd = impl_->active_design();
+  if (name.empty()) return rd == nullptr;  // "" is the blank personality
+  return rd != nullptr && rd == impl_->cache.find(name);
+}
+
+std::size_t Device::queue_depth() const {
+  const std::lock_guard<std::mutex> lock(impl_->idle_mutex);
+  return static_cast<std::size_t>(impl_->outstanding);
+}
+
+std::size_t Device::queued(std::string_view name) const {
+  return impl_->queue.pending_for(name);
+}
+
+bool Device::idle() const { return queue_depth() == 0; }
 
 core::Fabric Device::personality() const {
   const std::lock_guard<std::mutex> lock(impl_->hw_mutex);

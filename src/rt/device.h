@@ -31,6 +31,10 @@
 // destructor cancels still-queued jobs (waking their waiters), finishes the
 // running one, and joins the dispatcher; call drain() first to let queued
 // work complete.
+
+/// \file
+/// \brief rt::Device — one polymorphic array with resident designs,
+/// partial-reconfiguration activation, and an async job queue.
 #pragma once
 
 #include <cstdint>
@@ -48,6 +52,8 @@
 
 namespace pp::rt {
 
+/// Batch-run options, re-exported from pp::platform (the runtime and the
+/// synchronous Session share one evaluation machinery).
 using platform::RunOptions;
 
 /// Cumulative runtime accounting (all counters monotone).
@@ -59,23 +65,37 @@ struct DeviceStats {
   std::uint64_t delta_bytes = 0;       ///< reconfig bytes actually written
   std::uint64_t full_bytes = 0;        ///< full-bitstream bytes those swaps
                                        ///< would have cost
-  std::uint64_t jobs_submitted = 0;
+  std::uint64_t jobs_submitted = 0;  ///< accepted by submit()
   std::uint64_t jobs_completed = 0;  ///< finished OK
   std::uint64_t jobs_failed = 0;     ///< finished with a non-OK status
   std::uint64_t jobs_canceled = 0;   ///< withdrawn before execution
   std::uint64_t batched_jobs = 0;    ///< ran without a personality swap
+  std::uint64_t vectors_run = 0;     ///< stimulus vectors evaluated OK
 };
 
+/// One polymorphic array under runtime control: designs are made resident
+/// (load), exactly one is active on the fabric at a time (activate, by
+/// bitstream delta), and batches of stimulus vectors run asynchronously
+/// (submit) through a per-device dispatcher.  Every public method is
+/// thread-safe; see the file comment for the scheduling and lifetime
+/// contract, and docs/scheduling.md for the queue policy.
 class Device {
  public:
   /// A device over a rows x cols array, initially blank (no personality).
   [[nodiscard]] static Result<Device> create(int rows, int cols);
 
+  /// Moved-from devices may only be destroyed or assigned to.
   Device(Device&&) noexcept;
+  /// Shuts down the overwritten device (cancels its queued jobs, joins its
+  /// dispatcher) before taking over the moved-in one.
   Device& operator=(Device&&) noexcept;
+  /// Cancels still-queued jobs, finishes the in-flight one, joins the
+  /// dispatcher.  Job handles stay valid (and terminal) afterwards.
   ~Device();
 
+  /// Array rows (fixed at creation).
   [[nodiscard]] int rows() const noexcept;
+  /// Array columns (fixed at creation).
   [[nodiscard]] int cols() const noexcept;
 
   /// Make a compiled design resident under `name` (non-empty; "" is
@@ -88,6 +108,7 @@ class Device {
   [[nodiscard]] Status load(std::string name,
                             const platform::CompiledDesign& design);
 
+  /// True when `name` names a resident design (aliases included).
   [[nodiscard]] bool resident(std::string_view name) const;
   /// Names of all resident designs (aliases included), sorted.
   [[nodiscard]] std::vector<std::string> designs() const;
@@ -97,8 +118,32 @@ class Device {
   /// mid-flight — the personality is pinned for the duration of each job.
   [[nodiscard]] Status activate(std::string_view name);
 
-  /// Name of the active design ("" while the array is blank).
+  /// Name of the active design ("" while the array is blank).  Lock-light
+  /// snapshot: it reflects the most recently *applied* personality and never
+  /// blocks on an in-flight job (the dispatcher publishes each swap as it
+  /// pins the fabric).
   [[nodiscard]] std::string active() const;
+
+  /// True when `name` resolves to the resident design whose personality is
+  /// on the array right now.  Alias-aware (two names for deduped identical
+  /// content match the same personality) and non-blocking, which is what
+  /// makes it usable as a scheduler affinity probe — see rt::DevicePool.
+  [[nodiscard]] bool active_matches(std::string_view name) const;
+
+  /// Jobs accepted but not yet retired (queued + in flight).  Snapshot
+  /// load hint for schedulers; see JobQueue::pending for the caveat.  A
+  /// finishing job's waiters may wake an instant before it retires, so
+  /// drain() — not a wait() on the last job — is the strict idle barrier.
+  [[nodiscard]] std::size_t queue_depth() const;
+
+  /// Still-queued (not yet dispatched) jobs bound to `name` — per-design
+  /// introspection for tests and tooling (rt::DevicePool routes on the
+  /// device-wide queue_depth(), not this).
+  [[nodiscard]] std::size_t queued(std::string_view name) const;
+
+  /// True when no job is queued or in flight (queue_depth() == 0) —
+  /// introspection convenience; see the drain() caveat on queue_depth().
+  [[nodiscard]] bool idle() const;
 
   /// A snapshot of the resident configuration of the physical array (what
   /// a controller would read back), taken under the personality lock so it
@@ -128,6 +173,7 @@ class Device {
   [[nodiscard]] Result<platform::Session> open_session(
       std::string_view name) const;
 
+  /// Snapshot of the cumulative runtime counters.
   [[nodiscard]] DeviceStats stats() const;
 
  private:

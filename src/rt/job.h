@@ -7,6 +7,9 @@
 // references: copying one observes the same job, and a handle outliving its
 // device stays safe (the dispatcher completes or cancels every queued job
 // before the device dies).
+
+/// \file
+/// \brief rt::Job — a future-like handle on one unit of device work.
 #pragma once
 
 #include <condition_variable>
@@ -22,7 +25,9 @@
 
 namespace pp::rt {
 
+/// One result vector (bound output order), re-exported from pp::platform.
 using platform::BitVector;
+/// One stimulus vector (bound input order), re-exported from pp::platform.
 using platform::InputVector;
 
 namespace detail {
@@ -54,14 +59,22 @@ struct JobState {
 
 }  // namespace detail
 
+/// A future-like handle on one submitted batch of work: block on it
+/// (wait), poll it (try_result), or withdraw it before dispatch (cancel).
+/// Copies are cheap and observe the same job; handles outlive their
+/// device safely.
 class Job {
  public:
   /// Default-constructed handles are empty (valid() == false); every other
   /// accessor requires a handle obtained from Device::submit.
   Job() = default;
 
+  /// True for handles obtained from Device::submit (false only for
+  /// default-constructed ones).
   [[nodiscard]] bool valid() const noexcept { return state_ != nullptr; }
+  /// Device-unique, monotonically increasing job id.
   [[nodiscard]] std::uint64_t id() const noexcept { return state_->id; }
+  /// The resident-design name this job is bound to.
   [[nodiscard]] const std::string& design() const noexcept {
     return state_->design;
   }

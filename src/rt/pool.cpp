@@ -1,0 +1,333 @@
+#include "rt/pool.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <limits>
+#include <map>
+#include <mutex>
+#include <set>
+#include <utility>
+
+namespace pp::rt {
+
+namespace {
+
+constexpr std::size_t kNoDevice = std::numeric_limits<std::size_t>::max();
+
+}  // namespace
+
+struct DevicePool::Impl {
+  PoolOptions options;
+  int rows = 0, cols = 0;
+  std::vector<Device> devices;
+
+  /// One registered design: the image every replica shares, plus where it
+  /// currently lives and how hot it has been running.  `padded` is
+  /// immutable once registered (and map nodes are stable), so replication
+  /// may read it without the pool mutex.
+  struct Entry {
+    platform::CompiledDesign padded;  // padded to the pool dims exactly once
+    std::vector<std::size_t> replica_devices;  // home first, then replicas
+    std::size_t hot_streak = 0;   // consecutive congested submits
+    bool replicating = false;     // a replication load is in flight
+  };
+
+  // One lock covers the registry and the scheduler counters: routing reads
+  // the replica map, replication mutates it, and stats must see a
+  // consistent picture.  Device-side probes (queue_depth, active_matches)
+  // are lock-light snapshots, so holding this mutex across them never
+  // blocks on a running job.
+  mutable std::mutex mutex;
+  std::map<std::string, Entry, std::less<>> registry;
+  // Names whose first registration (the device load, done without the
+  // mutex) is in flight: concurrent registrations of the same name wait
+  // for the owner instead of racing it, so a name can never end up bound
+  // to divergent content on different devices.
+  std::set<std::string, std::less<>> registering;
+  std::condition_variable registering_cv;
+  std::size_t next_home = 0;  // round-robin cursor for initial placement
+  std::uint64_t jobs_submitted = 0;
+  std::uint64_t affinity_active = 0;
+  std::uint64_t affinity_resident = 0;
+  std::uint64_t replications = 0;
+  std::vector<std::uint64_t> jobs_per_device;
+
+  /// Pick the routing target for one job of `entry`'s design (mutex held).
+  /// Affinity classes first (active > resident), least queue depth within a
+  /// class, lowest index as the final tie-break; `out_depth`/`out_active`
+  /// report the chosen device's probe results for the replication check and
+  /// the stats.
+  [[nodiscard]] std::size_t route(const Entry& entry, std::string_view name,
+                                  std::size_t& out_depth, bool& out_active) {
+    std::size_t best = kNoDevice, best_depth = 0;
+    bool best_active = false;
+    for (const std::size_t idx : entry.replica_devices) {
+      const std::size_t depth = devices[idx].queue_depth();
+      const bool active = devices[idx].active_matches(name);
+      const bool better = best == kNoDevice ||
+                          (active && !best_active) ||
+                          (active == best_active && depth < best_depth);
+      if (better) {
+        best = idx;
+        best_depth = depth;
+        best_active = active;
+      }
+    }
+    out_depth = best_depth;
+    out_active = best_active;
+    return best;
+  }
+
+  /// The least-loaded device not yet holding the design (mutex held);
+  /// kNoDevice when every device already has a replica.
+  [[nodiscard]] std::size_t least_loaded_non_replica(const Entry& entry,
+                                                     std::size_t& out_depth) {
+    std::size_t best = kNoDevice, best_depth = 0;
+    for (std::size_t idx = 0; idx < devices.size(); ++idx) {
+      bool is_replica = false;
+      for (const std::size_t r : entry.replica_devices)
+        if (r == idx) {
+          is_replica = true;
+          break;
+        }
+      if (is_replica) continue;
+      const std::size_t depth = devices[idx].queue_depth();
+      if (best == kNoDevice || depth < best_depth) {
+        best = idx;
+        best_depth = depth;
+      }
+    }
+    out_depth = best_depth;
+    return best;
+  }
+};
+
+DevicePool::DevicePool(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {}
+DevicePool::DevicePool(DevicePool&&) noexcept = default;
+DevicePool& DevicePool::operator=(DevicePool&&) noexcept = default;
+DevicePool::~DevicePool() = default;
+
+Result<DevicePool> DevicePool::create(std::size_t devices, int rows, int cols,
+                                      PoolOptions options) {
+  if (devices == 0)
+    return Status::invalid_argument(
+        "DevicePool::create: a pool needs at least one device");
+  auto impl = std::make_unique<Impl>();
+  impl->options = options;
+  impl->rows = rows;
+  impl->cols = cols;
+  impl->devices.reserve(devices);
+  for (std::size_t i = 0; i < devices; ++i) {
+    auto device = Device::create(rows, cols);
+    if (!device.ok()) return device.status();
+    impl->devices.push_back(std::move(*device));
+  }
+  impl->jobs_per_device.assign(devices, 0);
+  return DevicePool(std::move(impl));
+}
+
+std::size_t DevicePool::device_count() const noexcept {
+  return impl_->devices.size();
+}
+int DevicePool::rows() const noexcept { return impl_->rows; }
+int DevicePool::cols() const noexcept { return impl_->cols; }
+
+Status DevicePool::register_design(std::string name,
+                                   const platform::CompiledDesign& design) {
+  if (name.empty())
+    return Status::invalid_argument(
+        "DevicePool::register_design: the empty name is reserved for the "
+        "blank power-on personality");
+  // Pad once for the whole fleet: homogeneous dimensions mean this single
+  // image serves the home device and every later replica byte-identically.
+  auto padded = platform::pad_to(design, impl_->rows, impl_->cols);
+  if (!padded.ok()) return padded.status();
+
+  // Claim the name and a home slot, but keep the elaboration-sized
+  // Device::load outside the pool mutex — registering on a live pool must
+  // not stall admission.  The `registering` reservation makes concurrent
+  // registrations of the same name wait for the owner's outcome instead
+  // of loading possibly-divergent content onto a second device.
+  std::size_t home = 0;
+  {
+    std::unique_lock<std::mutex> lock(impl_->mutex);
+    impl_->registering_cv.wait(
+        lock, [&] { return impl_->registering.count(name) == 0; });
+    if (const auto it = impl_->registry.find(name);
+        it != impl_->registry.end()) {
+      if (platform::same_content(it->second.padded, *padded))
+        return Status();  // idempotent re-registration
+      return Status::failed_precondition(
+          "DevicePool::register_design: name '" + name +
+          "' already names a different design");
+    }
+    impl_->registering.insert(name);
+    home = impl_->next_home % impl_->devices.size();
+    ++impl_->next_home;
+  }
+  const Status loaded = impl_->devices[home].load(name, *padded);
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->registering.erase(name);
+  impl_->registering_cv.notify_all();
+  if (!loaded.ok()) return loaded;
+  Impl::Entry entry;
+  entry.padded = std::move(*padded);
+  entry.replica_devices.push_back(home);
+  impl_->registry.emplace(std::move(name), std::move(entry));
+  return Status();
+}
+
+bool DevicePool::resident(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->registry.find(name) != impl_->registry.end();
+}
+
+std::vector<std::string> DevicePool::designs() const {
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  std::vector<std::string> out;
+  out.reserve(impl_->registry.size());
+  for (const auto& [name, entry] : impl_->registry) out.push_back(name);
+  return out;
+}
+
+std::size_t DevicePool::replicas(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  const auto it = impl_->registry.find(name);
+  return it == impl_->registry.end() ? 0 : it->second.replica_devices.size();
+}
+
+Result<Job> DevicePool::submit(std::string_view name,
+                               std::vector<InputVector> vectors,
+                               const RunOptions& options) {
+  std::size_t target = kNoDevice;
+  bool active = false;
+  Impl::Entry* replicate_entry = nullptr;  // non-null: load `name` on cand
+  std::size_t cand = kNoDevice;
+  {
+    const std::lock_guard<std::mutex> lock(impl_->mutex);
+    const auto it = impl_->registry.find(name);
+    if (it == impl_->registry.end())
+      return Status::not_found("DevicePool::submit: no registered design "
+                               "named '" + std::string(name) + "'");
+    Impl::Entry& entry = it->second;
+    // Fail fast before any scheduling side effect (the device would reject
+    // these too, but a rejected job must not move the hot-streak counter or
+    // trigger a replication).
+    if (!entry.padded.state.empty())
+      return Status::failed_precondition(
+          "DevicePool::submit: sequential design — boundary-register state "
+          "needs an interactive Session (open_session) and step()");
+    const std::size_t nin = entry.padded.inputs.size();
+    for (const InputVector& v : vectors)
+      if (v.size() != nin)
+        return Status::invalid_argument("DevicePool::submit: every vector "
+                                        "must have " + std::to_string(nin) +
+                                        " input values");
+
+    std::size_t depth = 0;
+    target = impl_->route(entry, name, depth, active);
+
+    // Hot-design replication decision: sustained congestion at the
+    // design's best replica, a replica budget left, no replication of this
+    // design already in flight, and a strictly-less-loaded device without
+    // the design to put it on.
+    const std::size_t limit =
+        impl_->options.max_replicas == 0
+            ? impl_->devices.size()
+            : std::min(impl_->options.max_replicas, impl_->devices.size());
+    if (depth >= impl_->options.replicate_depth)
+      ++entry.hot_streak;
+    else
+      entry.hot_streak = 0;
+    if (entry.hot_streak >= impl_->options.replicate_streak &&
+        !entry.replicating && entry.replica_devices.size() < limit) {
+      std::size_t cand_depth = 0;
+      cand = impl_->least_loaded_non_replica(entry, cand_depth);
+      if (cand != kNoDevice && cand_depth < depth) {
+        // Mark the load in flight and do it outside the pool mutex below:
+        // residency is an elaboration-sized cost, and holding the lock
+        // across it would stall every concurrent submit exactly when the
+        // pool is congested.
+        entry.replicating = true;
+        entry.hot_streak = 0;
+        replicate_entry = &entry;
+      }
+    }
+  }
+
+  if (replicate_entry != nullptr) {
+    // Safe without the lock: entries are never erased, map nodes are
+    // stable, and `padded` is immutable after registration.  A failure
+    // only means this job keeps its original routing (the device-side
+    // load is idempotent, so a later retry is harmless).
+    const bool loaded =
+        impl_->devices[cand].load(std::string(name), replicate_entry->padded)
+            .ok();
+    const std::lock_guard<std::mutex> lock(impl_->mutex);
+    replicate_entry->replicating = false;
+    if (loaded) {
+      replicate_entry->replica_devices.push_back(cand);
+      ++impl_->replications;
+      target = cand;
+      active = false;
+    }
+  }
+
+  auto job = impl_->devices[target].submit(name, std::move(vectors), options);
+  if (!job.ok()) return job.status();
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  ++impl_->jobs_submitted;
+  ++impl_->jobs_per_device[target];
+  ++(active ? impl_->affinity_active : impl_->affinity_resident);
+  return job;
+}
+
+Result<std::vector<BitVector>> DevicePool::run_sync(std::string_view name,
+                                                    std::vector<InputVector>
+                                                        vectors,
+                                                    const RunOptions& options) {
+  auto job = submit(name, std::move(vectors), options);
+  if (!job.ok()) return job.status();
+  return job->wait();
+}
+
+void DevicePool::drain() {
+  for (Device& device : impl_->devices) device.drain();
+}
+
+Result<platform::Session> DevicePool::open_session(
+    std::string_view name) const {
+  std::size_t home = kNoDevice;
+  {
+    const std::lock_guard<std::mutex> lock(impl_->mutex);
+    const auto it = impl_->registry.find(name);
+    if (it == impl_->registry.end())
+      return Status::not_found("DevicePool::open_session: no registered "
+                               "design named '" + std::string(name) + "'");
+    home = it->second.replica_devices.front();
+  }
+  return impl_->devices[home].open_session(name);
+}
+
+const Device& DevicePool::device(std::size_t index) const {
+  return impl_->devices[index];
+}
+
+PoolStats DevicePool::stats() const {
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  PoolStats out;
+  out.jobs_submitted = impl_->jobs_submitted;
+  out.affinity_active = impl_->affinity_active;
+  out.affinity_resident = impl_->affinity_resident;
+  out.replications = impl_->replications;
+  out.jobs_per_device = impl_->jobs_per_device;
+  out.queue_depths.reserve(impl_->devices.size());
+  out.device.reserve(impl_->devices.size());
+  for (const Device& device : impl_->devices) {
+    out.queue_depths.push_back(device.queue_depth());
+    out.device.push_back(device.stats());
+  }
+  return out;
+}
+
+}  // namespace pp::rt

@@ -1,0 +1,170 @@
+// rt::DevicePool — a fleet of identical devices behind one submit surface.
+//
+// One rt::Device keeps one fabric busy; serving the ROADMAP's "heavy
+// traffic" means a *pool* of them, the shell/runtime split of XRT-style
+// multi-device platforms.  The pool owns N devices of homogeneous
+// dimensions and exposes the same register-design / submit / wait shape as
+// Device, adding two scheduling policies on top (docs/scheduling.md):
+//
+//  * Affinity-first routing.  Reconfiguration is the expensive event
+//    (PR 3 measured deltas vs full rewrites), so a job goes to the
+//    least-loaded device where its design is already *active*, then to the
+//    least-loaded device where it is merely *resident*; plain least-loaded
+//    is only the tie-break within each class.  Depth probes and the
+//    active-personality check are lock-light snapshots (Device::queue_depth,
+//    Device::active_matches), so routing never blocks on a running job.
+//  * Hot-design replication.  Residency is cheap (content-hash dedupe, one
+//    elaboration per distinct design per device) while congestion is not:
+//    when a design's best replica stays at or above
+//    PoolOptions::replicate_depth for replicate_streak consecutive
+//    submits, the pool loads the design onto the strictly-less-loaded
+//    non-replica device with the smallest queue and routes there, so hot
+//    personalities spread across the fleet while cold ones stay put.
+//
+// Homogeneous dimensions are a requirement, not a convenience: designs are
+// padded (platform::pad_to) to the pool's rows x cols exactly once at
+// registration, and that single padded image is what makes replicas
+// byte-identical across devices — the same bitstream, the same deltas, the
+// same engines.  Heterogeneous arrays would need one pad (and one
+// elaboration) per distinct dimension and would break the "a replica is
+// interchangeable" invariant the router relies on (DESIGN.md §11).
+//
+// Thread-safety: every public method is safe to call from any thread.
+// Destroying the pool destroys its devices in turn: each cancels its
+// still-queued jobs (waking their waiters), finishes the in-flight one,
+// and joins its dispatcher.  Call drain() first to let queued work finish.
+
+/// \file
+/// \brief rt::DevicePool — a fleet of identical devices behind one submit
+/// surface, with affinity routing and hot-design replication.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "platform/compiler.h"
+#include "platform/session.h"
+#include "rt/device.h"
+#include "rt/job.h"
+#include "util/status.h"
+
+namespace pp::rt {
+
+/// Tuning knobs for the pool scheduler (see docs/scheduling.md).
+struct PoolOptions {
+  /// A design is congested when its best replica's device has at least
+  /// this many jobs queued or in flight at submit time.
+  std::size_t replicate_depth = 4;
+  /// How many *consecutive* congested submits a design must see before the
+  /// pool replicates it (one spike is not a hot spot).
+  std::size_t replicate_streak = 2;
+  /// Upper bound on replicas per design; 0 means "up to every device".
+  std::size_t max_replicas = 0;
+};
+
+/// Point-in-time snapshot of the pool's scheduling behaviour.  Cumulative
+/// counters are monotone; queue_depths is an instantaneous load picture.
+struct PoolStats {
+  std::uint64_t jobs_submitted = 0;     ///< accepted by DevicePool::submit
+  std::uint64_t affinity_active = 0;    ///< routed to an active-design device
+  std::uint64_t affinity_resident = 0;  ///< routed to a merely-resident one
+  std::uint64_t replications = 0;       ///< hot-design copies added
+  std::vector<std::uint64_t> jobs_per_device;  ///< submits routed per device
+  std::vector<std::size_t> queue_depths;  ///< per-device depth at snapshot
+  std::vector<DeviceStats> device;        ///< per-device runtime counters
+};
+
+/// A fleet of homogeneous rt::Devices behind one register / submit / wait
+/// surface.  Jobs route by design affinity first (active personality, then
+/// mere residency), least-loaded within a class; designs that stay
+/// congested replicate onto additional devices.  Every public method is
+/// thread-safe; see the file comment and docs/scheduling.md §2 for the
+/// policy.
+class DevicePool {
+ public:
+  /// A pool of `devices` blank devices, each over a rows x cols array.
+  /// Fails with kInvalidArgument for a zero device count or dimensions the
+  /// fabric rejects.
+  [[nodiscard]] static Result<DevicePool> create(std::size_t devices, int rows,
+                                                 int cols,
+                                                 PoolOptions options = {});
+
+  /// Moved-from pools may only be destroyed or assigned to.
+  DevicePool(DevicePool&&) noexcept;
+  /// Shuts down the overwritten pool's fleet before taking over the
+  /// moved-in one.
+  DevicePool& operator=(DevicePool&&) noexcept;
+  /// Destroys the fleet device by device: queued jobs cancel (their
+  /// waiters wake), in-flight jobs finish, dispatchers join.
+  ~DevicePool();
+
+  /// Number of devices in the fleet (fixed at creation).
+  [[nodiscard]] std::size_t device_count() const noexcept;
+  /// Array rows shared by every device.
+  [[nodiscard]] int rows() const noexcept;
+  /// Array columns shared by every device.
+  [[nodiscard]] int cols() const noexcept;
+
+  /// Register a compiled design with the pool under `name` (non-empty).
+  /// The design is padded to the pool dimensions once and made resident on
+  /// one home device (round-robin across the fleet, so distinct designs
+  /// start on distinct devices); further replicas appear only when the
+  /// design runs hot.  Same contract as Device::load: re-registering
+  /// identical content under the same name is idempotent, and a name can
+  /// never be rebound to different content (kFailedPrecondition).
+  [[nodiscard]] Status register_design(std::string name,
+                                       const platform::CompiledDesign& design);
+
+  /// True when `name` is registered with the pool.
+  [[nodiscard]] bool resident(std::string_view name) const;
+  /// Names of all registered designs, sorted.
+  [[nodiscard]] std::vector<std::string> designs() const;
+  /// How many devices currently hold `name` (0 when unknown).
+  [[nodiscard]] std::size_t replicas(std::string_view name) const;
+
+  /// Route a batch of stimulus vectors to a device by design affinity
+  /// (active > resident > least-loaded tie-break) and enqueue it there.
+  /// Validation mirrors Device::submit: kNotFound for an unregistered
+  /// design, kFailedPrecondition for a sequential one, kInvalidArgument on
+  /// a vector-width mismatch — all before queueing.  The returned Job is
+  /// the same handle Device::submit yields; it stays valid after the pool
+  /// dies (jobs are completed or canceled first, never leaked).
+  [[nodiscard]] Result<Job> submit(std::string_view name,
+                                   std::vector<InputVector> vectors,
+                                   const RunOptions& options = {});
+
+  /// Synchronous convenience: submit + wait.
+  [[nodiscard]] Result<std::vector<BitVector>> run_sync(
+      std::string_view name, std::vector<InputVector> vectors,
+      const RunOptions& options = {});
+
+  /// Block until every device in the pool is idle (all submitted jobs have
+  /// retired).
+  void drain();
+
+  /// An interactive synchronous Session over a registered design (needed
+  /// for sequential designs, which the job path rejects).  The session is
+  /// independent of every device's personality.
+  [[nodiscard]] Result<platform::Session> open_session(
+      std::string_view name) const;
+
+  /// Direct access to one device of the fleet (index < device_count()),
+  /// for tests, benches, and per-device introspection.  Scheduling-neutral:
+  /// reads are always safe, but loading designs behind the pool's back
+  /// leaves its replica map unaware of them.
+  [[nodiscard]] const Device& device(std::size_t index) const;
+
+  /// Snapshot of the pool's scheduling counters and per-device stats.
+  [[nodiscard]] PoolStats stats() const;
+
+ private:
+  struct Impl;
+  explicit DevicePool(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace pp::rt

@@ -66,4 +66,11 @@ std::size_t JobQueue::pending() const {
   return queue_.size();
 }
 
+std::size_t JobQueue::pending_for(std::string_view design) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<std::size_t>(
+      std::count_if(queue_.begin(), queue_.end(),
+                    [&](const auto& j) { return j->design == design; }));
+}
+
 }  // namespace pp::rt

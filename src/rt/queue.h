@@ -9,6 +9,10 @@
 // strict-FIFO pop is forced, so the oldest waiting job is served after a
 // bounded number of batched rides even under a sustained stream of
 // active-design submissions.
+
+/// \file
+/// \brief rt::JobQueue — the per-device submission queue with same-design
+/// batching and a bounded-bypass starvation guarantee.
 #pragma once
 
 #include <condition_variable>
@@ -22,6 +26,9 @@
 
 namespace pp::rt {
 
+/// Blocking MPSC job queue (many submitters, one dispatcher) whose pop
+/// prefers the oldest job matching the active personality, bounded so no
+/// design starves (docs/scheduling.md §1).
 class JobQueue {
  public:
   /// How many times in a row pop() may serve a matching-design job ahead
@@ -44,7 +51,16 @@ class JobQueue {
   /// how many jobs this call actually canceled.
   std::size_t shutdown();
 
+  /// Number of jobs currently queued (excluding any job the consumer has
+  /// already popped).  Snapshot only: concurrent pushes/pops may change it
+  /// immediately; schedulers use it as a load hint, never as a guarantee.
   [[nodiscard]] std::size_t pending() const;
+
+  /// Number of queued jobs bound to `design`.  Same snapshot caveat as
+  /// pending().  Per-design introspection (surfaced as Device::queued) for
+  /// tests and operational tooling; the pool's routing and replication
+  /// decisions use the device-wide depth, not this.
+  [[nodiscard]] std::size_t pending_for(std::string_view design) const;
 
  private:
   mutable std::mutex mutex_;

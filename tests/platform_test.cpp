@@ -224,5 +224,37 @@ TEST(Session, StepRejectsWrongInputCount) {
             StatusCode::kInvalidArgument);
 }
 
+TEST(Session, ExecutorStatsTrackRunsVectorsAndEngine) {
+  auto design = compile(map::make_parity(4));
+  ASSERT_TRUE(design.ok()) << design.status().to_string();
+  auto session = Session::load(*design);
+  ASSERT_TRUE(session.ok()) << session.status().to_string();
+
+  // All-zero before the first batch run.
+  EXPECT_EQ(session->executor_stats().runs, 0u);
+  EXPECT_EQ(session->executor_stats().vectors_run, 0u);
+
+  std::vector<InputVector> vectors(100, InputVector(4, false));
+  ASSERT_TRUE(session->run_vectors(vectors).ok());  // kAuto -> compiled
+  auto stats = session->executor_stats();
+  EXPECT_EQ(stats.runs, 1u);
+  EXPECT_EQ(stats.vectors_run, 100u);
+  EXPECT_EQ(stats.compiled_runs, 1u);
+  EXPECT_EQ(stats.event_runs, 0u);
+
+  ASSERT_TRUE(
+      session->run_vectors(vectors, {.engine = Engine::kEventDriven}).ok());
+  stats = session->executor_stats();
+  EXPECT_EQ(stats.runs, 2u);
+  EXPECT_EQ(stats.vectors_run, 200u);
+  EXPECT_EQ(stats.compiled_runs, 1u);
+  EXPECT_EQ(stats.event_runs, 1u);
+
+  // A failed run (wrong vector width) reaches no engine and counts nowhere.
+  const std::vector<InputVector> bad(1, InputVector(3));
+  EXPECT_FALSE(session->run_vectors(bad).ok());
+  EXPECT_EQ(session->executor_stats().runs, 2u);
+}
+
 }  // namespace
 }  // namespace pp::platform
