@@ -10,41 +10,62 @@
 namespace pp::platform {
 namespace {
 
-constexpr int kLanes = sim::Evaluator::kBatchLanes;
+constexpr std::size_t kLanes = sim::Evaluator::kBatchLanes;
 
-/// Evaluate 64-wide batches [batch_begin, batch_end) of `vectors` on one
-/// engine instance, unpacking each lane into `results`.  Fails on a
-/// non-binary output, whichever engine produced it.
-[[nodiscard]] Status eval_batches(sim::Evaluator& eval,
-                                  std::span<const InputVector> vectors,
-                                  const std::vector<std::string>& output_names,
-                                  std::vector<BitVector>& results,
-                                  std::size_t batch_begin,
-                                  std::size_t batch_end) {
+/// Evaluate wide-batch granules [granule_begin, granule_end) of `vectors`
+/// on one engine instance — each granule is `granule_words` plane words
+/// (granule_words * kLanes stimulus vectors, except the final partial one)
+/// packed straight into the engine's structure-of-arrays plane layout.
+/// The packing scratch is allocated once per shard and reused across its
+/// granules.  Fails on a non-binary output, whichever engine produced it.
+[[nodiscard]] Status eval_granules(sim::Evaluator& eval,
+                                   std::span<const InputVector> vectors,
+                                   const std::vector<std::string>& output_names,
+                                   std::vector<BitVector>& results,
+                                   std::size_t granule_begin,
+                                   std::size_t granule_end,
+                                   std::size_t granule_words) {
   const std::size_t nin = eval.input_count();
   const std::size_t nout = eval.output_count();
-  std::vector<sim::PackedBits> in(nin), out(nout);
-  for (std::size_t b = batch_begin; b < batch_end; ++b) {
-    const std::size_t v0 = b * kLanes;
-    const int lanes = static_cast<int>(
-        std::min<std::size_t>(kLanes, vectors.size() - v0));
-    for (std::size_t j = 0; j < nin; ++j) {
-      sim::PackedBits p;
-      for (int lane = 0; lane < lanes; ++lane)
-        if (vectors[v0 + lane][j]) p.value |= std::uint64_t{1} << lane;
-      in[j] = p;
+  const std::size_t granule_lanes = granule_words * kLanes;
+  // Per-shard scratch: sized for a full granule, truncated views for the
+  // final partial one.  Stimulus is two-valued (BitVector), so the input
+  // unknown plane is always all-zero — exactly what arms the compiled
+  // engine's fast path.
+  std::vector<std::uint64_t> in_value(nin * granule_words);
+  const std::vector<std::uint64_t> in_unknown(nin * granule_words, 0);
+  std::vector<std::uint64_t> out_value(nout * granule_words);
+  std::vector<std::uint64_t> out_unknown(nout * granule_words);
+  for (std::size_t g = granule_begin; g < granule_end; ++g) {
+    const std::size_t v0 = g * granule_lanes;
+    const std::size_t lanes =
+        std::min<std::size_t>(granule_lanes, vectors.size() - v0);
+    const std::size_t words = (lanes + kLanes - 1) / kLanes;
+    std::fill(in_value.begin(), in_value.begin() + nin * words, 0);
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      const InputVector& v = vectors[v0 + lane];
+      const std::size_t word = lane / kLanes;
+      const std::uint64_t bit = std::uint64_t{1} << (lane % kLanes);
+      for (std::size_t j = 0; j < nin; ++j)
+        if (v[j]) in_value[j * words + word] |= bit;
     }
-    if (Status s = eval.eval_packed(in, out, lanes); !s.ok()) return s;
-    for (int lane = 0; lane < lanes; ++lane) {
+    if (Status s = eval.eval_wide(
+            std::span<const std::uint64_t>(in_value.data(), nin * words),
+            std::span<const std::uint64_t>(in_unknown.data(), nin * words),
+            std::span<std::uint64_t>(out_value.data(), nout * words),
+            std::span<std::uint64_t>(out_unknown.data(), nout * words), lanes);
+        !s.ok())
+      return s;
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
       BitVector& r = results[v0 + lane];
       r.assign(nout, false);
+      const std::size_t word = lane / kLanes;
+      const std::uint64_t bit = std::uint64_t{1} << (lane % kLanes);
       for (std::size_t k = 0; k < nout; ++k) {
-        const sim::Logic v = sim::get_lane(out[k], lane);
-        if (!sim::is_binary(v))
+        if (out_unknown[k * words + word] & bit)
           return Status::internal("run_vectors: output '" + output_names[k] +
-                                  "' settled to " +
-                                  std::string(1, sim::to_char(v)));
-        r[k] = v == sim::Logic::k1;
+                                  "' settled to X");
+        r[k] = (out_value[k * words + word] & bit) != 0;
       }
     }
   }
@@ -121,26 +142,65 @@ Result<std::vector<BitVector>> BatchExecutor::run(
     engine = *ev;
   }
   ++stats_.runs;
-  ++(engine == compiled_.get() ? stats_.compiled_runs : stats_.event_runs);
+  const bool on_compiled = engine == compiled_.get();
+  ++(on_compiled ? stats_.compiled_runs : stats_.event_runs);
+  const sim::CompiledEval::KernelStats passes_before =
+      on_compiled ? compiled_->kernel_stats() : sim::CompiledEval::KernelStats{};
 
-  // Pack vectors into 64-wide batches and shard whole batches across the
-  // pool.  Compiled clones share the immutable program and carry only
-  // scratch slots; event clones copy the settled base simulator once per
-  // shard.  max_threads may exceed the pool size: extra shards simply
-  // queue, which also lets single-core hosts exercise the cloning path.
+  // The pass counters live on the engine's shared program, so sharded
+  // clones aggregate into the same totals.  The lifetime totals follow
+  // every run, failed ones included (their passes did execute); last_run_
+  // is only replaced when a run succeeds, per its documented contract.
+  const auto sync_pass_totals = [&]() -> sim::CompiledEval::KernelStats {
+    if (!on_compiled) return {};
+    const sim::CompiledEval::KernelStats after = compiled_->kernel_stats();
+    stats_.fast_passes = after.fast_passes;
+    stats_.slow_passes = after.slow_passes;
+    return after;
+  };
+  const auto finish = [&] {
+    const sim::CompiledEval::KernelStats after = sync_pass_totals();
+    stats_.vectors_run += vectors.size();
+    last_run_ = {};
+    last_run_.runs = 1;
+    ++(on_compiled ? last_run_.compiled_runs : last_run_.event_runs);
+    last_run_.vectors_run = vectors.size();
+    last_run_.fast_passes = after.fast_passes - passes_before.fast_passes;
+    last_run_.slow_passes = after.slow_passes - passes_before.slow_passes;
+  };
+
+  // Pack vectors into wide-batch granules (the engine's preferred words —
+  // 512 lanes for the default compiled engine, one 64-lane word for the
+  // event engine) and shard whole granules across the pool.  Compiled
+  // clones share the immutable program and carry only scratch planes;
+  // event clones copy the settled base simulator once per shard.
+  // max_threads may exceed the pool size: extra shards simply queue, which
+  // also lets single-core hosts exercise the cloning path.
   util::ThreadPool& pool = util::global_pool();
   std::size_t workers =
       options.max_threads == 0 ? pool.worker_count() : options.max_threads;
-  const std::size_t nbatches = (vectors.size() + kLanes - 1) / kLanes;
-  workers = std::min(workers, nbatches);
+  std::size_t gwords = std::max<std::size_t>(1, engine->preferred_words());
+  // A full-width granule on a small or mid-size run can leave most of the
+  // pool idle (one 512-lane granule per shard).  Shrink the granule — never
+  // below one word — until there is at least one granule per worker; wide
+  // amortization matters less than an idle core.
+  const std::size_t total_words = (vectors.size() + kLanes - 1) / kLanes;
+  if (workers > 1 && gwords > 1)
+    gwords = std::max<std::size_t>(
+        1, std::min(gwords, (total_words + workers - 1) / workers));
+  const std::size_t glanes = gwords * kLanes;
+  const std::size_t ngranules = (vectors.size() + glanes - 1) / glanes;
+  workers = std::min(workers, ngranules);
 
   if (workers <= 1) {
-    // Serial reference path: stream every batch through the engine itself.
-    if (Status s = eval_batches(*engine, vectors, output_names_, results, 0,
-                                nbatches);
-        !s.ok())
+    // Serial reference path: stream every granule through the engine itself.
+    if (Status s = eval_granules(*engine, vectors, output_names_, results, 0,
+                                 ngranules, gwords);
+        !s.ok()) {
+      sync_pass_totals();
       return s;
-    stats_.vectors_run += vectors.size();
+    }
+    finish();
     return results;
   }
 
@@ -150,14 +210,14 @@ Result<std::vector<BitVector>> BatchExecutor::run(
   std::mutex done_mutex;
   std::condition_variable done_cv;
   Status first_error;
-  const std::size_t chunk = (nbatches + workers - 1) / workers;
-  std::size_t remaining = (nbatches + chunk - 1) / chunk;
-  for (std::size_t begin = 0; begin < nbatches; begin += chunk) {
-    const std::size_t end = std::min(begin + chunk, nbatches);
+  const std::size_t chunk = (ngranules + workers - 1) / workers;
+  std::size_t remaining = (ngranules + chunk - 1) / chunk;
+  for (std::size_t begin = 0; begin < ngranules; begin += chunk) {
+    const std::size_t end = std::min(begin + chunk, ngranules);
     pool.submit([&, begin, end] {
       const std::unique_ptr<sim::Evaluator> local = engine->clone();
-      Status shard_status =
-          eval_batches(*local, vectors, output_names_, results, begin, end);
+      Status shard_status = eval_granules(*local, vectors, output_names_,
+                                          results, begin, end, gwords);
       {
         const std::lock_guard<std::mutex> lock(done_mutex);
         if (!shard_status.ok() && first_error.ok())
@@ -171,8 +231,11 @@ Result<std::vector<BitVector>> BatchExecutor::run(
     std::unique_lock<std::mutex> lock(done_mutex);
     done_cv.wait(lock, [&] { return remaining == 0; });
   }
-  if (!first_error.ok()) return first_error;
-  stats_.vectors_run += vectors.size();
+  if (!first_error.ok()) {
+    sync_pass_totals();
+    return first_error;
+  }
+  finish();
   return results;
 }
 

@@ -3,8 +3,8 @@
 //
 // PR 2 put the two evaluation engines (bit-parallel CompiledEval, event-
 // driven EventEval) behind sim::Evaluator but left the policy — engine
-// selection, lazy construction and caching, 64-wide packing, sharding whole
-// batches across util::thread_pool — buried in Session.  The runtime needs
+// selection, lazy construction and caching, wide-batch packing, sharding
+// whole granules across util::thread_pool — buried in Session.  The runtime needs
 // exactly the same machinery per resident design, so it lives here: one
 // BatchExecutor per (circuit, input nets, output nets) binding, engines
 // built on first use and cached for the executor's lifetime (which is how a
@@ -70,6 +70,11 @@ struct ExecutorStats {
   std::uint64_t vectors_run = 0;    ///< stimulus vectors evaluated OK
   std::uint64_t compiled_runs = 0;  ///< runs served by the compiled engine
   std::uint64_t event_runs = 0;     ///< runs served by the event engine
+  /// Compiled-engine kernel passes that took the two-valued single-plane
+  /// fast path (no unknown bits in the batch; see DESIGN.md §12).
+  std::uint64_t fast_passes = 0;
+  /// Compiled-engine kernel passes that ran the full two-plane kernel.
+  std::uint64_t slow_passes = 0;
 };
 
 /// The engine-owning batch-evaluation core: one executor per (circuit,
@@ -95,9 +100,13 @@ class BatchExecutor {
 
   /// Evaluate many independent stimulus vectors (bound input order) and
   /// return the outputs (bound output order) for each.  Vectors are packed
-  /// into 64-wide batches sharded across the global thread pool: the
-  /// compiled engine clones only its scratch slots, the event engine clones
-  /// its settled base simulator per shard.
+  /// directly into the engine's structure-of-arrays plane layout in
+  /// wide-batch granules (the engine's preferred_words() — 512 lanes per
+  /// kernel pass for the default compiled engine) and sharded across the
+  /// global thread pool at granule boundaries: the compiled engine clones
+  /// only its scratch slots, the event engine clones its settled base
+  /// simulator per shard.  Per-shard packing scratch is reused across the
+  /// shard's granules.
   [[nodiscard]] Result<std::vector<BitVector>> run(
       std::span<const InputVector> vectors, const RunOptions& options = {});
 
@@ -116,11 +125,22 @@ class BatchExecutor {
   }
 
   /// Accounting across this executor's lifetime — how often each engine
-  /// actually served and how many vectors went through.  Surfaced as
+  /// actually served, how many vectors went through, and how many compiled
+  /// kernel passes took the two-valued fast path.  Surfaced as
   /// Session::executor_stats(); rt::Device keeps its own aggregate
-  /// (DeviceStats::vectors_run) under its stats lock because this view
-  /// shares the executor's caller-serialized contract.
+  /// (DeviceStats) under its stats lock because this view shares the
+  /// executor's caller-serialized contract.
   [[nodiscard]] const ExecutorStats& stats() const noexcept { return stats_; }
+
+  /// The slice of stats() attributable to the most recent *successful*
+  /// run() (runs == 1, that run's vectors and kernel passes).  Failed runs
+  /// leave it untouched (their kernel passes still reach the lifetime
+  /// stats() totals); all-zero before the first success.  This is what
+  /// rt::Device folds into DeviceStats per completed job without holding
+  /// executor state across jobs.
+  [[nodiscard]] const ExecutorStats& last_run_stats() const noexcept {
+    return last_run_;
+  }
 
  private:
   [[nodiscard]] Status ensure_compiled();
@@ -137,6 +157,7 @@ class BatchExecutor {
   std::unique_ptr<sim::CompiledEval> compiled_;
   std::unique_ptr<sim::EventEval> event_engine_;
   ExecutorStats stats_;
+  ExecutorStats last_run_;
 };
 
 }  // namespace pp::platform

@@ -16,7 +16,7 @@
 // `run_vectors` is the throughput path, and the session is the thin
 // synchronous convenience over the same machinery the pp::rt device runtime
 // schedules asynchronously: both delegate to platform::BatchExecutor, which
-// owns engine selection (Engine::kAuto), 64-wide packing, and sharding
+// owns engine selection (Engine::kAuto), wide SoA packing, and sharding
 // across util::thread_pool workers.  The bit-parallel `sim::CompiledEval`
 // engine serves purely combinational configured fabrics; the event-driven
 // clone-sharding path remains the always-correct fallback.  Vectors must be
@@ -102,11 +102,12 @@ class Session {
   /// Evaluate many independent stimulus vectors (netlist input order) and
   /// return the outputs (netlist output order) for each.  Combinational
   /// designs only (kFailedPrecondition otherwise).  Vectors are packed
-  /// into 64-wide batches sharded across the global thread pool: the
-  /// compiled engine clones only its scratch slots, the event engine
-  /// clones its settled base simulator per shard.  Both engines are owned
-  /// by the session and cached; the session's interactive simulator
-  /// (poke/peek/settle) is never disturbed.
+  /// into wide SoA batches (DESIGN.md §12) sharded across the global
+  /// thread pool at wide-batch granularity: the compiled engine clones
+  /// only its scratch planes, the event engine clones its settled base
+  /// simulator per shard.  Both engines are owned by the session and
+  /// cached; the session's interactive simulator (poke/peek/settle) is
+  /// never disturbed.
   [[nodiscard]] Result<std::vector<BitVector>> run_vectors(
       std::span<const InputVector> vectors, const RunOptions& options = {});
 

@@ -150,7 +150,14 @@ struct Device::Impl {
           status = run.status();
         const std::lock_guard<std::mutex> lock(stats_mutex);
         if (!swapped) ++stats.batched_jobs;
-        if (status.ok()) stats.vectors_run += results.size();
+        if (status.ok()) {
+          stats.vectors_run += results.size();
+          // Fold this job's kernel-pass accounting into the device view
+          // (the executor is still serialized here: hw_mutex is held).
+          const platform::ExecutorStats& lr = rd->executor().last_run_stats();
+          stats.fast_passes += lr.fast_passes;
+          stats.slow_passes += lr.slow_passes;
+        }
       }
     }
     {

@@ -71,6 +71,12 @@ struct DeviceStats {
   std::uint64_t jobs_canceled = 0;   ///< withdrawn before execution
   std::uint64_t batched_jobs = 0;    ///< ran without a personality swap
   std::uint64_t vectors_run = 0;     ///< stimulus vectors evaluated OK
+  /// Compiled-engine kernel passes that took the two-valued single-plane
+  /// fast path across all of this device's jobs (see
+  /// platform::ExecutorStats::fast_passes).
+  std::uint64_t fast_passes = 0;
+  /// Compiled-engine kernel passes that ran the full two-plane kernel.
+  std::uint64_t slow_passes = 0;
 };
 
 /// One polymorphic array under runtime control: designs are made resident

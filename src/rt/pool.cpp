@@ -326,6 +326,8 @@ PoolStats DevicePool::stats() const {
   for (const Device& device : impl_->devices) {
     out.queue_depths.push_back(device.queue_depth());
     out.device.push_back(device.stats());
+    out.fast_passes += out.device.back().fast_passes;
+    out.slow_passes += out.device.back().slow_passes;
   }
   return out;
 }

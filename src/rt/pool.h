@@ -73,6 +73,11 @@ struct PoolStats {
   std::uint64_t affinity_active = 0;    ///< routed to an active-design device
   std::uint64_t affinity_resident = 0;  ///< routed to a merely-resident one
   std::uint64_t replications = 0;       ///< hot-design copies added
+  /// Fleet total of DeviceStats::fast_passes — compiled kernel passes that
+  /// took the two-valued single-plane fast path.
+  std::uint64_t fast_passes = 0;
+  /// Fleet total of DeviceStats::slow_passes (two-plane kernel passes).
+  std::uint64_t slow_passes = 0;
   std::vector<std::uint64_t> jobs_per_device;  ///< submits routed per device
   std::vector<std::size_t> queue_depths;  ///< per-device depth at snapshot
   std::vector<DeviceStats> device;        ///< per-device runtime counters

@@ -1,10 +1,94 @@
 #include "sim/evaluator.h"
 
 #include <algorithm>
+#include <atomic>
 #include <string>
 #include <utility>
 
 namespace pp::sim {
+
+namespace {
+
+/// "eval_*: lanes must be 1..N" with N derived from the batch constant.
+[[nodiscard]] std::string lanes_range_message(const char* fn) {
+  return std::string(fn) + ": lanes must be 1.." +
+         std::to_string(Evaluator::kBatchLanes);
+}
+
+/// Meaningful lanes of plane word `word` when `lanes` lanes are live in
+/// total (always full except possibly the final word).
+[[nodiscard]] constexpr std::size_t lanes_in_word(std::size_t lanes,
+                                                  std::size_t word) noexcept {
+  const std::size_t lane0 = word * Evaluator::kBatchLanes;
+  return std::min<std::size_t>(Evaluator::kBatchLanes, lanes - lane0);
+}
+
+/// Bit mask selecting the meaningful lanes of plane word `word`.
+[[nodiscard]] constexpr std::uint64_t word_mask(std::size_t lanes,
+                                                std::size_t word) noexcept {
+  const std::size_t n = lanes_in_word(lanes, word);
+  return n >= static_cast<std::size_t>(Evaluator::kBatchLanes)
+             ? ~std::uint64_t{0}
+             : (std::uint64_t{1} << n) - 1;
+}
+
+/// Shared span-shape validation for eval_wide implementations.
+[[nodiscard]] Status check_wide_shape(std::size_t nin, std::size_t nout,
+                                      std::size_t in_value, std::size_t in_unknown,
+                                      std::size_t out_value,
+                                      std::size_t out_unknown,
+                                      std::size_t lanes, std::size_t& words) {
+  if (lanes < 1)
+    return Status::invalid_argument("eval_wide: lanes must be >= 1");
+  words = (lanes + Evaluator::kBatchLanes - 1) / Evaluator::kBatchLanes;
+  if (in_value != nin * words || in_unknown != nin * words ||
+      out_value != nout * words || out_unknown != nout * words)
+    return Status::invalid_argument(
+        "eval_wide: " + std::to_string(lanes) + " lanes span " +
+        std::to_string(words) + " words, so expected " +
+        std::to_string(nin * words) + " input and " +
+        std::to_string(nout * words) +
+        " output plane words per plane (value/unknown)");
+  return Status();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Evaluator: base wide-batch adapter
+// ---------------------------------------------------------------------------
+
+Status Evaluator::eval_wide(std::span<const std::uint64_t> in_value,
+                            std::span<const std::uint64_t> in_unknown,
+                            std::span<std::uint64_t> out_value,
+                            std::span<std::uint64_t> out_unknown,
+                            std::size_t lanes) {
+  const std::size_t nin = input_count();
+  const std::size_t nout = output_count();
+  std::size_t words = 0;
+  if (Status s = check_wide_shape(nin, nout, in_value.size(), in_unknown.size(),
+                                  out_value.size(), out_unknown.size(), lanes,
+                                  words);
+      !s.ok())
+    return s;
+  // Word-at-a-time adapter over eval_packed: correct for any engine, and
+  // exactly the lane-at-a-time behaviour EventEval wants behind the wide
+  // interface.
+  std::vector<PackedBits> in(nin), out(nout);
+  for (std::size_t w = 0; w < words; ++w) {
+    for (std::size_t i = 0; i < nin; ++i)
+      in[i] = {in_value[i * words + w], in_unknown[i * words + w]};
+    if (Status s =
+            eval_packed(in, out, static_cast<int>(lanes_in_word(lanes, w)));
+        !s.ok())
+      return s;
+    for (std::size_t k = 0; k < nout; ++k) {
+      out_value[k * words + w] = out[k].value;
+      out_unknown[k * words + w] = out[k].unknown;
+    }
+  }
+  return Status();
+}
 
 // ---------------------------------------------------------------------------
 // Levelization
@@ -85,14 +169,57 @@ namespace {
 enum class Op : std::uint8_t {
   kBuf,
   kNot,
+  // Variadic forms (nin operands via the operand table).
   kAnd,
   kNand,
   kOr,
   kNor,
   kXor,
   kXnor,
+  // Fixed-arity specializations: the platform compiler decomposes to <= 3
+  // inputs, so nearly every emitted gate lands on one of these.  The
+  // kernels unroll them without the variadic operand loop.
+  kAnd2,
+  kNand2,
+  kOr2,
+  kNor2,
+  kXor2,
+  kXnor2,
+  kAnd3,
+  kNand3,
+  kOr3,
+  kNor3,
+  kXor3,
+  kXnor3,
   kResolve,  ///< wired-and over always-driving sources: agree or X
 };
+
+/// Fixed-arity variant of a variadic op, when one exists for this arity.
+[[nodiscard]] Op specialize_arity(Op op, std::size_t nin) noexcept {
+  if (nin == 2) {
+    switch (op) {
+      case Op::kAnd: return Op::kAnd2;
+      case Op::kNand: return Op::kNand2;
+      case Op::kOr: return Op::kOr2;
+      case Op::kNor: return Op::kNor2;
+      case Op::kXor: return Op::kXor2;
+      case Op::kXnor: return Op::kXnor2;
+      default: return op;
+    }
+  }
+  if (nin == 3) {
+    switch (op) {
+      case Op::kAnd: return Op::kAnd3;
+      case Op::kNand: return Op::kNand3;
+      case Op::kOr: return Op::kOr3;
+      case Op::kNor: return Op::kNor3;
+      case Op::kXor: return Op::kXor3;
+      case Op::kXnor: return Op::kXnor3;
+      default: return op;
+    }
+  }
+  return op;
+}
 
 struct Instr {
   Op op;
@@ -183,11 +310,80 @@ struct CompiledEval::Program {
   std::vector<PackedBits> init;          ///< initial slot image (constants)
   std::vector<std::uint32_t> in_slots;   ///< per bound input net
   std::vector<std::uint32_t> out_slots;  ///< per bound output net
+  /// Slots no instruction or input load ever writes — the constants whose
+  /// init image must be re-broadcast when the scratch stride changes.
+  std::vector<std::uint32_t> const_slots;
   std::uint32_t levels = 0;
+  int wide_words = kDefaultWideWords;  ///< scratch width W (words per slot)
+  bool fast_path_ok = false;  ///< single-plane kernel exact for known inputs
+  // Pass accounting lives on the shared program so every clone of one
+  // compilation aggregates into the same counters (relaxed: they are pure
+  // statistics, one increment per >=64-lane pass).
+  mutable std::atomic<std::uint64_t> fast_passes{0};
+  mutable std::atomic<std::uint64_t> slow_passes{0};
 };
 
+namespace {
+
+/// Level-major slot renumbering: slots are renamed in first-use order of
+/// the emitted program (inputs, then each instruction's operands and
+/// destination, then the outputs), so consecutive instructions touch
+/// nearby scratch and slots orphaned by copy-propagation are dropped.
+/// Mutates every slot reference in place; `init` shrinks to the live set.
+void renumber_slots(std::vector<Instr>& instrs,
+                    std::vector<std::uint32_t>& operands,
+                    std::vector<PackedBits>& init,
+                    std::vector<std::uint32_t>& in_slots,
+                    std::vector<std::uint32_t>& out_slots) {
+  std::vector<std::uint32_t> remap(init.size(), kNoSlot);
+  std::vector<PackedBits> packed;
+  packed.reserve(init.size());
+  auto touch = [&](std::uint32_t s) {
+    if (remap[s] == kNoSlot) {
+      remap[s] = static_cast<std::uint32_t>(packed.size());
+      packed.push_back(init[s]);
+    }
+    return remap[s];
+  };
+  for (std::uint32_t& s : in_slots) s = touch(s);
+  for (Instr& it : instrs) {
+    for (std::uint32_t j = 0; j < it.nin; ++j) {
+      std::uint32_t& o = operands[it.in_ofs + j];
+      o = touch(o);
+    }
+    it.out = touch(it.out);
+  }
+  for (std::uint32_t& s : out_slots) s = touch(s);
+  init = std::move(packed);
+}
+
+}  // namespace
+
 CompiledEval::CompiledEval(std::shared_ptr<const Program> program)
-    : program_(std::move(program)), slots_(program_->init) {}
+    : program_(std::move(program)) {
+  // Capacity is fixed at W words per slot for the engine's lifetime; only
+  // the live stride (scratch_words_) changes between passes.
+  const auto W = static_cast<std::size_t>(program_->wide_words);
+  value_.assign(program_->init.size() * W, 0);
+  unknown_.assign(program_->init.size() * W, 0);
+  ensure_scratch(W);
+}
+
+void CompiledEval::ensure_scratch(std::size_t words) {
+  if (scratch_words_ == words) return;
+  scratch_words_ = words;
+  // A stride switch (a partial final pass, or eval_packed after a wide
+  // call) only needs the constant slots re-broadcast at the new stride:
+  // every other slot is written — at this stride — before it is read in
+  // every pass, so no zeroing or reallocation happens on the hot path.
+  for (const std::uint32_t s : program_->const_slots) {
+    const PackedBits p = program_->init[s];
+    for (std::size_t w = 0; w < words; ++w) {
+      value_[std::size_t{s} * words + w] = p.value;
+      unknown_[std::size_t{s} * words + w] = p.unknown;
+    }
+  }
+}
 
 std::size_t CompiledEval::input_count() const noexcept {
   return program_->in_slots.size();
@@ -210,6 +406,19 @@ Result<CompiledEval> CompiledEval::compile(const Circuit& circuit,
                                            std::vector<NetId> in_nets,
                                            std::vector<NetId> out_nets,
                                            const LevelMap* levels) {
+  return compile(circuit, std::move(in_nets), std::move(out_nets), levels,
+                 CompileOptions{});
+}
+
+Result<CompiledEval> CompiledEval::compile(const Circuit& circuit,
+                                           std::vector<NetId> in_nets,
+                                           std::vector<NetId> out_nets,
+                                           const LevelMap* levels,
+                                           const CompileOptions& options) {
+  if (options.wide_words < 1)
+    return Status::invalid_argument(
+        "CompiledEval: wide_words must be >= 1, got " +
+        std::to_string(options.wide_words));
   if (const std::string diag = circuit.validate(); !diag.empty())
     return Status::invalid_argument("CompiledEval: invalid circuit:\n" + diag);
 
@@ -434,6 +643,7 @@ Result<CompiledEval> CompiledEval::compile(const Circuit& circuit,
   // --- Pass C: compact slot assignment + instruction emission. -------------
   auto program = std::make_shared<Program>();
   program->levels = lm->max_level + (ngates ? 1 : 0);
+  program->wide_words = options.wide_words;
   auto new_slot = [&](PackedBits init) {
     program->init.push_back(init);
     return static_cast<std::uint32_t>(program->init.size() - 1);
@@ -471,8 +681,20 @@ Result<CompiledEval> CompiledEval::compile(const Circuit& circuit,
     std::vector<std::uint32_t> operands;
     operands.reserve(gr.srcs.size());
     for (NetId src : gr.srcs) operands.push_back(net_slot(src));
-    gr.slot = multi ? new_slot({}) : net_slot(out);
-    emit(gr.op, operands, gr.slot);
+    if (options.optimize && gr.op == Op::kBuf && operands.size() == 1 &&
+        (multi || onet.slot == kNoSlot)) {
+      // Copy-propagation: a buffer (or buf-shaped always-on driver) is a
+      // slot alias, not an instruction — readers (and the wire-resolution
+      // below) pick up the source slot directly.  The packed encoding
+      // makes the alias exact: a buffer copies both planes verbatim.
+      gr.slot = operands[0];
+      if (!multi) onet.slot = gr.slot;
+    } else {
+      gr.slot = multi ? new_slot({}) : net_slot(out);
+      emit(options.optimize ? specialize_arity(gr.op, operands.size())
+                            : gr.op,
+           operands, gr.slot);
+    }
     if (multi && --pending[out] == 0) {
       // All drivers of this net are computed: wire-resolve them (plus the
       // constant co-driver, if any) into the net's slot before any reader.
@@ -487,94 +709,544 @@ Result<CompiledEval> CompiledEval::compile(const Circuit& circuit,
   program->out_slots.reserve(out_nets.size());
   for (NetId n : out_nets) program->out_slots.push_back(net_slot(n));
 
+  // --- Pass D: level-major slot renumbering (cache locality). --------------
+  if (options.optimize)
+    renumber_slots(program->instrs, program->operands, program->init,
+                   program->in_slots, program->out_slots);
+
+  // --- Pass E: two-valued fast-path eligibility. ---------------------------
+  // The single-plane kernel is exact iff no unknown can appear anywhere in
+  // the live cone when the inputs carry none: written slots start 0/0, so
+  // the only unknown sources are (a) wired-resolution, which manufactures
+  // X from disagreeing binary drivers, and (b) constant-unknown slots
+  // (folded undriven/contended nets) read by an instruction or bound as an
+  // output.
+  if (options.two_valued) {
+    bool ok = true;
+    for (const Instr& it : program->instrs) {
+      if (it.op == Op::kResolve) {
+        ok = false;
+        break;
+      }
+      for (std::uint32_t j = 0; j < it.nin && ok; ++j)
+        if (program->init[program->operands[it.in_ofs + j]].unknown != 0)
+          ok = false;
+      if (!ok) break;
+    }
+    if (ok)
+      for (std::uint32_t s : program->out_slots)
+        if (program->init[s].unknown != 0) {
+          ok = false;
+          break;
+        }
+    program->fast_path_ok = ok;
+  }
+
+  // --- Pass F: constant-slot inventory for stride switches. ----------------
+  // Slots no input load or instruction writes hold their init image for the
+  // engine's lifetime; ensure_scratch re-broadcasts exactly these when the
+  // live scratch stride changes (all-zero constants included — a narrower
+  // stride re-reads words that belonged to other slots at the wider one).
+  {
+    std::vector<char> written(program->init.size(), 0);
+    for (const std::uint32_t s : program->in_slots) written[s] = 1;
+    for (const Instr& it : program->instrs) written[it.out] = 1;
+    for (std::uint32_t s = 0; s < program->init.size(); ++s)
+      if (!written[s]) program->const_slots.push_back(s);
+  }
+
   return CompiledEval(std::move(program));
+}
+
+namespace {
+
+// The wide kernels.  Scratch is structure-of-arrays: slot s's words are
+// val[s*nw .. s*nw+nw-1] (and likewise unk), so every case body is a small
+// fixed-shape loop over nw words that the compiler can unroll and
+// auto-vectorize.  Destination slots are in SSA form (each written by
+// exactly one instruction, allocated at emission), so dst never aliases a
+// source and the accumulate-in-place pattern below is safe.
+
+/// Two-plane (4-state) kernel: the always-correct interpretation.
+void run_two_plane(std::span<const Instr> instrs, const std::uint32_t* ops,
+                   std::uint64_t* val, std::uint64_t* unk, std::size_t nw) {
+  for (const Instr& it : instrs) {
+    const std::uint32_t* o = ops + it.in_ofs;
+    std::uint64_t* dv = val + std::size_t{it.out} * nw;
+    std::uint64_t* du = unk + std::size_t{it.out} * nw;
+    const std::uint64_t* a = val + std::size_t{o[0]} * nw;
+    const std::uint64_t* x = unk + std::size_t{o[0]} * nw;
+    switch (it.op) {
+      case Op::kBuf:
+        for (std::size_t w = 0; w < nw; ++w) {
+          dv[w] = a[w];
+          du[w] = x[w];
+        }
+        break;
+      case Op::kNot:
+        for (std::size_t w = 0; w < nw; ++w) {
+          dv[w] = ~a[w] & ~x[w];
+          du[w] = x[w];
+        }
+        break;
+      case Op::kAnd:
+      case Op::kNand: {
+        // dv accumulates all1, du accumulates any0 until the finish loop.
+        for (std::size_t w = 0; w < nw; ++w) {
+          dv[w] = a[w];
+          du[w] = ~a[w] & ~x[w];
+        }
+        for (std::uint32_t j = 1; j < it.nin; ++j) {
+          const std::uint64_t* b = val + std::size_t{o[j]} * nw;
+          const std::uint64_t* y = unk + std::size_t{o[j]} * nw;
+          for (std::size_t w = 0; w < nw; ++w) {
+            dv[w] &= b[w];
+            du[w] |= ~b[w] & ~y[w];
+          }
+        }
+        if (it.op == Op::kAnd) {
+          for (std::size_t w = 0; w < nw; ++w) du[w] = ~(dv[w] | du[w]);
+        } else {
+          for (std::size_t w = 0; w < nw; ++w) {
+            const std::uint64_t all1 = dv[w], any0 = du[w];
+            dv[w] = any0;
+            du[w] = ~(all1 | any0);
+          }
+        }
+        break;
+      }
+      case Op::kOr:
+      case Op::kNor: {
+        // dv accumulates any1, du accumulates all0 until the finish loop.
+        for (std::size_t w = 0; w < nw; ++w) {
+          dv[w] = a[w];
+          du[w] = ~a[w] & ~x[w];
+        }
+        for (std::uint32_t j = 1; j < it.nin; ++j) {
+          const std::uint64_t* b = val + std::size_t{o[j]} * nw;
+          const std::uint64_t* y = unk + std::size_t{o[j]} * nw;
+          for (std::size_t w = 0; w < nw; ++w) {
+            dv[w] |= b[w];
+            du[w] &= ~b[w] & ~y[w];
+          }
+        }
+        if (it.op == Op::kOr) {
+          for (std::size_t w = 0; w < nw; ++w) du[w] = ~(dv[w] | du[w]);
+        } else {
+          for (std::size_t w = 0; w < nw; ++w) {
+            const std::uint64_t any1 = dv[w], all0 = du[w];
+            dv[w] = all0;
+            du[w] = ~(any1 | all0);
+          }
+        }
+        break;
+      }
+      case Op::kXor:
+      case Op::kXnor: {
+        for (std::size_t w = 0; w < nw; ++w) {
+          dv[w] = a[w];
+          du[w] = x[w];
+        }
+        for (std::uint32_t j = 1; j < it.nin; ++j) {
+          const std::uint64_t* b = val + std::size_t{o[j]} * nw;
+          const std::uint64_t* y = unk + std::size_t{o[j]} * nw;
+          for (std::size_t w = 0; w < nw; ++w) {
+            dv[w] ^= b[w];
+            du[w] |= y[w];
+          }
+        }
+        if (it.op == Op::kXnor) {
+          for (std::size_t w = 0; w < nw; ++w) dv[w] = ~dv[w] & ~du[w];
+        } else {
+          for (std::size_t w = 0; w < nw; ++w) dv[w] &= ~du[w];
+        }
+        break;
+      }
+      case Op::kAnd2:
+      case Op::kNand2: {
+        const std::uint64_t* b = val + std::size_t{o[1]} * nw;
+        const std::uint64_t* y = unk + std::size_t{o[1]} * nw;
+        if (it.op == Op::kAnd2) {
+          for (std::size_t w = 0; w < nw; ++w) {
+            const std::uint64_t all1 = a[w] & b[w];
+            const std::uint64_t any0 = (~a[w] & ~x[w]) | (~b[w] & ~y[w]);
+            dv[w] = all1;
+            du[w] = ~(all1 | any0);
+          }
+        } else {
+          for (std::size_t w = 0; w < nw; ++w) {
+            const std::uint64_t all1 = a[w] & b[w];
+            const std::uint64_t any0 = (~a[w] & ~x[w]) | (~b[w] & ~y[w]);
+            dv[w] = any0;
+            du[w] = ~(all1 | any0);
+          }
+        }
+        break;
+      }
+      case Op::kOr2:
+      case Op::kNor2: {
+        const std::uint64_t* b = val + std::size_t{o[1]} * nw;
+        const std::uint64_t* y = unk + std::size_t{o[1]} * nw;
+        if (it.op == Op::kOr2) {
+          for (std::size_t w = 0; w < nw; ++w) {
+            const std::uint64_t any1 = a[w] | b[w];
+            const std::uint64_t all0 = ~a[w] & ~x[w] & ~b[w] & ~y[w];
+            dv[w] = any1;
+            du[w] = ~(any1 | all0);
+          }
+        } else {
+          for (std::size_t w = 0; w < nw; ++w) {
+            const std::uint64_t any1 = a[w] | b[w];
+            const std::uint64_t all0 = ~a[w] & ~x[w] & ~b[w] & ~y[w];
+            dv[w] = all0;
+            du[w] = ~(any1 | all0);
+          }
+        }
+        break;
+      }
+      case Op::kXor2:
+      case Op::kXnor2: {
+        const std::uint64_t* b = val + std::size_t{o[1]} * nw;
+        const std::uint64_t* y = unk + std::size_t{o[1]} * nw;
+        if (it.op == Op::kXor2) {
+          for (std::size_t w = 0; w < nw; ++w) {
+            const std::uint64_t u = x[w] | y[w];
+            dv[w] = (a[w] ^ b[w]) & ~u;
+            du[w] = u;
+          }
+        } else {
+          for (std::size_t w = 0; w < nw; ++w) {
+            const std::uint64_t u = x[w] | y[w];
+            dv[w] = ~(a[w] ^ b[w]) & ~u;
+            du[w] = u;
+          }
+        }
+        break;
+      }
+      case Op::kAnd3:
+      case Op::kNand3: {
+        const std::uint64_t* b = val + std::size_t{o[1]} * nw;
+        const std::uint64_t* y = unk + std::size_t{o[1]} * nw;
+        const std::uint64_t* c = val + std::size_t{o[2]} * nw;
+        const std::uint64_t* z = unk + std::size_t{o[2]} * nw;
+        if (it.op == Op::kAnd3) {
+          for (std::size_t w = 0; w < nw; ++w) {
+            const std::uint64_t all1 = a[w] & b[w] & c[w];
+            const std::uint64_t any0 =
+                (~a[w] & ~x[w]) | (~b[w] & ~y[w]) | (~c[w] & ~z[w]);
+            dv[w] = all1;
+            du[w] = ~(all1 | any0);
+          }
+        } else {
+          for (std::size_t w = 0; w < nw; ++w) {
+            const std::uint64_t all1 = a[w] & b[w] & c[w];
+            const std::uint64_t any0 =
+                (~a[w] & ~x[w]) | (~b[w] & ~y[w]) | (~c[w] & ~z[w]);
+            dv[w] = any0;
+            du[w] = ~(all1 | any0);
+          }
+        }
+        break;
+      }
+      case Op::kOr3:
+      case Op::kNor3: {
+        const std::uint64_t* b = val + std::size_t{o[1]} * nw;
+        const std::uint64_t* y = unk + std::size_t{o[1]} * nw;
+        const std::uint64_t* c = val + std::size_t{o[2]} * nw;
+        const std::uint64_t* z = unk + std::size_t{o[2]} * nw;
+        if (it.op == Op::kOr3) {
+          for (std::size_t w = 0; w < nw; ++w) {
+            const std::uint64_t any1 = a[w] | b[w] | c[w];
+            const std::uint64_t all0 =
+                ~a[w] & ~x[w] & ~b[w] & ~y[w] & ~c[w] & ~z[w];
+            dv[w] = any1;
+            du[w] = ~(any1 | all0);
+          }
+        } else {
+          for (std::size_t w = 0; w < nw; ++w) {
+            const std::uint64_t any1 = a[w] | b[w] | c[w];
+            const std::uint64_t all0 =
+                ~a[w] & ~x[w] & ~b[w] & ~y[w] & ~c[w] & ~z[w];
+            dv[w] = all0;
+            du[w] = ~(any1 | all0);
+          }
+        }
+        break;
+      }
+      case Op::kXor3:
+      case Op::kXnor3: {
+        const std::uint64_t* b = val + std::size_t{o[1]} * nw;
+        const std::uint64_t* y = unk + std::size_t{o[1]} * nw;
+        const std::uint64_t* c = val + std::size_t{o[2]} * nw;
+        const std::uint64_t* z = unk + std::size_t{o[2]} * nw;
+        if (it.op == Op::kXor3) {
+          for (std::size_t w = 0; w < nw; ++w) {
+            const std::uint64_t u = x[w] | y[w] | z[w];
+            dv[w] = (a[w] ^ b[w] ^ c[w]) & ~u;
+            du[w] = u;
+          }
+        } else {
+          for (std::size_t w = 0; w < nw; ++w) {
+            const std::uint64_t u = x[w] | y[w] | z[w];
+            dv[w] = ~(a[w] ^ b[w] ^ c[w]) & ~u;
+            du[w] = u;
+          }
+        }
+        break;
+      }
+      case Op::kResolve: {
+        // dv/du accumulate the wired-and resolution pairwise.
+        for (std::size_t w = 0; w < nw; ++w) {
+          dv[w] = a[w];
+          du[w] = x[w];
+        }
+        for (std::uint32_t j = 1; j < it.nin; ++j) {
+          const std::uint64_t* b = val + std::size_t{o[j]} * nw;
+          const std::uint64_t* y = unk + std::size_t{o[j]} * nw;
+          for (std::size_t w = 0; w < nw; ++w) {
+            du[w] |= y[w] | (dv[w] ^ b[w]);
+            dv[w] &= b[w];
+          }
+        }
+        for (std::size_t w = 0; w < nw; ++w) dv[w] &= ~du[w];
+        break;
+      }
+    }
+  }
+}
+
+/// Single-plane (two-valued) kernel: exact when the program is fast-path
+/// eligible and no input lane carries an unknown — half the memory traffic
+/// of the two-plane interpretation.  Op::kResolve never reaches here
+/// (eligibility excludes it: resolution manufactures X from binary
+/// disagreement, which one plane cannot express).
+void run_one_plane(std::span<const Instr> instrs, const std::uint32_t* ops,
+                   std::uint64_t* val, std::size_t nw) {
+  for (const Instr& it : instrs) {
+    const std::uint32_t* o = ops + it.in_ofs;
+    std::uint64_t* dv = val + std::size_t{it.out} * nw;
+    const std::uint64_t* a = val + std::size_t{o[0]} * nw;
+    switch (it.op) {
+      case Op::kBuf:
+        for (std::size_t w = 0; w < nw; ++w) dv[w] = a[w];
+        break;
+      case Op::kNot:
+        for (std::size_t w = 0; w < nw; ++w) dv[w] = ~a[w];
+        break;
+      case Op::kAnd:
+      case Op::kNand: {
+        for (std::size_t w = 0; w < nw; ++w) dv[w] = a[w];
+        for (std::uint32_t j = 1; j < it.nin; ++j) {
+          const std::uint64_t* b = val + std::size_t{o[j]} * nw;
+          for (std::size_t w = 0; w < nw; ++w) dv[w] &= b[w];
+        }
+        if (it.op == Op::kNand)
+          for (std::size_t w = 0; w < nw; ++w) dv[w] = ~dv[w];
+        break;
+      }
+      case Op::kOr:
+      case Op::kNor: {
+        for (std::size_t w = 0; w < nw; ++w) dv[w] = a[w];
+        for (std::uint32_t j = 1; j < it.nin; ++j) {
+          const std::uint64_t* b = val + std::size_t{o[j]} * nw;
+          for (std::size_t w = 0; w < nw; ++w) dv[w] |= b[w];
+        }
+        if (it.op == Op::kNor)
+          for (std::size_t w = 0; w < nw; ++w) dv[w] = ~dv[w];
+        break;
+      }
+      case Op::kXor:
+      case Op::kXnor: {
+        for (std::size_t w = 0; w < nw; ++w) dv[w] = a[w];
+        for (std::uint32_t j = 1; j < it.nin; ++j) {
+          const std::uint64_t* b = val + std::size_t{o[j]} * nw;
+          for (std::size_t w = 0; w < nw; ++w) dv[w] ^= b[w];
+        }
+        if (it.op == Op::kXnor)
+          for (std::size_t w = 0; w < nw; ++w) dv[w] = ~dv[w];
+        break;
+      }
+      case Op::kAnd2: {
+        const std::uint64_t* b = val + std::size_t{o[1]} * nw;
+        for (std::size_t w = 0; w < nw; ++w) dv[w] = a[w] & b[w];
+        break;
+      }
+      case Op::kNand2: {
+        const std::uint64_t* b = val + std::size_t{o[1]} * nw;
+        for (std::size_t w = 0; w < nw; ++w) dv[w] = ~(a[w] & b[w]);
+        break;
+      }
+      case Op::kOr2: {
+        const std::uint64_t* b = val + std::size_t{o[1]} * nw;
+        for (std::size_t w = 0; w < nw; ++w) dv[w] = a[w] | b[w];
+        break;
+      }
+      case Op::kNor2: {
+        const std::uint64_t* b = val + std::size_t{o[1]} * nw;
+        for (std::size_t w = 0; w < nw; ++w) dv[w] = ~(a[w] | b[w]);
+        break;
+      }
+      case Op::kXor2: {
+        const std::uint64_t* b = val + std::size_t{o[1]} * nw;
+        for (std::size_t w = 0; w < nw; ++w) dv[w] = a[w] ^ b[w];
+        break;
+      }
+      case Op::kXnor2: {
+        const std::uint64_t* b = val + std::size_t{o[1]} * nw;
+        for (std::size_t w = 0; w < nw; ++w) dv[w] = ~(a[w] ^ b[w]);
+        break;
+      }
+      case Op::kAnd3: {
+        const std::uint64_t* b = val + std::size_t{o[1]} * nw;
+        const std::uint64_t* c = val + std::size_t{o[2]} * nw;
+        for (std::size_t w = 0; w < nw; ++w) dv[w] = a[w] & b[w] & c[w];
+        break;
+      }
+      case Op::kNand3: {
+        const std::uint64_t* b = val + std::size_t{o[1]} * nw;
+        const std::uint64_t* c = val + std::size_t{o[2]} * nw;
+        for (std::size_t w = 0; w < nw; ++w) dv[w] = ~(a[w] & b[w] & c[w]);
+        break;
+      }
+      case Op::kOr3: {
+        const std::uint64_t* b = val + std::size_t{o[1]} * nw;
+        const std::uint64_t* c = val + std::size_t{o[2]} * nw;
+        for (std::size_t w = 0; w < nw; ++w) dv[w] = a[w] | b[w] | c[w];
+        break;
+      }
+      case Op::kNor3: {
+        const std::uint64_t* b = val + std::size_t{o[1]} * nw;
+        const std::uint64_t* c = val + std::size_t{o[2]} * nw;
+        for (std::size_t w = 0; w < nw; ++w) dv[w] = ~(a[w] | b[w] | c[w]);
+        break;
+      }
+      case Op::kXor3: {
+        const std::uint64_t* b = val + std::size_t{o[1]} * nw;
+        const std::uint64_t* c = val + std::size_t{o[2]} * nw;
+        for (std::size_t w = 0; w < nw; ++w) dv[w] = a[w] ^ b[w] ^ c[w];
+        break;
+      }
+      case Op::kXnor3: {
+        const std::uint64_t* b = val + std::size_t{o[1]} * nw;
+        const std::uint64_t* c = val + std::size_t{o[2]} * nw;
+        for (std::size_t w = 0; w < nw; ++w) dv[w] = ~(a[w] ^ b[w] ^ c[w]);
+        break;
+      }
+      case Op::kResolve:
+        break;  // unreachable: fast-path eligibility excludes resolution
+    }
+  }
+}
+
+}  // namespace
+
+Status CompiledEval::eval_wide(std::span<const std::uint64_t> in_value,
+                               std::span<const std::uint64_t> in_unknown,
+                               std::span<std::uint64_t> out_value,
+                               std::span<std::uint64_t> out_unknown,
+                               std::size_t lanes) {
+  const Program& p = *program_;
+  const std::size_t nin = p.in_slots.size();
+  const std::size_t nout = p.out_slots.size();
+  std::size_t words = 0;
+  if (Status s = check_wide_shape(nin, nout, in_value.size(), in_unknown.size(),
+                                  out_value.size(), out_unknown.size(), lanes,
+                                  words);
+      !s.ok())
+    return s;
+
+  const auto W = static_cast<std::size_t>(p.wide_words);
+  for (std::size_t w0 = 0; w0 < words; w0 += W) {
+    const std::size_t nw = std::min(W, words - w0);
+    ensure_scratch(nw);
+
+    // Load inputs into scratch: canonicalize (value 0 where unknown) and
+    // zero the dead lanes of the final word, accumulating whether any live
+    // lane carries an unknown — the per-pass fast-path condition.
+    std::uint64_t any_unknown = 0;
+    for (std::size_t i = 0; i < nin; ++i) {
+      const std::uint64_t* sv = in_value.data() + i * words + w0;
+      const std::uint64_t* su = in_unknown.data() + i * words + w0;
+      std::uint64_t* dv = value_.data() + std::size_t{p.in_slots[i]} * nw;
+      std::uint64_t* du = unknown_.data() + std::size_t{p.in_slots[i]} * nw;
+      for (std::size_t w = 0; w < nw; ++w) {
+        const std::uint64_t m = word_mask(lanes, w0 + w);
+        const std::uint64_t u = su[w] & m;
+        dv[w] = sv[w] & ~u & m;
+        du[w] = u;
+        any_unknown |= u;
+      }
+    }
+
+    const bool fast = p.fast_path_ok && any_unknown == 0;
+    (fast ? p.fast_passes : p.slow_passes)
+        .fetch_add(1, std::memory_order_relaxed);
+    if (fast)
+      run_one_plane(p.instrs, p.operands.data(), value_.data(), nw);
+    else
+      run_two_plane(p.instrs, p.operands.data(), value_.data(),
+                    unknown_.data(), nw);
+
+    // Store outputs, masking dead lanes of the final word to 0/0.  A fast
+    // pass never touches the unknown plane; its outputs are all-known by
+    // construction.
+    for (std::size_t k = 0; k < nout; ++k) {
+      const std::uint64_t* sv = value_.data() + std::size_t{p.out_slots[k]} * nw;
+      const std::uint64_t* su =
+          unknown_.data() + std::size_t{p.out_slots[k]} * nw;
+      std::uint64_t* dv = out_value.data() + k * words + w0;
+      std::uint64_t* du = out_unknown.data() + k * words + w0;
+      for (std::size_t w = 0; w < nw; ++w) {
+        const std::uint64_t m = word_mask(lanes, w0 + w);
+        dv[w] = sv[w] & m;
+        du[w] = fast ? 0 : su[w] & m;
+      }
+    }
+  }
+  return Status();
 }
 
 Status CompiledEval::eval_packed(std::span<const PackedBits> inputs,
                                  std::span<PackedBits> outputs, int lanes) {
   if (lanes < 1 || lanes > kBatchLanes)
-    return Status::invalid_argument("eval_packed: lanes must be 1..64");
-  if (inputs.size() != program_->in_slots.size() ||
-      outputs.size() != program_->out_slots.size())
+    return Status::invalid_argument(lanes_range_message("eval_packed"));
+  const std::size_t nin = program_->in_slots.size();
+  const std::size_t nout = program_->out_slots.size();
+  if (inputs.size() != nin || outputs.size() != nout)
     return Status::invalid_argument(
-        "eval_packed: expected " + std::to_string(program_->in_slots.size()) +
-        " inputs and " + std::to_string(program_->out_slots.size()) +
-        " outputs");
+        "eval_packed: expected " + std::to_string(nin) + " inputs and " +
+        std::to_string(nout) + " outputs");
 
-  PackedBits* s = slots_.data();
-  for (std::size_t i = 0; i < inputs.size(); ++i) {
-    PackedBits p = inputs[i];
-    p.value &= ~p.unknown;  // canonicalize
-    s[program_->in_slots[i]] = p;
+  // One-word AoS<->SoA shim: with words == 1 the two layouts coincide per
+  // signal, so staging is a flat copy into the wide entry point.
+  shim_.resize(2 * (nin + nout));
+  std::uint64_t* iv = shim_.data();
+  std::uint64_t* iu = iv + nin;
+  std::uint64_t* ov = iu + nin;
+  std::uint64_t* ou = ov + nout;
+  for (std::size_t i = 0; i < nin; ++i) {
+    iv[i] = inputs[i].value;
+    iu[i] = inputs[i].unknown;
   }
-
-  const std::uint32_t* ops = program_->operands.data();
-  for (const Instr& it : program_->instrs) {
-    const std::uint32_t* o = ops + it.in_ofs;
-    switch (it.op) {
-      case Op::kBuf:
-        s[it.out] = s[o[0]];
-        break;
-      case Op::kNot: {
-        const PackedBits a = s[o[0]];
-        s[it.out] = {~a.value & ~a.unknown, a.unknown};
-        break;
-      }
-      case Op::kAnd:
-      case Op::kNand: {
-        std::uint64_t all1 = ~std::uint64_t{0}, any0 = 0;
-        for (std::uint32_t j = 0; j < it.nin; ++j) {
-          const PackedBits a = s[o[j]];
-          all1 &= a.value;
-          any0 |= ~a.value & ~a.unknown;
-        }
-        s[it.out] = {it.op == Op::kAnd ? all1 : any0, ~(all1 | any0)};
-        break;
-      }
-      case Op::kOr:
-      case Op::kNor: {
-        std::uint64_t any1 = 0, all0 = ~std::uint64_t{0};
-        for (std::uint32_t j = 0; j < it.nin; ++j) {
-          const PackedBits a = s[o[j]];
-          any1 |= a.value;
-          all0 &= ~a.value & ~a.unknown;
-        }
-        s[it.out] = {it.op == Op::kOr ? any1 : all0, ~(any1 | all0)};
-        break;
-      }
-      case Op::kXor:
-      case Op::kXnor: {
-        std::uint64_t v = 0, u = 0;
-        for (std::uint32_t j = 0; j < it.nin; ++j) {
-          const PackedBits a = s[o[j]];
-          v ^= a.value;
-          u |= a.unknown;
-        }
-        if (it.op == Op::kXnor) v = ~v;
-        s[it.out] = {v & ~u, u};
-        break;
-      }
-      case Op::kResolve: {
-        PackedBits acc = s[o[0]];
-        for (std::uint32_t j = 1; j < it.nin; ++j) {
-          const PackedBits b = s[o[j]];
-          acc.unknown |= b.unknown | (acc.value ^ b.value);
-          acc.value &= b.value;
-        }
-        acc.value &= ~acc.unknown;
-        s[it.out] = acc;
-        break;
-      }
-    }
-  }
-
-  const std::uint64_t mask =
-      lanes >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << lanes) - 1;
-  for (std::size_t k = 0; k < outputs.size(); ++k) {
-    const PackedBits p = s[program_->out_slots[k]];
-    outputs[k] = {p.value & mask, p.unknown & mask};
-  }
+  if (Status s = eval_wide({iv, nin}, {iu, nin}, {ov, nout}, {ou, nout},
+                           static_cast<std::size_t>(lanes));
+      !s.ok())
+    return s;
+  for (std::size_t k = 0; k < nout; ++k) outputs[k] = {ov[k], ou[k]};
   return Status();
+}
+
+std::size_t CompiledEval::preferred_words() const noexcept {
+  return static_cast<std::size_t>(program_->wide_words);
+}
+
+bool CompiledEval::fast_path_available() const noexcept {
+  return program_->fast_path_ok;
+}
+
+CompiledEval::KernelStats CompiledEval::kernel_stats() const noexcept {
+  return {program_->fast_passes.load(std::memory_order_relaxed),
+          program_->slow_passes.load(std::memory_order_relaxed)};
 }
 
 // ---------------------------------------------------------------------------
@@ -619,7 +1291,7 @@ std::unique_ptr<Evaluator> EventEval::clone() const {
 Status EventEval::eval_packed(std::span<const PackedBits> inputs,
                               std::span<PackedBits> outputs, int lanes) {
   if (lanes < 1 || lanes > kBatchLanes)
-    return Status::invalid_argument("eval_packed: lanes must be 1..64");
+    return Status::invalid_argument(lanes_range_message("eval_packed"));
   if (inputs.size() != in_nets_.size() || outputs.size() != out_nets_.size())
     return Status::invalid_argument(
         "eval_packed: expected " + std::to_string(in_nets_.size()) +

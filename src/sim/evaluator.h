@@ -8,18 +8,29 @@
 // behind one interface (the classic functional-vs-timing split of
 // reconfigurable-platform software stacks):
 //
-//  * `Evaluator` — the engine abstraction callers program against.  One
-//    call evaluates a *batch* of up to 64 independent vectors, packed
-//    bit-parallel in two planes per signal (see `PackedBits`).
+//  * `Evaluator` — the engine abstraction callers program against.  The
+//    throughput entry point is `eval_wide`: one call evaluates a *wide
+//    batch* of many independent vectors, packed bit-parallel in
+//    structure-of-arrays plane buffers (all of a signal's words
+//    contiguous, value and unknown planes separate).  `eval_packed` is the
+//    one-word (64-lane, AoS `PackedBits`) convenience over the same
+//    kernel.
 //  * `CompiledEval` — topologically levelizes a validated combinational
 //    circuit, constant-folds configuration structure (3-state drivers with
 //    constant enables, the fabric's const-1 rows), dead-code-eliminates the
-//    cone outside the observed outputs, and flattens what remains into a
-//    contiguous instruction array evaluated 64 vectors at a time with
-//    bitwise word ops.  Circuits it cannot model — combinational cycles,
-//    3-state drivers whose enable is not a compile-time constant (dynamic
-//    contention), behavioural async gates (DFF/latch/C-element) — are
-//    rejected via Status so callers can fall back to the event engine.
+//    cone outside the observed outputs, optimizes the remaining program
+//    (buffer copy-propagation by slot aliasing, fixed-arity 2/3-input
+//    opcode specialization, level-major slot renumbering), and flattens it
+//    into a contiguous instruction array evaluated W words — W*64 vectors —
+//    at a time with bitwise word ops.  Alongside the two-plane program it
+//    derives a *two-valued* single-plane interpretation: when the program
+//    has no wired-resolution and no constant-unknown source feeding the
+//    live cone, a batch whose inputs carry no X/Z runs a value-plane-only
+//    kernel with half the memory traffic.  Circuits it cannot model —
+//    combinational cycles, 3-state drivers whose enable is not a
+//    compile-time constant (dynamic contention), behavioural async gates
+//    (DFF/latch/C-element) — are rejected via Status so callers can fall
+//    back to the event engine.
 //  * `EventEval` — the event-driven Simulator behind the same packed
 //    interface: the always-correct fallback.
 //
@@ -90,11 +101,13 @@ struct LevelMap {
 [[nodiscard]] Result<LevelMap> levelize(const Circuit& circuit);
 
 /// An evaluation engine over a fixed (circuit, input nets, output nets)
-/// binding.  Engines evaluate batches of up to `kBatchLanes` independent
-/// vectors; they are stateful only through scratch storage, so concurrent
-/// use requires one `clone()` per thread.
+/// binding.  Engines evaluate wide batches of independent vectors packed
+/// bit-parallel; they are stateful only through scratch storage, so
+/// concurrent use requires one `clone()` per thread.
 class Evaluator {
  public:
+  /// Lanes (independent vectors) per 64-bit plane word — the grain of the
+  /// bit-parallel encoding and the capacity of one `eval_packed` call.
   static constexpr int kBatchLanes = 64;
 
   virtual ~Evaluator() = default;
@@ -103,14 +116,39 @@ class Evaluator {
   [[nodiscard]] virtual std::size_t input_count() const noexcept = 0;
   [[nodiscard]] virtual std::size_t output_count() const noexcept = 0;
 
-  /// Evaluate one batch.  `inputs[i]` packs the i-th bound input net across
-  /// the batch, `outputs[k]` receives the k-th bound output net.  `lanes`
-  /// bounds how many vectors of the batch are meaningful (1..kBatchLanes);
-  /// engines may compute all 64 but must not fail on garbage in the unused
-  /// lanes, and must leave them 0/0 in the outputs.
+  /// Evaluate one 64-lane batch.  `inputs[i]` packs the i-th bound input
+  /// net across the batch, `outputs[k]` receives the k-th bound output
+  /// net.  `lanes` bounds how many vectors of the batch are meaningful
+  /// (1..kBatchLanes); engines may compute all kBatchLanes but must not
+  /// fail on garbage in the unused lanes, and must leave them 0/0 in the
+  /// outputs.
   [[nodiscard]] virtual Status eval_packed(std::span<const PackedBits> inputs,
                                            std::span<PackedBits> outputs,
                                            int lanes = kBatchLanes) = 0;
+
+  /// Evaluate one wide batch of `lanes` vectors over structure-of-arrays
+  /// plane buffers.  With `words = ceil(lanes / kBatchLanes)`, input net i
+  /// occupies `in_value[i*words .. i*words+words-1]` (and the same span of
+  /// `in_unknown`); output net k likewise in the out planes.  Word w's bit
+  /// b belongs to vector `w*kBatchLanes + b`.  Span sizes must be exactly
+  /// `input_count()*words` / `output_count()*words`.  Engines must not
+  /// fail on garbage in the unused lanes of the final word and must leave
+  /// them 0/0 in the outputs.
+  ///
+  /// The base implementation adapts any engine one `eval_packed` word at a
+  /// time; engines with a real wide kernel (CompiledEval) override it.
+  [[nodiscard]] virtual Status eval_wide(std::span<const std::uint64_t> in_value,
+                                         std::span<const std::uint64_t> in_unknown,
+                                         std::span<std::uint64_t> out_value,
+                                         std::span<std::uint64_t> out_unknown,
+                                         std::size_t lanes);
+
+  /// The wide-batch granule this engine is tuned for, in plane words: the
+  /// sharding hint callers use to size `eval_wide` calls.  1 for engines
+  /// that evaluate word-at-a-time behind the base `eval_wide` shim.
+  [[nodiscard]] virtual std::size_t preferred_words() const noexcept {
+    return 1;
+  }
 
   /// Independent engine over the same binding, for per-thread sharding.
   [[nodiscard]] virtual std::unique_ptr<Evaluator> clone() const = 0;
@@ -118,10 +156,34 @@ class Evaluator {
 
 /// The levelized bit-parallel backend.  Compilation is a one-time cost per
 /// (circuit, binding); evaluation is a single pass over a flat instruction
-/// array per 64-vector batch.  Clones share the immutable program and carry
-/// only their own slot scratch, so cloning is cheap.
+/// array per wide batch, each instruction streaming W plane words (W*64
+/// vectors) through auto-vectorizable inner loops.  Clones share the
+/// immutable program (and its fast/slow pass counters) and carry only
+/// their own slot scratch, so cloning is cheap.
 class CompiledEval final : public Evaluator {
  public:
+  /// Default wide-batch width W, in 64-lane plane words per slot (8 words
+  /// = 512 vectors per kernel pass).
+  static constexpr int kDefaultWideWords = 8;
+
+  /// Compile-time knobs.  The defaults are the production configuration;
+  /// the degraded combinations exist for benchmarking (the PR 2 scalar
+  /// 64-lane kernel is `{.wide_words = 1, .two_valued = false,
+  /// .optimize = false}`) and for differential testing of each feature.
+  struct CompileOptions {
+    /// Scratch width W in plane words per slot (>= 1).  `eval_wide` calls
+    /// wider than W are processed in passes of W words.
+    int wide_words = kDefaultWideWords;
+    /// Derive the single-plane fast path: batches whose inputs carry no
+    /// unknown bits run a value-plane-only kernel when the program is
+    /// eligible (no wired-resolution, no constant-unknown source).
+    bool two_valued = true;
+    /// Program optimization passes: buffer copy-propagation via slot
+    /// aliasing, fixed-arity 2/3-input opcode specialization, and
+    /// level-major slot renumbering.
+    bool optimize = true;
+  };
+
   /// Compile a circuit.  `in_nets` must be primary inputs that no gate
   /// drives; every other primary input is treated as constantly undriven
   /// (Z -> unknown), matching a fresh event simulator.  Pass `levels` to
@@ -131,14 +193,20 @@ class CompiledEval final : public Evaluator {
   /// when it is not, so a stale map can never corrupt compilation.
   ///
   /// Failure modes (all leave the caller free to fall back):
-  ///  * kInvalidArgument     — circuit fails validate(), or a bound net is
-  ///                           out of range / not a primary input;
+  ///  * kInvalidArgument     — circuit fails validate(), a bound net is
+  ///                           out of range / not a primary input, or
+  ///                           options.wide_words < 1;
   ///  * kFailedPrecondition  — combinational cycle, behavioural async gate,
   ///                           3-state driver with a non-constant enable, or
   ///                           an externally driven net that gates also drive.
   [[nodiscard]] static Result<CompiledEval> compile(
       const Circuit& circuit, std::vector<NetId> in_nets,
       std::vector<NetId> out_nets, const LevelMap* levels = nullptr);
+  /// As above, with explicit compile-time knobs (see CompileOptions).
+  [[nodiscard]] static Result<CompiledEval> compile(
+      const Circuit& circuit, std::vector<NetId> in_nets,
+      std::vector<NetId> out_nets, const LevelMap* levels,
+      const CompileOptions& options);
 
   [[nodiscard]] const char* name() const noexcept override {
     return "compiled-bitparallel";
@@ -148,18 +216,46 @@ class CompiledEval final : public Evaluator {
   [[nodiscard]] Status eval_packed(std::span<const PackedBits> inputs,
                                    std::span<PackedBits> outputs,
                                    int lanes = kBatchLanes) override;
+  [[nodiscard]] Status eval_wide(std::span<const std::uint64_t> in_value,
+                                 std::span<const std::uint64_t> in_unknown,
+                                 std::span<std::uint64_t> out_value,
+                                 std::span<std::uint64_t> out_unknown,
+                                 std::size_t lanes) override;
+  [[nodiscard]] std::size_t preferred_words() const noexcept override;
   [[nodiscard]] std::unique_ptr<Evaluator> clone() const override;
 
   /// Introspection for tests/benches: live instructions after constant
-  /// folding + dead-code elimination, and the levelized depth.
+  /// folding, dead-code elimination, and copy-propagation, and the
+  /// levelized depth.
   [[nodiscard]] std::size_t instruction_count() const noexcept;
   [[nodiscard]] std::uint32_t level_count() const noexcept;
+
+  /// True when the compiled program is eligible for the two-valued
+  /// single-plane fast path (CompileOptions::two_valued on, no live
+  /// wired-resolution, no constant-unknown source in the live cone).
+  /// Whether a given batch takes it additionally requires its inputs to
+  /// carry no unknown bits.
+  [[nodiscard]] bool fast_path_available() const noexcept;
+
+  /// Kernel pass accounting, shared by every clone of one compilation (so
+  /// sharded runs aggregate naturally).  Counters are monotone.
+  struct KernelStats {
+    std::uint64_t fast_passes = 0;  ///< single-plane (two-valued) passes
+    std::uint64_t slow_passes = 0;  ///< two-plane passes
+  };
+  /// Snapshot of the pass counters across this engine and all its clones.
+  [[nodiscard]] KernelStats kernel_stats() const noexcept;
 
  private:
   struct Program;
   explicit CompiledEval(std::shared_ptr<const Program> program);
+  void ensure_scratch(std::size_t words);
+
   std::shared_ptr<const Program> program_;
-  std::vector<PackedBits> slots_;
+  std::vector<std::uint64_t> value_;    ///< SoA scratch: slot*words + w
+  std::vector<std::uint64_t> unknown_;  ///< SoA scratch, unknown plane
+  std::size_t scratch_words_ = 0;
+  std::vector<std::uint64_t> shim_;     ///< eval_packed AoS<->SoA staging
 };
 
 /// The event-driven Simulator behind the Evaluator interface: lanes are

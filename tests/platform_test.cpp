@@ -241,6 +241,10 @@ TEST(Session, ExecutorStatsTrackRunsVectorsAndEngine) {
   EXPECT_EQ(stats.vectors_run, 100u);
   EXPECT_EQ(stats.compiled_runs, 1u);
   EXPECT_EQ(stats.event_runs, 0u);
+  // BitVector stimulus is two-valued, so every compiled kernel pass of a
+  // fast-path-eligible design is a fast pass.
+  EXPECT_GT(stats.fast_passes + stats.slow_passes, 0u);
+  const auto passes_after_compiled = stats.fast_passes + stats.slow_passes;
 
   ASSERT_TRUE(
       session->run_vectors(vectors, {.engine = Engine::kEventDriven}).ok());
@@ -249,6 +253,8 @@ TEST(Session, ExecutorStatsTrackRunsVectorsAndEngine) {
   EXPECT_EQ(stats.vectors_run, 200u);
   EXPECT_EQ(stats.compiled_runs, 1u);
   EXPECT_EQ(stats.event_runs, 1u);
+  // The event engine contributes no compiled kernel passes.
+  EXPECT_EQ(stats.fast_passes + stats.slow_passes, passes_after_compiled);
 
   // A failed run (wrong vector width) reaches no engine and counts nowhere.
   const std::vector<InputVector> bad(1, InputVector(3));

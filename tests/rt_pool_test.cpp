@@ -154,6 +154,16 @@ TEST(RtDevicePool, ConcurrentSubmitsAcrossDevicesMatchSerialReference) {
   EXPECT_TRUE(std::all_of(stats.jobs_per_device.begin(),
                           stats.jobs_per_device.end(),
                           [](std::uint64_t n) { return n > 0; }));
+  // The pool's kernel-pass rollup is exactly the per-device sum, and the
+  // two-valued fleet workload produced compiled passes.
+  std::uint64_t fast = 0, slow = 0;
+  for (const auto& d : stats.device) {
+    fast += d.fast_passes;
+    slow += d.slow_passes;
+  }
+  EXPECT_EQ(stats.fast_passes, fast);
+  EXPECT_EQ(stats.slow_passes, slow);
+  EXPECT_GT(fast + slow, 0u);
 }
 
 TEST(RtDevicePool, HotDesignReplicationTriggers) {
@@ -429,9 +439,11 @@ TEST(RtDevice, IntrospectionHooks) {
   EXPECT_FALSE(device->active_matches(""));
   EXPECT_FALSE(device->active_matches("ghost"));
 
-  // vectors_run accounting rides along with completed jobs.
+  // vectors_run and kernel-pass accounting ride along with completed jobs
+  // (two-valued stimulus on a combinational design: compiled passes only).
   ASSERT_TRUE(device->run_sync("parity", random_vectors(96, 4, 1)).ok());
   EXPECT_EQ(device->stats().vectors_run, 96u);
+  EXPECT_GT(device->stats().fast_passes + device->stats().slow_passes, 0u);
   device->drain();  // retire the run_sync job so the depth below is exact
 
   // A long event-engine job pins the dispatcher, so the job submitted
