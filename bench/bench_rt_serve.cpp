@@ -1,0 +1,234 @@
+// bench_rt_serve — loopback soak of the serve::Server front end.
+//
+// SOAK experiment: one Server over a small DevicePool, N concurrent
+// closed-loop TCP clients (each its own tenant, each submitting a job and
+// waiting for its reply before the next), >= 10k jobs total.  Measures
+// jobs/s, per-job p50/p99 latency, and admission rejects.  Acceptance
+// (non-zero exit otherwise; wired into the CI bench smoke):
+//   * zero lost or duplicated replies — every job's results are
+//     byte-identical to the in-process serial reference, and the server's
+//     admitted/rejected counters add up exactly;
+//   * jobs/s >= a conservative floor (loopback RTTs, not evaluation,
+//     dominate — the floor only catches a serving-path collapse).
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "map/netlist.h"
+#include "platform/compiler.h"
+#include "platform/executor.h"
+#include "rt/pool.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+namespace pp {
+namespace {
+
+constexpr int kClients = 4;
+constexpr int kJobsPerClient = 2560;            // 4 x 2560 = 10240 >= 10k
+constexpr std::size_t kVectorsPerJob = 96;      // keeps pad bits exercised
+constexpr std::size_t kDistinctBatches = 16;    // cycled round-robin
+constexpr double kJobsPerSecFloor = 200.0;      // conservative: loopback RTT
+
+struct ClientOutcome {
+  int mismatches = 0;       // reply differs from the serial reference
+  int rejected = 0;         // kBusy surfaced as kUnavailable
+  int errors = 0;           // any other failure
+  std::vector<double> latencies_ms;
+};
+
+int run() {
+  bench::experiment_header(
+      "RT-SERVE loopback soak: " + std::to_string(kClients) +
+          " closed-loop TCP tenants against one shared pool",
+      "the platform is a shared resource (§5): clients that never link the "
+      "runtime submit work over the wire and get the same answers the "
+      "hardware would give them in-process");
+
+  const auto netlist = map::make_parity(8);
+  auto design = platform::compile(netlist);
+  if (!design.ok())
+    return std::printf("compile: %s\n", design.status().to_string().c_str()),
+           1;
+
+  // Precompute the batch rotation and its serial reference once; every
+  // client cycles the same batches, so each reply checks against a known
+  // answer without recomputing references inside the timed loop.
+  std::vector<std::vector<platform::InputVector>> batches(kDistinctBatches);
+  std::vector<std::vector<platform::BitVector>> expected(kDistinctBatches);
+  {
+    auto session = platform::Session::load(*design);
+    if (!session.ok())
+      return std::printf("%s\n", session.status().to_string().c_str()), 1;
+    util::Rng rng(20260807);
+    for (std::size_t b = 0; b < kDistinctBatches; ++b) {
+      batches[b].resize(kVectorsPerJob);
+      for (auto& v : batches[b]) {
+        v.resize(netlist.inputs().size());
+        for (std::size_t i = 0; i < v.size(); ++i) v[i] = rng.next_bool();
+      }
+      auto reference =
+          session->run_vectors(batches[b], {.max_threads = 1});
+      if (!reference.ok())
+        return std::printf("%s\n", reference.status().to_string().c_str()), 1;
+      expected[b] = std::move(*reference);
+    }
+  }
+
+  const int ndev = 2;
+  auto pool = rt::DevicePool::create(ndev, design->fabric.rows(),
+                                     design->fabric.cols());
+  if (!pool.ok())
+    return std::printf("%s\n", pool.status().to_string().c_str()), 1;
+  serve::ServerOptions options;
+  options.max_inflight_per_tenant = 32;
+  options.max_pool_depth = 512;
+  auto server = serve::Server::create(std::move(*pool), options);
+  if (!server.ok())
+    return std::printf("%s\n", server.status().to_string().c_str()), 1;
+
+  std::printf("server on 127.0.0.1:%u, %d devices, %d clients x %d jobs x "
+              "%zu vectors\n\n",
+              server->port(), ndev, kClients, kJobsPerClient, kVectorsPerJob);
+
+  // Each tenant registers its own copy of the design (content-hash dedupe
+  // makes the pool hold one bitstream) and warms the engines untimed.
+  std::vector<serve::Client> clients;
+  for (int c = 0; c < kClients; ++c) {
+    auto client = serve::Client::connect("127.0.0.1", server->port(),
+                                         "tenant" + std::to_string(c));
+    if (!client.ok())
+      return std::printf("%s\n", client.status().to_string().c_str()), 1;
+    if (Status s = client->register_design("parity8", *design); !s.ok())
+      return std::printf("%s\n", s.to_string().c_str()), 1;
+    auto warm = client->run("parity8", batches[0]);
+    if (!warm.ok())
+      return std::printf("%s\n", warm.status().to_string().c_str()), 1;
+    clients.push_back(std::move(*client));
+  }
+
+  std::vector<ClientOutcome> outcomes(kClients);
+  const auto t0 = std::chrono::steady_clock::now();
+  {
+    std::vector<std::thread> threads;
+    for (int c = 0; c < kClients; ++c)
+      threads.emplace_back([&, c] {
+        serve::Client& client = clients[c];
+        ClientOutcome& out = outcomes[c];
+        out.latencies_ms.reserve(kJobsPerClient);
+        serve::ClientSubmitOptions submit;
+        submit.priority = (c % 2 == 0) ? rt::Priority::kInteractive
+                                       : rt::Priority::kBatch;
+        for (int j = 0; j < kJobsPerClient; ++j) {
+          const std::size_t b = (c + j) % kDistinctBatches;
+          const auto s0 = std::chrono::steady_clock::now();
+          auto reply = client.run("parity8", batches[b], submit);
+          const auto s1 = std::chrono::steady_clock::now();
+          if (!reply.ok()) {
+            if (reply.status().code() == StatusCode::kUnavailable) {
+              // Admission refused: nothing ran, retry this job untimed.
+              ++out.rejected;
+              --j;
+            } else {
+              ++out.errors;
+            }
+            continue;
+          }
+          out.latencies_ms.push_back(
+              std::chrono::duration<double, std::milli>(s1 - s0).count());
+          if (*reply != expected[b]) ++out.mismatches;
+        }
+      });
+    for (auto& thread : threads) thread.join();
+  }
+  const double wall_s = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count();
+
+  int mismatches = 0, rejected = 0, errors = 0;
+  std::vector<double> latencies;
+  for (const auto& out : outcomes) {
+    mismatches += out.mismatches;
+    rejected += out.rejected;
+    errors += out.errors;
+    latencies.insert(latencies.end(), out.latencies_ms.begin(),
+                     out.latencies_ms.end());
+  }
+  std::sort(latencies.begin(), latencies.end());
+  const auto percentile = [&](double p) {
+    if (latencies.empty()) return 0.0;
+    const auto i = static_cast<std::size_t>(p * (latencies.size() - 1));
+    return latencies[i];
+  };
+  const std::size_t total_jobs =
+      static_cast<std::size_t>(kClients) * kJobsPerClient;
+  const double jobs_per_sec =
+      wall_s > 0 ? static_cast<double>(total_jobs) / wall_s : 0;
+  const double p50 = percentile(0.50), p99 = percentile(0.99);
+
+  const auto stats = server->stats();
+  server->stop();
+
+  util::Table table("loopback soak (" + std::to_string(total_jobs) +
+                    " jobs, " + std::to_string(ndev) + " devices)");
+  table.header({"metric", "value"});
+  table.row({"jobs/s", util::Table::num(jobs_per_sec, 1)});
+  table.row({"p50 latency (ms)", util::Table::num(p50, 3)});
+  table.row({"p99 latency (ms)", util::Table::num(p99, 3)});
+  table.row({"admission rejects", util::Table::num(
+                                      static_cast<long long>(rejected))});
+  table.row({"mismatches", util::Table::num(
+                               static_cast<long long>(mismatches))});
+  table.row({"errors", util::Table::num(static_cast<long long>(errors))});
+  table.print();
+
+  bench::record_devices("jobs_per_sec", jobs_per_sec, ndev);
+  bench::record("p50_latency_ms", p50);
+  bench::record("p99_latency_ms", p99);
+  bench::record("admission_rejects", static_cast<double>(rejected));
+  bench::record("mismatches", static_cast<double>(mismatches));
+
+  // Reply accounting: every admitted job must have been answered exactly
+  // once.  The timed loop collected `latencies.size()` results plus
+  // `errors` failures; with the kClients untimed warm-up jobs that must
+  // equal the server's admitted count, and the server's reject counter
+  // must match the kBusy replies the clients saw (4 warm-up stats() calls
+  // happen before the loop, so the counters are quiescent afterwards).
+  const std::uint64_t answered =
+      static_cast<std::uint64_t>(latencies.size()) +
+      static_cast<std::uint64_t>(errors) + static_cast<std::uint64_t>(kClients);
+  const bool replies_exact = answered == stats.jobs_admitted &&
+                             static_cast<std::uint64_t>(rejected) ==
+                                 stats.jobs_rejected &&
+                             stats.protocol_errors == 0;
+  std::printf("\nadmitted %llu, answered %llu, rejected %llu (clients saw "
+              "%d), protocol errors %llu\n",
+              static_cast<unsigned long long>(stats.jobs_admitted),
+              static_cast<unsigned long long>(answered),
+              static_cast<unsigned long long>(stats.jobs_rejected), rejected,
+              static_cast<unsigned long long>(stats.protocol_errors));
+
+  const bool ok = mismatches == 0 && errors == 0 && replies_exact &&
+                  jobs_per_sec >= kJobsPerSecFloor;
+  bench::verdict(
+      ok, std::to_string(total_jobs) + " wire jobs byte-identical to the "
+          "serial reference at " +
+          std::to_string(static_cast<long long>(jobs_per_sec)) +
+          " jobs/s (floor " +
+          std::to_string(static_cast<long long>(kJobsPerSecFloor)) + ")");
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace pp
+
+int main(int argc, char** argv) {
+  pp::bench::init(argc, argv);
+  return pp::run();
+}

@@ -239,4 +239,46 @@ Result<std::vector<BitVector>> BatchExecutor::run(
   return results;
 }
 
+std::vector<std::uint8_t> pack_bit_planes(std::span<const BitVector> vectors,
+                                          std::size_t width) {
+  const std::size_t plane_bytes = (vectors.size() + 7) / 8;
+  std::vector<std::uint8_t> bytes(width * plane_bytes, 0);
+  for (std::size_t v = 0; v < vectors.size(); ++v) {
+    const std::uint8_t bit = static_cast<std::uint8_t>(1u << (v % 8));
+    for (std::size_t i = 0; i < width; ++i)
+      if (vectors[v][i]) bytes[i * plane_bytes + v / 8] |= bit;
+  }
+  return bytes;
+}
+
+Result<std::vector<BitVector>> unpack_bit_planes(
+    std::span<const std::uint8_t> bytes, std::size_t count,
+    std::size_t width) {
+  const std::size_t plane_bytes = (count + 7) / 8;
+  if (bytes.size() != width * plane_bytes)
+    return Status::invalid_argument(
+        "unpack_bit_planes: " + std::to_string(count) + " vectors x " +
+        std::to_string(width) + " bits need exactly " +
+        std::to_string(width * plane_bytes) + " plane bytes, got " +
+        std::to_string(bytes.size()));
+  // Reject non-canonical pad bits: two byte streams must never decode to
+  // the same batch (wire frames are CRC-covered but the CRC cannot see a
+  // semantically-ignored bit).
+  if (count % 8 != 0)
+    for (std::size_t i = 0; i < width; ++i) {
+      const std::uint8_t last = bytes[i * plane_bytes + plane_bytes - 1];
+      if ((last & static_cast<std::uint8_t>(~((1u << (count % 8)) - 1))) != 0)
+        return Status::invalid_argument(
+            "unpack_bit_planes: non-zero pad bits in plane " +
+            std::to_string(i));
+    }
+  std::vector<BitVector> vectors(count, BitVector(width, false));
+  for (std::size_t v = 0; v < count; ++v) {
+    const std::uint8_t bit = static_cast<std::uint8_t>(1u << (v % 8));
+    for (std::size_t i = 0; i < width; ++i)
+      if ((bytes[i * plane_bytes + v / 8] & bit) != 0) vectors[v][i] = true;
+  }
+  return vectors;
+}
+
 }  // namespace pp::platform

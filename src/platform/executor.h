@@ -77,6 +77,27 @@ struct ExecutorStats {
   std::uint64_t slow_passes = 0;
 };
 
+/// Pack a batch of equal-width vectors into structure-of-arrays bit
+/// planes: plane `i` holds bit `i` of every vector, ceil(count/8) bytes
+/// per plane (vector v lands in byte v/8, bit v%8), planes concatenated
+/// in index order, trailing pad bits zero.  This is the canonical
+/// SoA-on-a-byte-stream layout shared by the serving wire protocol
+/// (docs/serving-protocol.md) and any other consumer that ships batches
+/// out of process; the evaluation engines use the same orientation at
+/// word granularity internally.  Every vector must have exactly `width`
+/// bits — the caller validates (the serving layer does so before packing).
+[[nodiscard]] std::vector<std::uint8_t> pack_bit_planes(
+    std::span<const BitVector> vectors, std::size_t width);
+
+/// Inverse of pack_bit_planes: rebuild `count` vectors of `width` bits
+/// from concatenated bit planes.  Fails with kInvalidArgument when
+/// `bytes` is not exactly width * ceil(count/8) bytes or any trailing pad
+/// bit of a plane is non-zero (wire input is never trusted; a non-canonical
+/// encoding is rejected, not normalized).
+[[nodiscard]] Result<std::vector<BitVector>> unpack_bit_planes(
+    std::span<const std::uint8_t> bytes, std::size_t count,
+    std::size_t width);
+
 /// The engine-owning batch-evaluation core: one executor per (circuit,
 /// input nets, output nets) binding, engines built lazily and cached for
 /// its lifetime.  Not synchronized — callers serialize run() calls (see

@@ -16,6 +16,10 @@ namespace pp::rt {
 using detail::JobState;
 
 struct Device::Impl {
+  explicit Impl(const DeviceOptions& options_in)
+      : options(options_in), queue(options_in.max_batch_run) {}
+
+  DeviceOptions options;
   int rows = 0, cols = 0;
 
   // The physical array and its active personality.  hw_mutex pins the
@@ -41,7 +45,7 @@ struct Device::Impl {
       delta_cache;
 
   DesignCache cache;
-  JobQueue queue;
+  JobQueue queue;  // constructed with options.max_batch_run
 
   mutable std::mutex stats_mutex;
   DeviceStats stats;
@@ -131,6 +135,26 @@ struct Device::Impl {
       }
       job.phase = JobState::Phase::kRunning;
     }
+    // An expired deadline completes the job without running it: the fabric
+    // never reconfigures (and no engine pass runs) for work whose result
+    // the client already considers late.
+    if (job.options.deadline &&
+        std::chrono::steady_clock::now() > *job.options.deadline) {
+      {
+        const std::lock_guard<std::mutex> lock(stats_mutex);
+        ++stats.jobs_expired;
+      }
+      {
+        const std::lock_guard<std::mutex> lock(job.mutex);
+        job.vectors.clear();
+        job.status = Status::deadline_exceeded(
+            "job " + std::to_string(job.id) + ": deadline expired before "
+            "dispatch; the job did not run");
+        job.phase = JobState::Phase::kDone;
+      }
+      job.cv.notify_all();
+      return;
+    }
     // Residency is permanent (no unload), so the design always resolves.
     const std::shared_ptr<ResidentDesign> rd = cache.find(job.design);
     Status status = rd ? Status()
@@ -143,7 +167,7 @@ struct Device::Impl {
       bool swapped = false;
       status = activate_locked(rd, swapped);
       if (status.ok()) {
-        auto run = rd->executor().run(job.vectors, job.options);
+        auto run = rd->executor().run(job.vectors, job.options.run);
         if (run.ok())
           results = std::move(*run);
         else
@@ -201,10 +225,14 @@ void Device::shutdown_impl() {
   impl_.reset();
 }
 
-Result<Device> Device::create(int rows, int cols) {
+Result<Device> Device::create(int rows, int cols, DeviceOptions options) {
+  if (options.max_batch_run < 1)
+    return Status::invalid_argument(
+        "Device::create: max_batch_run must be >= 1 (got " +
+        std::to_string(options.max_batch_run) + ")");
   auto fabric = core::Fabric::create(rows, cols);
   if (!fabric.ok()) return fabric.status();
-  auto impl = std::make_unique<Impl>();
+  auto impl = std::make_unique<Impl>(options);
   impl->rows = rows;
   impl->cols = cols;
   impl->hw = std::move(*fabric);
@@ -277,7 +305,7 @@ core::Fabric Device::personality() const {
 
 Result<Job> Device::submit(std::string_view name,
                            std::vector<InputVector> vectors,
-                           const RunOptions& options) {
+                           const SubmitOptions& options) {
   const std::shared_ptr<ResidentDesign> rd = impl_->cache.find(name);
   if (!rd)
     return Status::not_found("submit: no resident design named '" +
@@ -307,13 +335,30 @@ Result<Job> Device::submit(std::string_view name,
   return Job(std::move(state));
 }
 
+Result<Job> Device::submit(std::string_view name,
+                           std::vector<InputVector> vectors,
+                           const RunOptions& run) {
+  SubmitOptions options;
+  options.run = run;
+  return submit(name, std::move(vectors), options);
+}
+
 Result<std::vector<BitVector>> Device::run_sync(std::string_view name,
                                                 std::vector<InputVector>
                                                     vectors,
-                                                const RunOptions& options) {
+                                                const SubmitOptions& options) {
   auto job = submit(name, std::move(vectors), options);
   if (!job.ok()) return job.status();
   return job->wait();
+}
+
+Result<std::vector<BitVector>> Device::run_sync(std::string_view name,
+                                                std::vector<InputVector>
+                                                    vectors,
+                                                const RunOptions& run) {
+  SubmitOptions options;
+  options.run = run;
+  return run_sync(name, std::move(vectors), options);
 }
 
 void Device::drain() {

@@ -56,6 +56,16 @@ namespace pp::rt {
 /// synchronous Session share one evaluation machinery).
 using platform::RunOptions;
 
+/// Per-device tuning knobs, fixed at creation.
+struct DeviceOptions {
+  /// JobQueue bypass bound: how many consecutive pops may jump an older
+  /// job (same-design batching or interactive preference) before strict
+  /// FIFO is forced.  Must be >= 1 (validated by Device::create); higher
+  /// favours batching throughput, lower favours queue-order latency — the
+  /// serving layer's batching-vs-latency dial (docs/scheduling.md §1.2).
+  int max_batch_run = 8;
+};
+
 /// Cumulative runtime accounting (all counters monotone).
 struct DeviceStats {
   std::uint64_t designs_loaded = 0;    ///< distinct resident designs built
@@ -69,6 +79,9 @@ struct DeviceStats {
   std::uint64_t jobs_completed = 0;  ///< finished OK
   std::uint64_t jobs_failed = 0;     ///< finished with a non-OK status
   std::uint64_t jobs_canceled = 0;   ///< withdrawn before execution
+  /// Jobs whose deadline had expired at dispatch: completed with
+  /// kDeadlineExceeded without running (not counted in jobs_failed).
+  std::uint64_t jobs_expired = 0;
   std::uint64_t batched_jobs = 0;    ///< ran without a personality swap
   std::uint64_t vectors_run = 0;     ///< stimulus vectors evaluated OK
   /// Compiled-engine kernel passes that took the two-valued single-plane
@@ -88,7 +101,10 @@ struct DeviceStats {
 class Device {
  public:
   /// A device over a rows x cols array, initially blank (no personality).
-  [[nodiscard]] static Result<Device> create(int rows, int cols);
+  /// Fails with kInvalidArgument for dimensions the fabric rejects or an
+  /// options.max_batch_run < 1.
+  [[nodiscard]] static Result<Device> create(int rows, int cols,
+                                             DeviceOptions options = {});
 
   /// Moved-from devices may only be destroyed or assigned to.
   Device(Device&&) noexcept;
@@ -160,15 +176,28 @@ class Device {
   /// Enqueue a batch of stimulus vectors against a resident combinational
   /// design.  Fails fast (before queueing) with kNotFound for an unknown
   /// design, kFailedPrecondition for a sequential one, kInvalidArgument on
-  /// a vector-width mismatch.  The returned Job completes asynchronously.
+  /// a vector-width mismatch.  The returned Job completes asynchronously;
+  /// options carry the run knobs plus the scheduling class and optional
+  /// deadline (expired at dispatch → the job completes with
+  /// kDeadlineExceeded without running).
   [[nodiscard]] Result<Job> submit(std::string_view name,
                                    std::vector<InputVector> vectors,
-                                   const RunOptions& options = {});
+                                   const SubmitOptions& options = {});
+
+  /// Convenience overload: run knobs only (batch class, no deadline).
+  [[nodiscard]] Result<Job> submit(std::string_view name,
+                                   std::vector<InputVector> vectors,
+                                   const RunOptions& run);
 
   /// Synchronous convenience: submit + wait.
   [[nodiscard]] Result<std::vector<BitVector>> run_sync(
       std::string_view name, std::vector<InputVector> vectors,
-      const RunOptions& options = {});
+      const SubmitOptions& options = {});
+
+  /// Convenience overload: run knobs only (batch class, no deadline).
+  [[nodiscard]] Result<std::vector<BitVector>> run_sync(
+      std::string_view name, std::vector<InputVector> vectors,
+      const RunOptions& run);
 
   /// Block until every job submitted so far has left the queue and the
   /// dispatcher is idle.

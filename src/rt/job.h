@@ -12,6 +12,7 @@
 /// \brief rt::Job — a future-like handle on one unit of device work.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
@@ -30,6 +31,30 @@ using platform::BitVector;
 /// One stimulus vector (bound input order), re-exported from pp::platform.
 using platform::InputVector;
 
+/// Scheduling class of a submitted job (docs/scheduling.md §1.4).
+enum class Priority : std::uint8_t {
+  /// Throughput work (the default): rides same-design batches, may be
+  /// bypassed — boundedly — by interactive jobs.
+  kBatch = 0,
+  /// Latency-sensitive work: JobQueue::pop prefers it over batch jobs,
+  /// within the same bounded-bypass starvation guarantee.
+  kInteractive = 1,
+};
+
+/// Per-submission scheduling options: the batch-run knobs plus the job's
+/// scheduling class and an optional completion deadline.
+struct SubmitOptions {
+  /// Engine/sharding knobs for the job's batch run (platform::RunOptions).
+  platform::RunOptions run{};
+  /// Scheduling class; interactive jobs jump batch jobs in the queue.
+  Priority priority = Priority::kBatch;
+  /// Absolute deadline.  A job whose deadline has expired when the
+  /// dispatcher picks it up completes with kDeadlineExceeded *without
+  /// running* (the fabric never reconfigures for dead work).  Unset = no
+  /// deadline.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+};
+
 namespace detail {
 
 /// Shared state between the client-side Job handle and the device
@@ -37,16 +62,16 @@ namespace detail {
 /// kCanceled (cancel only wins while the job is still queued).
 struct JobState {
   JobState(std::uint64_t id_in, std::string design_in,
-           std::vector<InputVector> vectors_in, platform::RunOptions options_in)
+           std::vector<InputVector> vectors_in, SubmitOptions options_in)
       : id(id_in),
         design(std::move(design_in)),
         vectors(std::move(vectors_in)),
-        options(options_in) {}
+        options(std::move(options_in)) {}
 
   const std::uint64_t id;
   const std::string design;
   std::vector<InputVector> vectors;  // cleared once consumed by the runner
-  const platform::RunOptions options;
+  const SubmitOptions options;
 
   enum class Phase : std::uint8_t { kQueued, kRunning, kDone, kCanceled };
 

@@ -118,7 +118,7 @@ Result<DevicePool> DevicePool::create(std::size_t devices, int rows, int cols,
   impl->cols = cols;
   impl->devices.reserve(devices);
   for (std::size_t i = 0; i < devices; ++i) {
-    auto device = Device::create(rows, cols);
+    auto device = Device::create(rows, cols, options.device);
     if (!device.ok()) return device.status();
     impl->devices.push_back(std::move(*device));
   }
@@ -198,7 +198,7 @@ std::size_t DevicePool::replicas(std::string_view name) const {
 
 Result<Job> DevicePool::submit(std::string_view name,
                                std::vector<InputVector> vectors,
-                               const RunOptions& options) {
+                               const SubmitOptions& options) {
   std::size_t target = kNoDevice;
   bool active = false;
   Impl::Entry* replicate_entry = nullptr;  // non-null: load `name` on cand
@@ -282,13 +282,31 @@ Result<Job> DevicePool::submit(std::string_view name,
   return job;
 }
 
+Result<Job> DevicePool::submit(std::string_view name,
+                               std::vector<InputVector> vectors,
+                               const RunOptions& run) {
+  SubmitOptions options;
+  options.run = run;
+  return submit(name, std::move(vectors), options);
+}
+
 Result<std::vector<BitVector>> DevicePool::run_sync(std::string_view name,
                                                     std::vector<InputVector>
                                                         vectors,
-                                                    const RunOptions& options) {
+                                                    const SubmitOptions&
+                                                        options) {
   auto job = submit(name, std::move(vectors), options);
   if (!job.ok()) return job.status();
   return job->wait();
+}
+
+Result<std::vector<BitVector>> DevicePool::run_sync(std::string_view name,
+                                                    std::vector<InputVector>
+                                                        vectors,
+                                                    const RunOptions& run) {
+  SubmitOptions options;
+  options.run = run;
+  return run_sync(name, std::move(vectors), options);
 }
 
 void DevicePool::drain() {

@@ -64,6 +64,9 @@ struct PoolOptions {
   std::size_t replicate_streak = 2;
   /// Upper bound on replicas per design; 0 means "up to every device".
   std::size_t max_replicas = 0;
+  /// Per-device knobs, applied to every device of the fleet (homogeneous
+  /// devices share one configuration like they share one dimension).
+  DeviceOptions device{};
 };
 
 /// Point-in-time snapshot of the pool's scheduling behaviour.  Cumulative
@@ -135,17 +138,29 @@ class DevicePool {
   /// (active > resident > least-loaded tie-break) and enqueue it there.
   /// Validation mirrors Device::submit: kNotFound for an unregistered
   /// design, kFailedPrecondition for a sequential one, kInvalidArgument on
-  /// a vector-width mismatch — all before queueing.  The returned Job is
-  /// the same handle Device::submit yields; it stays valid after the pool
-  /// dies (jobs are completed or canceled first, never leaked).
+  /// a vector-width mismatch — all before queueing.  The options carry the
+  /// run knobs plus the scheduling class and optional deadline (see
+  /// rt::SubmitOptions).  The returned Job is the same handle
+  /// Device::submit yields; it stays valid after the pool dies (jobs are
+  /// completed or canceled first, never leaked).
   [[nodiscard]] Result<Job> submit(std::string_view name,
                                    std::vector<InputVector> vectors,
-                                   const RunOptions& options = {});
+                                   const SubmitOptions& options = {});
+
+  /// Convenience overload: run knobs only (batch class, no deadline).
+  [[nodiscard]] Result<Job> submit(std::string_view name,
+                                   std::vector<InputVector> vectors,
+                                   const RunOptions& run);
 
   /// Synchronous convenience: submit + wait.
   [[nodiscard]] Result<std::vector<BitVector>> run_sync(
       std::string_view name, std::vector<InputVector> vectors,
-      const RunOptions& options = {});
+      const SubmitOptions& options = {});
+
+  /// Convenience overload: run knobs only (batch class, no deadline).
+  [[nodiscard]] Result<std::vector<BitVector>> run_sync(
+      std::string_view name, std::vector<InputVector> vectors,
+      const RunOptions& run);
 
   /// Block until every device in the pool is idle (all submitted jobs have
   /// retired).

@@ -19,20 +19,29 @@ std::shared_ptr<JobState> JobQueue::pop(std::string_view active_design) {
   std::unique_lock<std::mutex> lock(mutex_);
   cv_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
   if (queue_.empty()) return nullptr;  // shutdown, drained
-  // Same-design batching: take the oldest job already matching the resident
-  // personality, falling back to strict FIFO.  The bypass is bounded —
-  // after kMaxBatchRun consecutive pops that jumped an older job, the
-  // front is served unconditionally, so no design can starve the others.
-  // Entries canceled while they sat here still flow out — the dispatcher
-  // discards them, which keeps the submitted/terminal accounting in one
-  // place.
+  // Preference order: interactive beats batch (latency class first), then a
+  // design matching the resident personality beats a swap, oldest within
+  // equal rank.  Every preference draws on one bypass budget — after
+  // max_batch_run consecutive pops that jumped an older job, the front is
+  // served unconditionally, so neither a priority class nor a design can
+  // starve the others.  Entries canceled while they sat here still flow
+  // out — the dispatcher discards them, which keeps the submitted/terminal
+  // accounting in one place.
   auto it = queue_.begin();
-  if (batch_run_ < kMaxBatchRun) {
-    const auto match =
-        std::find_if(queue_.begin(), queue_.end(), [&](const auto& j) {
-          return j->design == active_design;
-        });
-    if (match != queue_.end()) it = match;
+  if (batch_run_ < max_batch_run_) {
+    const auto rank = [&](const std::shared_ptr<JobState>& j) {
+      return (j->options.priority == Priority::kInteractive ? 2 : 0) +
+             (j->design == active_design ? 1 : 0);
+    };
+    int best = rank(*it);
+    for (auto cand = std::next(queue_.begin());
+         cand != queue_.end() && best < 3; ++cand) {
+      // Strictly-greater keeps the oldest job within each rank.
+      if (const int r = rank(*cand); r > best) {
+        best = r;
+        it = cand;
+      }
+    }
   }
   batch_run_ = it == queue_.begin() ? 0 : batch_run_ + 1;
   std::shared_ptr<JobState> job = std::move(*it);

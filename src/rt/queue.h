@@ -1,18 +1,22 @@
 // rt::JobQueue — the per-device submission queue.
 //
 // A blocking MPSC queue (many client threads submit, one dispatcher
-// consumes) with one scheduling twist: `pop` prefers the oldest job whose
-// design is already active on the fabric, so bursts that interleave designs
-// still batch per personality and amortize reconfiguration.  Within one
-// design jobs stay FIFO, and a job can never starve: the preference may
-// bypass the queue's front at most kMaxBatchRun consecutive times before a
+// consumes) with two scheduling twists layered on oldest-first order:
+// `pop` prefers interactive jobs over batch jobs (the serving layer's
+// latency class), and within a class it prefers the oldest job whose
+// design is already active on the fabric, so bursts that interleave
+// designs still batch per personality and amortize reconfiguration.
+// Within one (class, design) jobs stay FIFO, and a job can never starve:
+// every preference shares one bypass budget — pop may serve a job ahead
+// of the queue's front at most max_batch_run consecutive times before a
 // strict-FIFO pop is forced, so the oldest waiting job is served after a
-// bounded number of batched rides even under a sustained stream of
-// active-design submissions.
+// bounded number of jumped rides even under a sustained stream of
+// interactive or active-design submissions.
 
 /// \file
-/// \brief rt::JobQueue — the per-device submission queue with same-design
-/// batching and a bounded-bypass starvation guarantee.
+/// \brief rt::JobQueue — the per-device submission queue with priority
+/// classes, same-design batching, and a bounded-bypass starvation
+/// guarantee.
 #pragma once
 
 #include <condition_variable>
@@ -27,22 +31,28 @@
 namespace pp::rt {
 
 /// Blocking MPSC job queue (many submitters, one dispatcher) whose pop
-/// prefers the oldest job matching the active personality, bounded so no
-/// design starves (docs/scheduling.md §1).
+/// prefers interactive jobs, then jobs matching the active personality,
+/// bounded so nothing starves (docs/scheduling.md §1).
 class JobQueue {
  public:
-  /// How many times in a row pop() may serve a matching-design job ahead
-  /// of an older job of another design before strict FIFO is forced.
-  static constexpr int kMaxBatchRun = 8;
+  /// Default bypass bound (DeviceOptions::max_batch_run's default).
+  static constexpr int kDefaultMaxBatchRun = 8;
+
+  /// A queue whose pop() may bypass the front at most `max_batch_run`
+  /// consecutive times (>= 1; rt::Device validates before construction).
+  explicit JobQueue(int max_batch_run = kDefaultMaxBatchRun)
+      : max_batch_run_(max_batch_run) {}
 
   /// Enqueue a job (any thread).  Jobs arrive in phase kQueued.
   void push(std::shared_ptr<detail::JobState> job);
 
-  /// Block until a job is available or the queue is shut down.  Returns the
-  /// oldest job whose design matches `active_design` if any, else the
-  /// oldest job overall; nullptr only after shutdown() with the queue
-  /// drained.  Jobs canceled while queued still flow out (the consumer
-  /// discards them, keeping submission/terminal accounting in one place).
+  /// Block until a job is available or the queue is shut down.  Preference
+  /// order (oldest within each rung): interactive matching `active_design`,
+  /// interactive, batch matching `active_design`, then the queue's front —
+  /// forced unconditionally once the bypass budget is spent.  Returns
+  /// nullptr only after shutdown() with the queue drained.  Jobs canceled
+  /// while queued still flow out (the consumer discards them, keeping
+  /// submission/terminal accounting in one place).
   [[nodiscard]] std::shared_ptr<detail::JobState> pop(
       std::string_view active_design);
 
@@ -62,7 +72,11 @@ class JobQueue {
   /// decisions use the device-wide depth, not this.
   [[nodiscard]] std::size_t pending_for(std::string_view design) const;
 
+  /// The bypass bound this queue was constructed with.
+  [[nodiscard]] int max_batch_run() const noexcept { return max_batch_run_; }
+
  private:
+  const int max_batch_run_;
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<std::shared_ptr<detail::JobState>> queue_;

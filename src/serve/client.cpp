@@ -1,0 +1,240 @@
+#include "serve/client.h"
+
+#include <map>
+#include <set>
+#include <utility>
+
+#include "platform/executor.h"
+#include "serve/wire.h"
+
+namespace pp::serve {
+
+struct Client::Impl {
+  Socket socket;
+  std::string tenant;
+  std::uint64_t session_id = 0;
+  std::uint64_t next_request_id = 1;
+
+  /// Request ids submitted but not yet collected by wait().
+  std::set<std::uint64_t> outstanding;
+  /// Replies that arrived while waiting for a different request id.
+  std::map<std::uint64_t, Result<std::vector<platform::BitVector>>> ready;
+
+  /// Translate a reply frame for an outstanding submit into the Result a
+  /// local DevicePool::run_sync would have produced.
+  [[nodiscard]] Result<std::vector<platform::BitVector>> reply_to_result(
+      const Frame& frame) {
+    if (frame.type == MsgType::kResult) {
+      auto msg = decode_result(frame);
+      if (!msg.ok()) return msg.status();
+      return platform::unpack_bit_planes(msg->planes, msg->vector_count,
+                                         msg->output_count);
+    }
+    if (frame.type == MsgType::kBusy) {
+      auto msg = decode_busy(frame);
+      if (!msg.ok()) return msg.status();
+      return Status::unavailable("serve: admission refused (" + msg->reason +
+                                 "); nothing was queued, retry later");
+    }
+    auto msg = decode_error(frame);
+    if (!msg.ok()) return msg.status();
+    return Status(msg->code, msg->message);
+  }
+
+  [[nodiscard]] std::uint64_t reply_request_id(const Frame& frame) {
+    if (frame.type == MsgType::kResult) {
+      auto msg = decode_result(frame);
+      return msg.ok() ? msg->request_id : 0;
+    }
+    if (frame.type == MsgType::kBusy) {
+      auto msg = decode_busy(frame);
+      return msg.ok() ? msg->request_id : 0;
+    }
+    if (frame.type == MsgType::kError) {
+      auto msg = decode_error(frame);
+      return msg.ok() ? msg->request_id : 0;
+    }
+    return 0;
+  }
+
+  /// Read frames until one satisfies `done`; job replies for outstanding
+  /// request ids are stashed into `ready` along the way.  Returns the
+  /// satisfying frame.
+  template <typename Pred>
+  [[nodiscard]] Result<Frame> read_until(Pred done) {
+    while (true) {
+      auto frame = read_frame(socket);
+      if (!frame.ok()) return frame.status();
+      if (done(*frame)) return frame;
+      if (frame->type == MsgType::kResult || frame->type == MsgType::kBusy ||
+          frame->type == MsgType::kError) {
+        const std::uint64_t id = reply_request_id(*frame);
+        if (outstanding.erase(id) > 0) {
+          ready.emplace(id, reply_to_result(*frame));
+          continue;
+        }
+        if (frame->type == MsgType::kError) {
+          // A session-level error (request id 0 or unknown) is terminal:
+          // the server is about to hang up.
+          auto msg = decode_error(*frame);
+          if (msg.ok()) return Status(msg->code, msg->message);
+          return msg.status();
+        }
+      }
+      return Status::internal(
+          "serve: unexpected frame type " +
+          std::to_string(static_cast<int>(frame->type)) +
+          " while waiting for a reply");
+    }
+  }
+};
+
+Result<Client> Client::connect(const std::string& host, std::uint16_t port,
+                               std::string tenant) {
+  if (Status s = validate_name("tenant name", tenant); !s.ok()) return s;
+  auto socket = connect_tcp(host, port);
+  if (!socket.ok()) return socket.status();
+  auto impl = std::make_unique<Impl>();
+  impl->socket = std::move(*socket);
+  impl->tenant = std::move(tenant);
+  HelloMsg hello;
+  hello.tenant = impl->tenant;
+  if (Status s = write_frame(impl->socket, encode_hello(hello)); !s.ok())
+    return s;
+  auto frame = impl->read_until(
+      [](const Frame& f) { return f.type == MsgType::kHelloAck; });
+  if (!frame.ok()) return frame.status();
+  auto ack = decode_hello_ack(*frame);
+  if (!ack.ok()) return ack.status();
+  impl->session_id = ack->session_id;
+  return Client(std::move(impl));
+}
+
+Client::Client(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {}
+Client::Client(Client&&) noexcept = default;
+Client& Client::operator=(Client&&) noexcept = default;
+Client::~Client() = default;
+
+std::uint64_t Client::session_id() const noexcept {
+  return impl_->session_id;
+}
+
+const std::string& Client::tenant() const noexcept { return impl_->tenant; }
+
+Status Client::register_design(std::string_view name,
+                               const platform::CompiledDesign& design) {
+  if (Status s = validate_name("design name", name); !s.ok()) return s;
+  if (!design.state.empty())
+    return Status::failed_precondition(
+        "serve: sequential designs (boundary-register state) cannot ride "
+        "the job protocol; use a local platform::Session");
+  if (design.bitstream.empty())
+    return Status::invalid_argument(
+        "serve: the design has no bitstream to upload");
+  const int rows = design.fabric.rows(), cols = design.fabric.cols();
+  if (rows < 1 || cols < 1 || rows > 0xFFFF || cols > 0xFFFF)
+    return Status::invalid_argument(
+        "serve: fabric dimensions do not fit the wire format");
+  RegisterDesignMsg msg;
+  msg.request_id = impl_->next_request_id++;
+  msg.design = std::string(name);
+  msg.rows = static_cast<std::uint16_t>(rows);
+  msg.cols = static_cast<std::uint16_t>(cols);
+  msg.delays = design.delays;
+  msg.content_hash = design.content_hash;
+  msg.inputs = design.inputs;
+  msg.outputs = design.outputs;
+  msg.bitstream = design.bitstream;
+  if (Status s = write_frame(impl_->socket, encode_register_design(msg));
+      !s.ok())
+    return s;
+  const std::uint64_t id = msg.request_id;
+  auto frame = impl_->read_until([&](const Frame& f) {
+    if (f.type == MsgType::kRegisterAck) {
+      auto ack = decode_register_ack(f);
+      return ack.ok() && ack->request_id == id;
+    }
+    if (f.type == MsgType::kError) {
+      auto err = decode_error(f);
+      return err.ok() && err->request_id == id;
+    }
+    return false;
+  });
+  if (!frame.ok()) return frame.status();
+  if (frame->type == MsgType::kRegisterAck) return Status();
+  auto err = decode_error(*frame);
+  if (!err.ok()) return err.status();
+  return Status(err->code, err->message);
+}
+
+Result<std::uint64_t> Client::submit(
+    std::string_view name, std::span<const platform::InputVector> vectors,
+    const ClientSubmitOptions& options) {
+  if (Status s = validate_name("design name", name); !s.ok()) return s;
+  if (vectors.empty())
+    return Status::invalid_argument("serve: a batch needs at least 1 vector");
+  const std::size_t width = vectors.front().size();
+  for (const platform::InputVector& v : vectors)
+    if (v.size() != width)
+      return Status::invalid_argument(
+          "serve: every vector of a batch must have the same width");
+  if (width > 0xFFFF)
+    return Status::invalid_argument(
+        "serve: vector width does not fit the wire format");
+  if (vectors.size() > 0xFFFFFFFFull)
+    return Status::invalid_argument(
+        "serve: batch size does not fit the wire format");
+  SubmitBatchMsg msg;
+  msg.request_id = impl_->next_request_id++;
+  msg.design = std::string(name);
+  msg.priority = options.priority;
+  msg.deadline_ms = options.deadline_ms;
+  msg.engine = options.engine;
+  msg.vector_count = static_cast<std::uint32_t>(vectors.size());
+  msg.input_count = static_cast<std::uint16_t>(width);
+  msg.planes = platform::pack_bit_planes(vectors, width);
+  if (Status s = write_frame(impl_->socket, encode_submit_batch(msg));
+      !s.ok())
+    return s;
+  impl_->outstanding.insert(msg.request_id);
+  return msg.request_id;
+}
+
+Result<std::vector<platform::BitVector>> Client::wait(
+    std::uint64_t request_id) {
+  if (auto it = impl_->ready.find(request_id); it != impl_->ready.end()) {
+    auto result = std::move(it->second);
+    impl_->ready.erase(it);
+    return result;
+  }
+  if (impl_->outstanding.find(request_id) == impl_->outstanding.end())
+    return Status::not_found("serve: request " + std::to_string(request_id) +
+                             " is not outstanding on this client");
+  auto frame = impl_->read_until([&](const Frame& f) {
+    return impl_->reply_request_id(f) == request_id;
+  });
+  if (!frame.ok()) return frame.status();
+  impl_->outstanding.erase(request_id);
+  return impl_->reply_to_result(*frame);
+}
+
+Result<std::vector<platform::BitVector>> Client::run(
+    std::string_view name, std::span<const platform::InputVector> vectors,
+    const ClientSubmitOptions& options) {
+  auto id = submit(name, vectors, options);
+  if (!id.ok()) return id.status();
+  return wait(*id);
+}
+
+Result<StatsReplyMsg> Client::stats() {
+  if (Status s = write_frame(impl_->socket,
+                             encode_stats_request(StatsRequestMsg{}));
+      !s.ok())
+    return s;
+  auto frame = impl_->read_until(
+      [](const Frame& f) { return f.type == MsgType::kStatsReply; });
+  if (!frame.ok()) return frame.status();
+  return decode_stats_reply(*frame);
+}
+
+}  // namespace pp::serve

@@ -1,0 +1,116 @@
+// serve::Client — the blocking client library of the PPSV job protocol.
+//
+// A Client is one tenant session on one connection: connect() performs the
+// hello handshake, register_design() uploads a compiled design into the
+// tenant's namespace, and jobs flow either synchronously (run = submit +
+// wait) or pipelined — submit() returns a request id without reading the
+// socket, so many jobs ride the connection back-to-back, and wait() collects
+// replies in any order (frames carry request ids; out-of-order completions
+// are stashed until asked for).  Server-side backpressure (kBusy) surfaces
+// as kUnavailable: nothing was queued, back off and resubmit.
+//
+// Thread-safety: none — a Client is used from one thread at a time (the
+// soak bench gives each closed-loop worker its own Client, which is also
+// the honest way to load a server).
+
+/// \file
+/// \brief serve::Client — blocking tenant session over the PPSV job
+/// protocol (register designs, submit/wait batches, poll stats).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "platform/compiler.h"
+#include "serve/protocol.h"
+#include "util/status.h"
+
+namespace pp::serve {
+
+/// Per-submit scheduling options, the wire-visible subset of
+/// rt::SubmitOptions (engine sharding knobs stay server-side policy).
+struct ClientSubmitOptions {
+  /// Scheduling class (interactive jobs jump batch jobs; bounded).
+  rt::Priority priority = rt::Priority::kBatch;
+  /// Relative deadline in milliseconds from server receipt; 0 = none.
+  /// Expired before dispatch → the job completes with kDeadlineExceeded
+  /// without running.
+  std::uint32_t deadline_ms = 0;
+  /// Evaluation engine choice for the batch run.
+  platform::Engine engine = platform::Engine::kAuto;
+};
+
+/// One tenant session on one TCP connection.  See the file comment for the
+/// usage model and docs/serving-protocol.md for the wire contract.
+class Client {
+ public:
+  /// Connect to a serve::Server and perform the hello handshake as
+  /// `tenant` (validate_name rules).  Fails with the connect Status or
+  /// whatever the server answered the hello with.
+  [[nodiscard]] static Result<Client> connect(const std::string& host,
+                                              std::uint16_t port,
+                                              std::string tenant);
+
+  /// Moved-from clients may only be destroyed or assigned to.
+  Client(Client&&) noexcept;
+  /// Closes the overwritten client's connection before taking over.
+  Client& operator=(Client&&) noexcept;
+  /// Closes the connection.  Replies to still-outstanding submits are lost
+  /// (the jobs themselves finish server-side).
+  ~Client();
+
+  /// The server-assigned session id from the hello handshake.
+  [[nodiscard]] std::uint64_t session_id() const noexcept;
+  /// The tenant this session authenticated as.
+  [[nodiscard]] const std::string& tenant() const noexcept;
+
+  /// Upload a compiled design into the tenant's namespace under `name` and
+  /// block for the ack.  Client-side rejections (before any bytes move):
+  /// kInvalidArgument for a bad name or a design with no bitstream,
+  /// kFailedPrecondition for a sequential design (boundary-register state
+  /// cannot ride the job protocol — use a local platform::Session).
+  /// Server-side failures arrive as the registration's error Status
+  /// (quota, dimension, bitstream validation).  Idempotent like
+  /// DevicePool::register_design: re-uploading identical content is free.
+  [[nodiscard]] Status register_design(std::string_view name,
+                                       const platform::CompiledDesign& design);
+
+  /// Pipeline one batch: encode, send, and return the request id without
+  /// waiting for the reply.  Every vector must have the design's input
+  /// width (the server validates; equal widths and count/width wire bounds
+  /// are checked here).  Collect the reply with wait().
+  [[nodiscard]] Result<std::uint64_t> submit(
+      std::string_view name, std::span<const platform::InputVector> vectors,
+      const ClientSubmitOptions& options = {});
+
+  /// Block until the reply for `request_id` arrives (replies for other
+  /// outstanding submits are stashed, not lost).  Returns the results in
+  /// submit order of the batch's vectors, or: kUnavailable when the server
+  /// answered kBusy (admission refused — nothing ran, resubmit later), the
+  /// job's own failure Status (kDeadlineExceeded, kInvalidArgument, ...),
+  /// or kNotFound for a request id this client never issued (or already
+  /// collected).
+  [[nodiscard]] Result<std::vector<platform::BitVector>> wait(
+      std::uint64_t request_id);
+
+  /// Synchronous convenience: submit + wait.
+  [[nodiscard]] Result<std::vector<platform::BitVector>> run(
+      std::string_view name, std::span<const platform::InputVector> vectors,
+      const ClientSubmitOptions& options = {});
+
+  /// Poll the server for this tenant's serving counters and the pool-wide
+  /// queue depth.  Replies for outstanding submits that arrive first are
+  /// stashed exactly as in wait().
+  [[nodiscard]] Result<StatsReplyMsg> stats();
+
+ private:
+  struct Impl;
+  explicit Client(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace pp::serve

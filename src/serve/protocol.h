@@ -1,0 +1,279 @@
+// serve::protocol — the PPSV wire format of the serving front end.
+//
+// The serving layer turns the in-process DevicePool into a network
+// service, so everything that crosses the wire is hostile until proven
+// otherwise.  The codec follows the validation discipline of the bitstream
+// formats (docs/bitstream-format.md): length-prefixed binary frames with a
+// magic, a version, an explicit payload length, and a trailing CRC-32;
+// every decode returns a Status and never trusts a count, a length, or an
+// enum value it read from the stream.  Frame layout (docs/
+// serving-protocol.md is the normative spec, integers little-endian):
+//
+//   [0,4)   magic "PPSV"
+//   [4,5)   protocol version (kProtocolVersion)
+//   [5,6)   message type (MsgType)
+//   [6,10)  payload length N (<= kMaxPayloadBytes)
+//   [10,10+N) payload (per-type layout)
+//   [10+N,14+N) CRC-32 over every preceding byte
+//
+// Stimulus and results travel as structure-of-arrays bit planes
+// (platform::pack_bit_planes — one plane per port, ceil(count/8) bytes
+// each), the same orientation the evaluation engines consume, so a server
+// can hand wire batches to the executor without transposing per vector.
+
+/// \file
+/// \brief serve::protocol — PPSV framed messages between serve::Client
+/// and serve::Server (length-prefixed, CRC-guarded, Status-based decode).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/fabric.h"
+#include "platform/compiler.h"
+#include "platform/executor.h"
+#include "rt/job.h"
+#include "util/status.h"
+
+namespace pp::serve {
+
+/// Frame magic, first four bytes of every PPSV frame.
+inline constexpr char kMagic[4] = {'P', 'P', 'S', 'V'};
+/// Protocol version carried in every frame header.
+inline constexpr std::uint8_t kProtocolVersion = 1;
+/// Fixed frame prefix: magic + version + type + payload length.
+inline constexpr std::size_t kHeaderBytes = 10;
+/// Trailing CRC-32 over header + payload.
+inline constexpr std::size_t kTrailerBytes = 4;
+/// Upper bound on a frame's payload; a header announcing more is rejected
+/// before any allocation (wire input sizes nothing on our side).
+inline constexpr std::size_t kMaxPayloadBytes = 16u << 20;  // 16 MiB
+/// Upper bound on tenant/design identifiers (validate_name).
+inline constexpr std::size_t kMaxNameBytes = 64;
+
+/// Message types of the job protocol.  The lifecycle mirrors the
+/// command-scheduler split of mature accelerator runtimes: a session opens
+/// (hello/ack), designs become resident (register/ack), jobs flow
+/// (submit → result | busy | error), stats are pollable.
+enum class MsgType : std::uint8_t {
+  kHello = 1,           ///< client → server: open a tenant session
+  kHelloAck = 2,        ///< server → client: session accepted
+  kRegisterDesign = 3,  ///< client → server: upload a compiled design
+  kRegisterAck = 4,     ///< server → client: design resident
+  kSubmitBatch = 5,     ///< client → server: one job (SoA stimulus)
+  kResult = 6,          ///< server → client: job results (SoA outputs)
+  kBusy = 7,            ///< server → client: admission refused, retry later
+  kError = 8,           ///< server → client: request failed (Status on wire)
+  kStatsRequest = 9,    ///< client → server: poll session/tenant stats
+  kStatsReply = 10,     ///< server → client: stats snapshot
+};
+
+/// One validated frame: its type and raw payload (per-type decoders below
+/// take it from here).
+struct Frame {
+  MsgType type = MsgType::kError;     ///< message type from the header
+  std::vector<std::uint8_t> payload;  ///< payload bytes (CRC already checked)
+};
+
+/// The fixed-size prefix of a frame, decoded ahead of the payload so a
+/// stream reader knows how many bytes to expect.
+struct FrameHeader {
+  MsgType type = MsgType::kError;  ///< message type
+  std::uint32_t payload_len = 0;   ///< payload bytes that follow the header
+};
+
+/// Frame a payload: header + payload + CRC.  The inverse of decode_frame.
+[[nodiscard]] std::vector<std::uint8_t> encode_frame(
+    MsgType type, std::span<const std::uint8_t> payload);
+
+/// Validate the fixed prefix of a frame (exactly kHeaderBytes): magic and
+/// version (kInvalidArgument), known type (kInvalidArgument), payload
+/// length within kMaxPayloadBytes (kOutOfRange).  The CRC is checked by
+/// decode_frame once the whole frame is in hand.
+[[nodiscard]] Result<FrameHeader> decode_header(
+    std::span<const std::uint8_t> bytes);
+
+/// Decode one complete frame (header + payload + CRC, exact size).  Error
+/// codes: kInvalidArgument for a bad magic/version/type, kOutOfRange for a
+/// size that disagrees with the announced payload length, kDataLoss for a
+/// CRC mismatch.
+[[nodiscard]] Result<Frame> decode_frame(std::span<const std::uint8_t> bytes);
+
+/// Validate a tenant or design identifier: non-empty, at most
+/// kMaxNameBytes, characters from [A-Za-z0-9_.-] only (no separator can
+/// collide with the server's tenant-scoped "tenant/name" keys).  `what`
+/// labels the failing field in the Status message.
+[[nodiscard]] Status validate_name(std::string_view what,
+                                   std::string_view name);
+
+/// StatusCode as carried by kError frames.  Unknown wire values fail
+/// decode; the mapping is explicit so the enum may be reordered without
+/// breaking the wire.
+[[nodiscard]] std::uint8_t status_code_to_wire(StatusCode code) noexcept;
+/// Inverse of status_code_to_wire (kInvalidArgument on unknown values).
+[[nodiscard]] Result<StatusCode> status_code_from_wire(std::uint8_t wire);
+
+// ---- message payloads ------------------------------------------------------
+
+/// kHello: the first frame of every connection.
+struct HelloMsg {
+  std::string tenant;  ///< tenant identity (validate_name rules)
+};
+
+/// kHelloAck: the session is open.
+struct HelloAckMsg {
+  std::uint64_t session_id = 0;  ///< server-unique session id
+};
+
+/// kRegisterDesign: make a compiled design resident under the tenant's
+/// namespace.  Carries the pre-padded personality as its bitstream plus
+/// everything a remote pool needs to serve it: port bindings, the timing
+/// model, and the content hash for cross-tenant dedupe (the server's byte
+/// compare stays authoritative — a forged hash can never alias different
+/// content).  Sequential designs are not servable over the job protocol;
+/// Client::register_design rejects them before encoding.
+struct RegisterDesignMsg {
+  std::uint64_t request_id = 0;  ///< echoed in the ack / error
+  std::string design;            ///< tenant-local design name
+  std::uint16_t rows = 0;        ///< fabric rows of the uploaded bitstream
+  std::uint16_t cols = 0;        ///< fabric columns
+  core::FabricDelays delays{};   ///< gate delays used at elaboration
+  std::uint64_t content_hash = 0;            ///< CompiledDesign::content_hash
+  std::vector<platform::PortBinding> inputs;   ///< bound inputs, port order
+  std::vector<platform::PortBinding> outputs;  ///< bound outputs, port order
+  std::vector<std::uint8_t> bitstream;  ///< full PPHW bitstream (validated
+                                        ///< server-side by try_load_fabric)
+};
+
+/// kRegisterAck: the design is resident and submittable.
+struct RegisterAckMsg {
+  std::uint64_t request_id = 0;  ///< the request this acknowledges
+};
+
+/// kSubmitBatch: one job — a batch of stimulus vectors against a
+/// registered design, with its scheduling class and optional deadline.
+struct SubmitBatchMsg {
+  std::uint64_t request_id = 0;  ///< echoed in the result / busy / error
+  std::string design;            ///< tenant-local design name
+  rt::Priority priority = rt::Priority::kBatch;  ///< scheduling class
+  /// Relative deadline in milliseconds from server receipt; 0 = none.
+  /// (Relative, so client and server clocks never need agreement.)
+  std::uint32_t deadline_ms = 0;
+  platform::Engine engine = platform::Engine::kAuto;  ///< engine choice
+  std::uint32_t vector_count = 0;  ///< stimulus vectors in the batch
+  std::uint16_t input_count = 0;   ///< bits per vector (design input count)
+  /// SoA stimulus: input_count planes of ceil(vector_count/8) bytes
+  /// (platform::pack_bit_planes layout; decode validates the exact size
+  /// and canonical zero padding).
+  std::vector<std::uint8_t> planes;
+};
+
+/// kResult: a completed job's outputs, SoA-packed like the stimulus.
+struct ResultMsg {
+  std::uint64_t request_id = 0;     ///< the submit this answers
+  std::uint32_t vector_count = 0;   ///< result vectors (== submitted count)
+  std::uint16_t output_count = 0;   ///< bits per result vector
+  std::vector<std::uint8_t> planes;  ///< SoA outputs (pack_bit_planes)
+};
+
+/// kBusy: admission control refused the submit — nothing was queued, the
+/// client should back off and retry.  Backpressure is always explicit,
+/// never a silent queue or a dropped request.
+struct BusyMsg {
+  std::uint64_t request_id = 0;  ///< the refused submit
+  std::string reason;            ///< which limit tripped (human-readable)
+};
+
+/// kError: a request failed; carries the Status a local caller would get.
+struct ErrorMsg {
+  std::uint64_t request_id = 0;  ///< the failed request (0: session-level)
+  StatusCode code = StatusCode::kInternal;  ///< machine-readable code
+  std::string message;                      ///< human-readable detail
+};
+
+/// kStatsRequest: poll the session's tenant/pool counters (no payload).
+struct StatsRequestMsg {};
+
+/// kStatsReply: snapshot of the tenant's serving counters plus the
+/// pool-wide queue depth the admission check sees.
+struct StatsReplyMsg {
+  std::uint64_t session_id = 0;       ///< this connection's session
+  std::uint64_t jobs_submitted = 0;   ///< tenant submits accepted
+  std::uint64_t jobs_completed = 0;   ///< tenant jobs answered with kResult
+  std::uint64_t jobs_rejected = 0;    ///< tenant submits answered with kBusy
+  std::uint64_t jobs_failed = 0;      ///< tenant jobs answered with kError
+  std::uint64_t in_flight = 0;        ///< tenant jobs admitted, not answered
+  std::uint64_t designs_resident = 0; ///< designs in the tenant's namespace
+  std::uint64_t pool_queue_depth = 0; ///< fleet-wide queued + running jobs
+};
+
+// Per-type codecs.  encode_* returns a complete frame (header + payload +
+// CRC); decode_* validates a Frame of the matching type (kInvalidArgument
+// on a type mismatch or any malformed field, kOutOfRange on counts that
+// disagree with the payload size).
+
+/// Encode a kHello frame.
+[[nodiscard]] std::vector<std::uint8_t> encode_hello(const HelloMsg& msg);
+/// Decode a kHello frame (validates the tenant name).
+[[nodiscard]] Result<HelloMsg> decode_hello(const Frame& frame);
+
+/// Encode a kHelloAck frame.
+[[nodiscard]] std::vector<std::uint8_t> encode_hello_ack(
+    const HelloAckMsg& msg);
+/// Decode a kHelloAck frame.
+[[nodiscard]] Result<HelloAckMsg> decode_hello_ack(const Frame& frame);
+
+/// Encode a kRegisterDesign frame.
+[[nodiscard]] std::vector<std::uint8_t> encode_register_design(
+    const RegisterDesignMsg& msg);
+/// Decode a kRegisterDesign frame (validates names, dimensions, binding
+/// counts against the payload size; the bitstream body is validated later
+/// by core::try_load_fabric).
+[[nodiscard]] Result<RegisterDesignMsg> decode_register_design(
+    const Frame& frame);
+
+/// Encode a kRegisterAck frame.
+[[nodiscard]] std::vector<std::uint8_t> encode_register_ack(
+    const RegisterAckMsg& msg);
+/// Decode a kRegisterAck frame.
+[[nodiscard]] Result<RegisterAckMsg> decode_register_ack(const Frame& frame);
+
+/// Encode a kSubmitBatch frame.
+[[nodiscard]] std::vector<std::uint8_t> encode_submit_batch(
+    const SubmitBatchMsg& msg);
+/// Decode a kSubmitBatch frame (validates priority/engine enums and the
+/// exact SoA plane size, including canonical zero padding).
+[[nodiscard]] Result<SubmitBatchMsg> decode_submit_batch(const Frame& frame);
+
+/// Encode a kResult frame.
+[[nodiscard]] std::vector<std::uint8_t> encode_result(const ResultMsg& msg);
+/// Decode a kResult frame (same plane validation as kSubmitBatch).
+[[nodiscard]] Result<ResultMsg> decode_result(const Frame& frame);
+
+/// Encode a kBusy frame.
+[[nodiscard]] std::vector<std::uint8_t> encode_busy(const BusyMsg& msg);
+/// Decode a kBusy frame.
+[[nodiscard]] Result<BusyMsg> decode_busy(const Frame& frame);
+
+/// Encode a kError frame.
+[[nodiscard]] std::vector<std::uint8_t> encode_error(const ErrorMsg& msg);
+/// Decode a kError frame (unknown wire status codes fail the decode).
+[[nodiscard]] Result<ErrorMsg> decode_error(const Frame& frame);
+
+/// Encode a kStatsRequest frame.
+[[nodiscard]] std::vector<std::uint8_t> encode_stats_request(
+    const StatsRequestMsg& msg);
+/// Decode a kStatsRequest frame (payload must be empty).
+[[nodiscard]] Result<StatsRequestMsg> decode_stats_request(
+    const Frame& frame);
+
+/// Encode a kStatsReply frame.
+[[nodiscard]] std::vector<std::uint8_t> encode_stats_reply(
+    const StatsReplyMsg& msg);
+/// Decode a kStatsReply frame.
+[[nodiscard]] Result<StatsReplyMsg> decode_stats_reply(const Frame& frame);
+
+}  // namespace pp::serve

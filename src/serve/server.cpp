@@ -1,0 +1,486 @@
+#include "serve/server.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/bitstream.h"
+#include "serve/protocol.h"
+#include "serve/wire.h"
+
+namespace pp::serve {
+
+namespace {
+
+/// Shared per-tenant state: the design namespace, the in-flight gauge the
+/// admission check reads, and the counters the stats reply reports.  One
+/// instance per tenant *name* — two connections saying hello as the same
+/// tenant share quotas (that is what makes them a tenant, not a session).
+struct Tenant {
+  std::mutex mutex;
+  std::set<std::string> designs;  ///< tenant-local names registered
+  std::size_t in_flight = 0;      ///< admitted, result not yet written
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t failed = 0;
+};
+
+}  // namespace
+
+struct Server::Impl {
+  Impl(rt::DevicePool pool_in, ServerOptions options_in)
+      : options(std::move(options_in)), pool(std::move(pool_in)) {}
+
+  ServerOptions options;
+  rt::DevicePool pool;
+  Socket listener;
+  std::uint16_t port = 0;
+  std::thread accept_thread;
+  std::atomic<bool> stopping{false};
+  std::mutex stop_mutex;  // serializes stop() callers
+  bool stopped = false;
+  std::atomic<std::uint64_t> next_session_id{1};
+
+  std::mutex tenants_mutex;
+  std::map<std::string, std::shared_ptr<Tenant>> tenants;
+
+  mutable std::mutex stats_mutex;
+  ServerStats counters;
+
+  /// One connection: a reader thread decoding frames and a completer
+  /// thread writing job results back in submit order.  The reader owns the
+  /// session lifecycle — it joins the completer before finishing, so the
+  /// accept loop (or stop()) only ever joins `reader`.
+  struct Session {
+    Impl* server = nullptr;
+    Socket socket;
+    std::shared_ptr<Tenant> tenant;
+    std::string tenant_name;
+    std::uint64_t session_id = 0;
+
+    std::mutex write_mutex;  // reader + completer share the socket
+    std::thread reader;
+    std::thread completer;
+
+    std::mutex queue_mutex;
+    std::condition_variable queue_cv;
+    std::deque<std::pair<std::uint64_t, rt::Job>> pending;  // FIFO
+    bool reader_done = false;
+
+    std::atomic<bool> finished{false};  // both threads have returned
+  };
+
+  std::mutex sessions_mutex;
+  std::vector<std::unique_ptr<Session>> sessions;
+
+  // ---- helpers -------------------------------------------------------------
+
+  [[nodiscard]] std::shared_ptr<Tenant> tenant_for(const std::string& name) {
+    const std::lock_guard<std::mutex> lock(tenants_mutex);
+    std::shared_ptr<Tenant>& slot = tenants[name];
+    if (!slot) slot = std::make_shared<Tenant>();
+    return slot;
+  }
+
+  /// Fleet-wide queued + running jobs — the admission check's load probe
+  /// (lock-light snapshots per device, see Device::queue_depth).
+  [[nodiscard]] std::size_t pool_depth() const {
+    std::size_t depth = 0;
+    for (std::size_t i = 0; i < pool.device_count(); ++i)
+      depth += pool.device(i).queue_depth();
+    return depth;
+  }
+
+  void note_protocol_error() {
+    const std::lock_guard<std::mutex> lock(stats_mutex);
+    ++counters.protocol_errors;
+  }
+
+  void send(Session& session, const std::vector<std::uint8_t>& frame) {
+    // Best-effort: a send failure means the peer is gone; the reader will
+    // notice on its next recv and wind the session down.
+    const std::lock_guard<std::mutex> lock(session.write_mutex);
+    (void)write_frame(session.socket, frame);
+  }
+
+  void send_error(Session& session, std::uint64_t request_id,
+                  const Status& status) {
+    ErrorMsg msg;
+    msg.request_id = request_id;
+    msg.code = status.code();
+    msg.message = status.message();
+    send(session, encode_error(msg));
+  }
+
+  // ---- per-message handlers (reader thread) --------------------------------
+
+  void handle_register(Session& session, RegisterDesignMsg msg) {
+    // Rebuild a CompiledDesign from the wire image.  The bitstream is the
+    // authority: try_load_fabric re-validates magic, dimensions, size, and
+    // CRC exactly as a reconfiguration controller would, so a forged
+    // content_hash can at worst miss a dedupe — same_content's byte
+    // compare decides identity.
+    auto fabric = core::Fabric::create(msg.rows, msg.cols);
+    if (!fabric.ok()) return send_error(session, msg.request_id, fabric.status());
+    platform::CompiledDesign design;
+    design.fabric = std::move(*fabric);
+    if (Status s = core::try_load_fabric(design.fabric, msg.bitstream);
+        !s.ok())
+      return send_error(session, msg.request_id, s);
+    design.bitstream = std::move(msg.bitstream);
+    design.delays = msg.delays;
+    design.inputs = std::move(msg.inputs);
+    design.outputs = std::move(msg.outputs);
+    design.content_hash = msg.content_hash;
+
+    // Quota + registration under the tenant lock: the resident-design
+    // bound must hold even against a concurrent register on a sibling
+    // connection of the same tenant (registration is rare; per-tenant
+    // contention here is fine).
+    Tenant& tenant = *session.tenant;
+    const std::lock_guard<std::mutex> lock(tenant.mutex);
+    const bool is_new = tenant.designs.find(msg.design) == tenant.designs.end();
+    if (is_new && tenant.designs.size() >= options.max_designs_per_tenant)
+      return send_error(
+          session, msg.request_id,
+          Status::resource_exhausted(
+              "tenant '" + session.tenant_name + "' is at its quota of " +
+              std::to_string(options.max_designs_per_tenant) +
+              " resident designs"));
+    if (Status s = pool.register_design(session.tenant_name + "/" + msg.design,
+                                        design);
+        !s.ok())
+      return send_error(session, msg.request_id, s);
+    tenant.designs.insert(msg.design);
+    RegisterAckMsg ack;
+    ack.request_id = msg.request_id;
+    send(session, encode_register_ack(ack));
+  }
+
+  void handle_submit(Session& session, SubmitBatchMsg msg) {
+    Tenant& tenant = *session.tenant;
+    // Tenant namespace: only names this tenant registered resolve.  The
+    // scoped pool key alone already isolates (names cannot contain '/'),
+    // but checking the namespace first yields the honest kNotFound instead
+    // of leaking whether some other tenant uses the name.
+    {
+      const std::lock_guard<std::mutex> lock(tenant.mutex);
+      if (tenant.designs.find(msg.design) == tenant.designs.end())
+        return send_error(session, msg.request_id,
+                          Status::not_found("design '" + msg.design +
+                                            "' is not registered by tenant '" +
+                                            session.tenant_name + "'"));
+      // Admission, gate 1: the tenant's own in-flight bound.
+      if (tenant.in_flight >= options.max_inflight_per_tenant) {
+        ++tenant.rejected;
+        {
+          const std::lock_guard<std::mutex> slock(stats_mutex);
+          ++counters.jobs_rejected;
+        }
+        BusyMsg busy;
+        busy.request_id = msg.request_id;
+        busy.reason = "tenant '" + session.tenant_name + "' has " +
+                      std::to_string(tenant.in_flight) +
+                      " jobs in flight (limit " +
+                      std::to_string(options.max_inflight_per_tenant) + ")";
+        return send(session, encode_busy(busy));
+      }
+      // Admission, gate 2: the fleet-wide high-water mark.
+      if (const std::size_t depth = pool_depth();
+          depth >= options.max_pool_depth) {
+        ++tenant.rejected;
+        {
+          const std::lock_guard<std::mutex> slock(stats_mutex);
+          ++counters.jobs_rejected;
+        }
+        BusyMsg busy;
+        busy.request_id = msg.request_id;
+        busy.reason = "pool queue depth " + std::to_string(depth) +
+                      " is at the high-water mark (" +
+                      std::to_string(options.max_pool_depth) + ")";
+        return send(session, encode_busy(busy));
+      }
+      ++tenant.in_flight;
+      ++tenant.submitted;
+    }
+    {
+      const std::lock_guard<std::mutex> lock(stats_mutex);
+      ++counters.jobs_admitted;
+    }
+
+    auto vectors = platform::unpack_bit_planes(msg.planes, msg.vector_count,
+                                               msg.input_count);
+    Result<rt::Job> job = [&]() -> Result<rt::Job> {
+      if (!vectors.ok()) return vectors.status();
+      rt::SubmitOptions submit;
+      submit.priority = msg.priority;
+      submit.run.engine = msg.engine;
+      if (msg.deadline_ms > 0)
+        submit.deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(msg.deadline_ms);
+      return pool.submit(session.tenant_name + "/" + msg.design,
+                         std::move(*vectors), submit);
+    }();
+    if (!job.ok()) {
+      {
+        const std::lock_guard<std::mutex> lock(tenant.mutex);
+        --tenant.in_flight;
+        ++tenant.failed;
+      }
+      return send_error(session, msg.request_id, job.status());
+    }
+    {
+      const std::lock_guard<std::mutex> lock(session.queue_mutex);
+      session.pending.emplace_back(msg.request_id, std::move(*job));
+    }
+    session.queue_cv.notify_one();
+  }
+
+  void handle_stats(Session& session) {
+    StatsReplyMsg reply;
+    reply.session_id = session.session_id;
+    {
+      Tenant& tenant = *session.tenant;
+      const std::lock_guard<std::mutex> lock(tenant.mutex);
+      reply.jobs_submitted = tenant.submitted;
+      reply.jobs_completed = tenant.completed;
+      reply.jobs_rejected = tenant.rejected;
+      reply.jobs_failed = tenant.failed;
+      reply.in_flight = tenant.in_flight;
+      reply.designs_resident = tenant.designs.size();
+    }
+    reply.pool_queue_depth = pool_depth();
+    send(session, encode_stats_reply(reply));
+  }
+
+  // ---- session threads -----------------------------------------------------
+
+  void completer_loop(Session& session) {
+    while (true) {
+      std::uint64_t request_id = 0;
+      rt::Job job;
+      {
+        std::unique_lock<std::mutex> lock(session.queue_mutex);
+        session.queue_cv.wait(lock, [&] {
+          return session.reader_done || !session.pending.empty();
+        });
+        if (session.pending.empty()) return;  // reader_done and drained
+        request_id = session.pending.front().first;
+        job = std::move(session.pending.front().second);
+        session.pending.pop_front();
+      }
+      auto result = job.wait();
+      {
+        const std::lock_guard<std::mutex> lock(session.tenant->mutex);
+        --session.tenant->in_flight;
+        ++(result.ok() ? session.tenant->completed : session.tenant->failed);
+      }
+      if (!result.ok()) {
+        send_error(session, request_id, result.status());
+        continue;
+      }
+      ResultMsg msg;
+      msg.request_id = request_id;
+      msg.vector_count = static_cast<std::uint32_t>(result->size());
+      msg.output_count = static_cast<std::uint16_t>(
+          result->empty() ? 0 : result->front().size());
+      msg.planes = platform::pack_bit_planes(*result, msg.output_count);
+      send(session, encode_result(msg));
+    }
+  }
+
+  void reader_loop(Session& session) {
+    bool opened = false;
+    // Handshake: the first frame must be a hello naming the tenant.
+    if (auto frame = read_frame(session.socket); frame.ok()) {
+      if (auto hello = decode_hello(*frame); hello.ok()) {
+        session.tenant_name = hello->tenant;
+        session.tenant = tenant_for(hello->tenant);
+        session.session_id = next_session_id.fetch_add(1);
+        HelloAckMsg ack;
+        ack.session_id = session.session_id;
+        send(session, encode_hello_ack(ack));
+        opened = true;
+        const std::lock_guard<std::mutex> lock(stats_mutex);
+        ++counters.sessions_opened;
+        ++counters.sessions_active;
+      } else {
+        note_protocol_error();
+        send_error(session, 0, hello.status());
+      }
+    } else if (frame.status().code() != StatusCode::kUnavailable) {
+      note_protocol_error();
+      send_error(session, 0, frame.status());
+    }
+
+    while (opened && !stopping.load()) {
+      auto frame = read_frame(session.socket);
+      if (!frame.ok()) {
+        // A clean close at a frame boundary is the normal goodbye; anything
+        // else (truncation, bad magic, CRC) poisons the stream — tell the
+        // peer once, then hang up.  Nothing server-side was touched.
+        if (frame.status().code() != StatusCode::kUnavailable) {
+          note_protocol_error();
+          send_error(session, 0, frame.status());
+        }
+        break;
+      }
+      switch (frame->type) {
+        case MsgType::kRegisterDesign: {
+          auto msg = decode_register_design(*frame);
+          if (!msg.ok()) {
+            note_protocol_error();
+            send_error(session, 0, msg.status());
+            break;
+          }
+          handle_register(session, std::move(*msg));
+          continue;
+        }
+        case MsgType::kSubmitBatch: {
+          auto msg = decode_submit_batch(*frame);
+          if (!msg.ok()) {
+            note_protocol_error();
+            send_error(session, 0, msg.status());
+            break;
+          }
+          handle_submit(session, std::move(*msg));
+          continue;
+        }
+        case MsgType::kStatsRequest: {
+          auto msg = decode_stats_request(*frame);
+          if (!msg.ok()) {
+            note_protocol_error();
+            send_error(session, 0, msg.status());
+            break;
+          }
+          handle_stats(session);
+          continue;
+        }
+        default:
+          note_protocol_error();
+          send_error(session, 0,
+                     Status::invalid_argument(
+                         "serve: unexpected message type " +
+                         std::to_string(static_cast<int>(frame->type)) +
+                         " on an open session"));
+          break;
+      }
+      break;  // only decode failures / unexpected types fall through
+    }
+
+    // Wind down: no more submits will arrive; let the completer drain the
+    // in-flight tail (their results still go out if the peer is reading).
+    {
+      const std::lock_guard<std::mutex> lock(session.queue_mutex);
+      session.reader_done = true;
+    }
+    session.queue_cv.notify_one();
+    if (session.completer.joinable()) session.completer.join();
+    // Close our half once the completer has flushed the in-flight tail, so
+    // a peer that was told goodbye (or got an error) sees EOF instead of a
+    // silent open socket.
+    session.socket.shutdown_both();
+    if (opened) {
+      const std::lock_guard<std::mutex> lock(stats_mutex);
+      --counters.sessions_active;
+    }
+    session.finished.store(true);
+  }
+
+  void accept_loop() {
+    while (true) {
+      auto conn = accept_tcp(listener);
+      if (!conn.ok() || stopping.load()) break;
+      auto session = std::make_unique<Session>();
+      session->server = this;
+      session->socket = std::move(*conn);
+      Session* raw = session.get();
+      raw->completer = std::thread([this, raw] { completer_loop(*raw); });
+      raw->reader = std::thread([this, raw] { reader_loop(*raw); });
+      const std::lock_guard<std::mutex> lock(sessions_mutex);
+      // Reap sessions whose threads have fully wound down, so a
+      // long-running server does not accumulate one record per closed
+      // connection.
+      for (auto it = sessions.begin(); it != sessions.end();) {
+        if ((*it)->finished.load()) {
+          if ((*it)->reader.joinable()) (*it)->reader.join();
+          it = sessions.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      sessions.push_back(std::move(session));
+    }
+  }
+
+  void stop() {
+    {
+      const std::lock_guard<std::mutex> lock(stop_mutex);
+      if (stopped) return;
+      stopped = true;
+    }
+    stopping.store(true);
+    listener.shutdown_both();
+    if (accept_thread.joinable()) accept_thread.join();
+    std::vector<std::unique_ptr<Session>> to_join;
+    {
+      const std::lock_guard<std::mutex> lock(sessions_mutex);
+      to_join.swap(sessions);
+    }
+    for (auto& session : to_join) session->socket.shutdown_both();
+    for (auto& session : to_join)
+      if (session->reader.joinable()) session->reader.join();
+  }
+};
+
+Result<Server> Server::create(rt::DevicePool pool, ServerOptions options) {
+  if (options.max_designs_per_tenant < 1 ||
+      options.max_inflight_per_tenant < 1 || options.max_pool_depth < 1)
+    return Status::invalid_argument(
+        "serve: every ServerOptions quota must be >= 1");
+  auto impl = std::make_unique<Impl>(std::move(pool), std::move(options));
+  auto listener = listen_tcp(impl->options.bind_address, impl->options.port,
+                             &impl->port);
+  if (!listener.ok()) return listener.status();
+  impl->listener = std::move(*listener);
+  Impl* raw = impl.get();
+  impl->accept_thread = std::thread([raw] { raw->accept_loop(); });
+  return Server(std::move(impl));
+}
+
+Server::Server(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {}
+
+Server::Server(Server&&) noexcept = default;
+
+Server& Server::operator=(Server&& other) noexcept {
+  if (this != &other) {
+    if (impl_) impl_->stop();
+    impl_ = std::move(other.impl_);
+  }
+  return *this;
+}
+
+Server::~Server() {
+  if (impl_) impl_->stop();
+}
+
+std::uint16_t Server::port() const noexcept { return impl_->port; }
+
+rt::DevicePool& Server::pool() noexcept { return impl_->pool; }
+
+void Server::stop() { impl_->stop(); }
+
+ServerStats Server::stats() const {
+  const std::lock_guard<std::mutex> lock(impl_->stats_mutex);
+  return impl_->counters;
+}
+
+}  // namespace pp::serve

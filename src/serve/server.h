@@ -1,0 +1,112 @@
+// serve::Server — the multi-tenant network front end of an rt::DevicePool.
+//
+// The ROADMAP's serving story ends at a socket: clients that never link the
+// runtime register designs and submit batches over the PPSV job protocol
+// (serve/protocol.h, docs/serving-protocol.md), and one server keeps a whole
+// DevicePool busy on their behalf.  The server is deliberately a *front
+// end*: it owns no scheduling policy of its own — routing, affinity,
+// replication, priority, and deadlines all live in the pool and its job
+// queues — and adds exactly the three things a shared network service
+// needs on top (docs/serving-protocol.md §5):
+//
+//  * Sessions.  Every connection opens with a hello naming its tenant and
+//    gets a per-connection Session: one reader thread decoding frames, one
+//    completer thread writing results back in submit order (results carry
+//    request ids, so ordering is a convenience, not a contract).
+//  * Tenant namespaces.  A design registered by tenant T lands in the pool
+//    under the scoped key "T/<name>" — tenants share the fleet (and the
+//    content-hash dedupe across it) but can never resolve, run, or collide
+//    with each other's names.  Name syntax excludes '/', so the scoping is
+//    injective.
+//  * Quotas + admission control.  Per-tenant bounds on resident designs
+//    (kResourceExhausted error) and in-flight jobs, plus a pool-wide
+//    queue-depth high-water mark; a submit over either job bound gets an
+//    explicit kBusy reply — backpressure is always visible, never a silent
+//    queue or a dropped request — and nothing is enqueued for it.
+//
+// Thread-safety: every public method is safe from any thread.  stop() (or
+// destruction) shuts the listener, wakes every session's reader, lets
+// in-flight jobs finish, and joins all threads.
+
+/// \file
+/// \brief serve::Server — multi-tenant PPSV serving front end over an
+/// rt::DevicePool (sessions, tenant namespaces, quotas, admission control).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "rt/pool.h"
+#include "util/status.h"
+
+namespace pp::serve {
+
+/// Server tuning knobs, fixed at creation.
+struct ServerOptions {
+  /// Address to bind (numeric IPv4; loopback by default — exposing a pool
+  /// beyond the host is a deliberate, explicit choice).
+  std::string bind_address = "127.0.0.1";
+  /// TCP port; 0 = ephemeral (read the bound port from Server::port()).
+  std::uint16_t port = 0;
+  /// Resident-design quota per tenant (distinct names; re-registering an
+  /// existing name is free).  Over quota → kError(kResourceExhausted).
+  std::size_t max_designs_per_tenant = 8;
+  /// In-flight job quota per tenant (admitted, result not yet sent).
+  /// At quota → kBusy, nothing queued.
+  std::size_t max_inflight_per_tenant = 64;
+  /// Pool-wide admission high-water mark: a submit finding at least this
+  /// many jobs queued + running across the fleet gets kBusy.
+  std::size_t max_pool_depth = 256;
+};
+
+/// Serving counters (monotone except sessions_active).
+struct ServerStats {
+  std::uint64_t sessions_opened = 0;   ///< connections that completed hello
+  std::uint64_t sessions_active = 0;   ///< currently-open sessions
+  std::uint64_t jobs_admitted = 0;     ///< submits accepted into the pool
+  std::uint64_t jobs_rejected = 0;     ///< submits answered with kBusy
+  std::uint64_t protocol_errors = 0;   ///< malformed frames / bad handshakes
+};
+
+/// A TCP serving front end that owns an rt::DevicePool.  See the file
+/// comment for the session/tenant/admission model and
+/// docs/serving-protocol.md for the wire contract.
+class Server {
+ public:
+  /// Take ownership of `pool` and start serving it: binds, listens, and
+  /// spawns the accept loop before returning.  Fails with the bind/listen
+  /// Status (kUnavailable) or kInvalidArgument for zero quotas.
+  [[nodiscard]] static Result<Server> create(rt::DevicePool pool,
+                                             ServerOptions options = {});
+
+  /// Moved-from servers may only be destroyed or assigned to.
+  Server(Server&&) noexcept;
+  /// Stops the overwritten server (as by stop()) before taking over.
+  Server& operator=(Server&&) noexcept;
+  /// Stops the server: closes the listener, wakes and joins every session,
+  /// then destroys the pool (draining per rt::DevicePool's contract).
+  ~Server();
+
+  /// The TCP port actually bound (the ephemeral port when options.port was
+  /// 0).
+  [[nodiscard]] std::uint16_t port() const noexcept;
+
+  /// The served pool — for registering designs process-side, draining, or
+  /// reading PoolStats in tests and benches.
+  [[nodiscard]] rt::DevicePool& pool() noexcept;
+
+  /// Stop accepting, close every session (in-flight jobs finish and their
+  /// results are still written), join all threads.  Idempotent.
+  void stop();
+
+  /// Snapshot of the serving counters.
+  [[nodiscard]] ServerStats stats() const;
+
+ private:
+  struct Impl;
+  explicit Server(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace pp::serve

@@ -1,0 +1,166 @@
+#include "serve/wire.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace pp::serve {
+
+namespace {
+
+[[nodiscard]] std::string errno_text(std::string what) {
+  return std::move(what) + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+Socket::Socket(Socket&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close_fd();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+Socket::~Socket() { close_fd(); }
+
+void Socket::close_fd() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::shutdown_both() noexcept {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+Status Socket::send_all(std::span<const std::uint8_t> bytes) {
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::unavailable(errno_text("serve: send failed"));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return Status();
+}
+
+Status Socket::recv_exact(std::span<std::uint8_t> bytes, bool* clean_eof) {
+  if (clean_eof) *clean_eof = false;
+  std::size_t got = 0;
+  while (got < bytes.size()) {
+    const ssize_t n = ::recv(fd_, bytes.data() + got, bytes.size() - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::unavailable(errno_text("serve: recv failed"));
+    }
+    if (n == 0) {
+      if (got == 0) {
+        if (clean_eof) *clean_eof = true;
+        return Status::unavailable("serve: peer closed the connection");
+      }
+      return Status::out_of_range("serve: connection closed mid-frame (" +
+                                  std::to_string(got) + " of " +
+                                  std::to_string(bytes.size()) + " bytes)");
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return Status();
+}
+
+Result<Frame> read_frame(Socket& socket) {
+  std::vector<std::uint8_t> bytes(kHeaderBytes);
+  if (Status s = socket.recv_exact(bytes); !s.ok()) return s;
+  auto header = decode_header(bytes);
+  if (!header.ok()) return header.status();
+  bytes.resize(kHeaderBytes + header->payload_len + kTrailerBytes);
+  if (Status s = socket.recv_exact(
+          std::span<std::uint8_t>(bytes).subspan(kHeaderBytes));
+      !s.ok())
+    return s;
+  return decode_frame(bytes);
+}
+
+Status write_frame(Socket& socket, std::span<const std::uint8_t> frame) {
+  return socket.send_all(frame);
+}
+
+Result<Socket> connect_tcp(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+    return Status::invalid_argument("serve: '" + host +
+                                    "' is not a numeric IPv4 address");
+  Socket socket(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!socket.valid())
+    return Status::unavailable(errno_text("serve: socket() failed"));
+  if (::connect(socket.fd(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0)
+    return Status::unavailable(errno_text("serve: connect to " + host + ":" +
+                                          std::to_string(port) + " failed"));
+  // The protocol is request/reply with small frames; latency beats Nagle.
+  const int one = 1;
+  ::setsockopt(socket.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return socket;
+}
+
+Result<Socket> listen_tcp(const std::string& host, std::uint16_t port,
+                          std::uint16_t* bound_port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+    return Status::invalid_argument("serve: '" + host +
+                                    "' is not a numeric IPv4 address");
+  Socket socket(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!socket.valid())
+    return Status::unavailable(errno_text("serve: socket() failed"));
+  const int one = 1;
+  ::setsockopt(socket.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(socket.fd(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0)
+    return Status::unavailable(errno_text("serve: bind to " + host + ":" +
+                                          std::to_string(port) + " failed"));
+  if (::listen(socket.fd(), SOMAXCONN) != 0)
+    return Status::unavailable(errno_text("serve: listen failed"));
+  if (bound_port) {
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(socket.fd(), reinterpret_cast<sockaddr*>(&bound),
+                      &len) != 0)
+      return Status::unavailable(errno_text("serve: getsockname failed"));
+    *bound_port = ntohs(bound.sin_port);
+  }
+  return socket;
+}
+
+Result<Socket> accept_tcp(Socket& listener) {
+  while (true) {
+    const int fd = ::accept(listener.fd(), nullptr, nullptr);
+    if (fd >= 0) {
+      Socket socket(fd);
+      const int one = 1;
+      ::setsockopt(socket.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return socket;
+    }
+    if (errno == EINTR) continue;
+    // EINVAL / EBADF after shutdown_both() on the listener is the normal
+    // stop path, not an error worth a distinct code.
+    return Status::unavailable(errno_text("serve: accept stopped"));
+  }
+}
+
+}  // namespace pp::serve

@@ -1,0 +1,88 @@
+// serve::wire — blocking TCP transport for PPSV frames.
+//
+// A thin Status-returning layer over POSIX sockets: an RAII fd owner plus
+// frame-at-a-time read/write.  Reads are two-phase (fixed header first, then
+// exactly the announced payload + CRC), so a hostile peer can never make the
+// receiver allocate more than kMaxPayloadBytes, and a clean close at a frame
+// boundary is distinguishable (kUnavailable) from a mid-frame truncation
+// (kOutOfRange).  Everything blocks; the serving layer gets concurrency from
+// threads, not from readiness APIs.
+
+/// \file
+/// \brief serve::wire — blocking TCP transport for PPSV frames (RAII
+/// socket, frame-at-a-time read/write, Status-based errors).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "serve/protocol.h"
+#include "util/status.h"
+
+namespace pp::serve {
+
+/// RAII owner of one socket file descriptor.  Move-only; the destructor
+/// closes.  shutdown() is safe to call from another thread to unblock a
+/// reader (the idiom every serve thread-join path uses).
+class Socket {
+ public:
+  /// An empty (invalid) socket.
+  Socket() = default;
+  /// Take ownership of `fd` (-1 = empty).
+  explicit Socket(int fd) noexcept : fd_(fd) {}
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  /// Closes the descriptor (if any).
+  ~Socket();
+
+  /// True when this socket owns a descriptor.
+  [[nodiscard]] bool valid() const noexcept { return fd_ >= 0; }
+  /// The owned descriptor (-1 when empty).
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+
+  /// Send the whole span (looping over partial writes, SIGPIPE suppressed).
+  /// kUnavailable when the peer is gone.
+  [[nodiscard]] Status send_all(std::span<const std::uint8_t> bytes);
+
+  /// Receive exactly `bytes.size()` bytes.  kUnavailable with
+  /// `*clean_eof = true` when the peer closed before the first byte (a
+  /// frame-boundary close); kOutOfRange on a mid-buffer close.
+  [[nodiscard]] Status recv_exact(std::span<std::uint8_t> bytes,
+                                  bool* clean_eof = nullptr);
+
+  /// Shut down both directions (wakes a blocked reader on any thread);
+  /// the descriptor stays owned until destruction.  Idempotent.
+  void shutdown_both() noexcept;
+
+ private:
+  void close_fd() noexcept;
+  int fd_ = -1;
+};
+
+/// Read one complete frame: header, then payload + CRC, then decode_frame
+/// over the assembled bytes.  kUnavailable = the peer closed cleanly before
+/// the frame started; any decode Status passes through (the stream is not
+/// resynchronizable after one — callers close the connection).
+[[nodiscard]] Result<Frame> read_frame(Socket& socket);
+
+/// Write one already-encoded frame (the encode_* functions' output).
+/// Callers serialize concurrent writers per socket themselves.
+[[nodiscard]] Status write_frame(Socket& socket,
+                                 std::span<const std::uint8_t> frame);
+
+/// Connect to host:port (numeric IPv4 host, e.g. "127.0.0.1").
+[[nodiscard]] Result<Socket> connect_tcp(const std::string& host,
+                                         std::uint16_t port);
+
+/// Bind + listen on host:port (port 0 = ephemeral); returns the listener
+/// and stores the actually-bound port in `*bound_port`.
+[[nodiscard]] Result<Socket> listen_tcp(const std::string& host,
+                                        std::uint16_t port,
+                                        std::uint16_t* bound_port);
+
+/// Accept one connection.  kUnavailable when the listener was shut down
+/// (the accept loop's clean-exit signal).
+[[nodiscard]] Result<Socket> accept_tcp(Socket& listener);
+
+}  // namespace pp::serve

@@ -12,6 +12,8 @@ const char* status_code_name(StatusCode code) noexcept {
     case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
     case StatusCode::kDataLoss: return "DATA_LOSS";
     case StatusCode::kUnimplemented: return "UNIMPLEMENTED";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
     case StatusCode::kInternal: return "INTERNAL";
   }
   return "UNKNOWN";

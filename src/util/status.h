@@ -13,6 +13,9 @@
 //   * kResourceExhausted — a search ran out of fabric (rows, lines, area);
 //   * kDataLoss         — a bitstream failed its integrity checks (CRC);
 //   * kUnimplemented    — the construct is not (yet) mappable;
+//   * kDeadlineExceeded — a job's deadline expired before it could run;
+//   * kUnavailable      — the service refused admission (backpressure);
+//                         retry later, nothing was queued;
 //   * kInternal         — an invariant of ours broke, not the caller's fault.
 #pragma once
 
@@ -32,6 +35,8 @@ enum class StatusCode : int {
   kResourceExhausted,
   kDataLoss,
   kUnimplemented,
+  kDeadlineExceeded,
+  kUnavailable,
   kInternal,
 };
 
@@ -64,6 +69,12 @@ class [[nodiscard]] Status {
   }
   [[nodiscard]] static Status unimplemented(std::string m) {
     return {StatusCode::kUnimplemented, std::move(m)};
+  }
+  [[nodiscard]] static Status deadline_exceeded(std::string m) {
+    return {StatusCode::kDeadlineExceeded, std::move(m)};
+  }
+  [[nodiscard]] static Status unavailable(std::string m) {
+    return {StatusCode::kUnavailable, std::move(m)};
   }
   [[nodiscard]] static Status internal(std::string m) {
     return {StatusCode::kInternal, std::move(m)};

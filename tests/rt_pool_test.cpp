@@ -400,7 +400,7 @@ TEST(RtJobQueue, PendingCountsPerDesign) {
   const auto make = [](std::uint64_t id, std::string design) {
     return std::make_shared<rt::detail::JobState>(
         id, std::move(design), std::vector<InputVector>{},
-        platform::RunOptions{});
+        rt::SubmitOptions{});
   };
   EXPECT_EQ(queue.pending(), 0u);
   EXPECT_EQ(queue.pending_for("a"), 0u);

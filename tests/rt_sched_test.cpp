@@ -1,0 +1,221 @@
+// Priority/deadline scheduling semantics (docs/scheduling.md §1.4): the
+// queue's interactive-over-batch preference and its bounded-bypass
+// starvation guarantee, the runtime max_batch_run knob, expired deadlines
+// completing with kDeadlineExceeded *without running*, and cancel racing
+// against an expired deadline.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "map/netlist.h"
+#include "platform/compiler.h"
+#include "rt/device.h"
+#include "rt/pool.h"
+#include "rt/queue.h"
+#include "util/rng.h"
+
+namespace pp {
+namespace {
+
+using platform::InputVector;
+
+platform::CompiledDesign compile_or_die(const map::Netlist& netlist) {
+  auto design = platform::compile(netlist);
+  EXPECT_TRUE(design.ok()) << design.status().to_string();
+  return std::move(*design);
+}
+
+std::vector<InputVector> random_vectors(std::size_t count, std::size_t width,
+                                        std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<InputVector> vectors(count);
+  for (auto& v : vectors) {
+    v.resize(width);
+    for (std::size_t i = 0; i < width; ++i) v[i] = rng.next_bool();
+  }
+  return vectors;
+}
+
+std::shared_ptr<rt::detail::JobState> make_job(
+    std::uint64_t id, std::string design,
+    rt::Priority priority = rt::Priority::kBatch) {
+  rt::SubmitOptions options;
+  options.priority = priority;
+  return std::make_shared<rt::detail::JobState>(
+      id, std::move(design), std::vector<InputVector>{}, std::move(options));
+}
+
+// ---- queue-level priority semantics ----------------------------------------
+
+TEST(RtSched, InteractiveJumpsBatchJobs) {
+  rt::JobQueue queue;
+  queue.push(make_job(0, "b"));
+  queue.push(make_job(1, "b"));
+  queue.push(make_job(2, "i", rt::Priority::kInteractive));
+  // No active design: the interactive job is preferred over both older
+  // batch jobs.
+  EXPECT_EQ(queue.pop("")->id, 2u);
+  EXPECT_EQ(queue.pop("")->id, 0u);
+  EXPECT_EQ(queue.pop("")->id, 1u);
+}
+
+TEST(RtSched, InteractiveOutranksActiveDesignAffinity) {
+  rt::JobQueue queue;
+  queue.push(make_job(0, "a"));  // matches the active personality
+  queue.push(make_job(1, "b", rt::Priority::kInteractive));
+  // Interactive (rank 2) beats batch-matching (rank 1); an interactive job
+  // *matching* the active design (rank 3) beats both.
+  queue.push(make_job(2, "a", rt::Priority::kInteractive));
+  EXPECT_EQ(queue.pop("a")->id, 2u);
+  // Plain interactive (rank 2) still beats the older batch-matching job
+  // (rank 1); the batch job drains last.
+  EXPECT_EQ(queue.pop("a")->id, 1u);
+  EXPECT_EQ(queue.pop("a")->id, 0u);
+}
+
+TEST(RtSched, InteractiveStreamCannotStarveABatchJob) {
+  rt::JobQueue queue;
+  queue.push(make_job(0, "old"));  // the batch job at the front
+  for (std::uint64_t i = 1; i <= rt::JobQueue::kDefaultMaxBatchRun + 4; ++i)
+    queue.push(make_job(i, "hot", rt::Priority::kInteractive));
+  std::vector<std::uint64_t> order;
+  for (int i = 0; i <= rt::JobQueue::kDefaultMaxBatchRun; ++i) {
+    order.push_back(queue.pop("")->id);
+    queue.push(make_job(100 + i, "hot", rt::Priority::kInteractive));
+  }
+  // Interactive jobs may jump the old batch job only kDefaultMaxBatchRun
+  // consecutive times; then strict FIFO is forced and the old job runs.
+  for (int i = 0; i < rt::JobQueue::kDefaultMaxBatchRun; ++i)
+    EXPECT_EQ(order[i], static_cast<std::uint64_t>(i + 1)) << "pop " << i;
+  EXPECT_EQ(order[rt::JobQueue::kDefaultMaxBatchRun], 0u)
+      << "the starved batch job was not forced after the bypass cap";
+}
+
+TEST(RtSched, MaxBatchRunKnobTightensTheBypassBound) {
+  rt::JobQueue queue(/*max_batch_run=*/2);
+  EXPECT_EQ(queue.max_batch_run(), 2);
+  queue.push(make_job(0, "old"));
+  for (std::uint64_t i = 1; i <= 6; ++i)
+    queue.push(make_job(i, "hot", rt::Priority::kInteractive));
+  std::vector<std::uint64_t> order;
+  for (int i = 0; i < 3; ++i) order.push_back(queue.pop("")->id);
+  EXPECT_EQ(order[0], 1u);
+  EXPECT_EQ(order[1], 2u);
+  EXPECT_EQ(order[2], 0u) << "bypass bound of 2 was not enforced";
+}
+
+// ---- the DeviceOptions::max_batch_run knob ---------------------------------
+
+TEST(RtSched, DeviceValidatesMaxBatchRun) {
+  EXPECT_EQ(rt::Device::create(2, 4, {.max_batch_run = 0}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(rt::Device::create(2, 4, {.max_batch_run = -3}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE(rt::Device::create(2, 4, {.max_batch_run = 1}).ok());
+
+  rt::PoolOptions options;
+  options.device.max_batch_run = 0;
+  EXPECT_EQ(rt::DevicePool::create(2, 2, 4, options).status().code(),
+            StatusCode::kInvalidArgument);
+  options.device.max_batch_run = 3;
+  EXPECT_TRUE(rt::DevicePool::create(2, 2, 4, options).ok());
+}
+
+// ---- deadlines -------------------------------------------------------------
+
+TEST(RtSched, ExpiredDeadlineCompletesWithoutRunning) {
+  const auto adder = compile_or_die(map::make_ripple_adder(3));
+  auto device = rt::Device::create(adder.fabric.rows(), adder.fabric.cols());
+  ASSERT_TRUE(device.ok());
+  ASSERT_TRUE(device->load("adder", adder).ok());
+
+  rt::SubmitOptions expired;
+  expired.deadline = std::chrono::steady_clock::now() -
+                     std::chrono::milliseconds(1);
+  auto job = device->submit("adder", random_vectors(64, 7, 1), expired);
+  ASSERT_TRUE(job.ok());
+  auto result = job->wait();
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+
+  const auto stats = device->stats();
+  EXPECT_EQ(stats.jobs_expired, 1u);
+  EXPECT_EQ(stats.jobs_completed, 0u);
+  EXPECT_EQ(stats.jobs_failed, 0u);
+  EXPECT_EQ(stats.vectors_run, 0u) << "an expired job must never run";
+}
+
+TEST(RtSched, FutureDeadlineRunsNormally) {
+  const auto adder = compile_or_die(map::make_ripple_adder(3));
+  auto device = rt::Device::create(adder.fabric.rows(), adder.fabric.cols());
+  ASSERT_TRUE(device.ok());
+  ASSERT_TRUE(device->load("adder", adder).ok());
+
+  const auto vectors = random_vectors(64, 7, 2);
+  rt::SubmitOptions roomy;
+  roomy.priority = rt::Priority::kInteractive;
+  roomy.deadline = std::chrono::steady_clock::now() +
+                   std::chrono::minutes(10);
+  auto with_deadline = device->run_sync("adder", vectors, roomy);
+  auto without = device->run_sync("adder", vectors);
+  ASSERT_TRUE(with_deadline.ok()) << with_deadline.status().to_string();
+  ASSERT_TRUE(without.ok());
+  EXPECT_EQ(*with_deadline, *without);
+  EXPECT_EQ(device->stats().jobs_expired, 0u);
+}
+
+TEST(RtSched, PoolPropagatesDeadlines) {
+  const auto parity = compile_or_die(map::make_parity(5));
+  auto pool =
+      rt::DevicePool::create(2, parity.fabric.rows(), parity.fabric.cols());
+  ASSERT_TRUE(pool.ok());
+  ASSERT_TRUE(pool->register_design("parity", parity).ok());
+
+  rt::SubmitOptions expired;
+  expired.deadline = std::chrono::steady_clock::now() -
+                     std::chrono::milliseconds(1);
+  auto result = pool->run_sync("parity", random_vectors(32, 5, 3), expired);
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+
+  std::uint64_t expired_total = 0;
+  for (const auto& d : pool->stats().device) expired_total += d.jobs_expired;
+  EXPECT_EQ(expired_total, 1u);
+}
+
+TEST(RtSched, CancelRacesAnExpiredDeadline) {
+  const auto adder = compile_or_die(map::make_ripple_adder(3));
+  auto device = rt::Device::create(adder.fabric.rows(), adder.fabric.cols());
+  ASSERT_TRUE(device.ok());
+  ASSERT_TRUE(device->load("adder", adder).ok());
+
+  // Keep the dispatcher busy, then race cancel against an already-expired
+  // queued job: exactly one of the two outcomes must win, cleanly.
+  auto big = device->submit("adder", random_vectors(2048, 7, 4));
+  ASSERT_TRUE(big.ok());
+  rt::SubmitOptions expired;
+  expired.deadline = std::chrono::steady_clock::now() -
+                     std::chrono::milliseconds(1);
+  auto victim = device->submit("adder", random_vectors(2048, 7, 5), expired);
+  ASSERT_TRUE(victim.ok());
+  const bool canceled = victim->cancel();
+  device->drain();
+
+  ASSERT_TRUE(big->wait().ok());
+  auto result = victim->wait();
+  const auto stats = device->stats();
+  if (canceled) {
+    EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+    EXPECT_EQ(stats.jobs_canceled, 1u);
+    EXPECT_EQ(stats.jobs_expired, 0u);
+  } else {
+    EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+    EXPECT_EQ(stats.jobs_expired, 1u);
+    EXPECT_EQ(stats.jobs_canceled, 0u);
+  }
+  EXPECT_EQ(stats.jobs_completed, 1u);  // only the big job ran
+}
+
+}  // namespace
+}  // namespace pp

@@ -379,22 +379,22 @@ TEST(RtJobQueue, BatchingBypassIsBounded) {
   const auto make = [](std::uint64_t id, std::string design) {
     return std::make_shared<rt::detail::JobState>(
         id, std::move(design), std::vector<InputVector>{},
-        platform::RunOptions{});
+        rt::SubmitOptions{});
   };
   // An old 'b' job sits at the front while 'a' jobs keep streaming in
   // behind it; the active-design preference may jump it only
   // kMaxBatchRun times before strict FIFO is forced.
   queue.push(make(0, "b"));
-  for (std::uint64_t i = 1; i <= rt::JobQueue::kMaxBatchRun + 4; ++i)
+  for (std::uint64_t i = 1; i <= rt::JobQueue::kDefaultMaxBatchRun + 4; ++i)
     queue.push(make(i, "a"));
   std::vector<std::uint64_t> order;
-  for (int i = 0; i <= rt::JobQueue::kMaxBatchRun; ++i) {
+  for (int i = 0; i <= rt::JobQueue::kDefaultMaxBatchRun; ++i) {
     order.push_back(queue.pop("a")->id);
     queue.push(make(100 + i, "a"));  // the stream never dries up
   }
-  for (int i = 0; i < rt::JobQueue::kMaxBatchRun; ++i)
+  for (int i = 0; i < rt::JobQueue::kDefaultMaxBatchRun; ++i)
     EXPECT_EQ(order[i], static_cast<std::uint64_t>(i + 1)) << "pop " << i;
-  EXPECT_EQ(order[rt::JobQueue::kMaxBatchRun], 0u)
+  EXPECT_EQ(order[rt::JobQueue::kDefaultMaxBatchRun], 0u)
       << "the starved front job was not forced after the batch-run cap";
 }
 

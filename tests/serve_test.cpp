@@ -1,0 +1,389 @@
+// End-to-end serving tests over loopback TCP: wire results byte-identical
+// to the in-process DevicePool path, multi-client concurrency with zero
+// lost or duplicated replies, tenant namespace isolation, quota and
+// admission-control (kBusy) behaviour, submit pipelining, deadlines over
+// the wire, and malformed-frame handling that leaves the server serving.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "map/netlist.h"
+#include "platform/compiler.h"
+#include "platform/session.h"
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+#include "serve/wire.h"
+#include "util/rng.h"
+
+namespace pp {
+namespace {
+
+using platform::BitVector;
+using platform::InputVector;
+
+platform::CompiledDesign compile_or_die(const map::Netlist& netlist) {
+  auto design = platform::compile(netlist);
+  EXPECT_TRUE(design.ok()) << design.status().to_string();
+  return std::move(*design);
+}
+
+std::vector<InputVector> random_vectors(std::size_t count, std::size_t width,
+                                        std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<InputVector> vectors(count);
+  for (auto& v : vectors) {
+    v.resize(width);
+    for (std::size_t i = 0; i < width; ++i) v[i] = rng.next_bool();
+  }
+  return vectors;
+}
+
+/// Serial single-thread reference through the synchronous Session path.
+std::vector<BitVector> serial_reference(const platform::CompiledDesign& design,
+                                        const std::vector<InputVector>& v) {
+  auto session = platform::Session::load(design);
+  EXPECT_TRUE(session.ok()) << session.status().to_string();
+  auto out = session->run_vectors(v, {.max_threads = 1});
+  EXPECT_TRUE(out.ok()) << out.status().to_string();
+  return std::move(*out);
+}
+
+serve::Server make_server(std::size_t devices, int rows, int cols,
+                          serve::ServerOptions options = {}) {
+  auto pool = rt::DevicePool::create(devices, rows, cols);
+  EXPECT_TRUE(pool.ok()) << pool.status().to_string();
+  auto server = serve::Server::create(std::move(*pool), std::move(options));
+  EXPECT_TRUE(server.ok()) << server.status().to_string();
+  return std::move(*server);
+}
+
+TEST(Serve, WireResultsMatchInProcessPoolByteForByte) {
+  const auto adder = compile_or_die(map::make_ripple_adder(3));
+  const auto parity = compile_or_die(map::make_parity(5));
+  const int rows = std::max(adder.fabric.rows(), parity.fabric.rows());
+  const int cols = std::max(adder.fabric.cols(), parity.fabric.cols());
+
+  auto server = make_server(2, rows, cols);
+  auto local = rt::DevicePool::create(2, rows, cols);
+  ASSERT_TRUE(local.ok());
+  ASSERT_TRUE(local->register_design("adder", adder).ok());
+  ASSERT_TRUE(local->register_design("parity", parity).ok());
+
+  auto client = serve::Client::connect("127.0.0.1", server.port(), "acme");
+  ASSERT_TRUE(client.ok()) << client.status().to_string();
+  EXPECT_GT(client->session_id(), 0u);
+  ASSERT_TRUE(client->register_design("adder", adder).ok());
+  ASSERT_TRUE(client->register_design("parity", parity).ok());
+
+  for (int j = 0; j < 3; ++j) {
+    const auto av = random_vectors(100, 7, 10 + j);  // 100: pad bits live
+    const auto pv = random_vectors(33, 5, 20 + j);
+    auto wire_a = client->run("adder", av);
+    auto wire_p = client->run("parity", pv);
+    auto local_a = local->run_sync("adder", av);
+    auto local_p = local->run_sync("parity", pv);
+    ASSERT_TRUE(wire_a.ok()) << wire_a.status().to_string();
+    ASSERT_TRUE(wire_p.ok() && local_a.ok() && local_p.ok());
+    EXPECT_EQ(*wire_a, *local_a);
+    EXPECT_EQ(*wire_p, *local_p);
+    EXPECT_EQ(*wire_a, serial_reference(adder, av));
+  }
+}
+
+TEST(Serve, FourConcurrentClientsLoseNoReplies) {
+  const auto parity = compile_or_die(map::make_parity(5));
+  auto server =
+      make_server(2, parity.fabric.rows(), parity.fabric.cols());
+  const auto expected_for = [&](std::uint64_t seed) {
+    return serial_reference(parity, random_vectors(32, 5, seed));
+  };
+
+  constexpr int kClients = 4;
+  constexpr int kJobsPerClient = 48;
+  std::vector<int> mismatches(kClients, 0);
+  std::vector<std::string> failures(kClients);
+  {
+    std::vector<std::thread> workers;
+    for (int c = 0; c < kClients; ++c) {
+      workers.emplace_back([&, c] {
+        auto client = serve::Client::connect("127.0.0.1", server.port(),
+                                             "tenant" + std::to_string(c));
+        if (!client.ok()) {
+          failures[c] = client.status().to_string();
+          return;
+        }
+        if (Status s = client->register_design("parity", parity); !s.ok()) {
+          failures[c] = s.to_string();
+          return;
+        }
+        for (int j = 0; j < kJobsPerClient; ++j) {
+          const std::uint64_t seed = 1000u * c + j;
+          auto result =
+              client->run("parity", random_vectors(32, 5, seed),
+                          {.priority = (j % 2 ? rt::Priority::kInteractive
+                                              : rt::Priority::kBatch)});
+          if (!result.ok()) {
+            failures[c] = result.status().to_string();
+            return;
+          }
+          if (*result != expected_for(seed)) ++mismatches[c];
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+  }
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_TRUE(failures[c].empty()) << "client " << c << ": " << failures[c];
+    EXPECT_EQ(mismatches[c], 0) << "client " << c;
+  }
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.sessions_opened, static_cast<std::uint64_t>(kClients));
+  EXPECT_EQ(stats.jobs_admitted,
+            static_cast<std::uint64_t>(kClients * kJobsPerClient));
+  EXPECT_EQ(stats.protocol_errors, 0u);
+}
+
+TEST(Serve, TenantNamespacesAreIsolated) {
+  const auto adder = compile_or_die(map::make_ripple_adder(3));
+  const auto parity = compile_or_die(map::make_parity(5));
+  const int rows = std::max(adder.fabric.rows(), parity.fabric.rows());
+  const int cols = std::max(adder.fabric.cols(), parity.fabric.cols());
+  auto server = make_server(1, rows, cols);
+
+  auto alice = serve::Client::connect("127.0.0.1", server.port(), "alice");
+  auto bob = serve::Client::connect("127.0.0.1", server.port(), "bob");
+  ASSERT_TRUE(alice.ok() && bob.ok());
+  ASSERT_TRUE(alice->register_design("d", adder).ok());
+
+  // Bob cannot resolve (or run) Alice's design name.
+  const auto pv = random_vectors(16, 5, 1);
+  const auto av = random_vectors(16, 7, 2);
+  EXPECT_EQ(bob->run("d", av).status().code(), StatusCode::kNotFound);
+
+  // The same name binds to *different content* per tenant without
+  // collision: Alice's "d" is the adder, Bob's is the parity tree.
+  ASSERT_TRUE(bob->register_design("d", parity).ok());
+  auto alice_result = alice->run("d", av);
+  auto bob_result = bob->run("d", pv);
+  ASSERT_TRUE(alice_result.ok()) << alice_result.status().to_string();
+  ASSERT_TRUE(bob_result.ok()) << bob_result.status().to_string();
+  EXPECT_EQ(*alice_result, serial_reference(adder, av));
+  EXPECT_EQ(*bob_result, serial_reference(parity, pv));
+
+  // Pool-side, the names are tenant-scoped keys.
+  EXPECT_TRUE(server.pool().resident("alice/d"));
+  EXPECT_TRUE(server.pool().resident("bob/d"));
+  EXPECT_FALSE(server.pool().resident("d"));
+}
+
+TEST(Serve, ResidentDesignQuotaIsEnforcedPerTenant) {
+  const auto adder = compile_or_die(map::make_ripple_adder(3));
+  const auto parity = compile_or_die(map::make_parity(5));
+  const int rows = std::max(adder.fabric.rows(), parity.fabric.rows());
+  const int cols = std::max(adder.fabric.cols(), parity.fabric.cols());
+  serve::ServerOptions options;
+  options.max_designs_per_tenant = 1;
+  auto server = make_server(1, rows, cols, options);
+
+  auto client = serve::Client::connect("127.0.0.1", server.port(), "acme");
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->register_design("a", adder).ok());
+  // Over quota: a clean kResourceExhausted, not a busy (quota is not
+  // transient backpressure).
+  EXPECT_EQ(client->register_design("b", parity).code(),
+            StatusCode::kResourceExhausted);
+  // Re-registering the existing name (identical content) stays free.
+  EXPECT_TRUE(client->register_design("a", adder).ok());
+  // Another tenant has its own quota.
+  auto other = serve::Client::connect("127.0.0.1", server.port(), "other");
+  ASSERT_TRUE(other.ok());
+  EXPECT_TRUE(other->register_design("b", parity).ok());
+}
+
+TEST(Serve, TenantInflightQuotaYieldsBusyNotHang) {
+  const auto parity = compile_or_die(map::make_parity(5));
+  serve::ServerOptions options;
+  options.max_inflight_per_tenant = 1;
+  auto server =
+      make_server(1, parity.fabric.rows(), parity.fabric.cols(), options);
+  ASSERT_TRUE(server.pool().register_design("blocker", parity).ok());
+
+  auto client = serve::Client::connect("127.0.0.1", server.port(), "acme");
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->register_design("parity", parity).ok());
+
+  // Pin the single device's dispatcher with a big event-driven job so the
+  // client's first job stays queued (in flight) while the second arrives.
+  auto blocker = server.pool().submit(
+      "blocker", random_vectors(4096, 5, 7),
+      rt::SubmitOptions{.run = {.engine = platform::Engine::kEventDriven}});
+  ASSERT_TRUE(blocker.ok());
+
+  auto first = client->submit("parity", random_vectors(16, 5, 8));
+  ASSERT_TRUE(first.ok());
+  auto second = client->submit("parity", random_vectors(16, 5, 9));
+  ASSERT_TRUE(second.ok());  // the submit itself pipelines fine
+  // The second reply is an explicit kBusy -> kUnavailable; nothing queued.
+  auto second_result = client->wait(*second);
+  EXPECT_EQ(second_result.status().code(), StatusCode::kUnavailable);
+  // The first job still completes normally.
+  auto first_result = client->wait(*first);
+  ASSERT_TRUE(first_result.ok()) << first_result.status().to_string();
+  ASSERT_TRUE(blocker->wait().ok());
+
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.jobs_admitted, 1u);
+  EXPECT_EQ(stats.jobs_rejected, 1u);
+}
+
+TEST(Serve, PoolDepthHighWaterMarkYieldsBusy) {
+  const auto parity = compile_or_die(map::make_parity(5));
+  serve::ServerOptions options;
+  options.max_pool_depth = 1;
+  auto server =
+      make_server(1, parity.fabric.rows(), parity.fabric.cols(), options);
+  ASSERT_TRUE(server.pool().register_design("blocker", parity).ok());
+
+  auto client = serve::Client::connect("127.0.0.1", server.port(), "acme");
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->register_design("parity", parity).ok());
+
+  auto blocker = server.pool().submit(
+      "blocker", random_vectors(4096, 5, 7),
+      rt::SubmitOptions{.run = {.engine = platform::Engine::kEventDriven}});
+  ASSERT_TRUE(blocker.ok());
+  // The fleet is at the high-water mark: admission refuses explicitly.
+  auto result = client->run("parity", random_vectors(16, 5, 8));
+  EXPECT_EQ(result.status().code(), StatusCode::kUnavailable);
+  ASSERT_TRUE(blocker->wait().ok());
+
+  // Once the fleet drains, the same submit is admitted.
+  server.pool().drain();
+  auto retry = client->run("parity", random_vectors(16, 5, 8));
+  ASSERT_TRUE(retry.ok()) << retry.status().to_string();
+}
+
+TEST(Serve, PipelinedSubmitsCollectInAnyOrder) {
+  const auto parity = compile_or_die(map::make_parity(5));
+  auto server = make_server(2, parity.fabric.rows(), parity.fabric.cols());
+  auto client = serve::Client::connect("127.0.0.1", server.port(), "acme");
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->register_design("parity", parity).ok());
+
+  constexpr int kJobs = 24;
+  std::vector<std::uint64_t> ids;
+  for (int j = 0; j < kJobs; ++j) {
+    auto id = client->submit("parity", random_vectors(16, 5, 100 + j));
+    ASSERT_TRUE(id.ok()) << id.status().to_string();
+    ids.push_back(*id);
+  }
+  // Collect in reverse submit order: replies for later requests arrive
+  // while waiting and must be stashed, not lost.
+  for (int j = kJobs - 1; j >= 0; --j) {
+    auto result = client->wait(ids[static_cast<std::size_t>(j)]);
+    ASSERT_TRUE(result.ok()) << result.status().to_string();
+    EXPECT_EQ(*result,
+              serial_reference(parity, random_vectors(16, 5, 100 + j)));
+  }
+  // A collected id is gone; an invented one was never there.
+  EXPECT_EQ(client->wait(ids[0]).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(client->wait(99999).status().code(), StatusCode::kNotFound);
+}
+
+TEST(Serve, DeadlineExpiresOverTheWire) {
+  const auto parity = compile_or_die(map::make_parity(5));
+  auto server = make_server(1, parity.fabric.rows(), parity.fabric.cols());
+  ASSERT_TRUE(server.pool().register_design("blocker", parity).ok());
+  auto client = serve::Client::connect("127.0.0.1", server.port(), "acme");
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->register_design("parity", parity).ok());
+
+  // A long event-driven job pins the device well past the 1 ms deadline.
+  auto blocker = server.pool().submit(
+      "blocker", random_vectors(16384, 5, 7),
+      rt::SubmitOptions{.run = {.engine = platform::Engine::kEventDriven}});
+  ASSERT_TRUE(blocker.ok());
+  auto result = client->run("parity", random_vectors(16, 5, 8),
+                            {.deadline_ms = 1});
+  EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+  ASSERT_TRUE(blocker->wait().ok());
+
+  // Plenty of deadline: the same job runs normally.
+  auto roomy = client->run("parity", random_vectors(16, 5, 8),
+                           {.deadline_ms = 60'000});
+  ASSERT_TRUE(roomy.ok()) << roomy.status().to_string();
+}
+
+TEST(Serve, MalformedFramesFailCleanlyAndServerKeepsServing) {
+  const auto parity = compile_or_die(map::make_parity(5));
+  auto server = make_server(1, parity.fabric.rows(), parity.fabric.cols());
+
+  {
+    // Raw garbage instead of a hello: the server answers with an error
+    // frame and hangs up; nothing crashes, no session opens.
+    auto raw = serve::connect_tcp("127.0.0.1", server.port());
+    ASSERT_TRUE(raw.ok());
+    const std::vector<std::uint8_t> garbage = {'n', 'o', 'p', 'e', 0, 1,
+                                               2,   3,   4,   5};
+    ASSERT_TRUE(raw->send_all(garbage).ok());
+    auto reply = serve::read_frame(*raw);
+    ASSERT_TRUE(reply.ok()) << reply.status().to_string();
+    EXPECT_EQ(reply->type, serve::MsgType::kError);
+  }
+  {
+    // A well-formed frame of the wrong type as the handshake is rejected
+    // just as cleanly.
+    auto raw = serve::connect_tcp("127.0.0.1", server.port());
+    ASSERT_TRUE(raw.ok());
+    ASSERT_TRUE(
+        raw->send_all(serve::encode_stats_request(serve::StatsRequestMsg{}))
+            .ok());
+    auto reply = serve::read_frame(*raw);
+    ASSERT_TRUE(reply.ok());
+    EXPECT_EQ(reply->type, serve::MsgType::kError);
+  }
+
+  const auto stats = server.stats();
+  EXPECT_GE(stats.protocol_errors, 2u);
+  EXPECT_EQ(stats.sessions_opened, 0u);
+
+  // The server is still fully serving.
+  auto client = serve::Client::connect("127.0.0.1", server.port(), "acme");
+  ASSERT_TRUE(client.ok()) << client.status().to_string();
+  ASSERT_TRUE(client->register_design("parity", parity).ok());
+  const auto v = random_vectors(16, 5, 1);
+  auto result = client->run("parity", v);
+  ASSERT_TRUE(result.ok()) << result.status().to_string();
+  EXPECT_EQ(*result, serial_reference(parity, v));
+}
+
+TEST(Serve, ClientSideValidationRejectsBadInputBeforeAnyBytesMove) {
+  const auto parity = compile_or_die(map::make_parity(5));
+  const auto counter = compile_or_die(map::make_counter(2));
+  auto server = make_server(1, parity.fabric.rows(), parity.fabric.cols());
+  auto client = serve::Client::connect("127.0.0.1", server.port(), "acme");
+  ASSERT_TRUE(client.ok());
+
+  EXPECT_EQ(client->register_design("bad/name", parity).code(),
+            StatusCode::kInvalidArgument);
+  // Sequential designs cannot ride the job protocol.
+  EXPECT_EQ(client->register_design("counter", counter).code(),
+            StatusCode::kFailedPrecondition);
+  // Ragged and empty batches are rejected locally.
+  ASSERT_TRUE(client->register_design("parity", parity).ok());
+  std::vector<InputVector> ragged = {InputVector(5, false),
+                                     InputVector(4, false)};
+  EXPECT_EQ(client->submit("parity", ragged).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(client->submit("parity", {}).status().code(),
+            StatusCode::kInvalidArgument);
+  // Width mismatches against the design surface as the server-side Status.
+  auto wrong_width = client->run("parity", random_vectors(4, 3, 1));
+  EXPECT_EQ(wrong_width.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace pp
