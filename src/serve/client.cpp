@@ -1,7 +1,6 @@
 #include "serve/client.h"
 
 #include <map>
-#include <set>
 #include <utility>
 
 #include "platform/executor.h"
@@ -15,18 +14,27 @@ struct Client::Impl {
   std::uint64_t session_id = 0;
   std::uint64_t next_request_id = 1;
 
-  /// Request ids submitted but not yet collected by wait().
-  std::set<std::uint64_t> outstanding;
+  /// Request ids submitted but not yet collected by wait(), mapped to the
+  /// vector count each batch carried — a result for the request must
+  /// answer with exactly that many vectors.
+  std::map<std::uint64_t, std::uint32_t> outstanding;
   /// Replies that arrived while waiting for a different request id.
   std::map<std::uint64_t, Result<std::vector<platform::BitVector>>> ready;
 
   /// Translate a reply frame for an outstanding submit into the Result a
-  /// local DevicePool::run_sync would have produced.
+  /// local DevicePool::run_sync would have produced.  `expected_vectors`
+  /// is the submitted batch size: a server (malicious or buggy) whose
+  /// result announces any other count is reporting on some other batch —
+  /// fail instead of unpacking an allocation the server chose.
   [[nodiscard]] Result<std::vector<platform::BitVector>> reply_to_result(
-      const Frame& frame) {
+      const Frame& frame, std::uint32_t expected_vectors) {
     if (frame.type == MsgType::kResult) {
       auto msg = decode_result(frame);
       if (!msg.ok()) return msg.status();
+      if (msg->vector_count != expected_vectors)
+        return Status::internal(
+            "serve: result carries " + std::to_string(msg->vector_count) +
+            " vectors for a batch of " + std::to_string(expected_vectors));
       return platform::unpack_bit_planes(msg->planes, msg->vector_count,
                                          msg->output_count);
     }
@@ -69,8 +77,10 @@ struct Client::Impl {
       if (frame->type == MsgType::kResult || frame->type == MsgType::kBusy ||
           frame->type == MsgType::kError) {
         const std::uint64_t id = reply_request_id(*frame);
-        if (outstanding.erase(id) > 0) {
-          ready.emplace(id, reply_to_result(*frame));
+        if (const auto it = outstanding.find(id); it != outstanding.end()) {
+          const std::uint32_t expected = it->second;
+          outstanding.erase(it);
+          ready.emplace(id, reply_to_result(*frame, expected));
           continue;
         }
         if (frame->type == MsgType::kError) {
@@ -173,7 +183,14 @@ Result<std::uint64_t> Client::submit(
   if (Status s = validate_name("design name", name); !s.ok()) return s;
   if (vectors.empty())
     return Status::invalid_argument("serve: a batch needs at least 1 vector");
+  if (vectors.size() > kMaxVectorsPerBatch)
+    return Status::invalid_argument(
+        "serve: a batch carries at most " +
+        std::to_string(kMaxVectorsPerBatch) + " vectors");
   const std::size_t width = vectors.front().size();
+  if (width == 0)
+    return Status::invalid_argument(
+        "serve: vectors must be at least 1 bit wide");
   for (const platform::InputVector& v : vectors)
     if (v.size() != width)
       return Status::invalid_argument(
@@ -181,9 +198,6 @@ Result<std::uint64_t> Client::submit(
   if (width > 0xFFFF)
     return Status::invalid_argument(
         "serve: vector width does not fit the wire format");
-  if (vectors.size() > 0xFFFFFFFFull)
-    return Status::invalid_argument(
-        "serve: batch size does not fit the wire format");
   SubmitBatchMsg msg;
   msg.request_id = impl_->next_request_id++;
   msg.design = std::string(name);
@@ -196,7 +210,7 @@ Result<std::uint64_t> Client::submit(
   if (Status s = write_frame(impl_->socket, encode_submit_batch(msg));
       !s.ok())
     return s;
-  impl_->outstanding.insert(msg.request_id);
+  impl_->outstanding.emplace(msg.request_id, msg.vector_count);
   return msg.request_id;
 }
 
@@ -207,15 +221,17 @@ Result<std::vector<platform::BitVector>> Client::wait(
     impl_->ready.erase(it);
     return result;
   }
-  if (impl_->outstanding.find(request_id) == impl_->outstanding.end())
+  const auto it = impl_->outstanding.find(request_id);
+  if (it == impl_->outstanding.end())
     return Status::not_found("serve: request " + std::to_string(request_id) +
                              " is not outstanding on this client");
+  const std::uint32_t expected = it->second;
   auto frame = impl_->read_until([&](const Frame& f) {
     return impl_->reply_request_id(f) == request_id;
   });
   if (!frame.ok()) return frame.status();
   impl_->outstanding.erase(request_id);
-  return impl_->reply_to_result(*frame);
+  return impl_->reply_to_result(*frame, expected);
 }
 
 Result<std::vector<platform::BitVector>> Client::run(

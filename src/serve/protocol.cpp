@@ -466,6 +466,16 @@ Result<SubmitBatchMsg> decode_submit_batch(const Frame& frame) {
   msg.engine = static_cast<platform::Engine>(engine);
   if (msg.vector_count == 0)
     return Status::invalid_argument("serve: submit_batch carries no vectors");
+  if (msg.vector_count > kMaxVectorsPerBatch)
+    return Status::out_of_range(
+        "serve: submit_batch announces " + std::to_string(msg.vector_count) +
+        " vectors (cap " + std::to_string(kMaxVectorsPerBatch) + ")");
+  // Zero-width vectors are meaningless and, worse, would detach
+  // vector_count from the plane-size check (0 planes of any count are 0
+  // bytes) — the unpack allocation must stay bounded by the wire bytes.
+  if (msg.input_count == 0)
+    return Status::invalid_argument(
+        "serve: submit_batch carries zero-width vectors");
   if (Status s = validate_planes(msg.planes, msg.vector_count,
                                  msg.input_count, "submit_batch");
       !s.ok())
@@ -494,6 +504,15 @@ Result<ResultMsg> decode_result(const Frame& frame) {
   msg.output_count = r.u16("output_count");
   msg.planes = r.blob32("result planes");
   if (Status s = r.finish("result"); !s.ok()) return s;
+  // Results answer submits, so the same count bounds apply; output_count
+  // may be 0 (a design with no bound outputs), which is exactly why the
+  // vector-count cap — not the plane size — bounds the unpack allocation.
+  if (msg.vector_count == 0)
+    return Status::invalid_argument("serve: result carries no vectors");
+  if (msg.vector_count > kMaxVectorsPerBatch)
+    return Status::out_of_range(
+        "serve: result announces " + std::to_string(msg.vector_count) +
+        " vectors (cap " + std::to_string(kMaxVectorsPerBatch) + ")");
   if (Status s = validate_planes(msg.planes, msg.vector_count,
                                  msg.output_count, "result");
       !s.ok())

@@ -53,6 +53,12 @@ inline constexpr std::size_t kTrailerBytes = 4;
 inline constexpr std::size_t kMaxPayloadBytes = 16u << 20;  // 16 MiB
 /// Upper bound on tenant/design identifiers (validate_name).
 inline constexpr std::size_t kMaxNameBytes = 64;
+/// Upper bound on the vectors of one batch (submit or result).  The plane
+/// size check alone bounds `vector_count` by 8x the payload bytes, but
+/// unpacking materializes one BitVector *object* per vector — a ~50x
+/// amplification of wire bytes for one-bit vectors — so the count gets its
+/// own cap, enforced at decode on both peers before anything is allocated.
+inline constexpr std::uint32_t kMaxVectorsPerBatch = 1u << 20;
 
 /// Message types of the job protocol.  The lifecycle mirrors the
 /// command-scheduler split of mature accelerator runtimes: a session opens
@@ -163,8 +169,12 @@ struct SubmitBatchMsg {
   /// (Relative, so client and server clocks never need agreement.)
   std::uint32_t deadline_ms = 0;
   platform::Engine engine = platform::Engine::kAuto;  ///< engine choice
-  std::uint32_t vector_count = 0;  ///< stimulus vectors in the batch
-  std::uint16_t input_count = 0;   ///< bits per vector (design input count)
+  /// Stimulus vectors in the batch: 1 .. kMaxVectorsPerBatch.
+  std::uint32_t vector_count = 0;
+  /// Bits per vector (the design's input width); must be >= 1 — a
+  /// zero-width batch has no meaning and would unmoor vector_count from
+  /// the plane-size check.
+  std::uint16_t input_count = 0;
   /// SoA stimulus: input_count planes of ceil(vector_count/8) bytes
   /// (platform::pack_bit_planes layout; decode validates the exact size
   /// and canonical zero padding).
@@ -174,7 +184,9 @@ struct SubmitBatchMsg {
 /// kResult: a completed job's outputs, SoA-packed like the stimulus.
 struct ResultMsg {
   std::uint64_t request_id = 0;     ///< the submit this answers
-  std::uint32_t vector_count = 0;   ///< result vectors (== submitted count)
+  /// Result vectors: 1 .. kMaxVectorsPerBatch (== the submitted count;
+  /// serve::Client additionally checks the equality per request).
+  std::uint32_t vector_count = 0;
   std::uint16_t output_count = 0;   ///< bits per result vector
   std::vector<std::uint8_t> planes;  ///< SoA outputs (pack_bit_planes)
 };
@@ -244,13 +256,16 @@ struct StatsReplyMsg {
 /// Encode a kSubmitBatch frame.
 [[nodiscard]] std::vector<std::uint8_t> encode_submit_batch(
     const SubmitBatchMsg& msg);
-/// Decode a kSubmitBatch frame (validates priority/engine enums and the
-/// exact SoA plane size, including canonical zero padding).
+/// Decode a kSubmitBatch frame (validates priority/engine enums, the
+/// vector/input count bounds — 1..kMaxVectorsPerBatch vectors of >= 1
+/// bits — and the exact SoA plane size, including canonical zero padding).
 [[nodiscard]] Result<SubmitBatchMsg> decode_submit_batch(const Frame& frame);
 
 /// Encode a kResult frame.
 [[nodiscard]] std::vector<std::uint8_t> encode_result(const ResultMsg& msg);
-/// Decode a kResult frame (same plane validation as kSubmitBatch).
+/// Decode a kResult frame (same count bounds and plane validation as
+/// kSubmitBatch, except output_count 0 is legal — a design may bind no
+/// outputs — because vector_count alone bounds what a reply can allocate).
 [[nodiscard]] Result<ResultMsg> decode_result(const Frame& frame);
 
 /// Encode a kBusy frame.

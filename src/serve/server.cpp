@@ -105,10 +105,14 @@ struct Server::Impl {
   }
 
   void send(Session& session, const std::vector<std::uint8_t>& frame) {
-    // Best-effort: a send failure means the peer is gone; the reader will
-    // notice on its next recv and wind the session down.
+    // Best-effort: a send failure means the peer is gone or has stopped
+    // reading (session_send_timeout_ms bounds the wedged-peer case).
+    // Shut the socket down so the reader wakes immediately and every
+    // later send fails fast instead of each eating its own timeout — the
+    // session tears down and the tenant's quota drains.
     const std::lock_guard<std::mutex> lock(session.write_mutex);
-    (void)write_frame(session.socket, frame);
+    if (!write_frame(session.socket, frame).ok())
+      session.socket.shutdown_both();
   }
 
   void send_error(Session& session, std::uint64_t request_id,
@@ -123,6 +127,22 @@ struct Server::Impl {
   // ---- per-message handlers (reader thread) --------------------------------
 
   void handle_register(Session& session, RegisterDesignMsg msg) {
+    // The wire dimensions are hostile until checked: Fabric::create
+    // allocates rows x cols blocks, so a forged 0xFFFF x 0xFFFF header
+    // would request hundreds of GB before try_load_fabric ever saw the
+    // bitstream.  A design can only load here if it fits the pool's
+    // array (pad_to grows it to exactly rows() x cols()), so anything
+    // larger is rejected from the 4 header bytes alone, nothing sized by
+    // the peer.
+    if (static_cast<int>(msg.rows) > pool.rows() ||
+        static_cast<int>(msg.cols) > pool.cols())
+      return send_error(
+          session, msg.request_id,
+          Status::invalid_argument(
+              "serve: design dimensions " + std::to_string(msg.rows) + "x" +
+              std::to_string(msg.cols) + " exceed the pool's " +
+              std::to_string(pool.rows()) + "x" + std::to_string(pool.cols()) +
+              " array"));
     // Rebuild a CompiledDesign from the wire image.  The bitstream is the
     // authority: try_load_fabric re-validates magic, dimensions, size, and
     // CRC exactly as a reconfiguration controller would, so a forged
@@ -402,6 +422,7 @@ struct Server::Impl {
       auto session = std::make_unique<Session>();
       session->server = this;
       session->socket = std::move(*conn);
+      session->socket.set_send_timeout_ms(options.session_send_timeout_ms);
       Session* raw = session.get();
       raw->completer = std::thread([this, raw] { completer_loop(*raw); });
       raw->reader = std::thread([this, raw] { reader_loop(*raw); });

@@ -58,6 +58,12 @@ struct ServerOptions {
   /// Pool-wide admission high-water mark: a submit finding at least this
   /// many jobs queued + running across the fleet gets kBusy.
   std::size_t max_pool_depth = 256;
+  /// Upper bound (milliseconds) on any blocking reply write to a session
+  /// socket.  A peer that stops reading would otherwise wedge the
+  /// session's completer mid-send — pinning the write lock, the reader's
+  /// replies, and the tenant's in-flight quota until stop().  On expiry
+  /// the session is torn down instead.  0 disables the bound.
+  long session_send_timeout_ms = 30'000;
 };
 
 /// Serving counters (monotone except sessions_active).

@@ -4,6 +4,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -41,6 +42,14 @@ void Socket::close_fd() noexcept {
 
 void Socket::shutdown_both() noexcept {
   if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::set_send_timeout_ms(long ms) noexcept {
+  if (fd_ < 0 || ms <= 0) return;
+  timeval tv{};
+  tv.tv_sec = ms / 1000;
+  tv.tv_usec = (ms % 1000) * 1000;
+  ::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
 }
 
 Status Socket::send_all(std::span<const std::uint8_t> bytes) {

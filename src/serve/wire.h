@@ -55,6 +55,13 @@ class Socket {
   /// the descriptor stays owned until destruction.  Idempotent.
   void shutdown_both() noexcept;
 
+  /// Bound every blocking send on this socket to `ms` milliseconds
+  /// (SO_SNDTIMEO); an expired send fails with kUnavailable instead of
+  /// blocking forever on a peer that stopped reading.  `ms` <= 0 leaves
+  /// sends unbounded.  Best-effort: a setsockopt failure is ignored (the
+  /// socket still works, just without the bound).
+  void set_send_timeout_ms(long ms) noexcept;
+
  private:
   void close_fd() noexcept;
   int fd_ = -1;

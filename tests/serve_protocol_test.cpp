@@ -354,6 +354,100 @@ TEST(ServeProtocol, SubmitBatchRejectsCraftedCountAndEnumCorruption) {
   }
 }
 
+TEST(ServeProtocol, SubmitBatchRejectsAllocationAmplificationAttacks) {
+  // The OOM shape: zero-width vectors make every vector_count consistent
+  // with an empty plane blob (0 planes x anything = 0 bytes), so a
+  // ~60-byte frame could announce 4.3e9 vectors.  Decode must kill it
+  // before anything is sized by the count.
+  {
+    serve::SubmitBatchMsg hostile;
+    hostile.request_id = 1;
+    hostile.design = "d";
+    hostile.vector_count = 0xFFFFFFFFu;
+    hostile.input_count = 0;
+    auto frame = decode(serve::encode_submit_batch(hostile));
+    ASSERT_TRUE(frame.ok());
+    EXPECT_FALSE(serve::decode_submit_batch(*frame).ok());
+  }
+  // Zero-width is rejected for its own sake, not just via the count cap.
+  {
+    serve::SubmitBatchMsg hostile;
+    hostile.request_id = 1;
+    hostile.design = "d";
+    hostile.vector_count = 5;
+    hostile.input_count = 0;
+    auto frame = decode(serve::encode_submit_batch(hostile));
+    ASSERT_TRUE(frame.ok());
+    EXPECT_EQ(serve::decode_submit_batch(*frame).status().code(),
+              StatusCode::kInvalidArgument);
+  }
+  // Nonzero width bounds the count by the plane bytes, but one-bit
+  // vectors still amplify ~50x into BitVector objects — the explicit
+  // vector cap holds even when the planes are self-consistent.
+  {
+    const std::uint32_t count = serve::kMaxVectorsPerBatch + 8;
+    serve::SubmitBatchMsg hostile;
+    hostile.request_id = 2;
+    hostile.design = "d";
+    hostile.vector_count = count;
+    hostile.input_count = 1;
+    hostile.planes.assign(count / 8, 0);  // consistent, canonical planes
+    auto frame = decode(serve::encode_submit_batch(hostile));
+    ASSERT_TRUE(frame.ok());
+    EXPECT_EQ(serve::decode_submit_batch(*frame).status().code(),
+              StatusCode::kOutOfRange);
+  }
+  // The largest legal count decodes fine (the cap is a bound, not a bug).
+  {
+    serve::SubmitBatchMsg legal;
+    legal.request_id = 3;
+    legal.design = "d";
+    legal.vector_count = serve::kMaxVectorsPerBatch;
+    legal.input_count = 1;
+    legal.planes.assign(serve::kMaxVectorsPerBatch / 8, 0);
+    auto frame = decode(serve::encode_submit_batch(legal));
+    ASSERT_TRUE(frame.ok());
+    EXPECT_TRUE(serve::decode_submit_batch(*frame).ok());
+  }
+}
+
+TEST(ServeProtocol, ResultRejectsAllocationAmplificationAttacks) {
+  // The mirror-image hole on the client side: a result with output_count
+  // 0 passes the plane-size check for any vector_count, so a malicious
+  // server could OOM a client with one small kResult frame.
+  {
+    serve::ResultMsg hostile;
+    hostile.request_id = 1;
+    hostile.vector_count = 0xFFFFFFFFu;
+    hostile.output_count = 0;
+    auto frame = decode(serve::encode_result(hostile));
+    ASSERT_TRUE(frame.ok());
+    EXPECT_EQ(serve::decode_result(*frame).status().code(),
+              StatusCode::kOutOfRange);
+  }
+  {
+    serve::ResultMsg zero;
+    zero.request_id = 2;
+    zero.vector_count = 0;
+    zero.output_count = 2;
+    auto frame = decode(serve::encode_result(zero));
+    ASSERT_TRUE(frame.ok());
+    EXPECT_EQ(serve::decode_result(*frame).status().code(),
+              StatusCode::kInvalidArgument);
+  }
+  // output_count 0 with a *bounded* count stays legal: a design may bind
+  // no outputs, and the vector cap alone bounds the reply's allocation.
+  {
+    serve::ResultMsg legal;
+    legal.request_id = 3;
+    legal.vector_count = 16;
+    legal.output_count = 0;
+    auto frame = decode(serve::encode_result(legal));
+    ASSERT_TRUE(frame.ok());
+    EXPECT_TRUE(serve::decode_result(*frame).ok());
+  }
+}
+
 TEST(ServeProtocol, NameRulesRejectSeparatorsAndOversizedNames) {
   EXPECT_TRUE(serve::validate_name("x", "A-ok_name.v2").ok());
   EXPECT_FALSE(serve::validate_name("x", "").ok());

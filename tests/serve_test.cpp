@@ -360,6 +360,91 @@ TEST(Serve, MalformedFramesFailCleanlyAndServerKeepsServing) {
   EXPECT_EQ(*result, serial_reference(parity, v));
 }
 
+TEST(Serve, HostileDimensionsAndCountsAreRejectedWithoutAllocation) {
+  const auto parity = compile_or_die(map::make_parity(5));
+  auto server = make_server(1, parity.fabric.rows(), parity.fabric.cols());
+
+  {
+    // A forged register header asking for a 0xFFFF x 0xFFFF fabric
+    // (hundreds of GB of blocks) is refused from the four dimension bytes
+    // alone — the session answers kInvalidArgument and keeps serving.
+    auto raw = serve::connect_tcp("127.0.0.1", server.port());
+    ASSERT_TRUE(raw.ok());
+    ASSERT_TRUE(raw->send_all(serve::encode_hello({.tenant = "evil"})).ok());
+    auto ack = serve::read_frame(*raw);
+    ASSERT_TRUE(ack.ok()) << ack.status().to_string();
+    ASSERT_EQ(ack->type, serve::MsgType::kHelloAck);
+
+    serve::RegisterDesignMsg huge;
+    huge.request_id = 1;
+    huge.design = "huge";
+    huge.rows = 0xFFFF;
+    huge.cols = 0xFFFF;
+    huge.bitstream = {1, 2, 3};
+    ASSERT_TRUE(raw->send_all(serve::encode_register_design(huge)).ok());
+    auto reply = serve::read_frame(*raw);
+    ASSERT_TRUE(reply.ok()) << reply.status().to_string();
+    ASSERT_EQ(reply->type, serve::MsgType::kError);
+    auto err = serve::decode_error(*reply);
+    ASSERT_TRUE(err.ok());
+    EXPECT_EQ(err->code, StatusCode::kInvalidArgument);
+    EXPECT_EQ(err->request_id, 1u);
+
+    // The session survives the refusal; a submit announcing 4.3e9
+    // zero-width vectors dies at decode with an error reply, not an
+    // allocation.
+    serve::SubmitBatchMsg bomb;
+    bomb.request_id = 2;
+    bomb.design = "huge";
+    bomb.vector_count = 0xFFFFFFFFu;
+    bomb.input_count = 0;
+    ASSERT_TRUE(raw->send_all(serve::encode_submit_batch(bomb)).ok());
+    auto refusal = serve::read_frame(*raw);
+    ASSERT_TRUE(refusal.ok()) << refusal.status().to_string();
+    EXPECT_EQ(refusal->type, serve::MsgType::kError);
+  }
+
+  // The server is untouched and still fully serving.
+  auto client = serve::Client::connect("127.0.0.1", server.port(), "acme");
+  ASSERT_TRUE(client.ok()) << client.status().to_string();
+  ASSERT_TRUE(client->register_design("parity", parity).ok());
+  const auto v = random_vectors(16, 5, 1);
+  auto result = client->run("parity", v);
+  ASSERT_TRUE(result.ok()) << result.status().to_string();
+  EXPECT_EQ(*result, serial_reference(parity, v));
+}
+
+TEST(Serve, ClientRejectsResultForADifferentBatchSize) {
+  // A lying server answers the submit with a structurally valid result
+  // whose vector_count is not the submitted batch size.  The client must
+  // fail the request instead of unpacking an allocation the server chose.
+  std::uint16_t port = 0;
+  auto listener = serve::listen_tcp("127.0.0.1", 0, &port);
+  ASSERT_TRUE(listener.ok()) << listener.status().to_string();
+  std::thread impostor([&] {
+    auto conn = serve::accept_tcp(*listener);
+    if (!conn.ok()) return;
+    if (!serve::read_frame(*conn).ok()) return;  // hello
+    (void)conn->send_all(serve::encode_hello_ack({.session_id = 1}));
+    auto submit = serve::read_frame(*conn);
+    if (!submit.ok()) return;
+    auto msg = serve::decode_submit_batch(*submit);
+    if (!msg.ok()) return;
+    serve::ResultMsg lie;
+    lie.request_id = msg->request_id;
+    lie.vector_count = msg->vector_count + 8;
+    lie.output_count = 1;
+    lie.planes.assign((lie.vector_count + 7) / 8, 0);
+    (void)conn->send_all(serve::encode_result(lie));
+  });
+
+  auto client = serve::Client::connect("127.0.0.1", port, "acme");
+  ASSERT_TRUE(client.ok()) << client.status().to_string();
+  auto result = client->run("d", random_vectors(16, 5, 1));
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+  impostor.join();
+}
+
 TEST(Serve, ClientSideValidationRejectsBadInputBeforeAnyBytesMove) {
   const auto parity = compile_or_die(map::make_parity(5));
   const auto counter = compile_or_die(map::make_counter(2));
@@ -379,6 +464,10 @@ TEST(Serve, ClientSideValidationRejectsBadInputBeforeAnyBytesMove) {
   EXPECT_EQ(client->submit("parity", ragged).status().code(),
             StatusCode::kInvalidArgument);
   EXPECT_EQ(client->submit("parity", {}).status().code(),
+            StatusCode::kInvalidArgument);
+  // Zero-width vectors never reach the wire either.
+  std::vector<InputVector> zero_width(3, InputVector{});
+  EXPECT_EQ(client->submit("parity", zero_width).status().code(),
             StatusCode::kInvalidArgument);
   // Width mismatches against the design surface as the server-side Status.
   auto wrong_width = client->run("parity", random_vectors(4, 3, 1));
