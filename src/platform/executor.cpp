@@ -72,24 +72,104 @@ constexpr std::size_t kLanes = sim::Evaluator::kBatchLanes;
   return Status();
 }
 
+/// The clocked counterpart of eval_granules: each granule packs whole
+/// stimulus *streams* (stream-major `stimulus[s * cycles + c]`) into the
+/// cycle-major SoA planes run_cycles speaks, runs every cycle with per-lane
+/// register state carried inside the engine's scratch, and unpacks one
+/// result vector per cycle.  Each granule starts from reset — streams are
+/// independent by contract, so sharded clones need no state exchange.
+[[nodiscard]] Status eval_cycle_granules(
+    sim::Evaluator& eval, std::span<const InputVector> stimulus,
+    std::size_t cycles, const std::vector<std::string>& output_names,
+    std::vector<BitVector>& results, std::size_t granule_begin,
+    std::size_t granule_end, std::size_t granule_words) {
+  const std::size_t nin = eval.input_count();
+  const std::size_t nout = eval.output_count();
+  const std::size_t streams = stimulus.size() / cycles;
+  const std::size_t granule_lanes = granule_words * kLanes;
+  std::vector<std::uint64_t> in_value(nin * cycles * granule_words);
+  const std::vector<std::uint64_t> in_unknown(nin * cycles * granule_words, 0);
+  std::vector<std::uint64_t> out_value(nout * cycles * granule_words);
+  std::vector<std::uint64_t> out_unknown(nout * cycles * granule_words);
+  for (std::size_t g = granule_begin; g < granule_end; ++g) {
+    const std::size_t s0 = g * granule_lanes;
+    const std::size_t lanes =
+        std::min<std::size_t>(granule_lanes, streams - s0);
+    const std::size_t words = (lanes + kLanes - 1) / kLanes;
+    std::fill(in_value.begin(), in_value.begin() + nin * cycles * words, 0);
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      const std::size_t word = lane / kLanes;
+      const std::uint64_t bit = std::uint64_t{1} << (lane % kLanes);
+      for (std::size_t c = 0; c < cycles; ++c) {
+        const InputVector& v = stimulus[(s0 + lane) * cycles + c];
+        for (std::size_t j = 0; j < nin; ++j)
+          if (v[j]) in_value[(c * nin + j) * words + word] |= bit;
+      }
+    }
+    if (Status s = eval.run_cycles(
+            std::span<const std::uint64_t>(in_value.data(),
+                                           nin * cycles * words),
+            std::span<const std::uint64_t>(in_unknown.data(),
+                                           nin * cycles * words),
+            std::span<std::uint64_t>(out_value.data(), nout * cycles * words),
+            std::span<std::uint64_t>(out_unknown.data(),
+                                     nout * cycles * words),
+            cycles, lanes);
+        !s.ok())
+      return s;
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      const std::size_t word = lane / kLanes;
+      const std::uint64_t bit = std::uint64_t{1} << (lane % kLanes);
+      for (std::size_t c = 0; c < cycles; ++c) {
+        BitVector& r = results[(s0 + lane) * cycles + c];
+        r.assign(nout, false);
+        for (std::size_t k = 0; k < nout; ++k) {
+          if (out_unknown[(c * nout + k) * words + word] & bit)
+            return Status::internal(
+                "run_cycles: output '" + output_names[k] +
+                "' settled to X at cycle " + std::to_string(c) +
+                " (unreset register state?)");
+          r[k] = (out_value[(c * nout + k) * words + word] & bit) != 0;
+        }
+      }
+    }
+  }
+  return Status();
+}
+
 }  // namespace
 
 BatchExecutor::BatchExecutor(const sim::Circuit& circuit,
                              std::vector<sim::NetId> in_nets,
                              std::vector<sim::NetId> out_nets,
                              std::vector<std::string> output_names,
-                             sim::LevelMap levels)
+                             sim::LevelMap levels,
+                             std::vector<sim::ExternalReg> regs)
     : circuit_(&circuit),
       in_nets_(std::move(in_nets)),
       out_nets_(std::move(out_nets)),
       output_names_(std::move(output_names)),
-      levels_(std::move(levels)) {}
+      levels_(std::move(levels)),
+      regs_(std::move(regs)) {
+  // Clocked bindings: declared external register loops, or any behavioural
+  // state-holding gate in the circuit itself.
+  sequential_ = !regs_.empty();
+  for (const sim::Gate& g : circuit.gates())
+    if (g.kind == sim::GateKind::kDff || g.kind == sim::GateKind::kLatch ||
+        g.kind == sim::GateKind::kCElement)
+      sequential_ = true;
+}
 
 Status BatchExecutor::ensure_compiled() {
   if (compiled_attempted_) return compiled_status_;
   compiled_attempted_ = true;
-  auto engine = sim::CompiledEval::compile(
-      *circuit_, in_nets_, out_nets_, levels_.empty() ? nullptr : &levels_);
+  auto engine =
+      sequential_
+          ? sim::CompiledEval::compile_sequential(
+                *circuit_, in_nets_, out_nets_, regs_,
+                levels_.empty() ? nullptr : &levels_)
+          : sim::CompiledEval::compile(*circuit_, in_nets_, out_nets_,
+                                       levels_.empty() ? nullptr : &levels_);
   if (!engine.ok()) {
     compiled_status_ = engine.status();
     return compiled_status_;
@@ -103,7 +183,8 @@ Result<sim::Evaluator*> BatchExecutor::ensure_event(std::uint64_t budget) {
     event_engine_->set_max_events(budget);
     return static_cast<sim::Evaluator*>(event_engine_.get());
   }
-  auto engine = sim::EventEval::create(*circuit_, in_nets_, out_nets_, budget);
+  auto engine =
+      sim::EventEval::create(*circuit_, in_nets_, out_nets_, budget, regs_);
   if (!engine.ok()) return engine.status();
   event_engine_ = std::make_unique<sim::EventEval>(std::move(*engine));
   return static_cast<sim::Evaluator*>(event_engine_.get());
@@ -113,6 +194,10 @@ Status BatchExecutor::compiled_engine_status() { return ensure_compiled(); }
 
 Result<std::vector<BitVector>> BatchExecutor::run(
     std::span<const InputVector> vectors, const RunOptions& options) {
+  if (sequential_)
+    return Status::failed_precondition(
+        "run_vectors: clocked design (register state) — vectors are cycles "
+        "of a stream, not independent; use run_cycles");
   const std::size_t nin = in_nets_.size();
   for (const InputVector& v : vectors)
     if (v.size() != nin)
@@ -156,6 +241,9 @@ Result<std::vector<BitVector>> BatchExecutor::run(
     const sim::CompiledEval::KernelStats after = compiled_->kernel_stats();
     stats_.fast_passes = after.fast_passes;
     stats_.slow_passes = after.slow_passes;
+    stats_.cycles_run = after.cycles_run;
+    stats_.state_commits = after.state_commits;
+    stats_.fast_cycle_passes = after.fast_cycle_passes;
     return after;
   };
   const auto finish = [&] {
@@ -218,6 +306,138 @@ Result<std::vector<BitVector>> BatchExecutor::run(
       const std::unique_ptr<sim::Evaluator> local = engine->clone();
       Status shard_status = eval_granules(*local, vectors, output_names_,
                                           results, begin, end, gwords);
+      {
+        const std::lock_guard<std::mutex> lock(done_mutex);
+        if (!shard_status.ok() && first_error.ok())
+          first_error = std::move(shard_status);
+        --remaining;
+      }
+      done_cv.notify_one();
+    });
+  }
+  {
+    std::unique_lock<std::mutex> lock(done_mutex);
+    done_cv.wait(lock, [&] { return remaining == 0; });
+  }
+  if (!first_error.ok()) {
+    sync_pass_totals();
+    return first_error;
+  }
+  finish();
+  return results;
+}
+
+Result<std::vector<BitVector>> BatchExecutor::run_cycles(
+    std::span<const InputVector> stimulus, std::size_t cycles,
+    const RunOptions& options) {
+  const std::size_t nin = in_nets_.size();
+  if (cycles < 1)
+    return Status::invalid_argument("run_cycles: cycles must be >= 1");
+  if (stimulus.size() % cycles != 0)
+    return Status::invalid_argument(
+        "run_cycles: " + std::to_string(stimulus.size()) +
+        " stimulus vectors do not divide into whole " +
+        std::to_string(cycles) + "-cycle streams");
+  for (const InputVector& v : stimulus)
+    if (v.size() != nin)
+      return Status::invalid_argument(
+          "run_cycles: every vector must have " + std::to_string(nin) +
+          " input values");
+
+  std::vector<BitVector> results(stimulus.size());
+  if (stimulus.empty()) return results;
+  const std::size_t streams = stimulus.size() / cycles;
+
+  // Engine selection mirrors run(): kAuto prefers the compiled sequential
+  // program, falling back to the event engine's per-lane cycle protocol
+  // when compile_sequential rejects the design (async handshakes, derived
+  // clocks, dynamic tri-state); kCompiled surfaces that rejection.
+  sim::Evaluator* engine = nullptr;
+  if (options.engine != Engine::kEventDriven) {
+    const Status s = ensure_compiled();
+    if (s.ok()) {
+      engine = compiled_.get();
+    } else if (options.engine == Engine::kCompiled) {
+      return s;
+    }
+  }
+  if (!engine) {
+    auto ev = ensure_event(options.max_events_per_vector);
+    if (!ev.ok()) return ev.status();
+    engine = *ev;
+  }
+  ++stats_.runs;
+  const bool on_compiled = engine == compiled_.get();
+  ++(on_compiled ? stats_.compiled_runs : stats_.event_runs);
+  const sim::CompiledEval::KernelStats passes_before =
+      on_compiled ? compiled_->kernel_stats() : sim::CompiledEval::KernelStats{};
+
+  const auto sync_pass_totals = [&]() -> sim::CompiledEval::KernelStats {
+    if (!on_compiled) return {};
+    const sim::CompiledEval::KernelStats after = compiled_->kernel_stats();
+    stats_.fast_passes = after.fast_passes;
+    stats_.slow_passes = after.slow_passes;
+    stats_.cycles_run = after.cycles_run;
+    stats_.state_commits = after.state_commits;
+    stats_.fast_cycle_passes = after.fast_cycle_passes;
+    return after;
+  };
+  const auto finish = [&] {
+    const sim::CompiledEval::KernelStats after = sync_pass_totals();
+    stats_.vectors_run += stimulus.size();
+    last_run_ = {};
+    last_run_.runs = 1;
+    ++(on_compiled ? last_run_.compiled_runs : last_run_.event_runs);
+    last_run_.vectors_run = stimulus.size();
+    last_run_.fast_passes = after.fast_passes - passes_before.fast_passes;
+    last_run_.slow_passes = after.slow_passes - passes_before.slow_passes;
+    last_run_.cycles_run = after.cycles_run - passes_before.cycles_run;
+    last_run_.state_commits =
+        after.state_commits - passes_before.state_commits;
+    last_run_.fast_cycle_passes =
+        after.fast_cycle_passes - passes_before.fast_cycle_passes;
+  };
+
+  // Granules span whole streams (the lane axis); every stream of a granule
+  // runs all its cycles in one engine call, so register state never leaves
+  // the engine's scratch planes.  Sharding follows run(): whole granules
+  // per worker, granule width shrunk so no core idles on mid-size batches.
+  util::ThreadPool& pool = util::global_pool();
+  std::size_t workers =
+      options.max_threads == 0 ? pool.worker_count() : options.max_threads;
+  std::size_t gwords = std::max<std::size_t>(1, engine->preferred_words());
+  const std::size_t total_words = (streams + kLanes - 1) / kLanes;
+  if (workers > 1 && gwords > 1)
+    gwords = std::max<std::size_t>(
+        1, std::min(gwords, (total_words + workers - 1) / workers));
+  const std::size_t glanes = gwords * kLanes;
+  const std::size_t ngranules = (streams + glanes - 1) / glanes;
+  workers = std::min(workers, ngranules);
+
+  if (workers <= 1) {
+    if (Status s = eval_cycle_granules(*engine, stimulus, cycles,
+                                       output_names_, results, 0, ngranules,
+                                       gwords);
+        !s.ok()) {
+      sync_pass_totals();
+      return s;
+    }
+    finish();
+    return results;
+  }
+
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  Status first_error;
+  const std::size_t chunk = (ngranules + workers - 1) / workers;
+  std::size_t remaining = (ngranules + chunk - 1) / chunk;
+  for (std::size_t begin = 0; begin < ngranules; begin += chunk) {
+    const std::size_t end = std::min(begin + chunk, ngranules);
+    pool.submit([&, begin, end] {
+      const std::unique_ptr<sim::Evaluator> local = engine->clone();
+      Status shard_status = eval_cycle_granules(
+          *local, stimulus, cycles, output_names_, results, begin, end,
+          gwords);
       {
         const std::lock_guard<std::mutex> lock(done_mutex);
         if (!shard_status.ok() && first_error.ok())

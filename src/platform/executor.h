@@ -75,6 +75,13 @@ struct ExecutorStats {
   std::uint64_t fast_passes = 0;
   /// Compiled-engine kernel passes that ran the full two-plane kernel.
   std::uint64_t slow_passes = 0;
+  /// Clock cycles executed by the compiled sequential kernel (per pass
+  /// group; see sim::CompiledEval::KernelStats::cycles_run).
+  std::uint64_t cycles_run = 0;
+  /// Register captures committed at clock edges by the compiled kernel.
+  std::uint64_t state_commits = 0;
+  /// Compiled sequential cycles that rode the single-plane fast path.
+  std::uint64_t fast_cycle_passes = 0;
 };
 
 /// Pack a batch of equal-width vectors into structure-of-arrays bit
@@ -108,9 +115,14 @@ class BatchExecutor {
   /// nets are validated by the engines on first use.  `output_names` label
   /// outputs in diagnostics; `levels` optionally reuses a previously
   /// computed levelization of the same circuit (empty = recompute).
+  /// `regs` declares external register loops (platform boundary registers;
+  /// see sim::ExternalReg) that run_cycles closes at each clock edge — a
+  /// design with behavioural state gates or a non-empty `regs` is *clocked*
+  /// and evaluates through run_cycles instead of run.
   BatchExecutor(const sim::Circuit& circuit, std::vector<sim::NetId> in_nets,
                 std::vector<sim::NetId> out_nets,
-                std::vector<std::string> output_names, sim::LevelMap levels);
+                std::vector<std::string> output_names, sim::LevelMap levels,
+                std::vector<sim::ExternalReg> regs = {});
 
   /// Moves transfer the cached engines; the moved-from executor may only
   /// be destroyed or assigned to.
@@ -131,10 +143,32 @@ class BatchExecutor {
   [[nodiscard]] Result<std::vector<BitVector>> run(
       std::span<const InputVector> vectors, const RunOptions& options = {});
 
+  /// Evaluate clocked batches: `stimulus` holds independent stimulus
+  /// *streams* of `cycles` vectors each, stream-major (stream s's cycle c
+  /// is `stimulus[s * cycles + c]`; `stimulus.size()` must be a multiple of
+  /// `cycles`).  Every stream starts from reset (behavioural registers X,
+  /// external registers at their declared value), runs `cycles` clock
+  /// cycles, and yields one result vector per cycle in the same layout.
+  /// Streams pack into SoA lane granules and shard across the pool exactly
+  /// like run(): per-lane register files are independent, so a clone
+  /// carries its shard's state in its own scratch planes.  Combinational
+  /// designs are accepted (each cycle is an independent evaluation).  An
+  /// output that settles to X in any cycle fails with kInternal — clocked
+  /// designs surface power-on X unless the stimulus asserts their reset in
+  /// early cycles.
+  [[nodiscard]] Result<std::vector<BitVector>> run_cycles(
+      std::span<const InputVector> stimulus, std::size_t cycles,
+      const RunOptions& options = {});
+
   /// Status of the bit-parallel compiled engine for this binding: OK when
   /// Engine::kAuto will use it, else why CompiledEval rejected the circuit.
-  /// Builds and caches the engine on first call.
+  /// Builds and caches the engine on first call.  For a clocked binding
+  /// this is the *sequential* compilation (the engine run_cycles uses).
   [[nodiscard]] Status compiled_engine_status();
+
+  /// True when this binding is clocked (behavioural state gates or
+  /// declared external registers): run() rejects it, run_cycles drives it.
+  [[nodiscard]] bool sequential() const noexcept { return sequential_; }
 
   /// Number of bound input nets (the width every stimulus vector must have).
   [[nodiscard]] std::size_t input_count() const noexcept {
@@ -172,6 +206,8 @@ class BatchExecutor {
   std::vector<sim::NetId> out_nets_;
   std::vector<std::string> output_names_;
   sim::LevelMap levels_;
+  std::vector<sim::ExternalReg> regs_;
+  bool sequential_ = false;
 
   bool compiled_attempted_ = false;
   Status compiled_status_;

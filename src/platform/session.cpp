@@ -36,17 +36,119 @@ struct Session::Impl {
 
   // The batch core: engine selection/caching and sharded evaluation live in
   // BatchExecutor (shared with the rt runtime), built lazily on first batch
-  // use.  Its engines are independent of `sim`, so run_vectors never
-  // disturbs the session's interactive state.  Levelization recorded by the
-  // compiler is handed through (empty when unavailable).
+  // use.  Its engines are independent of `sim`, so run_vectors/run_cycles
+  // never disturb the session's interactive state.  Levelization recorded
+  // by the compiler is handed through (empty when unavailable).
   sim::LevelMap levels;
   std::optional<BatchExecutor> executor;
 
+  // Compiled fast path for step(): a private one-lane sequential engine
+  // whose output list appends every boundary register's D net, so each
+  // step both checks the captured values (step's kInternal-on-X contract)
+  // and records the register file needed to resynchronize `sim` later.
+  // The interactive simulator goes stale while stepping compiled
+  // (sim_stale); peek resyncs it lazily, and poke / manual settle /
+  // simulator() access pins the session to the event path (step_fallback)
+  // because interactive drives are outside the compiled step's contract.
+  std::optional<sim::CompiledEval> step_engine;
+  bool step_engine_attempted = false;
+  bool step_started = false;   ///< carried state in step_engine is live
+  bool sim_stale = false;      ///< `sim` lags the compiled step state
+  bool step_fallback = false;  ///< interactive API used; event path only
+  std::vector<bool> last_inputs;  ///< inputs of the last compiled step
+  std::vector<bool> reg_state;    ///< register values after the last edge
+
   [[nodiscard]] BatchExecutor& exec() {
-    if (!executor)
+    if (!executor) {
+      std::vector<sim::ExternalReg> regs;
+      regs.reserve(state.size());
+      for (const StateElem& se : state)
+        regs.push_back({se.q, se.d, sim::Logic::k0});
       executor.emplace(*circuit, input_nets, output_nets, output_names,
-                       std::move(levels));
+                       std::move(levels), std::move(regs));
+    }
     return *executor;
+  }
+
+  // Build (once) the step engine; false when the design is outside the
+  // compiled engine's sequential subset (async handshake gates, derived
+  // clocks, dynamic tri-state) — step then stays on the event path.
+  [[nodiscard]] bool ensure_step_engine() {
+    if (step_engine_attempted) return step_engine.has_value();
+    step_engine_attempted = true;
+    std::vector<sim::NetId> step_outs = output_nets;
+    std::vector<sim::ExternalReg> regs;
+    regs.reserve(state.size());
+    for (const StateElem& se : state) {
+      step_outs.push_back(se.d);
+      regs.push_back({se.q, se.d, sim::Logic::k0});
+    }
+    // One lane per call: a single-word scratch keeps the kernel from
+    // sweeping the full default 512-lane width for one vector.  The
+    // executor's levelization handoff may already have consumed `levels`;
+    // compile recomputes in that case.
+    auto engine = sim::CompiledEval::compile_sequential(
+        *circuit, input_nets, std::move(step_outs), std::move(regs),
+        levels.empty() ? nullptr : &levels,
+        sim::CompiledEval::CompileOptions{.wide_words = 1});
+    if (engine.ok()) step_engine.emplace(std::move(*engine));
+    return step_engine.has_value();
+  }
+
+  // Bring the interactive simulator up to date with the compiled step
+  // state: re-drive the last stepped inputs and the post-edge register
+  // file, then settle.  No-op when `sim` is already current.
+  void resync_sim() {
+    if (!sim_stale) return;
+    for (std::size_t j = 0; j < last_inputs.size(); ++j)
+      sim->set_input(input_nets[j], sim::from_bool(last_inputs[j]));
+    for (std::size_t s = 0; s < state.size(); ++s)
+      sim->set_input(state[s].q, sim::from_bool(reg_state[s]));
+    sim->settle();
+    sim_stale = false;
+  }
+
+  // One compiled step: one cycle on one lane with the register file carried
+  // in the engine's state planes.  nullopt → engine unavailable, caller
+  // takes the event path.  On an X output or X capture the Status is
+  // returned and last_inputs/reg_state stay at the last *successful* step
+  // (a later resync restores that consistent view).
+  [[nodiscard]] std::optional<Result<BitVector>> compiled_step(
+      const InputVector& inputs) {
+    if (!ensure_step_engine()) return std::nullopt;
+    const std::size_t nout = output_nets.size();
+    const std::size_t ntot = nout + state.size();
+    std::vector<std::uint64_t> in_value(input_nets.size(), 0);
+    const std::vector<std::uint64_t> in_unknown(input_nets.size(), 0);
+    std::vector<std::uint64_t> out_value(ntot);
+    std::vector<std::uint64_t> out_unknown(ntot);
+    for (std::size_t j = 0; j < inputs.size(); ++j)
+      if (inputs[j]) in_value[j] = 1;
+    if (Status s = step_engine->run_cycles(in_value, in_unknown, out_value,
+                                           out_unknown, /*cycles=*/1,
+                                           /*lanes=*/1,
+                                           /*reset=*/!step_started);
+        !s.ok())
+      return Result<BitVector>(std::move(s));
+    step_started = true;
+    BitVector out(nout);
+    for (std::size_t k = 0; k < nout; ++k) {
+      if ((out_unknown[k] & 1) != 0)
+        return Result<BitVector>(Status::internal(
+            "step: output '" + output_names[k] + "' settled to X"));
+      out[k] = (out_value[k] & 1) != 0;
+    }
+    std::vector<bool> regs(state.size());
+    for (std::size_t s = 0; s < state.size(); ++s) {
+      if ((out_unknown[nout + s] & 1) != 0)
+        return Result<BitVector>(Status::internal(
+            "step: register '" + state[s].name + "' captured X"));
+      regs[s] = (out_value[nout + s] & 1) != 0;
+    }
+    last_inputs = inputs;
+    reg_state = std::move(regs);
+    sim_stale = true;
+    return Result<BitVector>(std::move(out));
   }
 
   [[nodiscard]] Result<sim::NetId> net_of(const map::SignalAt& at) const {
@@ -200,6 +302,11 @@ Status Session::poke_logic(std::string_view name, sim::Logic value) {
   if (it == impl_->pokeable.end())
     return Status::not_found("poke: no input port named '" +
                              std::string(name) + "'");
+  // An interactive drive (possibly X/Z, possibly onto a register pad) is
+  // outside the compiled step's contract: sync the simulator and pin the
+  // session to the event path.
+  impl_->resync_sim();
+  impl_->step_fallback = true;
   impl_->sim->set_input(it->second, value);
   return Status();
 }
@@ -209,6 +316,7 @@ Result<sim::Logic> Session::peek(std::string_view name) const {
   if (it == impl_->by_name.end())
     return Status::not_found("peek: no port named '" + std::string(name) +
                              "'");
+  impl_->resync_sim();
   return impl_->sim->value(it->second);
 }
 
@@ -222,6 +330,10 @@ Result<bool> Session::peek_bool(std::string_view name) const {
 }
 
 Status Session::settle(std::uint64_t max_events) {
+  // A manual settle means the caller is driving the simulator directly —
+  // same interactive contract as poke, so the compiled step path retires.
+  impl_->resync_sim();
+  impl_->step_fallback = true;
   if (!impl_->sim->settle(max_events))
     return Status::resource_exhausted(
         "settle: event budget exhausted (oscillation?)");
@@ -233,6 +345,10 @@ Result<BitVector> Session::step(const InputVector& inputs) {
     return Status::invalid_argument(
         "step: expected " + std::to_string(impl_->input_nets.size()) +
         " input values, got " + std::to_string(inputs.size()));
+  if (!impl_->step_fallback) {
+    if (auto r = impl_->compiled_step(inputs)) return std::move(*r);
+  }
+  impl_->resync_sim();
   for (std::size_t j = 0; j < inputs.size(); ++j)
     impl_->sim->set_input(impl_->input_nets[j], sim::from_bool(inputs[j]));
   if (Status s = settle(); !s.ok()) return s;
@@ -271,11 +387,13 @@ Result<std::vector<BitVector>> Session::run_vectors(
   return impl_->exec().run(vectors, options);
 }
 
+Result<std::vector<BitVector>> Session::run_cycles(
+    std::span<const InputVector> stimulus, std::size_t cycles,
+    const RunOptions& options) {
+  return impl_->exec().run_cycles(stimulus, cycles, options);
+}
+
 Status Session::compiled_engine_status() {
-  if (!impl_->state.empty())
-    return Status::failed_precondition(
-        "compiled engine: sequential design — boundary-register state "
-        "needs step()");
   return impl_->exec().compiled_engine_status();
 }
 
@@ -298,7 +416,13 @@ Result<sim::NetId> Session::net(std::string_view name) const {
     return Status::not_found("net: no port named '" + std::string(name) + "'");
   return it->second;
 }
-sim::Simulator& Session::simulator() { return *impl_->sim; }
+sim::Simulator& Session::simulator() {
+  // Handing out the raw simulator is the strongest interactive contract:
+  // sync it and keep every future step on the event path.
+  impl_->resync_sim();
+  impl_->step_fallback = true;
+  return *impl_->sim;
+}
 const sim::Circuit& Session::circuit() const { return *impl_->circuit; }
 
 }  // namespace pp::platform

@@ -11,7 +11,10 @@
 // Sequential designs (DFF boundary registers, DESIGN.md §6) advance with
 // `step`: combinational settle, outputs sampled, then the captured D values
 // are driven back onto the Q pads — the register loop closes at the array
-// edge.
+// edge.  `step` rides the compiled sequential engine when the design
+// supports it, and `run_cycles` is the batch counterpart: whole stimulus
+// streams evaluated as SoA lanes with per-lane register files
+// (DESIGN.md §13).
 //
 // `run_vectors` is the throughput path, and the session is the thin
 // synchronous convenience over the same machinery the pp::rt device runtime
@@ -97,7 +100,28 @@ class Session {
   /// One synchronous cycle of a sequential design: drive `inputs` (netlist
   /// input order), settle, sample outputs, then capture every DFF's D into
   /// its boundary register.  Matches map::Netlist::step's semantics.
+  ///
+  /// When the bit-parallel compiled engine accepts the design, step rides a
+  /// private one-lane sequential compilation that carries the register file
+  /// across calls; the interactive event simulator is resynchronized lazily
+  /// the first time peek/settle/simulator is used, and any poke or manual
+  /// settle pins the session to the event path from then on (interactive
+  /// X/Z injection is outside the compiled step's two-valued contract).
   [[nodiscard]] Result<BitVector> step(const InputVector& inputs);
+
+  /// Evaluate clocked batches: `stimulus` holds independent stimulus
+  /// *streams* of `cycles` vectors each, stream-major (stream s's cycle c
+  /// is `stimulus[s * cycles + c]`); one result vector per cycle comes back
+  /// in the same layout.  Every stream starts from reset (boundary
+  /// registers 0, exactly like a freshly loaded session), so a stream of
+  /// `cycles` vectors yields what `cycles` step() calls on a fresh session
+  /// would — but batched into SoA lane granules and sharded across the
+  /// thread pool, with per-lane register files carried inside the engine.
+  /// The session's interactive simulator is never disturbed.  An output
+  /// that settles to X in any cycle fails with kInternal (as step would).
+  [[nodiscard]] Result<std::vector<BitVector>> run_cycles(
+      std::span<const InputVector> stimulus, std::size_t cycles,
+      const RunOptions& options = {});
 
   /// Evaluate many independent stimulus vectors (netlist input order) and
   /// return the outputs (netlist output order) for each.  Combinational
@@ -114,7 +138,8 @@ class Session {
   /// Status of the bit-parallel compiled engine for this design: OK when
   /// Engine::kAuto will use it, else why CompiledEval rejected the design
   /// (the reason Engine::kCompiled would fail).  Builds and caches the
-  /// engine on first call.
+  /// engine on first call.  For a sequential design this is the
+  /// *sequential* compilation — the engine step and run_cycles ride.
   [[nodiscard]] Status compiled_engine_status();
 
   /// Batch-run accounting for this session (runs, vectors evaluated, which
@@ -125,8 +150,8 @@ class Session {
   [[nodiscard]] const std::vector<std::string>& input_names() const;
   /// Bound output port names, in netlist output order.
   [[nodiscard]] const std::vector<std::string>& output_names() const;
-  /// True when the design has DFF boundary registers (drive it with step;
-  /// run_vectors is rejected).
+  /// True when the design has DFF boundary registers (drive it with step
+  /// or run_cycles; run_vectors is rejected).
   [[nodiscard]] bool sequential() const;
 
   /// Resolve a bound port name to its simulator net (for waveforms and

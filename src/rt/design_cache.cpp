@@ -58,6 +58,18 @@ Result<std::shared_ptr<ResidentDesign>> ResidentDesign::create(
     out_nets.push_back(*net);
     output_names.push_back(p.name);
   }
+  // Boundary registers become external register loops (reset 0, the
+  // Netlist::make_state convention): the executor's run_cycles closes them
+  // at each clock edge, so clocked designs are resident like any other.
+  std::vector<sim::ExternalReg> regs;
+  regs.reserve(rd->design_.state.size());
+  for (const platform::StateBinding& sb : rd->design_.state) {
+    auto q = net_of(*rd->elab_, sb.q_pad);
+    if (!q.ok()) return q.status();
+    auto d = net_of(*rd->elab_, sb.d_at);
+    if (!d.ok()) return d.status();
+    regs.push_back({*q, *d, sim::Logic::k0});
+  }
 
   // Recover the levelization once at load: the compiler's recorded levels
   // survive only when no padding re-shaped the circuit (pad_to drops them);
@@ -71,7 +83,7 @@ Result<std::shared_ptr<ResidentDesign>> ResidentDesign::create(
 
   rd->executor_ = std::make_unique<platform::BatchExecutor>(
       rd->elab_->circuit(), std::move(in_nets), std::move(out_nets),
-      std::move(output_names), std::move(levels));
+      std::move(output_names), std::move(levels), std::move(regs));
   return rd;
 }
 

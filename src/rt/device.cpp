@@ -167,7 +167,10 @@ struct Device::Impl {
       bool swapped = false;
       status = activate_locked(rd, swapped);
       if (status.ok()) {
-        auto run = rd->executor().run(job.vectors, job.options.run);
+        auto run = job.options.cycles > 0
+                       ? rd->executor().run_cycles(
+                             job.vectors, job.options.cycles, job.options.run)
+                       : rd->executor().run(job.vectors, job.options.run);
         if (run.ok())
           results = std::move(*run);
         else
@@ -181,6 +184,9 @@ struct Device::Impl {
           const platform::ExecutorStats& lr = rd->executor().last_run_stats();
           stats.fast_passes += lr.fast_passes;
           stats.slow_passes += lr.slow_passes;
+          stats.cycles_run += lr.cycles_run;
+          stats.state_commits += lr.state_commits;
+          stats.fast_cycle_passes += lr.fast_cycle_passes;
         }
       }
     }
@@ -310,10 +316,16 @@ Result<Job> Device::submit(std::string_view name,
   if (!rd)
     return Status::not_found("submit: no resident design named '" +
                              std::string(name) + "'");
-  if (rd->sequential())
+  if (rd->sequential() && options.cycles == 0)
     return Status::failed_precondition(
-        "submit: sequential design — boundary-register state needs an "
-        "interactive Session (open_session) and step()");
+        "submit: sequential design — boundary-register state makes vectors "
+        "cycles of a stream, not independent; submit with "
+        "SubmitOptions::cycles, or open_session() for cycle-by-cycle step()");
+  if (options.cycles > 0 && vectors.size() % options.cycles != 0)
+    return Status::invalid_argument(
+        "submit: " + std::to_string(vectors.size()) +
+        " vectors do not divide into whole " +
+        std::to_string(options.cycles) + "-cycle streams");
   const std::size_t nin = rd->executor().input_count();
   for (const InputVector& v : vectors)
     if (v.size() != nin)

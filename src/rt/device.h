@@ -22,10 +22,13 @@
 //    the active personality (oldest-first within a design, strict FIFO
 //    across personalities otherwise), batching same-design bursts to
 //    amortize reconfiguration.
-//  * platform::Session stays the synchronous convenience: `open_session`
-//    hands out an interactive session for any resident design (needed for
-//    sequential designs, which hold boundary-register state and therefore
-//    cannot ride the independent-vector job path).
+//  * Clocked designs ride the same job path: a submission with
+//    SubmitOptions::cycles > 0 treats its vectors as independent stimulus
+//    *streams* of that many cycles each, evaluated by the resident
+//    executor's run_cycles with per-lane register files (DESIGN.md §13).
+//    platform::Session stays the synchronous convenience: `open_session`
+//    hands out an interactive session for any resident design (cycle-by-
+//    cycle step(), waveforms, X injection).
 //
 // Thread-safety: every public method is safe to call from any thread.  The
 // destructor cancels still-queued jobs (waking their waiters), finishes the
@@ -90,6 +93,13 @@ struct DeviceStats {
   std::uint64_t fast_passes = 0;
   /// Compiled-engine kernel passes that ran the full two-plane kernel.
   std::uint64_t slow_passes = 0;
+  /// Clock cycles executed by clocked jobs' compiled kernels (see
+  /// platform::ExecutorStats::cycles_run).
+  std::uint64_t cycles_run = 0;
+  /// Register captures committed at clock edges by clocked jobs.
+  std::uint64_t state_commits = 0;
+  /// Compiled sequential cycles that rode the single-plane fast path.
+  std::uint64_t fast_cycle_passes = 0;
 };
 
 /// One polymorphic array under runtime control: designs are made resident
@@ -173,10 +183,14 @@ class Device {
   /// design's bitstream to check a personality landed exactly.
   [[nodiscard]] core::Fabric personality() const;
 
-  /// Enqueue a batch of stimulus vectors against a resident combinational
-  /// design.  Fails fast (before queueing) with kNotFound for an unknown
-  /// design, kFailedPrecondition for a sequential one, kInvalidArgument on
-  /// a vector-width mismatch.  The returned Job completes asynchronously;
+  /// Enqueue a batch of stimulus vectors against a resident design.  With
+  /// SubmitOptions::cycles == 0 the vectors are independent combinational
+  /// stimuli; with cycles > 0 they are stream-major clocked streams (see
+  /// SubmitOptions::cycles).  Fails fast (before queueing) with kNotFound
+  /// for an unknown design, kFailedPrecondition for a sequential design
+  /// submitted without cycles, kInvalidArgument on a vector-width mismatch
+  /// or a batch that does not divide into whole streams.  The returned Job
+  /// completes asynchronously;
   /// options carry the run knobs plus the scheduling class and optional
   /// deadline (expired at dispatch → the job completes with
   /// kDeadlineExceeded without running).

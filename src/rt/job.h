@@ -46,6 +46,13 @@ enum class Priority : std::uint8_t {
 struct SubmitOptions {
   /// Engine/sharding knobs for the job's batch run (platform::RunOptions).
   platform::RunOptions run{};
+  /// Clocked submission: non-zero means the job's vectors are independent
+  /// stimulus *streams* of `cycles` vectors each, stream-major
+  /// (vectors.size() must be a multiple of `cycles`); each stream starts
+  /// from reset and yields one result vector per cycle.  0 (the default)
+  /// submits independent combinational vectors.  Sequential designs
+  /// require a non-zero cycle count; combinational designs accept either.
+  std::size_t cycles = 0;
   /// Scheduling class; interactive jobs jump batch jobs in the queue.
   Priority priority = Priority::kBatch;
   /// Absolute deadline.  A job whose deadline has expired when the

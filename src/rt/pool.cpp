@@ -213,10 +213,16 @@ Result<Job> DevicePool::submit(std::string_view name,
     // Fail fast before any scheduling side effect (the device would reject
     // these too, but a rejected job must not move the hot-streak counter or
     // trigger a replication).
-    if (!entry.padded.state.empty())
+    if (!entry.padded.state.empty() && options.cycles == 0)
       return Status::failed_precondition(
           "DevicePool::submit: sequential design — boundary-register state "
-          "needs an interactive Session (open_session) and step()");
+          "makes vectors cycles of a stream; submit with "
+          "SubmitOptions::cycles, or open_session() for step()");
+    if (options.cycles > 0 && vectors.size() % options.cycles != 0)
+      return Status::invalid_argument(
+          "DevicePool::submit: " + std::to_string(vectors.size()) +
+          " vectors do not divide into whole " +
+          std::to_string(options.cycles) + "-cycle streams");
     const std::size_t nin = entry.padded.inputs.size();
     for (const InputVector& v : vectors)
       if (v.size() != nin)
@@ -346,6 +352,9 @@ PoolStats DevicePool::stats() const {
     out.device.push_back(device.stats());
     out.fast_passes += out.device.back().fast_passes;
     out.slow_passes += out.device.back().slow_passes;
+    out.cycles_run += out.device.back().cycles_run;
+    out.state_commits += out.device.back().state_commits;
+    out.fast_cycle_passes += out.device.back().fast_cycle_passes;
   }
   return out;
 }

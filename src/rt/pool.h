@@ -81,6 +81,12 @@ struct PoolStats {
   std::uint64_t fast_passes = 0;
   /// Fleet total of DeviceStats::slow_passes (two-plane kernel passes).
   std::uint64_t slow_passes = 0;
+  /// Fleet total of DeviceStats::cycles_run (clocked-job kernel cycles).
+  std::uint64_t cycles_run = 0;
+  /// Fleet total of DeviceStats::state_commits (clock-edge captures).
+  std::uint64_t state_commits = 0;
+  /// Fleet total of DeviceStats::fast_cycle_passes (single-plane cycles).
+  std::uint64_t fast_cycle_passes = 0;
   std::vector<std::uint64_t> jobs_per_device;  ///< submits routed per device
   std::vector<std::size_t> queue_depths;  ///< per-device depth at snapshot
   std::vector<DeviceStats> device;        ///< per-device runtime counters
@@ -137,9 +143,11 @@ class DevicePool {
   /// Route a batch of stimulus vectors to a device by design affinity
   /// (active > resident > least-loaded tie-break) and enqueue it there.
   /// Validation mirrors Device::submit: kNotFound for an unregistered
-  /// design, kFailedPrecondition for a sequential one, kInvalidArgument on
-  /// a vector-width mismatch — all before queueing.  The options carry the
-  /// run knobs plus the scheduling class and optional deadline (see
+  /// design, kFailedPrecondition for a sequential design submitted without
+  /// SubmitOptions::cycles, kInvalidArgument on a vector-width mismatch or
+  /// a batch that does not divide into whole streams — all before
+  /// queueing.  The options carry the run knobs, the clocked-stream cycle
+  /// count, the scheduling class, and an optional deadline (see
   /// rt::SubmitOptions).  The returned Job is the same handle
   /// Device::submit yields; it stays valid after the pool dies (jobs are
   /// completed or canceled first, never leaked).
@@ -166,9 +174,10 @@ class DevicePool {
   /// retired).
   void drain();
 
-  /// An interactive synchronous Session over a registered design (needed
-  /// for sequential designs, which the job path rejects).  The session is
-  /// independent of every device's personality.
+  /// An interactive synchronous Session over a registered design (cycle-
+  /// by-cycle step(), waveforms, X injection — the job path handles clocked
+  /// batches via SubmitOptions::cycles).  The session is independent of
+  /// every device's personality.
   [[nodiscard]] Result<platform::Session> open_session(
       std::string_view name) const;
 

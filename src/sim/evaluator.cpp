@@ -90,6 +90,17 @@ Status Evaluator::eval_wide(std::span<const std::uint64_t> in_value,
   return Status();
 }
 
+Status Evaluator::run_cycles(std::span<const std::uint64_t> /*in_value*/,
+                             std::span<const std::uint64_t> /*in_unknown*/,
+                             std::span<std::uint64_t> /*out_value*/,
+                             std::span<std::uint64_t> /*out_unknown*/,
+                             std::size_t /*cycles*/, std::size_t /*lanes*/,
+                             bool /*reset*/) {
+  return Status::failed_precondition(
+      std::string("run_cycles: engine '") + name() +
+      "' has no sequential entry point");
+}
+
 // ---------------------------------------------------------------------------
 // Levelization
 // ---------------------------------------------------------------------------
@@ -151,11 +162,56 @@ Result<LevelMap> levelize(const Circuit& circuit) {
   }
 
   if (lm.order.size() != ngates) {
+    // Diagnose the cycle: re-run the sort with every edge *out of* a
+    // state-holding gate (DFF/latch/C-element) removed.  If that completes,
+    // every loop closes only at a register output — a clocked design, not a
+    // combinational cycle — and the caller should reach for the sequential
+    // compiled engine (or the event engine) instead.  If it still stalls,
+    // the netlist has a genuine combinational cycle.
+    const auto is_state_gate = [&](GateId g) {
+      const GateKind k = circuit.gate(g).kind;
+      return k == GateKind::kDff || k == GateKind::kLatch ||
+             k == GateKind::kCElement;
+    };
+    std::vector<std::uint32_t> cut_indegree(ngates, 0);
     for (GateId g = 0; g < ngates; ++g)
-      if (indegree[g] != 0)
+      for (NetId in : circuit.gate(g).inputs)
+        for (GateId d : drivers[in])
+          if (!is_state_gate(d)) ++cut_indegree[g];
+    std::vector<GateId> cut_ready;
+    for (GateId g = 0; g < ngates; ++g)
+      if (cut_indegree[g] == 0) cut_ready.push_back(g);
+    for (std::size_t head = 0; head < cut_ready.size(); ++head) {
+      const GateId g = cut_ready[head];
+      if (is_state_gate(g)) continue;  // its out-edges were never counted
+      for (GateId r : readers[circuit.gate(g).output])
+        if (--cut_indegree[r] == 0) cut_ready.push_back(r);
+    }
+    if (cut_ready.size() == ngates) {
+      for (GateId g = 0; g < ngates; ++g)
+        if (indegree[g] != 0 && is_state_gate(g))
+          return Status::failed_precondition(
+              "levelize: sequential feedback loop through register output "
+              "net " +
+              net_label(circuit, circuit.gate(g).output) +
+              " — every cycle closes at a state-holding gate "
+              "(DFF/latch/C-element), so this is a clocked design; use "
+              "CompiledEval::compile_sequential or the event-driven engine");
+      // Unreachable in practice (a register-broken stall always leaves a
+      // state gate stuck), but keep a diagnostic rather than fall through.
+      for (GateId g = 0; g < ngates; ++g)
+        if (indegree[g] != 0)
+          return Status::failed_precondition(
+              "levelize: sequential feedback loop through net " +
+              net_label(circuit, circuit.gate(g).output));
+    }
+    for (GateId g = 0; g < ngates; ++g)
+      if (cut_indegree[g] != 0)
         return Status::failed_precondition(
-            "levelize: combinational cycle through net " +
-            net_label(circuit, circuit.gate(g).output));
+            "levelize: true combinational cycle through net " +
+            net_label(circuit, circuit.gate(g).output) +
+            " — no register breaks the loop, so only the event-driven "
+            "engine can evaluate it");
   }
   return lm;
 }
@@ -304,6 +360,24 @@ constexpr std::uint32_t kNoSlot = 0xffff'ffffu;
 
 }  // namespace
 
+/// One register slot of a sequential program.  `q_slot` is an input-class
+/// scratch slot that no instruction writes — the per-lane state plane; the
+/// `d_slot` / `ctl_slot` taps are bound as (internal) program outputs so
+/// DCE keeps their cones and every optimization pass applies unchanged.
+struct SeqReg {
+  enum class Kind : std::uint8_t {
+    kDff,       ///< behavioural DFF, no reset pin
+    kDffRst,    ///< behavioural DFF with active-low async reset (ctl)
+    kLatch,     ///< behavioural transparent-high latch (ctl = enable)
+    kExternal,  ///< externally closed loop (ExternalReg; edge-committed)
+  };
+  std::uint32_t q_slot = 0;
+  std::uint32_t d_slot = 0;
+  std::uint32_t ctl_slot = kNoSlot;  ///< RSTn / EN tap, kNoSlot when absent
+  Kind kind = Kind::kDff;
+  PackedBits reset;  ///< broadcast state image at reset (behavioural: X)
+};
+
 struct CompiledEval::Program {
   std::vector<Instr> instrs;
   std::vector<std::uint32_t> operands;
@@ -316,11 +390,23 @@ struct CompiledEval::Program {
   std::uint32_t levels = 0;
   int wide_words = kDefaultWideWords;  ///< scratch width W (words per slot)
   bool fast_path_ok = false;  ///< single-plane kernel exact for known inputs
+  // Sequential extension (compile_sequential).  in_slots/out_slots carry
+  // the register state slots and D/EN/RSTn taps after the public bindings;
+  // n_public_in/out are what input_count()/output_count() report.
+  std::vector<SeqReg> regs;
+  std::uint32_t n_public_in = 0;
+  std::uint32_t n_public_out = 0;
+  bool is_sequential = false;  ///< built by compile_sequential
+  bool has_settle_regs = false;  ///< any latch / resettable DFF (fixpoint)
+  std::uint32_t n_edge_regs = 0;  ///< registers committed at the clock edge
   // Pass accounting lives on the shared program so every clone of one
   // compilation aggregates into the same counters (relaxed: they are pure
   // statistics, one increment per >=64-lane pass).
   mutable std::atomic<std::uint64_t> fast_passes{0};
   mutable std::atomic<std::uint64_t> slow_passes{0};
+  mutable std::atomic<std::uint64_t> cycles_run{0};
+  mutable std::atomic<std::uint64_t> state_commits{0};
+  mutable std::atomic<std::uint64_t> fast_cycle_passes{0};
 };
 
 namespace {
@@ -367,6 +453,9 @@ CompiledEval::CompiledEval(std::shared_ptr<const Program> program)
   value_.assign(program_->init.size() * W, 0);
   unknown_.assign(program_->init.size() * W, 0);
   ensure_scratch(W);
+  // A fresh engine (clones included) starts with every register at its
+  // reset value — the same contract as a fresh event simulator.
+  if (!program_->regs.empty()) reset_state();
 }
 
 void CompiledEval::ensure_scratch(std::size_t words) {
@@ -386,16 +475,35 @@ void CompiledEval::ensure_scratch(std::size_t words) {
 }
 
 std::size_t CompiledEval::input_count() const noexcept {
-  return program_->in_slots.size();
+  return program_->n_public_in;
 }
 std::size_t CompiledEval::output_count() const noexcept {
-  return program_->out_slots.size();
+  return program_->n_public_out;
 }
 std::size_t CompiledEval::instruction_count() const noexcept {
   return program_->instrs.size();
 }
 std::uint32_t CompiledEval::level_count() const noexcept {
   return program_->levels;
+}
+bool CompiledEval::sequential() const noexcept {
+  return program_->is_sequential;
+}
+std::size_t CompiledEval::register_count() const noexcept {
+  return program_->regs.size();
+}
+
+void CompiledEval::reset_state() {
+  const Program& p = *program_;
+  const std::size_t nw = scratch_words_;
+  for (const SeqReg& r : p.regs) {
+    std::uint64_t* qv = value_.data() + std::size_t{r.q_slot} * nw;
+    std::uint64_t* qu = unknown_.data() + std::size_t{r.q_slot} * nw;
+    for (std::size_t w = 0; w < nw; ++w) {
+      qv[w] = r.reset.value;
+      qu[w] = r.reset.unknown;
+    }
+  }
 }
 
 std::unique_ptr<Evaluator> CompiledEval::clone() const {
@@ -415,6 +523,16 @@ Result<CompiledEval> CompiledEval::compile(const Circuit& circuit,
                                            std::vector<NetId> out_nets,
                                            const LevelMap* levels,
                                            const CompileOptions& options) {
+  auto program = compile_impl(circuit, std::move(in_nets), std::move(out_nets),
+                              levels, options);
+  if (!program.ok()) return program.status();
+  return CompiledEval(std::move(*program));
+}
+
+Result<std::shared_ptr<CompiledEval::Program>> CompiledEval::compile_impl(
+    const Circuit& circuit, std::vector<NetId> in_nets,
+    std::vector<NetId> out_nets, const LevelMap* levels,
+    const CompileOptions& options) {
   if (options.wide_words < 1)
     return Status::invalid_argument(
         "CompiledEval: wide_words must be >= 1, got " +
@@ -753,6 +871,233 @@ Result<CompiledEval> CompiledEval::compile(const Circuit& circuit,
     for (const Instr& it : program->instrs) written[it.out] = 1;
     for (std::uint32_t s = 0; s < program->init.size(); ++s)
       if (!written[s]) program->const_slots.push_back(s);
+  }
+
+  program->n_public_in = static_cast<std::uint32_t>(program->in_slots.size());
+  program->n_public_out = static_cast<std::uint32_t>(program->out_slots.size());
+  return program;
+}
+
+Result<CompiledEval> CompiledEval::compile_sequential(
+    const Circuit& circuit, std::vector<NetId> in_nets,
+    std::vector<NetId> out_nets, std::vector<ExternalReg> regs,
+    const LevelMap* levels) {
+  return compile_sequential(circuit, std::move(in_nets), std::move(out_nets),
+                            std::move(regs), levels, CompileOptions{});
+}
+
+Result<CompiledEval> CompiledEval::compile_sequential(
+    const Circuit& circuit, std::vector<NetId> in_nets,
+    std::vector<NetId> out_nets, std::vector<ExternalReg> regs,
+    const LevelMap* levels, const CompileOptions& options) {
+  if (const std::string diag = circuit.validate(); !diag.empty())
+    return Status::invalid_argument("compile_sequential: invalid circuit:\n" +
+                                    diag);
+  const std::size_t ngates = circuit.gate_count();
+  const std::size_t nnets = circuit.net_count();
+
+  // --- Scan behavioural state and the implicit clock domain. ---------------
+  std::vector<GateId> reg_gates;
+  std::vector<char> is_reg_gate(ngates, 0);
+  std::vector<NetId> clock_nets;
+  for (GateId g = 0; g < ngates; ++g) {
+    const Gate& gate = circuit.gate(g);
+    if (gate.kind == GateKind::kCElement)
+      return Status::failed_precondition(
+          "compile_sequential: C-element on net " +
+          net_label(circuit, gate.output) +
+          " holds state with no clock discipline (asynchronous handshake) — "
+          "use the event-driven engine");
+    if (gate.kind == GateKind::kDff) {
+      reg_gates.push_back(g);
+      is_reg_gate[g] = 1;
+      clock_nets.push_back(gate.inputs[1]);
+    } else if (gate.kind == GateKind::kLatch) {
+      reg_gates.push_back(g);
+      is_reg_gate[g] = 1;
+    }
+  }
+  std::sort(clock_nets.begin(), clock_nets.end());
+  clock_nets.erase(std::unique(clock_nets.begin(), clock_nets.end()),
+                   clock_nets.end());
+
+  std::vector<std::vector<GateId>> drivers(nnets);
+  for (GateId g = 0; g < ngates; ++g)
+    drivers[circuit.gate(g).output].push_back(g);
+
+  // Clock discipline: each clock net is a pure primary input that feeds
+  // nothing but DFF CLK pins and is invisible to every binding — run_cycles
+  // models it only as "all clocks pulse once per cycle", so any other use
+  // (gated/derived clock, clock observed as data) must be rejected.
+  std::vector<char> is_clock(nnets, 0);
+  for (NetId clk : clock_nets) {
+    is_clock[clk] = 1;
+    if (!circuit.is_input(clk))
+      return Status::failed_precondition(
+          "compile_sequential: DFF clock net " + net_label(circuit, clk) +
+          " is not a primary input (derived clocks need the event-driven "
+          "engine)");
+    if (!drivers[clk].empty())
+      return Status::failed_precondition(
+          "compile_sequential: clock net " + net_label(circuit, clk) +
+          " is also gate-driven (gated clocks need the event-driven engine)");
+  }
+  for (GateId g = 0; g < ngates; ++g) {
+    const Gate& gate = circuit.gate(g);
+    for (std::size_t pin = 0; pin < gate.inputs.size(); ++pin)
+      if (is_clock[gate.inputs[pin]] &&
+          !(gate.kind == GateKind::kDff && pin == 1))
+        return Status::failed_precondition(
+            "compile_sequential: clock net " +
+            net_label(circuit, gate.inputs[pin]) + " also feeds a " +
+            gate_kind_name(gate.kind) +
+            " pin (a clock observed as data cannot ride the implicit "
+            "once-per-cycle pulse)");
+  }
+
+  // Public bindings are validated against the *original* circuit: the
+  // derived circuit marks register outputs as primary inputs, so compiling
+  // it would silently accept a register Q bound as a public input.
+  const auto bound_as_input = [&](NetId n) {
+    return std::find(in_nets.begin(), in_nets.end(), n) != in_nets.end();
+  };
+  for (NetId n : in_nets) {
+    if (n >= nnets)
+      return Status::invalid_argument(
+          "compile_sequential: input net out of range");
+    if (!circuit.is_input(n))
+      return Status::invalid_argument("compile_sequential: net " +
+                                      net_label(circuit, n) +
+                                      " is not a primary input");
+    if (is_clock[n])
+      return Status::failed_precondition(
+          "compile_sequential: clock net " + net_label(circuit, n) +
+          " must not be bound as a data input (run_cycles pulses it "
+          "implicitly)");
+  }
+  for (NetId n : out_nets) {
+    if (n >= nnets)
+      return Status::invalid_argument(
+          "compile_sequential: output net out of range");
+    if (is_clock[n])
+      return Status::failed_precondition(
+          "compile_sequential: clock net " + net_label(circuit, n) +
+          " must not be bound as an output");
+  }
+
+  std::vector<char> ext_q(nnets, 0);
+  for (const ExternalReg& r : regs) {
+    if (r.q >= nnets || r.d >= nnets)
+      return Status::invalid_argument(
+          "compile_sequential: external register net out of range");
+    if (!circuit.is_input(r.q))
+      return Status::invalid_argument(
+          "compile_sequential: external register Q net " +
+          net_label(circuit, r.q) + " is not a primary input");
+    if (is_clock[r.q] || is_clock[r.d])
+      return Status::failed_precondition(
+          "compile_sequential: external register touches clock net " +
+          net_label(circuit, is_clock[r.q] ? r.q : r.d));
+    if (ext_q[r.q])
+      return Status::invalid_argument(
+          "compile_sequential: external register Q net " +
+          net_label(circuit, r.q) + " declared twice");
+    if (bound_as_input(r.q))
+      return Status::invalid_argument(
+          "compile_sequential: external register Q net " +
+          net_label(circuit, r.q) +
+          " is also bound as a public input (the input load would clobber "
+          "its state every cycle)");
+    ext_q[r.q] = 1;
+  }
+  for (const GateId g : reg_gates) {
+    const NetId q = circuit.gate(g).output;
+    if (drivers[q].size() != 1)
+      return Status::failed_precondition(
+          "compile_sequential: register output net " + net_label(circuit, q) +
+          " has multiple drivers (wired resolution of state is not "
+          "representable bit-parallel)");
+    if (circuit.is_input(q))
+      return Status::failed_precondition(
+          "compile_sequential: register output net " + net_label(circuit, q) +
+          " is externally drivable (external/driver resolution)");
+  }
+
+  // --- Derive the combinational view. --------------------------------------
+  // Same nets (ids and names preserved), register Q nets promoted to primary
+  // inputs, register gates dropped; every other gate copied verbatim.  The
+  // whole combinational compiler — constant folding, DCE, copy-propagation,
+  // arity specialization, renumbering, fast-path analysis — then applies
+  // unchanged.  `levels` is forwarded: compile_impl verifies fit and
+  // recomputes when the gate list changed (any behavioural register), so a
+  // stale map still cannot corrupt compilation.
+  Circuit derived;
+  for (NetId n = 0; n < nnets; ++n) {
+    derived.add_net(circuit.net_name(n));
+    if (circuit.is_input(n)) derived.mark_input(n);
+  }
+  for (const GateId g : reg_gates) derived.mark_input(circuit.gate(g).output);
+  for (GateId g = 0; g < ngates; ++g) {
+    if (is_reg_gate[g]) continue;
+    const Gate& gate = circuit.gate(g);
+    const GateId ng =
+        derived.add_gate(gate.kind, gate.inputs, gate.output, gate.delay_ps);
+    derived.set_inertial(ng, gate.inertial_ps);
+  }
+
+  // Derived binding: public inputs, then behavioural Q state, then external
+  // Q state; public outputs, then each register's D (and EN/RSTn) taps.
+  std::vector<NetId> dins = in_nets;
+  std::vector<NetId> douts = out_nets;
+  struct TapRec {
+    SeqReg::Kind kind;
+    PackedBits reset;
+    bool has_ctl;
+  };
+  std::vector<TapRec> taps;
+  taps.reserve(reg_gates.size() + regs.size());
+  for (const GateId g : reg_gates) {
+    const Gate& gate = circuit.gate(g);
+    dins.push_back(gate.output);
+    douts.push_back(gate.inputs[0]);  // D
+    if (gate.kind == GateKind::kLatch) {
+      douts.push_back(gate.inputs[1]);  // EN
+      taps.push_back({SeqReg::Kind::kLatch, broadcast(Logic::kX), true});
+    } else if (gate.inputs.size() == 3) {
+      douts.push_back(gate.inputs[2]);  // RSTn
+      taps.push_back({SeqReg::Kind::kDffRst, broadcast(Logic::kX), true});
+    } else {
+      taps.push_back({SeqReg::Kind::kDff, broadcast(Logic::kX), false});
+    }
+  }
+  for (const ExternalReg& r : regs) {
+    dins.push_back(r.q);
+    douts.push_back(r.d);
+    taps.push_back({SeqReg::Kind::kExternal, broadcast(r.reset), false});
+  }
+
+  auto compiled = compile_impl(derived, std::move(dins), std::move(douts),
+                               levels, options);
+  if (!compiled.ok()) return compiled.status();
+  std::shared_ptr<Program>& program = *compiled;
+
+  program->is_sequential = true;
+  program->n_public_in = static_cast<std::uint32_t>(in_nets.size());
+  program->n_public_out = static_cast<std::uint32_t>(out_nets.size());
+  program->regs.reserve(taps.size());
+  std::size_t qi = in_nets.size();
+  std::size_t ti = out_nets.size();
+  for (const TapRec& t : taps) {
+    SeqReg r;
+    r.kind = t.kind;
+    r.reset = t.reset;
+    r.q_slot = program->in_slots[qi++];
+    r.d_slot = program->out_slots[ti++];
+    if (t.has_ctl) r.ctl_slot = program->out_slots[ti++];
+    if (t.kind != SeqReg::Kind::kLatch) ++program->n_edge_regs;
+    if (t.kind == SeqReg::Kind::kLatch || t.kind == SeqReg::Kind::kDffRst)
+      program->has_settle_regs = true;
+    program->regs.push_back(r);
   }
 
   return CompiledEval(std::move(program));
@@ -1146,6 +1491,10 @@ Status CompiledEval::eval_wide(std::span<const std::uint64_t> in_value,
                                std::span<std::uint64_t> out_unknown,
                                std::size_t lanes) {
   const Program& p = *program_;
+  if (p.is_sequential)
+    return Status::failed_precondition(
+        "eval_wide: sequential program (register state needs a cycle "
+        "protocol) — use run_cycles");
   const std::size_t nin = p.in_slots.size();
   const std::size_t nout = p.out_slots.size();
   std::size_t words = 0;
@@ -1206,8 +1555,270 @@ Status CompiledEval::eval_wide(std::span<const std::uint64_t> in_value,
   return Status();
 }
 
+bool CompiledEval::settle_fixpoint(std::size_t nw, bool fast,
+                                   std::size_t max_iters) {
+  const Program& p = *program_;
+  std::uint64_t* val = value_.data();
+  std::uint64_t* unk = unknown_.data();
+  for (std::size_t iter = 0; iter < max_iters; ++iter) {
+    if (fast)
+      run_one_plane(p.instrs, p.operands.data(), val, nw);
+    else
+      run_two_plane(p.instrs, p.operands.data(), val, unk, nw);
+    if (!p.has_settle_regs) return true;  // edge-triggered only: one pass
+
+    // Stage every level-sensitive update (transparent-latch capture, async
+    // reset) before writing any of them: a D tap can alias another
+    // register's Q slot through copy-propagation, so the rules must see a
+    // consistent pre-update snapshot — exactly the simultaneous semantics
+    // the settled event simulator converges to.
+    std::uint64_t* tv = seq_tmp_.data();
+    std::uint64_t* tu = tv + p.regs.size() * nw;
+    for (std::size_t ri = 0; ri < p.regs.size(); ++ri) {
+      const SeqReg& r = p.regs[ri];
+      if (r.kind != SeqReg::Kind::kLatch && r.kind != SeqReg::Kind::kDffRst)
+        continue;
+      const std::uint64_t* qv = val + std::size_t{r.q_slot} * nw;
+      const std::uint64_t* qu = unk + std::size_t{r.q_slot} * nw;
+      const std::uint64_t* dv = val + std::size_t{r.d_slot} * nw;
+      const std::uint64_t* du = unk + std::size_t{r.d_slot} * nw;
+      const std::uint64_t* cv = val + std::size_t{r.ctl_slot} * nw;
+      const std::uint64_t* cu = unk + std::size_t{r.ctl_slot} * nw;
+      std::uint64_t* nv = tv + ri * nw;
+      std::uint64_t* nu = tu + ri * nw;
+      if (r.kind == SeqReg::Kind::kLatch) {
+        // Capture where EN is a known 1; hold elsewhere (EN of 0/X/Z all
+        // hold, mirroring the behavioural latch exactly).
+        if (fast) {
+          for (std::size_t w = 0; w < nw; ++w)
+            nv[w] = (cv[w] & dv[w]) | (~cv[w] & qv[w]);
+        } else {
+          for (std::size_t w = 0; w < nw; ++w) {
+            const std::uint64_t en1 = cv[w] & ~cu[w];
+            nv[w] = (en1 & dv[w]) | (~en1 & qv[w]);
+            nu[w] = (en1 & du[w]) | (~en1 & qu[w]);
+          }
+        }
+      } else {
+        // Async reset: clear state where RSTn is a known 0 (an unknown
+        // RSTn does not reset, mirroring the behavioural DFF exactly).
+        if (fast) {
+          for (std::size_t w = 0; w < nw; ++w) nv[w] = qv[w] & cv[w];
+        } else {
+          for (std::size_t w = 0; w < nw; ++w) {
+            const std::uint64_t rst0 = ~cv[w] & ~cu[w];
+            nv[w] = qv[w] & ~rst0;
+            nu[w] = qu[w] & ~rst0;
+          }
+        }
+      }
+    }
+    std::uint64_t delta = 0;
+    for (std::size_t ri = 0; ri < p.regs.size(); ++ri) {
+      const SeqReg& r = p.regs[ri];
+      if (r.kind != SeqReg::Kind::kLatch && r.kind != SeqReg::Kind::kDffRst)
+        continue;
+      std::uint64_t* qv = val + std::size_t{r.q_slot} * nw;
+      std::uint64_t* qu = unk + std::size_t{r.q_slot} * nw;
+      const std::uint64_t* nv = tv + ri * nw;
+      const std::uint64_t* nu = tu + ri * nw;
+      for (std::size_t w = 0; w < nw; ++w) {
+        delta |= qv[w] ^ nv[w];
+        qv[w] = nv[w];
+      }
+      if (!fast)
+        for (std::size_t w = 0; w < nw; ++w) {
+          delta |= qu[w] ^ nu[w];
+          qu[w] = nu[w];
+        }
+    }
+    if (delta == 0) return true;
+  }
+  return false;
+}
+
+Status CompiledEval::run_cycles(std::span<const std::uint64_t> in_value,
+                                std::span<const std::uint64_t> in_unknown,
+                                std::span<std::uint64_t> out_value,
+                                std::span<std::uint64_t> out_unknown,
+                                std::size_t cycles, std::size_t lanes,
+                                bool reset) {
+  const Program& p = *program_;
+  const std::size_t nin = p.n_public_in;
+  const std::size_t nout = p.n_public_out;
+  if (cycles < 1)
+    return Status::invalid_argument("run_cycles: cycles must be >= 1");
+  if (lanes < 1)
+    return Status::invalid_argument("run_cycles: lanes must be >= 1");
+  const std::size_t words =
+      (lanes + Evaluator::kBatchLanes - 1) / Evaluator::kBatchLanes;
+  if (in_value.size() != nin * cycles * words ||
+      in_unknown.size() != nin * cycles * words ||
+      out_value.size() != nout * cycles * words ||
+      out_unknown.size() != nout * cycles * words)
+    return Status::invalid_argument(
+        "run_cycles: " + std::to_string(lanes) + " lanes over " +
+        std::to_string(cycles) + " cycles expect " +
+        std::to_string(nin * cycles * words) + " input and " +
+        std::to_string(nout * cycles * words) +
+        " output plane words per plane");
+  if (!reset && scratch_words_ != words)
+    return Status::failed_precondition(
+        "run_cycles: reset=false continues from carried register state, "
+        "which lives at the previous call's lane width (" +
+        std::to_string(scratch_words_) + " plane words, got " +
+        std::to_string(words) + ")");
+
+  const auto W = static_cast<std::size_t>(p.wide_words);
+  seq_tmp_.resize(2 * p.regs.size() * W);
+  // Latch chains propagate one stage per fixpoint iteration (each iteration
+  // re-runs the whole combinational program), so any converging
+  // arrangement settles within the register count; the margin keeps tiny
+  // programs from tripping on reset transients.
+  const std::size_t max_iters = p.regs.size() + 8;
+
+  for (std::size_t w0 = 0; w0 < words; w0 += W) {
+    const std::size_t nw = std::min(W, words - w0);
+    ensure_scratch(nw);
+    // Each pass group carries its own independent register files in the
+    // state slots; reset=false is single-group by the width check above.
+    if (reset) reset_state();
+    for (std::size_t c = 0; c < cycles; ++c) {
+      // Load cycle c's inputs (canonicalized, dead lanes forced to 0/0).
+      std::uint64_t any_unknown = 0;
+      for (std::size_t i = 0; i < nin; ++i) {
+        const std::uint64_t* sv = in_value.data() + (c * nin + i) * words + w0;
+        const std::uint64_t* su =
+            in_unknown.data() + (c * nin + i) * words + w0;
+        std::uint64_t* dv = value_.data() + std::size_t{p.in_slots[i]} * nw;
+        std::uint64_t* du = unknown_.data() + std::size_t{p.in_slots[i]} * nw;
+        for (std::size_t w = 0; w < nw; ++w) {
+          const std::uint64_t m = word_mask(lanes, w0 + w);
+          const std::uint64_t u = su[w] & m;
+          dv[w] = sv[w] & ~u & m;
+          du[w] = u;
+          any_unknown |= u;
+        }
+      }
+      // Fast cycles need the register state known too: behavioural state
+      // starts at X, so the first cycles of a batch run two-plane until
+      // every register has captured a binary value.
+      // Dead lanes are excluded: reset parks them at X (whole-word
+      // broadcast) and a latch holds that X forever, which must not pin
+      // live all-known lanes onto the two-plane kernel.
+      std::uint64_t state_unknown = 0;
+      for (const SeqReg& r : p.regs) {
+        const std::uint64_t* qu =
+            unknown_.data() + std::size_t{r.q_slot} * nw;
+        for (std::size_t w = 0; w < nw; ++w)
+          state_unknown |= qu[w] & word_mask(lanes, w0 + w);
+      }
+      const bool fast =
+          p.fast_path_ok && any_unknown == 0 && state_unknown == 0;
+      p.cycles_run.fetch_add(1, std::memory_order_relaxed);
+      if (fast) p.fast_cycle_passes.fetch_add(1, std::memory_order_relaxed);
+
+      // Settle the combinational program with the pre-edge state.
+      if (!settle_fixpoint(nw, fast, max_iters))
+        return Status::resource_exhausted(
+            "run_cycles: level-sensitive feedback failed to settle after " +
+            std::to_string(max_iters) + " iterations (oscillation?)");
+
+      // Sample outputs pre-edge, masking dead lanes to 0/0.
+      for (std::size_t k = 0; k < nout; ++k) {
+        const std::uint64_t* sv =
+            value_.data() + std::size_t{p.out_slots[k]} * nw;
+        const std::uint64_t* su =
+            unknown_.data() + std::size_t{p.out_slots[k]} * nw;
+        std::uint64_t* dv = out_value.data() + (c * nout + k) * words + w0;
+        std::uint64_t* du = out_unknown.data() + (c * nout + k) * words + w0;
+        for (std::size_t w = 0; w < nw; ++w) {
+          const std::uint64_t m = word_mask(lanes, w0 + w);
+          dv[w] = sv[w] & m;
+          du[w] = fast ? 0 : su[w] & m;
+        }
+      }
+
+      // Clock edge: every edge-triggered register commits its settled D
+      // simultaneously (two-phase through seq_tmp_, since a D tap can alias
+      // another register's Q slot).  A non-binary D captures X; a known-0
+      // RSTn overrides the capture with 0, an unknown RSTn does not.
+      if (p.n_edge_regs != 0) {
+        std::uint64_t* tv = seq_tmp_.data();
+        std::uint64_t* tu = tv + p.regs.size() * nw;
+        for (std::size_t ri = 0; ri < p.regs.size(); ++ri) {
+          const SeqReg& r = p.regs[ri];
+          if (r.kind == SeqReg::Kind::kLatch) continue;
+          const std::uint64_t* dvs =
+              value_.data() + std::size_t{r.d_slot} * nw;
+          const std::uint64_t* dus =
+              unknown_.data() + std::size_t{r.d_slot} * nw;
+          std::uint64_t* nv = tv + ri * nw;
+          std::uint64_t* nu = tu + ri * nw;
+          if (r.kind == SeqReg::Kind::kDffRst) {
+            const std::uint64_t* cv =
+                value_.data() + std::size_t{r.ctl_slot} * nw;
+            const std::uint64_t* cu =
+                unknown_.data() + std::size_t{r.ctl_slot} * nw;
+            if (fast) {
+              for (std::size_t w = 0; w < nw; ++w) nv[w] = dvs[w] & cv[w];
+            } else {
+              for (std::size_t w = 0; w < nw; ++w) {
+                const std::uint64_t rst0 = ~cv[w] & ~cu[w];
+                nv[w] = dvs[w] & ~rst0;
+                nu[w] = dus[w] & ~rst0;
+              }
+            }
+          } else if (fast) {
+            for (std::size_t w = 0; w < nw; ++w) nv[w] = dvs[w];
+          } else {
+            for (std::size_t w = 0; w < nw; ++w) {
+              nv[w] = dvs[w];
+              nu[w] = dus[w];
+            }
+          }
+        }
+        std::uint64_t edge_delta = 0;
+        for (std::size_t ri = 0; ri < p.regs.size(); ++ri) {
+          const SeqReg& r = p.regs[ri];
+          if (r.kind == SeqReg::Kind::kLatch) continue;
+          std::uint64_t* qv = value_.data() + std::size_t{r.q_slot} * nw;
+          std::uint64_t* qu = unknown_.data() + std::size_t{r.q_slot} * nw;
+          const std::uint64_t* nv = tv + ri * nw;
+          const std::uint64_t* nu = tu + ri * nw;
+          for (std::size_t w = 0; w < nw; ++w) {
+            edge_delta |= qv[w] ^ nv[w];
+            qv[w] = nv[w];
+          }
+          if (!fast)
+            for (std::size_t w = 0; w < nw; ++w) {
+              edge_delta |= qu[w] ^ nu[w];
+              qu[w] = nu[w];
+            }
+        }
+        p.state_commits.fetch_add(p.n_edge_regs, std::memory_order_relaxed);
+
+        // Post-edge settle: the committed state must reach still-open
+        // latches and Q-dependent async resets *before* the next cycle's
+        // inputs can close them — the event simulator propagates the edge
+        // under cycle-c inputs, so the compiled engine must too.
+        if (edge_delta != 0 && p.has_settle_regs &&
+            !settle_fixpoint(nw, fast, max_iters))
+          return Status::resource_exhausted(
+              "run_cycles: post-edge feedback failed to settle after " +
+              std::to_string(max_iters) + " iterations (oscillation?)");
+      }
+    }
+  }
+  return Status();
+}
+
 Status CompiledEval::eval_packed(std::span<const PackedBits> inputs,
                                  std::span<PackedBits> outputs, int lanes) {
+  if (program_->is_sequential)
+    return Status::failed_precondition(
+        "eval_packed: sequential program (register state needs a cycle "
+        "protocol) — use run_cycles");
   if (lanes < 1 || lanes > kBatchLanes)
     return Status::invalid_argument(lanes_range_message("eval_packed"));
   const std::size_t nin = program_->in_slots.size();
@@ -1246,7 +1857,10 @@ bool CompiledEval::fast_path_available() const noexcept {
 
 CompiledEval::KernelStats CompiledEval::kernel_stats() const noexcept {
   return {program_->fast_passes.load(std::memory_order_relaxed),
-          program_->slow_passes.load(std::memory_order_relaxed)};
+          program_->slow_passes.load(std::memory_order_relaxed),
+          program_->cycles_run.load(std::memory_order_relaxed),
+          program_->state_commits.load(std::memory_order_relaxed),
+          program_->fast_cycle_passes.load(std::memory_order_relaxed)};
 }
 
 // ---------------------------------------------------------------------------
@@ -1262,7 +1876,8 @@ EventEval::EventEval(std::vector<NetId> in_nets, std::vector<NetId> out_nets,
 Result<EventEval> EventEval::create(const Circuit& circuit,
                                     std::vector<NetId> in_nets,
                                     std::vector<NetId> out_nets,
-                                    std::uint64_t max_events_per_vector) {
+                                    std::uint64_t max_events_per_vector,
+                                    std::vector<ExternalReg> regs) {
   for (NetId n : in_nets) {
     if (n >= circuit.net_count())
       return Status::invalid_argument("EventEval: input net out of range");
@@ -1274,14 +1889,152 @@ Result<EventEval> EventEval::create(const Circuit& circuit,
   for (NetId n : out_nets)
     if (n >= circuit.net_count())
       return Status::invalid_argument("EventEval: output net out of range");
+  for (const ExternalReg& r : regs) {
+    if (r.q >= circuit.net_count() || r.d >= circuit.net_count())
+      return Status::invalid_argument(
+          "EventEval: external register net out of range");
+    if (!circuit.is_input(r.q))
+      return Status::invalid_argument("EventEval: external register Q net " +
+                                      net_label(circuit, r.q) +
+                                      " is not a primary input");
+  }
   auto sim = Simulator::create(circuit);
   if (!sim.ok()) return sim.status();
   EventEval ev(std::move(in_nets), std::move(out_nets),
                max_events_per_vector);
   ev.sim_.emplace(std::move(*sim));
+  ev.circuit_ = &circuit;
+  ev.regs_ = std::move(regs);
+  // Discover the clock domain: every DFF CLK net, deduplicated.  The
+  // preamble below arms each edge detector (the construction kick-start
+  // leaves prev_clk at Z, so a first rising edge would not register) and
+  // parks the external register pads at their reset value, giving
+  // run_cycles the same base state as a freshly reset compiled engine.
+  for (const Gate& g : circuit.gates())
+    if (g.kind == GateKind::kDff) ev.clock_nets_.push_back(g.inputs[1]);
+  std::sort(ev.clock_nets_.begin(), ev.clock_nets_.end());
+  ev.clock_nets_.erase(
+      std::unique(ev.clock_nets_.begin(), ev.clock_nets_.end()),
+      ev.clock_nets_.end());
+  for (NetId clk : ev.clock_nets_)
+    if (circuit.is_input(clk)) ev.sim_->set_input(clk, Logic::k0);
+  for (const ExternalReg& r : ev.regs_) ev.sim_->set_input(r.q, r.reset);
+  // Latch-enable-driving inputs go first at each cycle: when an enable
+  // falls in the same cycle a data input changes, the settled semantics
+  // ("hold the previous cycle's value") require the enable to close before
+  // the new data can race through a directly wired D pin.
+  std::vector<char> drives_en(ev.in_nets_.size(), 0);
+  for (const Gate& g : circuit.gates())
+    if (g.kind == GateKind::kLatch)
+      for (std::size_t j = 0; j < ev.in_nets_.size(); ++j)
+        if (ev.in_nets_[j] == g.inputs[1]) drives_en[j] = 1;
+  for (std::size_t j = 0; j < ev.in_nets_.size(); ++j)
+    if (drives_en[j]) ev.en_first_.push_back(j);
+  for (std::size_t j = 0; j < ev.in_nets_.size(); ++j)
+    if (!drives_en[j]) ev.en_first_.push_back(j);
   if (!ev.sim_->settle())
     return Status::resource_exhausted("EventEval: base state never settled");
   return ev;
+}
+
+Status EventEval::run_cycles(std::span<const std::uint64_t> in_value,
+                             std::span<const std::uint64_t> in_unknown,
+                             std::span<std::uint64_t> out_value,
+                             std::span<std::uint64_t> out_unknown,
+                             std::size_t cycles, std::size_t lanes,
+                             bool reset) {
+  if (!reset)
+    return Status::failed_precondition(
+        "EventEval::run_cycles: carrying state across calls is not "
+        "supported (lane simulators are rebuilt from the base per call)");
+  if (cycles < 1)
+    return Status::invalid_argument("run_cycles: cycles must be >= 1");
+  if (lanes < 1)
+    return Status::invalid_argument("run_cycles: lanes must be >= 1");
+  const std::size_t nin = in_nets_.size();
+  const std::size_t nout = out_nets_.size();
+  const std::size_t words = (lanes + kBatchLanes - 1) / kBatchLanes;
+  if (in_value.size() != nin * cycles * words ||
+      in_unknown.size() != nin * cycles * words ||
+      out_value.size() != nout * cycles * words ||
+      out_unknown.size() != nout * cycles * words)
+    return Status::invalid_argument(
+        "run_cycles: " + std::to_string(lanes) + " lanes over " +
+        std::to_string(cycles) + " cycles expect " +
+        std::to_string(nin * cycles * words) + " input and " +
+        std::to_string(nout * cycles * words) +
+        " output plane words per plane");
+  // The same implicit-clock contract as the compiled engine: run_cycles
+  // models clocks only as "all pulse once per cycle", so a clock that is
+  // gate-driven, not a primary input, or doubles as a bound data input
+  // cannot be expressed (full timing simulation via the Simulator API can).
+  for (NetId clk : clock_nets_) {
+    if (!circuit_->is_input(clk))
+      return Status::failed_precondition(
+          "EventEval::run_cycles: DFF clock net " +
+          net_label(*circuit_, clk) + " is not a primary input");
+    for (NetId n : in_nets_)
+      if (n == clk)
+        return Status::failed_precondition(
+            "EventEval::run_cycles: clock net " + net_label(*circuit_, clk) +
+            " must not be bound as a data input");
+  }
+  if (!clock_nets_.empty()) {
+    std::vector<char> is_clock(circuit_->net_count(), 0);
+    for (NetId clk : clock_nets_) is_clock[clk] = 1;
+    for (const Gate& g : circuit_->gates())
+      if (is_clock[g.output])
+        return Status::failed_precondition(
+            "EventEval::run_cycles: clock net " +
+            net_label(*circuit_, g.output) + " is gate-driven (gated clock)");
+  }
+
+  std::fill(out_value.begin(), out_value.end(), 0);
+  std::fill(out_unknown.begin(), out_unknown.end(), 0);
+  std::vector<Logic> captured(regs_.size());
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    const std::size_t word = lane / kBatchLanes;
+    const std::uint64_t bit = std::uint64_t{1} << (lane % kBatchLanes);
+    // Each lane runs on a private copy of the settled, preamble-armed base.
+    Simulator sim(*sim_);
+    for (std::size_t c = 0; c < cycles; ++c) {
+      for (const std::size_t i : en_first_) {
+        const std::size_t ofs = (c * nin + i) * words + word;
+        const Logic v = (in_unknown[ofs] & bit)
+                            ? Logic::kX
+                            : ((in_value[ofs] & bit) ? Logic::k1 : Logic::k0);
+        sim.set_input(in_nets_[i], v);
+      }
+      if (!sim.settle(budget_))
+        return Status::resource_exhausted(
+            "EventEval: event budget exhausted (oscillation?)");
+      for (std::size_t k = 0; k < nout; ++k) {
+        const Logic v = sim.value(out_nets_[k]);
+        const std::size_t ofs = (c * nout + k) * words + word;
+        if (v == Logic::k1) out_value[ofs] |= bit;
+        else if (v != Logic::k0) out_unknown[ofs] |= bit;
+      }
+      // Clock edge.  External D values are captured pre-edge; the clock
+      // events are scheduled *before* the pad updates so a DFF whose D is
+      // wired straight to a pad still captures the pre-edge value (events
+      // at one timestamp apply in insertion order).
+      for (std::size_t r = 0; r < regs_.size(); ++r) {
+        const Logic d = sim.value(regs_[r].d);
+        captured[r] = is_binary(d) ? d : Logic::kX;
+      }
+      for (NetId clk : clock_nets_) sim.set_input(clk, Logic::k1);
+      for (std::size_t r = 0; r < regs_.size(); ++r)
+        sim.set_input(regs_[r].q, captured[r]);
+      if (!sim.settle(budget_))
+        return Status::resource_exhausted(
+            "EventEval: event budget exhausted (oscillation?)");
+      for (NetId clk : clock_nets_) sim.set_input(clk, Logic::k0);
+      if (!sim.settle(budget_))
+        return Status::resource_exhausted(
+            "EventEval: event budget exhausted (oscillation?)");
+    }
+  }
+  return Status();
 }
 
 std::unique_ptr<Evaluator> EventEval::clone() const {

@@ -94,11 +94,26 @@ struct LevelMap {
 };
 
 /// Levelize a circuit.  Fails with kFailedPrecondition when the gate graph
-/// has a combinational cycle (naming a net on the cycle); behavioural
-/// state-holding gates participate structurally, so circuits that close
-/// feedback through them (micropipelines, in-fabric latches) also fail —
-/// exactly the designs that need the event-driven engine.
+/// has a cycle, with two distinct diagnoses: a *sequential feedback loop*
+/// (every cycle closes only through behavioural state-holding gates —
+/// DFF/latch/C-element — so the circuit is clocked, not cyclic; the
+/// sequential compiled engine breaks exactly these at register boundaries)
+/// versus a *true combinational cycle* (cross-coupled gates with no
+/// register on the loop; only the event-driven engine can iterate those
+/// through time).  Either way a net on the offending cycle is named.
 [[nodiscard]] Result<LevelMap> levelize(const Circuit& circuit);
+
+/// A register loop closed *outside* the circuit: `q` is a primary-input pad
+/// acting as the register's output, `d` is the net whose settled value the
+/// register captures at each cycle's clock edge, and `reset` is the value
+/// the pad holds at reset.  This is how platform boundary registers
+/// (DESIGN.md §6: purely combinational fabric, Q pads driven at the array
+/// edge, reset to 0) ride the sequential engines.
+struct ExternalReg {
+  NetId q;                  ///< primary-input pad acting as the register Q
+  NetId d;                  ///< net captured into `q` at each clock edge
+  Logic reset = Logic::k0;  ///< pad value at reset (boundary registers: 0)
+};
 
 /// An evaluation engine over a fixed (circuit, input nets, output nets)
 /// binding.  Engines evaluate wide batches of independent vectors packed
@@ -142,6 +157,33 @@ class Evaluator {
                                          std::span<std::uint64_t> out_value,
                                          std::span<std::uint64_t> out_unknown,
                                          std::size_t lanes);
+
+  /// Evaluate `cycles` clock cycles of a sequential design over `lanes`
+  /// independent stimulus streams, bit-parallel.  The layout is cycle-major
+  /// SoA: with `words = ceil(lanes / kBatchLanes)` and `nin =
+  /// input_count()`, input i of cycle c occupies
+  /// `in_value[((c*nin)+i)*words .. +words-1]` (same span of `in_unknown`);
+  /// output k of cycle c likewise in the out planes with `nout =
+  /// output_count()`.  Span sizes must be exactly `nin*cycles*words` /
+  /// `nout*cycles*words`.  Per cycle the engine settles the combinational
+  /// logic with the current register state, samples the outputs (pre-edge),
+  /// then pulses every clock once and commits the captured D values into
+  /// the register state.  Each lane carries an independent register file.
+  /// `reset` restores every register to its reset value (behavioural
+  /// DFF/latch state: X, exactly like a fresh event simulator; external
+  /// registers: their declared reset) before cycle 0; `reset = false`
+  /// continues from the state the previous call left behind.  Engines must
+  /// not fail on garbage in the unused lanes of the final word and must
+  /// leave them 0/0 in the outputs.
+  ///
+  /// The base implementation fails with kFailedPrecondition; engines with
+  /// sequential support (CompiledEval, EventEval) override it.
+  [[nodiscard]] virtual Status run_cycles(std::span<const std::uint64_t> in_value,
+                                          std::span<const std::uint64_t> in_unknown,
+                                          std::span<std::uint64_t> out_value,
+                                          std::span<std::uint64_t> out_unknown,
+                                          std::size_t cycles, std::size_t lanes,
+                                          bool reset = true);
 
   /// The wide-batch granule this engine is tuned for, in plane words: the
   /// sharding hint callers use to size `eval_wide` calls.  1 for engines
@@ -208,6 +250,40 @@ class CompiledEval final : public Evaluator {
       std::vector<NetId> out_nets, const LevelMap* levels,
       const CompileOptions& options);
 
+  /// Compile a *clocked* circuit for multi-cycle batch evaluation
+  /// (run_cycles).  Behavioural DFFs and latches become register slots:
+  /// each Q is cut into a level-0 state source and its D/EN/RSTn cones are
+  /// kept live as internal taps, so the remaining combinational program
+  /// levelizes and optimizes exactly like `compile`.  `regs` adds external
+  /// register loops (platform boundary registers) on top.  Register state
+  /// lives in per-lane SoA planes beside the scratch; reset state is X for
+  /// behavioural registers (bit-identical to a fresh event simulator) and
+  /// each ExternalReg's declared value.
+  ///
+  /// Clocking contract (the implicit single clock domain): every DFF CLK
+  /// net must be a primary input that no gate drives, must not appear in
+  /// `in_nets` / `out_nets` / `regs`, and must feed nothing but DFF CLK
+  /// pins.  run_cycles pulses all clock nets together once per cycle.
+  /// Settled-cycle semantics — latch enables and async resets are evaluated
+  /// on *settled* values, so combinational glitches that would transiently
+  /// open a latch or dip a reset are not modelled (the event engine is the
+  /// oracle for those).
+  ///
+  /// Failure modes (beyond `compile`'s): kFailedPrecondition for a
+  /// C-element (state with no clock discipline), a clock-discipline
+  /// violation (derived/gated clock, clock used as data), a register output
+  /// with multiple drivers, a true combinational cycle, or a dynamic
+  /// tri-state enable anywhere in the live cone.
+  [[nodiscard]] static Result<CompiledEval> compile_sequential(
+      const Circuit& circuit, std::vector<NetId> in_nets,
+      std::vector<NetId> out_nets, std::vector<ExternalReg> regs = {},
+      const LevelMap* levels = nullptr);
+  /// As above, with explicit compile-time knobs (see CompileOptions).
+  [[nodiscard]] static Result<CompiledEval> compile_sequential(
+      const Circuit& circuit, std::vector<NetId> in_nets,
+      std::vector<NetId> out_nets, std::vector<ExternalReg> regs,
+      const LevelMap* levels, const CompileOptions& options);
+
   [[nodiscard]] const char* name() const noexcept override {
     return "compiled-bitparallel";
   }
@@ -221,8 +297,36 @@ class CompiledEval final : public Evaluator {
                                  std::span<std::uint64_t> out_value,
                                  std::span<std::uint64_t> out_unknown,
                                  std::size_t lanes) override;
+  /// Multi-cycle batch kernel (compile_sequential programs; a combinational
+  /// program runs too, committing nothing).  Per cycle: load the cycle's
+  /// inputs, settle the program (iterating transparent latches and async
+  /// resets to a fixpoint), sample outputs, then commit every clocked
+  /// register simultaneously from its settled D (non-binary D captures X)
+  /// and re-settle so post-edge state reaches still-open latches.  Cycles
+  /// whose inputs and state carry no unknown bits ride the single-plane
+  /// fast path.  `reset = false` (state carried across calls) requires the
+  /// same `lanes` word width as the engine's scratch; a latch feedback
+  /// arrangement that fails to reach a fixpoint fails with
+  /// kResourceExhausted.
+  [[nodiscard]] Status run_cycles(std::span<const std::uint64_t> in_value,
+                                  std::span<const std::uint64_t> in_unknown,
+                                  std::span<std::uint64_t> out_value,
+                                  std::span<std::uint64_t> out_unknown,
+                                  std::size_t cycles, std::size_t lanes,
+                                  bool reset = true) override;
   [[nodiscard]] std::size_t preferred_words() const noexcept override;
   [[nodiscard]] std::unique_ptr<Evaluator> clone() const override;
+
+  /// True when this engine was built by compile_sequential (run_cycles is
+  /// the entry point; eval_wide / eval_packed reject the program).
+  [[nodiscard]] bool sequential() const noexcept;
+  /// Register slots in the program (behavioural + external), 0 when
+  /// combinational.
+  [[nodiscard]] std::size_t register_count() const noexcept;
+  /// Restore every register's reset value (behavioural: X; external: its
+  /// declared reset) at the current scratch width.  run_cycles with
+  /// `reset = true` does this implicitly.
+  void reset_state();
 
   /// Introspection for tests/benches: live instructions after constant
   /// folding, dead-code elimination, and copy-propagation, and the
@@ -242,6 +346,15 @@ class CompiledEval final : public Evaluator {
   struct KernelStats {
     std::uint64_t fast_passes = 0;  ///< single-plane (two-valued) passes
     std::uint64_t slow_passes = 0;  ///< two-plane passes
+    /// Clock cycles executed by run_cycles (per pass group — one 512-lane
+    /// group running 32 cycles counts 32).
+    std::uint64_t cycles_run = 0;
+    /// Register captures committed at clock edges (edge registers per
+    /// cycle per pass group; latches commit during settling, not here).
+    std::uint64_t state_commits = 0;
+    /// run_cycles cycles that rode the single-plane fast path (inputs and
+    /// register state both free of unknown bits).
+    std::uint64_t fast_cycle_passes = 0;
   };
   /// Snapshot of the pass counters across this engine and all its clones.
   [[nodiscard]] KernelStats kernel_stats() const noexcept;
@@ -249,13 +362,20 @@ class CompiledEval final : public Evaluator {
  private:
   struct Program;
   explicit CompiledEval(std::shared_ptr<const Program> program);
+  [[nodiscard]] static Result<std::shared_ptr<Program>> compile_impl(
+      const Circuit& circuit, std::vector<NetId> in_nets,
+      std::vector<NetId> out_nets, const LevelMap* levels,
+      const CompileOptions& options);
   void ensure_scratch(std::size_t words);
+  [[nodiscard]] bool settle_fixpoint(std::size_t nw, bool fast,
+                                     std::size_t max_iters);
 
   std::shared_ptr<const Program> program_;
   std::vector<std::uint64_t> value_;    ///< SoA scratch: slot*words + w
   std::vector<std::uint64_t> unknown_;  ///< SoA scratch, unknown plane
   std::size_t scratch_words_ = 0;
   std::vector<std::uint64_t> shim_;     ///< eval_packed AoS<->SoA staging
+  std::vector<std::uint64_t> seq_tmp_;  ///< simultaneous-commit staging
 };
 
 /// The event-driven Simulator behind the Evaluator interface: lanes are
@@ -264,10 +384,15 @@ class CompiledEval final : public Evaluator {
 /// for any valid circuit; per-lane event budget guards oscillation.
 class EventEval final : public Evaluator {
  public:
+  /// Build the engine over a settled base simulator.  `regs` declares
+  /// external register loops for run_cycles (ignored by the combinational
+  /// entry points); when the circuit is clocked, creation also drives every
+  /// DFF clock net to 0 and re-settles so the first rising edge registers.
   [[nodiscard]] static Result<EventEval> create(
       const Circuit& circuit, std::vector<NetId> in_nets,
       std::vector<NetId> out_nets,
-      std::uint64_t max_events_per_vector = 2'000'000);
+      std::uint64_t max_events_per_vector = 2'000'000,
+      std::vector<ExternalReg> regs = {});
 
   [[nodiscard]] const char* name() const noexcept override {
     return "event-driven";
@@ -281,6 +406,22 @@ class EventEval final : public Evaluator {
   [[nodiscard]] Status eval_packed(std::span<const PackedBits> inputs,
                                    std::span<PackedBits> outputs,
                                    int lanes = kBatchLanes) override;
+  /// The multi-cycle differential oracle: each lane runs on a private copy
+  /// of the settled base simulator, one settle per input change / clock
+  /// phase, so glitch-accurate latch and async-reset behaviour is exact.
+  /// Per cycle: drive the cycle's inputs (latch-enable-driving inputs
+  /// first) and settle, sample outputs, then capture external-register D
+  /// values, raise every clock together with the external Q pads, settle,
+  /// and lower the clocks.  `reset` restarts every lane from the settled
+  /// base (behavioural state X, external pads at their reset value);
+  /// `reset = false` is unsupported here (lane simulators are not kept) and
+  /// fails with kFailedPrecondition.
+  [[nodiscard]] Status run_cycles(std::span<const std::uint64_t> in_value,
+                                  std::span<const std::uint64_t> in_unknown,
+                                  std::span<std::uint64_t> out_value,
+                                  std::span<std::uint64_t> out_unknown,
+                                  std::size_t cycles, std::size_t lanes,
+                                  bool reset = true) override;
   [[nodiscard]] std::unique_ptr<Evaluator> clone() const override;
 
   /// Adjust the per-lane event budget (inherited by future clones).
@@ -293,6 +434,10 @@ class EventEval final : public Evaluator {
   std::vector<NetId> out_nets_;
   std::uint64_t budget_;
   std::optional<Simulator> sim_;
+  const Circuit* circuit_ = nullptr;  ///< run_cycles clock validation
+  std::vector<ExternalReg> regs_;     ///< external register loops (oracle)
+  std::vector<NetId> clock_nets_;     ///< every DFF CLK net, deduplicated
+  std::vector<std::size_t> en_first_; ///< input indexes, latch-EN drivers first
 };
 
 }  // namespace pp::sim

@@ -80,13 +80,99 @@ TEST(Compiler, CompiledEngineExhaustive) {
                     RunOptions{.max_threads = 4, .engine = Engine::kCompiled});
 }
 
-TEST(Compiler, CompiledEngineRejectsSequentialDesigns) {
-  auto design = compile(map::make_counter(2));
+TEST(Compiler, CompiledEngineServesSequentialDesigns) {
+  const auto nl = map::make_counter(2);
+  auto design = compile(nl);
   ASSERT_TRUE(design.ok()) << design.status().to_string();
   auto session = Session::load(*design);
   ASSERT_TRUE(session.ok()) << session.status().to_string();
-  EXPECT_EQ(session->compiled_engine_status().code(),
-            StatusCode::kFailedPrecondition);
+  // The boundary-register design compiles sequentially: step and
+  // run_cycles ride the bit-parallel engine.
+  ASSERT_TRUE(session->compiled_engine_status().ok())
+      << session->compiled_engine_status().to_string();
+
+  // Three independent streams with different enable patterns, batched
+  // through run_cycles, must match the netlist reference cycle for cycle.
+  const std::size_t cycles = 8;
+  std::vector<InputVector> stimulus;
+  for (std::size_t s = 0; s < 3; ++s)
+    for (std::size_t c = 0; c < cycles; ++c)
+      stimulus.push_back({c % (s + 2) != 0});
+  auto batch = session->run_cycles(stimulus, cycles);
+  ASSERT_TRUE(batch.ok()) << batch.status().to_string();
+  ASSERT_EQ(batch->size(), stimulus.size());
+  for (std::size_t s = 0; s < 3; ++s) {
+    auto state = nl.make_state();
+    for (std::size_t c = 0; c < cycles; ++c) {
+      const auto expect = nl.step({stimulus[s * cycles + c][0]}, state);
+      const BitVector& got = (*batch)[s * cycles + c];
+      ASSERT_EQ(got.size(), expect.size());
+      for (std::size_t k = 0; k < expect.size(); ++k)
+        EXPECT_EQ(got[k], expect[k]) << "stream " << s << " cycle " << c;
+    }
+  }
+
+  // The cycle counters roll up: one compiled run, one 64-lane pass group
+  // of 8 cycles, two registers committing per cycle, every cycle on the
+  // single-plane fast path (two-valued stimulus, binary reset).
+  const ExecutorStats st = session->executor_stats();
+  EXPECT_EQ(st.runs, 1u);
+  EXPECT_EQ(st.compiled_runs, 1u);
+  EXPECT_EQ(st.vectors_run, stimulus.size());
+  EXPECT_EQ(st.cycles_run, cycles);
+  EXPECT_EQ(st.state_commits, 2 * cycles);
+  EXPECT_EQ(st.fast_cycle_passes, cycles);
+}
+
+TEST(Compiler, SequentialStepResyncsInteractiveView) {
+  auto design = compile(map::make_counter(2));
+  ASSERT_TRUE(design.ok()) << design.status().to_string();
+  auto fast = Session::load(*design);
+  ASSERT_TRUE(fast.ok()) << fast.status().to_string();
+  auto ref = Session::load(*design);
+  ASSERT_TRUE(ref.ok()) << ref.status().to_string();
+  (void)ref->simulator();  // pins ref to the event path
+
+  const auto expect_agreement = [&] {
+    for (const std::string& name : fast->input_names()) {
+      auto a = fast->peek(name);
+      auto b = ref->peek(name);
+      ASSERT_TRUE(a.ok() && b.ok());
+      EXPECT_EQ(*a, *b) << "port " << name;
+    }
+    for (const std::string& name : fast->output_names()) {
+      auto a = fast->peek(name);
+      auto b = ref->peek(name);
+      ASSERT_TRUE(a.ok() && b.ok());
+      EXPECT_EQ(*a, *b) << "port " << name;
+    }
+  };
+
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    auto a = fast->step({true});
+    auto b = ref->step({true});
+    ASSERT_TRUE(a.ok()) << a.status().to_string();
+    ASSERT_TRUE(b.ok()) << b.status().to_string();
+    EXPECT_EQ(*a, *b) << "cycle " << cycle;
+  }
+  // peek resyncs the stale interactive simulator to the compiled register
+  // file — every bound port must agree with the pure event-path session.
+  expect_agreement();
+
+  // An interactive poke retires the compiled path; stepping on after it
+  // still agrees with the reference.
+  ASSERT_TRUE(fast->poke("en", false).ok());
+  ASSERT_TRUE(ref->poke("en", false).ok());
+  ASSERT_TRUE(fast->settle().ok());
+  ASSERT_TRUE(ref->settle().ok());
+  expect_agreement();
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    auto a = fast->step({cycle % 2 == 0});
+    auto b = ref->step({cycle % 2 == 0});
+    ASSERT_TRUE(a.ok()) << a.status().to_string();
+    ASSERT_TRUE(b.ok()) << b.status().to_string();
+    EXPECT_EQ(*a, *b) << "cycle " << cycle;
+  }
 }
 
 TEST(Compiler, Mux4Exhaustive) {

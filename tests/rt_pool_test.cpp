@@ -346,6 +346,49 @@ TEST(RtDevicePool, ValidatesLikeADevice) {
   EXPECT_EQ(pool->stats().replications, 0u);
 }
 
+TEST(RtDevicePool, ClockedSubmissionsRouteAndRollUpCycleStats) {
+  const auto netlist = map::make_counter(2);
+  const auto counter = compile_or_die(netlist);
+  auto pool = rt::DevicePool::create(2, counter.fabric.rows(),
+                                     counter.fabric.cols());
+  ASSERT_TRUE(pool.ok());
+  ASSERT_TRUE(pool->register_design("counter", counter).ok());
+
+  // Ragged batches fail fast, before any scheduling side effect.
+  EXPECT_EQ(pool->submit("counter", random_vectors(3, 1, 1),
+                         rt::SubmitOptions{.cycles = 2})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(pool->stats().jobs_submitted, 0u);
+
+  // Two independent streams of four cycles, verified against the netlist.
+  const std::size_t streams = 2, cycles = 4;
+  const auto stimulus = random_vectors(streams * cycles, 1, 7);
+  auto job = pool->submit("counter", stimulus,
+                          rt::SubmitOptions{.cycles = cycles});
+  ASSERT_TRUE(job.ok()) << job.status().to_string();
+  auto results = job->wait();
+  ASSERT_TRUE(results.ok()) << results.status().to_string();
+  for (std::size_t s = 0; s < streams; ++s) {
+    auto state = netlist.make_state();
+    for (std::size_t c = 0; c < cycles; ++c) {
+      const auto expected = netlist.step({stimulus[s * cycles + c][0]}, state);
+      const auto& got = (*results)[s * cycles + c];
+      EXPECT_EQ(std::vector<bool>(got.begin(), got.end()), expected)
+          << "stream " << s << " cycle " << c;
+    }
+  }
+
+  // The fleet roll-up carries the cycle counters from whichever device ran
+  // the job: one pass group of 4 cycles, 2 register commits per edge.
+  const rt::PoolStats stats = pool->stats();
+  EXPECT_EQ(stats.jobs_submitted, 1u);
+  EXPECT_EQ(stats.cycles_run, cycles);
+  EXPECT_EQ(stats.state_commits, 2 * cycles);
+  EXPECT_EQ(stats.fast_cycle_passes, cycles);
+}
+
 TEST(RtDevicePool, ConcurrentRegistrationOfOneNameIsAtomic) {
   const auto parity = compile_or_die(map::make_parity(4));
   const auto adder = compile_or_die(map::make_ripple_adder(2));
