@@ -417,6 +417,24 @@ Result<CompiledDesign> Compiler::compile(const map::Netlist& netlist) const {
   return last;
 }
 
+Result<PolyDesign> Compiler::compile_poly(
+    const poly::PolyNetlist& netlist) const {
+  if (Status s = netlist.validate(); !s.ok()) return s;
+  std::vector<CompiledDesign> views;
+  views.reserve(static_cast<std::size_t>(netlist.modes()));
+  for (int m = 0; m < netlist.modes(); ++m) {
+    auto view = netlist.view(m);
+    if (!view.ok()) return view.status();
+    auto design = compile(*view);
+    if (!design.ok())
+      return Status(design.status().code(),
+                    "compile_poly: mode " + std::to_string(m) + ": " +
+                        std::string(design.status().message()));
+    views.push_back(std::move(*design));
+  }
+  return PolyDesign{netlist, std::move(views)};
+}
+
 Result<CompiledDesign> compile(const map::Netlist& netlist,
                                const CompileOptions& options) {
   return Compiler(options).compile(netlist);

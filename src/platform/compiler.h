@@ -39,6 +39,7 @@
 #include "map/netlist.h"
 #include "map/router.h"
 #include "platform/report.h"
+#include "poly/netlist.h"
 #include "sim/evaluator.h"
 #include "util/status.h"
 
@@ -116,6 +117,18 @@ struct CompiledDesign {
   std::uint64_t content_hash = 0;
 };
 
+/// A compiled *polymorphic* design: the source multi-mode netlist plus one
+/// CompiledDesign per environment mode — each mode is a distinct
+/// configuration view of the shared structure (the fabric and bitstream
+/// layers stay mode-blind; the environment, not the bitstream, selects
+/// which view is live).  `views[m]` is Compiler::compile of
+/// `netlist.view(m)`, so any view loads into an ordinary Session; the
+/// whole design loads into a mode-aware one with Session::load_poly.
+struct PolyDesign {
+  poly::PolyNetlist netlist;           ///< the multi-mode source
+  std::vector<CompiledDesign> views;   ///< one configured fabric per mode
+};
+
 /// The four-step netlist→fabric pipeline (decompose, place, route,
 /// account & serialise — see the file comment).  Stateless apart from its
 /// options; compile() may be called repeatedly.
@@ -132,6 +145,13 @@ class Compiler {
   /// own validity checks.
   [[nodiscard]] Result<CompiledDesign> compile(
       const map::Netlist& netlist) const;
+
+  /// Compile a polymorphic netlist: every configuration view goes through
+  /// the ordinary pipeline (so each mode gets its own placed, routed,
+  /// serialised fabric).  Failure modes are compile()'s, surfaced with the
+  /// offending mode named, plus kInvalidArgument for an invalid netlist.
+  [[nodiscard]] Result<PolyDesign> compile_poly(
+      const poly::PolyNetlist& netlist) const;
 
   /// The options this compiler was constructed with.
   [[nodiscard]] const CompileOptions& options() const noexcept {

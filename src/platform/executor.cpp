@@ -194,6 +194,11 @@ Status BatchExecutor::compiled_engine_status() { return ensure_compiled(); }
 
 Result<std::vector<BitVector>> BatchExecutor::run(
     std::span<const InputVector> vectors, const RunOptions& options) {
+  if (options.mode != 0 || options.sweep_modes)
+    return Status::invalid_argument(
+        "run_vectors: this binding serves a single configuration view — "
+        "mode selection and sweeps need a polymorphic session "
+        "(Session::load_poly)");
   if (sequential_)
     return Status::failed_precondition(
         "run_vectors: clocked design (register state) — vectors are cycles "
@@ -330,6 +335,11 @@ Result<std::vector<BitVector>> BatchExecutor::run(
 Result<std::vector<BitVector>> BatchExecutor::run_cycles(
     std::span<const InputVector> stimulus, std::size_t cycles,
     const RunOptions& options) {
+  if (options.mode != 0 || options.sweep_modes)
+    return Status::invalid_argument(
+        "run_cycles: this binding serves a single configuration view — "
+        "clocked polymorphic designs run per-mode through Session::load_poly "
+        "with RunOptions::mode");
   const std::size_t nin = in_nets_.size();
   if (cycles < 1)
     return Status::invalid_argument("run_cycles: cycles must be >= 1");

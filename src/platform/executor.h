@@ -59,6 +59,16 @@ struct RunOptions {
   std::uint64_t max_events_per_vector = 2'000'000;
   /// Engine selection policy.
   Engine engine = Engine::kAuto;
+  /// Environment mode to evaluate, for polymorphic designs loaded with
+  /// Session::load_poly: the run is served by that mode's configuration
+  /// view.  Ordinary designs (and BatchExecutor, which serves exactly one
+  /// view) accept only 0.
+  std::uint32_t mode = 0;
+  /// Sweep *every* environment mode in one batch (load_poly sessions
+  /// only): run_vectors returns mode-major results — mode m's outputs for
+  /// vector v at index `m * vectors.size() + v`.  Mutually exclusive with
+  /// a non-zero `mode`.
+  bool sweep_modes = false;
 };
 
 /// Cumulative accounting of one executor's batch runs (all counters

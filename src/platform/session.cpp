@@ -6,6 +6,7 @@
 
 #include "core/bitstream.h"
 #include "platform/executor.h"
+#include "poly/executor.h"
 
 namespace pp::platform {
 
@@ -169,6 +170,49 @@ struct Session::Impl {
     if (is_pokeable) pokeable.emplace(name, net);
     return Status();
   }
+
+  // Polymorphic designs (load_poly): the multi-mode source and its
+  // per-mode configuration views.  The base session *is* mode 0; other
+  // modes get their own lazily loaded Session (each a full fabric decode —
+  // exactly what reconfiguring the environment selects), and sweeps ride
+  // the mode-major compiled engine, built once on first use.
+  std::optional<PolyDesign> poly_design;
+  std::map<std::uint32_t, Session> mode_sessions;
+  std::optional<poly::ModalExecutor> modal;
+
+  /// The lazily loaded Session serving environment mode `mode` (> 0).
+  [[nodiscard]] Result<Session*> mode_session(std::uint32_t mode) {
+    if (auto it = mode_sessions.find(mode); it != mode_sessions.end())
+      return &it->second;
+    auto sub = Session::load(
+        poly_design->views[static_cast<std::size_t>(mode)]);
+    if (!sub.ok())
+      return Status(sub.status().code(),
+                    "mode " + std::to_string(mode) + ": " +
+                        std::string(sub.status().message()));
+    return &mode_sessions.emplace(mode, std::move(*sub)).first->second;
+  }
+
+  /// Validate mode/sweep knobs against this session's mode axis; returns
+  /// the mode count.
+  [[nodiscard]] Result<std::uint32_t> check_mode_options(
+      const RunOptions& options) const {
+    const auto modes =
+        poly_design ? static_cast<std::uint32_t>(poly_design->netlist.modes())
+                    : 1u;
+    if (!poly_design && (options.mode != 0 || options.sweep_modes))
+      return Status::invalid_argument(
+          "mode selection on a non-polymorphic session (use "
+          "Session::load_poly)");
+    if (options.mode != 0 && options.sweep_modes)
+      return Status::invalid_argument(
+          "sweep_modes evaluates every mode — it excludes a fixed mode");
+    if (options.mode >= modes)
+      return Status::out_of_range(
+          "mode " + std::to_string(options.mode) + " outside 0.." +
+          std::to_string(modes - 1));
+    return modes;
+  }
 };
 
 Session::Session(std::unique_ptr<Impl> impl) : impl_(std::move(impl)) {}
@@ -230,6 +274,21 @@ Result<Session> Session::load(const CompiledDesign& design) {
   if (!impl->sim->settle())
     return Status::resource_exhausted("Session::load: design never settled");
   return Session(std::move(impl));
+}
+
+Result<Session> Session::load_poly(const PolyDesign& design) {
+  if (design.views.empty() ||
+      static_cast<int>(design.views.size()) != design.netlist.modes())
+    return Status::invalid_argument(
+        "Session::load_poly: expected one configuration view per mode (" +
+        std::to_string(design.netlist.modes()) + "), got " +
+        std::to_string(design.views.size()));
+  auto base = load(design.views.front());
+  if (!base.ok())
+    return Status(base.status().code(),
+                  "mode 0: " + std::string(base.status().message()));
+  base->impl_->poly_design.emplace(design);
+  return base;
 }
 
 Result<Session> Session::from_fabric(core::Fabric fabric,
@@ -380,6 +439,29 @@ Result<BitVector> Session::step(const InputVector& inputs) {
 
 Result<std::vector<BitVector>> Session::run_vectors(
     std::span<const InputVector> vectors, const RunOptions& options) {
+  if (auto modes = impl_->check_mode_options(options); !modes.ok())
+    return Status(modes.status().code(),
+                  "run_vectors: " + std::string(modes.status().message()));
+  if (options.sweep_modes) {
+    if (!impl_->modal) {
+      auto modal = poly::ModalExecutor::create(impl_->poly_design->netlist);
+      if (!modal.ok())
+        return Status(modal.status().code(),
+                      "run_vectors: sweep: " +
+                          std::string(modal.status().message()));
+      impl_->modal.emplace(std::move(*modal));
+    }
+    return impl_->modal->run_sweep(vectors);
+  }
+  if (options.mode != 0) {
+    auto sub = impl_->mode_session(options.mode);
+    if (!sub.ok())
+      return Status(sub.status().code(),
+                    "run_vectors: " + std::string(sub.status().message()));
+    RunOptions sub_options = options;
+    sub_options.mode = 0;
+    return (*sub)->run_vectors(vectors, sub_options);
+  }
   if (!impl_->state.empty())
     return Status::failed_precondition(
         "run_vectors: sequential design — vectors are not independent; use "
@@ -390,6 +472,22 @@ Result<std::vector<BitVector>> Session::run_vectors(
 Result<std::vector<BitVector>> Session::run_cycles(
     std::span<const InputVector> stimulus, std::size_t cycles,
     const RunOptions& options) {
+  if (auto modes = impl_->check_mode_options(options); !modes.ok())
+    return Status(modes.status().code(),
+                  "run_cycles: " + std::string(modes.status().message()));
+  if (options.sweep_modes)
+    return Status::unimplemented(
+        "run_cycles: clocked polymorphic designs are evaluated per-mode "
+        "(RunOptions::mode), not mode-swept");
+  if (options.mode != 0) {
+    auto sub = impl_->mode_session(options.mode);
+    if (!sub.ok())
+      return Status(sub.status().code(),
+                    "run_cycles: " + std::string(sub.status().message()));
+    RunOptions sub_options = options;
+    sub_options.mode = 0;
+    return (*sub)->run_cycles(stimulus, cycles, sub_options);
+  }
   return impl_->exec().run_cycles(stimulus, cycles, options);
 }
 
@@ -409,6 +507,12 @@ const std::vector<std::string>& Session::output_names() const {
   return impl_->output_names;
 }
 bool Session::sequential() const { return !impl_->state.empty(); }
+
+std::size_t Session::mode_count() const {
+  return impl_->poly_design
+             ? static_cast<std::size_t>(impl_->poly_design->netlist.modes())
+             : 1u;
+}
 
 Result<sim::NetId> Session::net(std::string_view name) const {
   const auto it = impl_->by_name.find(name);

@@ -57,6 +57,15 @@ class Session {
   /// nothing to simulate) and with the bitstream's Status on corruption.
   [[nodiscard]] static Result<Session> load(const CompiledDesign& design);
 
+  /// Load a *multi-mode* polymorphic design (Compiler::compile_poly).  The
+  /// interactive API and plain batch runs drive mode 0's configuration
+  /// view; `RunOptions::mode` routes a batch to another mode's view (its
+  /// Session is built lazily and cached), and `RunOptions::sweep_modes`
+  /// evaluates every mode in one swept batch through the mode-major
+  /// compiled engine (poly::ModalExecutor) — results come back mode-major,
+  /// mode m's vector v at index `m * vectors.size() + v`.
+  [[nodiscard]] static Result<Session> load_poly(const PolyDesign& design);
+
   /// Wrap a hand-configured fabric (e.g. built from map::macros) with named
   /// ports: `inputs` name boundary pad lines to drive, `observes` name any
   /// input-line positions to read back.
@@ -153,6 +162,9 @@ class Session {
   /// True when the design has DFF boundary registers (drive it with step
   /// or run_cycles; run_vectors is rejected).
   [[nodiscard]] bool sequential() const;
+  /// Environment modes this session answers: 1 for ordinary designs, the
+  /// library's mode count for load_poly sessions.
+  [[nodiscard]] std::size_t mode_count() const;
 
   /// Resolve a bound port name to its simulator net (for waveforms and
   /// timing probes on the raw simulator).

@@ -1,0 +1,88 @@
+#include "poly/executor.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace pp::poly {
+
+namespace {
+
+/// Lanes per mode per eval_modes call: one default-width kernel pass.
+constexpr std::size_t kGranuleLanes =
+    static_cast<std::size_t>(sim::CompiledEval::kDefaultWideWords) *
+    sim::Evaluator::kBatchLanes;
+
+}  // namespace
+
+ModalExecutor::ModalExecutor(std::unique_ptr<Elaboration> elab,
+                             sim::CompiledEval engine)
+    : elab_(std::move(elab)),
+      engine_(std::make_unique<sim::CompiledEval>(std::move(engine))) {}
+
+Result<ModalExecutor> ModalExecutor::create(const PolyNetlist& netlist) {
+  auto el = elaborate(netlist);
+  if (!el.ok()) return el.status();
+  auto elab = std::make_unique<Elaboration>(std::move(*el));
+  auto engine = sim::CompiledEval::compile_modal(
+      elab->circuit, elab->in_nets, elab->out_nets, elab->overrides);
+  if (!engine.ok()) return engine.status();
+  return ModalExecutor(std::move(elab), std::move(*engine));
+}
+
+std::size_t ModalExecutor::modes() const noexcept {
+  return engine_->mode_count();
+}
+
+Result<std::vector<std::vector<bool>>> ModalExecutor::run_sweep(
+    std::span<const std::vector<bool>> vectors) {
+  const std::size_t nin = input_count();
+  const std::size_t nout = output_count();
+  const std::size_t m_count = modes();
+  for (const std::vector<bool>& v : vectors)
+    if (v.size() != nin)
+      return Status::invalid_argument(
+          "run_sweep: expected " + std::to_string(nin) +
+          " input values, got " + std::to_string(v.size()));
+  std::vector<std::vector<bool>> results(m_count * vectors.size(),
+                                         std::vector<bool>(nout));
+  std::vector<std::uint64_t> in_v, in_u, out_v, out_u;
+  for (std::size_t base = 0; base < vectors.size(); base += kGranuleLanes) {
+    const std::size_t lanes =
+        std::min(kGranuleLanes, vectors.size() - base);
+    const std::size_t wpm = (lanes + sim::Evaluator::kBatchLanes - 1) /
+                            sim::Evaluator::kBatchLanes;
+    in_v.assign(nin * m_count * wpm, 0);
+    in_u.assign(nin * m_count * wpm, 0);
+    out_v.assign(nout * m_count * wpm, 0);
+    out_u.assign(nout * m_count * wpm, 0);
+    for (std::size_t i = 0; i < nin; ++i) {
+      // Pack mode 0's lane group, then duplicate it into the other modes
+      // (a sweep evaluates the same stimulus under every environment).
+      const std::size_t g0 = i * m_count * wpm;
+      for (std::size_t v = 0; v < lanes; ++v)
+        if (vectors[base + v][i])
+          in_v[g0 + v / 64] |= std::uint64_t{1} << (v % 64);
+      for (std::size_t m = 1; m < m_count; ++m)
+        std::copy_n(in_v.begin() + static_cast<std::ptrdiff_t>(g0), wpm,
+                    in_v.begin() + static_cast<std::ptrdiff_t>(g0 + m * wpm));
+    }
+    if (Status s = engine_->eval_modes(in_v, in_u, out_v, out_u, lanes);
+        !s.ok())
+      return s;
+    for (std::size_t k = 0; k < nout; ++k)
+      for (std::size_t m = 0; m < m_count; ++m)
+        for (std::size_t v = 0; v < lanes; ++v) {
+          const std::size_t word = (k * m_count + m) * wpm + v / 64;
+          const std::uint64_t bit = std::uint64_t{1} << (v % 64);
+          if (out_u[word] & bit)
+            return Status::internal(
+                "run_sweep: output '" + elab_->output_names[k] +
+                "' settled to X in mode " + std::to_string(m));
+          results[m * vectors.size() + base + v][k] =
+              (out_v[word] & bit) != 0;
+        }
+  }
+  return results;
+}
+
+}  // namespace pp::poly

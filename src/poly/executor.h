@@ -1,0 +1,72 @@
+// poly::ModalExecutor — mode-swept batch evaluation of a polymorphic
+// netlist: one engine, one compile, every environment mode answered in a
+// single pass.
+//
+// The executor elaborates the netlist once (shared structure, per-mode
+// gate-kind overrides), compiles a mode-swept sim::CompiledEval
+// (`compile_modal`), and packs stimulus into the engine's mode-major lane
+// groups so that a batch of V vectors yields all M modes' results in one
+// sweep — the paper's polymorphic value proposition (the environment *is*
+// the mode selector; no reconfiguration between modes) made concrete as a
+// batch API.  platform::Session::run_vectors routes
+// `RunOptions::sweep_modes` here.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "poly/netlist.h"
+#include "sim/evaluator.h"
+#include "util/status.h"
+
+namespace pp::poly {
+
+/// The mode-swept batch engine over one combinational PolyNetlist.  Not
+/// synchronized: callers serialize run_sweep calls (same contract as
+/// platform::BatchExecutor).
+class ModalExecutor {
+ public:
+  /// Elaborate and compile `netlist` for sweeping.  Fails like
+  /// poly::elaborate (kUnimplemented for clocked designs) and like
+  /// sim::CompiledEval::compile_modal.
+  [[nodiscard]] static Result<ModalExecutor> create(const PolyNetlist& netlist);
+
+  /// Environment modes the engine sweeps.
+  [[nodiscard]] std::size_t modes() const noexcept;
+  /// Stimulus vector width (netlist input order).
+  [[nodiscard]] std::size_t input_count() const noexcept {
+    return elab_->in_nets.size();
+  }
+  /// Result vector width (netlist output order).
+  [[nodiscard]] std::size_t output_count() const noexcept {
+    return elab_->out_nets.size();
+  }
+  /// Input names in stimulus order.
+  [[nodiscard]] const std::vector<std::string>& input_names() const noexcept {
+    return elab_->input_names;
+  }
+  /// Output names in result order.
+  [[nodiscard]] const std::vector<std::string>& output_names() const noexcept {
+    return elab_->output_names;
+  }
+
+  /// Evaluate every vector under *every* environment mode in swept
+  /// granules.  Results are mode-major: mode m's outputs for vector v land
+  /// at index `m * vectors.size() + v`.  Fails with kInvalidArgument on a
+  /// ragged vector and kInternal when an output settles to X (matching
+  /// BatchExecutor's binary-results contract).
+  [[nodiscard]] Result<std::vector<std::vector<bool>>> run_sweep(
+      std::span<const std::vector<bool>> vectors);
+
+ private:
+  ModalExecutor(std::unique_ptr<Elaboration> elab, sim::CompiledEval engine);
+
+  /// Heap-held so the engine's circuit reference survives executor moves.
+  std::unique_ptr<Elaboration> elab_;
+  std::unique_ptr<sim::CompiledEval> engine_;
+};
+
+}  // namespace pp::poly

@@ -1,0 +1,371 @@
+#include "poly/gate.h"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <deque>
+
+namespace pp::poly {
+
+namespace {
+
+/// True for kinds a PolyGate mode slot may carry at the given arity.
+bool legal_mode_kind(map::CellKind kind, int arity) {
+  switch (kind) {
+    case map::CellKind::kNot:
+      return arity == 1;
+    case map::CellKind::kAnd:
+    case map::CellKind::kOr:
+    case map::CellKind::kNand:
+    case map::CellKind::kNor:
+    case map::CellKind::kXor:
+      return arity >= 2;
+    default:
+      return false;
+  }
+}
+
+const char* kind_name(map::CellKind kind) {
+  switch (kind) {
+    case map::CellKind::kNot: return "NOT";
+    case map::CellKind::kAnd: return "AND";
+    case map::CellKind::kOr: return "OR";
+    case map::CellKind::kNand: return "NAND";
+    case map::CellKind::kNor: return "NOR";
+    case map::CellKind::kXor: return "XOR";
+    default: return "?";
+  }
+}
+
+}  // namespace
+
+bool PolyGate::invariant() const {
+  return std::all_of(modes.begin(), modes.end(),
+                     [&](map::CellKind k) { return k == modes.front(); });
+}
+
+Status GateLibrary::validate() const {
+  if (modes < 1 || modes > kMaxModes)
+    return Status::invalid_argument(
+        "GateLibrary: mode count " + std::to_string(modes) +
+        " outside 1.." + std::to_string(kMaxModes));
+  if (gates.empty())
+    return Status::invalid_argument("GateLibrary: no gates");
+  for (const PolyGate& g : gates) {
+    if (g.arity < 1 || g.arity > map::kMaxVars)
+      return Status::invalid_argument("GateLibrary: gate '" + g.name +
+                                      "' arity outside 1.." +
+                                      std::to_string(map::kMaxVars));
+    if (static_cast<int>(g.modes.size()) != modes)
+      return Status::invalid_argument(
+          "GateLibrary: gate '" + g.name + "' has " +
+          std::to_string(g.modes.size()) + " mode functions, library has " +
+          std::to_string(modes) + " modes");
+    for (map::CellKind k : g.modes)
+      if (!legal_mode_kind(k, g.arity))
+        return Status::invalid_argument(
+            "GateLibrary: gate '" + g.name + "': " + kind_name(k) +
+            " is not a legal mode function at arity " +
+            std::to_string(g.arity));
+  }
+  return Status();
+}
+
+std::uint64_t kind_truth_bits(map::CellKind kind, int arity) {
+  const int rows = 1 << arity;
+  std::uint64_t bits = 0;
+  for (int r = 0; r < rows; ++r) {
+    bool out = false;
+    switch (kind) {
+      case map::CellKind::kNot:
+        out = (r & 1) == 0;
+        break;
+      case map::CellKind::kAnd:
+        out = r == rows - 1;
+        break;
+      case map::CellKind::kOr:
+        out = r != 0;
+        break;
+      case map::CellKind::kNand:
+        out = r != rows - 1;
+        break;
+      case map::CellKind::kNor:
+        out = r == 0;
+        break;
+      case map::CellKind::kXor:
+        out = (std::popcount(static_cast<unsigned>(r)) & 1) != 0;
+        break;
+      default:
+        out = false;
+        break;
+    }
+    if (out) bits |= std::uint64_t{1} << r;
+  }
+  return bits;
+}
+
+PolyGate make_nand_nor() {
+  return {"NAND/NOR", 2, {map::CellKind::kNand, map::CellKind::kNor}};
+}
+
+PolyGate make_and_or() {
+  return {"AND/OR", 2, {map::CellKind::kAnd, map::CellKind::kOr}};
+}
+
+PolyGate make_ordinary(map::CellKind kind, int arity, int modes) {
+  return {std::string(kind_name(kind)), arity,
+          std::vector<map::CellKind>(static_cast<std::size_t>(modes), kind)};
+}
+
+namespace {
+
+// ---- Post maximal-class diagnostics ------------------------------------
+//
+// An *ordinary* gate set is complete iff for each of Post's five maximal
+// clones some gate escapes it.  Per mode this gives the first half of the
+// 1709.03065 judgment and, on failure, a named witness class.
+
+bool preserves_t0(std::uint64_t bits, int /*arity*/) { return (bits & 1) == 0; }
+
+bool preserves_t1(std::uint64_t bits, int arity) {
+  return (bits >> ((1 << arity) - 1)) & 1;
+}
+
+bool is_monotone(std::uint64_t bits, int arity) {
+  const int rows = 1 << arity;
+  for (int a = 0; a < rows; ++a)
+    for (int j = 0; j < arity; ++j) {
+      const int b = a | (1 << j);
+      if (b != a && ((bits >> a) & 1) > ((bits >> b) & 1)) return false;
+    }
+  return true;
+}
+
+bool is_self_dual(std::uint64_t bits, int arity) {
+  const int rows = 1 << arity;
+  for (int a = 0; a < rows; ++a)
+    if (((bits >> a) & 1) == ((bits >> (rows - 1 - a)) & 1)) return false;
+  return true;
+}
+
+bool is_affine(std::uint64_t bits, int arity) {
+  // ANF via in-place Mobius transform; affine = no monomial of degree > 1.
+  const int rows = 1 << arity;
+  std::array<std::uint8_t, 64> anf{};
+  for (int r = 0; r < rows; ++r) anf[r] = (bits >> r) & 1;
+  for (int j = 0; j < arity; ++j)
+    for (int r = 0; r < rows; ++r)
+      if (r & (1 << j)) anf[r] ^= anf[r ^ (1 << j)];
+  for (int r = 0; r < rows; ++r)
+    if (anf[r] && std::popcount(static_cast<unsigned>(r)) > 1) return false;
+  return true;
+}
+
+// ---- The closure decision procedure ------------------------------------
+//
+// Elements are M-tuples of n-ary truth tables (n = max(2, M)), keyed by
+// concatenating the M tables' 2^n bits.  The closure starts from the n
+// projections (as diagonal tuples) and applies every library gate
+// componentwise until no new tuple appears or both targets are found.
+
+struct Closure {
+  int modes;
+  int n;     // arity of the enumerated clone part
+  int rows;  // 2^n
+
+  [[nodiscard]] std::uint64_t key(const std::vector<std::uint32_t>& t) const {
+    std::uint64_t k = 0;
+    for (int m = 0; m < modes; ++m)
+      k |= static_cast<std::uint64_t>(t[m]) << (m * rows);
+    return k;
+  }
+};
+
+}  // namespace
+
+Result<Completeness> is_complete(const GateLibrary& library) {
+  if (Status s = library.validate(); !s.ok()) return s;
+  const int modes = library.modes;
+  if (modes > 3)
+    return Status::unimplemented(
+        "is_complete: closure enumeration supports at most 3 modes (the "
+        "tuple space is 2^(M*2^max(2,M)))");
+
+  Completeness out;
+
+  // Per-mode Post diagnosis.
+  out.mode_post_classes.resize(static_cast<std::size_t>(modes));
+  bool every_mode_complete = true;
+  for (int m = 0; m < modes; ++m) {
+    bool all_t0 = true, all_t1 = true, all_mono = true, all_sd = true,
+         all_aff = true;
+    for (const PolyGate& g : library.gates) {
+      const std::uint64_t bits = kind_truth_bits(g.modes[m], g.arity);
+      all_t0 &= preserves_t0(bits, g.arity);
+      all_t1 &= preserves_t1(bits, g.arity);
+      all_mono &= is_monotone(bits, g.arity);
+      all_sd &= is_self_dual(bits, g.arity);
+      all_aff &= is_affine(bits, g.arity);
+    }
+    auto& classes = out.mode_post_classes[static_cast<std::size_t>(m)];
+    if (all_t0) classes.emplace_back("T0");
+    if (all_t1) classes.emplace_back("T1");
+    if (all_mono) classes.emplace_back("monotone");
+    if (all_sd) classes.emplace_back("self-dual");
+    if (all_aff) classes.emplace_back("affine");
+    if (!classes.empty()) {
+      every_mode_complete = false;
+      if (out.reason.empty())
+        out.reason = "mode " + std::to_string(m) +
+                     " is not complete on its own: every gate preserves " +
+                     classes.front();
+    }
+  }
+
+  // Closure over M-tuples of n-ary functions.
+  Closure c;
+  c.modes = modes;
+  c.n = std::max(2, modes);
+  c.rows = 1 << c.n;
+
+  // Targets: the diagonal NAND tuple and the mode selector.
+  std::uint32_t nand_table = 0;
+  for (int r = 0; r < c.rows; ++r)
+    if ((r & 3) != 3) nand_table |= std::uint32_t{1} << r;
+  std::vector<std::uint32_t> proj(static_cast<std::size_t>(c.n));
+  for (int j = 0; j < c.n; ++j) {
+    std::uint32_t t = 0;
+    for (int r = 0; r < c.rows; ++r)
+      if (r & (1 << j)) t |= std::uint32_t{1} << r;
+    proj[static_cast<std::size_t>(j)] = t;
+  }
+  const std::uint64_t target_nand =
+      c.key(std::vector<std::uint32_t>(static_cast<std::size_t>(modes),
+                                       nand_table));
+  std::vector<std::uint32_t> selector(static_cast<std::size_t>(modes));
+  for (int m = 0; m < modes; ++m)
+    selector[static_cast<std::size_t>(m)] = proj[static_cast<std::size_t>(m)];
+  const std::uint64_t target_selector = c.key(selector);
+
+  // Pre-expand every gate's per-mode truth bits.
+  struct GateBits {
+    int arity;
+    std::vector<std::uint64_t> bits;  // per mode
+  };
+  std::vector<GateBits> gate_bits;
+  gate_bits.reserve(library.gates.size());
+  for (const PolyGate& g : library.gates) {
+    GateBits gb;
+    gb.arity = g.arity;
+    for (map::CellKind k : g.modes)
+      gb.bits.push_back(kind_truth_bits(k, g.arity));
+    gate_bits.push_back(std::move(gb));
+  }
+
+  // Dense membership bitmap (2 modes: 256 bits; 3 modes: 2^24 bits = 2 MB)
+  // plus the elements themselves for enumeration.
+  const std::uint64_t space =
+      std::uint64_t{1} << (modes * c.rows);
+  std::vector<bool> seen(static_cast<std::size_t>(space), false);
+  std::vector<std::vector<std::uint32_t>> elems;
+  std::deque<std::size_t> work;  // indexes into elems not yet expanded
+
+  const auto add = [&](const std::vector<std::uint32_t>& t) {
+    const std::uint64_t k = c.key(t);
+    if (seen[static_cast<std::size_t>(k)]) return;
+    seen[static_cast<std::size_t>(k)] = true;
+    elems.push_back(t);
+    work.push_back(elems.size() - 1);
+    if (k == target_nand) out.has_diagonal_nand = true;
+    if (k == target_selector) out.has_mode_selector = true;
+  };
+
+  for (int j = 0; j < c.n; ++j)
+    add(std::vector<std::uint32_t>(static_cast<std::size_t>(modes),
+                                   proj[static_cast<std::size_t>(j)]));
+
+  // Budget: generous for 3 modes, unreachable for 2 (whole space is 256).
+  constexpr std::size_t kMaxElems = std::size_t{1} << 22;
+  constexpr std::uint64_t kMaxApplications = 400'000'000;
+  std::uint64_t applications = 0;
+
+  std::vector<std::uint32_t> result(static_cast<std::size_t>(modes));
+  std::vector<const std::vector<std::uint32_t>*> args;
+  // Semi-naive expansion: when an element is popped, apply every gate with
+  // the element in each argument slot and all previously-seen elements in
+  // the others — each application tuple is visited exactly once.
+  while (!work.empty() && !(out.has_diagonal_nand && out.has_mode_selector)) {
+    const std::size_t ei = work.front();
+    work.pop_front();
+    for (const GateBits& g : gate_bits) {
+      const int a = g.arity;
+      // Enumerate argument tuples (i_0..i_{a-1}) where at least one slot is
+      // `ei` and every slot index is <= the current element count at the
+      // time ei was popped; restricting one slot to ei and the rest to the
+      // full list gives each tuple at least once (duplicates are cheap —
+      // `add` dedupes).
+      std::vector<std::size_t> idx(static_cast<std::size_t>(a), 0);
+      for (int fixed = 0; fixed < a; ++fixed) {
+        std::fill(idx.begin(), idx.end(), 0);
+        bool done = false;
+        while (!done) {
+          idx[static_cast<std::size_t>(fixed)] = ei;
+          // Apply gate componentwise.
+          for (int m = 0; m < modes; ++m) {
+            std::uint32_t t = 0;
+            for (int r = 0; r < c.rows; ++r) {
+              int in_row = 0;
+              for (int j = 0; j < a; ++j)
+                in_row |= static_cast<int>(
+                              (elems[idx[static_cast<std::size_t>(j)]]
+                                    [static_cast<std::size_t>(m)] >> r) & 1u)
+                          << j;
+              if ((g.bits[static_cast<std::size_t>(m)] >> in_row) & 1)
+                t |= std::uint32_t{1} << r;
+            }
+            result[static_cast<std::size_t>(m)] = t;
+          }
+          add(result);
+          if (++applications > kMaxApplications ||
+              elems.size() > kMaxElems)
+            return Status::resource_exhausted(
+                "is_complete: closure budget exceeded");
+          if (out.has_diagonal_nand && out.has_mode_selector) {
+            done = true;
+            break;
+          }
+          // Advance the non-fixed slots odometer-style.
+          int j = 0;
+          for (; j < a; ++j) {
+            if (j == fixed) continue;
+            if (++idx[static_cast<std::size_t>(j)] < elems.size()) break;
+            idx[static_cast<std::size_t>(j)] = 0;
+          }
+          if (j == a) done = true;
+        }
+        if (out.has_diagonal_nand && out.has_mode_selector) break;
+      }
+      if (out.has_diagonal_nand && out.has_mode_selector) break;
+    }
+  }
+
+  out.complete = out.has_diagonal_nand && out.has_mode_selector;
+  if (out.complete) {
+    out.reason = "complete: the polymorphic closure realizes NAND in every "
+                 "mode and the mode selector";
+  } else if (out.reason.empty()) {
+    // Every mode is complete on its own; the failure is cross-mode.
+    if (!out.has_mode_selector)
+      out.reason = every_mode_complete
+                       ? "mode-product functions incomplete: the closure "
+                         "cannot realize the mode selector (the modes cannot "
+                         "be told apart by any circuit)"
+                       : "mode-product functions incomplete";
+    else
+      out.reason = "mode-product functions incomplete: the closure cannot "
+                   "realize a common complete gate in every mode";
+  }
+  return out;
+}
+
+}  // namespace pp::poly

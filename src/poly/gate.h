@@ -1,0 +1,120 @@
+// Environment-polymorphic gates (the "polymorphic" half of the paper).
+//
+// A polymorphic gate computes a *different* Boolean function in each
+// environment mode (VDD level, temperature band, ...): the canonical
+// example is a cell that is NAND at nominal supply and NOR at a lowered
+// one.  Every polymorphic cell in a fabric switches *together* — the
+// environment is a single global selector — so a design with polymorphic
+// cells is really M ordinary designs sharing one structure, one per mode.
+//
+// This header gives the model: `PolyGate` is one library cell (one
+// `map::CellKind` function per mode over a fixed arity) and `GateLibrary`
+// a set of them sharing a mode axis.  `is_complete` decides whether a
+// library can realize *every* M-tuple of Boolean functions — the
+// completeness judgment of Li, Luo, Yue & Wang (arXiv 1709.03065): a set
+// that is complete in each mode separately can still be polymorphically
+// incomplete (e.g. {NAND/NOR} alone realizes only (f, dual f) pairs).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "map/netlist.h"
+#include "map/truth_table.h"
+#include "util/status.h"
+
+namespace pp::poly {
+
+/// Upper bound on the environment-mode axis accepted by the subsystem.
+/// Two is the paper's case (nominal/lowered VDD); the algorithms generalise
+/// but the completeness closure is exponential in the mode count.
+inline constexpr int kMaxModes = 4;
+
+/// One polymorphic library cell: the same physical gate evaluates
+/// `modes[m]` in environment mode m.  All mode functions share `arity`
+/// input pins.  A cell whose mode functions are all equal is an ordinary
+/// (environment-invariant) gate riding the same representation.
+struct PolyGate {
+  /// Display name, e.g. "NAND/NOR".
+  std::string name;
+  /// Input pin count shared by every mode function (1..map::kMaxVars).
+  int arity = 2;
+  /// Function per mode (size = the library's mode count).  Only logic
+  /// kinds are meaningful here: kNot (arity 1) and kAnd/kOr/kNand/kNor/
+  /// kXor (arity >= 2).
+  std::vector<map::CellKind> modes;
+
+  /// True when every mode computes the same function.
+  [[nodiscard]] bool invariant() const;
+};
+
+/// A gate library over a fixed environment-mode axis.
+struct GateLibrary {
+  /// Environment modes (2..kMaxModes for a genuinely polymorphic library).
+  int modes = 2;
+  /// The cells; each gate's `modes` vector must have exactly `modes`
+  /// entries of arity-compatible logic kinds (see `validate`).
+  std::vector<PolyGate> gates;
+
+  /// Structural validation: mode axis in range, every gate's mode vector
+  /// sized `modes`, kinds legal for the gate's arity.
+  [[nodiscard]] Status validate() const;
+};
+
+/// Truth-table bits of a logic `kind` at `arity` inputs: bit r is the
+/// output on input row r (input pin j = bit j of r).  Rows beyond
+/// 2^arity are zero.  kNot requires arity 1; kAnd/kOr/kNand/kNor/kXor
+/// require arity >= 2 (kXor is parity, matching map::Netlist).
+[[nodiscard]] std::uint64_t kind_truth_bits(map::CellKind kind, int arity);
+
+/// Convenience constructors for the library cells used throughout the
+/// tests, benches, and examples.
+[[nodiscard]] PolyGate make_nand_nor();            ///< NAND in mode 0, NOR in mode 1
+[[nodiscard]] PolyGate make_and_or();              ///< AND in mode 0, OR in mode 1
+/// An ordinary gate lifted onto an M-mode axis (same function everywhere).
+[[nodiscard]] PolyGate make_ordinary(map::CellKind kind, int arity, int modes);
+
+/// The verdict of the completeness judgment, with diagnostics.
+struct Completeness {
+  /// True iff every M-tuple of Boolean functions is realizable by a
+  /// circuit over the library (polymorphic completeness).
+  bool complete = false;
+  /// Human-readable justification of the verdict.
+  std::string reason;
+  /// Per-mode diagnosis: for mode m, the names of the Post maximal
+  /// classes ("T0", "T1", "monotone", "self-dual", "affine") that *every*
+  /// gate's mode-m function lies in.  Mode m on its own is a complete
+  /// ordinary gate set iff this list is empty (Post's theorem).
+  std::vector<std::vector<std::string>> mode_post_classes;
+  /// First closure target of the decision procedure (see below): the
+  /// polymorphic closure contains NAND-in-every-mode.
+  bool has_diagonal_nand = false;
+  /// Second closure target: the mode selector (the tuple whose mode-m
+  /// component is projection m) is in the closure.
+  bool has_mode_selector = false;
+};
+
+/// Decide polymorphic completeness of a gate library (arXiv 1709.03065:
+/// complete in every mode *and* as mode-product functions).
+///
+/// The decision procedure is exact, not heuristic: a circuit over the
+/// library realizes an M-tuple of n-ary functions iff that tuple is in the
+/// closure of the n projections under componentwise application of the
+/// library gates (the n-ary part of the generated clone), for
+/// n = max(2, M).  The library is complete iff the closure contains both
+///   * the diagonal NAND tuple (NAND, ..., NAND) — completeness inside
+///     each mode with one common gate, and
+///   * the mode selector (pi_1, ..., pi_M) — the ability to *distinguish*
+///     modes, which is exactly what mode-product completeness adds;
+/// sufficiency: selector applied to diagonal tuples yields any tuple.
+/// The closure is enumerated breadth-first over tuples of n-ary truth
+/// tables, so the judgment needs no reliance on derived shortcuts.
+///
+/// Fails with kInvalidArgument on a malformed library, kUnimplemented
+/// beyond 3 modes (the closure space is 2^(M*2^M) tuples), and
+/// kResourceExhausted if the closure budget is exceeded (not reachable
+/// for 2 modes, where the whole space has 256 tuples).
+[[nodiscard]] Result<Completeness> is_complete(const GateLibrary& library);
+
+}  // namespace pp::poly

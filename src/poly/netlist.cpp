@@ -1,0 +1,194 @@
+#include "poly/netlist.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace pp::poly {
+
+namespace {
+
+/// Ordinary cell kinds legal in a PolyNetlist (combinational + DFF; DFFs
+/// are accepted structurally but rejected by `elaborate`).
+bool legal_ordinary_kind(map::CellKind kind) {
+  switch (kind) {
+    case map::CellKind::kConst0:
+    case map::CellKind::kConst1:
+    case map::CellKind::kNot:
+    case map::CellKind::kAnd:
+    case map::CellKind::kOr:
+    case map::CellKind::kNand:
+    case map::CellKind::kNor:
+    case map::CellKind::kXor:
+    case map::CellKind::kDff:
+      return true;
+    default:
+      return false;
+  }
+}
+
+sim::GateKind to_gate_kind(map::CellKind kind) {
+  switch (kind) {
+    case map::CellKind::kNot: return sim::GateKind::kNot;
+    case map::CellKind::kAnd: return sim::GateKind::kAnd;
+    case map::CellKind::kOr: return sim::GateKind::kOr;
+    case map::CellKind::kNand: return sim::GateKind::kNand;
+    case map::CellKind::kNor: return sim::GateKind::kNor;
+    case map::CellKind::kXor: return sim::GateKind::kXor;
+    case map::CellKind::kConst0: return sim::GateKind::kConst0;
+    case map::CellKind::kConst1: return sim::GateKind::kConst1;
+    default: return sim::GateKind::kBuf;  // unreachable after validate()
+  }
+}
+
+}  // namespace
+
+PolyNetlist::PolyNetlist(GateLibrary library) : library_(std::move(library)) {}
+
+int PolyNetlist::add_input(std::string name) {
+  cells_.push_back({-1, map::CellKind::kInput, {}, std::move(name)});
+  inputs_.push_back(static_cast<int>(cells_.size() - 1));
+  return static_cast<int>(cells_.size() - 1);
+}
+
+int PolyNetlist::add_cell(map::CellKind kind, std::vector<int> fanin,
+                          std::string name) {
+  if (kind == map::CellKind::kInput)
+    throw std::invalid_argument("PolyNetlist: use add_input for inputs");
+  for (int f : fanin)
+    if (f < 0 || f >= static_cast<int>(cells_.size()))
+      throw std::invalid_argument("PolyNetlist: bad fanin");
+  cells_.push_back({-1, kind, std::move(fanin), std::move(name)});
+  return static_cast<int>(cells_.size() - 1);
+}
+
+int PolyNetlist::add_poly(int gate_index, std::vector<int> fanin,
+                          std::string name) {
+  if (gate_index < 0 ||
+      gate_index >= static_cast<int>(library_.gates.size()))
+    throw std::invalid_argument("PolyNetlist: gate index out of range");
+  for (int f : fanin)
+    if (f < 0 || f >= static_cast<int>(cells_.size()))
+      throw std::invalid_argument("PolyNetlist: bad fanin");
+  cells_.push_back(
+      {gate_index, map::CellKind::kInput, std::move(fanin), std::move(name)});
+  return static_cast<int>(cells_.size() - 1);
+}
+
+void PolyNetlist::mark_output(int cell) {
+  if (cell < 0 || cell >= static_cast<int>(cells_.size()))
+    throw std::invalid_argument("PolyNetlist::mark_output");
+  outputs_.push_back(cell);
+}
+
+int PolyNetlist::poly_count() const {
+  int n = 0;
+  for (const PolyCell& c : cells_)
+    if (c.poly >= 0) ++n;
+  return n;
+}
+
+Status PolyNetlist::validate() const {
+  if (Status s = library_.validate(); !s.ok()) return s;
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    const PolyCell& c = cells_[i];
+    if (c.poly >= 0) {
+      const PolyGate& g = library_.gates[static_cast<std::size_t>(c.poly)];
+      if (static_cast<int>(c.fanin.size()) != g.arity)
+        return Status::invalid_argument(
+            "PolyNetlist: cell " + std::to_string(i) + " feeds gate '" +
+            g.name + "' (arity " + std::to_string(g.arity) + ") with " +
+            std::to_string(c.fanin.size()) + " fanins");
+    } else if (c.kind == map::CellKind::kInput) {
+      if (!c.fanin.empty())
+        return Status::invalid_argument("PolyNetlist: input with fanin");
+    } else {
+      if (!legal_ordinary_kind(c.kind))
+        return Status::invalid_argument("PolyNetlist: illegal cell kind");
+      const std::size_t want_min =
+          (c.kind == map::CellKind::kConst0 || c.kind == map::CellKind::kConst1)
+              ? 0
+              : 1;
+      if (c.kind == map::CellKind::kNot && c.fanin.size() != 1)
+        return Status::invalid_argument("PolyNetlist: NOT needs 1 fanin");
+      if (c.fanin.size() < want_min)
+        return Status::invalid_argument("PolyNetlist: cell without fanin");
+    }
+  }
+  if (outputs_.empty())
+    return Status::invalid_argument("PolyNetlist: no outputs marked");
+  return Status();
+}
+
+Result<map::Netlist> PolyNetlist::view(int mode) const {
+  if (Status s = validate(); !s.ok()) return s;
+  if (mode < 0 || mode >= library_.modes)
+    return Status::out_of_range("PolyNetlist::view: mode " +
+                                std::to_string(mode) + " outside 0.." +
+                                std::to_string(library_.modes - 1));
+  map::Netlist net;
+  for (const PolyCell& c : cells_) {
+    if (c.poly >= 0) {
+      const PolyGate& g = library_.gates[static_cast<std::size_t>(c.poly)];
+      net.add_cell(g.modes[static_cast<std::size_t>(mode)], c.fanin, c.name);
+    } else if (c.kind == map::CellKind::kInput) {
+      net.add_input(c.name);
+    } else {
+      net.add_cell(c.kind, c.fanin, c.name);
+    }
+  }
+  for (int o : outputs_) net.mark_output(o);
+  return net;
+}
+
+Result<Elaboration> elaborate(const PolyNetlist& netlist) {
+  if (Status s = netlist.validate(); !s.ok()) return s;
+  Elaboration el;
+  el.overrides.resize(static_cast<std::size_t>(netlist.modes()));
+  std::vector<sim::NetId> node_net(netlist.cell_count());
+  int anon = 0;
+  for (std::size_t i = 0; i < netlist.cell_count(); ++i) {
+    const PolyCell& c = netlist.cell(static_cast<int>(i));
+    std::string name =
+        c.name.empty() ? "poly_n" + std::to_string(anon++) : c.name;
+    const sim::NetId net = el.circuit.add_net(std::move(name));
+    node_net[i] = net;
+    if (c.poly >= 0) {
+      const PolyGate& g =
+          netlist.library().gates[static_cast<std::size_t>(c.poly)];
+      std::vector<sim::NetId> ins;
+      ins.reserve(c.fanin.size());
+      for (int f : c.fanin) ins.push_back(node_net[static_cast<std::size_t>(f)]);
+      const sim::GateId gid =
+          el.circuit.add_gate(to_gate_kind(g.modes[0]), std::move(ins), net);
+      for (int m = 1; m < netlist.modes(); ++m)
+        if (g.modes[static_cast<std::size_t>(m)] != g.modes[0])
+          el.overrides[static_cast<std::size_t>(m)].push_back(
+              {gid, to_gate_kind(g.modes[static_cast<std::size_t>(m)])});
+    } else if (c.kind == map::CellKind::kInput) {
+      el.circuit.mark_input(net);
+      el.in_nets.push_back(net);
+      el.input_names.push_back(c.name);
+    } else if (c.kind == map::CellKind::kDff) {
+      return Status::unimplemented(
+          "poly::elaborate: clocked polymorphic designs are evaluated "
+          "per-mode through their configuration views, not mode-swept");
+    } else if (c.kind == map::CellKind::kConst0 ||
+               c.kind == map::CellKind::kConst1) {
+      el.circuit.add_gate(to_gate_kind(c.kind), {}, net);
+    } else {
+      std::vector<sim::NetId> ins;
+      ins.reserve(c.fanin.size());
+      for (int f : c.fanin) ins.push_back(node_net[static_cast<std::size_t>(f)]);
+      el.circuit.add_gate(to_gate_kind(c.kind), std::move(ins), net);
+    }
+  }
+  for (int o : netlist.outputs()) {
+    el.out_nets.push_back(node_net[static_cast<std::size_t>(o)]);
+    const PolyCell& c = netlist.cell(o);
+    el.output_names.push_back(c.name.empty() ? "out" + std::to_string(o)
+                                             : c.name);
+  }
+  return el;
+}
+
+}  // namespace pp::poly

@@ -1,0 +1,102 @@
+// A netlist with an environment-mode axis.
+//
+// `PolyNetlist` is `map::Netlist` plus polymorphic cells: a poly cell
+// references a `GateLibrary` entry and therefore computes a different
+// function in each environment mode.  The fabric/bitstream layers stay
+// untouched — `view(mode)` lowers the whole design to the ordinary
+// netlist it behaves as in that mode (each mode is a distinct
+// configuration view a `platform::Compiler` can place as usual), and
+// `elaborate` lowers it to a single `sim::Circuit` whose polymorphic
+// gates carry per-mode kind overrides for the mode-swept compiled engine.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "map/netlist.h"
+#include "poly/gate.h"
+#include "sim/evaluator.h"
+#include "util/status.h"
+
+namespace pp::poly {
+
+/// One node of a PolyNetlist.  `poly >= 0` marks a polymorphic cell (an
+/// index into the library); ordinary nodes carry a `map::CellKind` the
+/// same way `map::NetlistCell` does.
+struct PolyCell {
+  int poly = -1;                                ///< library index, -1 = ordinary
+  map::CellKind kind = map::CellKind::kInput;   ///< ordinary kind (poly < 0)
+  std::vector<int> fanin;                       ///< fanin node indices, pin order
+  std::string name;                             ///< optional display name
+};
+
+/// A combinational netlist of ordinary + polymorphic cells over a fixed
+/// gate library (which fixes the environment-mode axis).  Construction
+/// order is topological, like `map::Netlist`.
+class PolyNetlist {
+ public:
+  /// An empty design over `library` (validated lazily by view/elaborate).
+  explicit PolyNetlist(GateLibrary library);
+
+  /// Declare a primary input.
+  int add_input(std::string name);
+  /// Add an ordinary (environment-invariant) cell.
+  int add_cell(map::CellKind kind, std::vector<int> fanin,
+               std::string name = {});
+  /// Add a polymorphic cell computing library gate `gate_index`.
+  int add_poly(int gate_index, std::vector<int> fanin, std::string name = {});
+  /// Mark a node as a primary output.
+  void mark_output(int cell);
+
+  /// The gate library the design's polymorphic cells index into.
+  [[nodiscard]] const GateLibrary& library() const noexcept { return library_; }
+  /// Environment modes (the library's mode axis).
+  [[nodiscard]] int modes() const noexcept { return library_.modes; }
+  /// Number of nodes (inputs + cells), in construction order.
+  [[nodiscard]] std::size_t cell_count() const noexcept { return cells_.size(); }
+  /// Node `i` (throws std::out_of_range on a bad index).
+  [[nodiscard]] const PolyCell& cell(int i) const { return cells_.at(static_cast<std::size_t>(i)); }
+  /// Primary-input node indices, in declaration order.
+  [[nodiscard]] const std::vector<int>& inputs() const noexcept { return inputs_; }
+  /// Primary-output node indices, in mark_output order.
+  [[nodiscard]] const std::vector<int>& outputs() const noexcept { return outputs_; }
+  /// Number of polymorphic cells.
+  [[nodiscard]] int poly_count() const;
+
+  /// Structural validation: fanin ranges, arities, library consistency.
+  [[nodiscard]] Status validate() const;
+
+  /// The ordinary netlist this design behaves as in environment `mode`
+  /// (cells map index-for-index; poly cells lower to their mode kind).
+  [[nodiscard]] Result<map::Netlist> view(int mode) const;
+
+ private:
+  GateLibrary library_;
+  std::vector<PolyCell> cells_;
+  std::vector<int> inputs_;
+  std::vector<int> outputs_;
+};
+
+/// A PolyNetlist lowered to one `sim::Circuit` (mode-0 gate kinds) plus
+/// the per-mode gate-kind overrides that turn it into each other mode's
+/// circuit — the input of `sim::CompiledEval::compile_modal` and of the
+/// per-mode `EventEval` re-elaboration oracle.
+struct Elaboration {
+  sim::Circuit circuit;                       ///< mode-0 lowering
+  std::vector<sim::NetId> in_nets;            ///< primary inputs, in order
+  std::vector<sim::NetId> out_nets;           ///< observed outputs, in order
+  std::vector<std::string> input_names;       ///< names of in_nets, in order
+  std::vector<std::string> output_names;      ///< names of out_nets, in order
+  /// overrides[m] rewrites the poly gates' kinds into mode m's circuit
+  /// (overrides[0] is empty — the base circuit *is* mode 0).
+  std::vector<std::vector<sim::ModeOverride>> overrides;
+};
+
+/// Lower a combinational PolyNetlist for mode-swept evaluation.  Fails
+/// with kUnimplemented on kDff cells (clocked polymorphic designs run
+/// per-mode through their configuration views instead) and with
+/// kInvalidArgument on a structurally invalid netlist.
+[[nodiscard]] Result<Elaboration> elaborate(const PolyNetlist& netlist);
+
+}  // namespace pp::poly

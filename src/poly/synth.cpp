@@ -1,0 +1,355 @@
+#include "poly/synth.h"
+
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace pp::poly {
+
+namespace {
+
+using map::CellKind;
+using map::TruthTable;
+
+/// Recursive bi-decomposition synthesizer.  All functions live as
+/// row-indexed bit masks over the full 2^n input rows (n <= 6, so a
+/// std::uint64_t holds any table); a mode tuple is a vector of M masks.
+class Synthesizer {
+ public:
+  Synthesizer(const PolySpec& spec, const GateLibrary& library)
+      : lib_(library),
+        modes_(library.modes),
+        num_vars_(spec.modes.front().num_vars()),
+        rows_(1u << num_vars_),
+        mask_(rows_ == 64 ? ~std::uint64_t{0}
+                          : (std::uint64_t{1} << rows_) - 1),
+        net_(library) {
+    for (int i = 0; i < num_vars_; ++i) {
+      std::string name = i < static_cast<int>(spec.input_names.size())
+                             ? spec.input_names[static_cast<std::size_t>(i)]
+                             : "x" + std::to_string(i);
+      input_node_.push_back(net_.add_input(std::move(name)));
+    }
+  }
+
+  Result<PolyNetlist> run(const PolySpec& spec) {
+    std::vector<std::uint64_t> target(static_cast<std::size_t>(modes_));
+    for (int m = 0; m < modes_; ++m)
+      target[static_cast<std::size_t>(m)] =
+          spec.modes[static_cast<std::size_t>(m)].bits() & mask_;
+    auto out = build_tuple(target);
+    if (!out.ok()) return out.status();
+    int node = *out;
+    if (!spec.output_name.empty() && net_.cell(node).name != spec.output_name)
+      // Named single-input AND = a buffer carrying the spec's output name.
+      node = net_.add_cell(CellKind::kAnd, {node}, spec.output_name);
+    net_.mark_output(node);
+    return std::move(net_);
+  }
+
+ private:
+  /// Truth-table mask of input variable i over all rows.
+  [[nodiscard]] std::uint64_t var_mask(int i) const {
+    std::uint64_t bits = 0;
+    for (std::uint32_t r = 0; r < rows_; ++r)
+      if ((r >> i) & 1u) bits |= std::uint64_t{1} << r;
+    return bits;
+  }
+
+  /// Node computing the ordinary (mode-invariant) function `f` in every
+  /// mode.  Two-level: QM minimisation, AND per product, OR of products.
+  int build_ordinary(std::uint64_t f) {
+    f &= mask_;
+    if (auto it = ordinary_memo_.find(f); it != ordinary_memo_.end())
+      return it->second;
+    int node;
+    if (f == 0) {
+      node = net_.add_cell(CellKind::kConst0, {});
+    } else if (f == mask_) {
+      node = net_.add_cell(CellKind::kConst1, {});
+    } else {
+      node = -1;
+      for (int i = 0; i < num_vars_ && node < 0; ++i) {
+        if (f == var_mask(i)) node = input_node_[static_cast<std::size_t>(i)];
+      }
+      if (node < 0) node = build_sop(f);
+    }
+    ordinary_memo_.emplace(f, node);
+    return node;
+  }
+
+  int build_sop(std::uint64_t f) {
+    TruthTable tt(num_vars_);
+    for (std::uint32_t r = 0; r < rows_; ++r)
+      tt.set(static_cast<std::uint8_t>(r), (f >> r) & 1u);
+    std::vector<int> terms;
+    for (const map::Implicant& imp : map::minimize(tt)) {
+      std::vector<int> literals;
+      for (int i = 0; i < num_vars_; ++i) {
+        if (!((imp.care >> i) & 1u)) continue;
+        const int in = input_node_[static_cast<std::size_t>(i)];
+        literals.push_back((imp.value >> i) & 1u ? in : negate(in, i));
+      }
+      // A care-free implicant means f == 1 everywhere — handled before.
+      terms.push_back(reduce(CellKind::kAnd, std::move(literals)));
+    }
+    return reduce(CellKind::kOr, std::move(terms));
+  }
+
+  /// Fold `operands` with 2-input `kind` cells (balanced tree).  Wide
+  /// cells are avoided on purpose: the fabric's gates are 2-input, and
+  /// the router cannot always feed a >2-input cell (two wide cells
+  /// sharing three inputs already exhaust its feed-through lanes), so a
+  /// synthesized netlist must never depend on them.
+  int reduce(CellKind kind, std::vector<int> operands) {
+    while (operands.size() > 1) {
+      std::vector<int> next;
+      for (std::size_t i = 0; i + 1 < operands.size(); i += 2)
+        next.push_back(net_.add_cell(kind, {operands[i], operands[i + 1]}));
+      if (operands.size() % 2 != 0) next.push_back(operands.back());
+      operands = std::move(next);
+    }
+    return operands.front();
+  }
+
+  /// Memoized NOT of input i (the only inverters two-level covers need).
+  int negate(int node, int i) {
+    if (auto it = not_memo_.find(i); it != not_memo_.end()) return it->second;
+    const int n = net_.add_cell(CellKind::kNot, {node});
+    not_memo_.emplace(i, n);
+    return n;
+  }
+
+  [[nodiscard]] bool is_invariant(const std::vector<std::uint64_t>& t) const {
+    for (std::size_t m = 1; m < t.size(); ++m)
+      if (t[m] != t[0]) return false;
+    return true;
+  }
+
+  [[nodiscard]] bool is_constant_tuple(
+      const std::vector<std::uint64_t>& t) const {
+    for (std::uint64_t f : t)
+      if (f != 0 && f != mask_) return false;
+    return true;
+  }
+
+  /// Node realizing the mode tuple `t` (t[m] = function in mode m).
+  Result<int> build_tuple(const std::vector<std::uint64_t>& t) {
+    if (is_invariant(t)) return build_ordinary(t[0]);
+    if (auto it = tuple_memo_.find(t); it != tuple_memo_.end())
+      return it->second;
+    Result<int> node = is_constant_tuple(t) ? build_poly_constant(t)
+                                            : build_varying(t);
+    if (node.ok()) tuple_memo_.emplace(t, *node);
+    return node;
+  }
+
+  Result<int> build_varying(const std::vector<std::uint64_t>& t) {
+    // Bi-decomposition around each 2-input polymorphic gate, plain and
+    // output-negated.
+    for (std::size_t gi = 0; gi < lib_.gates.size(); ++gi) {
+      const PolyGate& g = lib_.gates[gi];
+      if (g.arity != 2 || g.invariant()) continue;
+      for (int neg = 0; neg < 2; ++neg) {
+        if (auto node = try_bidecomp(t, static_cast<int>(gi), neg != 0);
+            node >= 0)
+          return node;
+      }
+    }
+    return shannon(t);
+  }
+
+  /// Pointwise bi-decomposition of `t` around library gate `gi`:
+  /// t[m] = op_m(g, h) (complemented when `neg`) with ordinary cones g, h.
+  /// Returns the node or -1 when some row has an empty constraint set.
+  int try_bidecomp(const std::vector<std::uint64_t>& t, int gi, bool neg) {
+    const PolyGate& g = lib_.gates[static_cast<std::size_t>(gi)];
+    std::vector<std::uint32_t> op(static_cast<std::size_t>(modes_));
+    for (int m = 0; m < modes_; ++m)
+      op[static_cast<std::size_t>(m)] = static_cast<std::uint32_t>(
+          kind_truth_bits(g.modes[static_cast<std::size_t>(m)], 2));
+    std::vector<std::uint8_t> choice(rows_);
+    std::uint8_t common = 0xF;  // candidate constant pairs across all rows
+    for (std::uint32_t r = 0; r < rows_; ++r) {
+      std::uint8_t sat = 0;  // bit p = pair (a = p&1, b = p>>1) satisfies row
+      for (std::uint8_t p = 0; p < 4; ++p) {
+        bool ok = true;
+        for (int m = 0; m < modes_ && ok; ++m) {
+          const bool want =
+              (((t[static_cast<std::size_t>(m)] >> r) & 1u) != 0) != neg;
+          ok = ((op[static_cast<std::size_t>(m)] >> p) & 1u) == (want ? 1u : 0u);
+        }
+        if (ok) sat |= static_cast<std::uint8_t>(1u << p);
+      }
+      if (sat == 0) return -1;
+      common &= sat;
+      // Prefer equal cones (a == b) so g and h share one node via the memo.
+      std::uint8_t pick = sat & 0b1001 ? (sat & 0b0001 ? 0 : 3)
+                                       : (sat & 0b0010 ? 1 : 2);
+      choice[r] = pick;
+    }
+    if (common != 0) {
+      // One pair satisfies every row: both cones are constants.
+      const std::uint8_t p = static_cast<std::uint8_t>(
+          std::countr_zero(static_cast<unsigned>(common)));
+      for (std::uint32_t r = 0; r < rows_; ++r) choice[r] = p;
+    }
+    std::uint64_t gf = 0, hf = 0;
+    for (std::uint32_t r = 0; r < rows_; ++r) {
+      if (choice[r] & 1u) gf |= std::uint64_t{1} << r;
+      if (choice[r] & 2u) hf |= std::uint64_t{1} << r;
+    }
+    const int gn = build_ordinary(gf);
+    const int hn = build_ordinary(hf);
+    int node = net_.add_poly(gi, {gn, hn});
+    if (neg) node = net_.add_cell(CellKind::kNot, {node});
+    return node;
+  }
+
+  /// A per-mode-constant tuple, realized by a polymorphic gate fed
+  /// constants (plain or through an ordinary inverter).
+  Result<int> build_poly_constant(const std::vector<std::uint64_t>& t) {
+    for (int neg = 0; neg < 2; ++neg) {
+      for (std::size_t gi = 0; gi < lib_.gates.size(); ++gi) {
+        const PolyGate& g = lib_.gates[gi];
+        if (g.invariant() || g.arity > 6) continue;
+        const std::uint32_t combos = 1u << g.arity;
+        for (std::uint32_t v = 0; v < combos; ++v) {
+          bool ok = true;
+          for (int m = 0; m < modes_ && ok; ++m) {
+            const bool want =
+                (t[static_cast<std::size_t>(m)] == mask_) != (neg != 0);
+            const std::uint64_t bits =
+                kind_truth_bits(g.modes[static_cast<std::size_t>(m)], g.arity);
+            ok = ((bits >> v) & 1u) == (want ? 1u : 0u);
+          }
+          if (!ok) continue;
+          std::vector<int> fanin;
+          for (int i = 0; i < g.arity; ++i)
+            fanin.push_back(build_ordinary((v >> i) & 1u ? mask_ : 0));
+          int node = net_.add_poly(static_cast<int>(gi), std::move(fanin));
+          if (neg) node = net_.add_cell(CellKind::kNot, {node});
+          return node;
+        }
+      }
+    }
+    std::string tuple;
+    for (std::uint64_t f : t) tuple += f == mask_ ? '1' : '0';
+    return Status::invalid_argument(
+        "poly::synthesize: the library cannot realize the polymorphic "
+        "constant (" + tuple + ") — the gate set is polymorphically "
+        "incomplete (see poly::is_complete)");
+  }
+
+  /// Shannon expansion on a live variable; cofactor tuples recurse and an
+  /// ordinary 2:1 mux (same function in every mode) recombines them.
+  Result<int> shannon(const std::vector<std::uint64_t>& t) {
+    int var = -1;
+    for (int i = 0; i < num_vars_ && var < 0; ++i) {
+      for (std::uint64_t f : t) {
+        if (cofactor(f, i, true) != cofactor(f, i, false)) {
+          var = i;
+          break;
+        }
+      }
+    }
+    // A mode-varying tuple with no live variable is per-mode constant and
+    // was handled before reaching here.
+    if (var < 0)
+      return Status::internal("poly::synthesize: dead-variable tuple");
+    std::vector<std::uint64_t> hi(t.size()), lo(t.size());
+    for (std::size_t m = 0; m < t.size(); ++m) {
+      hi[m] = cofactor(t[m], var, true);
+      lo[m] = cofactor(t[m], var, false);
+    }
+    auto hn = build_tuple(hi);
+    if (!hn.ok()) return hn.status();
+    auto ln = build_tuple(lo);
+    if (!ln.ok()) return ln.status();
+    const int sel = input_node_[static_cast<std::size_t>(var)];
+    const int nsel = negate(sel, var);
+    const int a = net_.add_cell(CellKind::kAnd, {sel, *hn});
+    const int b = net_.add_cell(CellKind::kAnd, {nsel, *ln});
+    return net_.add_cell(CellKind::kOr, {a, b});
+  }
+
+  /// The cofactor f|x_i=c, expressed over the full row space (independent
+  /// of x_i).
+  [[nodiscard]] std::uint64_t cofactor(std::uint64_t f, int i, bool c) const {
+    std::uint64_t out = 0;
+    for (std::uint32_t r = 0; r < rows_; ++r) {
+      const std::uint32_t src =
+          c ? (r | (1u << i)) : (r & ~(1u << i));
+      if ((f >> src) & 1u) out |= std::uint64_t{1} << r;
+    }
+    return out;
+  }
+
+  const GateLibrary& lib_;
+  int modes_;
+  int num_vars_;
+  std::uint32_t rows_;
+  std::uint64_t mask_;
+  PolyNetlist net_;
+  std::vector<int> input_node_;
+  std::unordered_map<std::uint64_t, int> ordinary_memo_;
+  std::unordered_map<int, int> not_memo_;  // input var -> NOT node
+  std::map<std::vector<std::uint64_t>, int> tuple_memo_;
+};
+
+Status check_spec(const PolySpec& spec, const GateLibrary& library) {
+  if (Status s = library.validate(); !s.ok()) return s;
+  if (static_cast<int>(spec.modes.size()) != library.modes)
+    return Status::invalid_argument(
+        "poly::synthesize: spec has " + std::to_string(spec.modes.size()) +
+        " mode targets, library has " + std::to_string(library.modes) +
+        " modes");
+  const int n = spec.modes.front().num_vars();
+  for (const TruthTable& tt : spec.modes)
+    if (tt.num_vars() != n)
+      return Status::invalid_argument(
+          "poly::synthesize: mode targets disagree on variable count");
+  return Status();
+}
+
+}  // namespace
+
+Result<PolyNetlist> synthesize(const PolySpec& spec,
+                               const GateLibrary& library) {
+  if (Status s = check_spec(spec, library); !s.ok()) return s;
+  Synthesizer synth(spec, library);
+  auto net = synth.run(spec);
+  if (!net.ok()) return net.status();
+  if (Status s = validate(*net, spec); !s.ok()) return s;
+  return net;
+}
+
+Status validate(const PolyNetlist& netlist, const PolySpec& spec) {
+  if (netlist.outputs().size() != 1)
+    return Status::internal("poly::validate: expected a single output");
+  const int n = spec.modes.front().num_vars();
+  for (int m = 0; m < static_cast<int>(spec.modes.size()); ++m) {
+    auto view = netlist.view(m);
+    if (!view.ok()) return view.status();
+    for (std::uint32_t r = 0; r < (1u << n); ++r) {
+      std::vector<bool> in(static_cast<std::size_t>(n));
+      for (int i = 0; i < n; ++i) in[static_cast<std::size_t>(i)] = (r >> i) & 1u;
+      const std::vector<bool> out = view->evaluate(in);
+      const bool want = spec.modes[static_cast<std::size_t>(m)].eval(
+          static_cast<std::uint8_t>(r));
+      if (out.front() != want)
+        return Status::internal(
+            "poly::validate: mode " + std::to_string(m) + " row " +
+            std::to_string(r) + ": netlist computes " +
+            std::to_string(out.front()) + ", spec wants " +
+            std::to_string(want));
+    }
+  }
+  return Status();
+}
+
+}  // namespace pp::poly

@@ -1,0 +1,54 @@
+// Multi-mode synthesis: compile one target function *per environment mode*
+// into a single netlist of polymorphic + ordinary cells.
+//
+// The pass follows the bi-decomposition approach of Li, Luo, Yue & Wang
+// (arXiv 1709.03067): a mode-varying target tuple F = (F_0, ..., F_{M-1})
+// is split as F_m(x) = op_m(g(x), h(x)) around a 2-input polymorphic gate
+// (op_0, ..., op_{M-1}) with *ordinary* cones g and h, found pointwise —
+// for each input row the pair (g, h) must land in the constraint set
+// S_x = {(a,b) : forall m, op_m(a,b) = F_m(x)}.  When no library gate
+// admits a pointwise solution the pass falls back to Shannon expansion on
+// a live variable and recurses on the cofactor tuples; mode-invariant
+// targets drop into ordinary two-level synthesis (map::minimize), and
+// per-mode constants are realized by polymorphic gates fed constants.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "map/truth_table.h"
+#include "poly/netlist.h"
+#include "util/status.h"
+
+namespace pp::poly {
+
+/// A multi-mode specification: one target truth table per environment mode
+/// over a shared input set.  All tables must have the same variable count
+/// (1..map::kMaxVars).
+struct PolySpec {
+  /// Target function per mode (size = the library's mode count).
+  std::vector<map::TruthTable> modes;
+  /// Optional input names; defaults to x0, x1, ... when empty.
+  std::vector<std::string> input_names;
+  /// Name of the single output node.
+  std::string output_name = "f";
+};
+
+/// Compile `spec` into a PolyNetlist over `library`: in environment mode m
+/// the result computes spec.modes[m] exactly.
+///
+/// Fails with kInvalidArgument when the spec is malformed (mismatched
+/// variable counts, mode count differing from the library's) or when the
+/// library cannot realize a required polymorphic constant — the
+/// characteristic failure of a polymorphically incomplete library (check
+/// with poly::is_complete first for an up-front verdict).
+[[nodiscard]] Result<PolyNetlist> synthesize(const PolySpec& spec,
+                                             const GateLibrary& library);
+
+/// Exhaustively verify `netlist` against `spec`: every configuration view
+/// must match the mode's target on all 2^n input rows.  Returns OK on a
+/// perfect match and kInternal naming the first mismatching (mode, row)
+/// otherwise.  This is the oracle the synthesis tests run on every result.
+[[nodiscard]] Status validate(const PolyNetlist& netlist, const PolySpec& spec);
+
+}  // namespace pp::poly

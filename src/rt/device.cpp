@@ -15,6 +15,11 @@ namespace pp::rt {
 
 using detail::JobState;
 
+std::string poly_view_name(std::string_view name, std::uint32_t mode) {
+  if (mode == 0) return std::string(name);
+  return std::string(name) + "@mode" + std::to_string(mode);
+}
+
 struct Device::Impl {
   explicit Impl(const DeviceOptions& options_in)
       : options(options_in), queue(options_in.max_batch_run) {}
@@ -46,6 +51,29 @@ struct Device::Impl {
 
   DesignCache cache;
   JobQueue queue;  // constructed with options.max_batch_run
+
+  // Polymorphic registrations (load_poly): the multi-mode source per base
+  // name, kept for mode-count validation at submit and for
+  // open_poly_session.  The per-mode configuration views live in `cache`
+  // as ordinary resident designs under derived names (poly_view_name).
+  mutable std::mutex poly_mutex;
+  std::map<std::string, platform::PolyDesign, std::less<>> poly_designs;
+
+  /// Mode count `name` answers at submit time: M for a load_poly design,
+  /// 1 for an ordinary resident, 0 for an unknown name.
+  [[nodiscard]] std::size_t modes_of(std::string_view name) const {
+    {
+      const std::lock_guard<std::mutex> lock(poly_mutex);
+      if (const auto it = poly_designs.find(name); it != poly_designs.end())
+        return it->second.views.size();
+    }
+    return cache.find(name) != nullptr ? 1 : 0;
+  }
+
+  [[nodiscard]] bool is_poly(std::string_view name) const {
+    const std::lock_guard<std::mutex> lock(poly_mutex);
+    return poly_designs.find(name) != poly_designs.end();
+  }
 
   mutable std::mutex stats_mutex;
   DeviceStats stats;
@@ -267,12 +295,42 @@ Status Device::load(std::string name,
   return Status();
 }
 
+Status Device::load_poly(std::string name,
+                         const platform::PolyDesign& design) {
+  if (name.empty())
+    return Status::invalid_argument(
+        "Device::load_poly: the empty name is reserved for the blank "
+        "power-on personality");
+  if (name.find("@mode") != std::string::npos)
+    return Status::invalid_argument(
+        "Device::load_poly: '" + name +
+        "' — \"@mode\" is reserved for derived view keys");
+  const std::size_t modes = static_cast<std::size_t>(design.netlist.modes());
+  if (design.views.size() != modes)
+    return Status::invalid_argument(
+        "Device::load_poly: expected one configuration view per mode (" +
+        std::to_string(modes) + "), got " +
+        std::to_string(design.views.size()));
+  for (std::uint32_t m = 0; m < design.views.size(); ++m)
+    if (Status s = load(poly_view_name(name, m), design.views[m]); !s.ok())
+      return Status(s.code(),
+                    "Device::load_poly: mode " + std::to_string(m) + ": " +
+                        std::string(s.message()));
+  const std::lock_guard<std::mutex> lock(impl_->poly_mutex);
+  impl_->poly_designs.insert_or_assign(std::move(name), design);
+  return Status();
+}
+
 bool Device::resident(std::string_view name) const {
   return impl_->cache.find(name) != nullptr;
 }
 
 std::vector<std::string> Device::designs() const {
   return impl_->cache.names();
+}
+
+std::size_t Device::design_modes(std::string_view name) const {
+  return impl_->modes_of(name);
 }
 
 Status Device::activate(std::string_view name) {
@@ -311,7 +369,33 @@ core::Fabric Device::personality() const {
 
 Result<Job> Device::submit(std::string_view name,
                            std::vector<InputVector> vectors,
-                           const SubmitOptions& options) {
+                           const SubmitOptions& options_in) {
+  SubmitOptions options = options_in;
+  std::string routed;  // keeps a derived view key alive for this frame
+  if (options.run.sweep_modes)
+    return Status::unimplemented(
+        "submit: sweep_modes needs the mode-major compiled engine; device "
+        "jobs run one configuration view — use open_poly_session() for "
+        "swept batches");
+  if (options.run.mode != 0) {
+    const std::size_t modes = impl_->modes_of(name);
+    if (modes == 0)
+      return Status::not_found("submit: no resident design named '" +
+                               std::string(name) + "'");
+    if (!impl_->is_poly(name))
+      return Status::invalid_argument(
+          "submit: design '" + std::string(name) +
+          "' is not polymorphic; RunOptions::mode selects a view of a "
+          "load_poly design");
+    if (options.run.mode >= modes)
+      return Status::out_of_range(
+          "submit: mode " + std::to_string(options.run.mode) +
+          " out of range for '" + std::string(name) + "' (" +
+          std::to_string(modes) + " modes)");
+    routed = poly_view_name(name, options.run.mode);
+    name = routed;
+    options.run.mode = 0;  // the derived view is single-mode by itself
+  }
   const std::shared_ptr<ResidentDesign> rd = impl_->cache.find(name);
   if (!rd)
     return Status::not_found("submit: no resident design named '" +
@@ -384,6 +468,16 @@ Result<platform::Session> Device::open_session(std::string_view name) const {
     return Status::not_found("open_session: no resident design named '" +
                              std::string(name) + "'");
   return platform::Session::load(rd->design());
+}
+
+Result<platform::Session> Device::open_poly_session(
+    std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(impl_->poly_mutex);
+  const auto it = impl_->poly_designs.find(name);
+  if (it == impl_->poly_designs.end())
+    return Status::not_found("open_poly_session: no polymorphic design "
+                             "named '" + std::string(name) + "'");
+  return platform::Session::load_poly(it->second);
 }
 
 DeviceStats Device::stats() const {

@@ -59,6 +59,17 @@ namespace pp::rt {
 /// synchronous Session share one evaluation machinery).
 using platform::RunOptions;
 
+/// The residency key mode `mode` of a polymorphic design registered as
+/// `name` lives under: `name` itself for mode 0 (the default environment),
+/// `name + "@mode<m>"` for every other mode.  Each configuration view is an
+/// ordinary resident design — switching modes is a reconfiguration, so the
+/// runtime's activation, affinity, and replication machinery apply per
+/// view.  RunOptions::mode on submit resolves through this mapping; the
+/// derived names also answer direct submits, introspection, and
+/// open_session like any other resident design.
+[[nodiscard]] std::string poly_view_name(std::string_view name,
+                                         std::uint32_t mode);
+
 /// Per-device tuning knobs, fixed at creation.
 struct DeviceOptions {
   /// JobQueue bypass bound: how many consecutive pops may jump an older
@@ -140,10 +151,28 @@ class Device {
   [[nodiscard]] Status load(std::string name,
                             const platform::CompiledDesign& design);
 
+  /// Make every configuration view of a multi-mode polymorphic design
+  /// (Compiler::compile_poly) resident at once: mode m loads under
+  /// poly_view_name(name, m), each through the ordinary load() path (same
+  /// padding, dedupe, and no-rebinding rules).  `name` must not contain
+  /// "@mode" (reserved for the derived keys).  After this,
+  /// RunOptions::mode on submit routes to the matching view, and
+  /// open_poly_session hands out the mode-aware Session (the sweep_modes
+  /// path).  A failure partway leaves earlier views resident — harmless
+  /// (residency is idempotent), but the name does not answer mode routing
+  /// until a later load_poly succeeds.
+  [[nodiscard]] Status load_poly(std::string name,
+                                 const platform::PolyDesign& design);
+
   /// True when `name` names a resident design (aliases included).
   [[nodiscard]] bool resident(std::string_view name) const;
   /// Names of all resident designs (aliases included), sorted.
   [[nodiscard]] std::vector<std::string> designs() const;
+
+  /// Environment modes `name` answers through submit-time mode routing:
+  /// the library's mode count for a load_poly design, 1 for an ordinary
+  /// resident design (only mode 0 exists), 0 when the name is unknown.
+  [[nodiscard]] std::size_t design_modes(std::string_view name) const;
 
   /// Swap the array to `name`'s personality via partial reconfiguration.
   /// No-op (counted as a skip) when already active.  Blocks while a job is
@@ -194,6 +223,15 @@ class Device {
   /// options carry the run knobs plus the scheduling class and optional
   /// deadline (expired at dispatch → the job completes with
   /// kDeadlineExceeded without running).
+  ///
+  /// Polymorphic designs: `options.run.mode` selects which configuration
+  /// view the job runs — the submit resolves it to the derived resident
+  /// design (poly_view_name) and the job itself runs mode-blind, so the
+  /// queue batches and the fabric reconfigures per *view*.  kInvalidArgument
+  /// when mode != 0 on a design that was not load_poly'ed, kOutOfRange for
+  /// a mode the design does not have, and kUnimplemented for
+  /// run.sweep_modes (a swept batch needs the mode-major compiled engine —
+  /// use open_poly_session(), which serves it synchronously).
   [[nodiscard]] Result<Job> submit(std::string_view name,
                                    std::vector<InputVector> vectors,
                                    const SubmitOptions& options = {});
@@ -220,6 +258,13 @@ class Device {
   /// An interactive synchronous Session over a resident design (its own
   /// simulator; independent of the job path and the array personality).
   [[nodiscard]] Result<platform::Session> open_session(
+      std::string_view name) const;
+
+  /// A mode-aware Session over a load_poly design (Session::load_poly of
+  /// the registered multi-mode source): per-mode interactive driving plus
+  /// the RunOptions::sweep_modes mode-major batch the job path does not
+  /// serve.  kNotFound when `name` was not registered with load_poly.
+  [[nodiscard]] Result<platform::Session> open_poly_session(
       std::string_view name) const;
 
   /// Snapshot of the cumulative runtime counters.

@@ -39,6 +39,11 @@ struct DevicePool::Impl {
   // blocks on a running job.
   mutable std::mutex mutex;
   std::map<std::string, Entry, std::less<>> registry;
+  // Polymorphic registrations (register_poly): the multi-mode source per
+  // base name, for submit-time mode routing and open_poly_session.  The
+  // per-mode views live in `registry` under derived keys (poly_view_name)
+  // as ordinary designs, so routing and replication are per view.
+  std::map<std::string, platform::PolyDesign, std::less<>> poly_designs;
   // Names whose first registration (the device load, done without the
   // mutex) is in flight: concurrent registrations of the same name wait
   // for the owner instead of racing it, so a name can never end up bound
@@ -177,6 +182,40 @@ Status DevicePool::register_design(std::string name,
   return Status();
 }
 
+Status DevicePool::register_poly(std::string name,
+                                 const platform::PolyDesign& design) {
+  if (name.empty())
+    return Status::invalid_argument(
+        "DevicePool::register_poly: the empty name is reserved for the "
+        "blank power-on personality");
+  if (name.find("@mode") != std::string::npos)
+    return Status::invalid_argument(
+        "DevicePool::register_poly: '" + name +
+        "' — \"@mode\" is reserved for derived view keys");
+  const std::size_t modes = static_cast<std::size_t>(design.netlist.modes());
+  if (design.views.size() != modes)
+    return Status::invalid_argument(
+        "DevicePool::register_poly: expected one configuration view per "
+        "mode (" + std::to_string(modes) + "), got " +
+        std::to_string(design.views.size()));
+  for (std::uint32_t m = 0; m < design.views.size(); ++m)
+    if (Status s = register_design(poly_view_name(name, m), design.views[m]);
+        !s.ok())
+      return Status(s.code(), "DevicePool::register_poly: mode " +
+                                  std::to_string(m) + ": " + s.message());
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->poly_designs.insert_or_assign(std::move(name), design);
+  return Status();
+}
+
+std::size_t DevicePool::design_modes(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  if (const auto it = impl_->poly_designs.find(name);
+      it != impl_->poly_designs.end())
+    return it->second.views.size();
+  return impl_->registry.find(name) != impl_->registry.end() ? 1 : 0;
+}
+
 bool DevicePool::resident(std::string_view name) const {
   const std::lock_guard<std::mutex> lock(impl_->mutex);
   return impl_->registry.find(name) != impl_->registry.end();
@@ -198,7 +237,35 @@ std::size_t DevicePool::replicas(std::string_view name) const {
 
 Result<Job> DevicePool::submit(std::string_view name,
                                std::vector<InputVector> vectors,
-                               const SubmitOptions& options) {
+                               const SubmitOptions& options_in) {
+  SubmitOptions options = options_in;
+  std::string routed;  // keeps a derived view key alive for this frame
+  if (options.run.sweep_modes)
+    return Status::unimplemented(
+        "DevicePool::submit: sweep_modes needs the mode-major compiled "
+        "engine; pool jobs run one configuration view — use "
+        "open_poly_session() for swept batches");
+  if (options.run.mode != 0) {
+    const std::lock_guard<std::mutex> lock(impl_->mutex);
+    const auto it = impl_->poly_designs.find(name);
+    if (it == impl_->poly_designs.end()) {
+      if (impl_->registry.find(name) == impl_->registry.end())
+        return Status::not_found("DevicePool::submit: no registered design "
+                                 "named '" + std::string(name) + "'");
+      return Status::invalid_argument(
+          "DevicePool::submit: design '" + std::string(name) +
+          "' is not polymorphic; RunOptions::mode selects a view of a "
+          "register_poly design");
+    }
+    if (options.run.mode >= it->second.views.size())
+      return Status::out_of_range(
+          "DevicePool::submit: mode " + std::to_string(options.run.mode) +
+          " out of range for '" + std::string(name) + "' (" +
+          std::to_string(it->second.views.size()) + " modes)");
+    routed = poly_view_name(name, options.run.mode);
+    name = routed;
+    options.run.mode = 0;  // the derived view is single-mode by itself
+  }
   std::size_t target = kNoDevice;
   bool active = false;
   Impl::Entry* replicate_entry = nullptr;  // non-null: load `name` on cand
@@ -331,6 +398,16 @@ Result<platform::Session> DevicePool::open_session(
     home = it->second.replica_devices.front();
   }
   return impl_->devices[home].open_session(name);
+}
+
+Result<platform::Session> DevicePool::open_poly_session(
+    std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(impl_->mutex);
+  const auto it = impl_->poly_designs.find(name);
+  if (it == impl_->poly_designs.end())
+    return Status::not_found("DevicePool::open_poly_session: no polymorphic "
+                             "design named '" + std::string(name) + "'");
+  return platform::Session::load_poly(it->second);
 }
 
 const Device& DevicePool::device(std::size_t index) const {

@@ -133,6 +133,23 @@ class DevicePool {
   [[nodiscard]] Status register_design(std::string name,
                                        const platform::CompiledDesign& design);
 
+  /// Register a multi-mode polymorphic design (Compiler::compile_poly):
+  /// every configuration view registers as an ordinary pool design under
+  /// its derived key (rt::poly_view_name — mode 0 is `name` itself), so
+  /// affinity routing and hot-design replication work per *view* (each
+  /// mode is its own personality).  `name` must not contain "@mode".
+  /// After this, RunOptions::mode on submit routes to the matching view's
+  /// replicas, and open_poly_session serves mode sweeps.  A failure
+  /// partway leaves earlier views registered (harmless: registration is
+  /// idempotent) but mode routing inactive for `name`.
+  [[nodiscard]] Status register_poly(std::string name,
+                                     const platform::PolyDesign& design);
+
+  /// Environment modes `name` answers through submit-time mode routing:
+  /// the library's mode count for a register_poly design, 1 for an
+  /// ordinary registered design, 0 when unknown.
+  [[nodiscard]] std::size_t design_modes(std::string_view name) const;
+
   /// True when `name` is registered with the pool.
   [[nodiscard]] bool resident(std::string_view name) const;
   /// Names of all registered designs, sorted.
@@ -151,6 +168,13 @@ class DevicePool {
   /// rt::SubmitOptions).  The returned Job is the same handle
   /// Device::submit yields; it stays valid after the pool dies (jobs are
   /// completed or canceled first, never leaked).
+  ///
+  /// Polymorphic designs route exactly as on Device::submit:
+  /// `options.run.mode` resolves to the derived view key before affinity
+  /// routing, so each mode builds its own affinity and replicates
+  /// independently; kInvalidArgument for mode != 0 on a non-poly design,
+  /// kOutOfRange for a missing mode, kUnimplemented for run.sweep_modes
+  /// (use open_poly_session).
   [[nodiscard]] Result<Job> submit(std::string_view name,
                                    std::vector<InputVector> vectors,
                                    const SubmitOptions& options = {});
@@ -179,6 +203,14 @@ class DevicePool {
   /// batches via SubmitOptions::cycles).  The session is independent of
   /// every device's personality.
   [[nodiscard]] Result<platform::Session> open_session(
+      std::string_view name) const;
+
+  /// A mode-aware Session over a register_poly design (Session::load_poly
+  /// of the registered multi-mode source): per-mode interactive driving
+  /// plus the RunOptions::sweep_modes mode-major batch the job path does
+  /// not serve.  kNotFound when `name` was not registered with
+  /// register_poly.
+  [[nodiscard]] Result<platform::Session> open_poly_session(
       std::string_view name) const;
 
   /// Direct access to one device of the fleet (index < device_count()),

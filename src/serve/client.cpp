@@ -134,10 +134,6 @@ const std::string& Client::tenant() const noexcept { return impl_->tenant; }
 Status Client::register_design(std::string_view name,
                                const platform::CompiledDesign& design) {
   if (Status s = validate_name("design name", name); !s.ok()) return s;
-  if (!design.state.empty())
-    return Status::failed_precondition(
-        "serve: sequential designs (boundary-register state) cannot ride "
-        "the job protocol; use a local platform::Session");
   if (design.bitstream.empty())
     return Status::invalid_argument(
         "serve: the design has no bitstream to upload");
@@ -154,6 +150,7 @@ Status Client::register_design(std::string_view name,
   msg.content_hash = design.content_hash;
   msg.inputs = design.inputs;
   msg.outputs = design.outputs;
+  msg.state = design.state;
   msg.bitstream = design.bitstream;
   if (Status s = write_frame(impl_->socket, encode_register_design(msg));
       !s.ok())
@@ -187,6 +184,11 @@ Result<std::uint64_t> Client::submit(
     return Status::invalid_argument(
         "serve: a batch carries at most " +
         std::to_string(kMaxVectorsPerBatch) + " vectors");
+  if (options.cycles > 0 && vectors.size() % options.cycles != 0)
+    return Status::invalid_argument(
+        "serve: " + std::to_string(vectors.size()) +
+        " vectors do not divide into whole " +
+        std::to_string(options.cycles) + "-cycle streams");
   const std::size_t width = vectors.front().size();
   if (width == 0)
     return Status::invalid_argument(
@@ -204,6 +206,7 @@ Result<std::uint64_t> Client::submit(
   msg.priority = options.priority;
   msg.deadline_ms = options.deadline_ms;
   msg.engine = options.engine;
+  msg.cycles = options.cycles;
   msg.vector_count = static_cast<std::uint32_t>(vectors.size());
   msg.input_count = static_cast<std::uint16_t>(width);
   msg.planes = platform::pack_bit_planes(vectors, width);

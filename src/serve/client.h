@@ -42,6 +42,12 @@ struct ClientSubmitOptions {
   std::uint32_t deadline_ms = 0;
   /// Evaluation engine choice for the batch run.
   platform::Engine engine = platform::Engine::kAuto;
+  /// Clocked-stream cycle count (protocol v2): 0 = independent
+  /// combinational vectors; > 0 = the batch is stream-major clocked
+  /// stimulus of whole `cycles`-vector streams (rt::SubmitOptions::cycles
+  /// semantics — every stream starts from reset).  Sequential designs
+  /// require it; ragged batches are rejected before any bytes move.
+  std::uint32_t cycles = 0;
 };
 
 /// One tenant session on one TCP connection.  See the file comment for the
@@ -70,12 +76,13 @@ class Client {
 
   /// Upload a compiled design into the tenant's namespace under `name` and
   /// block for the ack.  Client-side rejections (before any bytes move):
-  /// kInvalidArgument for a bad name or a design with no bitstream,
-  /// kFailedPrecondition for a sequential design (boundary-register state
-  /// cannot ride the job protocol — use a local platform::Session).
-  /// Server-side failures arrive as the registration's error Status
-  /// (quota, dimension, bitstream validation).  Idempotent like
-  /// DevicePool::register_design: re-uploading identical content is free.
+  /// kInvalidArgument for a bad name or a design with no bitstream.
+  /// Sequential designs upload their boundary-register state too (protocol
+  /// v2) and are then servable through clocked submits
+  /// (ClientSubmitOptions::cycles > 0).  Server-side failures arrive as
+  /// the registration's error Status (quota, dimension, bitstream
+  /// validation).  Idempotent like DevicePool::register_design:
+  /// re-uploading identical content is free.
   [[nodiscard]] Status register_design(std::string_view name,
                                        const platform::CompiledDesign& design);
 

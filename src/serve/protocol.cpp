@@ -161,6 +161,49 @@ void write_bindings(Writer& w,
   }
 }
 
+void write_signal_at(Writer& w, const map::SignalAt& at) {
+  w.u32(static_cast<std::uint32_t>(at.r));
+  w.u32(static_cast<std::uint32_t>(at.c));
+  w.u32(static_cast<std::uint32_t>(at.line));
+}
+
+void write_state_bindings(Writer& w,
+                          const std::vector<platform::StateBinding>& state) {
+  w.u16(static_cast<std::uint16_t>(state.size()));
+  for (const platform::StateBinding& b : state) {
+    w.str(b.name);
+    write_signal_at(w, b.q_pad);
+    write_signal_at(w, b.d_at);
+  }
+}
+
+[[nodiscard]] bool read_signal_at(Reader& r, const char* what,
+                                  map::SignalAt& out) {
+  const std::uint32_t rr = r.u32(what), cc = r.u32(what), line = r.u32(what);
+  if (!r.status.ok()) return false;
+  if (rr > 0x7FFFFFFF || cc > 0x7FFFFFFF || line > 0x7FFFFFFF) {
+    r.status = Status::invalid_argument(
+        std::string("serve: ") + what + " binding coordinate out of range");
+    return false;
+  }
+  out = {static_cast<int>(rr), static_cast<int>(cc), static_cast<int>(line)};
+  return true;
+}
+
+[[nodiscard]] std::vector<platform::StateBinding> read_state_bindings(
+    Reader& r, const char* what) {
+  std::vector<platform::StateBinding> out;
+  const std::uint16_t n = r.u16(what);
+  for (std::uint16_t i = 0; i < n && r.status.ok(); ++i) {
+    platform::StateBinding b;
+    b.name = r.str(what);
+    if (!read_signal_at(r, what, b.q_pad)) break;
+    if (!read_signal_at(r, what, b.d_at)) break;
+    out.push_back(std::move(b));
+  }
+  return out;
+}
+
 [[nodiscard]] std::vector<platform::PortBinding> read_bindings(
     Reader& r, const char* what) {
   // Coordinates are bounded well below 2^31 by any real fabric; reject
@@ -372,6 +415,7 @@ std::vector<std::uint8_t> encode_register_design(
   w.u64(msg.content_hash);
   write_bindings(w, msg.inputs);
   write_bindings(w, msg.outputs);
+  write_state_bindings(w, msg.state);
   w.blob32(msg.bitstream);
   return encode_frame(MsgType::kRegisterDesign, w.bytes);
 }
@@ -394,6 +438,7 @@ Result<RegisterDesignMsg> decode_register_design(const Frame& frame) {
   msg.content_hash = r.u64("content_hash");
   msg.inputs = read_bindings(r, "inputs");
   msg.outputs = read_bindings(r, "outputs");
+  msg.state = read_state_bindings(r, "state");
   msg.bitstream = r.blob32("bitstream");
   if (Status s = r.finish("register_design"); !s.ok()) return s;
   if (Status s = validate_name("design name", msg.design); !s.ok()) return s;
@@ -403,6 +448,8 @@ Result<RegisterDesignMsg> decode_register_design(const Frame& frame) {
   for (const auto* bindings : {&msg.inputs, &msg.outputs})
     for (const platform::PortBinding& b : *bindings)
       if (Status s = validate_name("port name", b.name); !s.ok()) return s;
+  for (const platform::StateBinding& b : msg.state)
+    if (Status s = validate_name("state name", b.name); !s.ok()) return s;
   return msg;
 }
 
@@ -434,6 +481,7 @@ std::vector<std::uint8_t> encode_submit_batch(const SubmitBatchMsg& msg) {
   w.u8(static_cast<std::uint8_t>(msg.priority));
   w.u32(msg.deadline_ms);
   w.u8(static_cast<std::uint8_t>(msg.engine));
+  w.u32(msg.cycles);
   w.u32(msg.vector_count);
   w.u16(msg.input_count);
   w.blob32(msg.planes);
@@ -451,6 +499,7 @@ Result<SubmitBatchMsg> decode_submit_batch(const Frame& frame) {
   const std::uint8_t priority = r.u8("priority");
   msg.deadline_ms = r.u32("deadline_ms");
   const std::uint8_t engine = r.u8("engine");
+  msg.cycles = r.u32("cycles");
   msg.vector_count = r.u32("vector_count");
   msg.input_count = r.u16("input_count");
   msg.planes = r.blob32("stimulus planes");
@@ -480,6 +529,14 @@ Result<SubmitBatchMsg> decode_submit_batch(const Frame& frame) {
                                  msg.input_count, "submit_batch");
       !s.ok())
     return s;
+  // Ragged clocked batches are rejected at the wire, before admission or
+  // queueing ever sees them: a stream-major batch must divide into whole
+  // streams or the register-file layout is meaningless.
+  if (msg.cycles > 0 && msg.vector_count % msg.cycles != 0)
+    return Status::invalid_argument(
+        "serve: submit_batch announces " + std::to_string(msg.vector_count) +
+        " vectors, which do not divide into whole " +
+        std::to_string(msg.cycles) + "-cycle streams");
   return msg;
 }
 

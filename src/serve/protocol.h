@@ -42,8 +42,12 @@ namespace pp::serve {
 
 /// Frame magic, first four bytes of every PPSV frame.
 inline constexpr char kMagic[4] = {'P', 'P', 'S', 'V'};
-/// Protocol version carried in every frame header.
-inline constexpr std::uint8_t kProtocolVersion = 1;
+/// Protocol version carried in every frame header.  Version 2 added
+/// clocked-stream serving: SubmitBatchMsg::cycles and the boundary-register
+/// state section of RegisterDesignMsg.  Versions are not negotiated — both
+/// peers speak exactly this one, and a frame carrying any other version is
+/// rejected at decode.
+inline constexpr std::uint8_t kProtocolVersion = 2;
 /// Fixed frame prefix: magic + version + type + payload length.
 inline constexpr std::size_t kHeaderBytes = 10;
 /// Trailing CRC-32 over header + payload.
@@ -150,6 +154,11 @@ struct RegisterDesignMsg {
   std::uint64_t content_hash = 0;            ///< CompiledDesign::content_hash
   std::vector<platform::PortBinding> inputs;   ///< bound inputs, port order
   std::vector<platform::PortBinding> outputs;  ///< bound outputs, port order
+  /// DFF boundary registers (empty for combinational designs).  A design
+  /// with state is servable only through clocked submits
+  /// (SubmitBatchMsg::cycles > 0); the server enforces that, like every
+  /// residency layer, via rt::DevicePool's sequential check.
+  std::vector<platform::StateBinding> state;
   std::vector<std::uint8_t> bitstream;  ///< full PPHW bitstream (validated
                                         ///< server-side by try_load_fabric)
 };
@@ -169,6 +178,13 @@ struct SubmitBatchMsg {
   /// (Relative, so client and server clocks never need agreement.)
   std::uint32_t deadline_ms = 0;
   platform::Engine engine = platform::Engine::kAuto;  ///< engine choice
+  /// Clocked-stream cycle count (protocol v2): 0 = independent
+  /// combinational vectors; > 0 = the batch is stream-major clocked
+  /// stimulus, vector_count must divide into whole `cycles`-vector streams
+  /// (decode rejects ragged batches on both peers, before anything is
+  /// queued), and the design's boundary registers advance per stream
+  /// exactly as rt::SubmitOptions::cycles specifies.
+  std::uint32_t cycles = 0;
   /// Stimulus vectors in the batch: 1 .. kMaxVectorsPerBatch.
   std::uint32_t vector_count = 0;
   /// Bits per vector (the design's input width); must be >= 1 — a
@@ -258,7 +274,8 @@ struct StatsReplyMsg {
     const SubmitBatchMsg& msg);
 /// Decode a kSubmitBatch frame (validates priority/engine enums, the
 /// vector/input count bounds — 1..kMaxVectorsPerBatch vectors of >= 1
-/// bits — and the exact SoA plane size, including canonical zero padding).
+/// bits — that a clocked batch divides into whole `cycles`-vector streams,
+/// and the exact SoA plane size, including canonical zero padding).
 [[nodiscard]] Result<SubmitBatchMsg> decode_submit_batch(const Frame& frame);
 
 /// Encode a kResult frame.

@@ -159,6 +159,7 @@ struct Server::Impl {
     design.delays = msg.delays;
     design.inputs = std::move(msg.inputs);
     design.outputs = std::move(msg.outputs);
+    design.state = std::move(msg.state);
     design.content_hash = msg.content_hash;
 
     // Quota + registration under the tenant lock: the resident-design
@@ -243,6 +244,7 @@ struct Server::Impl {
       rt::SubmitOptions submit;
       submit.priority = msg.priority;
       submit.run.engine = msg.engine;
+      submit.cycles = msg.cycles;
       if (msg.deadline_ms > 0)
         submit.deadline = std::chrono::steady_clock::now() +
                           std::chrono::milliseconds(msg.deadline_ms);

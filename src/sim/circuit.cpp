@@ -33,6 +33,40 @@ void Circuit::set_inertial(GateId gate, SimTime window_ps) {
   gates_.at(gate).inertial_ps = window_ps;
 }
 
+bool Circuit::set_gate_kind(GateId gate, GateKind kind) {
+  if (gate >= gates_.size()) return false;
+  Gate& g = gates_[gate];
+  const auto pure_logic = [](GateKind k) {
+    switch (k) {
+      case GateKind::kNand:
+      case GateKind::kAnd:
+      case GateKind::kOr:
+      case GateKind::kNor:
+      case GateKind::kNot:
+      case GateKind::kBuf:
+      case GateKind::kXor:
+      case GateKind::kXnor:
+      case GateKind::kConst0:
+      case GateKind::kConst1:
+        return true;
+      default:
+        return false;
+    }
+  };
+  if (!pure_logic(g.kind) || !pure_logic(kind)) return false;
+  const int arity = gate_arity(kind);
+  if (arity == -1) {
+    if (!g.inputs.empty()) return false;
+  } else if (arity == 1) {
+    if (g.inputs.size() != 1) return false;
+  } else {
+    // Variadic kinds accept any non-zero pin count.
+    if (g.inputs.empty()) return false;
+  }
+  g.kind = kind;
+  return true;
+}
+
 std::size_t Circuit::driver_count(NetId n) const {
   std::size_t count = input_flag_.at(n) ? 1u : 0u;
   for (const auto& g : gates_)

@@ -74,6 +74,14 @@ class Circuit {
   /// Set the inertial window of a gate (0 = pure transport delay).
   void set_inertial(GateId gate, SimTime window_ps);
 
+  /// Rewrite a gate's logic kind in place — how a polymorphic
+  /// configuration view re-personalizes a shared structure (pp::poly).
+  /// The new kind must keep the pin shape: a fixed-arity kind must match
+  /// the gate's input count, and 3-state or behavioural (state-holding)
+  /// kinds are rejected in either direction, since those change driver or
+  /// state semantics rather than just the logic function.
+  [[nodiscard]] bool set_gate_kind(GateId gate, GateKind kind);
+
   [[nodiscard]] std::size_t net_count() const noexcept { return net_names_.size(); }
   [[nodiscard]] std::size_t gate_count() const noexcept { return gates_.size(); }
   [[nodiscard]] const Gate& gate(GateId g) const { return gates_.at(g); }

@@ -507,7 +507,15 @@ void CompiledEval::reset_state() {
 }
 
 std::unique_ptr<Evaluator> CompiledEval::clone() const {
-  return std::unique_ptr<Evaluator>(new CompiledEval(program_));
+  auto copy = std::unique_ptr<CompiledEval>(new CompiledEval(program_));
+  copy->modal_.reserve(modal_.size());
+  for (const auto& sub : modal_)
+    copy->modal_.emplace_back(new CompiledEval(sub->program_));
+  return copy;
+}
+
+std::size_t CompiledEval::mode_count() const noexcept {
+  return 1 + modal_.size();
 }
 
 Result<CompiledEval> CompiledEval::compile(const Circuit& circuit,
@@ -527,6 +535,111 @@ Result<CompiledEval> CompiledEval::compile(const Circuit& circuit,
                               levels, options);
   if (!program.ok()) return program.status();
   return CompiledEval(std::move(*program));
+}
+
+Result<CompiledEval> CompiledEval::compile_modal(
+    const Circuit& circuit, std::vector<NetId> in_nets,
+    std::vector<NetId> out_nets,
+    std::span<const std::vector<ModeOverride>> mode_overrides,
+    const LevelMap* levels) {
+  return compile_modal(circuit, std::move(in_nets), std::move(out_nets),
+                       mode_overrides, levels, CompileOptions{});
+}
+
+Result<CompiledEval> CompiledEval::compile_modal(
+    const Circuit& circuit, std::vector<NetId> in_nets,
+    std::vector<NetId> out_nets,
+    std::span<const std::vector<ModeOverride>> mode_overrides,
+    const LevelMap* levels, const CompileOptions& options) {
+  if (mode_overrides.empty())
+    return Status::invalid_argument("compile_modal: no modes");
+  // Each mode's configuration view is the base circuit with its
+  // polymorphic gates re-personalized; kind overrides keep the gate graph
+  // (and therefore the levelization) intact, so every view compiles
+  // through the full pipeline against the same topology and the images
+  // differ only where the modes genuinely diverge after optimization.
+  std::vector<std::shared_ptr<const Program>> programs;
+  programs.reserve(mode_overrides.size());
+  for (std::size_t m = 0; m < mode_overrides.size(); ++m) {
+    Circuit view = circuit;
+    for (const ModeOverride& o : mode_overrides[m])
+      if (!view.set_gate_kind(o.gate, o.kind))
+        return Status::invalid_argument(
+            "compile_modal: mode " + std::to_string(m) +
+            " override of gate " + std::to_string(o.gate) +
+            " is out of range or changes the pin shape");
+    auto program = compile_impl(view, in_nets, out_nets, levels, options);
+    if (!program.ok())
+      return Status(program.status().code(),
+                    "compile_modal: mode " + std::to_string(m) + ": " +
+                        program.status().message());
+    if ((*program)->is_sequential)
+      return Status::failed_precondition(
+          "compile_modal: sequential programs sweep per-mode, not by lane "
+          "group");
+    programs.push_back(std::move(*program));
+  }
+  CompiledEval engine(std::move(programs.front()));
+  engine.modal_.reserve(programs.size() - 1);
+  for (std::size_t m = 1; m < programs.size(); ++m)
+    engine.modal_.emplace_back(new CompiledEval(std::move(programs[m])));
+  return engine;
+}
+
+Status CompiledEval::eval_modes(std::span<const std::uint64_t> in_value,
+                                std::span<const std::uint64_t> in_unknown,
+                                std::span<std::uint64_t> out_value,
+                                std::span<std::uint64_t> out_unknown,
+                                std::size_t lanes_per_mode) {
+  const std::size_t modes = mode_count();
+  if (modes == 1)
+    return eval_wide(in_value, in_unknown, out_value, out_unknown,
+                     lanes_per_mode);
+  const std::size_t nin = program_->in_slots.size();
+  const std::size_t nout = program_->out_slots.size();
+  if (lanes_per_mode == 0)
+    return Status::invalid_argument("eval_modes: lanes_per_mode must be >= 1");
+  const std::size_t wpm =
+      (lanes_per_mode + kBatchLanes - 1) / kBatchLanes;
+  if (in_value.size() != nin * modes * wpm ||
+      in_unknown.size() != nin * modes * wpm ||
+      out_value.size() != nout * modes * wpm ||
+      out_unknown.size() != nout * modes * wpm)
+    return Status::invalid_argument(
+        "eval_modes: plane spans must be exactly nets * modes * " +
+        std::to_string(wpm) + " words (mode-major lane groups)");
+
+  // Per-mode staging: gather each mode's lane group into the contiguous
+  // layout eval_wide expects, run that mode's image, scatter the results
+  // back.  The copies are a few words per net — noise against the kernel
+  // passes — and keep every image's pass structure (fast-path choice, dead
+  // -lane masking) exactly what a standalone engine would do.
+  mode_buf_.resize(2 * (nin + nout) * wpm);
+  std::uint64_t* iv = mode_buf_.data();
+  std::uint64_t* iu = iv + nin * wpm;
+  std::uint64_t* ov = iu + nin * wpm;
+  std::uint64_t* ou = ov + nout * wpm;
+  for (std::size_t m = 0; m < modes; ++m) {
+    CompiledEval* engine = m == 0 ? this : modal_[m - 1].get();
+    for (std::size_t i = 0; i < nin; ++i)
+      for (std::size_t w = 0; w < wpm; ++w) {
+        iv[i * wpm + w] = in_value[(i * modes + m) * wpm + w];
+        iu[i * wpm + w] = in_unknown[(i * modes + m) * wpm + w];
+      }
+    if (Status s = engine->eval_wide({iv, nin * wpm}, {iu, nin * wpm},
+                                     {ov, nout * wpm}, {ou, nout * wpm},
+                                     lanes_per_mode);
+        !s.ok())
+      return Status(s.code(),
+                    "eval_modes: mode " + std::to_string(m) + ": " +
+                        s.message());
+    for (std::size_t k = 0; k < nout; ++k)
+      for (std::size_t w = 0; w < wpm; ++w) {
+        out_value[(k * modes + m) * wpm + w] = ov[k * wpm + w];
+        out_unknown[(k * modes + m) * wpm + w] = ou[k * wpm + w];
+      }
+  }
+  return Status();
 }
 
 Result<std::shared_ptr<CompiledEval::Program>> CompiledEval::compile_impl(
@@ -1856,11 +1969,22 @@ bool CompiledEval::fast_path_available() const noexcept {
 }
 
 CompiledEval::KernelStats CompiledEval::kernel_stats() const noexcept {
-  return {program_->fast_passes.load(std::memory_order_relaxed),
-          program_->slow_passes.load(std::memory_order_relaxed),
-          program_->cycles_run.load(std::memory_order_relaxed),
-          program_->state_commits.load(std::memory_order_relaxed),
-          program_->fast_cycle_passes.load(std::memory_order_relaxed)};
+  KernelStats total{program_->fast_passes.load(std::memory_order_relaxed),
+                    program_->slow_passes.load(std::memory_order_relaxed),
+                    program_->cycles_run.load(std::memory_order_relaxed),
+                    program_->state_commits.load(std::memory_order_relaxed),
+                    program_->fast_cycle_passes.load(std::memory_order_relaxed)};
+  // A modal engine's sweep runs one image per mode; the counters of every
+  // mode's shared program roll up into one view.
+  for (const auto& sub : modal_) {
+    const KernelStats s = sub->kernel_stats();
+    total.fast_passes += s.fast_passes;
+    total.slow_passes += s.slow_passes;
+    total.cycles_run += s.cycles_run;
+    total.state_commits += s.state_commits;
+    total.fast_cycle_passes += s.fast_cycle_passes;
+  }
+  return total;
 }
 
 // ---------------------------------------------------------------------------

@@ -115,6 +115,15 @@ struct ExternalReg {
   Logic reset = Logic::k0;  ///< pad value at reset (boundary registers: 0)
 };
 
+/// One polymorphic-gate rewrite of a shared circuit structure: in a given
+/// environment mode, `gate` computes `kind` instead of its base kind.  A
+/// list of these per mode (pp::poly::Elaboration) is what turns one
+/// circuit into its M configuration views.
+struct ModeOverride {
+  GateId gate;
+  GateKind kind;
+};
+
 /// An evaluation engine over a fixed (circuit, input nets, output nets)
 /// binding.  Engines evaluate wide batches of independent vectors packed
 /// bit-parallel; they are stateful only through scratch storage, so
@@ -284,6 +293,34 @@ class CompiledEval final : public Evaluator {
       std::vector<NetId> out_nets, std::vector<ExternalReg> regs,
       const LevelMap* levels, const CompileOptions& options);
 
+  /// Compile a *mode-swept* combinational engine: one engine answering all
+  /// M environment modes of a polymorphic design in a single `eval_modes`
+  /// sweep.  `mode_overrides[m]` rewrites the base circuit's polymorphic
+  /// gates into mode m's configuration view (see ModeOverride;
+  /// `mode_overrides[0]` is normally empty — the base circuit is mode 0);
+  /// each view is compiled through the full pipeline (folding, DCE,
+  /// copy-prop, specialization) into its own instruction image, and the
+  /// images share one engine so a sweep pays one compile and selects the
+  /// per-mode opcodes by lane group.  The levelization is shared — kind
+  /// overrides never change the gate graph's topology.
+  ///
+  /// The ordinary entry points (eval_wide/eval_packed) evaluate mode 0.
+  /// Failure modes are `compile`'s, plus kInvalidArgument for an override
+  /// that is out of range or changes a gate's pin shape, and
+  /// kFailedPrecondition when any mode's view is outside the compiled
+  /// subset (sequential polymorphic designs evaluate per-mode instead).
+  [[nodiscard]] static Result<CompiledEval> compile_modal(
+      const Circuit& circuit, std::vector<NetId> in_nets,
+      std::vector<NetId> out_nets,
+      std::span<const std::vector<ModeOverride>> mode_overrides,
+      const LevelMap* levels = nullptr);
+  /// As above, with explicit compile-time knobs (see CompileOptions).
+  [[nodiscard]] static Result<CompiledEval> compile_modal(
+      const Circuit& circuit, std::vector<NetId> in_nets,
+      std::vector<NetId> out_nets,
+      std::span<const std::vector<ModeOverride>> mode_overrides,
+      const LevelMap* levels, const CompileOptions& options);
+
   [[nodiscard]] const char* name() const noexcept override {
     return "compiled-bitparallel";
   }
@@ -316,6 +353,28 @@ class CompiledEval final : public Evaluator {
                                   bool reset = true) override;
   [[nodiscard]] std::size_t preferred_words() const noexcept override;
   [[nodiscard]] std::unique_ptr<Evaluator> clone() const override;
+
+  /// Environment modes this engine answers: 1 for `compile`d engines, M
+  /// for `compile_modal` ones.
+  [[nodiscard]] std::size_t mode_count() const noexcept;
+
+  /// The mode sweep: evaluate `lanes_per_mode` vectors under *every*
+  /// environment mode in one call.  The planes are mode-major lane
+  /// groups: with `wpm = ceil(lanes_per_mode / kBatchLanes)` and
+  /// `M = mode_count()`, input net i's mode-m stimulus occupies words
+  /// `in_value[(i*M + m)*wpm .. +wpm-1]` (same span of `in_unknown`), and
+  /// output net k's mode-m result likewise in the out planes — so span
+  /// sizes are exactly `input_count()*M*wpm` / `output_count()*M*wpm`.
+  /// Sweeping the same stimulus across modes means duplicating it into
+  /// each mode group.  Each group is evaluated with that mode's
+  /// instruction image (kernel passes never straddle a mode boundary);
+  /// dead lanes of each group's final word are left 0/0.  Works on a
+  /// single-mode engine as a plain eval_wide.
+  [[nodiscard]] Status eval_modes(std::span<const std::uint64_t> in_value,
+                                  std::span<const std::uint64_t> in_unknown,
+                                  std::span<std::uint64_t> out_value,
+                                  std::span<std::uint64_t> out_unknown,
+                                  std::size_t lanes_per_mode);
 
   /// True when this engine was built by compile_sequential (run_cycles is
   /// the entry point; eval_wide / eval_packed reject the program).
@@ -376,6 +435,11 @@ class CompiledEval final : public Evaluator {
   std::size_t scratch_words_ = 0;
   std::vector<std::uint64_t> shim_;     ///< eval_packed AoS<->SoA staging
   std::vector<std::uint64_t> seq_tmp_;  ///< simultaneous-commit staging
+  /// Mode 1..M-1 instruction images of a compile_modal engine (mode 0 is
+  /// this engine itself); each carries its own scratch, all share stats
+  /// aggregation through kernel_stats().
+  std::vector<std::unique_ptr<CompiledEval>> modal_;
+  std::vector<std::uint64_t> mode_buf_;  ///< eval_modes subplane staging
 };
 
 /// The event-driven Simulator behind the Evaluator interface: lanes are

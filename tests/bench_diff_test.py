@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/bench_diff (run under ctest as `bench_diff_test`).
+
+The tool is the CI perf ratchet: these tests pin down the behaviours the
+ratchet job depends on — a missing baseline is a hard error (the workflow
+skips the step instead of calling the tool), added/removed keys never trip
+the gate, zero and denormal baselines don't divide-by-zero, --fail-above is
+a strict inequality at the boundary, and --metrics/--direction restrict
+the gate without hiding records from the report.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+TOOL = os.path.join(os.path.dirname(os.path.abspath(__file__)), os.pardir,
+                    "tools", "bench_diff")
+
+
+def run_diff(old_records, new_records, *flags):
+    """Write the two record arrays to temp files and run the tool."""
+    with tempfile.TemporaryDirectory() as d:
+        old_path = os.path.join(d, "old.json")
+        new_path = os.path.join(d, "new.json")
+        with open(old_path, "w", encoding="utf-8") as f:
+            json.dump(old_records, f)
+        with open(new_path, "w", encoding="utf-8") as f:
+            json.dump(new_records, f)
+        return subprocess.run(
+            [sys.executable, TOOL, old_path, new_path, *flags],
+            capture_output=True,
+            text=True,
+            check=False,
+        )
+
+
+def rec(name, metric, value, devices=None):
+    r = {"name": name, "metric": metric, "value": value}
+    if devices is not None:
+        r["devices"] = devices
+    return r
+
+
+class BenchDiffTest(unittest.TestCase):
+    def test_identical_files_pass_the_tightest_gate(self):
+        records = [rec("b", "vec_per_s", 123.5), rec("b", "jobs", 7, devices=4)]
+        p = run_diff(records, records, "--fail-above", "0")
+        self.assertEqual(p.returncode, 0, p.stderr)
+        self.assertIn("largest gated move 0.00%", p.stdout)
+
+    def test_missing_baseline_is_a_hard_error(self):
+        p = subprocess.run(
+            [sys.executable, TOOL, "/nonexistent/baseline.json",
+             "/nonexistent/new.json"],
+            capture_output=True, text=True, check=False,
+        )
+        self.assertNotEqual(p.returncode, 0)
+        self.assertIn("cannot read", p.stderr + p.stdout)
+
+    def test_malformed_baseline_is_a_hard_error(self):
+        with tempfile.TemporaryDirectory() as d:
+            bad = os.path.join(d, "bad.json")
+            with open(bad, "w", encoding="utf-8") as f:
+                f.write('{"not": "an array"}')
+            ok = os.path.join(d, "ok.json")
+            with open(ok, "w", encoding="utf-8") as f:
+                json.dump([rec("b", "m", 1)], f)
+            p = subprocess.run(
+                [sys.executable, TOOL, bad, ok],
+                capture_output=True, text=True, check=False,
+            )
+            self.assertNotEqual(p.returncode, 0)
+            self.assertIn("expected a JSON array", p.stderr + p.stdout)
+
+    def test_added_and_removed_keys_never_trip_the_gate(self):
+        old = [rec("b", "kept", 10), rec("b", "gone", 5)]
+        new = [rec("b", "kept", 10), rec("b", "fresh", 99)]
+        p = run_diff(old, new, "--fail-above", "0")
+        self.assertEqual(p.returncode, 0, p.stderr)
+        self.assertIn("added:   b/fresh", p.stdout)
+        self.assertIn("removed: b/gone", p.stdout)
+
+    def test_devices_keys_records_separately(self):
+        # The same (name, metric) at two fleet sizes is two records, and a
+        # move at one size is caught even when the other is unchanged.
+        old = [rec("b", "jobs_per_s", 100, devices=1),
+               rec("b", "jobs_per_s", 400, devices=4)]
+        new = [rec("b", "jobs_per_s", 100, devices=1),
+               rec("b", "jobs_per_s", 200, devices=4)]
+        p = run_diff(old, new, "--fail-above", "25")
+        self.assertEqual(p.returncode, 1)
+        self.assertIn("jobs_per_s@4dev", p.stdout)
+
+    def test_zero_baseline_does_not_divide_by_zero(self):
+        old = [rec("b", "m", 0.0)]
+        p_same = run_diff(old, [rec("b", "m", 0.0)], "--fail-above", "0")
+        self.assertEqual(p_same.returncode, 0, p_same.stderr)
+        # 0 -> nonzero has no finite percentage; it must not crash, and the
+        # report marks it n/a rather than inventing a number.
+        p_moved = run_diff(old, [rec("b", "m", 1.0)])
+        self.assertEqual(p_moved.returncode, 0, p_moved.stderr)
+        self.assertIn("n/a", p_moved.stdout)
+
+    def test_denormal_values_survive(self):
+        tiny = 5e-324  # smallest positive denormal double
+        p = run_diff([rec("b", "m", tiny)], [rec("b", "m", tiny)],
+                     "--fail-above", "0")
+        self.assertEqual(p.returncode, 0, p.stderr)
+
+    def test_fail_above_boundary_is_strict(self):
+        old = [rec("b", "m", 100.0)]
+        new = [rec("b", "m", 125.0)]  # exactly +25%
+        self.assertEqual(run_diff(old, new, "--fail-above", "25").returncode, 0)
+        self.assertEqual(
+            run_diff(old, new, "--fail-above", "24.999").returncode, 1)
+        # Direction-symmetric by default: -25% against 24.999 fails too.
+        self.assertEqual(
+            run_diff(old, [rec("b", "m", 75.0)],
+                     "--fail-above", "24.999").returncode, 1)
+
+    def test_metrics_flag_restricts_the_gate_not_the_report(self):
+        old = [rec("b", "gated", 100.0), rec("b", "noisy", 100.0)]
+        new = [rec("b", "gated", 99.0), rec("b", "noisy", 5.0)]
+        p = run_diff(old, new, "--fail-above", "25", "--metrics", "gated")
+        self.assertEqual(p.returncode, 0, p.stderr)
+        self.assertIn("b/noisy", p.stdout)  # still reported
+        p = run_diff(old, new, "--fail-above", "25", "--metrics",
+                     "gated,noisy")
+        self.assertEqual(p.returncode, 1)
+
+    def test_direction_down_gates_only_regressions(self):
+        old = [rec("b", "vec_per_s", 100.0)]
+        up = [rec("b", "vec_per_s", 300.0)]
+        down = [rec("b", "vec_per_s", 50.0)]
+        self.assertEqual(
+            run_diff(old, up, "--fail-above", "25",
+                     "--direction", "down").returncode, 0)
+        self.assertEqual(
+            run_diff(old, down, "--fail-above", "25",
+                     "--direction", "down").returncode, 1)
+        self.assertEqual(
+            run_diff(old, down, "--fail-above", "25",
+                     "--direction", "up").returncode, 0)
+
+    def test_duplicate_key_in_one_file_is_a_hard_error(self):
+        dup = [rec("b", "m", 1.0), rec("b", "m", 2.0)]
+        p = run_diff(dup, [rec("b", "m", 1.0)])
+        self.assertNotEqual(p.returncode, 0)
+        self.assertIn("duplicate record", p.stderr + p.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main()

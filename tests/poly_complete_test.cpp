@@ -1,0 +1,173 @@
+// poly::is_complete — the polymorphic gate-set completeness judgment
+// (arXiv 1709.03065).  The golden sets below are the judgments worked in
+// the polymorphic-circuit literature: a set complete in every mode can
+// still be polymorphically incomplete when no circuit can tell the modes
+// apart (all-ordinary sets) or escape the dual graph ({NAND/NOR} alone).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "map/netlist.h"
+#include "poly/gate.h"
+
+namespace pp::poly {
+namespace {
+
+using map::CellKind;
+
+GateLibrary lib2(std::vector<PolyGate> gates) {
+  return GateLibrary{2, std::move(gates)};
+}
+
+// ---------- library validation ---------------------------------------------
+
+TEST(PolyGateLibrary, ValidatesShapes) {
+  // NOT at arity 2 is not a legal mode function.
+  GateLibrary bad = lib2({{"bad", 2, {CellKind::kNot, CellKind::kAnd}}});
+  EXPECT_FALSE(bad.validate().ok());
+  // Mode vector must match the library's mode axis.
+  GateLibrary short_modes = lib2({{"short", 2, {CellKind::kNand}}});
+  EXPECT_FALSE(short_modes.validate().ok());
+  // The canonical pair is fine.
+  EXPECT_TRUE(lib2({make_nand_nor()}).validate().ok());
+  // Empty and oversized mode axes are rejected.
+  GateLibrary zero_modes{0, {make_nand_nor()}};
+  EXPECT_FALSE(zero_modes.validate().ok());
+  GateLibrary too_many{5, {}};
+  EXPECT_FALSE(is_complete(too_many).ok());
+}
+
+TEST(PolyGateLibrary, TruthBitsMatchNetlistSemantics) {
+  EXPECT_EQ(kind_truth_bits(CellKind::kNand, 2), 0b0111u);
+  EXPECT_EQ(kind_truth_bits(CellKind::kNor, 2), 0b0001u);
+  EXPECT_EQ(kind_truth_bits(CellKind::kAnd, 2), 0b1000u);
+  EXPECT_EQ(kind_truth_bits(CellKind::kOr, 2), 0b1110u);
+  EXPECT_EQ(kind_truth_bits(CellKind::kXor, 2), 0b0110u);
+  EXPECT_EQ(kind_truth_bits(CellKind::kNot, 1), 0b01u);
+  EXPECT_EQ(kind_truth_bits(CellKind::kAnd, 3), 0x80u);
+}
+
+// ---------- the golden judgments -------------------------------------------
+
+// {NAND/NOR} alone: complete in each mode, but every realizable pair is
+// (f, dual f) — neither the diagonal NAND nor the selector is reachable.
+TEST(PolyCompleteness, NandNorAloneIsIncomplete) {
+  auto r = is_complete(lib2({make_nand_nor()}));
+  ASSERT_TRUE(r.ok()) << r.status().to_string();
+  EXPECT_FALSE(r->complete);
+  // Each mode on its own is Post-complete (NAND resp. NOR alone).
+  EXPECT_TRUE(r->mode_post_classes[0].empty());
+  EXPECT_TRUE(r->mode_post_classes[1].empty());
+  EXPECT_FALSE(r->has_diagonal_nand);
+  EXPECT_FALSE(r->has_mode_selector);
+}
+
+// {NAND/NOR, ordinary NAND}: the classic complete polymorphic basis.
+TEST(PolyCompleteness, NandNorPlusNandIsComplete) {
+  auto r = is_complete(
+      lib2({make_nand_nor(), make_ordinary(CellKind::kNand, 2, 2)}));
+  ASSERT_TRUE(r.ok()) << r.status().to_string();
+  EXPECT_TRUE(r->complete) << r->reason;
+  EXPECT_TRUE(r->has_diagonal_nand);
+  EXPECT_TRUE(r->has_mode_selector);
+}
+
+// {AND/OR}: both modes are monotone — incomplete before polymorphism even
+// enters; the diagnosis names the witness class per mode.
+TEST(PolyCompleteness, AndOrAloneFailsInsideEachMode) {
+  auto r = is_complete(lib2({make_and_or()}));
+  ASSERT_TRUE(r.ok()) << r.status().to_string();
+  EXPECT_FALSE(r->complete);
+  EXPECT_NE(r->mode_post_classes[0].end(),
+            std::find(r->mode_post_classes[0].begin(),
+                      r->mode_post_classes[0].end(), "monotone"));
+  EXPECT_NE(r->mode_post_classes[1].end(),
+            std::find(r->mode_post_classes[1].begin(),
+                      r->mode_post_classes[1].end(), "monotone"));
+  EXPECT_NE(r->reason.find("mode 0"), std::string::npos);
+}
+
+// {AND/OR, NOT}: each mode is complete ({AND,NOT} / {OR,NOT}), yet every
+// gate satisfies f1 = dual(f0) (dual(NOT) = NOT), so the whole closure
+// stays inside the dual graph: polymorphically incomplete.
+TEST(PolyCompleteness, AndOrPlusNotStaysInDualGraph) {
+  auto r = is_complete(
+      lib2({make_and_or(), make_ordinary(CellKind::kNot, 1, 2)}));
+  ASSERT_TRUE(r.ok()) << r.status().to_string();
+  EXPECT_FALSE(r->complete);
+  EXPECT_TRUE(r->mode_post_classes[0].empty());
+  EXPECT_TRUE(r->mode_post_classes[1].empty());
+  EXPECT_FALSE(r->has_diagonal_nand);
+  EXPECT_FALSE(r->has_mode_selector);
+}
+
+// {NAND/NOR, NOT}: same dual-graph trap.
+TEST(PolyCompleteness, NandNorPlusNotStaysInDualGraph) {
+  auto r = is_complete(
+      lib2({make_nand_nor(), make_ordinary(CellKind::kNot, 1, 2)}));
+  ASSERT_TRUE(r.ok()) << r.status().to_string();
+  EXPECT_FALSE(r->complete);
+  EXPECT_FALSE(r->has_diagonal_nand);
+  EXPECT_FALSE(r->has_mode_selector);
+}
+
+// An all-ordinary library realizes only diagonal tuples: the diagonal NAND
+// is reachable but the modes can never be told apart.
+TEST(PolyCompleteness, OrdinaryNandAloneCannotSelectModes) {
+  auto r = is_complete(lib2({make_ordinary(CellKind::kNand, 2, 2)}));
+  ASSERT_TRUE(r.ok()) << r.status().to_string();
+  EXPECT_FALSE(r->complete);
+  EXPECT_TRUE(r->has_diagonal_nand);
+  EXPECT_FALSE(r->has_mode_selector);
+  EXPECT_NE(r->reason.find("selector"), std::string::npos);
+}
+
+// {AND/OR, NAND/NOR}: still the dual graph (both gates satisfy
+// f1 = dual(f0)), even though the pair escapes monotonicity per mode.
+TEST(PolyCompleteness, TwoDualPairsStayInDualGraph) {
+  auto r = is_complete(lib2({make_and_or(), make_nand_nor()}));
+  ASSERT_TRUE(r.ok()) << r.status().to_string();
+  EXPECT_FALSE(r->complete);
+}
+
+// {AND/OR, ordinary NAND} breaks the dual coupling (dual(NAND) = NOR, and
+// NAND is not self-dual): the checker must find both targets.
+TEST(PolyCompleteness, AndOrPlusNandIsComplete) {
+  auto r = is_complete(
+      lib2({make_and_or(), make_ordinary(CellKind::kNand, 2, 2)}));
+  ASSERT_TRUE(r.ok()) << r.status().to_string();
+  EXPECT_TRUE(r->complete) << r->reason;
+}
+
+// XOR is affine in both modes: {XOR, NAND/NOR} — XOR escapes nothing the
+// dual graph needs (dual(XOR) = XNOR != XOR), so the pair is *not* stuck;
+// but {XOR} alone fails inside each mode.
+TEST(PolyCompleteness, XorAloneIsAffine) {
+  auto r = is_complete(lib2({make_ordinary(CellKind::kXor, 2, 2)}));
+  ASSERT_TRUE(r.ok()) << r.status().to_string();
+  EXPECT_FALSE(r->complete);
+  EXPECT_NE(r->mode_post_classes[0].end(),
+            std::find(r->mode_post_classes[0].begin(),
+                      r->mode_post_classes[0].end(), "affine"));
+}
+
+// ---------- 3-mode support and bounds --------------------------------------
+
+TEST(PolyCompleteness, ThreeModeOrdinarySetLacksSelector) {
+  GateLibrary lib{3, {make_ordinary(CellKind::kNand, 2, 3)}};
+  auto r = is_complete(lib);
+  ASSERT_TRUE(r.ok()) << r.status().to_string();
+  EXPECT_FALSE(r->complete);
+  EXPECT_TRUE(r->has_diagonal_nand);
+  EXPECT_FALSE(r->has_mode_selector);
+}
+
+TEST(PolyCompleteness, FourModesUnimplemented) {
+  GateLibrary lib{4, {make_ordinary(CellKind::kNand, 2, 4)}};
+  auto r = is_complete(lib);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnimplemented);
+}
+
+}  // namespace
+}  // namespace pp::poly

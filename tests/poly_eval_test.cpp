@@ -1,0 +1,292 @@
+// Mode-swept compiled evaluation vs per-mode event-driven re-elaboration.
+//
+// The acceptance oracle for pp::poly's sweep path: for 100+ random
+// polymorphic circuits, CompiledEval::compile_modal + eval_modes must be
+// bit-identical — value *and* unknown planes, dead lanes included — to
+// re-personalizing the shared circuit into each mode's view with
+// Circuit::set_gate_kind and running the event engine per mode.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "poly/gate.h"
+#include "poly/netlist.h"
+#include "sim/circuit.h"
+#include "sim/evaluator.h"
+
+namespace pp::poly {
+namespace {
+
+using sim::Circuit;
+using sim::CompiledEval;
+using sim::EventEval;
+using sim::GateKind;
+
+std::uint64_t g_state = 0x243f6a8885a308d3ull;
+std::uint64_t next_rand() {
+  g_state ^= g_state << 13;
+  g_state ^= g_state >> 7;
+  g_state ^= g_state << 17;
+  return g_state;
+}
+
+// ---------- Circuit::set_gate_kind -----------------------------------------
+
+TEST(SetGateKind, RepersonalizesPureLogic) {
+  Circuit c;
+  const auto a = c.add_net("a");
+  const auto b = c.add_net("b");
+  const auto y = c.add_net("y");
+  c.mark_input(a);
+  c.mark_input(b);
+  const auto g = c.add_gate(GateKind::kNand, {a, b}, y);
+  EXPECT_TRUE(c.set_gate_kind(g, GateKind::kNor));
+  EXPECT_EQ(c.gates()[g].kind, GateKind::kNor);
+  EXPECT_TRUE(c.set_gate_kind(g, GateKind::kXor));
+  // Behavioural / stateful kinds are not a configuration change.
+  EXPECT_FALSE(c.set_gate_kind(g, GateKind::kDff));
+  EXPECT_FALSE(c.set_gate_kind(g, GateKind::kTriBuf));
+  // Pin-shape changes are rejected: NOT wants exactly one input.
+  EXPECT_FALSE(c.set_gate_kind(g, GateKind::kNot));
+  // Out-of-range gate id.
+  EXPECT_FALSE(c.set_gate_kind(999, GateKind::kAnd));
+}
+
+TEST(SetGateKind, RespectsArity) {
+  Circuit c;
+  const auto a = c.add_net("a");
+  const auto y = c.add_net("y");
+  const auto z = c.add_net("z");
+  c.mark_input(a);
+  const auto inv = c.add_gate(GateKind::kNot, {a}, y);
+  EXPECT_TRUE(c.set_gate_kind(inv, GateKind::kBuf));
+  // A 1-input variadic gate is legal (AND of one literal = identity).
+  EXPECT_TRUE(c.set_gate_kind(inv, GateKind::kAnd));
+  EXPECT_FALSE(c.set_gate_kind(inv, GateKind::kConst0));  // wants no inputs
+  const auto k = c.add_gate(GateKind::kConst0, {}, z);
+  EXPECT_TRUE(c.set_gate_kind(k, GateKind::kConst1));
+  EXPECT_FALSE(c.set_gate_kind(k, GateKind::kNot));
+  // A stateful gate cannot be re-personalized away from its kind either.
+  const auto q = c.add_net("q");
+  const auto clk = c.add_net("clk");
+  c.mark_input(clk);
+  const auto ff = c.add_gate(GateKind::kDff, {y, clk}, q);
+  EXPECT_FALSE(c.set_gate_kind(ff, GateKind::kAnd));
+}
+
+// ---------- random polymorphic circuits ------------------------------------
+
+GateLibrary two_mode_lib() {
+  return GateLibrary{2, {make_nand_nor(), make_and_or()}};
+}
+
+/// A random combinational PolyNetlist: 2..5 inputs, up to ~24 mixed
+/// ordinary/polymorphic nodes, 1..4 outputs.
+PolyNetlist random_netlist() {
+  PolyNetlist net(two_mode_lib());
+  const int n_inputs = 2 + static_cast<int>(next_rand() % 4);
+  for (int i = 0; i < n_inputs; ++i)
+    net.add_input("in" + std::to_string(i));
+  const int n_nodes = 5 + static_cast<int>(next_rand() % 20);
+  for (int i = 0; i < n_nodes; ++i) {
+    const int avail = static_cast<int>(net.cell_count());
+    const auto pick = [&avail] {
+      return static_cast<int>(next_rand() % static_cast<unsigned>(avail));
+    };
+    if (next_rand() % 3 == 0) {
+      net.add_poly(static_cast<int>(next_rand() % 2), {pick(), pick()});
+    } else {
+      static constexpr map::CellKind kKinds[] = {
+          map::CellKind::kNot,  map::CellKind::kAnd, map::CellKind::kOr,
+          map::CellKind::kNand, map::CellKind::kNor, map::CellKind::kXor};
+      const map::CellKind kind = kKinds[next_rand() % 6];
+      std::vector<int> fanin{pick()};
+      if (kind != map::CellKind::kNot) {
+        const int extra = 1 + static_cast<int>(next_rand() % 2);
+        for (int e = 0; e < extra; ++e) fanin.push_back(pick());
+      }
+      net.add_cell(kind, std::move(fanin));
+    }
+  }
+  const int n_outputs = 1 + static_cast<int>(next_rand() % 4);
+  for (int o = 0; o < n_outputs; ++o)
+    net.mark_output(static_cast<int>(net.cell_count()) - 1 -
+                    static_cast<int>(next_rand() % (net.cell_count() / 2)));
+  return net;
+}
+
+/// Random canonical stimulus planes for `nin` nets at `wpm` words,
+/// optionally carrying unknown (X) bits.
+void random_stimulus(std::size_t nin, std::size_t wpm, bool with_x,
+                     std::vector<std::uint64_t>& value,
+                     std::vector<std::uint64_t>& unknown) {
+  value.resize(nin * wpm);
+  unknown.resize(nin * wpm);
+  for (std::size_t i = 0; i < value.size(); ++i) {
+    value[i] = next_rand();
+    unknown[i] = with_x ? next_rand() & next_rand() & next_rand() : 0;
+    value[i] &= ~unknown[i];
+  }
+}
+
+// The 100+-circuit differential: one mode-swept eval_modes call against
+// per-mode set_gate_kind re-personalization through the event engine.
+TEST(PolyModalEval, SweepMatchesPerModeEventOracle) {
+  static constexpr std::size_t kLaneChoices[] = {1, 63, 64, 70, 128};
+  for (int trial = 0; trial < 110; ++trial) {
+    const PolyNetlist net = random_netlist();
+    auto el = elaborate(net);
+    ASSERT_TRUE(el.ok()) << "trial " << trial << ": "
+                         << el.status().to_string();
+    auto engine = CompiledEval::compile_modal(el->circuit, el->in_nets,
+                                              el->out_nets, el->overrides);
+    ASSERT_TRUE(engine.ok()) << "trial " << trial << ": "
+                             << engine.status().to_string();
+    ASSERT_EQ(engine->mode_count(), 2u);
+
+    const std::size_t lanes = kLaneChoices[trial % 5];
+    const std::size_t wpm = (lanes + 63) / 64;
+    const std::size_t nin = el->in_nets.size();
+    const std::size_t nout = el->out_nets.size();
+    const bool with_x = trial % 2 == 0;
+    std::vector<std::uint64_t> stim_v, stim_u;
+    random_stimulus(nin, wpm, with_x, stim_v, stim_u);
+
+    // Sweep: the same stimulus duplicated into both mode lane groups.
+    const std::size_t modes = engine->mode_count();
+    std::vector<std::uint64_t> in_v(nin * modes * wpm), in_u(nin * modes * wpm);
+    for (std::size_t i = 0; i < nin; ++i)
+      for (std::size_t m = 0; m < modes; ++m)
+        for (std::size_t w = 0; w < wpm; ++w) {
+          in_v[(i * modes + m) * wpm + w] = stim_v[i * wpm + w];
+          in_u[(i * modes + m) * wpm + w] = stim_u[i * wpm + w];
+        }
+    std::vector<std::uint64_t> out_v(nout * modes * wpm),
+        out_u(nout * modes * wpm);
+    ASSERT_TRUE(
+        engine->eval_modes(in_v, in_u, out_v, out_u, lanes).ok());
+
+    for (std::size_t m = 0; m < modes; ++m) {
+      // Re-personalize the shared structure into mode m's view.
+      Circuit view = el->circuit;
+      for (const sim::ModeOverride& ov :
+           el->overrides[m])
+        ASSERT_TRUE(view.set_gate_kind(ov.gate, ov.kind));
+      auto oracle = EventEval::create(view, el->in_nets, el->out_nets);
+      ASSERT_TRUE(oracle.ok()) << oracle.status().to_string();
+      std::vector<std::uint64_t> ref_v(nout * wpm), ref_u(nout * wpm);
+      ASSERT_TRUE(
+          oracle->eval_wide(stim_v, stim_u, ref_v, ref_u, lanes).ok());
+      for (std::size_t k = 0; k < nout; ++k)
+        for (std::size_t w = 0; w < wpm; ++w) {
+          EXPECT_EQ(out_v[(k * modes + m) * wpm + w], ref_v[k * wpm + w])
+              << "trial " << trial << " mode " << m << " out " << k
+              << " word " << w << " (value plane)";
+          EXPECT_EQ(out_u[(k * modes + m) * wpm + w], ref_u[k * wpm + w])
+              << "trial " << trial << " mode " << m << " out " << k
+              << " word " << w << " (unknown plane)";
+        }
+    }
+  }
+}
+
+// eval_wide on a modal engine evaluates mode 0, matching its oracle.
+TEST(PolyModalEval, DefaultEntryPointsAreModeZero) {
+  const PolyNetlist net = random_netlist();
+  auto el = elaborate(net);
+  ASSERT_TRUE(el.ok());
+  auto engine = CompiledEval::compile_modal(el->circuit, el->in_nets,
+                                            el->out_nets, el->overrides);
+  ASSERT_TRUE(engine.ok()) << engine.status().to_string();
+  const std::size_t nin = el->in_nets.size(), nout = el->out_nets.size();
+  std::vector<std::uint64_t> v, u;
+  random_stimulus(nin, 1, true, v, u);
+  std::vector<std::uint64_t> got_v(nout), got_u(nout);
+  ASSERT_TRUE(engine->eval_wide(v, u, got_v, got_u, 64).ok());
+  auto oracle = EventEval::create(el->circuit, el->in_nets, el->out_nets);
+  ASSERT_TRUE(oracle.ok());
+  std::vector<std::uint64_t> ref_v(nout), ref_u(nout);
+  ASSERT_TRUE(oracle->eval_wide(v, u, ref_v, ref_u, 64).ok());
+  EXPECT_EQ(got_v, ref_v);
+  EXPECT_EQ(got_u, ref_u);
+}
+
+// Clones answer the sweep identically and share stats aggregation.
+TEST(PolyModalEval, ClonesSweepIdentically) {
+  const PolyNetlist net = random_netlist();
+  auto el = elaborate(net);
+  ASSERT_TRUE(el.ok());
+  auto engine = CompiledEval::compile_modal(el->circuit, el->in_nets,
+                                            el->out_nets, el->overrides);
+  ASSERT_TRUE(engine.ok()) << engine.status().to_string();
+  auto clone_base = engine->clone();
+  auto* clone = dynamic_cast<CompiledEval*>(clone_base.get());
+  ASSERT_NE(clone, nullptr);
+  EXPECT_EQ(clone->mode_count(), engine->mode_count());
+
+  const std::size_t nin = el->in_nets.size(), nout = el->out_nets.size();
+  const std::size_t modes = engine->mode_count();
+  std::vector<std::uint64_t> v, u;
+  random_stimulus(nin * modes, 1, true, v, u);
+  std::vector<std::uint64_t> a_v(nout * modes), a_u(nout * modes);
+  std::vector<std::uint64_t> b_v(nout * modes), b_u(nout * modes);
+  ASSERT_TRUE(engine->eval_modes(v, u, a_v, a_u, 64).ok());
+  ASSERT_TRUE(clone->eval_modes(v, u, b_v, b_u, 64).ok());
+  EXPECT_EQ(a_v, b_v);
+  EXPECT_EQ(a_u, b_u);
+  const auto stats = engine->kernel_stats();
+  EXPECT_GT(stats.fast_passes + stats.slow_passes, 0u);
+}
+
+// Span-size and structural failure modes.
+TEST(PolyModalEval, RejectsBadShapes) {
+  const PolyNetlist net = random_netlist();
+  auto el = elaborate(net);
+  ASSERT_TRUE(el.ok());
+  auto engine = CompiledEval::compile_modal(el->circuit, el->in_nets,
+                                            el->out_nets, el->overrides);
+  ASSERT_TRUE(engine.ok());
+  const std::size_t nin = el->in_nets.size(), nout = el->out_nets.size();
+  const std::size_t modes = engine->mode_count();
+  std::vector<std::uint64_t> in_v(nin * modes), in_u(nin * modes);
+  std::vector<std::uint64_t> out_v(nout * modes), out_u(nout * modes);
+  // Wrong input span (missing the mode axis).
+  std::vector<std::uint64_t> short_v(nin), short_u(nin);
+  EXPECT_FALSE(
+      engine->eval_modes(short_v, short_u, out_v, out_u, 64).ok());
+  // Wrong output span.
+  std::vector<std::uint64_t> short_out(nout);
+  EXPECT_FALSE(
+      engine->eval_modes(in_v, in_u, short_out, short_out, 64).ok());
+  // An override that changes pin shape is rejected at compile time.
+  std::vector<std::vector<sim::ModeOverride>> bad(2);
+  sim::GateId some_gate = 0;
+  bad[1].push_back({some_gate, GateKind::kConst0});
+  EXPECT_FALSE(CompiledEval::compile_modal(el->circuit, el->in_nets,
+                                           el->out_nets, bad)
+                   .ok());
+}
+
+// A modal compile over a single empty override list is a plain engine.
+TEST(PolyModalEval, SingleModeDegeneratesToEvalWide) {
+  const PolyNetlist net = random_netlist();
+  auto el = elaborate(net);
+  ASSERT_TRUE(el.ok());
+  std::vector<std::vector<sim::ModeOverride>> one_mode(1);
+  auto engine = CompiledEval::compile_modal(el->circuit, el->in_nets,
+                                            el->out_nets, one_mode);
+  ASSERT_TRUE(engine.ok()) << engine.status().to_string();
+  EXPECT_EQ(engine->mode_count(), 1u);
+  const std::size_t nin = el->in_nets.size(), nout = el->out_nets.size();
+  std::vector<std::uint64_t> v, u;
+  random_stimulus(nin, 1, false, v, u);
+  std::vector<std::uint64_t> a_v(nout), a_u(nout), b_v(nout), b_u(nout);
+  ASSERT_TRUE(engine->eval_modes(v, u, a_v, a_u, 64).ok());
+  ASSERT_TRUE(engine->eval_wide(v, u, b_v, b_u, 64).ok());
+  EXPECT_EQ(a_v, b_v);
+  EXPECT_EQ(a_u, b_u);
+}
+
+}  // namespace
+}  // namespace pp::poly

@@ -1,0 +1,197 @@
+// platform integration of pp::poly: Compiler::compile_poly (one configured
+// fabric per environment mode), Session::load_poly, RunOptions::mode
+// routing, and the sweep_modes mode-major batch path.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "map/netlist.h"
+#include "map/truth_table.h"
+#include "platform/compiler.h"
+#include "platform/session.h"
+#include "poly/gate.h"
+#include "poly/netlist.h"
+#include "poly/synth.h"
+
+namespace pp::platform {
+namespace {
+
+using map::CellKind;
+using poly::GateLibrary;
+using poly::PolyNetlist;
+using poly::make_and_or;
+using poly::make_nand_nor;
+
+/// a NAND/NOR b — the paper's canonical polymorphic cell as a design.
+PolyNetlist nand_nor_design() {
+  PolyNetlist net(GateLibrary{2, {make_nand_nor()}});
+  const int a = net.add_input("a");
+  const int b = net.add_input("b");
+  const int y = net.add_poly(0, {a, b}, "y");
+  net.mark_output(y);
+  return net;
+}
+
+/// A mixed design: 3 inputs, two poly cells, ordinary glue; outputs f, g.
+PolyNetlist mixed_design() {
+  PolyNetlist net(GateLibrary{2, {make_nand_nor(), make_and_or()}});
+  const int a = net.add_input("a");
+  const int b = net.add_input("b");
+  const int c = net.add_input("c");
+  const int p = net.add_poly(0, {a, b});
+  const int q = net.add_poly(1, {b, c});
+  const int f = net.add_cell(CellKind::kXor, {p, q}, "f");
+  const int g = net.add_cell(CellKind::kAnd, {p, c}, "g");
+  net.mark_output(f);
+  net.mark_output(g);
+  return net;
+}
+
+std::vector<InputVector> all_vectors(int n) {
+  std::vector<InputVector> v;
+  for (int r = 0; r < (1 << n); ++r) {
+    InputVector in(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) in[static_cast<std::size_t>(i)] = (r >> i) & 1;
+    v.push_back(std::move(in));
+  }
+  return v;
+}
+
+TEST(PolyPlatform, CompilePolyProducesOneViewPerMode) {
+  auto design = Compiler().compile_poly(nand_nor_design());
+  ASSERT_TRUE(design.ok()) << design.status().to_string();
+  ASSERT_EQ(design->views.size(), 2u);
+  for (const CompiledDesign& view : design->views) {
+    EXPECT_FALSE(view.bitstream.empty());
+    ASSERT_EQ(view.inputs.size(), 2u);
+    ASSERT_EQ(view.outputs.size(), 1u);
+    EXPECT_EQ(view.outputs[0].name, "y");
+  }
+}
+
+TEST(PolyPlatform, ModeRoutingSelectsTheConfigurationView) {
+  auto design = Compiler().compile_poly(nand_nor_design());
+  ASSERT_TRUE(design.ok()) << design.status().to_string();
+  auto session = Session::load_poly(*design);
+  ASSERT_TRUE(session.ok()) << session.status().to_string();
+  EXPECT_EQ(session->mode_count(), 2u);
+
+  const auto vectors = all_vectors(2);
+  // Mode 0 (default): NAND.
+  auto r0 = session->run_vectors(vectors);
+  ASSERT_TRUE(r0.ok()) << r0.status().to_string();
+  // Mode 1: NOR.
+  RunOptions mode1;
+  mode1.mode = 1;
+  auto r1 = session->run_vectors(vectors, mode1);
+  ASSERT_TRUE(r1.ok()) << r1.status().to_string();
+  for (std::size_t v = 0; v < vectors.size(); ++v) {
+    const bool a = vectors[v][0], b = vectors[v][1];
+    EXPECT_EQ((*r0)[v][0], !(a && b)) << "NAND row " << v;
+    EXPECT_EQ((*r1)[v][0], !(a || b)) << "NOR row " << v;
+  }
+}
+
+TEST(PolyPlatform, SweepMatchesPerModeRuns) {
+  auto design = Compiler().compile_poly(mixed_design());
+  ASSERT_TRUE(design.ok()) << design.status().to_string();
+  auto session = Session::load_poly(*design);
+  ASSERT_TRUE(session.ok()) << session.status().to_string();
+
+  const auto vectors = all_vectors(3);
+  RunOptions sweep;
+  sweep.sweep_modes = true;
+  auto swept = session->run_vectors(vectors, sweep);
+  ASSERT_TRUE(swept.ok()) << swept.status().to_string();
+  ASSERT_EQ(swept->size(), 2 * vectors.size());
+
+  for (std::uint32_t m = 0; m < 2; ++m) {
+    RunOptions per_mode;
+    per_mode.mode = m;
+    auto ref = session->run_vectors(vectors, per_mode);
+    ASSERT_TRUE(ref.ok()) << ref.status().to_string();
+    for (std::size_t v = 0; v < vectors.size(); ++v)
+      EXPECT_EQ((*swept)[m * vectors.size() + v], (*ref)[v])
+          << "mode " << m << " vector " << v;
+  }
+}
+
+TEST(PolyPlatform, RejectsBadModeOptions) {
+  auto design = Compiler().compile_poly(nand_nor_design());
+  ASSERT_TRUE(design.ok());
+  auto session = Session::load_poly(*design);
+  ASSERT_TRUE(session.ok());
+  const auto vectors = all_vectors(2);
+  RunOptions out_of_range;
+  out_of_range.mode = 2;
+  EXPECT_EQ(session->run_vectors(vectors, out_of_range).status().code(),
+            StatusCode::kOutOfRange);
+  RunOptions both;
+  both.mode = 1;
+  both.sweep_modes = true;
+  EXPECT_EQ(session->run_vectors(vectors, both).status().code(),
+            StatusCode::kInvalidArgument);
+  // Clocked sweeps are rejected (poly designs clock per-mode).
+  RunOptions sweep;
+  sweep.sweep_modes = true;
+  EXPECT_EQ(session->run_cycles(vectors, 1, sweep).status().code(),
+            StatusCode::kUnimplemented);
+}
+
+TEST(PolyPlatform, OrdinarySessionsRejectModeSelection) {
+  auto design = Compiler().compile(map::make_parity(3));
+  ASSERT_TRUE(design.ok()) << design.status().to_string();
+  auto session = Session::load(*design);
+  ASSERT_TRUE(session.ok());
+  EXPECT_EQ(session->mode_count(), 1u);
+  const auto vectors = all_vectors(3);
+  RunOptions mode1;
+  mode1.mode = 1;
+  EXPECT_EQ(session->run_vectors(vectors, mode1).status().code(),
+            StatusCode::kInvalidArgument);
+  RunOptions sweep;
+  sweep.sweep_modes = true;
+  EXPECT_EQ(session->run_vectors(vectors, sweep).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// Synthesized netlists must survive the full pipeline: bi-decomposition
+// output (2-input cells only) places, routes, and serialises per mode,
+// and the swept results reproduce the spec's per-mode truth tables.
+TEST(PolyPlatform, SynthesizedSpecCompilesToViewsAndSweeps) {
+  const poly::GateLibrary lib{
+      2, {make_nand_nor(), poly::make_ordinary(CellKind::kNand, 2, 2)}};
+  poly::PolySpec spec;
+  spec.modes = {
+      map::TruthTable::from_function(3, [](std::uint8_t i) { return i != 7; }),
+      map::TruthTable::from_function(3, [](std::uint8_t i) { return i == 0; }),
+  };
+  auto net = poly::synthesize(spec, lib);
+  ASSERT_TRUE(net.ok()) << net.status().to_string();
+  auto design = Compiler().compile_poly(*net);
+  ASSERT_TRUE(design.ok()) << design.status().to_string();
+  auto session = Session::load_poly(*design);
+  ASSERT_TRUE(session.ok()) << session.status().to_string();
+
+  const auto vectors = all_vectors(3);
+  RunOptions sweep;
+  sweep.sweep_modes = true;
+  auto swept = session->run_vectors(vectors, sweep);
+  ASSERT_TRUE(swept.ok()) << swept.status().to_string();
+  for (std::size_t m = 0; m < 2; ++m)
+    for (std::size_t v = 0; v < vectors.size(); ++v)
+      EXPECT_EQ((*swept)[m * vectors.size() + v][0],
+                spec.modes[m].eval(static_cast<std::uint8_t>(v)))
+          << "mode " << m << " row " << v;
+}
+
+TEST(PolyPlatform, LoadPolyValidatesViewCount) {
+  auto design = Compiler().compile_poly(nand_nor_design());
+  ASSERT_TRUE(design.ok());
+  PolyDesign truncated{design->netlist, {design->views[0]}};
+  EXPECT_EQ(Session::load_poly(truncated).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace pp::platform

@@ -1,0 +1,231 @@
+// pp::rt integration of pp::poly: Device::load_poly / DevicePool::
+// register_poly derived-key view residency, submit-time RunOptions::mode
+// routing (each mode is its own personality), and the open_poly_session
+// escape hatch for mode-major sweeps.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "map/netlist.h"
+#include "platform/compiler.h"
+#include "platform/session.h"
+#include "poly/gate.h"
+#include "poly/netlist.h"
+#include "rt/device.h"
+#include "rt/pool.h"
+
+namespace pp::rt {
+namespace {
+
+using platform::BitVector;
+using platform::InputVector;
+using platform::PolyDesign;
+using poly::GateLibrary;
+using poly::PolyNetlist;
+using poly::make_nand_nor;
+
+/// a NAND/NOR b — the paper's canonical polymorphic cell as a design.
+PolyDesign nand_nor_design() {
+  PolyNetlist net(GateLibrary{2, {make_nand_nor()}});
+  const int a = net.add_input("a");
+  const int b = net.add_input("b");
+  const int y = net.add_poly(0, {a, b}, "y");
+  net.mark_output(y);
+  auto design = platform::Compiler().compile_poly(net);
+  EXPECT_TRUE(design.ok()) << design.status().to_string();
+  return std::move(*design);
+}
+
+/// Device dimensions that fit every configuration view (views auto-size
+/// independently, so a per-view dimension may differ).
+int max_rows(const PolyDesign& d) {
+  int r = 0;
+  for (const auto& v : d.views) r = std::max(r, v.fabric.rows());
+  return r;
+}
+int max_cols(const PolyDesign& d) {
+  int c = 0;
+  for (const auto& v : d.views) c = std::max(c, v.fabric.cols());
+  return c;
+}
+
+platform::CompiledDesign ordinary_design() {
+  auto design = platform::compile(map::make_parity(3));
+  EXPECT_TRUE(design.ok()) << design.status().to_string();
+  return std::move(*design);
+}
+
+std::vector<InputVector> all_vectors(int n) {
+  std::vector<InputVector> v;
+  for (int r = 0; r < (1 << n); ++r) {
+    InputVector in(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) in[static_cast<std::size_t>(i)] = (r >> i) & 1;
+    v.push_back(std::move(in));
+  }
+  return v;
+}
+
+TEST(PolyRt, ViewNameDerivation) {
+  EXPECT_EQ(poly_view_name("pg", 0), "pg");
+  EXPECT_EQ(poly_view_name("pg", 1), "pg@mode1");
+  EXPECT_EQ(poly_view_name("pg", 12), "pg@mode12");
+}
+
+TEST(PolyRt, LoadPolyMakesEveryViewResident) {
+  const auto design = nand_nor_design();
+  const auto parity = ordinary_design();
+  auto device = Device::create(std::max(max_rows(design), parity.fabric.rows()),
+                               std::max(max_cols(design), parity.fabric.cols()));
+  ASSERT_TRUE(device.ok()) << device.status().to_string();
+  ASSERT_TRUE(device->load_poly("pg", design).ok());
+  EXPECT_TRUE(device->resident("pg"));
+  EXPECT_TRUE(device->resident("pg@mode1"));
+  EXPECT_EQ(device->design_modes("pg"), 2u);
+  EXPECT_EQ(device->design_modes("pg@mode1"), 1u);  // a view is ordinary
+  EXPECT_EQ(device->design_modes("nope"), 0u);
+
+  ASSERT_TRUE(device->load("parity", parity).ok());
+  EXPECT_EQ(device->design_modes("parity"), 1u);
+
+  // Base-name hygiene: the derived-key marker is reserved.
+  EXPECT_EQ(device->load_poly("bad@mode1", design).code(),
+            StatusCode::kInvalidArgument);
+  // View-count mismatch is rejected before anything loads.
+  PolyDesign truncated{design.netlist, {design.views[0]}};
+  EXPECT_EQ(device->load_poly("short", truncated).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_FALSE(device->resident("short"));
+}
+
+TEST(PolyRt, SubmitModeRoutesToTheMatchingView) {
+  const auto design = nand_nor_design();
+  auto device = Device::create(max_rows(design), max_cols(design));
+  ASSERT_TRUE(device.ok());
+  ASSERT_TRUE(device->load_poly("pg", design).ok());
+
+  const auto vectors = all_vectors(2);
+  auto r0 = device->run_sync("pg", vectors);
+  ASSERT_TRUE(r0.ok()) << r0.status().to_string();
+  RunOptions mode1;
+  mode1.mode = 1;
+  auto r1 = device->run_sync("pg", vectors, mode1);
+  ASSERT_TRUE(r1.ok()) << r1.status().to_string();
+  for (std::size_t v = 0; v < vectors.size(); ++v) {
+    const bool a = vectors[v][0], b = vectors[v][1];
+    EXPECT_EQ((*r0)[v][0], !(a && b)) << "NAND row " << v;
+    EXPECT_EQ((*r1)[v][0], !(a || b)) << "NOR row " << v;
+  }
+  // The mode-1 job reconfigured the array to the derived view's
+  // personality — mode selection is a reconfiguration event.
+  EXPECT_EQ(device->active(), "pg@mode1");
+}
+
+TEST(PolyRt, SubmitRejectsBadModeOptions) {
+  const auto design = nand_nor_design();
+  const auto parity = ordinary_design();
+  auto device = Device::create(std::max(max_rows(design), parity.fabric.rows()),
+                               std::max(max_cols(design), parity.fabric.cols()));
+  ASSERT_TRUE(device.ok());
+  ASSERT_TRUE(device->load_poly("pg", design).ok());
+  ASSERT_TRUE(device->load("parity", parity).ok());
+
+  RunOptions out_of_range;
+  out_of_range.mode = 2;
+  EXPECT_EQ(device->run_sync("pg", all_vectors(2), out_of_range)
+                .status().code(),
+            StatusCode::kOutOfRange);
+  RunOptions mode1;
+  mode1.mode = 1;
+  EXPECT_EQ(device->run_sync("parity", all_vectors(3), mode1).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(device->run_sync("ghost", all_vectors(2), mode1).status().code(),
+            StatusCode::kNotFound);
+  RunOptions sweep;
+  sweep.sweep_modes = true;
+  EXPECT_EQ(device->run_sync("pg", all_vectors(2), sweep).status().code(),
+            StatusCode::kUnimplemented);
+}
+
+TEST(PolyRt, OpenPolySessionServesModeSweeps) {
+  const auto design = nand_nor_design();
+  auto device = Device::create(max_rows(design), max_cols(design));
+  ASSERT_TRUE(device.ok());
+  ASSERT_TRUE(device->load_poly("pg", design).ok());
+  EXPECT_EQ(device->open_poly_session("parity").status().code(),
+            StatusCode::kNotFound);
+
+  auto session = device->open_poly_session("pg");
+  ASSERT_TRUE(session.ok()) << session.status().to_string();
+  EXPECT_EQ(session->mode_count(), 2u);
+  const auto vectors = all_vectors(2);
+  RunOptions sweep;
+  sweep.sweep_modes = true;
+  auto swept = session->run_vectors(vectors, sweep);
+  ASSERT_TRUE(swept.ok()) << swept.status().to_string();
+  ASSERT_EQ(swept->size(), 2 * vectors.size());
+  for (std::uint32_t m = 0; m < 2; ++m) {
+    RunOptions per_mode;
+    per_mode.mode = m;
+    auto ref = device->run_sync("pg", vectors, per_mode);
+    ASSERT_TRUE(ref.ok()) << ref.status().to_string();
+    for (std::size_t v = 0; v < vectors.size(); ++v)
+      EXPECT_EQ((*swept)[m * vectors.size() + v], (*ref)[v])
+          << "mode " << m << " vector " << v;
+  }
+}
+
+TEST(PolyRt, PoolRoutesModesAcrossTheFleet) {
+  const auto design = nand_nor_design();
+  auto pool = DevicePool::create(2, max_rows(design), max_cols(design));
+  ASSERT_TRUE(pool.ok()) << pool.status().to_string();
+  ASSERT_TRUE(pool->register_poly("pg", design).ok());
+  EXPECT_TRUE(pool->resident("pg"));
+  EXPECT_TRUE(pool->resident("pg@mode1"));
+  EXPECT_EQ(pool->design_modes("pg"), 2u);
+  EXPECT_EQ(pool->design_modes("pg@mode1"), 1u);
+  EXPECT_EQ(pool->design_modes("nope"), 0u);
+  // Round-robin homes: the two views start on distinct devices, so the
+  // two environment modes are live on the fleet simultaneously.
+  EXPECT_EQ(pool->replicas("pg"), 1u);
+  EXPECT_EQ(pool->replicas("pg@mode1"), 1u);
+
+  const auto vectors = all_vectors(2);
+  auto r0 = pool->run_sync("pg", vectors);
+  ASSERT_TRUE(r0.ok()) << r0.status().to_string();
+  RunOptions mode1;
+  mode1.mode = 1;
+  auto r1 = pool->run_sync("pg", vectors, mode1);
+  ASSERT_TRUE(r1.ok()) << r1.status().to_string();
+  for (std::size_t v = 0; v < vectors.size(); ++v) {
+    const bool a = vectors[v][0], b = vectors[v][1];
+    EXPECT_EQ((*r0)[v][0], !(a && b)) << "NAND row " << v;
+    EXPECT_EQ((*r1)[v][0], !(a || b)) << "NOR row " << v;
+  }
+
+  RunOptions out_of_range;
+  out_of_range.mode = 2;
+  EXPECT_EQ(pool->run_sync("pg", vectors, out_of_range).status().code(),
+            StatusCode::kOutOfRange);
+  RunOptions sweep;
+  sweep.sweep_modes = true;
+  EXPECT_EQ(pool->run_sync("pg", vectors, sweep).status().code(),
+            StatusCode::kUnimplemented);
+  EXPECT_EQ(pool->register_poly("bad@mode2", design).code(),
+            StatusCode::kInvalidArgument);
+
+  auto session = pool->open_poly_session("pg");
+  ASSERT_TRUE(session.ok()) << session.status().to_string();
+  EXPECT_EQ(session->mode_count(), 2u);
+  auto swept = session->run_vectors(vectors, sweep);
+  ASSERT_TRUE(swept.ok()) << swept.status().to_string();
+  ASSERT_EQ(swept->size(), 2 * vectors.size());
+  for (std::size_t v = 0; v < vectors.size(); ++v) {
+    EXPECT_EQ((*swept)[v], (*r0)[v]) << "sweep mode 0 vector " << v;
+    EXPECT_EQ((*swept)[vectors.size() + v], (*r1)[v])
+        << "sweep mode 1 vector " << v;
+  }
+}
+
+}  // namespace
+}  // namespace pp::rt

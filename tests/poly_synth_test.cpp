@@ -1,0 +1,174 @@
+// poly::synthesize — bi-decomposition of multi-mode specs into netlists of
+// polymorphic + ordinary cells, exhaustively validated per configuration
+// view (arXiv 1709.03067's approach on this repo's netlist model).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "map/netlist.h"
+#include "map/truth_table.h"
+#include "poly/gate.h"
+#include "poly/synth.h"
+
+namespace pp::poly {
+namespace {
+
+using map::CellKind;
+using map::TruthTable;
+
+TruthTable table(int num_vars, std::uint64_t bits) {
+  TruthTable tt(num_vars);
+  for (int r = 0; r < tt.num_rows(); ++r)
+    tt.set(static_cast<std::uint8_t>(r), (bits >> r) & 1u);
+  return tt;
+}
+
+GateLibrary nand_nor_lib() {
+  return GateLibrary{2, {make_nand_nor(), make_ordinary(CellKind::kNand, 2, 2)}};
+}
+
+// The canonical spec: NAND in mode 0, NOR in mode 1 — one poly cell.
+TEST(PolySynth, NandNorSpecUsesAPolyGate) {
+  PolySpec spec;
+  spec.modes = {table(2, 0b0111), table(2, 0b0001)};
+  spec.input_names = {"a", "b"};
+  spec.output_name = "y";
+  auto net = synthesize(spec, nand_nor_lib());
+  ASSERT_TRUE(net.ok()) << net.status().to_string();
+  EXPECT_GE(net->poly_count(), 1);
+  EXPECT_TRUE(validate(*net, spec).ok());
+}
+
+// A mode-invariant spec needs no polymorphic cells at all.
+TEST(PolySynth, InvariantSpecStaysOrdinary) {
+  const auto xor3 = table(3, 0b10010110);
+  PolySpec spec;
+  spec.modes = {xor3, xor3};
+  auto net = synthesize(spec, nand_nor_lib());
+  ASSERT_TRUE(net.ok()) << net.status().to_string();
+  EXPECT_EQ(net->poly_count(), 0);
+  EXPECT_TRUE(validate(*net, spec).ok());
+}
+
+// Per-mode constants are the recursion's base case: realizable only by a
+// polymorphic gate fed constants.
+TEST(PolySynth, PolymorphicConstants) {
+  for (int flip = 0; flip < 2; ++flip) {
+    PolySpec spec;
+    const auto zero = table(1, 0b00);
+    const auto one = table(1, 0b11);
+    spec.modes = flip ? std::vector<TruthTable>{one, zero}
+                      : std::vector<TruthTable>{zero, one};
+    auto net = synthesize(spec, GateLibrary{2, {make_nand_nor()}});
+    ASSERT_TRUE(net.ok()) << net.status().to_string();
+    EXPECT_GE(net->poly_count(), 1);
+    EXPECT_TRUE(validate(*net, spec).ok());
+  }
+}
+
+// 100 random two-mode specs round-trip through synthesis and exhaustive
+// per-mode validation (validate() is also run internally by synthesize —
+// the explicit call here keeps the oracle honest).
+TEST(PolySynth, RandomSpecsRoundTrip) {
+  const GateLibrary lib = nand_nor_lib();
+  std::uint64_t state = 0x9e3779b97f4a7c15ull;
+  const auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  int synthesized = 0;
+  for (int n = 1; n <= 4; ++n) {
+    for (int trial = 0; trial < 25; ++trial) {
+      const std::uint64_t row_mask =
+          (std::uint64_t{1} << (std::uint64_t{1} << n)) - 1;
+      PolySpec spec;
+      spec.modes = {table(n, next() & row_mask), table(n, next() & row_mask)};
+      auto net = synthesize(spec, lib);
+      ASSERT_TRUE(net.ok())
+          << "n=" << n << " trial=" << trial << ": " << net.status().to_string();
+      EXPECT_TRUE(validate(*net, spec).ok());
+      ++synthesized;
+    }
+  }
+  EXPECT_EQ(synthesized, 100);
+}
+
+// The fabric's gates are 2-input and the router cannot always feed wider
+// cells, so synthesis must never emit one — the guarantee that makes
+// every synthesized netlist place-and-routable (compile_poly coverage in
+// poly_platform_test.cpp).
+TEST(PolySynth, EmitsOnlyTwoInputCells) {
+  const GateLibrary lib = nand_nor_lib();
+  std::uint64_t state = 0x243f6a8885a308d3ull;
+  const auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (int n = 3; n <= 4; ++n) {
+    for (int trial = 0; trial < 10; ++trial) {
+      const std::uint64_t row_mask =
+          (std::uint64_t{1} << (std::uint64_t{1} << n)) - 1;
+      PolySpec spec;
+      spec.modes = {table(n, next() & row_mask), table(n, next() & row_mask)};
+      auto net = synthesize(spec, lib);
+      ASSERT_TRUE(net.ok()) << net.status().to_string();
+      for (std::size_t i = 0; i < net->cell_count(); ++i)
+        EXPECT_LE(net->cell(static_cast<int>(i)).fanin.size(), 2u)
+            << "n=" << n << " trial=" << trial << " cell=" << i;
+    }
+  }
+}
+
+// An all-ordinary library cannot tell the modes apart: any genuinely
+// mode-varying spec must be rejected, naming the incompleteness.
+TEST(PolySynth, OrdinaryOnlyLibraryRejectsVaryingSpec) {
+  GateLibrary lib{2, {make_ordinary(CellKind::kNand, 2, 2)}};
+  PolySpec spec;
+  spec.modes = {table(2, 0b1000), table(2, 0b1110)};  // AND vs OR
+  auto net = synthesize(spec, lib);
+  ASSERT_FALSE(net.ok());
+  EXPECT_NE(net.status().message().find("incomplete"), std::string::npos);
+}
+
+// Malformed specs are rejected up front.
+TEST(PolySynth, RejectsMalformedSpecs) {
+  PolySpec mismatched;
+  mismatched.modes = {table(2, 0b0110), table(3, 0b01101001)};
+  EXPECT_FALSE(synthesize(mismatched, nand_nor_lib()).ok());
+  PolySpec wrong_count;
+  wrong_count.modes = {table(2, 0b0110)};
+  EXPECT_FALSE(synthesize(wrong_count, nand_nor_lib()).ok());
+}
+
+// Three environment modes: a NAND/NOR/AND cell realizes its own spec via
+// direct bi-decomposition with projection cones.
+TEST(PolySynth, ThreeModeDirectDecomposition) {
+  GateLibrary lib{
+      3, {{"NAND/NOR/AND", 2,
+           {CellKind::kNand, CellKind::kNor, CellKind::kAnd}}}};
+  PolySpec spec;
+  spec.modes = {table(2, 0b0111), table(2, 0b0001), table(2, 0b1000)};
+  auto net = synthesize(spec, lib);
+  ASSERT_TRUE(net.ok()) << net.status().to_string();
+  EXPECT_GE(net->poly_count(), 1);
+  EXPECT_TRUE(validate(*net, spec).ok());
+}
+
+// The output node carries the spec's name into every configuration view.
+TEST(PolySynth, OutputNameSurvivesLowering) {
+  PolySpec spec;
+  spec.modes = {table(2, 0b0111), table(2, 0b0001)};
+  spec.output_name = "result";
+  auto net = synthesize(spec, nand_nor_lib());
+  ASSERT_TRUE(net.ok()) << net.status().to_string();
+  ASSERT_EQ(net->outputs().size(), 1u);
+  EXPECT_EQ(net->cell(net->outputs().front()).name, "result");
+}
+
+}  // namespace
+}  // namespace pp::poly

@@ -63,6 +63,25 @@ serve::RegisterDesignMsg sample_register() {
   return msg;
 }
 
+/// A sequential design's registration, with boundary-register state on the
+/// wire (protocol v2) — the clocked-serving path's upload shape.
+serve::RegisterDesignMsg sample_register_sequential() {
+  const auto counter = compile_or_die(map::make_counter(2));
+  serve::RegisterDesignMsg msg;
+  msg.request_id = 8;
+  msg.design = "counter2";
+  msg.rows = static_cast<std::uint16_t>(counter.fabric.rows());
+  msg.cols = static_cast<std::uint16_t>(counter.fabric.cols());
+  msg.delays = counter.delays;
+  msg.content_hash = counter.content_hash;
+  msg.inputs = counter.inputs;
+  msg.outputs = counter.outputs;
+  msg.state = counter.state;
+  msg.bitstream = counter.bitstream;
+  EXPECT_FALSE(msg.state.empty());
+  return msg;
+}
+
 serve::SubmitBatchMsg sample_submit() {
   // 11 vectors of 5 bits: deliberately not a multiple of 8, so the pad-bit
   // rules are live.
@@ -76,6 +95,7 @@ serve::SubmitBatchMsg sample_submit() {
   msg.priority = rt::Priority::kInteractive;
   msg.deadline_ms = 250;
   msg.engine = platform::Engine::kCompiled;
+  msg.cycles = 11;  // one whole 11-cycle stream — the v2 clocked field live
   msg.vector_count = 11;
   msg.input_count = 5;
   msg.planes = platform::pack_bit_planes(vectors, 5);
@@ -88,6 +108,7 @@ std::vector<std::vector<std::uint8_t>> all_sample_frames() {
   frames.push_back(serve::encode_hello({.tenant = "acme"}));
   frames.push_back(serve::encode_hello_ack({.session_id = 42}));
   frames.push_back(serve::encode_register_design(sample_register()));
+  frames.push_back(serve::encode_register_design(sample_register_sequential()));
   frames.push_back(serve::encode_register_ack({.request_id = 7}));
   frames.push_back(serve::encode_submit_batch(sample_submit()));
   {
@@ -155,7 +176,21 @@ TEST(ServeProtocol, EveryMessageTypeRoundTripsExactly) {
       EXPECT_EQ(msg->inputs[i].at, original.inputs[i].at);
     }
     ASSERT_EQ(msg->outputs.size(), original.outputs.size());
+    EXPECT_TRUE(msg->state.empty());  // combinational: no state section
     EXPECT_EQ(msg->bitstream, original.bitstream);
+  }
+  {
+    const auto original = sample_register_sequential();
+    auto frame = decode(serve::encode_register_design(original));
+    ASSERT_TRUE(frame.ok());
+    auto msg = serve::decode_register_design(*frame);
+    ASSERT_TRUE(msg.ok()) << msg.status().to_string();
+    ASSERT_EQ(msg->state.size(), original.state.size());
+    for (std::size_t i = 0; i < original.state.size(); ++i) {
+      EXPECT_EQ(msg->state[i].name, original.state[i].name);
+      EXPECT_EQ(msg->state[i].q_pad, original.state[i].q_pad);
+      EXPECT_EQ(msg->state[i].d_at, original.state[i].d_at);
+    }
   }
   {
     const auto original = sample_submit();
@@ -168,6 +203,7 @@ TEST(ServeProtocol, EveryMessageTypeRoundTripsExactly) {
     EXPECT_EQ(msg->priority, original.priority);
     EXPECT_EQ(msg->deadline_ms, original.deadline_ms);
     EXPECT_EQ(msg->engine, original.engine);
+    EXPECT_EQ(msg->cycles, original.cycles);
     EXPECT_EQ(msg->vector_count, original.vector_count);
     EXPECT_EQ(msg->input_count, original.input_count);
     EXPECT_EQ(msg->planes, original.planes);
@@ -298,11 +334,13 @@ TEST(ServeProtocol, EverySingleByteCorruptionOfEveryMessageFailsCleanly) {
 TEST(ServeProtocol, SubmitBatchRejectsCraftedCountAndEnumCorruption) {
   const auto original = sample_submit();
   const auto good = serve::encode_submit_batch(original);
-  // Payload layout: request_id u64, u16 len + design, priority u8, ...
+  // Payload layout: request_id u64, u16 len + design, priority u8,
+  // deadline u32, engine u8, cycles u32 (v2), vector_count u32, ...
   const std::size_t design_at = serve::kHeaderBytes + 8;
   const std::size_t priority_at = design_at + 2 + original.design.size();
   const std::size_t engine_at = priority_at + 1 + 4;
-  const std::size_t count_at = engine_at + 1;
+  const std::size_t cycles_at = engine_at + 1;
+  const std::size_t count_at = cycles_at + 4;
 
   {
     auto crafted = good;
@@ -330,6 +368,17 @@ TEST(ServeProtocol, SubmitBatchRejectsCraftedCountAndEnumCorruption) {
     ASSERT_TRUE(frame.ok());
     EXPECT_EQ(serve::decode_submit_batch(*frame).status().code(),
               StatusCode::kOutOfRange);
+  }
+  {
+    // Ragged clocked batch: 11 vectors cannot divide into 4-cycle
+    // streams — the v2 cycles field is validated behind the CRC too.
+    auto crafted = good;
+    crafted[cycles_at] = 4;
+    fix_frame_crc(crafted);
+    auto frame = decode(crafted);
+    ASSERT_TRUE(frame.ok());
+    EXPECT_EQ(serve::decode_submit_batch(*frame).status().code(),
+              StatusCode::kInvalidArgument);
   }
   {
     // Non-canonical pad bits (11 vectors -> 5 pad bits per plane byte 2).

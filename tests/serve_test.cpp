@@ -317,6 +317,41 @@ TEST(Serve, DeadlineExpiresOverTheWire) {
   ASSERT_TRUE(roomy.ok()) << roomy.status().to_string();
 }
 
+TEST(Serve, ClockedStreamsServeOverTheWire) {
+  // Protocol v2: a sequential design's boundary-register state rides the
+  // register_design frame, and SubmitOptions-style cycles ride submits.
+  const auto counter = compile_or_die(map::make_counter(2));
+  ASSERT_FALSE(counter.state.empty());
+  auto server = make_server(1, counter.fabric.rows(), counter.fabric.cols());
+  auto client = serve::Client::connect("127.0.0.1", server.port(), "acme");
+  ASSERT_TRUE(client.ok()) << client.status().to_string();
+  ASSERT_TRUE(client->register_design("counter", counter).ok());
+
+  const std::size_t width = counter.inputs.size();
+  const std::size_t cycles = 4, streams = 5;
+  const auto stimulus = random_vectors(streams * cycles, width, 42);
+
+  // Combinational submit of a sequential design: the pool's sequential
+  // check fires server-side and comes back as the job's error Status.
+  EXPECT_EQ(client->run("counter", stimulus).status().code(),
+            StatusCode::kFailedPrecondition);
+  // Ragged batches never leave the client.
+  EXPECT_EQ(client->run("counter", stimulus, {.cycles = 3}).status().code(),
+            StatusCode::kInvalidArgument);
+
+  auto wire = client->run("counter", stimulus,
+                          {.cycles = static_cast<std::uint32_t>(cycles)});
+  ASSERT_TRUE(wire.ok()) << wire.status().to_string();
+  ASSERT_EQ(wire->size(), stimulus.size());
+
+  // Byte-identical to the local synchronous run_cycles path.
+  auto session = platform::Session::load(counter);
+  ASSERT_TRUE(session.ok());
+  auto local = session->run_cycles(stimulus, cycles);
+  ASSERT_TRUE(local.ok()) << local.status().to_string();
+  EXPECT_EQ(*wire, *local);
+}
+
 TEST(Serve, MalformedFramesFailCleanlyAndServerKeepsServing) {
   const auto parity = compile_or_die(map::make_parity(5));
   auto server = make_server(1, parity.fabric.rows(), parity.fabric.cols());
@@ -448,15 +483,22 @@ TEST(Serve, ClientRejectsResultForADifferentBatchSize) {
 TEST(Serve, ClientSideValidationRejectsBadInputBeforeAnyBytesMove) {
   const auto parity = compile_or_die(map::make_parity(5));
   const auto counter = compile_or_die(map::make_counter(2));
-  auto server = make_server(1, parity.fabric.rows(), parity.fabric.cols());
+  auto server =
+      make_server(1, std::max(parity.fabric.rows(), counter.fabric.rows()),
+                  std::max(parity.fabric.cols(), counter.fabric.cols()));
   auto client = serve::Client::connect("127.0.0.1", server.port(), "acme");
   ASSERT_TRUE(client.ok());
 
   EXPECT_EQ(client->register_design("bad/name", parity).code(),
             StatusCode::kInvalidArgument);
-  // Sequential designs cannot ride the job protocol.
-  EXPECT_EQ(client->register_design("counter", counter).code(),
-            StatusCode::kFailedPrecondition);
+  // Sequential designs register fine since protocol v2 (their state rides
+  // the wire) — but a ragged clocked batch is rejected before any bytes
+  // move.
+  ASSERT_TRUE(client->register_design("counter", counter).ok());
+  std::vector<InputVector> clocked(5, InputVector(1, false));
+  EXPECT_EQ(
+      client->submit("counter", clocked, {.cycles = 3}).status().code(),
+      StatusCode::kInvalidArgument);
   // Ragged and empty batches are rejected locally.
   ASSERT_TRUE(client->register_design("parity", parity).ok());
   std::vector<InputVector> ragged = {InputVector(5, false),
