@@ -1,0 +1,266 @@
+// RT-SOAK: xbtest-style fleet resilience soak (DESIGN.md §15).
+//
+// A 4-device pool serves 4 concurrent submitter threads while a scripted
+// adversarial schedule (rt::FaultPlan) fails devices under it: consecutive
+// activation-CRC rejects on device 0 (crossing the quarantine threshold),
+// a silent result-plane corruption on device 1 (caught by 100% shadow
+// verification), a mid-job watchdog timeout on device 2, and device 3
+// wedging then dying permanently mid-run.  The gate is absolute: every
+// submitted job must complete, and every result must be byte-identical to
+// a clean single-device Session reference — fleet resilience is only real
+// if the caller cannot tell it happened.
+//
+// Three measured phases:
+//  * CLEAN    — resilience off (PoolOptions defaults): the legacy direct
+//               device-job path; the baseline the fault hooks must not tax.
+//  * WATCHED  — resilience on (quarantine + verify-every-job), no faults:
+//               the worst-case supervision overhead (every job re-executed
+//               on the shadow reference engine).
+//  * SOAK     — WATCHED plus the adversarial schedule above.
+//
+// Acceptance (non-zero exit otherwise, wired into the CI soak job):
+// zero lost jobs, zero result mismatches, both scripted quarantines
+// observed, at least one migration and one caught corruption.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "map/netlist.h"
+#include "platform/compiler.h"
+#include "platform/session.h"
+#include "rt/fault.h"
+#include "rt/pool.h"
+#include "util/rng.h"
+
+namespace {
+
+struct Workload {
+  std::string name;
+  pp::map::Netlist netlist;
+  pp::platform::CompiledDesign design;
+  std::vector<std::vector<pp::platform::InputVector>> job_vectors;
+  std::vector<std::vector<pp::platform::BitVector>> expected;
+};
+
+struct SoakResult {
+  double jobs_per_sec = 0;
+  std::size_t lost = 0;
+  std::size_t mismatched = 0;
+  pp::rt::PoolStats stats;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pp;
+  bench::init(argc, argv);
+  bench::experiment_header(
+      "RT-SOAK fleet resilience: fault injection, quarantine, migration "
+      "under 4-way concurrent load",
+      "nano-scale arrays bring \"poor reliability\"; the platform must "
+      "survive failing devices without the workload noticing");
+
+  // One design per device (registration round-robin homes them 0..3), so
+  // each submitter thread exercises its own device's fault script.
+  std::vector<Workload> workloads;
+  workloads.push_back({"adder8", map::make_ripple_adder(8), {}, {}, {}});
+  workloads.push_back({"parity10", map::make_parity(10), {}, {}, {}});
+  workloads.push_back({"mux4", map::make_mux4(), {}, {}, {}});
+  workloads.push_back({"adder4", map::make_ripple_adder(4), {}, {}, {}});
+
+  int rows = 0, cols = 0;
+  for (auto& w : workloads) {
+    auto design = platform::compile(w.netlist);
+    if (!design.ok())
+      return std::printf("compile %s: %s\n", w.name.c_str(),
+                         design.status().to_string().c_str()),
+             1;
+    w.design = std::move(*design);
+    rows = std::max(rows, w.design.fabric.rows());
+    cols = std::max(cols, w.design.fabric.cols());
+  }
+
+  // The clean single-device reference every soak result must match
+  // byte-for-byte, computed once up front on the serial Session path.
+  const std::size_t jobs_per_thread = 48;
+  const std::size_t vectors_per_job = 64;
+  const platform::RunOptions run_options{.max_threads = 1};
+  util::Rng rng(777);
+  for (auto& w : workloads) {
+    auto session = platform::Session::load(w.design);
+    if (!session.ok())
+      return std::printf("%s\n", session.status().to_string().c_str()), 1;
+    for (std::size_t j = 0; j < jobs_per_thread; ++j) {
+      std::vector<platform::InputVector> vectors(vectors_per_job);
+      for (auto& v : vectors) {
+        v.resize(w.netlist.inputs().size());
+        for (std::size_t k = 0; k < v.size(); ++k) v[k] = rng.next_bool();
+      }
+      auto expected = session->run_vectors(vectors, run_options);
+      if (!expected.ok())
+        return std::printf("%s\n", expected.status().to_string().c_str()), 1;
+      w.job_vectors.push_back(std::move(vectors));
+      w.expected.push_back(std::move(*expected));
+    }
+  }
+  const std::size_t total_jobs = workloads.size() * jobs_per_thread;
+  std::printf("pool dims %dx%d, %zu designs, %zu jobs/thread x %zu vectors\n\n",
+              rows, cols, workloads.size(), jobs_per_thread, vectors_per_job);
+
+  // One phase: build a pool, optionally arm the adversarial schedule,
+  // burst-submit from one thread per design, wait everything, audit.
+  const auto run_phase = [&](const rt::PoolOptions& options,
+                             bool inject) -> Result<SoakResult> {
+    auto pool = rt::DevicePool::create(4, rows, cols, options);
+    if (!pool.ok()) return pool.status();
+    for (const auto& w : workloads)
+      if (Status s = pool->register_design(w.name, w.design); !s.ok())
+        return s;
+    if (inject) {
+      rt::FaultPlan crc;  // consecutive failures: quarantines device 0
+      crc.events.push_back(
+          {.at_job = 3, .kind = rt::FaultKind::kActivationCrc});
+      crc.events.push_back(
+          {.at_job = 4, .kind = rt::FaultKind::kActivationCrc});
+      pool->install_fault_plan(0, crc);
+      rt::FaultPlan corrupt;  // silent corruption: shadow verify's prey
+      corrupt.events.push_back(
+          {.at_job = 5, .kind = rt::FaultKind::kCorruptResult});
+      corrupt.corrupt_vector = 3;
+      corrupt.corrupt_bit = 1;
+      pool->install_fault_plan(1, corrupt);
+      rt::FaultPlan wedge;  // one watchdog timeout, then recovers
+      wedge.events.push_back({.at_job = 4, .kind = rt::FaultKind::kTimeout});
+      wedge.timeout_hold = std::chrono::milliseconds(20);
+      pool->install_fault_plan(2, wedge);
+      rt::FaultPlan death;  // wedge (queue piles up), then die mid-run
+      death.events.push_back({.at_job = 5, .kind = rt::FaultKind::kTimeout});
+      death.events.push_back({.at_job = 6, .kind = rt::FaultKind::kDeath});
+      death.timeout_hold = std::chrono::milliseconds(60);
+      pool->install_fault_plan(3, death);
+    }
+
+    SoakResult out;
+    std::atomic<std::size_t> lost{0};
+    std::atomic<std::size_t> mismatched{0};
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::thread> submitters;
+    submitters.reserve(workloads.size());
+    for (std::size_t t = 0; t < workloads.size(); ++t) {
+      submitters.emplace_back([&, t] {
+        const Workload& w = workloads[t];
+        std::vector<rt::Job> handles;
+        std::vector<std::size_t> job_of;  // handle -> workload job index
+        rt::SubmitOptions submit;
+        submit.run = run_options;
+        for (std::size_t j = 0; j < jobs_per_thread; ++j) {
+          auto job = pool->submit(w.name, w.job_vectors[j], submit);
+          if (!job.ok()) {
+            ++lost;
+            continue;
+          }
+          handles.push_back(std::move(*job));
+          job_of.push_back(j);
+        }
+        for (std::size_t h = 0; h < handles.size(); ++h) {
+          auto result = handles[h].wait();
+          if (!result.ok()) {
+            ++lost;
+            continue;
+          }
+          if (*result != w.expected[job_of[h]]) ++mismatched;
+        }
+      });
+    }
+    for (auto& thread : submitters) thread.join();
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    out.jobs_per_sec = static_cast<double>(total_jobs) / elapsed.count();
+    out.lost = lost.load();
+    out.mismatched = mismatched.load();
+    out.stats = pool->stats();
+    return out;
+  };
+
+  // --- CLEAN: resilience off, no faults — the zero-overhead baseline ----
+  // Replication is suppressed in every phase (each design already lives on
+  // its own device; burst traffic would otherwise thrash personalities), so
+  // CLEAN vs WATCHED isolates the supervision + shadow-verify overhead.
+  rt::PoolOptions plain;
+  plain.replicate_depth = 1000;
+  auto clean = run_phase(plain, /*inject=*/false);
+  if (!clean.ok())
+    return std::printf("%s\n", clean.status().to_string().c_str()), 1;
+  std::printf("CLEAN    %8.0f jobs/s  lost %zu  mismatched %zu\n",
+              clean->jobs_per_sec, clean->lost, clean->mismatched);
+  bench::record("clean_jobs_per_sec", clean->jobs_per_sec);
+
+  // --- WATCHED: supervisor + verify-every-job, still no faults ----------
+  rt::PoolOptions resilient;
+  resilient.quarantine_failures = 2;
+  resilient.verify_sample_rate = 1;
+  resilient.replicate_depth = 1000;  // failure-driven replication only
+  auto watched = run_phase(resilient, /*inject=*/false);
+  if (!watched.ok())
+    return std::printf("%s\n", watched.status().to_string().c_str()), 1;
+  std::printf("WATCHED  %8.0f jobs/s  lost %zu  mismatched %zu  "
+              "(every job shadow-verified)\n",
+              watched->jobs_per_sec, watched->lost, watched->mismatched);
+  bench::record("watched_jobs_per_sec", watched->jobs_per_sec);
+
+  // --- SOAK: the adversarial schedule ------------------------------------
+  auto soak = run_phase(resilient, /*inject=*/true);
+  if (!soak.ok())
+    return std::printf("%s\n", soak.status().to_string().c_str()), 1;
+  const auto& stats = soak->stats;
+  std::printf("SOAK     %8.0f jobs/s  lost %zu  mismatched %zu\n",
+              soak->jobs_per_sec, soak->lost, soak->mismatched);
+  std::printf("         quarantines %llu  migrated %llu  verify_mismatches "
+              "%llu  re_replications %llu  device_failures %llu\n\n",
+              static_cast<unsigned long long>(stats.quarantines),
+              static_cast<unsigned long long>(stats.jobs_migrated),
+              static_cast<unsigned long long>(stats.verify_mismatches),
+              static_cast<unsigned long long>(stats.re_replications),
+              static_cast<unsigned long long>(stats.jobs_failed));
+  bench::record("jobs_per_sec", soak->jobs_per_sec);
+  bench::record("lost_jobs", static_cast<double>(soak->lost));
+  bench::record("result_mismatches", static_cast<double>(soak->mismatched));
+  bench::record("quarantines", static_cast<double>(stats.quarantines));
+  bench::record("jobs_migrated", static_cast<double>(stats.jobs_migrated));
+  bench::record("verify_mismatches",
+                static_cast<double>(stats.verify_mismatches));
+  bench::record("re_replications", static_cast<double>(stats.re_replications));
+
+  // --- the gate ----------------------------------------------------------
+  const bool zero_lost = clean->lost == 0 && watched->lost == 0 &&
+                         soak->lost == 0;
+  const bool byte_identical = clean->mismatched == 0 &&
+                              watched->mismatched == 0 &&
+                              soak->mismatched == 0;
+  const bool faults_exercised = stats.quarantines == 2 &&
+                                stats.jobs_migrated >= 2 &&
+                                stats.verify_mismatches >= 1 &&
+                                stats.re_replications >= 1;
+  const bool ok = zero_lost && byte_identical && faults_exercised;
+  if (!zero_lost) std::printf("FAIL: jobs were lost\n");
+  if (!byte_identical)
+    std::printf("FAIL: results diverged from the clean reference\n");
+  if (!faults_exercised)
+    std::printf("FAIL: the adversarial schedule did not exercise the "
+                "resilience machinery (quarantines %llu, migrated %llu, "
+                "verify_mismatches %llu, re_replications %llu)\n",
+                static_cast<unsigned long long>(stats.quarantines),
+                static_cast<unsigned long long>(stats.jobs_migrated),
+                static_cast<unsigned long long>(stats.verify_mismatches),
+                static_cast<unsigned long long>(stats.re_replications));
+  bench::verdict(ok,
+                 "4-device fleet under scripted CRC failures, corruption, "
+                 "timeouts, and a mid-run device death: zero lost jobs, "
+                 "every result byte-identical to the clean reference");
+  return ok ? 0 : 1;
+}

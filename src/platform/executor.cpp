@@ -5,6 +5,7 @@
 #include <mutex>
 #include <utility>
 
+#include "core/bitstream.h"
 #include "util/thread_pool.h"
 
 namespace pp::platform {
@@ -479,6 +480,32 @@ std::vector<std::uint8_t> pack_bit_planes(std::span<const BitVector> vectors,
       if (vectors[v][i]) bytes[i * plane_bytes + v / 8] |= bit;
   }
   return bytes;
+}
+
+std::uint32_t result_checksum(std::span<const BitVector> results) {
+  // Self-delimiting serialization (count, then per-vector width + packed
+  // bits) so [ [1,0] ] and [ [1],[0] ] can never collide structurally; the
+  // byte stream goes through the same CRC-32 the bitstream codecs use.
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(8 + results.size() * 4);
+  const auto put_u32 = [&bytes](std::uint32_t value) {
+    for (int i = 0; i < 4; ++i)
+      bytes.push_back(static_cast<std::uint8_t>(value >> (8 * i)));
+  };
+  put_u32(static_cast<std::uint32_t>(results.size()));
+  for (const BitVector& v : results) {
+    put_u32(static_cast<std::uint32_t>(v.size()));
+    std::uint8_t acc = 0;
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      if (v[i]) acc |= static_cast<std::uint8_t>(1u << (i % 8));
+      if (i % 8 == 7) {
+        bytes.push_back(acc);
+        acc = 0;
+      }
+    }
+    if (v.size() % 8 != 0) bytes.push_back(acc);
+  }
+  return core::crc32(bytes);
 }
 
 Result<std::vector<BitVector>> unpack_bit_planes(

@@ -106,6 +106,15 @@ struct ExecutorStats {
 [[nodiscard]] std::vector<std::uint8_t> pack_bit_planes(
     std::span<const BitVector> vectors, std::size_t width);
 
+/// CRC-32 checksum identifying a batch of result vectors exactly: the
+/// count, every vector's width, and every bit participate, so two batches
+/// collide only as a 32-bit CRC can.  This is the shadow-verification hook
+/// rt::DevicePool samples jobs with (PoolOptions::verify_sample_rate): the
+/// checksum of a device's result planes is recomputed against a reference
+/// engine's output and any disagreement marks the device as corrupting
+/// (DESIGN.md §15).  Deterministic across platforms.
+[[nodiscard]] std::uint32_t result_checksum(std::span<const BitVector> results);
+
 /// Inverse of pack_bit_planes: rebuild `count` vectors of `width` bits
 /// from concatenated bit planes.  Fails with kInvalidArgument when
 /// `bytes` is not exactly width * ceil(count/8) bytes or any trailing pad

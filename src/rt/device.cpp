@@ -4,6 +4,7 @@
 #include <condition_variable>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <utility>
 
@@ -77,6 +78,48 @@ struct Device::Impl {
 
   mutable std::mutex stats_mutex;
   DeviceStats stats;
+
+  // Fault injection (rt::FaultPlan, test/soak hook).  `fault_armed` is the
+  // zero-overhead gate: the dispatcher takes fault_mutex only when a plan
+  // is installed.  Installing the plan before submitting is deterministic
+  // (the store is sequenced before the queue push, whose mutex hand-off
+  // publishes it to the dispatcher).
+  std::atomic<bool> fault_armed{false};
+  std::mutex fault_mutex;
+  FaultPlan fault_plan;
+  std::uint64_t fault_ordinal = 0;  // dispatched jobs since install
+  bool fault_dead = false;          // a kDeath event fired
+
+  /// The fault to inject for the job being dispatched, if any (resolved
+  /// under fault_mutex so a concurrent install/clear never half-applies).
+  struct FaultAction {
+    FaultKind kind;
+    std::chrono::milliseconds hold{0};
+    std::size_t corrupt_vector = 0;
+    std::size_t corrupt_bit = 0;
+  };
+
+  [[nodiscard]] std::optional<FaultAction> next_fault_action() {
+    const std::lock_guard<std::mutex> lock(fault_mutex);
+    if (!fault_armed.load(std::memory_order_relaxed)) return std::nullopt;
+    const std::uint64_t ordinal = ++fault_ordinal;
+    FaultKind kind{};
+    if (fault_dead) {
+      kind = FaultKind::kDeath;
+    } else {
+      const FaultEvent* hit = nullptr;
+      for (const FaultEvent& ev : fault_plan.events)
+        if (ev.at_job == ordinal) {
+          hit = &ev;
+          break;
+        }
+      if (hit == nullptr) return std::nullopt;
+      kind = hit->kind;
+      if (kind == FaultKind::kDeath) fault_dead = true;
+    }
+    return FaultAction{kind, fault_plan.timeout_hold,
+                       fault_plan.corrupt_vector, fault_plan.corrupt_bit};
+  }
 
   std::atomic<std::uint64_t> next_job_id{1};
 
@@ -181,14 +224,45 @@ struct Device::Impl {
         job.phase = JobState::Phase::kDone;
       }
       job.cv.notify_all();
+      if (job.options.on_terminal) job.options.on_terminal();
       return;
     }
+    // Fault injection (test/soak hook): when no plan is installed this is
+    // one relaxed atomic load and nothing else.
+    std::optional<FaultAction> fault;
+    if (fault_armed.load(std::memory_order_relaxed))
+      fault = next_fault_action();
     // Residency is permanent (no unload), so the design always resolves.
     const std::shared_ptr<ResidentDesign> rd = cache.find(job.design);
     Status status = rd ? Status()
                        : Status::internal("job " + std::to_string(job.id) +
                                           ": design '" + job.design +
                                           "' vanished from the device");
+    if (status.ok() && fault && fault->kind != FaultKind::kCorruptResult) {
+      switch (fault->kind) {
+        case FaultKind::kDeath:
+          status = Status::unavailable(
+              "job " + std::to_string(job.id) +
+              ": injected fault: device is dead");
+          break;
+        case FaultKind::kActivationCrc:
+          status = Status::data_loss(
+              "job " + std::to_string(job.id) +
+              ": injected fault: activation CRC mismatch; the personality "
+              "swap was rejected and the job did not run");
+          break;
+        case FaultKind::kTimeout:
+          // Wedge the dispatcher for the watchdog interval, then kill the
+          // job — models a device that stops answering mid-run.
+          std::this_thread::sleep_for(fault->hold);
+          status = Status::unavailable(
+              "job " + std::to_string(job.id) +
+              ": injected fault: job timed out mid-run and was killed");
+          break;
+        case FaultKind::kCorruptResult:
+          break;  // unreachable (handled after the run)
+      }
+    }
     std::vector<BitVector> results;
     if (status.ok()) {
       const std::lock_guard<std::mutex> hw_lock(hw_mutex);
@@ -218,6 +292,17 @@ struct Device::Impl {
         }
       }
     }
+    // Silent result corruption: the run succeeded as far as the device can
+    // tell (status stays OK), but one bit of the result planes is flipped —
+    // only the pool's shadow verification can catch this.
+    if (status.ok() && fault && fault->kind == FaultKind::kCorruptResult &&
+        !results.empty()) {
+      BitVector& v = results[fault->corrupt_vector % results.size()];
+      if (!v.empty()) {
+        const std::size_t bit = fault->corrupt_bit % v.size();
+        v[bit] = !v[bit];
+      }
+    }
     {
       const std::lock_guard<std::mutex> lock(stats_mutex);
       ++(status.ok() ? stats.jobs_completed : stats.jobs_failed);
@@ -230,6 +315,7 @@ struct Device::Impl {
       job.phase = JobState::Phase::kDone;
     }
     job.cv.notify_all();
+    if (job.options.on_terminal) job.options.on_terminal();
   }
 };
 
@@ -478,6 +564,22 @@ Result<platform::Session> Device::open_poly_session(
     return Status::not_found("open_poly_session: no polymorphic design "
                              "named '" + std::string(name) + "'");
   return platform::Session::load_poly(it->second);
+}
+
+void Device::install_fault_plan(FaultPlan plan) {
+  const std::lock_guard<std::mutex> lock(impl_->fault_mutex);
+  impl_->fault_plan = std::move(plan);
+  impl_->fault_ordinal = 0;
+  impl_->fault_dead = false;
+  impl_->fault_armed.store(true, std::memory_order_relaxed);
+}
+
+void Device::clear_fault_plan() {
+  const std::lock_guard<std::mutex> lock(impl_->fault_mutex);
+  impl_->fault_armed.store(false, std::memory_order_relaxed);
+  impl_->fault_plan = FaultPlan{};
+  impl_->fault_ordinal = 0;
+  impl_->fault_dead = false;
 }
 
 DeviceStats Device::stats() const {

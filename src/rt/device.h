@@ -50,6 +50,7 @@
 #include "platform/compiler.h"
 #include "platform/executor.h"
 #include "platform/session.h"
+#include "rt/fault.h"
 #include "rt/job.h"
 #include "util/status.h"
 
@@ -266,6 +267,18 @@ class Device {
   /// serve.  kNotFound when `name` was not registered with load_poly.
   [[nodiscard]] Result<platform::Session> open_poly_session(
       std::string_view name) const;
+
+  /// Install (or replace) a scripted fault-injection plan (test/soak
+  /// hook; see rt::FaultPlan).  Triggers count dispatched jobs from zero
+  /// again, and a previously injected kDeath is revived.  Installing a
+  /// plan before submitting guarantees the first submitted job observes
+  /// ordinal 1; jobs already in flight race the swap.  When no plan is
+  /// installed the dispatch path pays one relaxed atomic load per job.
+  void install_fault_plan(FaultPlan plan);
+
+  /// Remove the fault plan: the device behaves like a healthy device again
+  /// (a kDeath injected by the old plan is revived).
+  void clear_fault_plan();
 
   /// Snapshot of the cumulative runtime counters.
   [[nodiscard]] DeviceStats stats() const;

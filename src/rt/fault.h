@@ -1,0 +1,80 @@
+// rt::FaultPlan — scripted runtime fault injection for one device.
+//
+// The paper's premise is that nano-scale arrays bring "poor reliability":
+// src/arch/defects.h models *static* defects (known-bad resources that
+// placement routes around), but a fleet also has to survive *runtime*
+// failure — a device that starts failing activation CRC checks, silently
+// corrupting result planes, wedging mid-job, or dying outright.  A
+// FaultPlan scripts exactly those behaviours against a live rt::Device so
+// the DevicePool's detection, quarantine, and job-migration machinery
+// (DESIGN.md §15) can be driven deterministically by tests and the
+// xbtest-style soak bench.
+//
+// This is a test/soak hook: no plan is installed by default, and the only
+// cost an uninjected device pays is one relaxed atomic load per dispatched
+// job.  Triggers are *dispatch ordinals* — the Nth job the dispatcher
+// actually starts after the plan is installed — so a scripted schedule
+// replays identically regardless of wall-clock timing.
+
+/// \file
+/// \brief rt::FaultPlan — scripted runtime fault injection (test/soak
+/// hook) for one rt::Device.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pp::rt {
+
+/// What an injected fault does to the device when its trigger fires.
+enum class FaultKind : std::uint8_t {
+  /// The personality swap for the job fails its activation CRC check: the
+  /// job completes kDataLoss without running and the fabric is untouched
+  /// (the failure a corrupted reconfiguration path produces).
+  kActivationCrc = 0,
+  /// The job runs to completion but one bit of its result planes is
+  /// flipped (FaultPlan::corrupt_vector / corrupt_bit) while the status
+  /// stays OK — the silent-corruption case only shadow verification
+  /// (PoolOptions::verify_sample_rate) can catch.
+  kCorruptResult = 1,
+  /// The job wedges for FaultPlan::timeout_hold, then is killed by the
+  /// (modelled) watchdog: it completes kUnavailable after the delay.
+  kTimeout = 2,
+  /// The device dies permanently: this job and every later dispatched job
+  /// complete kUnavailable immediately.  Installing a new plan (or
+  /// clearing the plan) revives the device — it is a test hook, not a
+  /// hardware model.
+  kDeath = 3,
+};
+
+/// One scripted fault: fire `kind` on the `at_job`-th dispatched job.
+struct FaultEvent {
+  /// 1-based ordinal of jobs the dispatcher *starts* (canceled-while-queued
+  /// jobs do not count) since the plan was installed.
+  std::uint64_t at_job = 1;
+  /// The failure mode to inject at that ordinal.
+  FaultKind kind = FaultKind::kActivationCrc;
+};
+
+/// A per-device fault-injection schedule, installed with
+/// rt::Device::install_fault_plan (or rt::DevicePool::install_fault_plan).
+/// Off by default; when no plan is installed the dispatch path pays a
+/// single relaxed atomic load per job and nothing else.
+struct FaultPlan {
+  /// The scripted schedule.  Several events may share an ordinal (the
+  /// first match wins); a kDeath event makes every later ordinal fail
+  /// regardless of remaining events.
+  std::vector<FaultEvent> events;
+  /// How long a kTimeout fault wedges the dispatcher before the job is
+  /// killed (models a watchdog interval; keep small in tests).
+  std::chrono::milliseconds timeout_hold{25};
+  /// Which result vector a kCorruptResult fault flips a bit in (taken
+  /// modulo the job's result count).
+  std::size_t corrupt_vector = 0;
+  /// Which bit of that vector is flipped (taken modulo its width).
+  std::size_t corrupt_bit = 0;
+};
+
+}  // namespace pp::rt

@@ -35,11 +35,16 @@ std::optional<Result<std::vector<BitVector>>> Job::try_result() {
 }
 
 bool Job::cancel() {
-  const std::lock_guard<std::mutex> lock(state_->mutex);
-  if (state_->phase != JobState::Phase::kQueued) return false;
-  state_->phase = JobState::Phase::kCanceled;
-  state_->vectors.clear();
-  state_->cv.notify_all();
+  {
+    const std::lock_guard<std::mutex> lock(state_->mutex);
+    if (state_->phase != JobState::Phase::kQueued) return false;
+    state_->phase = JobState::Phase::kCanceled;
+    state_->vectors.clear();
+    state_->cv.notify_all();
+  }
+  // The winning cancel is the job's terminal transition; fire the
+  // completion hook outside the state lock like every other terminal path.
+  if (state_->options.on_terminal) state_->options.on_terminal();
   return true;
 }
 
@@ -47,6 +52,11 @@ bool Job::done() const {
   const std::lock_guard<std::mutex> lock(state_->mutex);
   return state_->phase == JobState::Phase::kDone ||
          state_->phase == JobState::Phase::kCanceled;
+}
+
+bool Job::canceled() const {
+  const std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->phase == JobState::Phase::kCanceled;
 }
 
 }  // namespace pp::rt

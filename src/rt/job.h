@@ -15,6 +15,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -60,6 +61,13 @@ struct SubmitOptions {
   /// running* (the fabric never reconfigures for dead work).  Unset = no
   /// deadline.
   std::optional<std::chrono::steady_clock::time_point> deadline;
+  /// Completion hook: invoked exactly once, outside the job's state lock,
+  /// when the job reaches a terminal phase (done *or* canceled) — on
+  /// whichever thread drove the transition.  This is how rt::DevicePool's
+  /// resilience supervisor learns a device job retired without blocking a
+  /// thread per job (DESIGN.md §15); ordinary callers leave it empty.  The
+  /// callback must not submit to or wait on the job's own device queue.
+  std::function<void()> on_terminal;
 };
 
 namespace detail {
@@ -127,8 +135,15 @@ class Job {
   /// True once the job reached a terminal phase (done or canceled).
   [[nodiscard]] bool done() const;
 
+  /// True once the job was withdrawn without running (cancel() won, or its
+  /// device shut down while the job was still queued); wait() reports
+  /// kFailedPrecondition for such jobs.  False while queued/running and
+  /// for jobs that completed (successfully or not).
+  [[nodiscard]] bool canceled() const;
+
  private:
   friend class Device;
+  friend class DevicePool;
   explicit Job(std::shared_ptr<detail::JobState> state)
       : state_(std::move(state)) {}
   std::shared_ptr<detail::JobState> state_;

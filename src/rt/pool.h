@@ -20,6 +20,19 @@
 //    submits, the pool loads the design onto the strictly-less-loaded
 //    non-replica device with the smallest queue and routes there, so hot
 //    personalities spread across the fleet while cold ones stay put.
+//  * Fleet resilience (opt-in: PoolOptions::quarantine_failures and/or
+//    verify_sample_rate non-zero).  Devices are allowed to fail *after*
+//    load: a resilience supervisor watches every device job retire, counts
+//    consecutive infrastructure failures (kDataLoss / kUnavailable — CRC
+//    rejects, timeouts, death) per device, samples completed jobs for
+//    shadow verification against a reference engine, quarantines a device
+//    that crosses the threshold (excluded from routing, replication, and
+//    registration targets), re-executes the failed or corrupted job on a
+//    healthy device (the caller's Job handle stays valid; the failure is
+//    visible only as latency), and re-replicates designs whose only
+//    replicas were quarantined.  DESIGN.md §15 is the normative fault
+//    model.  When both knobs are 0 (the default) none of this machinery
+//    exists and submit hands back the device job directly.
 //
 // Homogeneous dimensions are a requirement, not a convenience: designs are
 // padded (platform::pad_to) to the pool's rows x cols exactly once at
@@ -64,6 +77,21 @@ struct PoolOptions {
   std::size_t replicate_streak = 2;
   /// Upper bound on replicas per design; 0 means "up to every device".
   std::size_t max_replicas = 0;
+  /// Quarantine threshold: a device whose jobs fail with an infrastructure
+  /// status (kDataLoss, kUnavailable) or a shadow-verify mismatch this
+  /// many times *consecutively* (successes reset the count) is moved to
+  /// quarantine — excluded from routing, replication, and registration
+  /// homes, its stranded designs re-replicated onto healthy devices.
+  /// 0 (the default) disables the resilience supervisor entirely unless
+  /// verify_sample_rate enables it; then failures still migrate but no
+  /// device is ever quarantined.
+  std::size_t quarantine_failures = 0;
+  /// Shadow verification: every Nth pool submit is re-executed on a
+  /// pool-owned reference engine after the device reports success, and the
+  /// result checksums (platform::result_checksum) must agree; a mismatch
+  /// counts toward quarantine and the job is re-executed on another
+  /// device.  1 verifies every job, 0 (the default) none.
+  std::size_t verify_sample_rate = 0;
   /// Per-device knobs, applied to every device of the fleet (homogeneous
   /// devices share one configuration like they share one dimension).
   DeviceOptions device{};
@@ -76,6 +104,28 @@ struct PoolStats {
   std::uint64_t affinity_active = 0;    ///< routed to an active-design device
   std::uint64_t affinity_resident = 0;  ///< routed to a merely-resident one
   std::uint64_t replications = 0;       ///< hot-design copies added
+  /// Devices moved to quarantine by the resilience supervisor (monotone;
+  /// quarantine is permanent for the pool's lifetime).
+  std::uint64_t quarantines = 0;
+  /// Jobs re-executed on another device after an infrastructure failure or
+  /// a shadow-verify mismatch on their original device (each extra
+  /// execution attempt counts once).
+  std::uint64_t jobs_migrated = 0;
+  /// Sampled jobs whose device results disagreed with the shadow reference
+  /// engine's checksum (silent corruption caught).
+  std::uint64_t verify_mismatches = 0;
+  /// Designs re-replicated onto a healthy device because quarantine left
+  /// them without a healthy replica (distinct from hot-design
+  /// replications).
+  std::uint64_t re_replications = 0;
+  /// Fleet total of DeviceStats::jobs_failed — device-side job failures,
+  /// distinct from jobs_expired (deadline) and jobs_canceled.  Includes
+  /// failures the supervisor later healed by migration.
+  std::uint64_t jobs_failed = 0;
+  /// Fleet total of DeviceStats::jobs_completed.
+  std::uint64_t jobs_completed = 0;
+  /// Fleet total of DeviceStats::jobs_expired (deadline expiries).
+  std::uint64_t jobs_expired = 0;
   /// Fleet total of DeviceStats::fast_passes — compiled kernel passes that
   /// took the two-valued single-plane fast path.
   std::uint64_t fast_passes = 0;
@@ -90,6 +140,8 @@ struct PoolStats {
   std::vector<std::uint64_t> jobs_per_device;  ///< submits routed per device
   std::vector<std::size_t> queue_depths;  ///< per-device depth at snapshot
   std::vector<DeviceStats> device;        ///< per-device runtime counters
+  /// Per-device quarantine flags (1 = quarantined) at snapshot time.
+  std::vector<std::uint8_t> quarantined;
 };
 
 /// A fleet of homogeneous rt::Devices behind one register / submit / wait
@@ -167,7 +219,17 @@ class DevicePool {
   /// count, the scheduling class, and an optional deadline (see
   /// rt::SubmitOptions).  The returned Job is the same handle
   /// Device::submit yields; it stays valid after the pool dies (jobs are
-  /// completed or canceled first, never leaked).
+  /// completed or canceled first, never leaked).  Fails with kUnavailable
+  /// while a drain() is in progress, or when every device is quarantined.
+  ///
+  /// With resilience enabled (PoolOptions::quarantine_failures or
+  /// verify_sample_rate non-zero) the handle is a *pool* job supervised
+  /// across device failures: an infrastructure failure or verify mismatch
+  /// re-executes the work on a healthy device and the handle resolves with
+  /// the healthy result — callers observe migration only as latency.  One
+  /// semantic difference: cancel() on a supervised job can win any time
+  /// before the handle resolves (the in-flight device execution is then
+  /// discarded), not only while the job is queued.
   ///
   /// Polymorphic designs route exactly as on Device::submit:
   /// `options.run.mode` resolves to the derived view key before affinity
@@ -194,9 +256,25 @@ class DevicePool {
       std::string_view name, std::vector<InputVector> vectors,
       const RunOptions& run);
 
-  /// Block until every device in the pool is idle (all submitted jobs have
-  /// retired).
+  /// Block until every job submitted so far has retired — device queues
+  /// empty, and (with resilience enabled) every migration and shadow
+  /// verification settled.  Submits that arrive after a drain has started
+  /// are rejected with kUnavailable until it returns: drain is a barrier
+  /// with a documented ordering, not a racy snapshot (docs/scheduling.md
+  /// §3.4).  Concurrent drains are safe; submits are accepted again once
+  /// the last one returns.
   void drain();
+
+  /// Install a scripted fault-injection plan on one device of the fleet
+  /// (test/soak hook; see rt::FaultPlan and Device::install_fault_plan).
+  /// Out-of-range `device` indices are ignored.
+  void install_fault_plan(std::size_t device, FaultPlan plan);
+
+  /// True when the resilience supervisor has quarantined device `device`:
+  /// it no longer receives routed jobs, replicas, or registration homes.
+  /// Quarantine is permanent for the pool's lifetime; out-of-range
+  /// indices are false.
+  [[nodiscard]] bool quarantined(std::size_t device) const;
 
   /// An interactive synchronous Session over a registered design (cycle-
   /// by-cycle step(), waveforms, X injection — the job path handles clocked

@@ -58,11 +58,20 @@ std::size_t JobQueue::shutdown() {
   }
   std::size_t canceled = 0;
   for (const auto& job : orphaned) {
-    const std::lock_guard<std::mutex> lock(job->mutex);
-    if (job->phase == JobState::Phase::kQueued) {
-      job->phase = JobState::Phase::kCanceled;
-      job->vectors.clear();
-      job->cv.notify_all();
+    bool won = false;
+    {
+      const std::lock_guard<std::mutex> lock(job->mutex);
+      if (job->phase == JobState::Phase::kQueued) {
+        job->phase = JobState::Phase::kCanceled;
+        job->vectors.clear();
+        job->cv.notify_all();
+        won = true;
+      }
+    }
+    if (won) {
+      // Shutdown-cancel is this job's terminal transition: fire the
+      // completion hook outside the state lock.
+      if (job->options.on_terminal) job->options.on_terminal();
       ++canceled;
     }
   }

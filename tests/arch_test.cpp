@@ -147,6 +147,83 @@ TEST(Defects, YieldDecreasesWithDefectRate) {
   EXPECT_LT(y_high, 1.0);  // sometimes fails at 10%
 }
 
+TEST(DefectMap, RandomIsDeterministicForAFixedSeed) {
+  util::Rng rng_a(77), rng_b(77);
+  const DefectMap a = DefectMap::random(3, 3, 0.08, 0.05, rng_a);
+  const DefectMap b = DefectMap::random(3, 3, 0.08, 0.05, rng_b);
+  ASSERT_EQ(a.defect_count(), b.defect_count());
+  for (int r = 0; r < 3; ++r)
+    for (int c = 0; c < 3; ++c) {
+      for (int row = 0; row < 6; ++row) {
+        EXPECT_EQ(a.driver_bad(r, c, row), b.driver_bad(r, c, row));
+        for (int col = 0; col < 6; ++col)
+          EXPECT_EQ(a.crosspoint_bad(r, c, row, col),
+                    b.crosspoint_bad(r, c, row, col));
+      }
+    }
+  // A different seed diverges (the maps are not degenerate copies).
+  util::Rng rng_c(78);
+  const DefectMap c = DefectMap::random(3, 3, 0.08, 0.05, rng_c);
+  bool differs = c.defect_count() != a.defect_count();
+  for (int row = 0; !differs && row < 6; ++row)
+    for (int col = 0; !differs && col < 6; ++col)
+      differs = a.crosspoint_bad(0, 0, row, col) !=
+                c.crosspoint_bad(0, 0, row, col);
+  EXPECT_TRUE(differs);
+}
+
+TEST(Defects, FullyDefectiveFabricYieldsNoOrigin) {
+  core::Fabric f(2, 3);
+  DefectMap map(2, 3);
+  for (int r = 0; r < 2; ++r)
+    for (int c = 0; c < 3; ++c)
+      for (int row = 0; row < 6; ++row) {
+        map.mark_driver(r, c, row);
+        for (int col = 0; col < 6; ++col) map.mark_crosspoint(r, c, row, col);
+      }
+  const auto origin = find_clean_origin(
+      f, map, 1, 2, [](core::Fabric& fab, int r, int c) {
+        map::macros::c_element(fab, r, c);
+      });
+  EXPECT_FALSE(origin.has_value());
+  // The failed search leaves no configuration behind to collide.
+  EXPECT_EQ(conflicts(f, map), 0);
+}
+
+TEST(Defects, MaxOriginRowsPinsRelocationToTheBoundary) {
+  const auto configure = [](core::Fabric& fab, int r, int c) {
+    map::macros::c_element(fab, r, c);
+  };
+  // Poison the (0,0) placement: a boundary-pinned macro must slide along
+  // row 0, never down into row 1.
+  {
+    core::Fabric f(3, 4);
+    DefectMap map(3, 4);
+    map.mark_crosspoint(0, 0, 0, 0);
+    const auto origin = find_clean_origin(f, map, 1, 2, configure,
+                                          /*max_origin_rows=*/1);
+    ASSERT_TRUE(origin.has_value());
+    EXPECT_EQ(origin->first, 0);  // stayed on the north boundary
+    EXPECT_GT(origin->second, 0);
+    EXPECT_EQ(conflicts(f, map), 0);
+  }
+  // Saturate the whole boundary row: the unbounded search would relocate
+  // into row 1, the pinned search must give up instead.
+  {
+    core::Fabric f(3, 4);
+    DefectMap map(3, 4);
+    for (int c = 0; c < 4; ++c)
+      for (int row = 0; row < 6; ++row)
+        for (int col = 0; col < 6; ++col) map.mark_crosspoint(0, c, row, col);
+    const auto pinned = find_clean_origin(f, map, 1, 2, configure,
+                                          /*max_origin_rows=*/1);
+    EXPECT_FALSE(pinned.has_value());
+    const auto unbounded = find_clean_origin(f, map, 1, 2, configure);
+    ASSERT_TRUE(unbounded.has_value());
+    EXPECT_GT(unbounded->first, 0);
+  }
+}
+
 TEST(Defects, RedundancyImprovesYield) {
   // The homogeneous-array argument: a bigger fabric (more alternative
   // placements) yields better at the same defect rate.

@@ -220,5 +220,42 @@ TEST(BitstreamFuzz, DeltaRoundTripIsExactAndEmptyForIdenticalFabrics) {
   EXPECT_TRUE(same_config(g, target));
 }
 
+TEST(BitstreamFuzz, DeltaRejectsACorruptedResidentBaseImage) {
+  const Fabric base = make_configured_fabric();
+  const Fabric target = make_other_fabric();
+  const auto delta = core::encode_delta(base, target).value();
+
+  // The resident image rots under the delta: one crosspoint trit of a
+  // block the delta never touches flips (the runtime-fault analogue of a
+  // bit flip in configuration RAM).  The base-CRC binding must catch it.
+  Fabric resident = base;
+  ASSERT_EQ(resident.block(1, 0).xpoint[0][0], device::BiasLevel::kForce1);
+  resident.block(1, 0).xpoint[0][0] = device::BiasLevel::kForce0;
+  const Fabric corrupted = resident;
+
+  // Re-derived resident CRC: the mismatch is detected as kDataLoss and no
+  // frame of the delta lands (the fabric keeps its corrupted-but-intact
+  // configuration — partial application would compound the damage).
+  Status status;
+  EXPECT_NO_THROW(status = core::try_apply_delta(resident, delta));
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kDataLoss);
+  EXPECT_TRUE(same_config(resident, corrupted));
+
+  // The hot path (caller-tracked CRC) detects it the same way when the
+  // caller tells the truth about what is resident.
+  EXPECT_NO_THROW(status = core::try_apply_delta(
+                      resident, delta, core::fabric_config_crc(resident)));
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kDataLoss);
+  EXPECT_TRUE(same_config(resident, corrupted));
+
+  // An uncorrupted sibling still accepts the same delta bytes: the reject
+  // above was the base binding, not the stream.
+  Fabric pristine = base;
+  EXPECT_TRUE(core::try_apply_delta(pristine, delta).ok());
+  EXPECT_TRUE(same_config(pristine, target));
+}
+
 }  // namespace
 }  // namespace pp

@@ -1,0 +1,467 @@
+// Fleet resilience (DESIGN.md §15): scripted fault injection on rt::Device
+// (activation-CRC rejects, silent result corruption, mid-job timeouts,
+// permanent death), and the DevicePool machinery it exists to prove —
+// failure detection, consecutive-failure quarantine, job migration onto
+// healthy devices, stranded-design re-replication, shadow verification —
+// ending in a miniature adversarial soak: 4 devices, 4 submitter threads,
+// every fault kind firing, and every job still completing byte-identical
+// to a clean serial reference.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "map/netlist.h"
+#include "platform/compiler.h"
+#include "platform/session.h"
+#include "rt/device.h"
+#include "rt/fault.h"
+#include "rt/pool.h"
+#include "util/rng.h"
+
+namespace pp {
+namespace {
+
+using platform::BitVector;
+using platform::InputVector;
+
+platform::CompiledDesign compile_or_die(const map::Netlist& netlist) {
+  auto design = platform::compile(netlist);
+  EXPECT_TRUE(design.ok()) << design.status().to_string();
+  return std::move(*design);
+}
+
+std::vector<InputVector> random_vectors(std::size_t count, std::size_t width,
+                                        std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<InputVector> vectors(count);
+  for (auto& v : vectors) {
+    v.resize(width);
+    for (std::size_t i = 0; i < width; ++i) v[i] = rng.next_bool();
+  }
+  return vectors;
+}
+
+/// Serial single-thread reference through the synchronous Session path.
+std::vector<BitVector> serial_reference(const platform::CompiledDesign& design,
+                                        const std::vector<InputVector>& v) {
+  auto session = platform::Session::load(design);
+  EXPECT_TRUE(session.ok()) << session.status().to_string();
+  auto out = session->run_vectors(v, {.max_threads = 1});
+  EXPECT_TRUE(out.ok()) << out.status().to_string();
+  return std::move(*out);
+}
+
+// ---- device-level injection -------------------------------------------
+
+TEST(RtFaultDevice, ActivationCrcFaultFailsExactlyTheScriptedJob) {
+  const auto adder = compile_or_die(map::make_ripple_adder(3));
+  auto device = rt::Device::create(adder.fabric.rows(), adder.fabric.cols());
+  ASSERT_TRUE(device.ok());
+  ASSERT_TRUE(device->load("adder", adder).ok());
+
+  rt::FaultPlan plan;
+  plan.events.push_back({.at_job = 2, .kind = rt::FaultKind::kActivationCrc});
+  device->install_fault_plan(plan);
+
+  const auto vectors = random_vectors(64, 7, 1);
+  const auto expect = serial_reference(adder, vectors);
+
+  auto first = device->run_sync("adder", vectors);
+  ASSERT_TRUE(first.ok()) << first.status().to_string();
+  EXPECT_EQ(*first, expect);
+
+  auto second = device->run_sync("adder", vectors);
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kDataLoss);
+
+  auto third = device->run_sync("adder", vectors);
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(*third, expect);
+
+  const auto stats = device->stats();
+  EXPECT_EQ(stats.jobs_completed, 2u);
+  EXPECT_EQ(stats.jobs_failed, 1u);
+}
+
+TEST(RtFaultDevice, CorruptResultFlipsOneBitAndReportsSuccess) {
+  const auto adder = compile_or_die(map::make_ripple_adder(3));
+  auto device = rt::Device::create(adder.fabric.rows(), adder.fabric.cols());
+  ASSERT_TRUE(device.ok());
+  ASSERT_TRUE(device->load("adder", adder).ok());
+
+  rt::FaultPlan plan;
+  plan.events.push_back({.at_job = 1, .kind = rt::FaultKind::kCorruptResult});
+  plan.corrupt_vector = 5;
+  plan.corrupt_bit = 2;
+  device->install_fault_plan(plan);
+
+  const auto vectors = random_vectors(32, 7, 2);
+  const auto expect = serial_reference(adder, vectors);
+  auto out = device->run_sync("adder", vectors);
+  ASSERT_TRUE(out.ok()) << out.status().to_string();  // silent: status OK
+
+  std::size_t mismatched_bits = 0;
+  for (std::size_t v = 0; v < expect.size(); ++v)
+    for (std::size_t b = 0; b < expect[v].size(); ++b)
+      if ((*out)[v][b] != expect[v][b]) ++mismatched_bits;
+  EXPECT_EQ(mismatched_bits, 1u);
+  EXPECT_NE((*out)[5][2], expect[5][2]);
+  // The corruption is detectable by checksum — the shadow-verify primitive.
+  EXPECT_NE(platform::result_checksum(*out), platform::result_checksum(expect));
+  EXPECT_EQ(device->stats().jobs_failed, 0u);
+}
+
+TEST(RtFaultDevice, TimeoutFaultHoldsThenFailsUnavailable) {
+  const auto parity = compile_or_die(map::make_parity(5));
+  auto device = rt::Device::create(parity.fabric.rows(), parity.fabric.cols());
+  ASSERT_TRUE(device.ok());
+  ASSERT_TRUE(device->load("parity", parity).ok());
+
+  rt::FaultPlan plan;
+  plan.events.push_back({.at_job = 1, .kind = rt::FaultKind::kTimeout});
+  plan.timeout_hold = std::chrono::milliseconds(30);
+  device->install_fault_plan(plan);
+
+  const auto start = std::chrono::steady_clock::now();
+  auto out = device->run_sync("parity", random_vectors(16, 5, 3));
+  const auto held = std::chrono::steady_clock::now() - start;
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kUnavailable);
+  EXPECT_GE(held, std::chrono::milliseconds(30));
+}
+
+TEST(RtFaultDevice, DeathIsPermanentUntilThePlanIsCleared) {
+  const auto parity = compile_or_die(map::make_parity(5));
+  auto device = rt::Device::create(parity.fabric.rows(), parity.fabric.cols());
+  ASSERT_TRUE(device.ok());
+  ASSERT_TRUE(device->load("parity", parity).ok());
+
+  rt::FaultPlan plan;
+  plan.events.push_back({.at_job = 2, .kind = rt::FaultKind::kDeath});
+  device->install_fault_plan(plan);
+
+  const auto vectors = random_vectors(16, 5, 4);
+  ASSERT_TRUE(device->run_sync("parity", vectors).ok());
+  // The death ordinal and everything after it fail, scripted events or not.
+  for (int i = 0; i < 3; ++i) {
+    auto out = device->run_sync("parity", vectors);
+    ASSERT_FALSE(out.ok());
+    EXPECT_EQ(out.status().code(), StatusCode::kUnavailable);
+  }
+  EXPECT_EQ(device->stats().jobs_failed, 3u);
+
+  device->clear_fault_plan();  // the hook revives; hardware would not
+  EXPECT_TRUE(device->run_sync("parity", vectors).ok());
+}
+
+// ---- pool-level detection, quarantine, migration ----------------------
+
+TEST(RtFaultPool, InfrastructureFailureMigratesInvisiblyToTheCaller) {
+  const auto adder = compile_or_die(map::make_ripple_adder(3));
+  rt::PoolOptions options;
+  options.quarantine_failures = 3;  // one failure must NOT quarantine
+  auto pool = rt::DevicePool::create(2, adder.fabric.rows(),
+                                     adder.fabric.cols(), options);
+  ASSERT_TRUE(pool.ok());
+  ASSERT_TRUE(pool->register_design("adder", adder).ok());  // home: device 0
+
+  rt::FaultPlan plan;
+  plan.events.push_back({.at_job = 1, .kind = rt::FaultKind::kActivationCrc});
+  pool->install_fault_plan(0, plan);
+
+  const auto vectors = random_vectors(64, 7, 5);
+  auto out = pool->run_sync("adder", vectors);
+  ASSERT_TRUE(out.ok()) << out.status().to_string();
+  EXPECT_EQ(*out, serial_reference(adder, vectors));
+
+  const auto stats = pool->stats();
+  EXPECT_EQ(stats.jobs_migrated, 1u);
+  EXPECT_EQ(stats.re_replications, 1u);  // device 1 had no replica yet
+  EXPECT_EQ(stats.jobs_failed, 1u);      // the device-side failure is real
+  EXPECT_EQ(stats.quarantines, 0u);
+  EXPECT_FALSE(pool->quarantined(0));
+  EXPECT_EQ(pool->replicas("adder"), 2u);
+}
+
+TEST(RtFaultPool, ConsecutiveFailuresQuarantineButSuccessesReset) {
+  const auto parity = compile_or_die(map::make_parity(5));
+  const auto vectors = random_vectors(16, 5, 6);
+
+  // Alternating failures on a pool of one (nowhere to migrate): the
+  // consecutive counter resets on every success, so threshold 2 never
+  // fires and the caller sees each raw device failure.
+  {
+    rt::PoolOptions options;
+    options.quarantine_failures = 2;
+    auto pool = rt::DevicePool::create(1, parity.fabric.rows(),
+                                       parity.fabric.cols(), options);
+    ASSERT_TRUE(pool.ok());
+    ASSERT_TRUE(pool->register_design("parity", parity).ok());
+    rt::FaultPlan plan;
+    plan.events.push_back(
+        {.at_job = 1, .kind = rt::FaultKind::kActivationCrc});
+    plan.events.push_back(
+        {.at_job = 3, .kind = rt::FaultKind::kActivationCrc});
+    pool->install_fault_plan(0, plan);
+
+    for (int job = 1; job <= 4; ++job) {
+      auto out = pool->run_sync("parity", vectors);
+      if (job % 2 == 1) {
+        ASSERT_FALSE(out.ok());
+        EXPECT_EQ(out.status().code(), StatusCode::kDataLoss);
+      } else {
+        ASSERT_TRUE(out.ok()) << out.status().to_string();
+      }
+    }
+    EXPECT_FALSE(pool->quarantined(0));
+    EXPECT_EQ(pool->stats().quarantines, 0u);
+  }
+
+  // Two consecutive failures cross the threshold: the device quarantines
+  // and — with the whole fleet gone — later submits are refused upfront.
+  {
+    rt::PoolOptions options;
+    options.quarantine_failures = 2;
+    auto pool = rt::DevicePool::create(1, parity.fabric.rows(),
+                                       parity.fabric.cols(), options);
+    ASSERT_TRUE(pool.ok());
+    ASSERT_TRUE(pool->register_design("parity", parity).ok());
+    rt::FaultPlan plan;
+    plan.events.push_back(
+        {.at_job = 1, .kind = rt::FaultKind::kActivationCrc});
+    plan.events.push_back(
+        {.at_job = 2, .kind = rt::FaultKind::kActivationCrc});
+    pool->install_fault_plan(0, plan);
+
+    for (int job = 0; job < 2; ++job) {
+      auto out = pool->run_sync("parity", vectors);
+      ASSERT_FALSE(out.ok());
+      EXPECT_EQ(out.status().code(), StatusCode::kDataLoss);
+    }
+    EXPECT_TRUE(pool->quarantined(0));
+    EXPECT_EQ(pool->stats().quarantines, 1u);
+    EXPECT_EQ(pool->stats().quarantined, (std::vector<std::uint8_t>{1}));
+
+    auto refused = pool->run_sync("parity", vectors);
+    ASSERT_FALSE(refused.ok());
+    EXPECT_EQ(refused.status().code(), StatusCode::kUnavailable);
+  }
+}
+
+TEST(RtFaultPool, DesignFailuresDoNotQuarantineHealthyDevices) {
+  const auto parity = compile_or_die(map::make_parity(5));
+  rt::PoolOptions options;
+  options.quarantine_failures = 1;  // hair trigger — must still not fire
+  auto pool = rt::DevicePool::create(1, parity.fabric.rows(),
+                                     parity.fabric.cols(), options);
+  ASSERT_TRUE(pool.ok());
+  ASSERT_TRUE(pool->register_design("parity", parity).ok());
+
+  // A deadline expiry is the job's outcome, not the device's fault: it
+  // must pass through unchanged, not trigger migration or quarantine.
+  rt::SubmitOptions expired;
+  expired.deadline = std::chrono::steady_clock::now() -
+                     std::chrono::milliseconds(1);
+  auto out = pool->run_sync("parity", random_vectors(16, 5, 7), expired);
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), StatusCode::kDeadlineExceeded);
+
+  const auto stats = pool->stats();
+  EXPECT_FALSE(pool->quarantined(0));
+  EXPECT_EQ(stats.quarantines, 0u);
+  EXPECT_EQ(stats.jobs_migrated, 0u);
+  EXPECT_EQ(stats.jobs_expired, 1u);
+  // The device stays in rotation.
+  EXPECT_TRUE(pool->run_sync("parity", random_vectors(16, 5, 7)).ok());
+}
+
+TEST(RtFaultPool, ShadowVerifyCatchesSilentCorruptionAndReExecutes) {
+  const auto adder = compile_or_die(map::make_ripple_adder(3));
+  rt::PoolOptions options;
+  options.quarantine_failures = 1;
+  options.verify_sample_rate = 1;  // verify every job
+  auto pool = rt::DevicePool::create(2, adder.fabric.rows(),
+                                     adder.fabric.cols(), options);
+  ASSERT_TRUE(pool.ok());
+  ASSERT_TRUE(pool->register_design("adder", adder).ok());
+
+  rt::FaultPlan plan;
+  plan.events.push_back({.at_job = 1, .kind = rt::FaultKind::kCorruptResult});
+  plan.corrupt_vector = 7;
+  plan.corrupt_bit = 0;
+  pool->install_fault_plan(0, plan);
+
+  const auto vectors = random_vectors(64, 7, 8);
+  auto out = pool->run_sync("adder", vectors);
+  ASSERT_TRUE(out.ok()) << out.status().to_string();
+  EXPECT_EQ(*out, serial_reference(adder, vectors));  // healthy re-execution
+
+  const auto stats = pool->stats();
+  EXPECT_EQ(stats.verify_mismatches, 1u);
+  EXPECT_EQ(stats.jobs_migrated, 1u);
+  EXPECT_EQ(stats.quarantines, 1u);
+  EXPECT_TRUE(pool->quarantined(0));
+  EXPECT_FALSE(pool->quarantined(1));
+}
+
+TEST(RtFaultPool, CancelOnASupervisedJobWinsBeforeResolution) {
+  const auto parity = compile_or_die(map::make_parity(5));
+  rt::PoolOptions options;
+  options.quarantine_failures = 8;
+  auto pool = rt::DevicePool::create(1, parity.fabric.rows(),
+                                     parity.fabric.cols(), options);
+  ASSERT_TRUE(pool.ok());
+  ASSERT_TRUE(pool->register_design("parity", parity).ok());
+
+  // Wedge the device so the second job stays unresolved long enough to
+  // cancel deterministically.
+  rt::FaultPlan plan;
+  plan.events.push_back({.at_job = 1, .kind = rt::FaultKind::kTimeout});
+  plan.timeout_hold = std::chrono::milliseconds(100);
+  pool->install_fault_plan(0, plan);
+
+  auto wedged = pool->submit("parity", random_vectors(16, 5, 9));
+  ASSERT_TRUE(wedged.ok());
+  auto victim = pool->submit("parity", random_vectors(16, 5, 10));
+  ASSERT_TRUE(victim.ok());
+  EXPECT_TRUE(victim->cancel());
+  EXPECT_TRUE(victim->canceled());
+  auto result = victim->wait();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+
+  // The wedged job fails kUnavailable (timeout) with nowhere to migrate.
+  auto first = wedged->wait();
+  ASSERT_FALSE(first.ok());
+  EXPECT_EQ(first.status().code(), StatusCode::kUnavailable);
+}
+
+// ---- the adversarial mini-soak ----------------------------------------
+
+// 4 devices, 4 concurrent submitter threads, every fault kind firing —
+// consecutive CRC rejects (quarantining device 0), silent corruption
+// (caught by 100% shadow verification), a mid-job timeout, and one device
+// wedging then dying permanently mid-run (quarantining device 3).  Zero
+// lost jobs, and every result byte-identical to a clean serial reference,
+// is the whole point of the subsystem.
+//
+// Determinism: each thread drives its own design, homed on its own device
+// (registration round-robin), hot replication is suppressed
+// (replicate_depth out of reach) and jobs are burst-submitted, so the
+// scripted dispatch ordinals land on queued work regardless of timing —
+// in particular the death device still has its thread's jobs queued when
+// the wedge releases, so ordinals 5 (timeout) and 6 (death) fail
+// back-to-back and cross the quarantine threshold.
+TEST(RtFaultSoak, AdversarialScheduleLosesNoJobsAndStaysByteIdentical) {
+  const std::vector<platform::CompiledDesign> designs = {
+      compile_or_die(map::make_ripple_adder(3)),  // 7 inputs, home: device 0
+      compile_or_die(map::make_parity(5)),        // 5 inputs, home: device 1
+      compile_or_die(map::make_ripple_adder(2)),  // 5 inputs, home: device 2
+      compile_or_die(map::make_parity(4)),        // 4 inputs, home: device 3
+  };
+  const std::vector<std::size_t> widths = {7, 5, 5, 4};
+  int rows = 0, cols = 0;
+  for (const auto& d : designs) {
+    rows = std::max(rows, d.fabric.rows());
+    cols = std::max(cols, d.fabric.cols());
+  }
+
+  rt::PoolOptions options;
+  options.quarantine_failures = 2;
+  options.verify_sample_rate = 1;
+  options.replicate_depth = 1000;  // failure-driven replication only
+  auto pool = rt::DevicePool::create(4, rows, cols, options);
+  ASSERT_TRUE(pool.ok());
+  for (std::size_t d = 0; d < designs.size(); ++d)
+    ASSERT_TRUE(
+        pool->register_design("design" + std::to_string(d), designs[d]).ok());
+
+  {  // the adversarial schedule
+    rt::FaultPlan crc;
+    crc.events.push_back({.at_job = 3, .kind = rt::FaultKind::kActivationCrc});
+    crc.events.push_back({.at_job = 4, .kind = rt::FaultKind::kActivationCrc});
+    pool->install_fault_plan(0, crc);
+
+    rt::FaultPlan corrupt;
+    corrupt.events.push_back(
+        {.at_job = 5, .kind = rt::FaultKind::kCorruptResult});
+    corrupt.corrupt_vector = 1;
+    corrupt.corrupt_bit = 1;
+    pool->install_fault_plan(1, corrupt);
+
+    rt::FaultPlan wedge;
+    wedge.events.push_back({.at_job = 4, .kind = rt::FaultKind::kTimeout});
+    wedge.timeout_hold = std::chrono::milliseconds(20);
+    pool->install_fault_plan(2, wedge);
+
+    rt::FaultPlan death;
+    death.events.push_back({.at_job = 5, .kind = rt::FaultKind::kTimeout});
+    death.events.push_back({.at_job = 6, .kind = rt::FaultKind::kDeath});
+    death.timeout_hold = std::chrono::milliseconds(60);
+    pool->install_fault_plan(3, death);
+  }
+
+  constexpr std::size_t kThreads = 4;
+  constexpr std::size_t kJobsPerThread = 24;
+  constexpr std::size_t kVectorsPerJob = 32;
+  std::atomic<std::size_t> lost{0};
+  std::atomic<std::size_t> mismatched{0};
+  std::vector<std::thread> submitters;
+  submitters.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      const std::string design = "design" + std::to_string(t);
+      std::vector<std::vector<InputVector>> stimulus;
+      std::vector<rt::Job> handles;
+      for (std::size_t j = 0; j < kJobsPerThread; ++j) {
+        stimulus.push_back(
+            random_vectors(kVectorsPerJob, widths[t], 1000 + t * 100 + j));
+        auto job = pool->submit(design, stimulus.back());
+        if (!job.ok()) {
+          ++lost;
+          stimulus.pop_back();
+          continue;
+        }
+        handles.push_back(std::move(*job));
+      }
+      for (std::size_t j = 0; j < handles.size(); ++j) {
+        auto out = handles[j].wait();
+        if (!out.ok()) {
+          ++lost;
+          continue;
+        }
+        if (*out != serial_reference(designs[t], stimulus[j])) ++mismatched;
+      }
+    });
+  }
+  for (auto& thread : submitters) thread.join();
+
+  EXPECT_EQ(lost.load(), 0u);
+  EXPECT_EQ(mismatched.load(), 0u);
+
+  const auto stats = pool->stats();
+  // Every submitted job resolved (none stranded in the supervisor).
+  EXPECT_EQ(stats.jobs_submitted, kThreads * kJobsPerThread);
+  // The scripted schedule guarantees injected failures, migrations, a
+  // caught corruption, and two quarantines (consecutive CRC on device 0,
+  // wedge-then-death on device 3); devices 1 and 2 fail only once each
+  // and must stay in rotation.
+  EXPECT_GE(stats.jobs_migrated, 2u);
+  EXPECT_GE(stats.verify_mismatches, 1u);
+  EXPECT_GE(stats.re_replications, 1u);
+  EXPECT_TRUE(pool->quarantined(0));
+  EXPECT_FALSE(pool->quarantined(1));
+  EXPECT_FALSE(pool->quarantined(2));
+  EXPECT_TRUE(pool->quarantined(3));
+  EXPECT_EQ(stats.quarantines, 2u);
+  // Drain must still work on a partly-quarantined pool.
+  pool->drain();
+}
+
+}  // namespace
+}  // namespace pp

@@ -512,5 +512,71 @@ TEST(RtDevice, IntrospectionHooks) {
   EXPECT_EQ(device->queued("parity"), 0u);
 }
 
+TEST(RtDevicePool, DrainRejectsSubmitsThatArriveWhileDraining) {
+  const auto parity = compile_or_die(map::make_parity(5));
+  auto pool =
+      rt::DevicePool::create(1, parity.fabric.rows(), parity.fabric.cols());
+  ASSERT_TRUE(pool.ok());
+  ASSERT_TRUE(pool->register_design("parity", parity).ok());
+
+  // Wedge the device so drain() stays blocked long enough to probe: the
+  // scripted timeout holds the in-flight job for 300ms.
+  rt::FaultPlan plan;
+  plan.events.push_back({.at_job = 1, .kind = rt::FaultKind::kTimeout});
+  plan.timeout_hold = std::chrono::milliseconds(300);
+  pool->install_fault_plan(0, plan);
+  auto wedged = pool->submit("parity", random_vectors(16, 5, 40));
+  ASSERT_TRUE(wedged.ok());
+
+  std::thread drainer([&] { pool->drain(); });
+  // Submits arriving after the drain started must be refused upfront, not
+  // queued behind the barrier.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  auto refused = pool->submit("parity", random_vectors(16, 5, 41));
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kUnavailable);
+  drainer.join();
+
+  // The barrier lifted: submits are accepted again and complete.
+  auto after = pool->run_sync("parity", random_vectors(16, 5, 42));
+  EXPECT_TRUE(after.ok()) << after.status().to_string();
+  // The wedged job's injected failure reached its caller (no resilience
+  // configured, so the raw device status passes through).
+  auto first = wedged->wait();
+  ASSERT_FALSE(first.ok());
+  EXPECT_EQ(first.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(RtDevicePool, PoolStatsRollUpDeviceFailuresDistinctFromExpiries) {
+  const auto parity = compile_or_die(map::make_parity(5));
+  auto pool =
+      rt::DevicePool::create(2, parity.fabric.rows(), parity.fabric.cols());
+  ASSERT_TRUE(pool.ok());
+  ASSERT_TRUE(pool->register_design("parity", parity).ok());  // home: 0
+
+  rt::FaultPlan plan;
+  plan.events.push_back({.at_job = 2, .kind = rt::FaultKind::kActivationCrc});
+  pool->install_fault_plan(0, plan);
+
+  const auto vectors = random_vectors(16, 5, 43);
+  ASSERT_TRUE(pool->run_sync("parity", vectors).ok());
+  ASSERT_FALSE(pool->run_sync("parity", vectors).ok());  // injected failure
+  rt::SubmitOptions expired;
+  expired.deadline =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(1);
+  ASSERT_FALSE(pool->run_sync("parity", vectors, expired).ok());
+
+  // Failures, expiries, and completions are distinct fleet rollups, and
+  // each matches the sum of its per-device counters.
+  const auto stats = pool->stats();
+  EXPECT_EQ(stats.jobs_failed, 1u);
+  EXPECT_EQ(stats.jobs_expired, 1u);
+  EXPECT_EQ(stats.jobs_completed, 1u);
+  EXPECT_EQ(stats.jobs_failed,
+            stats.device[0].jobs_failed + stats.device[1].jobs_failed);
+  EXPECT_EQ(stats.jobs_expired,
+            stats.device[0].jobs_expired + stats.device[1].jobs_expired);
+}
+
 }  // namespace
 }  // namespace pp
