@@ -1,7 +1,9 @@
 #include "platform/executor.h"
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
+#include <future>
 #include <mutex>
 #include <utility>
 
@@ -140,6 +142,25 @@ constexpr std::size_t kLanes = sim::Evaluator::kBatchLanes;
 
 }  // namespace
 
+/// Bookkeeping for the background JIT kernel build.  The async task is
+/// fully self-contained (it compiles its own program image from value
+/// copies of the binding), so this state moves with the executor and the
+/// future's destructor is the only join point.
+struct BatchExecutor::JitState {
+  bool requested = false;  ///< warm_jit has launched the build
+  bool attempted = false;  ///< the build finished (engine or status below)
+  Status status;           ///< failure reason when attempted && !engine
+  std::future<Result<sim::JitEval>> future;
+  std::unique_ptr<sim::JitEval> engine;
+  /// Build events not yet attributed to a successful run's last_run_.
+  std::uint64_t pending_compiles = 0;
+  std::uint64_t pending_cache_hits = 0;
+};
+
+BatchExecutor::BatchExecutor(BatchExecutor&&) noexcept = default;
+BatchExecutor& BatchExecutor::operator=(BatchExecutor&&) noexcept = default;
+BatchExecutor::~BatchExecutor() = default;
+
 BatchExecutor::BatchExecutor(const sim::Circuit& circuit,
                              std::vector<sim::NetId> in_nets,
                              std::vector<sim::NetId> out_nets,
@@ -193,6 +214,70 @@ Result<sim::Evaluator*> BatchExecutor::ensure_event(std::uint64_t budget) {
 
 Status BatchExecutor::compiled_engine_status() { return ensure_compiled(); }
 
+void BatchExecutor::warm_jit(const sim::JitOptions& options) {
+  if (!jit_state_) jit_state_ = std::make_unique<JitState>();
+  JitState& js = *jit_state_;
+  if (js.requested) return;
+  js.requested = true;
+  // The task compiles its own program image from value copies of the
+  // binding (the circuit outlives the executor by contract): it never
+  // touches the cached engines a dispatcher may be running on, and it
+  // keeps working if this executor is moved mid-build.
+  const sim::Circuit* circuit = circuit_;
+  js.future = std::async(
+      std::launch::async,
+      [circuit, seq = sequential_, in = in_nets_, out = out_nets_,
+       regs = regs_, levels = levels_, options]() -> Result<sim::JitEval> {
+        auto base = seq ? sim::CompiledEval::compile_sequential(
+                              *circuit, in, out, regs,
+                              levels.empty() ? nullptr : &levels)
+                        : sim::CompiledEval::compile(
+                              *circuit, in, out,
+                              levels.empty() ? nullptr : &levels);
+        if (!base.ok()) return base.status();
+        return sim::JitEval::build(*base, options);
+      });
+}
+
+sim::JitEval* BatchExecutor::jit_ready() {
+  if (!jit_state_ || !jit_state_->requested) return nullptr;
+  JitState& js = *jit_state_;
+  if (!js.attempted) {
+    if (!js.future.valid() ||
+        js.future.wait_for(std::chrono::seconds(0)) !=
+            std::future_status::ready)
+      return nullptr;  // still building — the caller keeps falling back
+    js.attempted = true;
+    auto built = js.future.get();
+    if (built.ok()) {
+      js.engine = std::make_unique<sim::JitEval>(std::move(*built));
+      const sim::JitBuildInfo& bi = js.engine->build_info();
+      if (bi.compiled) {
+        ++stats_.jit_compiles;
+        ++js.pending_compiles;
+      }
+      if (bi.cache_hit) {
+        ++stats_.jit_cache_hits;
+        ++js.pending_cache_hits;
+      }
+      js.status = Status();
+    } else {
+      js.status = built.status();
+    }
+  }
+  return js.engine.get();
+}
+
+Status BatchExecutor::ensure_jit() {
+  if (!jit_state_ || !jit_state_->requested) warm_jit();
+  JitState& js = *jit_state_;
+  if (!js.attempted && js.future.valid()) js.future.wait();
+  (void)jit_ready();
+  return js.status;
+}
+
+Status BatchExecutor::jit_engine_status() { return ensure_jit(); }
+
 Result<std::vector<BitVector>> BatchExecutor::run(
     std::span<const InputVector> vectors, const RunOptions& options) {
   if (options.mode != 0 || options.sweep_modes)
@@ -214,17 +299,27 @@ Result<std::vector<BitVector>> BatchExecutor::run(
   std::vector<BitVector> results(vectors.size());
   if (vectors.empty()) return results;
 
-  // Engine selection: kAuto prefers the bit-parallel compiled engine and
-  // falls back to the event-driven engine when CompiledEval rejects the
-  // design; kCompiled surfaces that rejection instead.  Both engines sit
-  // behind sim::Evaluator, so everything below is engine-agnostic.
+  // Engine selection: kAuto prefers a *ready* JIT kernel (never waits on a
+  // build), then the bit-parallel compiled engine, then the event-driven
+  // engine when CompiledEval rejects the design; kCompiled/kJit surface
+  // their engine's rejection instead.  Every engine sits behind
+  // sim::Evaluator, so everything below is engine-agnostic.
   sim::Evaluator* engine = nullptr;
-  if (options.engine != Engine::kEventDriven) {
-    const Status s = ensure_compiled();
-    if (s.ok()) {
-      engine = compiled_.get();
-    } else if (options.engine == Engine::kCompiled) {
-      return s;
+  bool on_jit = false;
+  if (options.engine == Engine::kJit) {
+    if (Status s = ensure_jit(); !s.ok()) return s;
+    engine = jit_state_->engine.get();
+    on_jit = true;
+  } else if (options.engine != Engine::kEventDriven) {
+    if (options.engine == Engine::kAuto && (engine = jit_ready()) != nullptr) {
+      on_jit = true;
+    } else {
+      const Status s = ensure_compiled();
+      if (s.ok()) {
+        engine = compiled_.get();
+      } else if (options.engine == Engine::kCompiled) {
+        return s;
+      }
     }
   }
   if (!engine) {
@@ -233,23 +328,52 @@ Result<std::vector<BitVector>> BatchExecutor::run(
     engine = *ev;
   }
   ++stats_.runs;
-  const bool on_compiled = engine == compiled_.get();
+  // The JIT serves the same compiled program natively, so its runs count
+  // in compiled_runs; jit_passes below says how many kernel passes the
+  // generated code took.  A kAuto run that wanted the JIT (warm requested)
+  // but ran elsewhere is a fallback.
+  const bool on_compiled = on_jit || engine == compiled_.get();
   ++(on_compiled ? stats_.compiled_runs : stats_.event_runs);
-  const sim::CompiledEval::KernelStats passes_before =
-      on_compiled ? compiled_->kernel_stats() : sim::CompiledEval::KernelStats{};
+  const bool jit_fell_back = !on_jit && options.engine == Engine::kAuto &&
+                             jit_state_ && jit_state_->requested;
+  if (jit_fell_back) ++stats_.jit_fallbacks;
 
-  // The pass counters live on the engine's shared program, so sharded
-  // clones aggregate into the same totals.  The lifetime totals follow
-  // every run, failed ones included (their passes did execute); last_run_
-  // is only replaced when a run succeeds, per its documented contract.
+  // The pass counters live on each engine's shared state, so sharded
+  // clones aggregate into the same totals; the executor's totals combine
+  // interpreter and JIT (either may have served past runs).  The lifetime
+  // totals follow every run, failed ones included (their passes did
+  // execute); last_run_ is only replaced when a run succeeds, per its
+  // documented contract.
+  const auto kernel_totals = [&]() -> sim::CompiledEval::KernelStats {
+    sim::CompiledEval::KernelStats t{};
+    if (compiled_) t = compiled_->kernel_stats();
+    if (jit_state_ && jit_state_->engine) {
+      const sim::CompiledEval::KernelStats j = jit_state_->engine->kernel_stats();
+      t.fast_passes += j.fast_passes;
+      t.slow_passes += j.slow_passes;
+      t.cycles_run += j.cycles_run;
+      t.state_commits += j.state_commits;
+      t.fast_cycle_passes += j.fast_cycle_passes;
+    }
+    return t;
+  };
+  const auto jit_pass_total = [&]() -> std::uint64_t {
+    if (!jit_state_ || !jit_state_->engine) return 0;
+    const sim::CompiledEval::KernelStats j = jit_state_->engine->kernel_stats();
+    return j.fast_passes + j.slow_passes + j.cycles_run;
+  };
+  const sim::CompiledEval::KernelStats passes_before =
+      on_compiled ? kernel_totals() : sim::CompiledEval::KernelStats{};
+  const std::uint64_t jit_before = jit_pass_total();
   const auto sync_pass_totals = [&]() -> sim::CompiledEval::KernelStats {
     if (!on_compiled) return {};
-    const sim::CompiledEval::KernelStats after = compiled_->kernel_stats();
+    const sim::CompiledEval::KernelStats after = kernel_totals();
     stats_.fast_passes = after.fast_passes;
     stats_.slow_passes = after.slow_passes;
     stats_.cycles_run = after.cycles_run;
     stats_.state_commits = after.state_commits;
     stats_.fast_cycle_passes = after.fast_cycle_passes;
+    stats_.jit_passes = jit_pass_total();
     return after;
   };
   const auto finish = [&] {
@@ -261,6 +385,13 @@ Result<std::vector<BitVector>> BatchExecutor::run(
     last_run_.vectors_run = vectors.size();
     last_run_.fast_passes = after.fast_passes - passes_before.fast_passes;
     last_run_.slow_passes = after.slow_passes - passes_before.slow_passes;
+    last_run_.jit_passes = jit_pass_total() - jit_before;
+    last_run_.jit_fallbacks = jit_fell_back ? 1 : 0;
+    if (jit_state_) {
+      last_run_.jit_compiles = std::exchange(jit_state_->pending_compiles, 0);
+      last_run_.jit_cache_hits =
+          std::exchange(jit_state_->pending_cache_hits, 0);
+    }
   };
 
   // Pack vectors into wide-batch granules (the engine's preferred words —
@@ -359,17 +490,27 @@ Result<std::vector<BitVector>> BatchExecutor::run_cycles(
   if (stimulus.empty()) return results;
   const std::size_t streams = stimulus.size() / cycles;
 
-  // Engine selection mirrors run(): kAuto prefers the compiled sequential
-  // program, falling back to the event engine's per-lane cycle protocol
-  // when compile_sequential rejects the design (async handshakes, derived
-  // clocks, dynamic tri-state); kCompiled surfaces that rejection.
+  // Engine selection mirrors run(): kAuto prefers a ready JIT kernel, then
+  // the compiled sequential program, falling back to the event engine's
+  // per-lane cycle protocol when compile_sequential rejects the design
+  // (async handshakes, derived clocks, dynamic tri-state); kCompiled/kJit
+  // surface their engine's rejection.
   sim::Evaluator* engine = nullptr;
-  if (options.engine != Engine::kEventDriven) {
-    const Status s = ensure_compiled();
-    if (s.ok()) {
-      engine = compiled_.get();
-    } else if (options.engine == Engine::kCompiled) {
-      return s;
+  bool on_jit = false;
+  if (options.engine == Engine::kJit) {
+    if (Status s = ensure_jit(); !s.ok()) return s;
+    engine = jit_state_->engine.get();
+    on_jit = true;
+  } else if (options.engine != Engine::kEventDriven) {
+    if (options.engine == Engine::kAuto && (engine = jit_ready()) != nullptr) {
+      on_jit = true;
+    } else {
+      const Status s = ensure_compiled();
+      if (s.ok()) {
+        engine = compiled_.get();
+      } else if (options.engine == Engine::kCompiled) {
+        return s;
+      }
     }
   }
   if (!engine) {
@@ -378,19 +519,42 @@ Result<std::vector<BitVector>> BatchExecutor::run_cycles(
     engine = *ev;
   }
   ++stats_.runs;
-  const bool on_compiled = engine == compiled_.get();
+  const bool on_compiled = on_jit || engine == compiled_.get();
   ++(on_compiled ? stats_.compiled_runs : stats_.event_runs);
-  const sim::CompiledEval::KernelStats passes_before =
-      on_compiled ? compiled_->kernel_stats() : sim::CompiledEval::KernelStats{};
+  const bool jit_fell_back = !on_jit && options.engine == Engine::kAuto &&
+                             jit_state_ && jit_state_->requested;
+  if (jit_fell_back) ++stats_.jit_fallbacks;
 
+  const auto kernel_totals = [&]() -> sim::CompiledEval::KernelStats {
+    sim::CompiledEval::KernelStats t{};
+    if (compiled_) t = compiled_->kernel_stats();
+    if (jit_state_ && jit_state_->engine) {
+      const sim::CompiledEval::KernelStats j = jit_state_->engine->kernel_stats();
+      t.fast_passes += j.fast_passes;
+      t.slow_passes += j.slow_passes;
+      t.cycles_run += j.cycles_run;
+      t.state_commits += j.state_commits;
+      t.fast_cycle_passes += j.fast_cycle_passes;
+    }
+    return t;
+  };
+  const auto jit_pass_total = [&]() -> std::uint64_t {
+    if (!jit_state_ || !jit_state_->engine) return 0;
+    const sim::CompiledEval::KernelStats j = jit_state_->engine->kernel_stats();
+    return j.fast_passes + j.slow_passes + j.cycles_run;
+  };
+  const sim::CompiledEval::KernelStats passes_before =
+      on_compiled ? kernel_totals() : sim::CompiledEval::KernelStats{};
+  const std::uint64_t jit_before = jit_pass_total();
   const auto sync_pass_totals = [&]() -> sim::CompiledEval::KernelStats {
     if (!on_compiled) return {};
-    const sim::CompiledEval::KernelStats after = compiled_->kernel_stats();
+    const sim::CompiledEval::KernelStats after = kernel_totals();
     stats_.fast_passes = after.fast_passes;
     stats_.slow_passes = after.slow_passes;
     stats_.cycles_run = after.cycles_run;
     stats_.state_commits = after.state_commits;
     stats_.fast_cycle_passes = after.fast_cycle_passes;
+    stats_.jit_passes = jit_pass_total();
     return after;
   };
   const auto finish = [&] {
@@ -407,6 +571,13 @@ Result<std::vector<BitVector>> BatchExecutor::run_cycles(
         after.state_commits - passes_before.state_commits;
     last_run_.fast_cycle_passes =
         after.fast_cycle_passes - passes_before.fast_cycle_passes;
+    last_run_.jit_passes = jit_pass_total() - jit_before;
+    last_run_.jit_fallbacks = jit_fell_back ? 1 : 0;
+    if (jit_state_) {
+      last_run_.jit_compiles = std::exchange(jit_state_->pending_compiles, 0);
+      last_run_.jit_cache_hits =
+          std::exchange(jit_state_->pending_cache_hits, 0);
+    }
   };
 
   // Granules span whole streams (the lane axis); every stream of a granule

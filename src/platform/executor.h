@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "sim/evaluator.h"
+#include "sim/jit.h"
 #include "util/status.h"
 
 namespace pp::platform {
@@ -38,9 +39,10 @@ using InputVector = BitVector;
 
 /// Which evaluation engine batch runs use.
 enum class Engine : std::uint8_t {
-  /// Pick the bit-parallel compiled engine when the design supports it
-  /// (combinational, no dynamic tri-state, no behavioural async gates);
-  /// fall back to the event-driven path otherwise.
+  /// Pick the fastest engine the design supports: a *ready* JIT kernel
+  /// (never waits for one), else the bit-parallel compiled engine
+  /// (combinational, no dynamic tri-state, no behavioural async gates),
+  /// else the event-driven path.
   kAuto,
   /// Force the event-driven clone-sharding path (the timing-accurate
   /// reference; mandatory for anything CompiledEval rejects).
@@ -48,6 +50,11 @@ enum class Engine : std::uint8_t {
   /// Force the bit-parallel compiled engine; runs fail with the engine's
   /// compile Status when the design is unsupported.
   kCompiled,
+  /// Force the JIT-compiled native kernel (sim::JitEval), blocking until
+  /// its build finishes when one is in flight; runs fail with the build
+  /// Status when no host compiler is available or the design is
+  /// unsupported.
+  kJit,
 };
 
 /// Per-call knobs for a batch run (engine choice, sharding, budgets).
@@ -92,6 +99,19 @@ struct ExecutorStats {
   std::uint64_t state_commits = 0;
   /// Compiled sequential cycles that rode the single-plane fast path.
   std::uint64_t fast_cycle_passes = 0;
+  /// Kernel passes (wide passes + clocked cycles) served by the JIT
+  /// native engine.  JIT-served runs also count in compiled_runs — the
+  /// JIT serves the same compiled program, natively — so this is the
+  /// share of that work done by generated code.
+  std::uint64_t jit_passes = 0;
+  /// JIT kernel builds that invoked the host compiler (a disk-cache miss).
+  std::uint64_t jit_compiles = 0;
+  /// JIT kernel builds satisfied entirely from the shared disk cache.
+  std::uint64_t jit_cache_hits = 0;
+  /// Runs that asked for the JIT (warm_jit requested, Engine::kAuto) but
+  /// were served by another engine — the kernel was still building, or
+  /// its build failed (no host compiler, oversized program).
+  std::uint64_t jit_fallbacks = 0;
 };
 
 /// Pack a batch of equal-width vectors into structure-of-arrays bit
@@ -143,12 +163,15 @@ class BatchExecutor {
                 std::vector<std::string> output_names, sim::LevelMap levels,
                 std::vector<sim::ExternalReg> regs = {});
 
+  /// Moves transfer the cached engines (and any in-flight JIT build — its
+  /// task is self-contained, so it lands wherever the state moves); the
+  /// moved-from executor may only be destroyed or assigned to.
+  BatchExecutor(BatchExecutor&&) noexcept;
   /// Moves transfer the cached engines; the moved-from executor may only
   /// be destroyed or assigned to.
-  BatchExecutor(BatchExecutor&&) noexcept = default;
-  /// Moves transfer the cached engines; the moved-from executor may only
-  /// be destroyed or assigned to.
-  BatchExecutor& operator=(BatchExecutor&&) noexcept = default;
+  BatchExecutor& operator=(BatchExecutor&&) noexcept;
+  /// Joins any in-flight JIT kernel build before releasing the engines.
+  ~BatchExecutor();
 
   /// Evaluate many independent stimulus vectors (bound input order) and
   /// return the outputs (bound output order) for each.  Vectors are packed
@@ -189,6 +212,23 @@ class BatchExecutor {
   /// declared external registers): run() rejects it, run_cycles drives it.
   [[nodiscard]] bool sequential() const noexcept { return sequential_; }
 
+  /// Start building the JIT native kernel for this binding in the
+  /// background (once; later calls are no-ops).  The build compiles its
+  /// own private program image on the async thread — it never touches the
+  /// cached engines a concurrent dispatcher may be running on — and the
+  /// interpreter keeps serving until the kernel is ready: Engine::kAuto
+  /// runs poll non-blocking and hot-swap onto the JIT when the build has
+  /// landed, counting jit_fallbacks until then.  A failed build (no host
+  /// compiler, unsupported or oversized design) parks its Status where
+  /// jit_engine_status() reports it; runs keep falling back forever.
+  void warm_jit(const sim::JitOptions& options = {});
+
+  /// Status of the JIT native kernel: requests the build if nobody has
+  /// (warm_jit), *blocks* until it finishes, and returns OK when
+  /// Engine::kJit runs will be served by generated code — else why the
+  /// build failed.  Shares the executor's caller-serialized contract.
+  [[nodiscard]] Status jit_engine_status();
+
   /// Number of bound input nets (the width every stimulus vector must have).
   [[nodiscard]] std::size_t input_count() const noexcept {
     return in_nets_.size();
@@ -217,8 +257,14 @@ class BatchExecutor {
   }
 
  private:
+  struct JitState;  // async build bookkeeping, defined in executor.cpp
+
   [[nodiscard]] Status ensure_compiled();
   [[nodiscard]] Result<sim::Evaluator*> ensure_event(std::uint64_t budget);
+  /// Adopt a finished build if one is pending; the ready engine or null.
+  [[nodiscard]] sim::JitEval* jit_ready();
+  /// Block until the (possibly just-requested) build finishes.
+  [[nodiscard]] Status ensure_jit();
 
   const sim::Circuit* circuit_;
   std::vector<sim::NetId> in_nets_;
@@ -232,6 +278,7 @@ class BatchExecutor {
   Status compiled_status_;
   std::unique_ptr<sim::CompiledEval> compiled_;
   std::unique_ptr<sim::EventEval> event_engine_;
+  std::unique_ptr<JitState> jit_state_;
   ExecutorStats stats_;
   ExecutorStats last_run_;
 };

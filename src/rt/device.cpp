@@ -289,6 +289,10 @@ struct Device::Impl {
           stats.cycles_run += lr.cycles_run;
           stats.state_commits += lr.state_commits;
           stats.fast_cycle_passes += lr.fast_cycle_passes;
+          stats.jit_passes += lr.jit_passes;
+          stats.jit_compiles += lr.jit_compiles;
+          stats.jit_cache_hits += lr.jit_cache_hits;
+          stats.jit_fallbacks += lr.jit_fallbacks;
         }
       }
     }
@@ -375,6 +379,13 @@ Status Device::load(std::string name,
   if (!padded.ok()) return padded.status();
   auto outcome = impl_->cache.load(std::move(name), std::move(*padded));
   if (!outcome.ok()) return outcome.status();
+  if (impl_->options.jit) {
+    // Warm the design's JIT kernel now so the build overlaps residency
+    // instead of a job.  hw_mutex serializes this with the dispatcher —
+    // the load may have deduped onto a design it is actively running.
+    const std::lock_guard<std::mutex> hw_lock(impl_->hw_mutex);
+    outcome->resident->executor().warm_jit();
+  }
   const std::lock_guard<std::mutex> lock(impl_->stats_mutex);
   ++(outcome->deduped ? impl_->stats.dedup_hits
                       : impl_->stats.designs_loaded);

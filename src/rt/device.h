@@ -79,6 +79,14 @@ struct DeviceOptions {
   /// favours batching throughput, lower favours queue-order latency — the
   /// serving layer's batching-vs-latency dial (docs/scheduling.md §1.2).
   int max_batch_run = 8;
+  /// Warm a JIT native kernel (sim::JitEval) for every design as it
+  /// becomes resident: the build runs on a background thread per design
+  /// while the interpreter serves, and jobs hot-swap onto the generated
+  /// kernel once it lands (Engine::kAuto).  Off by default — JIT warming
+  /// spawns the host C compiler, which not every deployment has or wants;
+  /// without one the build parks a Status and jobs simply keep the
+  /// interpreter (counted in DeviceStats::jit_fallbacks).
+  bool jit = false;
 };
 
 /// Cumulative runtime accounting (all counters monotone).
@@ -112,6 +120,16 @@ struct DeviceStats {
   std::uint64_t state_commits = 0;
   /// Compiled sequential cycles that rode the single-plane fast path.
   std::uint64_t fast_cycle_passes = 0;
+  /// Kernel passes served by JIT-generated native code across this
+  /// device's jobs (see platform::ExecutorStats::jit_passes).
+  std::uint64_t jit_passes = 0;
+  /// JIT kernel builds that invoked the host compiler (disk-cache misses).
+  std::uint64_t jit_compiles = 0;
+  /// JIT kernel builds satisfied from the shared disk cache.
+  std::uint64_t jit_cache_hits = 0;
+  /// Jobs that wanted the JIT but were served by another engine (kernel
+  /// still building, or its build failed).
+  std::uint64_t jit_fallbacks = 0;
 };
 
 /// One polymorphic array under runtime control: designs are made resident

@@ -966,6 +966,10 @@ PoolStats DevicePool::stats() const {
     out.cycles_run += out.device.back().cycles_run;
     out.state_commits += out.device.back().state_commits;
     out.fast_cycle_passes += out.device.back().fast_cycle_passes;
+    out.jit_passes += out.device.back().jit_passes;
+    out.jit_compiles += out.device.back().jit_compiles;
+    out.jit_cache_hits += out.device.back().jit_cache_hits;
+    out.jit_fallbacks += out.device.back().jit_fallbacks;
   }
   return out;
 }

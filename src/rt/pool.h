@@ -137,6 +137,18 @@ struct PoolStats {
   std::uint64_t state_commits = 0;
   /// Fleet total of DeviceStats::fast_cycle_passes (single-plane cycles).
   std::uint64_t fast_cycle_passes = 0;
+  /// Fleet total of DeviceStats::jit_passes (kernel passes served by
+  /// JIT-generated native code).
+  std::uint64_t jit_passes = 0;
+  /// Fleet total of DeviceStats::jit_compiles (JIT cache misses that
+  /// invoked the host compiler).
+  std::uint64_t jit_compiles = 0;
+  /// Fleet total of DeviceStats::jit_cache_hits (kernels loaded from the
+  /// shared disk cache).
+  std::uint64_t jit_cache_hits = 0;
+  /// Fleet total of DeviceStats::jit_fallbacks (jobs that wanted the JIT
+  /// but ran on another engine).
+  std::uint64_t jit_fallbacks = 0;
   std::vector<std::uint64_t> jobs_per_device;  ///< submits routed per device
   std::vector<std::size_t> queue_depths;  ///< per-device depth at snapshot
   std::vector<DeviceStats> device;        ///< per-device runtime counters

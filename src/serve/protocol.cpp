@@ -509,7 +509,7 @@ Result<SubmitBatchMsg> decode_submit_batch(const Frame& frame) {
     return Status::invalid_argument("serve: unknown priority class " +
                                     std::to_string(priority));
   msg.priority = static_cast<rt::Priority>(priority);
-  if (engine > static_cast<std::uint8_t>(platform::Engine::kCompiled))
+  if (engine > static_cast<std::uint8_t>(platform::Engine::kJit))
     return Status::invalid_argument("serve: unknown engine selector " +
                                     std::to_string(engine));
   msg.engine = static_cast<platform::Engine>(engine);

@@ -418,8 +418,17 @@ class CompiledEval final : public Evaluator {
   /// Snapshot of the pass counters across this engine and all its clones.
   [[nodiscard]] KernelStats kernel_stats() const noexcept;
 
- private:
+  /// The compiled instruction stream.  The definition is internal
+  /// (sim/compiled_program.h) — only sim/*.cpp translation units see it;
+  /// the name is public so the JIT backend's helpers can take it by
+  /// reference.
   struct Program;
+
+ private:
+  /// The JIT backend (sim/jit.h) emits C from the same Program image this
+  /// interpreter executes, and builds private interpreter instances from
+  /// it for the bit-for-bit differential gate.
+  friend class JitEval;
   explicit CompiledEval(std::shared_ptr<const Program> program);
   [[nodiscard]] static Result<std::shared_ptr<Program>> compile_impl(
       const Circuit& circuit, std::vector<NetId> in_nets,
